@@ -1,0 +1,35 @@
+//! Structural models of the paper's comparator messaging systems.
+//!
+//! The FLIPC paper compares against three Paragon messaging systems whose
+//! implementations we do not have: NX (the Paragon OS's message layer),
+//! Paragon Active Messages, and SUNMOS. This crate models each system's
+//! *send-path structure* — how many traps, copies, packets, handshakes a
+//! message costs — on the shared simulated node and mesh from `flipc-sim`
+//! and `flipc-mesh`, with free parameters fixed once against each system's
+//! published numbers (the anchors are asserted by each module's tests).
+//! Everything else — size curves, crossovers, contention behaviour — is
+//! emergent from the structure.
+//!
+//! * [`nx`] — kernel-mediated two-copy messaging; rendezvous bulk protocol
+//!   (>140 MB/s); 46µs @ 120B.
+//! * [`pam`] — 28-byte optimistic packets, polling dispatch; <10µs @ 20B
+//!   but 26µs @ 120B via packet trains.
+//! * [`sunmos`] — single-packet messages of any size (~160 MB/s, but the
+//!   packet holds its wormhole path — the real-time responsiveness hazard);
+//!   zero-length fast path; 28µs @ 120B.
+//! * [`model`] — the [`model::MessagingModel`] trait and the shared
+//!   measurement harnesses (ping-pong latency, streaming bandwidth).
+//!
+//! The FLIPC model itself lives in `flipc-paragon` and implements the same
+//! trait, so the comparison table (experiment E2) sweeps all four systems
+//! through one harness.
+
+pub mod model;
+pub mod nx;
+pub mod pam;
+pub mod sunmos;
+
+pub use model::{pingpong, stream_bandwidth, MessagingModel, SimEnv};
+pub use nx::NxModel;
+pub use pam::{PamModel, PAM_COPY, PAM_PACKET_PAYLOAD, PAM_PACKET_SIZE};
+pub use sunmos::SunmosModel;

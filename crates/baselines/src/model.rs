@@ -1,0 +1,191 @@
+//! The common modeling environment for simulated messaging systems.
+//!
+//! Every system in the comparison — FLIPC itself (crate `flipc-paragon`)
+//! and the three baselines — implements [`MessagingModel`]: given the
+//! shared simulation environment (mesh network, hardware cost model,
+//! per-node caches, RNG), compute when a message handed to the system at
+//! time `t` on the source node becomes available to the application on the
+//! destination node. The mesh is *stateful*, so concurrent transfers from
+//! different models contend for links exactly as wormhole routing dictates
+//! (experiment E8 exploits this).
+//!
+//! Latency harnesses ([`pingpong`], [`stream_bandwidth`]) are shared so
+//! every system is measured by the same procedure the paper used: timed
+//! two-way exchanges, divided by twice the exchange count.
+
+use flipc_mesh::network::{MeshTiming, Network};
+use flipc_mesh::topology::{MeshShape, NodeId};
+use flipc_sim::cache::CoherentBus;
+use flipc_sim::cost::CostModel;
+use flipc_sim::rng::SimRng;
+use flipc_sim::stats::RunningStats;
+use flipc_sim::time::SimTime;
+
+/// Shared state of one simulated machine.
+pub struct SimEnv {
+    /// The wormhole mesh fabric.
+    pub net: Network,
+    /// Hardware timing parameters.
+    pub cost: CostModel,
+    /// One coherent-cache bus per node (app CPU + message coprocessor).
+    pub caches: Vec<CoherentBus>,
+    /// Seeded randomness (poll-phase jitter etc.).
+    pub rng: SimRng,
+}
+
+impl SimEnv {
+    /// Builds a machine of `cols x rows` nodes with the given cost model.
+    pub fn new(cols: u16, rows: u16, cost: CostModel, seed: u64) -> SimEnv {
+        let shape = MeshShape::new(cols, rows);
+        let caches = (0..shape.len())
+            .map(|_| CoherentBus::new(cost.line_size, cost.cache))
+            .collect();
+        SimEnv {
+            net: Network::new(
+                shape,
+                MeshTiming {
+                    hop: cost.hop,
+                    ns_per_byte: cost.wire_ns_per_byte,
+                },
+            ),
+            cost,
+            caches,
+            rng: SimRng::new(seed),
+        }
+    }
+
+    /// A two-node machine with Paragon costs — the paper's latency setup.
+    pub fn paragon_pair(seed: u64) -> SimEnv {
+        SimEnv::new(2, 1, CostModel::paragon(), seed)
+    }
+}
+
+/// A messaging system modeled on the simulated Paragon.
+pub trait MessagingModel {
+    /// System name for report rows.
+    fn name(&self) -> &'static str;
+
+    /// Models one one-way message of `payload` application bytes handed to
+    /// the system at `now` on `src`; returns the time the message is
+    /// available to the application on `dst`.
+    fn one_way(
+        &mut self,
+        env: &mut SimEnv,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        payload: u64,
+    ) -> SimTime;
+
+    /// Hook called once before a measurement run (reset per-run state).
+    fn reset(&mut self, _env: &mut SimEnv) {}
+
+    /// Per-message source-side occupancy when streaming back to back: the
+    /// time after which the source can hand the system its next message.
+    /// Default: wire serialization (the link is the bottleneck).
+    fn source_gap(&self, env: &SimEnv, payload: u64) -> flipc_sim::time::SimDuration {
+        env.cost.wire_time(payload)
+    }
+}
+
+/// Measures one-way latency via the paper's procedure: `exchanges` two-way
+/// message exchanges between `a` and `b`; each sample is half a round trip.
+/// `warmup` exchanges are excluded from the statistics (the paper's steady
+/// state; pass 0 to measure the cold-start transient of E5).
+pub fn pingpong(
+    model: &mut dyn MessagingModel,
+    env: &mut SimEnv,
+    a: NodeId,
+    b: NodeId,
+    payload: u64,
+    warmup: u32,
+    exchanges: u32,
+) -> RunningStats {
+    model.reset(env);
+    let mut stats = RunningStats::new();
+    let mut now = SimTime::ZERO;
+    for i in 0..(warmup + exchanges) {
+        let t1 = model.one_way(env, now, a, b, payload);
+        let t2 = model.one_way(env, t1, b, a, payload);
+        if i >= warmup {
+            // One-way latency = half the round trip, as in the paper.
+            stats.push((t2 - now).as_ns() as f64 / 2.0);
+        }
+        now = t2;
+    }
+    stats
+}
+
+/// Measures streaming bandwidth: `count` back-to-back one-way messages of
+/// `payload` bytes; returns MB/s of application payload.
+pub fn stream_bandwidth(
+    model: &mut dyn MessagingModel,
+    env: &mut SimEnv,
+    a: NodeId,
+    b: NodeId,
+    payload: u64,
+    count: u32,
+) -> f64 {
+    model.reset(env);
+    let mut now = SimTime::ZERO;
+    let start = now;
+    let mut last_arrival = now;
+    for _ in 0..count {
+        // Injections are back to back: the next message is handed to the
+        // system as soon as the source side of the previous one is free
+        // (mesh NIC occupancy is additionally tracked inside the network).
+        last_arrival = model.one_way(env, now, a, b, payload);
+        now += model.source_gap(env, payload);
+    }
+    let total_bytes = payload * count as u64;
+    total_bytes as f64 / (last_arrival - start).as_ns() as f64 * 1_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flipc_sim::time::SimDuration;
+
+    /// A trivial constant-latency model for harness tests.
+    struct Fixed(u64);
+    impl MessagingModel for Fixed {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn one_way(
+            &mut self,
+            _env: &mut SimEnv,
+            now: SimTime,
+            _src: NodeId,
+            _dst: NodeId,
+            _payload: u64,
+        ) -> SimTime {
+            now + SimDuration::from_ns(self.0)
+        }
+    }
+
+    #[test]
+    fn pingpong_reports_half_round_trip() {
+        let mut env = SimEnv::paragon_pair(1);
+        let mut m = Fixed(10_000);
+        let stats = pingpong(&mut m, &mut env, NodeId(0), NodeId(1), 120, 2, 50);
+        assert_eq!(stats.count(), 50);
+        assert!((stats.mean() - 10_000.0).abs() < 1e-9);
+        assert_eq!(stats.stddev(), 0.0);
+    }
+
+    #[test]
+    fn env_builds_requested_shape() {
+        let env = SimEnv::new(4, 3, CostModel::paragon(), 9);
+        assert_eq!(env.caches.len(), 12);
+        assert_eq!(env.net.shape().len(), 12);
+    }
+
+    #[test]
+    fn stream_bandwidth_of_wire_paced_model_is_positive() {
+        let mut env = SimEnv::paragon_pair(2);
+        let mut m = Fixed(10_000);
+        let bw = stream_bandwidth(&mut m, &mut env, NodeId(0), NodeId(1), 1024, 100);
+        assert!(bw > 0.0);
+    }
+}

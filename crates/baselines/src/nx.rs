@@ -1,0 +1,150 @@
+//! NX: the Paragon operating system's native message-passing layer.
+//!
+//! NX (Paragon O/S R1.3.2) is kernel-mediated, two-sided, and optimized for
+//! large-message bandwidth in numerical computing. Structurally, every
+//! message costs a kernel trap and a copy on each side, plus protocol and
+//! message-matching work; large messages switch to a rendezvous protocol
+//! (a control-message round trip to arrange direct transfer) that sustains
+//! over 140 MB/s. The paper reports 46µs for a 120-byte message — nearly
+//! 3x FLIPC — precisely because none of that software path is shortened
+//! for medium messages.
+//!
+//! Calibration anchors: 46µs @ 120B (paper's comparison table, from
+//! Pierce & Regnier via Paul Davis's measurements) and >140 MB/s
+//! large-message bandwidth (ref. 12).
+
+use flipc_mesh::topology::NodeId;
+use flipc_sim::time::{SimDuration, SimTime};
+
+use crate::model::{MessagingModel, SimEnv};
+
+/// Per-message NX protocol header bytes on the wire.
+const NX_HEADER: u64 = 32;
+
+/// Structural parameters of the NX model.
+#[derive(Clone, Copy, Debug)]
+pub struct NxModel {
+    /// Sender software path: trap, buffer lookup, protocol send.
+    pub send_sw: SimDuration,
+    /// Receiver software path: interrupt/trap, message matching, queueing.
+    pub recv_sw: SimDuration,
+    /// Message size at which NX switches to the rendezvous protocol.
+    pub rendezvous_threshold: u64,
+    /// Extra per-byte software cost on the bulk path (copy/DMA pipeline
+    /// inefficiency relative to the raw link).
+    pub bulk_extra_ns_per_byte: f64,
+}
+
+impl Default for NxModel {
+    fn default() -> Self {
+        NxModel {
+            send_sw: SimDuration::from_ns(19_600),
+            recv_sw: SimDuration::from_ns(22_000),
+            rendezvous_threshold: 16 * 1024,
+            bulk_extra_ns_per_byte: 2.14,
+        }
+    }
+}
+
+impl MessagingModel for NxModel {
+    fn name(&self) -> &'static str {
+        "NX"
+    }
+
+    fn one_way(
+        &mut self,
+        env: &mut SimEnv,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        payload: u64,
+    ) -> SimTime {
+        if payload <= self.rendezvous_threshold {
+            // Eager path: trap + copy into a kernel buffer, wire transfer,
+            // trap + match + copy out on the receiver.
+            let t_sent = now + self.send_sw + env.cost.copy_time(payload);
+            let t_arrived = env.net.transmit(t_sent, src, dst, payload + NX_HEADER);
+            t_arrived + self.recv_sw + env.cost.copy_time(payload)
+        } else {
+            // Rendezvous: request/grant control round trip (two eager
+            // zero-payload messages), then direct transfer at the bulk
+            // pipeline rate.
+            let req = env.net.transmit(now + self.send_sw, src, dst, NX_HEADER);
+            let grant = env.net.transmit(req + self.recv_sw, dst, src, NX_HEADER);
+            let t_ready = grant + self.send_sw;
+            let t_arrived = env.net.transmit(t_ready, src, dst, payload + NX_HEADER);
+            let sw_bulk =
+                SimDuration::from_ns_f64(self.bulk_extra_ns_per_byte * payload as f64);
+            t_arrived + sw_bulk + self.recv_sw
+        }
+    }
+
+    fn source_gap(&self, env: &SimEnv, payload: u64) -> SimDuration {
+        if payload <= self.rendezvous_threshold {
+            self.send_sw + env.cost.copy_time(payload)
+        } else {
+            env.cost.wire_time(payload)
+                + SimDuration::from_ns_f64(self.bulk_extra_ns_per_byte * payload as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{pingpong, stream_bandwidth};
+
+    #[test]
+    fn anchor_120_byte_latency_is_about_46us() {
+        let mut env = SimEnv::paragon_pair(1);
+        let mut nx = NxModel::default();
+        let stats = pingpong(&mut nx, &mut env, NodeId(0), NodeId(1), 120, 5, 100);
+        let us = stats.mean() / 1000.0;
+        assert!((44.0..48.0).contains(&us), "NX 120B latency {us:.1}us, paper: 46us");
+    }
+
+    #[test]
+    fn large_message_bandwidth_exceeds_140_mb_s() {
+        let mut env = SimEnv::paragon_pair(2);
+        let mut nx = NxModel::default();
+        let bw = stream_bandwidth(&mut nx, &mut env, NodeId(0), NodeId(1), 4 << 20, 4);
+        assert!(bw > 135.0 && bw < 160.0, "NX bulk bandwidth {bw:.0} MB/s, paper: >140");
+    }
+
+    #[test]
+    fn eager_latency_grows_with_copies() {
+        let mut env = SimEnv::paragon_pair(3);
+        let mut nx = NxModel::default();
+        let small = pingpong(&mut nx, &mut env, NodeId(0), NodeId(1), 64, 2, 20).mean();
+        let mut env = SimEnv::paragon_pair(3);
+        let big = pingpong(&mut nx, &mut env, NodeId(0), NodeId(1), 4096, 2, 20).mean();
+        // Two copies at 15ns/B plus wire: ~25ns/B of size sensitivity.
+        assert!(big > small + 4032.0 * 2.0 * 10.0);
+    }
+
+    #[test]
+    fn rendezvous_beats_eager_at_the_threshold() {
+        // The rendezvous handshake costs a control round trip but skips
+        // both copies; at 16KB the copies dominate, which is exactly why
+        // NX switches protocols there.
+        let mut env = SimEnv::paragon_pair(4);
+        let mut nx = NxModel::default();
+        let eager = nx.one_way(&mut env, SimTime::ZERO, NodeId(0), NodeId(1), 16 * 1024);
+        let mut env = SimEnv::paragon_pair(4);
+        let rendezvous =
+            nx.one_way(&mut env, SimTime::ZERO, NodeId(0), NodeId(1), 16 * 1024 + 32);
+        assert!(
+            rendezvous.as_ns() < eager.as_ns(),
+            "rendezvous onset: eager {eager} vs rendezvous {rendezvous}"
+        );
+        // But the handshake makes it a poor choice for *small* messages:
+        // forcing a 120-byte message down the bulk path would cost more
+        // than an extra control round trip over the eager path.
+        let mut env = SimEnv::paragon_pair(4);
+        let mut forced = NxModel { rendezvous_threshold: 0, ..NxModel::default() };
+        let small_bulk = forced.one_way(&mut env, SimTime::ZERO, NodeId(0), NodeId(1), 120);
+        let mut env = SimEnv::paragon_pair(4);
+        let small_eager = nx.one_way(&mut env, SimTime::ZERO, NodeId(0), NodeId(1), 120);
+        assert!(small_bulk.as_ns() > small_eager.as_ns() + 30_000);
+    }
+}

@@ -1,0 +1,145 @@
+//! PAM: Paragon Active Messages.
+//!
+//! PAM is FLIPC's closest relative on the Paragon: a wired shared
+//! communication buffer, an optimistic transport that discards on receive
+//! overrun, flow control pushed above the transport (window-based) — but
+//! optimized for *small* messages: fixed 28-byte packets carrying 20 bytes
+//! of application payload (4 of the remaining 8 hold the remote handler
+//! address), cheap enough to copy (< 0.2µs), dispatched by polling.
+//!
+//! Consequences reproduced here:
+//!
+//! * a 20-byte message is fast — under 10µs, about a third faster than
+//!   FLIPC would be at that size (paper, Related Work);
+//! * a *medium* message must be carried as a pipelined train of 28-byte
+//!   packets, so 120 bytes costs 26µs — the medium-message gap FLIPC
+//!   exists to close;
+//! * bulk data uses a separate remote-memory mechanism (complementary to
+//!   FLIPC; not modeled beyond the crossover assertions).
+//!
+//! Calibration anchors: <10µs @ 20B, 26µs @ 120B, copy < 0.2µs.
+
+use flipc_mesh::topology::NodeId;
+use flipc_sim::time::{SimDuration, SimTime};
+
+use crate::model::{MessagingModel, SimEnv};
+
+/// Application payload bytes per PAM packet.
+pub const PAM_PACKET_PAYLOAD: u64 = 20;
+/// Total PAM packet size on the wire.
+pub const PAM_PACKET_SIZE: u64 = 28;
+/// Cost of copying one packet's payload to/from the internal buffer — the
+/// paper: "a 20 byte message can be copied to or from an internal data
+/// structure at almost zero cost, less than 0.2µs" (experiment E6).
+pub const PAM_COPY: SimDuration = SimDuration::from_ns(150);
+
+/// Structural parameters of the PAM model.
+#[derive(Clone, Copy, Debug)]
+pub struct PamModel {
+    /// Per-packet sender path: compose, copy in, inject. Also the pipeline
+    /// bottleneck stage for multi-packet trains.
+    pub per_packet_send: SimDuration,
+    /// Receiver path for the packet that completes a message: poll pickup +
+    /// handler dispatch + copy out.
+    pub dispatch: SimDuration,
+}
+
+impl Default for PamModel {
+    fn default() -> Self {
+        PamModel {
+            per_packet_send: SimDuration::from_ns(3_300),
+            dispatch: SimDuration::from_ns(5_800),
+        }
+    }
+}
+
+impl PamModel {
+    /// Packets needed for `payload` application bytes (minimum one).
+    pub fn packets_for(payload: u64) -> u64 {
+        payload.div_ceil(PAM_PACKET_PAYLOAD).max(1)
+    }
+}
+
+impl MessagingModel for PamModel {
+    fn name(&self) -> &'static str {
+        "PAM"
+    }
+
+    fn one_way(
+        &mut self,
+        env: &mut SimEnv,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        payload: u64,
+    ) -> SimTime {
+        let k = Self::packets_for(payload);
+        // The train pipelines: packet i is injected per_packet_send after
+        // packet i-1. The message completes when the LAST packet has been
+        // received and dispatched.
+        let mut last_arrival = now;
+        for i in 0..k {
+            let injected = now + self.per_packet_send * (i + 1);
+            last_arrival = env.net.transmit(injected, src, dst, PAM_PACKET_SIZE);
+        }
+        last_arrival + self.dispatch
+    }
+
+    fn source_gap(&self, _env: &SimEnv, payload: u64) -> SimDuration {
+        self.per_packet_send * Self::packets_for(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::pingpong;
+
+    #[test]
+    fn packet_math() {
+        assert_eq!(PamModel::packets_for(0), 1);
+        assert_eq!(PamModel::packets_for(20), 1);
+        assert_eq!(PamModel::packets_for(21), 2);
+        assert_eq!(PamModel::packets_for(120), 6);
+    }
+
+    #[test]
+    fn anchor_20_byte_latency_is_under_10us() {
+        let mut env = SimEnv::paragon_pair(1);
+        let mut pam = PamModel::default();
+        let us = pingpong(&mut pam, &mut env, NodeId(0), NodeId(1), 20, 5, 100).mean() / 1000.0;
+        assert!(us < 10.0, "PAM 20B latency {us:.1}us, paper: <10us");
+        assert!(us > 8.0, "suspiciously fast: {us:.1}us");
+    }
+
+    #[test]
+    fn anchor_120_byte_latency_is_about_26us() {
+        let mut env = SimEnv::paragon_pair(2);
+        let mut pam = PamModel::default();
+        let us = pingpong(&mut pam, &mut env, NodeId(0), NodeId(1), 120, 5, 100).mean() / 1000.0;
+        assert!((24.5..27.5).contains(&us), "PAM 120B latency {us:.1}us, paper: 26us");
+    }
+
+    #[test]
+    fn copy_cost_is_under_200ns() {
+        assert!(PAM_COPY < SimDuration::from_ns(200));
+    }
+
+    #[test]
+    fn latency_grows_stepwise_with_packet_count() {
+        let mut env = SimEnv::paragon_pair(3);
+        let mut pam = PamModel::default();
+        let l20 = pam
+            .one_way(&mut env, SimTime::ZERO, NodeId(0), NodeId(1), 20)
+            .as_ns();
+        let mut env = SimEnv::paragon_pair(3);
+        let l40 = pam
+            .one_way(&mut env, SimTime::ZERO, NodeId(0), NodeId(1), 40)
+            .as_ns();
+        let gap = PamModel::default().per_packet_send.as_ns();
+        assert!(
+            l40 >= l20 + gap - 100 && l40 <= l20 + gap + 500,
+            "one extra packet should add ~one pipeline stage: {l20} -> {l40}"
+        );
+    }
+}

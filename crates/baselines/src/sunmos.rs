@@ -1,0 +1,138 @@
+//! SUNMOS: Sandia/UNM OS, the lightweight compute-node kernel.
+//!
+//! SUNMOS is a single-application operating system optimized for large
+//! message bandwidth in non-multiprogrammed numerical computing, with an
+//! additional optimization for zero-length messages (pure synchronization).
+//! Its basic protocol "sends multi-megabyte messages as a single packet",
+//! which maximizes bandwidth (approaching 160 MB/s) but "occupies the path
+//! through the interconnect for the duration of the message and is a
+//! potential responsiveness problem in a real time environment" — the
+//! wormhole path-occupancy effect experiment E8 measures.
+//!
+//! Calibration anchors: 28µs @ 120B, ~160 MB/s large messages (refs. 12 and 21),
+//! cheap zero-length messages.
+
+use flipc_mesh::topology::NodeId;
+use flipc_sim::time::{SimDuration, SimTime};
+
+use crate::model::{MessagingModel, SimEnv};
+
+/// SUNMOS wire header bytes.
+const SUNMOS_HEADER: u64 = 16;
+
+/// Structural parameters of the SUNMOS model.
+#[derive(Clone, Copy, Debug)]
+pub struct SunmosModel {
+    /// Sender software path for a normal message.
+    pub send_sw: SimDuration,
+    /// Receiver software path (portal matching, completion).
+    pub recv_sw: SimDuration,
+    /// Combined software path for the zero-length fast case.
+    pub zero_length_total: SimDuration,
+    /// Extra per-byte software cost (source streaming from user memory);
+    /// with the 5 ns/B wire this yields the ~160 MB/s asymptote.
+    pub extra_ns_per_byte: f64,
+}
+
+impl Default for SunmosModel {
+    fn default() -> Self {
+        SunmosModel {
+            send_sw: SimDuration::from_ns(13_000),
+            recv_sw: SimDuration::from_ns(14_050),
+            zero_length_total: SimDuration::from_ns(15_000),
+            extra_ns_per_byte: 1.25,
+        }
+    }
+}
+
+impl MessagingModel for SunmosModel {
+    fn name(&self) -> &'static str {
+        "SUNMOS"
+    }
+
+    fn one_way(
+        &mut self,
+        env: &mut SimEnv,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        payload: u64,
+    ) -> SimTime {
+        if payload == 0 {
+            // The zero-length optimization: a bare header flit.
+            let arrived = env.net.transmit(now, src, dst, SUNMOS_HEADER);
+            return arrived + self.zero_length_total;
+        }
+        // The whole message goes as ONE packet, whatever its size; the
+        // mesh model holds the full path until the tail drains.
+        let injected = now + self.send_sw;
+        let arrived = env.net.transmit(injected, src, dst, payload + SUNMOS_HEADER);
+        let sw = SimDuration::from_ns_f64(self.extra_ns_per_byte * payload as f64);
+        arrived + sw + self.recv_sw
+    }
+
+    fn source_gap(&self, env: &SimEnv, payload: u64) -> SimDuration {
+        env.cost.wire_time(payload)
+            + SimDuration::from_ns_f64(self.extra_ns_per_byte * payload as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{pingpong, stream_bandwidth};
+
+    #[test]
+    fn anchor_120_byte_latency_is_about_28us() {
+        let mut env = SimEnv::paragon_pair(1);
+        let mut s = SunmosModel::default();
+        let us = pingpong(&mut s, &mut env, NodeId(0), NodeId(1), 120, 5, 100).mean() / 1000.0;
+        assert!((26.5..29.5).contains(&us), "SUNMOS 120B latency {us:.1}us, paper: 28us");
+    }
+
+    #[test]
+    fn large_message_bandwidth_approaches_160_mb_s() {
+        let mut env = SimEnv::paragon_pair(2);
+        let mut s = SunmosModel::default();
+        let bw = stream_bandwidth(&mut s, &mut env, NodeId(0), NodeId(1), 4 << 20, 4);
+        assert!(
+            (150.0..165.0).contains(&bw),
+            "SUNMOS bulk bandwidth {bw:.0} MB/s, paper: ~160"
+        );
+    }
+
+    #[test]
+    fn zero_length_messages_are_optimized() {
+        let mut env = SimEnv::paragon_pair(3);
+        let mut s = SunmosModel::default();
+        let zero = s.one_way(&mut env, SimTime::ZERO, NodeId(0), NodeId(1), 0);
+        let mut env = SimEnv::paragon_pair(3);
+        let tiny = s.one_way(&mut env, SimTime::ZERO, NodeId(0), NodeId(1), 8);
+        assert!(
+            zero.as_ns() + 5_000 < tiny.as_ns(),
+            "zero-length path must be much cheaper: {zero} vs {tiny}"
+        );
+    }
+
+    #[test]
+    fn single_packet_occupies_the_whole_path() {
+        // A 4MB SUNMOS message holds its links for the full ~21ms
+        // serialization: a 120B message injected behind it on the same
+        // path waits almost the entire transfer out.
+        let mut env = SimEnv::new(4, 1, flipc_sim::cost::CostModel::paragon(), 4);
+        let mut s = SunmosModel::default();
+        let bulk_done = s.one_way(&mut env, SimTime::ZERO, NodeId(0), NodeId(3), 4 << 20);
+        let small_done = s.one_way(
+            &mut env,
+            SimTime::from_ns(1_000),
+            NodeId(0),
+            NodeId(2),
+            120,
+        );
+        assert!(bulk_done.as_ns() > 20_000_000);
+        assert!(
+            small_done.as_ns() > 20_000_000,
+            "crossing message should have stalled behind the bulk packet: {small_done}"
+        );
+    }
+}

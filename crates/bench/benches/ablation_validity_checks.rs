@@ -1,0 +1,20 @@
+//! E4: the validity-check ablation. The engine's checks protect it against
+//! a corrupted communication buffer but cost time; the paper reports ~2µs
+//! per message, and that its headline numbers were taken with checks off.
+
+use flipc_bench::{print_table, us};
+use flipc_paragon::ablation_validity_checks;
+
+fn main() {
+    let (off, on) = ablation_validity_checks(42);
+    print_table(
+        "Validity-check ablation: 120-byte latency (simulated Paragon)",
+        &["configuration", "latency (us)"],
+        &[
+            vec!["checks off (trusted app)".into(), us(off)],
+            vec!["checks on (protected)".into(), us(on)],
+        ],
+    );
+    println!();
+    println!("delta: {:.2}us   (paper: \"adds an additional 2us\")", on - off);
+}

@@ -1,0 +1,39 @@
+//! E1 / Figure 4: FLIPC message latency vs message size.
+//!
+//! Regenerates the paper's latency curve on the simulated Paragon: mean
+//! one-way latency and standard deviation per size, plus the fitted
+//! `base + slope * size` line the paper reports as
+//! `15.45µs + 6.25 ns/byte` for sizes of 96 bytes and above.
+
+use flipc_bench::{print_table, us};
+use flipc_paragon::{fig4_fit, fig4_sweep};
+
+fn main() {
+    let rows = fig4_sweep(42, 1016, 400);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.msg_bytes.to_string(),
+                us(r.mean_us),
+                us(r.stddev_us),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 4: FLIPC message latency vs size (simulated Paragon)",
+        &["size (B)", "latency (us)", "stddev (us)"],
+        &table,
+    );
+    let fit = fig4_fit(&rows, 96);
+    println!();
+    println!(
+        "fit (>=96B): latency = {:.2}us + {:.3} ns/B   (r^2 = {:.4})",
+        fit.intercept, fit.slope, fit.r2
+    );
+    println!("paper:       latency = 15.45us + 6.250 ns/B");
+    println!(
+        "implied interconnect use: {:.0} MB/s of the 200 MB/s peak (paper: >150 MB/s)",
+        1000.0 / fit.slope
+    );
+}

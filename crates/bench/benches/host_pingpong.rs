@@ -1,0 +1,146 @@
+//! H1b: host end-to-end benchmarks of the real implementation.
+//!
+//! Inline (deterministic) cluster: the pure software cost of a full
+//! message transfer — app queueing, engine pickup, wire, delivery, app
+//! dequeue — with the engine pumped on the same thread. Threaded cluster:
+//! the same transfer with real "message coprocessor" threads (on machines
+//! with few cores this is dominated by scheduling, which is reported as
+//! honest wall-clock behaviour, not protocol cost).
+
+#![allow(missing_docs)] // criterion macros generate undocumented entry points
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use flipc_core::endpoint::{EndpointType, Importance};
+use flipc_core::layout::Geometry;
+use flipc_engine::engine::EngineConfig;
+use flipc_engine::node::InlineCluster;
+
+fn inline_roundtrip(c: &mut Criterion) {
+    let geo = Geometry { ring_capacity: 32, buffers: 128, ..Geometry::small() };
+    let mut cl = InlineCluster::new(2, geo, EngineConfig::default()).expect("cluster");
+    let a = cl.node(0).attach();
+    let b = cl.node(1).attach();
+    let tx_a = a.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
+    let rx_a = a.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+    let tx_b = b.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
+    let rx_b = b.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+    let to_b = b.address(&rx_b);
+    let to_a = a.address(&rx_a);
+
+    c.bench_function("inline/120B_round_trip", |bench| {
+        bench.iter(|| {
+            // A -> B.
+            let buf = b.buffer_allocate().expect("buffer");
+            b.provide_receive_buffer(&rx_b, buf).map_err(|r| r.error).expect("provide");
+            let mut t = a.buffer_allocate().expect("buffer");
+            t_fill(a.payload_mut(&mut t));
+            a.send_unlocked(&tx_a, t, to_b).expect("send");
+            cl.pump_until_idle(8);
+            let got = b.recv_unlocked(&rx_b).expect("recv").expect("message");
+            // B -> A (echo).
+            let buf = a.buffer_allocate().expect("buffer");
+            a.provide_receive_buffer(&rx_a, buf).map_err(|r| r.error).expect("provide");
+            b.send_unlocked(&tx_b, got.token, to_a).expect("send");
+            cl.pump_until_idle(8);
+            let back = a.recv_unlocked(&rx_a).expect("recv").expect("message");
+            a.buffer_free(back.token);
+            if let Some(tok) = a.reclaim_send_unlocked(&tx_a).expect("reclaim") {
+                a.buffer_free(tok);
+            }
+            if let Some(tok) = b.reclaim_send_unlocked(&tx_b).expect("reclaim") {
+                b.buffer_free(tok);
+            }
+            black_box(());
+        })
+    });
+}
+
+fn t_fill(p: &mut [u8]) {
+    for (i, byte) in p.iter_mut().take(120).enumerate() {
+        *byte = i as u8;
+    }
+}
+
+fn inline_streaming(c: &mut Criterion) {
+    // One-way streaming throughput through the full stack, per message.
+    let geo = Geometry { ring_capacity: 64, buffers: 256, ..Geometry::small() };
+    let mut cl = InlineCluster::new(2, geo, EngineConfig::default()).expect("cluster");
+    let a = cl.node(0).attach();
+    let b = cl.node(1).attach();
+    let tx = a.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
+    let rx = b.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+    let dest = b.address(&rx);
+    c.bench_function("inline/one_way_stream_msg", |bench| {
+        bench.iter(|| {
+            let buf = b.buffer_allocate().expect("buffer");
+            b.provide_receive_buffer(&rx, buf).map_err(|r| r.error).expect("provide");
+            let t = a.buffer_allocate().expect("buffer");
+            a.send_unlocked(&tx, t, dest).expect("send");
+            cl.pump_until_idle(8);
+            let got = b.recv_unlocked(&rx).expect("recv").expect("message");
+            b.buffer_free(got.token);
+            let back = a.reclaim_send_unlocked(&tx).expect("reclaim").expect("token");
+            a.buffer_free(back);
+        })
+    });
+}
+
+fn false_sharing_microbench(c: &mut Criterion) {
+    // The paper's layout lesson on modern hardware: two threads writing
+    // adjacent words (one line) vs padded words (separate lines). On a
+    // single-core host the contrast is muted — reported for completeness.
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[repr(align(64))]
+    struct Padded(AtomicU64);
+
+    struct Shared {
+        a: AtomicU64,
+        b: AtomicU64,
+        pa: Padded,
+        pb: Padded,
+        stop: AtomicBool,
+    }
+    let sh = Arc::new(Shared {
+        a: AtomicU64::new(0),
+        b: AtomicU64::new(0),
+        pa: Padded(AtomicU64::new(0)),
+        pb: Padded(AtomicU64::new(0)),
+        stop: AtomicBool::new(false),
+    });
+
+    let sh2 = sh.clone();
+    let writer = std::thread::spawn(move || {
+        while !sh2.stop.load(Ordering::Acquire) {
+            sh2.b.fetch_add(1, Ordering::Relaxed);
+            sh2.pb.0.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+
+    c.bench_function("layout/false_shared_write", |bench| {
+        bench.iter(|| sh.a.fetch_add(black_box(1), Ordering::Relaxed))
+    });
+    c.bench_function("layout/padded_write", |bench| {
+        bench.iter(|| sh.pa.0.fetch_add(black_box(1), Ordering::Relaxed))
+    });
+
+    sh.stop.store(true, Ordering::Release);
+    writer.join().expect("writer");
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = inline_roundtrip, inline_streaming, false_sharing_microbench
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Where do the 16.2µs go? Per-phase decomposition of a steady-state
+//! 120-byte message on the simulated Paragon, for each configuration of
+//! the tuning ablation. Not a figure in the paper, but the accounting
+//! behind its Figure 4 and tuning narrative.
+
+use flipc_baselines::model::{pingpong, MessagingModel, SimEnv};
+use flipc_bench::print_table;
+use flipc_mesh::topology::NodeId;
+use flipc_paragon::{FlipcModelConfig, FlipcParagonModel};
+use flipc_sim::time::SimTime;
+
+fn breakdown(cfg: FlipcModelConfig) -> [f64; 6] {
+    let mut env = SimEnv::paragon_pair(7);
+    let mut m = FlipcParagonModel::new(cfg);
+    // Warm to steady state, then take one deterministic message (the poll
+    // jitter stays, so this is a representative sample, not a mean).
+    pingpong(&mut m, &mut env, NodeId(0), NodeId(1), 120, 50, 1);
+    let now = SimTime::from_ns(50_000_000);
+    let done = m.one_way(&mut env, now, NodeId(0), NodeId(1), 120);
+    let b = m.last;
+    [
+        b.sender_app_ns as f64 / 1000.0,
+        b.src_engine_ns as f64 / 1000.0,
+        b.wire_ns as f64 / 1000.0,
+        b.dst_engine_ns as f64 / 1000.0,
+        b.dst_app_ns as f64 / 1000.0,
+        (done - now).as_ns() as f64 / 1000.0,
+    ]
+}
+
+fn main() {
+    let configs = [
+        ("tuned", FlipcModelConfig::tuned()),
+        ("checks on", FlipcModelConfig { checks: true, ..FlipcModelConfig::tuned() }),
+        ("locked", FlipcModelConfig { locked_ops: true, ..FlipcModelConfig::tuned() }),
+        ("untuned", FlipcModelConfig::untuned()),
+    ];
+    let rows: Vec<Vec<String>> = configs
+        .iter()
+        .map(|(name, cfg)| {
+            let b = breakdown(*cfg);
+            let mut row = vec![name.to_string()];
+            row.extend(b.iter().map(|v| format!("{v:.2}")));
+            row
+        })
+        .collect();
+    print_table(
+        "120B one-way latency decomposition (us, one steady-state sample)",
+        &["config", "sender app", "src engine", "wire+DMA", "dst engine", "dst app", "total"],
+        &rows,
+    );
+    println!();
+    println!("the wire+DMA column is the size-dependent term (6.25 ns/B); everything");
+    println!("else is the 15.45us base the software path and coherence traffic make up.");
+}

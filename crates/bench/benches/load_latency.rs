@@ -1,0 +1,41 @@
+//! E11 (extension): 120-byte stream latency vs offered load.
+//!
+//! The paper pins this curve's two ends — the ~16µs low-load latency floor
+//! (Figure 4) and the >150 MB/s saturation bandwidth (the 6.25 ns/B
+//! slope). This harness fills in the middle: Poisson arrivals queue at the
+//! source once the offered load approaches the per-message service bound,
+//! and latency departs the floor.
+
+use flipc_bench::print_table;
+use flipc_paragon::experiments::load_latency;
+
+fn show(payload: u64, loads: &[f64]) {
+    let rows = load_latency(42, payload, loads);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}", r.offered_mb_s),
+                format!("{:.1}", r.mean_us),
+                format!("{:.1}", r.p99_us),
+                format!("{:.0}", r.delivered_mb_s),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("{payload}B FLIPC stream: latency vs offered load (simulated Paragon)"),
+        &["offered (MB/s)", "mean (us)", "p99 (us)", "delivered (MB/s)"],
+        &table,
+    );
+}
+
+fn main() {
+    // 120B messages saturate at the engine's per-message service bound
+    // (~36 MB/s): medium-message rate, not bytes, is the limit.
+    show(120, &[5.0, 10.0, 20.0, 30.0, 34.0, 36.0]);
+    // 1016B messages are wire-bound and reach the paper's >150 MB/s.
+    show(1016, &[20.0, 80.0, 120.0, 140.0, 150.0, 156.0]);
+    println!();
+    println!("paper anchors: ~16.2us latency floor at low load (Figure 4);");
+    println!(">150 MB/s wire-bound saturation for ~1KB messages (the 6.25 ns/B slope).");
+}

@@ -1,0 +1,181 @@
+//! Message buffers: the 8-byte header word and buffer states.
+//!
+//! Every fixed-size message buffer begins with 8 bytes used by FLIPC "for
+//! internal addressing and synchronization purposes". Here that is a single
+//! `AtomicU64`:
+//!
+//! ```text
+//!   bits 63..16   packed endpoint address (node:16 | index:16 | gen:16)
+//!   bits 15..0    buffer state
+//! ```
+//!
+//! On a send-endpoint buffer the address is the *destination* the
+//! application addressed; on a delivered receive-endpoint buffer the engine
+//! rewrites it to the *source* endpoint so the receiver has a reply address.
+//!
+//! The state field is "changed when processing has been completed, allowing
+//! an application to determine when processing of a specific buffer is
+//! complete" — per-buffer completion detection, independent of the queue
+//! pointers. The word always has exactly one writer at a time (the buffer's
+//! current owner); ownership alternates through the endpoint queue.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::endpoint::EndpointAddress;
+
+/// Lifecycle state of a message buffer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BufferState {
+    /// Owned by the application (freshly allocated or acquired back); not
+    /// visible to the engine.
+    Free,
+    /// Released onto an endpoint queue; awaiting engine processing.
+    Queued,
+    /// Engine processing complete: transmitted (send endpoint) or filled
+    /// with an arrived message (receive endpoint).
+    Processed,
+}
+
+impl BufferState {
+    fn encode(self) -> u64 {
+        match self {
+            BufferState::Free => 0,
+            BufferState::Queued => 1,
+            BufferState::Processed => 2,
+        }
+    }
+
+    fn decode(v: u64) -> BufferState {
+        match v & 0xFFFF {
+            1 => BufferState::Queued,
+            2 => BufferState::Processed,
+            // Corrupt values read as Free: the safe state, in which the
+            // engine will not touch the buffer.
+            _ => BufferState::Free,
+        }
+    }
+}
+
+/// View over one buffer's header word.
+pub struct HeaderWord<'a> {
+    word: &'a AtomicU64,
+}
+
+impl<'a> HeaderWord<'a> {
+    /// Wraps a header word.
+    pub fn new(word: &'a AtomicU64) -> Self {
+        HeaderWord { word }
+    }
+
+    /// Reads the state with Acquire ordering, so that a `Processed`
+    /// observation also makes the engine's payload writes visible — this is
+    /// the per-buffer completion-detection path.
+    pub fn state(&self) -> BufferState {
+        BufferState::decode(self.word.load(Ordering::Acquire))
+    }
+
+    /// Reads the packed address and state together.
+    pub fn load(&self) -> (EndpointAddress, BufferState) {
+        let v = self.word.load(Ordering::Acquire);
+        (EndpointAddress::unpack(v >> 16), BufferState::decode(v))
+    }
+
+    /// Writes address and state together with Release ordering (publishes
+    /// any payload writes made before this call).
+    ///
+    /// Only the buffer's current owner may call this.
+    pub fn store(&self, addr: EndpointAddress, state: BufferState) {
+        self.word
+            .store((addr.pack() << 16) | state.encode(), Ordering::Release);
+    }
+
+    /// Rewrites only the state, preserving the address. Only the buffer's
+    /// current owner may call this; since ownership is exclusive, the
+    /// load+store pair does not race.
+    pub fn set_state(&self, state: BufferState) {
+        let v = self.word.load(Ordering::Relaxed);
+        self.word
+            .store((v & !0xFFFF) | state.encode(), Ordering::Release);
+    }
+}
+
+/// An owned handle to a message buffer held by the application.
+///
+/// Deliberately neither `Clone` nor `Copy`: exactly one token exists per
+/// application-owned buffer, which is what makes handing out `&mut`
+/// payload access sound. Tokens are consumed by `send`/`release` and
+/// re-materialized by `acquire`.
+#[derive(PartialEq, Eq, Debug)]
+pub struct BufferToken {
+    idx: u32,
+}
+
+impl BufferToken {
+    /// Creates a token. Crate-internal: only the allocator and the acquire
+    /// paths mint tokens.
+    pub(crate) fn new(idx: u32) -> Self {
+        BufferToken { idx }
+    }
+
+    /// The buffer's pool index.
+    pub fn index(&self) -> u32 {
+        self.idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::{EndpointIndex, FlipcNodeId};
+
+    fn addr(n: u16, e: u16, g: u16) -> EndpointAddress {
+        EndpointAddress::new(FlipcNodeId(n), EndpointIndex(e), g)
+    }
+
+    #[test]
+    fn header_roundtrips_address_and_state() {
+        let w = AtomicU64::new(0);
+        let h = HeaderWord::new(&w);
+        assert_eq!(h.state(), BufferState::Free);
+        h.store(addr(3, 9, 1), BufferState::Queued);
+        let (a, s) = h.load();
+        assert_eq!(a, addr(3, 9, 1));
+        assert_eq!(s, BufferState::Queued);
+    }
+
+    #[test]
+    fn set_state_preserves_address() {
+        let w = AtomicU64::new(0);
+        let h = HeaderWord::new(&w);
+        h.store(addr(65535, 1, 65535), BufferState::Queued);
+        h.set_state(BufferState::Processed);
+        let (a, s) = h.load();
+        assert_eq!(a, addr(65535, 1, 65535));
+        assert_eq!(s, BufferState::Processed);
+    }
+
+    #[test]
+    fn corrupt_state_reads_as_free() {
+        let w = AtomicU64::new(0xFFFF);
+        assert_eq!(HeaderWord::new(&w).state(), BufferState::Free);
+    }
+
+    #[test]
+    fn all_states_roundtrip() {
+        let w = AtomicU64::new(0);
+        let h = HeaderWord::new(&w);
+        for s in [BufferState::Free, BufferState::Queued, BufferState::Processed] {
+            h.set_state(s);
+            assert_eq!(h.state(), s);
+        }
+    }
+
+    #[test]
+    fn tokens_compare_by_index_and_are_move_only() {
+        let a = BufferToken::new(4);
+        let b = BufferToken::new(4);
+        assert_eq!(a, b);
+        assert_eq!(a.index(), 4);
+        // (Being neither Copy nor Clone is enforced at compile time.)
+    }
+}

@@ -1,0 +1,206 @@
+//! Endpoint identities, types, and addresses.
+//!
+//! FLIPC message destinations are *opaque* and determined by the system: a
+//! receiver allocates an endpoint, obtains its [`EndpointAddress`] from
+//! FLIPC, and hands that address to senders out of band (FLIPC assumes an
+//! external name service). The address encodes the node, the endpoint slot,
+//! and a generation number so that a stale address for a freed-and-reused
+//! slot is detectable.
+
+use core::fmt;
+
+use crate::error::{FlipcError, Result};
+
+/// The two endpoint roles.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EndpointType {
+    /// Application queues full buffers; the engine transmits them.
+    Send,
+    /// Application queues empty buffers; the engine fills them with arriving
+    /// messages.
+    Receive,
+}
+
+impl EndpointType {
+    /// Stable on-buffer encoding.
+    pub(crate) fn encode(self) -> u32 {
+        match self {
+            EndpointType::Send => 1,
+            EndpointType::Receive => 2,
+        }
+    }
+
+    /// Decodes the on-buffer encoding; fails on corrupt values.
+    pub(crate) fn decode(v: u32) -> Result<EndpointType> {
+        match v {
+            1 => Ok(EndpointType::Send),
+            2 => Ok(EndpointType::Receive),
+            _ => Err(FlipcError::BadEndpoint),
+        }
+    }
+}
+
+/// Message-traffic importance class (the paper's real-time requirement that
+/// both threads *and message streams* carry varying importance).
+///
+/// The engine scans higher-priority send endpoints first, so e.g. a
+/// radar-track stream is serviced ahead of a preventative-maintenance
+/// stream, and per-endpoint buffer pools keep the latter from consuming the
+/// former's resources.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+pub enum Importance {
+    /// Background traffic (e.g. preventative maintenance).
+    Low = 0,
+    /// Normal traffic.
+    #[default]
+    Normal = 1,
+    /// Time-critical traffic (e.g. incoming-missile detection).
+    High = 2,
+}
+
+impl Importance {
+    /// Stable on-buffer encoding.
+    pub(crate) fn encode(self) -> u32 {
+        self as u32
+    }
+
+    /// Decodes the on-buffer encoding; corrupt values clamp to `Normal`
+    /// (priority is advisory, not safety-relevant).
+    pub(crate) fn decode(v: u32) -> Importance {
+        match v {
+            0 => Importance::Low,
+            2 => Importance::High,
+            _ => Importance::Normal,
+        }
+    }
+}
+
+/// Index of an endpoint slot within one communication buffer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EndpointIndex(pub u16);
+
+/// A node identifier in the FLIPC interconnect namespace.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct FlipcNodeId(pub u16);
+
+impl fmt::Display for FlipcNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// An opaque receive-endpoint address, as handed to senders.
+///
+/// The packed form travels in the 8-byte message header on the wire; the
+/// generation lets both the engine and the receiving library reject
+/// messages addressed to a previous tenant of the slot.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EndpointAddress {
+    node: FlipcNodeId,
+    index: EndpointIndex,
+    generation: u16,
+}
+
+impl EndpointAddress {
+    /// Assembles an address from its parts.
+    ///
+    /// Applications normally obtain addresses from
+    /// [`Flipc::address`](crate::api::Flipc::address) rather than building
+    /// them; this constructor exists for the messaging engine (stamping
+    /// source addresses onto frames) and for tests.
+    pub fn new(node: FlipcNodeId, index: EndpointIndex, generation: u16) -> Self {
+        EndpointAddress { node, index, generation }
+    }
+
+    /// The node the endpoint lives on.
+    pub fn node(&self) -> FlipcNodeId {
+        self.node
+    }
+
+    /// The endpoint slot on that node.
+    pub fn index(&self) -> EndpointIndex {
+        self.index
+    }
+
+    /// The allocation generation of the slot.
+    pub fn generation(&self) -> u16 {
+        self.generation
+    }
+
+    /// Packs the address into the 48-bit wire form (node, slot, generation).
+    pub fn pack(&self) -> u64 {
+        ((self.node.0 as u64) << 32) | ((self.index.0 as u64) << 16) | self.generation as u64
+    }
+
+    /// Unpacks a wire-form address.
+    pub fn unpack(raw: u64) -> Self {
+        EndpointAddress {
+            node: FlipcNodeId((raw >> 32) as u16),
+            index: EndpointIndex((raw >> 16) as u16),
+            generation: raw as u16,
+        }
+    }
+}
+
+impl fmt::Display for EndpointAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:ep{}g{}", self.node, self.index.0, self.generation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_type_roundtrips() {
+        for t in [EndpointType::Send, EndpointType::Receive] {
+            assert_eq!(EndpointType::decode(t.encode()).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn corrupt_endpoint_type_is_rejected() {
+        assert_eq!(EndpointType::decode(0), Err(FlipcError::BadEndpoint));
+        assert_eq!(EndpointType::decode(99), Err(FlipcError::BadEndpoint));
+    }
+
+    #[test]
+    fn importance_roundtrips_and_clamps() {
+        for p in [Importance::Low, Importance::Normal, Importance::High] {
+            assert_eq!(Importance::decode(p.encode()), p);
+        }
+        assert_eq!(Importance::decode(77), Importance::Normal);
+    }
+
+    #[test]
+    fn importance_orders_for_scheduling() {
+        assert!(Importance::High > Importance::Normal);
+        assert!(Importance::Normal > Importance::Low);
+    }
+
+    #[test]
+    fn address_pack_roundtrips() {
+        let a = EndpointAddress::new(FlipcNodeId(513), EndpointIndex(42), 7);
+        let b = EndpointAddress::unpack(a.pack());
+        assert_eq!(a, b);
+        assert_eq!(b.node(), FlipcNodeId(513));
+        assert_eq!(b.index(), EndpointIndex(42));
+        assert_eq!(b.generation(), 7);
+    }
+
+    #[test]
+    fn address_pack_roundtrips_extremes() {
+        for (n, i, g) in [(0u16, 0u16, 0u16), (u16::MAX, u16::MAX, u16::MAX)] {
+            let a = EndpointAddress::new(FlipcNodeId(n), EndpointIndex(i), g);
+            assert_eq!(EndpointAddress::unpack(a.pack()), a);
+        }
+    }
+
+    #[test]
+    fn addresses_display_uniquely() {
+        let a = EndpointAddress::new(FlipcNodeId(1), EndpointIndex(2), 3);
+        let b = EndpointAddress::new(FlipcNodeId(1), EndpointIndex(2), 4);
+        assert_ne!(a.to_string(), b.to_string());
+    }
+}

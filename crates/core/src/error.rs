@@ -1,0 +1,85 @@
+//! FLIPC error types.
+
+use core::fmt;
+
+/// Errors returned by the FLIPC application interface layer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlipcError {
+    /// The communication-buffer geometry is invalid (see the message-size
+    /// and ring-capacity rules on [`crate::layout::Geometry`]).
+    BadGeometry(&'static str),
+    /// All endpoints in the communication buffer are in use.
+    NoFreeEndpoints,
+    /// The buffer free list is empty.
+    NoFreeBuffers,
+    /// The endpoint ring is full; the caller must acquire processed buffers
+    /// before releasing more (resource control is the application's job).
+    QueueFull,
+    /// No processed buffer is available to acquire.
+    QueueEmpty,
+    /// The operation does not match the endpoint's type (e.g. `send` on a
+    /// receive endpoint).
+    WrongEndpointType,
+    /// The endpoint handle is stale (the endpoint was freed, possibly
+    /// reallocated with a new generation) or out of range.
+    BadEndpoint,
+    /// The buffer handle is out of range or not owned by the caller.
+    BadBuffer,
+    /// The payload does not fit the fixed message size chosen at
+    /// communication-buffer initialization time. FLIPC does not transfer
+    /// messages larger than that fixed size.
+    PayloadTooLarge,
+    /// The endpoint is not a member of the group / the group is full.
+    BadGroup,
+    /// A blocking operation timed out.
+    Timeout,
+}
+
+impl fmt::Display for FlipcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlipcError::BadGeometry(why) => write!(f, "invalid communication buffer geometry: {why}"),
+            FlipcError::NoFreeEndpoints => write!(f, "no free endpoints"),
+            FlipcError::NoFreeBuffers => write!(f, "no free message buffers"),
+            FlipcError::QueueFull => write!(f, "endpoint buffer queue is full"),
+            FlipcError::QueueEmpty => write!(f, "no buffer available on endpoint"),
+            FlipcError::WrongEndpointType => write!(f, "operation does not match endpoint type"),
+            FlipcError::BadEndpoint => write!(f, "stale or invalid endpoint handle"),
+            FlipcError::BadBuffer => write!(f, "invalid or unowned buffer handle"),
+            FlipcError::PayloadTooLarge => write!(f, "payload exceeds fixed message size"),
+            FlipcError::BadGroup => write!(f, "invalid endpoint group operation"),
+            FlipcError::Timeout => write!(f, "blocking operation timed out"),
+        }
+    }
+}
+
+impl std::error::Error for FlipcError {}
+
+/// Convenience result alias for FLIPC operations.
+pub type Result<T> = std::result::Result<T, FlipcError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_distinctly() {
+        let all = [
+            FlipcError::BadGeometry("x"),
+            FlipcError::NoFreeEndpoints,
+            FlipcError::NoFreeBuffers,
+            FlipcError::QueueFull,
+            FlipcError::QueueEmpty,
+            FlipcError::WrongEndpointType,
+            FlipcError::BadEndpoint,
+            FlipcError::BadBuffer,
+            FlipcError::PayloadTooLarge,
+            FlipcError::BadGroup,
+            FlipcError::Timeout,
+        ];
+        let mut texts: Vec<String> = all.iter().map(|e| e.to_string()).collect();
+        texts.sort();
+        texts.dedup();
+        assert_eq!(texts.len(), all.len(), "error messages must be distinct");
+    }
+}

@@ -1,0 +1,199 @@
+//! Diagnostics: read-only snapshots of communication-buffer state.
+//!
+//! The communication buffer is deliberately opaque to applications (the
+//! interface layer "hides the data structures in the communication
+//! buffer"), but operators debugging a distributed real-time system need
+//! to see queue depths, drop counts, and pool occupancy. This module
+//! provides wait-free, read-only snapshots — every value is a single
+//! atomic load, so inspection can run against a live system without
+//! perturbing the engine or the applications (beyond the cache traffic of
+//! the reads themselves).
+//!
+//! Snapshots are instantaneous samples of concurrently changing state;
+//! cross-field invariants (e.g. pool + in-flight == total) hold exactly
+//! only on a quiescent buffer.
+
+use crate::commbuf::CommBuffer;
+use crate::endpoint::{EndpointIndex, EndpointType, Importance};
+
+/// Point-in-time state of one endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EndpointSnapshot {
+    /// Slot index.
+    pub index: u16,
+    /// Allocation generation.
+    pub generation: u16,
+    /// Whether the slot is currently allocated.
+    pub active: bool,
+    /// Role, when decodable (`None` for a never-used or corrupt slot).
+    pub endpoint_type: Option<EndpointType>,
+    /// Importance class.
+    pub importance: Importance,
+    /// Buffers released and awaiting engine processing.
+    pub pending_process: u32,
+    /// Buffers processed and awaiting application acquire.
+    pub acquirable: u32,
+    /// Total buffers held by the queue.
+    pub queued: u32,
+    /// Unharvested discarded-message count.
+    pub drops: u32,
+    /// Threads currently blocked on this endpoint.
+    pub waiters: u32,
+}
+
+/// Point-in-time state of a whole communication buffer.
+#[derive(Clone, Debug)]
+pub struct CommBufferSnapshot {
+    /// Per-endpoint states (every slot, active or not).
+    pub endpoints: Vec<EndpointSnapshot>,
+    /// Buffers currently in the free pool.
+    pub free_buffers: u32,
+    /// Total buffers in the pool (geometry).
+    pub total_buffers: u32,
+    /// Unharvested misaddressed-message count.
+    pub misaddressed: u32,
+}
+
+impl CommBufferSnapshot {
+    /// Captures a snapshot of `cb`.
+    pub fn capture(cb: &CommBuffer) -> CommBufferSnapshot {
+        let geo = cb.geometry();
+        let mut endpoints = Vec::with_capacity(geo.endpoints as usize);
+        for i in 0..geo.endpoints {
+            let idx = EndpointIndex(i);
+            let (generation, active) = cb.endpoint_gen_active(idx).unwrap_or((0, false));
+            let q = cb.app_queue(idx).expect("index in range");
+            endpoints.push(EndpointSnapshot {
+                index: i,
+                generation,
+                active,
+                endpoint_type: cb.endpoint_type(idx).ok(),
+                importance: cb.endpoint_importance(idx).unwrap_or(Importance::Normal),
+                pending_process: q.pending_process(),
+                acquirable: q.acquirable(),
+                queued: q.len(),
+                drops: cb.drops_app(idx).expect("index in range").read(),
+                waiters: cb.waiters(idx).unwrap_or(0),
+            });
+        }
+        CommBufferSnapshot {
+            endpoints,
+            free_buffers: cb.free_buffers(),
+            total_buffers: geo.buffers,
+            misaddressed: cb.misaddressed_app().read(),
+        }
+    }
+
+    /// Active endpoints only.
+    pub fn active(&self) -> impl Iterator<Item = &EndpointSnapshot> {
+        self.endpoints.iter().filter(|e| e.active)
+    }
+
+    /// Sum of unharvested drops across all endpoints (misaddressed not
+    /// included).
+    pub fn total_drops(&self) -> u64 {
+        self.endpoints.iter().map(|e| e.drops as u64).sum()
+    }
+
+    /// A compact human-readable report (one line per active endpoint).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "pool {}/{} free, misaddressed {}",
+            self.free_buffers, self.total_buffers, self.misaddressed
+        );
+        for e in self.active() {
+            let ty = match e.endpoint_type {
+                Some(EndpointType::Send) => "send",
+                Some(EndpointType::Receive) => "recv",
+                None => "????",
+            };
+            let _ = writeln!(
+                out,
+                "ep{:<3} g{:<5} {} {:?}: queued {} (await-engine {}, await-app {}), drops {}, waiters {}",
+                e.index, e.generation, ty, e.importance, e.queued, e.pending_process,
+                e.acquirable, e.drops, e.waiters
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Flipc;
+    use crate::endpoint::FlipcNodeId;
+    use crate::layout::Geometry;
+    use crate::wait::WaitRegistry;
+    use std::sync::Arc;
+
+    fn flipc() -> Flipc {
+        let cb = Arc::new(CommBuffer::new(Geometry::small()).unwrap());
+        Flipc::attach(cb, FlipcNodeId(0), WaitRegistry::new())
+    }
+
+    #[test]
+    fn fresh_buffer_snapshot_is_quiet() {
+        let f = flipc();
+        let s = CommBufferSnapshot::capture(f.commbuf());
+        assert_eq!(s.endpoints.len(), 8);
+        assert_eq!(s.active().count(), 0);
+        assert_eq!(s.free_buffers, 64);
+        assert_eq!(s.total_buffers, 64);
+        assert_eq!(s.total_drops(), 0);
+        assert_eq!(s.misaddressed, 0);
+    }
+
+    #[test]
+    fn snapshot_tracks_queue_and_pool_state() {
+        let f = flipc();
+        let tx = f.endpoint_allocate(EndpointType::Send, Importance::High).unwrap();
+        let rx = f.endpoint_allocate(EndpointType::Receive, Importance::Low).unwrap();
+        // Two buffers queued on the receive ring, one allocated and held.
+        for _ in 0..2 {
+            let t = f.buffer_allocate().unwrap();
+            f.provide_receive_buffer(&rx, t).map_err(|r| r.error).unwrap();
+        }
+        let held = f.buffer_allocate().unwrap();
+
+        let s = CommBufferSnapshot::capture(f.commbuf());
+        assert_eq!(s.active().count(), 2);
+        assert_eq!(s.free_buffers, 64 - 3);
+        let snd = &s.endpoints[tx.index().0 as usize];
+        assert_eq!(snd.endpoint_type, Some(EndpointType::Send));
+        assert_eq!(snd.importance, Importance::High);
+        assert_eq!(snd.queued, 0);
+        let rcv = &s.endpoints[rx.index().0 as usize];
+        assert_eq!(rcv.endpoint_type, Some(EndpointType::Receive));
+        assert_eq!(rcv.queued, 2);
+        assert_eq!(rcv.pending_process, 2);
+        assert_eq!(rcv.acquirable, 0);
+        f.buffer_free(held);
+    }
+
+    #[test]
+    fn snapshot_reads_do_not_consume_counters() {
+        let f = flipc();
+        let rx = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        f.commbuf().drops_engine(rx.index()).unwrap().increment();
+        let s1 = CommBufferSnapshot::capture(f.commbuf());
+        let s2 = CommBufferSnapshot::capture(f.commbuf());
+        assert_eq!(s1.endpoints[0].drops, 1);
+        assert_eq!(s2.endpoints[0].drops, 1, "inspection must not reset counters");
+        assert_eq!(f.drops_reset(&rx).unwrap(), 1, "the application still harvests it");
+    }
+
+    #[test]
+    fn render_mentions_active_endpoints_only() {
+        let f = flipc();
+        let _tx = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let s = CommBufferSnapshot::capture(f.commbuf());
+        let text = s.render();
+        assert!(text.contains("pool 64/64 free"));
+        assert!(text.contains("ep0"));
+        assert!(!text.contains("ep1 "), "inactive slots must not be listed:\n{text}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Test-and-set spinlock for mutual exclusion among application threads.
+//!
+//! Synchronization between application threads (as opposed to app↔engine
+//! synchronization, which is wait-free) uses "conventional multithreaded
+//! locking techniques based on a test and set lock" — those threads cannot
+//! execute on the communication controller, so RMW atomics are available to
+//! them.
+//!
+//! The paper also found that on the Paragon a test-and-set is a bus-locked,
+//! uncached operation with severe cost, which motivated the `*_unlocked`
+//! send/receive variants for applications that guarantee at most one thread
+//! per endpoint. This lock therefore lives on its own cache line (see
+//! [`crate::layout::EP_LOCK`]) and the API exposes both locked and unlocked
+//! operation variants.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A guard releasing the lock on drop.
+pub struct TasGuard<'a> {
+    word: &'a AtomicU32,
+}
+
+impl Drop for TasGuard<'_> {
+    fn drop(&mut self) {
+        self.word.store(0, Ordering::Release);
+    }
+}
+
+/// A test-and-set spinlock over a `u32` word in the communication buffer.
+pub struct TasLock<'a> {
+    word: &'a AtomicU32,
+}
+
+impl<'a> TasLock<'a> {
+    /// Wraps a lock word (0 = free, 1 = held).
+    pub fn new(word: &'a AtomicU32) -> Self {
+        TasLock { word }
+    }
+
+    /// Acquires the lock with test-test-and-set (plain loads while
+    /// contended, RMW only when it looks free). After a short spin it
+    /// yields to the OS scheduler so that single-core hosts make progress —
+    /// on the Paragon the holder runs on another processor, but on a
+    /// timeshared host it may need our timeslice.
+    pub fn lock(&self) -> TasGuard<'a> {
+        loop {
+            if let Some(g) = self.try_lock() {
+                return g;
+            }
+            let mut spins = 0u32;
+            while self.word.load(Ordering::Relaxed) != 0 {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Attempts to acquire without spinning.
+    pub fn try_lock(&self) -> Option<TasGuard<'a>> {
+        if self
+            .word
+            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(TasGuard { word: self.word })
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if the lock is currently held by someone.
+    pub fn is_locked(&self) -> bool {
+        self.word.load(Ordering::Relaxed) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_excludes_and_releases() {
+        let w = AtomicU32::new(0);
+        let l = TasLock::new(&w);
+        assert!(!l.is_locked());
+        {
+            let _g = l.lock();
+            assert!(l.is_locked());
+            assert!(l.try_lock().is_none());
+        }
+        assert!(!l.is_locked());
+        assert!(l.try_lock().is_some());
+    }
+
+    #[test]
+    fn contended_counter_is_exact() {
+        struct SyncCell(std::cell::UnsafeCell<u64>);
+        // SAFETY: All access to the cell is externally synchronized by the
+        // TAS lock under test.
+        unsafe impl Sync for SyncCell {}
+
+        let word = Arc::new(AtomicU32::new(0));
+        let counter = Arc::new(SyncCell(std::cell::UnsafeCell::new(0u64)));
+        const THREADS: usize = 4;
+        const PER: u64 = 10_000;
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let w = word.clone();
+            let c = counter.clone();
+            handles.push(std::thread::spawn(move || {
+                let l = TasLock::new(&w);
+                for _ in 0..PER {
+                    let _g = l.lock();
+                    // SAFETY: The TAS lock provides mutual exclusion and
+                    // Acquire/Release ordering.
+                    unsafe { *c.0.get() += 1 };
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let l = TasLock::new(&word);
+        let _g = l.lock();
+        // SAFETY: All writer threads joined; lock held.
+        let v = unsafe { *counter.0.get() };
+        assert_eq!(v, THREADS as u64 * PER);
+    }
+}

@@ -1,0 +1,303 @@
+//! Automatic buffer management (Future Work extension).
+//!
+//! The paper: "a FLIPC application can expect to employ about half of its
+//! calls to FLIPC to send or receive messages, and the other half for
+//! message buffer management. An improved buffer management design that
+//! frees the programmer from most of these details is clearly called for."
+//!
+//! [`ManagedSender`] and [`ManagedReceiver`] are that design: they pool
+//! buffers, reclaim completions opportunistically, and keep receive rings
+//! topped up, so the programmer makes **one** call per message instead of
+//! three or four. Experiment E9 compares the user-visible call counts of
+//! the raw API against this layer.
+//!
+//! The layer is strictly *between* the application and FLIPC — it uses only
+//! the public [`Flipc`] API, exactly where the paper says such libraries
+//! belong.
+
+use crate::api::{BufferId, Flipc, LocalEndpoint};
+use crate::buffer::BufferToken;
+use crate::endpoint::EndpointAddress;
+use crate::error::{FlipcError, Result};
+
+/// A sending wrapper that owns its endpoint's buffer pool.
+pub struct ManagedSender<'f> {
+    f: &'f Flipc,
+    ep: LocalEndpoint,
+    pool: Vec<BufferToken>,
+    outstanding: usize,
+    max_outstanding: usize,
+    user_calls: u64,
+}
+
+impl<'f> ManagedSender<'f> {
+    /// Wraps a send endpoint, pre-allocating `depth` buffers; at most
+    /// `depth` sends may be in flight at once.
+    pub fn new(f: &'f Flipc, ep: LocalEndpoint, depth: usize) -> Result<ManagedSender<'f>> {
+        let mut pool = Vec::with_capacity(depth);
+        for _ in 0..depth {
+            match f.buffer_allocate() {
+                Ok(t) => pool.push(t),
+                Err(e) => {
+                    for t in pool {
+                        f.buffer_free(t);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(ManagedSender { f, ep, pool, outstanding: 0, max_outstanding: depth, user_calls: 0 })
+    }
+
+    /// Sends `data` to `dest`, handling buffer allocation, completion
+    /// reclaim, and copying internally. One call per message.
+    ///
+    /// Returns `Err(QueueFull)` when all `depth` buffers are in flight and
+    /// none has completed; the caller can retry after the engine catches
+    /// up.
+    pub fn send_bytes(&mut self, dest: EndpointAddress, data: &[u8]) -> Result<BufferId> {
+        self.user_calls += 1;
+        if data.len() > self.f.payload_size() {
+            return Err(FlipcError::PayloadTooLarge);
+        }
+        self.reap();
+        let Some(mut token) = self.pool.pop() else {
+            return Err(FlipcError::QueueFull);
+        };
+        self.f.payload_mut(&mut token)[..data.len()].copy_from_slice(data);
+        match self.f.send(&self.ep, token, dest) {
+            Ok(id) => {
+                self.outstanding += 1;
+                Ok(id)
+            }
+            Err(rej) => {
+                self.pool.push(rej.token);
+                Err(rej.error)
+            }
+        }
+    }
+
+    /// Pulls every completed send back into the pool.
+    fn reap(&mut self) {
+        while self.outstanding > 0 {
+            match self.f.reclaim_send(&self.ep) {
+                Ok(Some(t)) => {
+                    self.pool.push(t);
+                    self.outstanding -= 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Sends currently in flight (unreclaimed).
+    pub fn in_flight(&mut self) -> usize {
+        self.reap();
+        self.outstanding
+    }
+
+    /// Waits until every in-flight send has been processed by the engine
+    /// (yielding between polls so the engine thread can run).
+    pub fn drain(&mut self) {
+        while self.in_flight() > 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Number of calls the *programmer* made on this wrapper (for the E9
+    /// call-ratio comparison).
+    pub fn user_calls(&self) -> u64 {
+        self.user_calls
+    }
+
+    /// Maximum in-flight depth.
+    pub fn depth(&self) -> usize {
+        self.max_outstanding
+    }
+
+    /// Tears down: drains in-flight sends, frees the pool, and returns the
+    /// endpoint.
+    pub fn close(mut self) -> LocalEndpoint {
+        self.drain();
+        for t in self.pool.drain(..) {
+            self.f.buffer_free(t);
+        }
+        self.ep
+    }
+}
+
+/// A message copied out of a managed receiver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManagedMessage {
+    /// The payload bytes (full fixed-size payload; framing is up to the
+    /// application, as with raw FLIPC).
+    pub data: Vec<u8>,
+    /// Sender's endpoint address.
+    pub from: EndpointAddress,
+}
+
+/// A receiving wrapper that keeps the endpoint's ring topped up.
+pub struct ManagedReceiver<'f> {
+    f: &'f Flipc,
+    ep: LocalEndpoint,
+    user_calls: u64,
+}
+
+impl<'f> ManagedReceiver<'f> {
+    /// Wraps a receive endpoint and pre-queues `depth` buffers.
+    pub fn new(f: &'f Flipc, ep: LocalEndpoint, depth: usize) -> Result<ManagedReceiver<'f>> {
+        for _ in 0..depth {
+            let t = f.buffer_allocate()?;
+            f.provide_receive_buffer(&ep, t).map_err(|r| r.error)?;
+        }
+        Ok(ManagedReceiver { f, ep, user_calls: 0 })
+    }
+
+    /// Receives the next message, if any: copies it out, recycles the
+    /// buffer back onto the ring. One call per message.
+    pub fn recv_bytes(&mut self) -> Result<Option<ManagedMessage>> {
+        self.user_calls += 1;
+        let Some(r) = self.f.recv(&self.ep)? else {
+            return Ok(None);
+        };
+        let data = self.f.payload(&r.token).to_vec();
+        let from = r.from;
+        // Recycle: the just-consumed buffer immediately becomes receive
+        // capacity again. The ring slot we consumed is free, so this
+        // cannot fail with QueueFull.
+        self.f
+            .provide_receive_buffer(&self.ep, r.token)
+            .map_err(|rej| rej.error)?;
+        Ok(Some(ManagedMessage { data, from }))
+    }
+
+    /// Messages discarded on this endpoint since the last call (wait-free
+    /// read-and-reset).
+    pub fn drops(&self) -> Result<u32> {
+        self.f.drops_reset(&self.ep)
+    }
+
+    /// The wrapped endpoint (e.g. to build its address).
+    pub fn endpoint(&self) -> &LocalEndpoint {
+        &self.ep
+    }
+
+    /// Number of calls the programmer made on this wrapper.
+    pub fn user_calls(&self) -> u64 {
+        self.user_calls
+    }
+
+    /// Tears down, returning the endpoint. Buffers still on the ring stay
+    /// associated with it (drain with `recv` + `endpoint_free` rules).
+    pub fn close(self) -> LocalEndpoint {
+        self.ep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commbuf::CommBuffer;
+    use crate::endpoint::{EndpointIndex, EndpointType, FlipcNodeId, Importance};
+    use crate::layout::Geometry;
+    use crate::testutil::pump_local;
+    use crate::wait::WaitRegistry;
+    use std::sync::Arc;
+
+    fn flipc() -> Flipc {
+        let cb = Arc::new(CommBuffer::new(Geometry::small()).unwrap());
+        Flipc::attach(cb, FlipcNodeId(0), WaitRegistry::new())
+    }
+
+    #[test]
+    fn managed_roundtrip_one_call_per_message() {
+        let f = flipc();
+        let sep = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let rep = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let dest = f.address(&rep);
+        let mut tx = ManagedSender::new(&f, sep, 8).unwrap();
+        let mut rx = ManagedReceiver::new(&f, rep, 8).unwrap();
+
+        for i in 0..50u8 {
+            tx.send_bytes(dest, &[i; 16]).unwrap();
+            pump_local(f.commbuf(), f.node());
+            let m = rx.recv_bytes().unwrap().unwrap();
+            assert_eq!(&m.data[..16], &[i; 16]);
+        }
+        assert_eq!(tx.user_calls(), 50);
+        assert_eq!(rx.user_calls(), 50);
+        assert_eq!(rx.drops().unwrap(), 0);
+    }
+
+    #[test]
+    fn managed_quarters_programmer_calls_vs_raw() {
+        // E9 in miniature: raw API needs allocate+send+reclaim+free on the
+        // send side; the managed layer needs one call.
+        let f = flipc();
+        let sep = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let rep = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let dest = f.address(&rep);
+        let mut rx = ManagedReceiver::new(&f, rep, 8).unwrap();
+
+        let mut raw_calls = 0u64;
+        for _ in 0..10 {
+            let t = f.buffer_allocate().unwrap(); // 1
+            let _ = f.send(&sep, t, dest).unwrap(); // 2
+            pump_local(f.commbuf(), f.node());
+            let back = loop {
+                if let Some(b) = f.reclaim_send(&sep).unwrap() {
+                    break b;
+                }
+            }; // 3
+            f.buffer_free(back); // 4
+            raw_calls += 4;
+            rx.recv_bytes().unwrap().unwrap();
+        }
+        let mut tx = ManagedSender::new(&f, sep, 8).unwrap();
+        for _ in 0..10 {
+            tx.send_bytes(dest, b"x").unwrap();
+            pump_local(f.commbuf(), f.node());
+            rx.recv_bytes().unwrap().unwrap();
+        }
+        assert_eq!(raw_calls, 40);
+        assert_eq!(tx.user_calls(), 10);
+    }
+
+    #[test]
+    fn sender_backpressures_at_depth_then_recovers() {
+        let f = flipc();
+        let sep = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let rep = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let dest = f.address(&rep);
+        let _rx = ManagedReceiver::new(&f, rep, 8).unwrap();
+        let mut tx = ManagedSender::new(&f, sep, 4).unwrap();
+        for _ in 0..4 {
+            tx.send_bytes(dest, b"q").unwrap();
+        }
+        assert_eq!(tx.send_bytes(dest, b"q").unwrap_err(), FlipcError::QueueFull);
+        pump_local(f.commbuf(), f.node());
+        tx.send_bytes(dest, b"q").unwrap();
+        assert!(tx.in_flight() <= 4);
+    }
+
+    #[test]
+    fn oversize_payload_is_rejected() {
+        let f = flipc();
+        let sep = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let mut tx = ManagedSender::new(&f, sep, 2).unwrap();
+        let dest = EndpointAddress::new(FlipcNodeId(0), EndpointIndex(0), 1);
+        let big = vec![0u8; f.payload_size() + 1];
+        assert_eq!(tx.send_bytes(dest, &big).unwrap_err(), FlipcError::PayloadTooLarge);
+    }
+
+    #[test]
+    fn close_returns_resources() {
+        let f = flipc();
+        let before = f.commbuf().free_buffers();
+        let sep = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let tx = ManagedSender::new(&f, sep, 8).unwrap();
+        let ep = tx.close();
+        assert_eq!(f.commbuf().free_buffers(), before);
+        f.endpoint_free(ep).unwrap();
+    }
+}

@@ -1,0 +1,351 @@
+//! A name service for endpoint addresses.
+//!
+//! FLIPC addressing is deliberately minimal: "receivers obtain endpoint
+//! addresses of endpoints they have allocated from FLIPC and pass those
+//! addresses to senders. FLIPC does not contain a nameservice of its own,
+//! but assumes that one is available for this purpose." This module is
+//! that assumed service, built — like every other layer in this
+//! reproduction — strictly on top of the public FLIPC API (here via the
+//! [`crate::rpc`] layer), so the base system stays as small as the paper
+//! designed it.
+//!
+//! One node runs a [`NameServer`]; every application reaches it through a
+//! [`NameClient`] whose server address is the single well-known address in
+//! the system (distributed at boot, exactly how real deployments bootstrap
+//! naming).
+//!
+//! Wire protocol (inside RPC bodies): requests are
+//! `op:u8 | name_len:u16 | name | [addr:u64]` with ops register=1,
+//! lookup=2, unregister=3; replies are `status:u8 | [addr:u64]` with
+//! status ok=0, not_found=1, malformed=2.
+
+use std::collections::HashMap;
+
+use crate::endpoint::EndpointAddress;
+use crate::error::{FlipcError, Result};
+use crate::rpc::{RpcClient, RpcServer};
+
+const OP_REGISTER: u8 = 1;
+const OP_LOOKUP: u8 = 2;
+const OP_UNREGISTER: u8 = 3;
+
+const ST_OK: u8 = 0;
+const ST_NOT_FOUND: u8 = 1;
+const ST_MALFORMED: u8 = 2;
+
+fn encode_request(op: u8, name: &str, addr: Option<EndpointAddress>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(3 + name.len() + 8);
+    out.push(op);
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name.as_bytes());
+    if let Some(a) = addr {
+        out.extend_from_slice(&a.pack().to_le_bytes());
+    }
+    out
+}
+
+fn decode_request(body: &[u8]) -> Option<(u8, &str, Option<EndpointAddress>)> {
+    let op = *body.first()?;
+    let len = u16::from_le_bytes(body.get(1..3)?.try_into().ok()?) as usize;
+    let name = std::str::from_utf8(body.get(3..3 + len)?).ok()?;
+    let addr = body
+        .get(3 + len..3 + len + 8)
+        .map(|b| EndpointAddress::unpack(u64::from_le_bytes(b.try_into().expect("sliced 8"))));
+    Some((op, name, addr))
+}
+
+/// The directory server: owns the name table and answers requests.
+pub struct NameServer<'f> {
+    rpc: RpcServer<'f>,
+    table: HashMap<String, EndpointAddress>,
+}
+
+impl<'f> NameServer<'f> {
+    /// Wraps an RPC server (size it for the expected client population
+    /// with [`RpcServer::new`]).
+    pub fn new(rpc: RpcServer<'f>) -> NameServer<'f> {
+        NameServer { rpc, table: HashMap::new() }
+    }
+
+    /// The well-known address clients should be configured with.
+    pub fn address(&self, f: &crate::api::Flipc) -> EndpointAddress {
+        self.rpc.address(f)
+    }
+
+    /// Serves every pending request; returns how many were handled.
+    pub fn serve_pending(&mut self) -> Result<u32> {
+        let mut served = 0;
+        loop {
+            let table = &mut self.table;
+            let handled = self.rpc.serve_one(|body| {
+                let Some((op, name, addr)) = decode_request(body) else {
+                    return vec![ST_MALFORMED];
+                };
+                match (op, addr) {
+                    (OP_REGISTER, Some(a)) => {
+                        table.insert(name.to_string(), a);
+                        vec![ST_OK]
+                    }
+                    (OP_LOOKUP, _) => match table.get(name) {
+                        Some(a) => {
+                            let mut r = vec![ST_OK];
+                            r.extend_from_slice(&a.pack().to_le_bytes());
+                            r
+                        }
+                        None => vec![ST_NOT_FOUND],
+                    },
+                    (OP_UNREGISTER, _) => {
+                        if table.remove(name).is_some() {
+                            vec![ST_OK]
+                        } else {
+                            vec![ST_NOT_FOUND]
+                        }
+                    }
+                    _ => vec![ST_MALFORMED],
+                }
+            })?;
+            if !handled {
+                return Ok(served);
+            }
+            served += 1;
+        }
+    }
+
+    /// Number of registered names.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when no names are registered.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+/// A client of the name service.
+pub struct NameClient<'f> {
+    rpc: RpcClient<'f>,
+}
+
+impl<'f> NameClient<'f> {
+    /// Wraps an RPC client bound to the name server's well-known address.
+    pub fn new(rpc: RpcClient<'f>) -> NameClient<'f> {
+        NameClient { rpc }
+    }
+
+    fn roundtrip(
+        &mut self,
+        req: Vec<u8>,
+        progress: impl FnMut(),
+        max_polls: u32,
+    ) -> Result<Vec<u8>> {
+        self.rpc.call_sync(&req, progress, max_polls)
+    }
+
+    /// Publishes `name -> addr`.
+    pub fn register(
+        &mut self,
+        name: &str,
+        addr: EndpointAddress,
+        progress: impl FnMut(),
+        max_polls: u32,
+    ) -> Result<()> {
+        let reply =
+            self.roundtrip(encode_request(OP_REGISTER, name, Some(addr)), progress, max_polls)?;
+        match reply.first() {
+            Some(&ST_OK) => Ok(()),
+            _ => Err(FlipcError::BadGroup),
+        }
+    }
+
+    /// Resolves `name`; `Ok(None)` when unregistered.
+    pub fn lookup(
+        &mut self,
+        name: &str,
+        progress: impl FnMut(),
+        max_polls: u32,
+    ) -> Result<Option<EndpointAddress>> {
+        let reply = self.roundtrip(encode_request(OP_LOOKUP, name, None), progress, max_polls)?;
+        match reply.split_first() {
+            Some((&ST_OK, rest)) if rest.len() >= 8 => {
+                let raw = u64::from_le_bytes(rest[..8].try_into().expect("sliced 8"));
+                Ok(Some(EndpointAddress::unpack(raw)))
+            }
+            Some((&ST_NOT_FOUND, _)) => Ok(None),
+            _ => Err(FlipcError::BadGroup),
+        }
+    }
+
+    /// Withdraws `name`; returns whether it existed.
+    pub fn unregister(
+        &mut self,
+        name: &str,
+        progress: impl FnMut(),
+        max_polls: u32,
+    ) -> Result<bool> {
+        let reply =
+            self.roundtrip(encode_request(OP_UNREGISTER, name, None), progress, max_polls)?;
+        match reply.first() {
+            Some(&ST_OK) => Ok(true),
+            Some(&ST_NOT_FOUND) => Ok(false),
+            _ => Err(FlipcError::BadGroup),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Flipc;
+    use crate::commbuf::CommBuffer;
+    use crate::endpoint::{EndpointIndex, EndpointType, FlipcNodeId, Importance};
+    use crate::layout::Geometry;
+    use crate::testutil::pump_local;
+    use crate::wait::WaitRegistry;
+    use std::sync::Arc;
+
+    fn flipc() -> Flipc {
+        let cb = Arc::new(
+            CommBuffer::new(Geometry { buffers: 200, ring_capacity: 64, ..Geometry::small() })
+                .unwrap(),
+        );
+        Flipc::attach(cb, FlipcNodeId(0), WaitRegistry::new())
+    }
+
+    fn make_server(f: &Flipc) -> NameServer<'_> {
+        let rx = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let tx = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        NameServer::new(RpcServer::new(f, rx, tx, 4, 2).unwrap())
+    }
+
+    fn make_client<'f>(f: &'f Flipc, server: EndpointAddress) -> NameClient<'f> {
+        let tx = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let rx = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        NameClient::new(RpcClient::new(f, tx, rx, server, 2).unwrap())
+    }
+
+    #[test]
+    fn request_codec_roundtrips() {
+        let addr = EndpointAddress::new(FlipcNodeId(3), EndpointIndex(4), 5);
+        let req = encode_request(OP_REGISTER, "radar/tracks", Some(addr));
+        let (op, name, a) = decode_request(&req).unwrap();
+        assert_eq!(op, OP_REGISTER);
+        assert_eq!(name, "radar/tracks");
+        assert_eq!(a, Some(addr));
+        let req = encode_request(OP_LOOKUP, "x", None);
+        let (op, name, a) = decode_request(&req).unwrap();
+        assert_eq!((op, name, a), (OP_LOOKUP, "x", None));
+        assert!(decode_request(&[]).is_none());
+        assert!(decode_request(&[1, 255, 0]).is_none(), "length past end");
+    }
+
+    #[test]
+    fn register_lookup_unregister_cycle() {
+        let f = flipc();
+        let mut server = make_server(&f);
+        let server_addr = server.address(&f);
+        let mut client = make_client(&f, server_addr);
+        let target = EndpointAddress::new(FlipcNodeId(7), EndpointIndex(2), 9);
+
+        let cb = f.commbuf().clone();
+        let node = f.node();
+        // Client and server share this test thread, so each attempt gives
+        // the request one poll, and on timeout we pump the engine, let the
+        // server answer, and retry (the reply then arrives immediately).
+        let mut done = false;
+        for _ in 0..20 {
+            if !done {
+                match client.register("sensors/alpha", target, || { pump_local(&cb, node); }, 1) {
+                    Ok(()) => {
+                        done = true;
+                        break;
+                    }
+                    Err(FlipcError::Timeout) => {
+                        pump_local(&cb, node);
+                        server.serve_pending().unwrap();
+                        pump_local(&cb, node);
+                    }
+                    Err(e) => panic!("register failed: {e}"),
+                }
+            }
+        }
+        assert!(done, "register never completed");
+        assert_eq!(server.len(), 1);
+
+        // Lookup from a second client.
+        let mut client2 = make_client(&f, server_addr);
+        let mut found = None;
+        for _ in 0..20 {
+            match client2.lookup("sensors/alpha", || { pump_local(&cb, node); }, 1) {
+                Ok(r) => {
+                    found = r;
+                    break;
+                }
+                Err(FlipcError::Timeout) => {
+                    pump_local(&cb, node);
+                    server.serve_pending().unwrap();
+                    pump_local(&cb, node);
+                }
+                Err(e) => panic!("lookup failed: {e}"),
+            }
+        }
+        assert_eq!(found, Some(target));
+
+        // Unknown names resolve to None.
+        let mut missing = Some(target);
+        for _ in 0..20 {
+            match client2.lookup("sensors/beta", || { pump_local(&cb, node); }, 1) {
+                Ok(r) => {
+                    missing = r;
+                    break;
+                }
+                Err(FlipcError::Timeout) => {
+                    pump_local(&cb, node);
+                    server.serve_pending().unwrap();
+                    pump_local(&cb, node);
+                }
+                Err(e) => panic!("lookup failed: {e}"),
+            }
+        }
+        assert_eq!(missing, None);
+
+        // Unregister.
+        let mut removed = false;
+        for _ in 0..20 {
+            match client.unregister("sensors/alpha", || { pump_local(&cb, node); }, 1) {
+                Ok(r) => {
+                    removed = r;
+                    break;
+                }
+                Err(FlipcError::Timeout) => {
+                    pump_local(&cb, node);
+                    server.serve_pending().unwrap();
+                    pump_local(&cb, node);
+                }
+                Err(e) => panic!("unregister failed: {e}"),
+            }
+        }
+        assert!(removed);
+        assert!(server.is_empty());
+    }
+
+    #[test]
+    fn malformed_requests_get_malformed_status() {
+        let f = flipc();
+        let mut server = make_server(&f);
+        let server_addr = server.address(&f);
+        // A raw RPC client sending garbage.
+        let tx = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let rx = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let mut raw = RpcClient::new(&f, tx, rx, server_addr, 1).unwrap();
+        let cb = f.commbuf().clone();
+        let node = f.node();
+        let corr = raw.call(&[0xFF, 0xFF]).unwrap();
+        pump_local(&cb, node);
+        server.serve_pending().unwrap();
+        pump_local(&cb, node);
+        let reply = raw.poll_reply().unwrap().expect("reply");
+        assert_eq!(reply.correlation, corr);
+        assert_eq!(reply.body, vec![ST_MALFORMED]);
+    }
+}

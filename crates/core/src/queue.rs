@@ -1,0 +1,412 @@
+//! The three-pointer wait-free endpoint buffer queue (paper Figure 3).
+//!
+//! Each endpoint owns a circular queue of buffer indices with three
+//! pointers that chase each other around the ring:
+//!
+//! ```text
+//!            release (head)  — written ONLY by the application:
+//!                              buffers inserted for the engine
+//!            process (middle) — written ONLY by the engine:
+//!                              how far it has sent-from / received-into
+//!            acquire (tail)  — written ONLY by the application:
+//!                              processed buffers reclaimed for reuse
+//!
+//!        acquire <= process <= release   (as free-running counters)
+//!        release - acquire <= capacity
+//! ```
+//!
+//! The queue is *empty* when all three pointers are equal; the two
+//! half-empty conditions — nothing to process, nothing to acquire — are the
+//! two pairwise equalities, exactly as described in the paper.
+//!
+//! Synchronization is wait-free and uses only loads and stores, because the
+//! messaging engine may run on a controller with no atomic read-modify-write
+//! access to this memory: every pointer and every ring slot has exactly one
+//! writer. The pointers here are free-running `u32` counters (position =
+//! counter mod capacity); the paper describes cell pointers, and counters
+//! are the equivalent form that also disambiguates full from empty without
+//! a spare slot.
+//!
+//! Mutual exclusion among *application* threads sharing an endpoint is out
+//! of scope here (the API layer provides the TAS-locked and unlocked
+//! variants); one application writer at a time is a precondition of the
+//! app-side handles below, which is why they take `&mut self`.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::error::{FlipcError, Result};
+
+/// The queue pointers and ring of one endpoint, borrowed from the
+/// communication buffer.
+///
+/// `release`/`acquire` live on the application's cache line, `process` on
+/// the engine's, and the ring slots are app-written/engine-read.
+struct RawQueue<'a> {
+    release: &'a AtomicU32,
+    process: &'a AtomicU32,
+    acquire: &'a AtomicU32,
+    slots: &'a [AtomicU32],
+}
+
+impl RawQueue<'_> {
+    #[inline]
+    fn mask(&self) -> u32 {
+        debug_assert!(self.slots.len().is_power_of_two());
+        self.slots.len() as u32 - 1
+    }
+}
+
+/// Application-side queue handle (release and acquire operations).
+///
+/// Takes `&mut self` on mutating calls: one application writer at a time is
+/// the wait-free protocol's precondition, enforced above by the endpoint
+/// lock or by the application's own single-threaded-per-endpoint structure.
+pub struct AppQueue<'a> {
+    raw: RawQueue<'a>,
+}
+
+/// Engine-side queue handle (process operations).
+pub struct EngineQueue<'a> {
+    raw: RawQueue<'a>,
+}
+
+impl<'a> AppQueue<'a> {
+    /// Builds the application-side view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot count is not a power of two.
+    pub fn new(
+        release: &'a AtomicU32,
+        process: &'a AtomicU32,
+        acquire: &'a AtomicU32,
+        slots: &'a [AtomicU32],
+    ) -> Self {
+        assert!(slots.len().is_power_of_two(), "ring capacity must be a power of two");
+        AppQueue { raw: RawQueue { release, process, acquire, slots } }
+    }
+
+    /// Number of buffers currently held by the queue (released, not yet
+    /// acquired back).
+    pub fn len(&self) -> u32 {
+        let rel = self.raw.release.load(Ordering::Relaxed);
+        let acq = self.raw.acquire.load(Ordering::Relaxed);
+        rel.wrapping_sub(acq)
+    }
+
+    /// True when the application holds no buffers in the queue (all three
+    /// pointers equal).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the ring has no room for another release.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.raw.slots.len() as u32
+    }
+
+    /// Releases buffer `buf` to the endpoint: inserts it at the front of
+    /// the queue for the engine (step 1 of a receive, step 2 of a send).
+    ///
+    /// Wait-free: two loads, two stores.
+    pub fn release(&mut self, buf: u32) -> Result<()> {
+        let rel = self.raw.release.load(Ordering::Relaxed);
+        let acq = self.raw.acquire.load(Ordering::Relaxed);
+        if rel.wrapping_sub(acq) == self.raw.slots.len() as u32 {
+            return Err(FlipcError::QueueFull);
+        }
+        // Write the slot first, then publish it by advancing `release` with
+        // a Release store; the engine's Acquire load of `release` makes the
+        // slot (and the buffer contents written before this call) visible.
+        self.raw.slots[(rel & self.raw.mask()) as usize].store(buf, Ordering::Relaxed);
+        self.raw.release.store(rel.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Acquires the next processed buffer back from the endpoint (step 4 of
+    /// a receive, step 5 of a send), or `None` if the engine has not
+    /// finished anything new.
+    ///
+    /// Wait-free: two loads, one slot read, one store.
+    pub fn acquire(&mut self) -> Option<u32> {
+        let acq = self.raw.acquire.load(Ordering::Relaxed);
+        // Acquire-load `process`: pairs with the engine's Release store,
+        // making the engine's buffer writes (received payload, state word)
+        // visible before we hand the buffer to the application.
+        let proc = self.raw.process.load(Ordering::Acquire);
+        if acq == proc {
+            return None;
+        }
+        let buf = self.raw.slots[(acq & self.raw.mask()) as usize].load(Ordering::Relaxed);
+        self.raw.acquire.store(acq.wrapping_add(1), Ordering::Release);
+        Some(buf)
+    }
+
+    /// Buffers released but not yet processed by the engine ("no buffers to
+    /// process" is this being zero — one of the paper's half-empty states).
+    pub fn pending_process(&self) -> u32 {
+        let rel = self.raw.release.load(Ordering::Relaxed);
+        let proc = self.raw.process.load(Ordering::Acquire);
+        rel.wrapping_sub(proc)
+    }
+
+    /// Buffers processed and ready to acquire ("no buffers to acquire" is
+    /// this being zero — the other half-empty state).
+    pub fn acquirable(&self) -> u32 {
+        let acq = self.raw.acquire.load(Ordering::Relaxed);
+        let proc = self.raw.process.load(Ordering::Acquire);
+        proc.wrapping_sub(acq)
+    }
+}
+
+impl<'a> EngineQueue<'a> {
+    /// Builds the engine-side view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot count is not a power of two.
+    pub fn new(
+        release: &'a AtomicU32,
+        process: &'a AtomicU32,
+        acquire: &'a AtomicU32,
+        slots: &'a [AtomicU32],
+    ) -> Self {
+        assert!(slots.len().is_power_of_two(), "ring capacity must be a power of two");
+        EngineQueue { raw: RawQueue { release, process, acquire, slots } }
+    }
+
+    /// Peeks the next buffer awaiting processing without consuming it, or
+    /// `None` when the queue's process side is drained.
+    ///
+    /// Wait-free: two loads and a slot read. The returned index was read
+    /// from application-writable memory and MUST be validated by the caller
+    /// before use (see `flipc_core::checks`).
+    pub fn peek(&self) -> Option<u32> {
+        let proc = self.raw.process.load(Ordering::Relaxed);
+        // Pairs with the application's Release store in `release`.
+        let rel = self.raw.release.load(Ordering::Acquire);
+        if proc == rel {
+            return None;
+        }
+        Some(self.raw.slots[(proc & self.raw.mask()) as usize].load(Ordering::Relaxed))
+    }
+
+    /// Number of buffers awaiting processing. A value larger than the ring
+    /// capacity is impossible for a well-behaved application and signals a
+    /// corrupted communication buffer.
+    pub fn backlog(&self) -> u32 {
+        let proc = self.raw.process.load(Ordering::Relaxed);
+        let rel = self.raw.release.load(Ordering::Acquire);
+        rel.wrapping_sub(proc)
+    }
+
+    /// Marks the buffer returned by the last [`EngineQueue::peek`] as
+    /// processed, making it acquirable by the application.
+    ///
+    /// All writes the engine performed on the buffer (payload fill on
+    /// receive, state word update) happen-before the application's
+    /// `acquire`, via this Release store paired with the app's Acquire load
+    /// of `process`.
+    ///
+    /// Wait-free: one load, one store.
+    pub fn advance(&self) {
+        let proc = self.raw.process.load(Ordering::Relaxed);
+        // Deliberately no assertion against `release` here: `release` is
+        // application-writable memory and may be concurrently corrupted by
+        // an errant application; the engine's contract is to keep moving
+        // regardless (callers pair `advance` with a preceding `peek`).
+        self.raw.process.store(proc.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Ring capacity (for validity checks).
+    pub fn capacity(&self) -> u32 {
+        self.raw.slots.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Standalone queue storage for unit tests.
+    struct Store {
+        release: AtomicU32,
+        process: AtomicU32,
+        acquire: AtomicU32,
+        slots: Vec<AtomicU32>,
+    }
+
+    impl Store {
+        fn new(cap: usize) -> Self {
+            Store {
+                release: AtomicU32::new(0),
+                process: AtomicU32::new(0),
+                acquire: AtomicU32::new(0),
+                slots: (0..cap).map(|_| AtomicU32::new(0)).collect(),
+            }
+        }
+        fn app(&self) -> AppQueue<'_> {
+            AppQueue::new(&self.release, &self.process, &self.acquire, &self.slots)
+        }
+        fn engine(&self) -> EngineQueue<'_> {
+            EngineQueue::new(&self.release, &self.process, &self.acquire, &self.slots)
+        }
+    }
+
+    #[test]
+    fn starts_empty_with_both_half_empty_conditions() {
+        let s = Store::new(8);
+        let app = s.app();
+        assert!(app.is_empty());
+        assert_eq!(app.pending_process(), 0);
+        assert_eq!(app.acquirable(), 0);
+        assert_eq!(s.engine().peek(), None);
+    }
+
+    #[test]
+    fn fifo_roundtrip_through_all_three_pointers() {
+        let s = Store::new(8);
+        let mut app = s.app();
+        let eng = s.engine();
+        for b in [3u32, 1, 4] {
+            app.release(b).unwrap();
+        }
+        assert_eq!(app.pending_process(), 3);
+        assert_eq!(app.acquirable(), 0);
+        // Engine processes in order.
+        assert_eq!(eng.peek(), Some(3));
+        eng.advance();
+        assert_eq!(eng.peek(), Some(1));
+        eng.advance();
+        assert_eq!(app.acquirable(), 2);
+        assert_eq!(app.pending_process(), 1);
+        // App acquires in the same order.
+        assert_eq!(app.acquire(), Some(3));
+        assert_eq!(app.acquire(), Some(1));
+        assert_eq!(app.acquire(), None, "third buffer not yet processed");
+        eng.advance();
+        assert_eq!(app.acquire(), Some(4));
+        assert!(app.is_empty());
+    }
+
+    #[test]
+    fn full_queue_rejects_release() {
+        let s = Store::new(4);
+        let mut app = s.app();
+        for b in 0..4 {
+            app.release(b).unwrap();
+        }
+        assert!(app.is_full());
+        assert_eq!(app.release(99), Err(FlipcError::QueueFull));
+        // Processing alone does not free ring space — only acquire does
+        // (buffers stay associated with the endpoint until reclaimed).
+        let eng = s.engine();
+        eng.peek();
+        eng.advance();
+        assert_eq!(app.release(99), Err(FlipcError::QueueFull));
+        assert_eq!(app.acquire(), Some(0));
+        app.release(99).unwrap();
+    }
+
+    #[test]
+    fn pointers_wrap_around_the_ring_many_times() {
+        let s = Store::new(4);
+        let mut app = s.app();
+        let eng = s.engine();
+        for round in 0..1000u32 {
+            app.release(round).unwrap();
+            assert_eq!(eng.peek(), Some(round));
+            eng.advance();
+            assert_eq!(app.acquire(), Some(round));
+        }
+        assert!(app.is_empty());
+    }
+
+    #[test]
+    fn counter_wrap_at_u32_boundary_is_transparent() {
+        let s = Store::new(4);
+        // Force all counters near the u32 wrap point.
+        s.release.store(u32::MAX - 1, Ordering::Relaxed);
+        s.process.store(u32::MAX - 1, Ordering::Relaxed);
+        s.acquire.store(u32::MAX - 1, Ordering::Relaxed);
+        let mut app = s.app();
+        let eng = s.engine();
+        for b in 10..16u32 {
+            app.release(b).unwrap();
+            assert_eq!(eng.peek(), Some(b));
+            eng.advance();
+            assert_eq!(app.acquire(), Some(b));
+        }
+    }
+
+    #[test]
+    fn engine_peek_is_idempotent() {
+        let s = Store::new(8);
+        s.app().release(7).unwrap();
+        let eng = s.engine();
+        assert_eq!(eng.peek(), Some(7));
+        assert_eq!(eng.peek(), Some(7));
+        assert_eq!(eng.backlog(), 1);
+        eng.advance();
+        assert_eq!(eng.peek(), None);
+        assert_eq!(eng.backlog(), 0);
+    }
+
+    #[test]
+    fn backlog_detects_corrupt_release_pointer() {
+        let s = Store::new(8);
+        // An errant application smashes `release` far ahead.
+        s.release.store(1_000_000, Ordering::Relaxed);
+        let eng = s.engine();
+        assert!(eng.backlog() > eng.capacity(), "corruption must be detectable");
+    }
+
+    #[test]
+    fn two_thread_stress_preserves_fifo_and_loses_nothing() {
+        use std::sync::Arc;
+        let s = Arc::new(Store::new(16));
+        const N: u32 = 20_000;
+        let s2 = s.clone();
+        // Engine thread: process everything it sees.
+        let engine = std::thread::spawn(move || {
+            let eng = s2.engine();
+            let mut processed = 0u32;
+            let mut last: Option<u32> = None;
+            while processed < N {
+                if let Some(b) = eng.peek() {
+                    if let Some(prev) = last {
+                        assert_eq!(b, prev.wrapping_add(1), "engine saw out-of-order slot");
+                    }
+                    last = Some(b);
+                    eng.advance();
+                    processed += 1;
+                } else {
+                    // Yield rather than spin: the producer may need this
+                    // core (single-CPU hosts).
+                    std::thread::yield_now();
+                }
+            }
+        });
+        // App thread: release sequential ids, acquire them back in order.
+        let mut app = s.app();
+        let mut next_release = 0u32;
+        let mut next_acquire = 0u32;
+        while next_acquire < N {
+            let mut progressed = false;
+            if next_release < N && app.release(next_release).is_ok() {
+                next_release += 1;
+                progressed = true;
+            }
+            while let Some(b) = app.acquire() {
+                assert_eq!(b, next_acquire, "app acquired out of order");
+                next_acquire += 1;
+                progressed = true;
+            }
+            if !progressed {
+                std::thread::yield_now();
+            }
+        }
+        engine.join().unwrap();
+        assert!(app.is_empty());
+    }
+}

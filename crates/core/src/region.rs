@@ -1,0 +1,261 @@
+//! The raw shared-memory region backing a communication buffer.
+//!
+//! [`Region`] owns one cache-line-aligned, zero-initialized allocation and
+//! exposes it the way shared memory really behaves: control words are
+//! accessed as atomics (`&AtomicU32`/`&AtomicU64` projected at validated
+//! offsets), and payload bytes are moved with raw copies whose exclusivity
+//! is guaranteed by the FLIPC ownership protocol rather than by references.
+//!
+//! All `unsafe` in the core crate is concentrated here and in
+//! [`crate::buffer`]; everything above operates on offsets handed out by
+//! [`crate::layout::Layout`].
+
+use std::alloc::{alloc_zeroed, dealloc, Layout as AllocLayout};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU32, AtomicU64};
+
+use crate::layout::CACHE_LINE;
+
+/// An owned, aligned, zeroed memory region with atomic word access.
+pub struct Region {
+    ptr: NonNull<u8>,
+    len: usize,
+}
+
+// SAFETY: The region is plain memory. All concurrent access goes through
+// atomics or through raw copies whose exclusivity is enforced by the FLIPC
+// buffer-ownership protocol (documented on the accessors); the struct itself
+// carries no thread-affine state.
+unsafe impl Send for Region {}
+// SAFETY: See above; `&Region` only permits atomic word access and raw byte
+// access that callers must justify.
+unsafe impl Sync for Region {}
+
+impl Region {
+    /// Allocates a zeroed region of `len` bytes, aligned to a cache line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or allocation fails.
+    pub fn alloc_zeroed(len: usize) -> Region {
+        assert!(len > 0, "empty region");
+        let layout = AllocLayout::from_size_align(len, CACHE_LINE).expect("bad region layout");
+        // SAFETY: `layout` has nonzero size (checked above) and valid
+        // power-of-two alignment.
+        let raw = unsafe { alloc_zeroed(layout) };
+        let ptr = NonNull::new(raw).expect("communication buffer allocation failed");
+        Region { ptr, len }
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always false (regions are never empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Base address of the region (for cache-address modeling and tests).
+    pub fn base_addr(&self) -> usize {
+        self.ptr.as_ptr() as usize
+    }
+
+    #[inline]
+    fn check(&self, off: usize, size: usize, align: usize) {
+        assert!(off.is_multiple_of(align), "offset {off} unaligned for {size}-byte word");
+        assert!(
+            off.checked_add(size).is_some_and(|end| end <= self.len),
+            "offset {off} out of region (len {})",
+            self.len
+        );
+    }
+
+    /// Projects a 32-bit atomic at byte offset `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off` is unaligned or out of bounds.
+    #[inline]
+    pub fn atomic_u32(&self, off: usize) -> &AtomicU32 {
+        self.check(off, 4, 4);
+        // SAFETY: The offset is in bounds and 4-aligned (checked above); the
+        // memory is valid for the lifetime of `self`; atomics permit
+        // concurrent access from any number of threads; the region is
+        // zero-initialized so the value is always initialized.
+        unsafe { &*(self.ptr.as_ptr().add(off) as *const AtomicU32) }
+    }
+
+    /// Projects a 64-bit atomic at byte offset `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off` is unaligned or out of bounds.
+    #[inline]
+    pub fn atomic_u64(&self, off: usize) -> &AtomicU64 {
+        self.check(off, 8, 8);
+        // SAFETY: As for `atomic_u32`, with 8-byte alignment checked.
+        unsafe { &*(self.ptr.as_ptr().add(off) as *const AtomicU64) }
+    }
+
+    /// Copies `dst.len()` bytes out of the region starting at `off`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that no other thread concurrently *writes*
+    /// the addressed bytes. In FLIPC this holds because payload bytes are
+    /// only touched by the current owner of the message buffer, and
+    /// ownership hand-off is ordered by the endpoint queue's
+    /// release/process/acquire pointers (Release stores paired with Acquire
+    /// loads).
+    pub unsafe fn read_bytes(&self, off: usize, dst: &mut [u8]) {
+        self.check(off, dst.len().max(1), 1);
+        // SAFETY: Bounds checked above; exclusivity is the caller's
+        // obligation per this function's contract; src/dst cannot overlap
+        // because `dst` is a live `&mut` outside the region.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.ptr.as_ptr().add(off), dst.as_mut_ptr(), dst.len());
+        }
+    }
+
+    /// Copies `src` into the region starting at `off`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that no other thread concurrently accesses
+    /// the addressed bytes; see [`Region::read_bytes`] for how the FLIPC
+    /// ownership protocol provides this.
+    pub unsafe fn write_bytes(&self, off: usize, src: &[u8]) {
+        self.check(off, src.len().max(1), 1);
+        // SAFETY: Bounds checked above; exclusivity is the caller's
+        // obligation; src/dst cannot overlap because `src` is a live shared
+        // slice outside the region.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.as_ptr().add(off), src.len());
+        }
+    }
+
+    /// Copies `len` bytes within the region (or between two regions) from
+    /// `src_off` in `src` to `dst_off` in `self`.
+    ///
+    /// # Safety
+    ///
+    /// Same exclusivity obligations as [`Region::read_bytes`] /
+    /// [`Region::write_bytes`] on both ranges. The ranges must not overlap
+    /// if `src` and `self` are the same region.
+    pub unsafe fn copy_from(&self, dst_off: usize, src: &Region, src_off: usize, len: usize) {
+        self.check(dst_off, len.max(1), 1);
+        src.check(src_off, len.max(1), 1);
+        // SAFETY: Bounds checked; non-overlap and exclusivity are the
+        // caller's obligation per the contract.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                src.ptr.as_ptr().add(src_off),
+                self.ptr.as_ptr().add(dst_off),
+                len,
+            );
+        }
+    }
+}
+
+impl Drop for Region {
+    fn drop(&mut self) {
+        let layout =
+            AllocLayout::from_size_align(self.len, CACHE_LINE).expect("bad region layout");
+        // SAFETY: `ptr` was returned by `alloc_zeroed` with exactly this
+        // layout and has not been freed.
+        unsafe { dealloc(self.ptr.as_ptr(), layout) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn region_is_zeroed_and_aligned() {
+        let r = Region::alloc_zeroed(4096);
+        assert_eq!(r.len(), 4096);
+        assert_eq!(r.base_addr() % CACHE_LINE, 0);
+        for off in (0..4096).step_by(4) {
+            assert_eq!(r.atomic_u32(off).load(Ordering::Relaxed), 0);
+        }
+    }
+
+    #[test]
+    fn atomics_read_back_writes() {
+        let r = Region::alloc_zeroed(256);
+        r.atomic_u32(12).store(0xDEAD_BEEF, Ordering::Release);
+        assert_eq!(r.atomic_u32(12).load(Ordering::Acquire), 0xDEAD_BEEF);
+        r.atomic_u64(16).store(u64::MAX - 1, Ordering::Release);
+        assert_eq!(r.atomic_u64(16).load(Ordering::Acquire), u64::MAX - 1);
+        // Distinct offsets are distinct words.
+        assert_eq!(r.atomic_u32(8).load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn byte_copies_roundtrip() {
+        let r = Region::alloc_zeroed(256);
+        let src: Vec<u8> = (0..64u8).collect();
+        // SAFETY: Single-threaded test; no concurrent access.
+        unsafe { r.write_bytes(100, &src) };
+        let mut dst = vec![0u8; 64];
+        // SAFETY: Single-threaded test; no concurrent access.
+        unsafe { r.read_bytes(100, &mut dst) };
+        assert_eq!(src, dst);
+    }
+
+    #[test]
+    fn copy_between_regions() {
+        let a = Region::alloc_zeroed(128);
+        let b = Region::alloc_zeroed(128);
+        // SAFETY: Single-threaded test; regions are distinct.
+        unsafe {
+            a.write_bytes(0, &[7u8; 32]);
+            b.copy_from(64, &a, 0, 32);
+        }
+        let mut out = [0u8; 32];
+        // SAFETY: Single-threaded test.
+        unsafe { b.read_bytes(64, &mut out) };
+        assert_eq!(out, [7u8; 32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_atomic_panics() {
+        Region::alloc_zeroed(64).atomic_u32(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of region")]
+    fn out_of_bounds_atomic_panics() {
+        Region::alloc_zeroed(64).atomic_u32(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of region")]
+    fn out_of_bounds_copy_panics() {
+        let r = Region::alloc_zeroed(64);
+        // SAFETY: Single-threaded; panics on the bounds check before any
+        // copy happens.
+        unsafe { r.write_bytes(60, &[0u8; 8]) };
+    }
+
+    #[test]
+    fn concurrent_atomic_access_is_sound() {
+        let r = std::sync::Arc::new(Region::alloc_zeroed(64));
+        let r2 = r.clone();
+        let t = std::thread::spawn(move || {
+            for _ in 0..10_000 {
+                r2.atomic_u32(0).fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for _ in 0..10_000 {
+            r.atomic_u32(0).fetch_add(1, Ordering::Relaxed);
+        }
+        t.join().unwrap();
+        assert_eq!(r.atomic_u32(0).load(Ordering::Relaxed), 20_000);
+    }
+}

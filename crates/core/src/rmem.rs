@@ -1,0 +1,332 @@
+//! Remote memory windows (Future Work extension).
+//!
+//! The paper's Future Work: "we are considering extensions that allow
+//! applications to indirectly access memory on other nodes", citing
+//! Thekkath et al.'s separation of data and control transfer, with related
+//! ideas in SUNMOS, PAM and Illinois Fast Messages. This module is that
+//! extension, layered — like everything else — on the public FLIPC API:
+//!
+//! * a node *exports* named memory windows through a [`MemoryServer`];
+//! * remote applications [`RemoteMemory::write`] and [`RemoteMemory::read`]
+//!   byte ranges of a window, with the data moving as trains of fixed-size
+//!   FLIPC messages (control and data share the RPC channel here; a
+//!   higher-performance split onto a bulk channel is what `crate::bulk`
+//!   provides for streaming transfers).
+//!
+//! Request bodies: `op:u8 | window:u32 | offset:u32 | len:u32 | [data]`
+//! with ops write=1, read=2. Replies: `status:u8 | [data]` with ok=0,
+//! bad_window=1, out_of_range=2, malformed=3.
+
+use std::collections::HashMap;
+
+use crate::error::{FlipcError, Result};
+use crate::rpc::{RpcClient, RpcServer, RPC_HEADER};
+
+const OP_WRITE: u8 = 1;
+const OP_READ: u8 = 2;
+
+const ST_OK: u8 = 0;
+const ST_BAD_WINDOW: u8 = 1;
+const ST_OUT_OF_RANGE: u8 = 2;
+const ST_MALFORMED: u8 = 3;
+
+const REQ_HEADER: usize = 13;
+
+/// Identifier of an exported window (assigned by the server).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct WindowId(pub u32);
+
+fn encode_req(op: u8, window: WindowId, offset: u32, len: u32, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(REQ_HEADER + data.len());
+    out.push(op);
+    out.extend_from_slice(&window.0.to_le_bytes());
+    out.extend_from_slice(&offset.to_le_bytes());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(data);
+    out
+}
+
+fn decode_req(body: &[u8]) -> Option<(u8, WindowId, u32, u32, &[u8])> {
+    if body.len() < REQ_HEADER {
+        return None;
+    }
+    let word = |i: usize| u32::from_le_bytes(body[i..i + 4].try_into().expect("sliced 4"));
+    Some((body[0], WindowId(word(1)), word(5), word(9), &body[REQ_HEADER..]))
+}
+
+/// The exporting side: owns window storage and serves remote accesses.
+pub struct MemoryServer<'f> {
+    rpc: RpcServer<'f>,
+    windows: HashMap<u32, Vec<u8>>,
+    next_id: u32,
+}
+
+impl<'f> MemoryServer<'f> {
+    /// Wraps an RPC server.
+    pub fn new(rpc: RpcServer<'f>) -> MemoryServer<'f> {
+        MemoryServer { rpc, windows: HashMap::new(), next_id: 1 }
+    }
+
+    /// The address remote clients target.
+    pub fn address(&self, f: &crate::api::Flipc) -> crate::endpoint::EndpointAddress {
+        self.rpc.address(f)
+    }
+
+    /// Exports a zeroed window of `len` bytes; returns its id (to be
+    /// distributed out of band or via the name service).
+    pub fn export(&mut self, len: usize) -> WindowId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.windows.insert(id, vec![0; len]);
+        WindowId(id)
+    }
+
+    /// Withdraws a window; returns its final contents.
+    pub fn unexport(&mut self, id: WindowId) -> Option<Vec<u8>> {
+        self.windows.remove(&id.0)
+    }
+
+    /// Local access to a window (the exporter reads/writes it directly —
+    /// that is the point of shared windows).
+    pub fn window(&self, id: WindowId) -> Option<&[u8]> {
+        self.windows.get(&id.0).map(Vec::as_slice)
+    }
+
+    /// Local mutable access.
+    pub fn window_mut(&mut self, id: WindowId) -> Option<&mut [u8]> {
+        self.windows.get_mut(&id.0).map(Vec::as_mut_slice)
+    }
+
+    /// Serves every pending remote access; returns how many were handled.
+    pub fn serve_pending(&mut self) -> Result<u32> {
+        let mut served = 0;
+        loop {
+            let windows = &mut self.windows;
+            let handled = self.rpc.serve_one(|body| {
+                let Some((op, window, offset, len, data)) = decode_req(body) else {
+                    return vec![ST_MALFORMED];
+                };
+                let Some(mem) = windows.get_mut(&window.0) else {
+                    return vec![ST_BAD_WINDOW];
+                };
+                let offset = offset as usize;
+                let len = len as usize;
+                let Some(end) = offset.checked_add(len) else {
+                    return vec![ST_OUT_OF_RANGE];
+                };
+                if end > mem.len() {
+                    return vec![ST_OUT_OF_RANGE];
+                }
+                match op {
+                    OP_WRITE if data.len() >= len => {
+                        mem[offset..end].copy_from_slice(&data[..len]);
+                        vec![ST_OK]
+                    }
+                    OP_READ => {
+                        let mut r = Vec::with_capacity(1 + len);
+                        r.push(ST_OK);
+                        r.extend_from_slice(&mem[offset..end]);
+                        r
+                    }
+                    _ => vec![ST_MALFORMED],
+                }
+            })?;
+            if !handled {
+                return Ok(served);
+            }
+            served += 1;
+        }
+    }
+}
+
+/// The accessing side: reads and writes exported windows on a remote node.
+pub struct RemoteMemory<'f> {
+    rpc: RpcClient<'f>,
+    /// Largest data slice per request (payload minus RPC + request
+    /// headers, minus the reply's status byte for reads).
+    chunk: usize,
+}
+
+impl<'f> RemoteMemory<'f> {
+    /// Wraps an RPC client bound to a [`MemoryServer`]'s address.
+    pub fn new(f: &'f crate::api::Flipc, rpc: RpcClient<'f>) -> RemoteMemory<'f> {
+        let chunk = f.payload_size() - RPC_HEADER - REQ_HEADER - 1;
+        RemoteMemory { rpc, chunk }
+    }
+
+    fn call(
+        &mut self,
+        req: Vec<u8>,
+        progress: &mut impl FnMut(),
+        max_polls: u32,
+    ) -> Result<Vec<u8>> {
+        let reply = self.rpc.call_sync(&req, &mut *progress, max_polls)?;
+        match reply.split_first() {
+            Some((&ST_OK, rest)) => Ok(rest.to_vec()),
+            Some((&ST_BAD_WINDOW, _)) => Err(FlipcError::BadEndpoint),
+            Some((&ST_OUT_OF_RANGE, _)) => Err(FlipcError::PayloadTooLarge),
+            _ => Err(FlipcError::BadBuffer),
+        }
+    }
+
+    /// Writes `data` into the remote window at `offset`, chunking as
+    /// needed; `progress` runs engines between polls.
+    pub fn write(
+        &mut self,
+        window: WindowId,
+        offset: u32,
+        data: &[u8],
+        mut progress: impl FnMut(),
+        max_polls: u32,
+    ) -> Result<()> {
+        let mut pos = 0usize;
+        while pos < data.len() || (data.is_empty() && pos == 0) {
+            let n = (data.len() - pos).min(self.chunk);
+            let req = encode_req(
+                OP_WRITE,
+                window,
+                offset + pos as u32,
+                n as u32,
+                &data[pos..pos + n],
+            );
+            self.call(req, &mut progress, max_polls)?;
+            pos += n;
+            if data.is_empty() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes from the remote window at `offset`.
+    pub fn read(
+        &mut self,
+        window: WindowId,
+        offset: u32,
+        len: u32,
+        mut progress: impl FnMut(),
+        max_polls: u32,
+    ) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(len as usize);
+        let mut pos = 0u32;
+        while pos < len || (len == 0 && pos == 0) {
+            let n = (len - pos).min(self.chunk as u32);
+            let req = encode_req(OP_READ, window, offset + pos, n, &[]);
+            let chunk = self.call(req, &mut progress, max_polls)?;
+            if chunk.len() != n as usize {
+                return Err(FlipcError::BadBuffer);
+            }
+            out.extend_from_slice(&chunk);
+            pos += n;
+            if len == 0 {
+                break;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Flipc;
+    use crate::commbuf::CommBuffer;
+    use crate::endpoint::{EndpointType, FlipcNodeId, Importance};
+    use crate::layout::Geometry;
+    use crate::testutil::pump_local;
+    use crate::wait::WaitRegistry;
+    use std::cell::RefCell;
+    use std::sync::Arc;
+
+    fn flipc() -> Flipc {
+        let cb = Arc::new(
+            CommBuffer::new(Geometry { buffers: 200, ring_capacity: 64, ..Geometry::small() })
+                .unwrap(),
+        );
+        Flipc::attach(cb, FlipcNodeId(0), WaitRegistry::new())
+    }
+
+    fn pair<'f>(f: &'f Flipc) -> (RefCell<MemoryServer<'f>>, RemoteMemory<'f>) {
+        let srx = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let stx = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let server = MemoryServer::new(RpcServer::new(f, srx, stx, 1, 2).unwrap());
+        let addr = server.address(f);
+        let ctx = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let crx = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let client = RemoteMemory::new(f, RpcClient::new(f, ctx, crx, addr, 2).unwrap());
+        (RefCell::new(server), client)
+    }
+
+    /// Progress closure: pump the local engine and let the server serve.
+    fn turn<'a>(
+        f: &'a Flipc,
+        server: &'a RefCell<MemoryServer<'a>>,
+    ) -> impl FnMut() + 'a {
+        move || {
+            pump_local(f.commbuf(), f.node());
+            server.borrow_mut().serve_pending().expect("serve");
+            pump_local(f.commbuf(), f.node());
+        }
+    }
+
+    #[test]
+    fn request_codec_roundtrips() {
+        let req = encode_req(OP_WRITE, WindowId(7), 100, 4, b"data");
+        let (op, w, off, len, data) = decode_req(&req).unwrap();
+        assert_eq!((op, w, off, len, data), (OP_WRITE, WindowId(7), 100, 4, b"data".as_slice()));
+        assert!(decode_req(&req[..12]).is_none());
+    }
+
+    #[test]
+    fn remote_write_then_read_roundtrips() {
+        let f = flipc();
+        let (server, mut client) = pair(&f);
+        let window = server.borrow_mut().export(256);
+
+        let data: Vec<u8> = (0..200u8).collect();
+        client.write(window, 20, &data, turn(&f, &server), 50).unwrap();
+        // The exporter sees the bytes locally.
+        assert_eq!(&server.borrow().window(window).unwrap()[20..220], &data[..]);
+        // And the remote client reads them back.
+        let got = client.read(window, 20, 200, turn(&f, &server), 50).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn out_of_range_and_bad_window_are_rejected() {
+        let f = flipc();
+        let (server, mut client) = pair(&f);
+        let window = server.borrow_mut().export(64);
+        let err = client
+            .write(window, 60, &[0u8; 8], turn(&f, &server), 50)
+            .unwrap_err();
+        assert_eq!(err, FlipcError::PayloadTooLarge);
+        let err = client
+            .read(WindowId(999), 0, 8, turn(&f, &server), 50)
+            .unwrap_err();
+        assert_eq!(err, FlipcError::BadEndpoint);
+    }
+
+    #[test]
+    fn unexport_withdraws_access() {
+        let f = flipc();
+        let (server, mut client) = pair(&f);
+        let window = server.borrow_mut().export(32);
+        client.write(window, 0, b"live", turn(&f, &server), 50).unwrap();
+        let contents = server.borrow_mut().unexport(window).unwrap();
+        assert_eq!(&contents[..4], b"live");
+        let err = client.read(window, 0, 4, turn(&f, &server), 50).unwrap_err();
+        assert_eq!(err, FlipcError::BadEndpoint);
+    }
+
+    #[test]
+    fn large_transfers_chunk_transparently() {
+        let f = flipc();
+        let (server, mut client) = pair(&f);
+        let window = server.borrow_mut().export(4096);
+        let data: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        client.write(window, 0, &data, turn(&f, &server), 5_000).unwrap();
+        let got = client.read(window, 0, 4096, turn(&f, &server), 5_000).unwrap();
+        assert_eq!(got, data);
+    }
+}

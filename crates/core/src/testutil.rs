@@ -1,0 +1,73 @@
+//! Test-only helper: a hand-cranked local messaging engine.
+//!
+//! Unit tests in this crate need messages to move without depending on the
+//! `flipc-engine` crate (which depends on us). [`pump_local`] performs one
+//! full engine sweep over a communication buffer, delivering messages whose
+//! destination is on the same node and discarding (with drop accounting)
+//! exactly as the real engine does.
+
+use crate::buffer::BufferState;
+use crate::checks::{validate_delivery, validate_queued_buffer};
+use crate::commbuf::CommBuffer;
+use crate::endpoint::{EndpointAddress, EndpointIndex, EndpointType, FlipcNodeId};
+
+/// Sweeps all send endpoints once, locally delivering every queued message.
+/// Returns the number of messages moved (delivered or dropped).
+pub(crate) fn pump_local(cb: &CommBuffer, node: FlipcNodeId) -> usize {
+    let mut moved = 0;
+    let n = cb.geometry().endpoints;
+    for i in 0..n {
+        let idx = EndpointIndex(i);
+        let Ok((gen, active)) = cb.endpoint_gen_active(idx) else { continue };
+        if !active || cb.endpoint_type(idx) != Ok(EndpointType::Send) {
+            continue;
+        }
+        let sq = cb.engine_queue(idx).expect("send queue");
+        while let Some(buf) = sq.peek() {
+            if validate_queued_buffer(cb, buf).is_err() {
+                sq.advance();
+                moved += 1;
+                continue;
+            }
+            let (dest, _) = cb.header(buf).load();
+            let src = EndpointAddress::new(node, idx, gen);
+            deliver_local(cb, node, src, buf, dest);
+            cb.header(buf).set_state(BufferState::Processed);
+            sq.advance();
+            moved += 1;
+        }
+    }
+    moved
+}
+
+fn deliver_local(
+    cb: &CommBuffer,
+    node: FlipcNodeId,
+    src: EndpointAddress,
+    src_buf: u32,
+    dest: EndpointAddress,
+) {
+    let Ok(didx) = validate_delivery(cb, node, dest) else {
+        cb.misaddressed_engine().increment();
+        return;
+    };
+    let rq = cb.engine_queue(didx).expect("recv queue");
+    let Some(dst_buf) = rq.peek() else {
+        cb.drops_engine(didx).expect("drops").increment();
+        return;
+    };
+    if validate_queued_buffer(cb, dst_buf).is_err() {
+        rq.advance();
+        return;
+    }
+    let mut tmp = vec![0u8; cb.payload_size()];
+    // SAFETY: The engine owns `src_buf` (between peek and advance on the
+    // send queue) and `dst_buf` (between peek and advance on the receive
+    // queue); no application thread may touch either.
+    unsafe {
+        cb.payload_read(src_buf, &mut tmp);
+        cb.payload_write(dst_buf, &tmp);
+    }
+    cb.header(dst_buf).store(src, BufferState::Processed);
+    rq.advance();
+}

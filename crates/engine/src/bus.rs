@@ -1,0 +1,217 @@
+//! A shared-bus transport: the SCSI development platform.
+//!
+//! The paper's prototypes ran on "PC clusters interconnected by ethernet
+//! or a SCSI bus" before Paragon time was available, and that portability
+//! was a deliberate result: the communication buffer and library are
+//! platform independent, only the transport changes. This transport models
+//! the host-to-host SCSI arrangement's key property — **one shared medium
+//! with arbitration**: only one frame transfers on the bus at a time, and
+//! an arbitration policy (round-robin by node id, like SCSI's rotating
+//! priorities) decides who transmits next.
+//!
+//! Implementation: all ports share one mutex-protected bus state holding a
+//! single in-flight slot per destination. `try_send` succeeds only for the
+//! node currently holding the bus (or when the bus is free and it wins
+//! arbitration); delivery frees the bus. The mutex is host plumbing, not
+//! protocol — the engines themselves stay wait-free with respect to their
+//! applications.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use flipc_core::endpoint::FlipcNodeId;
+
+use crate::transport::Transport;
+use crate::wire::Frame;
+
+struct BusState {
+    /// Frames in flight on the single medium: at most `bus_depth`.
+    in_flight: VecDeque<(FlipcNodeId, Frame)>,
+    /// Arbitration cursor: the node id with the current highest claim.
+    grant: u16,
+    /// Refusals since the last successful transmission; when a full round
+    /// of contenders has been refused while the bus was free, the grant
+    /// advances (SCSI's fairness extension: the grantee cannot hog a claim
+    /// it is not using).
+    refusals: u16,
+    nodes: u16,
+    bus_depth: usize,
+    /// Per-node delivered-but-unfetched frames.
+    mailboxes: Vec<VecDeque<Frame>>,
+}
+
+impl BusState {
+    /// Moves in-flight frames into destination mailboxes (the "bus cycle").
+    fn settle(&mut self) {
+        while let Some((dst, frame)) = self.in_flight.pop_front() {
+            if let Some(m) = self.mailboxes.get_mut(dst.0 as usize) {
+                m.push_back(frame);
+            }
+            // Frames to unknown nodes fall off the bus (black-holed).
+        }
+    }
+}
+
+/// One node's attachment to the shared bus.
+pub struct BusPort {
+    node: FlipcNodeId,
+    state: Arc<Mutex<BusState>>,
+}
+
+/// Builds a SCSI-style shared bus of `n` nodes with room for `bus_depth`
+/// frames in flight (1 models strict SCSI; larger values model a deeper
+/// controller FIFO).
+pub fn bus_fabric(n: usize, bus_depth: usize) -> Vec<BusPort> {
+    assert!(n >= 1 && n <= u16::MAX as usize, "bad node count");
+    assert!(bus_depth >= 1, "bus needs at least one slot");
+    let state = Arc::new(Mutex::new(BusState {
+        in_flight: VecDeque::new(),
+        grant: 0,
+        refusals: 0,
+        nodes: n as u16,
+        bus_depth,
+        mailboxes: (0..n).map(|_| VecDeque::new()).collect(),
+    }));
+    (0..n)
+        .map(|i| BusPort { node: FlipcNodeId(i as u16), state: state.clone() })
+        .collect()
+}
+
+impl Transport for BusPort {
+    fn try_send(&mut self, dst: FlipcNodeId, frame: &Frame) -> bool {
+        let mut st = self.state.lock().expect("bus poisoned");
+        if st.in_flight.len() >= st.bus_depth {
+            // Medium busy; lose arbitration this round.
+            return false;
+        }
+        // Arbitration: only the granted node may transmit. The grant
+        // rotates after every successful transmission, and also after a
+        // full round of refusals on a free bus (so an idle grantee cannot
+        // block contenders).
+        if st.grant != self.node.0 {
+            st.refusals += 1;
+            if st.refusals >= st.nodes {
+                st.grant = (st.grant + 1) % st.nodes;
+                st.refusals = 0;
+            }
+            return false;
+        }
+        st.in_flight.push_back((dst, frame.clone()));
+        st.grant = (st.grant + 1) % st.nodes;
+        st.refusals = 0;
+        true
+    }
+
+    fn try_recv(&mut self) -> Option<Frame> {
+        let mut st = self.state.lock().expect("bus poisoned");
+        st.settle();
+        st.mailboxes
+            .get_mut(self.node.0 as usize)
+            .and_then(VecDeque::pop_front)
+    }
+
+    fn local_node(&self) -> FlipcNodeId {
+        self.node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flipc_core::endpoint::{EndpointAddress, EndpointIndex};
+
+    fn frame(dst: u16, tag: u8) -> Frame {
+        Frame {
+            src: EndpointAddress::new(FlipcNodeId(0), EndpointIndex(0), 1),
+            dst: EndpointAddress::new(FlipcNodeId(dst), EndpointIndex(0), 1),
+            payload: vec![tag; 8].into(),
+        }
+    }
+
+    #[test]
+    fn frames_cross_the_bus() {
+        let mut ports = bus_fabric(2, 1);
+        // Node 0 holds the initial grant.
+        assert!(ports[0].try_send(FlipcNodeId(1), &frame(1, 7)));
+        assert_eq!(ports[1].try_recv().unwrap().payload[0], 7);
+        assert!(ports[1].try_recv().is_none());
+    }
+
+    #[test]
+    fn one_frame_at_a_time_on_a_strict_bus() {
+        let mut ports = bus_fabric(2, 1);
+        assert!(ports[0].try_send(FlipcNodeId(1), &frame(1, 1)));
+        // Bus occupied until the receiver settles it.
+        let (a, b) = ports.split_at_mut(1);
+        assert!(!b[0].try_send(FlipcNodeId(0), &frame(0, 2)));
+        assert!(!a[0].try_send(FlipcNodeId(1), &frame(1, 3)));
+        b[0].try_recv().unwrap();
+        // Freed; grant has rotated to node 1 after the refusals.
+        assert!(b[0].try_send(FlipcNodeId(0), &frame(0, 2)));
+    }
+
+    #[test]
+    fn arbitration_rotates_so_nobody_starves() {
+        let mut ports = bus_fabric(3, 1);
+        let mut sent = [0u32; 3];
+        for _round in 0..60 {
+            for i in 0..3 {
+                let dst = FlipcNodeId(((i + 1) % 3) as u16);
+                if ports[i].try_send(dst, &frame(dst.0, i as u8)) {
+                    sent[i] += 1;
+                }
+            }
+            // Everyone drains their mailbox (settling the bus).
+            for p in ports.iter_mut() {
+                while p.try_recv().is_some() {}
+            }
+        }
+        for (i, &s) in sent.iter().enumerate() {
+            assert!(s >= 10, "node {i} starved: sent only {s}");
+        }
+    }
+
+    #[test]
+    fn engine_runs_unchanged_over_the_bus() {
+        use flipc_core::api::Flipc;
+        use flipc_core::commbuf::CommBuffer;
+        use flipc_core::endpoint::{EndpointType, Importance};
+        use flipc_core::layout::Geometry;
+        use flipc_core::wait::WaitRegistry;
+        use crate::engine::{Engine, EngineConfig};
+        use std::sync::Arc as StdArc;
+
+        let ports = bus_fabric(2, 1);
+        let mut flipc = Vec::new();
+        let mut engines = Vec::new();
+        for (i, port) in ports.into_iter().enumerate() {
+            let cb = StdArc::new(CommBuffer::new(Geometry::small()).unwrap());
+            let registry = WaitRegistry::new();
+            flipc.push(Flipc::attach(cb.clone(), FlipcNodeId(i as u16), registry.clone()));
+            engines.push(Engine::new(cb, Box::new(port), registry, EngineConfig::default()));
+        }
+        let tx = flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let rx = flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let dest = flipc[1].address(&rx);
+        for _ in 0..8 {
+            let b = flipc[1].buffer_allocate().unwrap();
+            flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+        }
+        for i in 0..6u8 {
+            let mut t = flipc[0].buffer_allocate().unwrap();
+            flipc[0].payload_mut(&mut t)[0] = i;
+            flipc[0].send(&tx, t, dest).unwrap();
+        }
+        // A strict one-slot bus needs several rounds (arbitration refusals
+        // included), but everything arrives, in order.
+        for _ in 0..40 {
+            engines[0].iterate();
+            engines[1].iterate();
+        }
+        for i in 0..6u8 {
+            let got = flipc[1].recv(&rx).unwrap().expect("delivery over the bus");
+            assert_eq!(flipc[1].payload(&got.token)[0], i);
+        }
+        assert_eq!(flipc[1].drops_reset(&rx).unwrap(), 0);
+    }
+}

@@ -1,0 +1,1038 @@
+//! The messaging engine: FLIPC's independently executing component.
+//!
+//! On the Paragon this code runs on the dedicated message coprocessor; here
+//! it runs on a dedicated thread (see [`crate::thread`]) or is pumped
+//! inline (the paper's run-inside-the-kernel debugging configuration; see
+//! [`crate::node::InlineCluster`]). Either way it obeys the controller
+//! discipline the paper designs for:
+//!
+//! * **Non-preemptible event loop with bounded work**: one [`Engine::iterate`]
+//!   call performs at most a configured budget of receive deliveries and
+//!   send transmissions, then returns — added work cannot starve unrelated
+//!   communication.
+//! * **Wait-free synchronization, loads and stores only**: all interaction
+//!   with application threads goes through the three-pointer endpoint
+//!   queues, header words, and two-location counters of `flipc-core`. The
+//!   engine performs *no* read-modify-write on communication-buffer memory.
+//! * **Optimistic transport**: frames are sent without acknowledgement; an
+//!   arrival with no queued receive buffer is discarded and counted. Every
+//!   node can therefore always accept from the interconnect, which avoids
+//!   deadlock on a reliable fabric.
+//! * **Priority-aware scanning**: higher-importance send endpoints are
+//!   serviced first, so message streams of varying importance (the
+//!   distributed real-time requirement) see differentiated service.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use flipc_core::buffer::BufferState;
+use flipc_core::checks::{validate_backlog, validate_delivery_at, validate_queued_buffer, CheckMode};
+use flipc_core::commbuf::CommBuffer;
+use flipc_core::endpoint::{EndpointAddress, EndpointIndex, EndpointType, Importance};
+use flipc_core::wait::WaitRegistry;
+
+use crate::shaper::{Shaper, TokenBucket};
+use crate::transport::Transport;
+use crate::wire::Frame;
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Validity checking of application-writable state.
+    pub check_mode: CheckMode,
+    /// Maximum arrivals delivered per iteration.
+    pub incoming_budget: u32,
+    /// Maximum sends transmitted per iteration.
+    pub outgoing_budget: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            check_mode: CheckMode::Checked,
+            incoming_budget: 64,
+            outgoing_budget: 64,
+        }
+    }
+}
+
+/// Shared engine statistics (readable while the engine runs).
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Frames handed to the transport.
+    pub sent: AtomicU64,
+    /// Frames delivered into receive buffers.
+    pub delivered: AtomicU64,
+    /// Frames discarded because the destination endpoint had no buffer.
+    pub dropped_no_buffer: AtomicU64,
+    /// Frames discarded because the destination endpoint was stale,
+    /// inactive, mistyped, or misrouted.
+    pub misaddressed: AtomicU64,
+    /// Validity-check failures on application-writable state.
+    pub check_failures: AtomicU64,
+    /// Sends suppressed by a protection domain's destination restriction.
+    pub denied: AtomicU64,
+    /// Event-loop iterations executed.
+    pub iterations: AtomicU64,
+}
+
+impl EngineStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sum of all frames that left the wire (delivered + discarded).
+    pub fn total_arrivals(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+            + self.dropped_no_buffer.load(Ordering::Relaxed)
+            + self.misaddressed.load(Ordering::Relaxed)
+    }
+}
+
+/// One protection domain served by an engine: a communication buffer, its
+/// wait registry, the node-global endpoint-index base its endpoints are
+/// published at, and an optional restriction on where it may send.
+///
+/// Multiple domains per node are the paper's Future Work item: "Support
+/// for multiple communication buffers per node and protection mechanisms
+/// that restrict where messages can be sent should be added to support
+/// multiple applications that do not trust each other." The engine is the
+/// trusted component, so it is where the restriction is enforced.
+pub struct Domain {
+    /// The domain's communication buffer.
+    pub cb: Arc<CommBuffer>,
+    /// Wakeup registry for this domain's blocking receivers.
+    pub registry: Arc<WaitRegistry>,
+    /// Node-global index of this domain's endpoint slot 0. Domains must
+    /// occupy disjoint index ranges; applications attach with
+    /// [`flipc_core::api::Flipc::attach_at`] using the same base.
+    pub index_base: u16,
+    /// Destination nodes this domain may address; `None` = unrestricted.
+    /// Denied sends are discarded, counted on the engine's `denied` stat
+    /// and on the *send* endpoint's drop counter so the application can
+    /// observe them.
+    pub allowed_destinations: Option<Vec<flipc_core::endpoint::FlipcNodeId>>,
+}
+
+impl Domain {
+    /// An unrestricted domain at index base 0 (the single-application
+    /// configuration).
+    pub fn unrestricted(cb: Arc<CommBuffer>, registry: Arc<WaitRegistry>) -> Domain {
+        Domain { cb, registry, index_base: 0, allowed_destinations: None }
+    }
+
+    fn endpoints(&self) -> u16 {
+        self.cb.geometry().endpoints
+    }
+
+    fn contains_global(&self, global: u16) -> bool {
+        global >= self.index_base && global - self.index_base < self.endpoints()
+    }
+
+    fn may_send_to(&self, node: flipc_core::endpoint::FlipcNodeId) -> bool {
+        match &self.allowed_destinations {
+            None => true,
+            Some(list) => list.contains(&node),
+        }
+    }
+}
+
+/// The messaging engine for one node.
+pub struct Engine {
+    domains: Vec<Domain>,
+    transport: Box<dyn Transport>,
+    cfg: EngineConfig,
+    stats: Arc<EngineStats>,
+    scan_cursor: u16,
+    shaper: Shaper,
+}
+
+impl Engine {
+    /// Builds an engine over a communication buffer and a transport.
+    ///
+    /// The `registry` must be the one application handles on this node use
+    /// for blocking receives.
+    pub fn new(
+        cb: Arc<CommBuffer>,
+        transport: Box<dyn Transport>,
+        registry: Arc<WaitRegistry>,
+        cfg: EngineConfig,
+    ) -> Engine {
+        Engine::new_multi(
+            vec![Domain::unrestricted(cb, registry)],
+            transport,
+            cfg,
+        )
+    }
+
+    /// Builds an engine serving several protection domains (multiple
+    /// communication buffers) over one transport.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any buffer is uninitialized or domain index ranges
+    /// overlap.
+    pub fn new_multi(
+        domains: Vec<Domain>,
+        transport: Box<dyn Transport>,
+        cfg: EngineConfig,
+    ) -> Engine {
+        assert!(!domains.is_empty(), "engine needs at least one domain");
+        for d in &domains {
+            assert!(d.cb.magic_ok(), "communication buffer not initialized");
+        }
+        for (i, a) in domains.iter().enumerate() {
+            for b in domains.iter().skip(i + 1) {
+                let a_end = a.index_base + a.endpoints();
+                let b_end = b.index_base + b.endpoints();
+                assert!(
+                    a_end <= b.index_base || b_end <= a.index_base,
+                    "domain endpoint-index ranges overlap"
+                );
+            }
+        }
+        Engine {
+            domains,
+            transport,
+            cfg,
+            stats: Arc::new(EngineStats::default()),
+            scan_cursor: 0,
+            shaper: Shaper::new(),
+        }
+    }
+
+    /// Installs a transmit rate limit (capacity control, the paper's
+    /// Future Work item 4) on endpoint slot `ep`: at most
+    /// `bytes_per_iteration` payload bytes per event-loop pass, with up to
+    /// `burst` bytes of accumulated credit. Messages over the limit stay
+    /// queued — nothing is dropped.
+    /// (`ep` is the node-global endpoint index: domain base + slot.)
+    pub fn set_rate_limit(&mut self, ep: EndpointIndex, bytes_per_iteration: u64, burst: u64) {
+        self.shaper.limit(ep.0, TokenBucket::new(bytes_per_iteration, burst));
+    }
+
+    /// Removes a previously installed rate limit.
+    pub fn clear_rate_limit(&mut self, ep: EndpointIndex) {
+        self.shaper.unlimit(ep.0);
+    }
+
+    /// Shared statistics handle.
+    pub fn stats(&self) -> Arc<EngineStats> {
+        self.stats.clone()
+    }
+
+    /// The node this engine serves.
+    pub fn node(&self) -> flipc_core::endpoint::FlipcNodeId {
+        self.transport.local_node()
+    }
+
+    /// Runs one bounded event-loop iteration; returns the number of
+    /// messages moved (sent + delivered + discarded). Zero means idle.
+    pub fn iterate(&mut self) -> u32 {
+        EngineStats::bump(&self.stats.iterations);
+        self.shaper.tick();
+        let mut work = 0;
+        work += self.pump_incoming();
+        work += self.pump_outgoing();
+        work
+    }
+
+    // ------------------------------------------------------------------
+    // Receive path.
+    // ------------------------------------------------------------------
+
+    fn pump_incoming(&mut self) -> u32 {
+        let mut done = 0;
+        while done < self.cfg.incoming_budget {
+            let Some(frame) = self.transport.try_recv() else { break };
+            self.deliver(frame);
+            done += 1;
+        }
+        done
+    }
+
+    fn deliver(&mut self, frame: Frame) {
+        let local = self.transport.local_node();
+        // Route to the protection domain owning the destination index.
+        let Some(dom) = self
+            .domains
+            .iter()
+            .position(|d| d.contains_global(frame.dst.index().0))
+        else {
+            // No domain owns the index: misaddressed at node scope; count
+            // it on the first domain's buffer so applications can observe
+            // it (there is always at least one domain).
+            self.domains[0].cb.misaddressed_engine().increment();
+            EngineStats::bump(&self.stats.misaddressed);
+            return;
+        };
+        let domain = &self.domains[dom];
+        let cb = &domain.cb;
+        let didx = match validate_delivery_at(cb, local, frame.dst, domain.index_base) {
+            Ok(i) => i,
+            Err(_) => {
+                cb.misaddressed_engine().increment();
+                EngineStats::bump(&self.stats.misaddressed);
+                return;
+            }
+        };
+        let Ok(q) = cb.engine_queue(didx) else {
+            EngineStats::bump(&self.stats.misaddressed);
+            return;
+        };
+        if self.cfg.check_mode == CheckMode::Checked && validate_backlog(&q).is_err() {
+            // Corrupted release pointer: treat the endpoint as having no
+            // usable buffers; the message is discarded and counted.
+            Self::count_drop(&self.stats, cb, didx);
+            EngineStats::bump(&self.stats.check_failures);
+            return;
+        }
+        let Some(buf) = q.peek() else {
+            // The defining optimistic-transport move: no receive buffer
+            // queued, so the message is discarded and the wait-free drop
+            // counter ticks. The application learns via `drops()`.
+            Self::count_drop(&self.stats, cb, didx);
+            return;
+        };
+        if self.cfg.check_mode == CheckMode::Checked
+            && validate_queued_buffer(cb, buf).is_err()
+        {
+            // The ring slot held garbage. Skip the slot (bounded: one per
+            // arrival) and count both a check failure and a drop.
+            q.advance();
+            Self::count_drop(&self.stats, cb, didx);
+            EngineStats::bump(&self.stats.check_failures);
+            return;
+        }
+        let n = frame.payload.len().min(cb.payload_size());
+        // SAFETY: The engine owns `buf` between `peek` and `advance`; no
+        // application thread may access it until the process pointer moves.
+        unsafe { cb.payload_write(buf, &frame.payload[..n]) };
+        cb.header(buf).store(frame.src, BufferState::Processed);
+        q.advance();
+        EngineStats::bump(&self.stats.delivered);
+        // Kernel-wakeup role: only if a thread said it was blocking.
+        if cb.waiters(didx).unwrap_or(0) > 0 {
+            domain.registry.wake(didx);
+        }
+    }
+
+    fn count_drop(stats: &EngineStats, cb: &CommBuffer, ep: EndpointIndex) {
+        if let Ok(c) = cb.drops_engine(ep) {
+            c.increment();
+        }
+        EngineStats::bump(&stats.dropped_no_buffer);
+    }
+
+    // ------------------------------------------------------------------
+    // Send path.
+    // ------------------------------------------------------------------
+
+    fn pump_outgoing(&mut self) -> u32 {
+        let n: u16 = self.domains.iter().map(Domain::endpoints).sum();
+        let mut budget = self.cfg.outgoing_budget;
+        let mut done = 0;
+        // Importance classes high to low across ALL domains; rotate the
+        // start within a class so equal-importance endpoints share service
+        // fairly.
+        let mut last_served: Option<u16> = None;
+        for importance in [Importance::High, Importance::Normal, Importance::Low] {
+            for step in 0..n {
+                if budget == 0 {
+                    break;
+                }
+                let flat = (self.scan_cursor + step) % n;
+                let Some((dom, idx)) = self.flat_to_domain(flat) else { continue };
+                if !self.endpoint_sendable(dom, idx, importance) {
+                    continue;
+                }
+                let moved = self.drain_send_endpoint(dom, idx, &mut budget);
+                if moved > 0 {
+                    last_served = Some(flat);
+                }
+                done += moved;
+            }
+        }
+        // True round-robin: the next pass starts just after the endpoint
+        // that transmitted last, so equal-importance endpoints share
+        // service even under a tight budget.
+        self.scan_cursor = match last_served {
+            Some(flat) => (flat + 1) % n,
+            None => (self.scan_cursor + 1) % n,
+        };
+        done
+    }
+
+    /// Maps a flat scan position onto (domain, local endpoint index).
+    fn flat_to_domain(&self, flat: u16) -> Option<(usize, EndpointIndex)> {
+        let mut rest = flat;
+        for (d, dom) in self.domains.iter().enumerate() {
+            let n = dom.endpoints();
+            if rest < n {
+                return Some((d, EndpointIndex(rest)));
+            }
+            rest -= n;
+        }
+        None
+    }
+
+    fn endpoint_sendable(&self, dom: usize, idx: EndpointIndex, importance: Importance) -> bool {
+        let cb = &self.domains[dom].cb;
+        match (
+            cb.endpoint_gen_active(idx),
+            cb.endpoint_type(idx),
+            cb.endpoint_importance(idx),
+        ) {
+            (Ok((_, true)), Ok(EndpointType::Send), Ok(imp)) => imp == importance,
+            _ => false,
+        }
+    }
+
+    /// Transmits queued messages from one endpoint until it drains, the
+    /// budget runs out, or the wire backpressures.
+    fn drain_send_endpoint(&mut self, dom: usize, idx: EndpointIndex, budget: &mut u32) -> u32 {
+        let mut done = 0;
+        while *budget > 0 {
+            let cb = self.domains[dom].cb.clone();
+            let index_base = self.domains[dom].index_base;
+            let Ok(q) = cb.engine_queue(idx) else { break };
+            if self.cfg.check_mode == CheckMode::Checked && validate_backlog(&q).is_err() {
+                // Corrupted queue: skip the endpoint entirely this pass.
+                EngineStats::bump(&self.stats.check_failures);
+                break;
+            }
+            let Some(buf) = q.peek() else { break };
+            if self.cfg.check_mode == CheckMode::Checked
+                && validate_queued_buffer(&cb, buf).is_err()
+            {
+                q.advance();
+                EngineStats::bump(&self.stats.check_failures);
+                *budget -= 1;
+                continue;
+            }
+            let global_idx = index_base + idx.0;
+            // Capacity control: if this endpoint's token bucket cannot
+            // cover the message, leave it queued and move on.
+            if !self.shaper.admit(global_idx, cb.payload_size() as u64) {
+                break;
+            }
+            let (dest, _) = cb.header(buf).load();
+            let Ok((gen, _)) = cb.endpoint_gen_active(idx) else { break };
+
+            // Protection: an untrusting-domain configuration restricts
+            // where this buffer's messages may go. Denied messages are
+            // discarded (the buffer completes so the application can
+            // reclaim it) and counted on the send endpoint's drop counter.
+            if !self.domains[dom].may_send_to(dest.node()) {
+                cb.header(buf).set_state(BufferState::Processed);
+                q.advance();
+                if let Ok(c) = cb.drops_engine(idx) {
+                    c.increment();
+                }
+                EngineStats::bump(&self.stats.denied);
+                *budget -= 1;
+                continue;
+            }
+
+            let src = EndpointAddress::new(
+                self.transport.local_node(),
+                EndpointIndex(global_idx),
+                gen,
+            );
+            let mut payload = vec![0u8; cb.payload_size()].into_boxed_slice();
+            // SAFETY: The engine owns `buf` between `peek` and `advance`.
+            unsafe { cb.payload_read(buf, &mut payload) };
+            let frame = Frame { src, dst: dest, payload };
+
+            if dest.node() == self.transport.local_node() {
+                // Node-local delivery bypasses the interconnect (possibly
+                // into another domain on this node). Mark the send
+                // complete first (releasing the queue view, since
+                // `deliver` needs `&mut self`), then deliver.
+                cb.header(buf).set_state(BufferState::Processed);
+                q.advance();
+                self.deliver(frame);
+            } else {
+                if !self.transport.try_send(dest.node(), &frame) {
+                    // Wire full: leave the buffer queued (do NOT advance)
+                    // and retry on a later iteration. Bounded: we stop
+                    // this endpoint now.
+                    break;
+                }
+                cb.header(buf).set_state(BufferState::Processed);
+                q.advance();
+            }
+            EngineStats::bump(&self.stats.sent);
+            *budget -= 1;
+            done += 1;
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loopback::fabric;
+    use flipc_core::api::Flipc;
+    use flipc_core::endpoint::FlipcNodeId;
+    use flipc_core::layout::Geometry;
+
+    struct World {
+        flipc: Vec<Flipc>,
+        engines: Vec<Engine>,
+    }
+
+    fn world(n: usize) -> World {
+        world_with(n, EngineConfig::default(), Geometry::small())
+    }
+
+    fn world_with(n: usize, cfg: EngineConfig, geo: Geometry) -> World {
+        let ports = fabric(n, 64);
+        let mut flipc = Vec::new();
+        let mut engines = Vec::new();
+        for (i, port) in ports.into_iter().enumerate() {
+            let cb = Arc::new(CommBuffer::new(geo).unwrap());
+            let registry = WaitRegistry::new();
+            flipc.push(Flipc::attach(cb.clone(), FlipcNodeId(i as u16), registry.clone()));
+            engines.push(Engine::new(cb, Box::new(port), registry, cfg));
+        }
+        World { flipc, engines }
+    }
+
+    impl World {
+        fn pump(&mut self) {
+            // A few sweeps so sends on node A arrive at node B within one
+            // call even with local+remote hops.
+            for _ in 0..4 {
+                for e in &mut self.engines {
+                    e.iterate();
+                }
+            }
+        }
+    }
+
+    fn send_bytes(f: &Flipc, ep: &flipc_core::api::LocalEndpoint, dest: EndpointAddress, data: &[u8]) {
+        let mut t = f.buffer_allocate().unwrap();
+        f.payload_mut(&mut t)[..data.len()].copy_from_slice(data);
+        f.send(ep, t, dest).unwrap();
+    }
+
+    #[test]
+    fn end_to_end_delivery_between_nodes() {
+        let mut w = world(2);
+        let tx = w.flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let rx = w.flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let dest = w.flipc[1].address(&rx);
+        let buf = w.flipc[1].buffer_allocate().unwrap();
+        w.flipc[1].provide_receive_buffer(&rx, buf).map_err(|r| r.error).unwrap();
+
+        send_bytes(&w.flipc[0], &tx, dest, b"hello paragon");
+        w.pump();
+
+        let got = w.flipc[1].recv(&rx).unwrap().unwrap();
+        assert_eq!(&w.flipc[1].payload(&got.token)[..13], b"hello paragon");
+        assert_eq!(got.from.node(), FlipcNodeId(0));
+        // Sender can reclaim its buffer (step 5).
+        let back = w.flipc[0].reclaim_send(&tx).unwrap();
+        assert!(back.is_some());
+    }
+
+    #[test]
+    fn node_local_delivery_bypasses_the_wire() {
+        let mut w = world(1);
+        let f = &w.flipc[0];
+        let tx = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let rx = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let dest = f.address(&rx);
+        let b = f.buffer_allocate().unwrap();
+        f.provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+        send_bytes(f, &tx, dest, b"local");
+        w.engines[0].iterate();
+        let got = w.flipc[0].recv(&rx).unwrap().unwrap();
+        assert_eq!(&w.flipc[0].payload(&got.token)[..5], b"local");
+    }
+
+    #[test]
+    fn ordering_is_preserved_per_endpoint_pair() {
+        let mut w = world(2);
+        let tx = w.flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let rx = w.flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let dest = w.flipc[1].address(&rx);
+        for _ in 0..16 {
+            let b = w.flipc[1].buffer_allocate().unwrap();
+            w.flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+        }
+        for i in 0..10u8 {
+            send_bytes(&w.flipc[0], &tx, dest, &[i]);
+            // Reclaim as we go so the send ring never fills.
+            let _ = w.flipc[0].reclaim_send(&tx);
+            w.pump();
+        }
+        for i in 0..10u8 {
+            let got = w.flipc[1].recv(&rx).unwrap().unwrap();
+            assert_eq!(w.flipc[1].payload(&got.token)[0], i, "out of order");
+        }
+    }
+
+    #[test]
+    fn no_receive_buffer_discards_and_counts() {
+        let mut w = world(2);
+        let tx = w.flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let rx = w.flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let dest = w.flipc[1].address(&rx);
+        for i in 0..5u8 {
+            send_bytes(&w.flipc[0], &tx, dest, &[i]);
+        }
+        w.pump();
+        assert_eq!(w.flipc[1].drops_reset(&rx).unwrap(), 5);
+        assert!(w.flipc[1].recv(&rx).unwrap().is_none());
+        // The sender's buffers still complete: optimistic send never blocks
+        // on the receiver.
+        let mut reclaimed = 0;
+        while w.flipc[0].reclaim_send(&tx).unwrap().is_some() {
+            reclaimed += 1;
+        }
+        assert_eq!(reclaimed, 5);
+    }
+
+    #[test]
+    fn stale_address_is_misaddressed_not_delivered() {
+        let mut w = world(2);
+        let tx = w.flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let rx = w.flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let stale = w.flipc[1].address(&rx);
+        // Free and reallocate the endpoint: the old address's generation is
+        // now stale.
+        w.flipc[1].endpoint_free(rx).unwrap();
+        let rx2 = w.flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let b = w.flipc[1].buffer_allocate().unwrap();
+        w.flipc[1].provide_receive_buffer(&rx2, b).map_err(|r| r.error).unwrap();
+
+        send_bytes(&w.flipc[0], &tx, stale, b"ghost");
+        w.pump();
+        assert!(w.flipc[1].recv(&rx2).unwrap().is_none(), "stale traffic must not leak");
+        assert_eq!(w.flipc[1].misaddressed_reset(), 1);
+        assert_eq!(w.engines[1].stats().misaddressed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn high_importance_sends_first() {
+        // Queue on a low-importance endpoint first, then a high one; with a
+        // tiny outgoing budget the high-importance message must still win.
+        let cfg = EngineConfig { outgoing_budget: 1, ..Default::default() };
+        let mut w = world_with(2, cfg, Geometry::small());
+        let lo = w.flipc[0].endpoint_allocate(EndpointType::Send, Importance::Low).unwrap();
+        let hi = w.flipc[0].endpoint_allocate(EndpointType::Send, Importance::High).unwrap();
+        let rx = w.flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let dest = w.flipc[1].address(&rx);
+        for _ in 0..4 {
+            let b = w.flipc[1].buffer_allocate().unwrap();
+            w.flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+        }
+        send_bytes(&w.flipc[0], &lo, dest, b"maintenance");
+        send_bytes(&w.flipc[0], &hi, dest, b"missile!");
+        // One outgoing slot this iteration: the high-importance endpoint
+        // gets it despite being queued later.
+        w.engines[0].iterate();
+        w.engines[1].iterate();
+        let first = w.flipc[1].recv(&rx).unwrap().unwrap();
+        assert_eq!(&w.flipc[1].payload(&first.token)[..8], b"missile!");
+    }
+
+    #[test]
+    fn wire_backpressure_retries_without_loss() {
+        // Wire depth 2, but 6 messages queued: the engine must deliver all
+        // of them across iterations without losing or reordering any.
+        let ports = fabric(2, 2);
+        let geo = Geometry::small();
+        let mut flipc = Vec::new();
+        let mut engines = Vec::new();
+        for (i, port) in ports.into_iter().enumerate() {
+            let cb = Arc::new(CommBuffer::new(geo).unwrap());
+            let registry = WaitRegistry::new();
+            flipc.push(Flipc::attach(cb.clone(), FlipcNodeId(i as u16), registry.clone()));
+            engines.push(Engine::new(cb, Box::new(port), registry, EngineConfig::default()));
+        }
+        let tx = flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let rx = flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let dest = flipc[1].address(&rx);
+        for _ in 0..8 {
+            let b = flipc[1].buffer_allocate().unwrap();
+            flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+        }
+        for i in 0..6u8 {
+            let mut t = flipc[0].buffer_allocate().unwrap();
+            flipc[0].payload_mut(&mut t)[0] = i;
+            flipc[0].send(&tx, t, dest).unwrap();
+        }
+        for _ in 0..10 {
+            engines[0].iterate();
+            engines[1].iterate();
+        }
+        for i in 0..6u8 {
+            let got = flipc[1].recv(&rx).unwrap().unwrap();
+            assert_eq!(flipc[1].payload(&got.token)[0], i);
+        }
+        assert_eq!(flipc[1].drops_reset(&rx).unwrap(), 0);
+    }
+
+    #[test]
+    fn corrupted_ring_slot_cannot_stall_the_engine() {
+        let mut w = world(2);
+        let f = &w.flipc[0];
+        let tx = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        // Errant application: scribble an out-of-range buffer index into
+        // the ring and bump release by smashing raw words.
+        let lay = f.commbuf().layout();
+        let slot_off = lay.ring_slot(tx.index().0, 0);
+        f.commbuf().raw_word(slot_off).store(0xFFFF_FFFF, Ordering::Relaxed);
+        let rel_off = lay.endpoint(tx.index().0) + flipc_core::layout::EP_RELEASE;
+        f.commbuf().raw_word(rel_off).store(1, Ordering::Relaxed);
+
+        // The engine must complete its iteration, flag the check failure,
+        // and keep serving other traffic.
+        let stats = w.engines[0].stats();
+        w.engines[0].iterate();
+        assert!(stats.check_failures.load(Ordering::Relaxed) >= 1);
+
+        // Other endpoints still work end to end.
+        let tx2 = w.flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let rx = w.flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let dest = w.flipc[1].address(&rx);
+        let b = w.flipc[1].buffer_allocate().unwrap();
+        w.flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+        send_bytes(&w.flipc[0], &tx2, dest, b"alive");
+        w.pump();
+        assert!(w.flipc[1].recv(&rx).unwrap().unwrap().token.index() < 64);
+    }
+
+    #[test]
+    fn iteration_work_is_bounded_by_budget() {
+        let cfg = EngineConfig { incoming_budget: 4, outgoing_budget: 4, ..Default::default() };
+        let mut w = world_with(2, cfg, Geometry { ring_capacity: 32, ..Geometry::small() });
+        let tx = w.flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let rx = w.flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let dest = w.flipc[1].address(&rx);
+        for i in 0..20u8 {
+            send_bytes(&w.flipc[0], &tx, dest, &[i]);
+        }
+        // One iteration can move at most outgoing_budget messages.
+        let moved = w.engines[0].iterate();
+        assert!(moved <= 4, "engine exceeded its bounded work ({moved})");
+        assert_eq!(w.engines[0].stats().sent.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn blocking_receiver_is_woken_by_engine() {
+        let mut w = world(2);
+        let tx = w.flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let rx = w.flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let dest = w.flipc[1].address(&rx);
+        let b = w.flipc[1].buffer_allocate().unwrap();
+        w.flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+
+        // Run the receiving app on another thread; pump engines here.
+        let replacement = Flipc::attach(
+            w.flipc[1].commbuf().clone(),
+            FlipcNodeId(1),
+            w.flipc[1].registry().clone(),
+        );
+        let f1 = std::mem::replace(&mut w.flipc[1], replacement);
+        let waiter = std::thread::spawn(move || {
+            let got = f1.recv_blocking(&rx, std::time::Duration::from_secs(10)).unwrap();
+            f1.payload(&got.token)[0]
+        });
+        while w.flipc[1].commbuf().waiters(EndpointIndex(0)).unwrap() == 0 {
+            std::thread::yield_now();
+        }
+        send_bytes(&w.flipc[0], &tx, dest, &[42]);
+        w.pump();
+        assert_eq!(waiter.join().unwrap(), 42);
+    }
+}
+
+#[cfg(test)]
+mod shaping_tests {
+    use super::*;
+    use crate::loopback::fabric;
+    use flipc_core::api::Flipc;
+    use flipc_core::endpoint::FlipcNodeId;
+    use flipc_core::layout::Geometry;
+
+    /// Capacity control (Future Work item 4): a rate-limited endpoint's
+    /// throughput is capped while an unlimited endpoint on the same node
+    /// flows freely, and no limited message is ever dropped — it just
+    /// waits.
+    #[test]
+    fn rate_limited_endpoint_is_throttled_not_dropped() {
+        let geo = Geometry { ring_capacity: 32, buffers: 128, ..Geometry::small() };
+        let ports = fabric(2, 256);
+        let mut flipc = Vec::new();
+        let mut engines = Vec::new();
+        for (i, port) in ports.into_iter().enumerate() {
+            let cb = Arc::new(CommBuffer::new(geo).unwrap());
+            let registry = WaitRegistry::new();
+            flipc.push(Flipc::attach(cb.clone(), FlipcNodeId(i as u16), registry.clone()));
+            engines.push(Engine::new(cb, Box::new(port), registry, EngineConfig::default()));
+        }
+        let limited = flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let free = flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let rx = flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let dest = flipc[1].address(&rx);
+        for _ in 0..32 {
+            let b = flipc[1].buffer_allocate().unwrap();
+            flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+        }
+        // One 120-byte payload per iteration for the limited endpoint.
+        let payload = flipc[0].payload_size() as u64;
+        engines[0].set_rate_limit(limited.index(), payload, payload);
+
+        for i in 0..8u8 {
+            let mut t = flipc[0].buffer_allocate().unwrap();
+            flipc[0].payload_mut(&mut t)[0] = i;
+            flipc[0].send(&limited, t, dest).unwrap();
+            let mut t = flipc[0].buffer_allocate().unwrap();
+            flipc[0].payload_mut(&mut t)[0] = 100 + i;
+            flipc[0].send(&free, t, dest).unwrap();
+        }
+        // One iteration: the free endpoint drains entirely; the limited
+        // one sends exactly one message (its per-iteration budget).
+        engines[0].iterate();
+        engines[1].iterate();
+        let mut limited_got = 0;
+        let mut free_got = 0;
+        while let Some(r) = flipc[1].recv(&rx).unwrap() {
+            if flipc[1].payload(&r.token)[0] >= 100 {
+                free_got += 1;
+            } else {
+                limited_got += 1;
+            }
+        }
+        assert_eq!(free_got, 8, "unlimited endpoint must drain in one pass");
+        assert_eq!(limited_got, 1, "limited endpoint gets one message per iteration");
+
+        // The rest arrive over subsequent iterations — throttled, never
+        // dropped.
+        for _ in 0..10 {
+            engines[0].iterate();
+            engines[1].iterate();
+        }
+        while let Some(r) = flipc[1].recv(&rx).unwrap() {
+            assert!(flipc[1].payload(&r.token)[0] < 100);
+            limited_got += 1;
+        }
+        assert_eq!(limited_got, 8);
+        assert_eq!(flipc[1].drops_reset(&rx).unwrap(), 0);
+    }
+
+    /// Clearing a limit restores full-speed service.
+    #[test]
+    fn clear_rate_limit_restores_throughput() {
+        let geo = Geometry { ring_capacity: 32, buffers: 128, ..Geometry::small() };
+        let ports = fabric(2, 256);
+        let mut flipc = Vec::new();
+        let mut engines = Vec::new();
+        for (i, port) in ports.into_iter().enumerate() {
+            let cb = Arc::new(CommBuffer::new(geo).unwrap());
+            let registry = WaitRegistry::new();
+            flipc.push(Flipc::attach(cb.clone(), FlipcNodeId(i as u16), registry.clone()));
+            engines.push(Engine::new(cb, Box::new(port), registry, EngineConfig::default()));
+        }
+        let tx = flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let rx = flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let dest = flipc[1].address(&rx);
+        for _ in 0..16 {
+            let b = flipc[1].buffer_allocate().unwrap();
+            flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+        }
+        engines[0].set_rate_limit(tx.index(), 0, 0); // fully blocked
+        for _ in 0..4 {
+            let t = flipc[0].buffer_allocate().unwrap();
+            flipc[0].send(&tx, t, dest).unwrap();
+        }
+        for _ in 0..5 {
+            engines[0].iterate();
+            engines[1].iterate();
+        }
+        assert!(flipc[1].recv(&rx).unwrap().is_none(), "blocked endpoint leaked");
+        engines[0].clear_rate_limit(tx.index());
+        for _ in 0..3 {
+            engines[0].iterate();
+            engines[1].iterate();
+        }
+        let mut got = 0;
+        while flipc[1].recv(&rx).unwrap().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 4);
+    }
+}
+
+#[cfg(test)]
+mod fairness_tests {
+    use super::*;
+    use crate::loopback::fabric;
+    use flipc_core::api::Flipc;
+    use flipc_core::endpoint::FlipcNodeId;
+    use flipc_core::layout::Geometry;
+
+    /// Equal-importance endpoints share service round-robin: with a
+    /// one-message budget per iteration, busy endpoints alternate rather
+    /// than one draining completely first.
+    #[test]
+    fn equal_importance_endpoints_share_service() {
+        let geo = Geometry { ring_capacity: 32, buffers: 128, ..Geometry::small() };
+        let ports = fabric(2, 256);
+        let mut flipc = Vec::new();
+        let mut engines = Vec::new();
+        let cfg = EngineConfig { outgoing_budget: 1, ..Default::default() };
+        for (i, port) in ports.into_iter().enumerate() {
+            let cb = Arc::new(CommBuffer::new(geo).unwrap());
+            let registry = WaitRegistry::new();
+            flipc.push(Flipc::attach(cb.clone(), FlipcNodeId(i as u16), registry.clone()));
+            engines.push(Engine::new(cb, Box::new(port), registry, cfg));
+        }
+        let ep_a = flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let ep_b = flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let rx = flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let dest = flipc[1].address(&rx);
+        for _ in 0..16 {
+            let b = flipc[1].buffer_allocate().unwrap();
+            flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+        }
+        for i in 0..4u8 {
+            for (tag, ep) in [(b'a', &ep_a), (b'b', &ep_b)] {
+                let mut t = flipc[0].buffer_allocate().unwrap();
+                flipc[0].payload_mut(&mut t)[0] = tag;
+                flipc[0].payload_mut(&mut t)[1] = i;
+                flipc[0].send(ep, t, dest).unwrap();
+            }
+        }
+        // Eight iterations at one message each: arrivals must alternate
+        // a/b rather than aaaa bbbb.
+        let mut order = Vec::new();
+        for _ in 0..8 {
+            engines[0].iterate();
+            engines[1].iterate();
+            while let Some(r) = flipc[1].recv(&rx).unwrap() {
+                order.push(flipc[1].payload(&r.token)[0]);
+            }
+        }
+        assert_eq!(order.len(), 8);
+        let max_consecutive = order
+            .windows(2)
+            .fold((1u32, 1u32), |(max, cur), w| {
+                if w[0] == w[1] {
+                    (max.max(cur + 1), cur + 1)
+                } else {
+                    (max, 1)
+                }
+            })
+            .0;
+        assert!(
+            max_consecutive <= 2,
+            "service not shared: arrival order {:?}",
+            order.iter().map(|&c| c as char).collect::<String>()
+        );
+    }
+}
+
+#[cfg(test)]
+mod lifecycle_tests {
+    use super::*;
+    use crate::loopback::fabric;
+    use flipc_core::api::Flipc;
+    use flipc_core::endpoint::FlipcNodeId;
+    use flipc_core::layout::Geometry;
+
+    fn pair() -> (Vec<Flipc>, Vec<Engine>) {
+        let ports = fabric(2, 64);
+        let mut flipc = Vec::new();
+        let mut engines = Vec::new();
+        for (i, port) in ports.into_iter().enumerate() {
+            let cb = Arc::new(CommBuffer::new(Geometry::small()).unwrap());
+            let registry = WaitRegistry::new();
+            flipc.push(Flipc::attach(cb.clone(), FlipcNodeId(i as u16), registry.clone()));
+            engines.push(Engine::new(cb, Box::new(port), registry, EngineConfig::default()));
+        }
+        (flipc, engines)
+    }
+
+    /// An endpoint freed after its queue drains is skipped by subsequent
+    /// scans, and a reallocated slot starts clean for the next tenant.
+    #[test]
+    fn freed_endpoint_is_skipped_and_slot_reuse_is_clean() {
+        let (flipc, mut engines) = pair();
+        let tx = flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let rx = flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let dest = flipc[1].address(&rx);
+        let b = flipc[1].buffer_allocate().unwrap();
+        flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+
+        let mut t = flipc[0].buffer_allocate().unwrap();
+        flipc[0].payload_mut(&mut t)[0] = 1;
+        flipc[0].send(&tx, t, dest).unwrap();
+        for _ in 0..6 {
+            engines[0].iterate();
+            engines[1].iterate();
+        }
+        assert!(flipc[1].recv(&rx).unwrap().is_some());
+        // Drain and free the send endpoint.
+        let back = flipc[0].reclaim_send(&tx).unwrap().unwrap();
+        flipc[0].buffer_free(back);
+        let old_idx = tx.index();
+        flipc[0].endpoint_free(tx).unwrap();
+
+        // Engine keeps iterating without touching the freed slot.
+        let sent_before = engines[0].stats().sent.load(Ordering::Relaxed);
+        for _ in 0..4 {
+            engines[0].iterate();
+        }
+        assert_eq!(engines[0].stats().sent.load(Ordering::Relaxed), sent_before);
+
+        // The slot's next tenant works immediately, with a new generation.
+        let tx2 = flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        assert_eq!(tx2.index(), old_idx, "first-fit reuse expected");
+        let b = flipc[1].buffer_allocate().unwrap();
+        flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+        let mut t = flipc[0].buffer_allocate().unwrap();
+        flipc[0].payload_mut(&mut t)[0] = 2;
+        flipc[0].send(&tx2, t, dest).unwrap();
+        for _ in 0..6 {
+            engines[0].iterate();
+            engines[1].iterate();
+        }
+        let got = flipc[1].recv(&rx).unwrap().unwrap();
+        assert_eq!(flipc[1].payload(&got.token)[0], 2);
+        assert_eq!(got.from.index(), old_idx);
+    }
+
+    /// Zero engine budgets are legal (fully starved engine): nothing moves
+    /// and nothing panics; restoring budgets resumes service.
+    #[test]
+    fn zero_budget_engine_is_inert_but_sound() {
+        let ports = fabric(2, 64);
+        let cfg = EngineConfig { incoming_budget: 0, outgoing_budget: 0, ..Default::default() };
+        let mut flipc = Vec::new();
+        let mut engines = Vec::new();
+        for (i, port) in ports.into_iter().enumerate() {
+            let cb = Arc::new(CommBuffer::new(Geometry::small()).unwrap());
+            let registry = WaitRegistry::new();
+            flipc.push(Flipc::attach(cb.clone(), FlipcNodeId(i as u16), registry.clone()));
+            engines.push(Engine::new(cb, Box::new(port), registry, cfg));
+        }
+        let tx = flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let rx = flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let dest = flipc[1].address(&rx);
+        let b = flipc[1].buffer_allocate().unwrap();
+        flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+        let t = flipc[0].buffer_allocate().unwrap();
+        flipc[0].send(&tx, t, dest).unwrap();
+        for _ in 0..10 {
+            assert_eq!(engines[0].iterate(), 0);
+            assert_eq!(engines[1].iterate(), 0);
+        }
+        assert!(flipc[1].recv(&rx).unwrap().is_none());
+    }
+}

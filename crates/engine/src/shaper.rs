@@ -1,0 +1,147 @@
+//! Capacity / bandwidth control on the inter-node transport.
+//!
+//! One of the paper's Future Work items: "we intend to pursue further
+//! integration of FLIPC into a real time environment by adding real time
+//! prioritization and capacity/bandwidth control functionality to the
+//! basic inter-node transport." Prioritization is the engine's
+//! importance-ordered scan; this module adds the capacity half: per-
+//! endpoint token buckets that bound how much wire capacity an endpoint
+//! may consume, so a misbehaving or low-importance stream cannot crowd the
+//! interconnect no matter how fast its application queues messages.
+//!
+//! Buckets are replenished once per engine iteration (the engine's event
+//! loop is its clock); an endpoint whose bucket cannot cover the next
+//! message is simply skipped for that iteration — its buffers stay queued,
+//! nothing is dropped, and the engine's wait-free bounded-work discipline
+//! is untouched.
+
+use std::collections::HashMap;
+
+/// A token bucket measured in payload bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct TokenBucket {
+    /// Tokens added per engine iteration.
+    pub refill_per_iteration: u64,
+    /// Maximum accumulated tokens (burst capacity).
+    pub burst: u64,
+    tokens: u64,
+}
+
+impl TokenBucket {
+    /// Creates a bucket that starts full.
+    pub fn new(refill_per_iteration: u64, burst: u64) -> TokenBucket {
+        TokenBucket { refill_per_iteration, burst, tokens: burst }
+    }
+
+    /// Adds one iteration's refill.
+    pub fn tick(&mut self) {
+        self.tokens = (self.tokens + self.refill_per_iteration).min(self.burst);
+    }
+
+    /// Attempts to spend `bytes` tokens.
+    pub fn try_spend(&mut self, bytes: u64) -> bool {
+        if self.tokens >= bytes {
+            self.tokens -= bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available.
+    pub fn available(&self) -> u64 {
+        self.tokens
+    }
+}
+
+/// Per-endpoint transmit shaping state for one engine.
+#[derive(Default, Debug)]
+pub struct Shaper {
+    buckets: HashMap<u16, TokenBucket>,
+}
+
+impl Shaper {
+    /// Creates an empty shaper (no endpoint is limited).
+    pub fn new() -> Shaper {
+        Shaper::default()
+    }
+
+    /// Installs (or replaces) a rate limit for endpoint slot `ep`.
+    pub fn limit(&mut self, ep: u16, bucket: TokenBucket) {
+        self.buckets.insert(ep, bucket);
+    }
+
+    /// Removes the limit from endpoint slot `ep`.
+    pub fn unlimit(&mut self, ep: u16) {
+        self.buckets.remove(&ep);
+    }
+
+    /// Replenishes all buckets; called once per engine iteration.
+    pub fn tick(&mut self) {
+        for b in self.buckets.values_mut() {
+            b.tick();
+        }
+    }
+
+    /// Returns `true` if endpoint `ep` may transmit `bytes` now (and spends
+    /// the tokens). Unlimited endpoints always may.
+    pub fn admit(&mut self, ep: u16, bytes: u64) -> bool {
+        match self.buckets.get_mut(&ep) {
+            Some(b) => b.try_spend(bytes),
+            None => true,
+        }
+    }
+
+    /// Whether any endpoint is limited.
+    pub fn is_active(&self) -> bool {
+        !self.buckets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_spends_and_refills() {
+        let mut b = TokenBucket::new(10, 30);
+        assert_eq!(b.available(), 30);
+        assert!(b.try_spend(25));
+        assert!(!b.try_spend(10));
+        b.tick();
+        assert_eq!(b.available(), 15);
+        assert!(b.try_spend(15));
+        assert!(!b.try_spend(1));
+    }
+
+    #[test]
+    fn burst_caps_accumulation() {
+        let mut b = TokenBucket::new(100, 50);
+        for _ in 0..10 {
+            b.tick();
+        }
+        assert_eq!(b.available(), 50);
+    }
+
+    #[test]
+    fn unlimited_endpoints_always_admit() {
+        let mut s = Shaper::new();
+        assert!(s.admit(3, u64::MAX));
+        assert!(!s.is_active());
+    }
+
+    #[test]
+    fn limited_endpoint_is_throttled_then_recovers() {
+        let mut s = Shaper::new();
+        s.limit(1, TokenBucket::new(64, 128));
+        assert!(s.is_active());
+        assert!(s.admit(1, 128));
+        assert!(!s.admit(1, 64), "bucket exhausted");
+        // Another endpoint is unaffected.
+        assert!(s.admit(2, 1 << 20));
+        s.tick();
+        assert!(s.admit(1, 64));
+        s.unlimit(1);
+        assert!(s.admit(1, 1 << 20));
+    }
+}

@@ -1,0 +1,33 @@
+//! The transport contract beneath the messaging engine.
+//!
+//! FLIPC's engine assumes a *reliable* interconnect that preserves order
+//! per (source node, destination node) path — the Paragon mesh's property —
+//! and layers nothing on top: no acknowledgements, no retransmission, no
+//! end-to-end flow control. The only backpressure is link-level: a full
+//! wire makes [`Transport::try_send`] return `false` and the engine retries
+//! on its next event-loop iteration without advancing the endpoint queue.
+//!
+//! Implementations in this workspace:
+//!
+//! * [`crate::loopback`] — in-process SPSC rings (the "native" engine path
+//!   used by tests, examples, and host benchmarks),
+//! * `flipc-kkt` — an RPC-per-message transport reproducing the paper's
+//!   development platform (and its overhead).
+
+use flipc_core::endpoint::FlipcNodeId;
+
+use crate::wire::Frame;
+
+/// A one-way, reliable, per-path-ordered frame carrier between nodes.
+pub trait Transport: Send {
+    /// Queues `frame` toward `dst`. Returns `false` if the wire cannot
+    /// accept it right now (the engine retries later; the frame is NOT
+    /// consumed — the caller keeps it).
+    fn try_send(&mut self, dst: FlipcNodeId, frame: &Frame) -> bool;
+
+    /// Polls for the next arrived frame, from any source.
+    fn try_recv(&mut self) -> Option<Frame>;
+
+    /// This transport's local node id.
+    fn local_node(&self) -> FlipcNodeId;
+}

@@ -1,0 +1,86 @@
+//! DMA transfer constraints of the Paragon mesh interface.
+//!
+//! The paper: "the characteristics of the DMA support in the interconnect
+//! interface require a message size that is at least 64 bytes and a multiple
+//! of 32 bytes" — this is what fixes FLIPC's minimum message size, and with
+//! 8 bytes of internal header, the 56-byte minimum application payload.
+//! Message buffers must also be 32-byte aligned, which is why FLIPC
+//! internalizes all buffer allocation.
+
+/// Alignment and size rules a DMA engine imposes on transfers.
+#[derive(Clone, Copy, Debug)]
+pub struct DmaConstraints {
+    /// Minimum transfer size in bytes.
+    pub min_size: u64,
+    /// Transfer sizes must be a multiple of this granule.
+    pub granule: u64,
+    /// Buffers must be aligned to this many bytes.
+    pub alignment: u64,
+}
+
+impl DmaConstraints {
+    /// The Paragon mesh-interface DMA rules (>= 64 bytes, 32-byte multiples,
+    /// 32-byte aligned buffers).
+    pub const PARAGON: DmaConstraints = DmaConstraints {
+        min_size: 64,
+        granule: 32,
+        alignment: 32,
+    };
+
+    /// Returns `true` if `size` is directly transferable.
+    pub fn size_ok(&self, size: u64) -> bool {
+        size >= self.min_size && size.is_multiple_of(self.granule)
+    }
+
+    /// Rounds `size` up to the nearest transferable size.
+    pub fn pad_size(&self, size: u64) -> u64 {
+        let padded = size.max(self.min_size);
+        padded.div_ceil(self.granule) * self.granule
+    }
+
+    /// Returns `true` if `addr` satisfies the alignment rule.
+    pub fn aligned(&self, addr: u64) -> bool {
+        addr.is_multiple_of(self.alignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paragon_minimum_is_64() {
+        let d = DmaConstraints::PARAGON;
+        assert!(!d.size_ok(32));
+        assert!(!d.size_ok(63));
+        assert!(d.size_ok(64));
+        assert!(!d.size_ok(65));
+        assert!(d.size_ok(96));
+    }
+
+    #[test]
+    fn pad_rounds_up_to_granule_and_minimum() {
+        let d = DmaConstraints::PARAGON;
+        assert_eq!(d.pad_size(1), 64);
+        assert_eq!(d.pad_size(64), 64);
+        assert_eq!(d.pad_size(65), 96);
+        assert_eq!(d.pad_size(120), 128);
+        assert_eq!(d.pad_size(56 + 8), 64, "56B payload + 8B header fits the minimum");
+    }
+
+    #[test]
+    fn padded_sizes_are_always_ok() {
+        let d = DmaConstraints::PARAGON;
+        for size in 1..1024 {
+            assert!(d.size_ok(d.pad_size(size)), "pad_size({size}) invalid");
+        }
+    }
+
+    #[test]
+    fn alignment_check() {
+        let d = DmaConstraints::PARAGON;
+        assert!(d.aligned(0));
+        assert!(d.aligned(64));
+        assert!(!d.aligned(16));
+    }
+}

@@ -1,0 +1,23 @@
+//! Paragon-style 2D wormhole mesh interconnect simulator.
+//!
+//! This substrate stands in for the Intel Paragon mesh the paper measured
+//! on: XY dimension-order routing over a 2D mesh ([`topology`]), a
+//! wormhole timing model with link-level path occupancy ([`network`]), and
+//! the DMA size/alignment constraints that set FLIPC's minimum message size
+//! ([`dma`]).
+//!
+//! The model's two load-bearing properties for the reproduction are:
+//!
+//! 1. uncontended latency is `hops * t_hop + bytes * t_byte` with
+//!    `t_byte = 5 ns` (200 MB/s peak), which bounds the Figure 4 slope, and
+//! 2. a packet holds its whole path until the tail drains, so single-packet
+//!    multi-megabyte messages (SUNMOS) block crossing real-time traffic —
+//!    experiment E8.
+
+pub mod dma;
+pub mod network;
+pub mod topology;
+
+pub use dma::DmaConstraints;
+pub use network::{MeshTiming, NetStats, Network};
+pub use topology::{Coord, Link, MeshShape, NodeId};

@@ -1,0 +1,211 @@
+//! 2D mesh topology and XY dimension-order routing.
+//!
+//! The Intel Paragon interconnect is a 2D mesh of nodes with wormhole
+//! routing in dimension order (first along X, then along Y), which is
+//! deadlock-free. This module provides node addressing, coordinate mapping,
+//! and route enumeration as a sequence of directed links.
+
+use core::fmt;
+
+/// A node's position in the mesh, as a linear identifier (row-major).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub u16);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// (column, row) coordinates of a node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Coord {
+    /// Column (X).
+    pub x: u16,
+    /// Row (Y).
+    pub y: u16,
+}
+
+/// A directed link between two adjacent mesh nodes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Link {
+    /// Upstream node.
+    pub from: Coord,
+    /// Downstream node (always an immediate mesh neighbour of `from`).
+    pub to: Coord,
+}
+
+/// The shape of a 2D mesh.
+#[derive(Clone, Copy, Debug)]
+pub struct MeshShape {
+    cols: u16,
+    rows: u16,
+}
+
+impl MeshShape {
+    /// Creates a `cols x rows` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(cols: u16, rows: u16) -> Self {
+        assert!(cols > 0 && rows > 0, "mesh dimensions must be nonzero");
+        MeshShape { cols, rows }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u16 {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u16 {
+        self.rows
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        self.cols as usize * self.rows as usize
+    }
+
+    /// Always false; meshes have at least one node.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Maps a node id to its coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the mesh.
+    pub fn coord(&self, node: NodeId) -> Coord {
+        assert!(
+            (node.0 as usize) < self.len(),
+            "node {node} outside {}x{} mesh",
+            self.cols,
+            self.rows
+        );
+        Coord {
+            x: node.0 % self.cols,
+            y: node.0 / self.cols,
+        }
+    }
+
+    /// Maps coordinates back to a node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the mesh.
+    pub fn node_at(&self, c: Coord) -> NodeId {
+        assert!(c.x < self.cols && c.y < self.rows, "coordinate outside mesh");
+        NodeId(c.y * self.cols + c.x)
+    }
+
+    /// Manhattan hop count between two nodes under XY routing.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        let ca = self.coord(a);
+        let cb = self.coord(b);
+        (ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y)) as u32
+    }
+
+    /// The XY (dimension-order) route from `src` to `dst` as directed links.
+    ///
+    /// Routes first along X to the destination column, then along Y. The
+    /// result is empty when `src == dst`.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<Link> {
+        let mut here = self.coord(src);
+        let goal = self.coord(dst);
+        let mut links = Vec::with_capacity(self.hops(src, dst) as usize);
+        while here.x != goal.x {
+            let next = Coord {
+                x: if goal.x > here.x { here.x + 1 } else { here.x - 1 },
+                y: here.y,
+            };
+            links.push(Link { from: here, to: next });
+            here = next;
+        }
+        while here.y != goal.y {
+            let next = Coord {
+                x: here.x,
+                y: if goal.y > here.y { here.y + 1 } else { here.y - 1 },
+            };
+            links.push(Link { from: here, to: next });
+            here = next;
+        }
+        links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coord_roundtrip() {
+        let m = MeshShape::new(4, 3);
+        for i in 0..m.len() as u16 {
+            let c = m.coord(NodeId(i));
+            assert_eq!(m.node_at(c), NodeId(i));
+        }
+        assert_eq!(m.coord(NodeId(5)), Coord { x: 1, y: 1 });
+    }
+
+    #[test]
+    fn hops_is_manhattan_distance() {
+        let m = MeshShape::new(4, 4);
+        assert_eq!(m.hops(NodeId(0), NodeId(0)), 0);
+        assert_eq!(m.hops(NodeId(0), NodeId(3)), 3);
+        assert_eq!(m.hops(NodeId(0), NodeId(15)), 6);
+        assert_eq!(m.hops(NodeId(15), NodeId(0)), 6);
+    }
+
+    #[test]
+    fn route_is_x_then_y() {
+        let m = MeshShape::new(4, 4);
+        let r = m.route(NodeId(0), NodeId(10)); // (0,0) -> (2,2)
+        assert_eq!(r.len(), 4);
+        // First X moves, then Y moves.
+        assert_eq!(r[0].from, Coord { x: 0, y: 0 });
+        assert_eq!(r[0].to, Coord { x: 1, y: 0 });
+        assert_eq!(r[1].to, Coord { x: 2, y: 0 });
+        assert_eq!(r[2].to, Coord { x: 2, y: 1 });
+        assert_eq!(r[3].to, Coord { x: 2, y: 2 });
+    }
+
+    #[test]
+    fn route_handles_negative_directions() {
+        let m = MeshShape::new(4, 4);
+        let r = m.route(NodeId(10), NodeId(0));
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0].from, Coord { x: 2, y: 2 });
+        assert_eq!(r.last().unwrap().to, Coord { x: 0, y: 0 });
+    }
+
+    #[test]
+    fn route_links_are_contiguous_and_adjacent() {
+        let m = MeshShape::new(5, 5);
+        for (s, d) in [(0u16, 24u16), (24, 0), (4, 20), (7, 13)] {
+            let r = m.route(NodeId(s), NodeId(d));
+            assert_eq!(r.len() as u32, m.hops(NodeId(s), NodeId(d)));
+            for w in r.windows(2) {
+                assert_eq!(w[0].to, w[1].from, "route must be contiguous");
+            }
+            for l in &r {
+                let manh = l.from.x.abs_diff(l.to.x) + l.from.y.abs_diff(l.to.y);
+                assert_eq!(manh, 1, "links connect mesh neighbours");
+            }
+        }
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let m = MeshShape::new(3, 3);
+        assert!(m.route(NodeId(4), NodeId(4)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_node_panics() {
+        MeshShape::new(2, 2).coord(NodeId(4));
+    }
+}

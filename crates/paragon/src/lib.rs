@@ -1,0 +1,30 @@
+//! FLIPC on the simulated Intel Paragon: the evaluation platform.
+//!
+//! The paper's measurements were taken on Paragon MP3 nodes (three 50MHz
+//! i860s, one reserved as a message coprocessor, 32-byte cache lines, no
+//! L2) over the Paragon wormhole mesh. This crate models the FLIPC
+//! protocol's exact step sequence on that hardware:
+//!
+//! * [`model`] — [`model::FlipcParagonModel`], which charges every shared-
+//!   memory access through the coherent-cache model and every transfer
+//!   through the mesh simulator, with switches for the paper's
+//!   configurations (locked/lockless, padded/false-shared, checks on/off);
+//! * [`experiments`] — harnesses regenerating each simulated table and
+//!   figure (Figure 4, the comparison table, both ablations, the
+//!   cold-start transient, the bandwidth points, and the SUNMOS
+//!   responsiveness experiment).
+//!
+//! Calibration policy (see DESIGN.md §5): two anchors — 16.2µs at 120
+//! bytes and the 6.25 ns/byte slope — fix the free software-cost
+//! parameters; every other number is emergent and is asserted by shape,
+//! not by value.
+
+pub mod experiments;
+pub mod model;
+
+pub use experiments::{
+    ablation_cache_tuning, ablation_validity_checks, bandwidth_table, comparison_table,
+    fig4_fit, fig4_sweep, pam_small_message, responsiveness, startup_transient, AblationRow,
+    BandwidthRow, ComparisonRow, Fig4Row, ResponsivenessResult,
+};
+pub use model::{Breakdown, FlipcModelConfig, FlipcParagonModel, FlipcSoftwareCosts};

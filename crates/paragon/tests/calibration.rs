@@ -1,0 +1,270 @@
+//! Calibration anchors and shape assertions for the simulated evaluation.
+//!
+//! Per DESIGN.md §5: two anchors (16.2µs @ 120B and the 6.25 ns/B slope)
+//! fix the model's free parameters; every other paper result must then
+//! hold by *shape* — orderings, deltas, crossovers — and those shapes are
+//! what these tests lock down. Exact-value matching beyond the anchors is
+//! neither expected nor asserted.
+
+use flipc_paragon::*;
+
+// ---------------------------------------------------------------------
+// E1 / Figure 4.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig4_anchors_base_and_slope() {
+    let rows = fig4_sweep(42, 1016, 200);
+    let fit = fig4_fit(&rows, 96);
+    // Paper: Latency = 15.45µs + 6.25 ns/B for sizes >= 96 bytes.
+    assert!(
+        (fit.intercept - 15.45).abs() < 0.4,
+        "base {:.2}µs vs paper 15.45µs",
+        fit.intercept
+    );
+    assert!((fit.slope - 6.25).abs() < 0.15, "slope {:.3} vs paper 6.25 ns/B", fit.slope);
+    assert!(fit.r2 > 0.99, "latency must be linear in size (r2 = {:.4})", fit.r2);
+}
+
+#[test]
+fn fig4_latency_range_matches_paper_window() {
+    // Paper: measured latencies for the plotted sizes range ~15.5–17µs.
+    let rows = fig4_sweep(7, 248, 200);
+    for r in &rows {
+        assert!(
+            (15.0..17.8).contains(&r.mean_us),
+            "{}B: {:.2}µs outside the paper's plotted window",
+            r.msg_bytes,
+            r.mean_us
+        );
+    }
+}
+
+#[test]
+fn fig4_standard_deviations_match_paper_band() {
+    // Paper: standard deviations 0.5–0.65µs ("approximately the size of
+    // the symbols").
+    let rows = fig4_sweep(42, 504, 300);
+    for r in &rows {
+        assert!(
+            (0.35..0.8).contains(&r.stddev_us),
+            "{}B: stddev {:.2}µs outside the paper's band",
+            r.msg_bytes,
+            r.stddev_us
+        );
+    }
+}
+
+#[test]
+fn fig4_shortest_messages_are_slightly_faster() {
+    // Paper: "Shorter messages can be sent slightly faster due to changes
+    // in hardware behavior" (below the 96-byte fit region).
+    let rows = fig4_sweep(42, 504, 300);
+    let fit = fig4_fit(&rows, 96);
+    let smallest = &rows[0];
+    assert_eq!(smallest.msg_bytes, 56);
+    let predicted = fit.intercept + fit.slope * smallest.msg_bytes as f64 / 1000.0;
+    assert!(
+        smallest.mean_us < predicted - 0.1,
+        "56B: {:.2}µs should undercut the fit ({predicted:.2}µs)",
+        smallest.mean_us
+    );
+}
+
+#[test]
+fn fig4_slope_implies_more_than_150_mb_per_s() {
+    // Paper: the 6.25 ns/B slope means medium-message streams use mesh
+    // bandwidth at over 150 MB/s of the 200 MB/s peak.
+    let rows = fig4_sweep(42, 1016, 200);
+    let fit = fig4_fit(&rows, 96);
+    let implied_mb_s = 1000.0 / fit.slope;
+    assert!(implied_mb_s > 150.0, "implied bandwidth {implied_mb_s:.0} MB/s");
+    assert!(implied_mb_s < 200.0, "cannot exceed the mesh peak");
+}
+
+// ---------------------------------------------------------------------
+// E2: the comparison table.
+// ---------------------------------------------------------------------
+
+#[test]
+fn comparison_anchor_flipc_at_120_bytes() {
+    let rows = comparison_table(42);
+    let flipc = rows.iter().find(|r| r.system == "FLIPC").unwrap();
+    assert!(
+        (flipc.latency_us - 16.2).abs() < 0.4,
+        "FLIPC 120B: {:.2}µs vs paper 16.2µs",
+        flipc.latency_us
+    );
+}
+
+#[test]
+fn comparison_ordering_and_factors_hold() {
+    let rows = comparison_table(42);
+    let get = |name: &str| rows.iter().find(|r| r.system == name).unwrap().latency_us;
+    let (flipc, pam, sunmos, nx) = (get("FLIPC"), get("PAM"), get("SUNMOS"), get("NX"));
+    // Ordering: FLIPC < PAM < SUNMOS < NX.
+    assert!(flipc < pam && pam < sunmos && sunmos < nx, "{flipc} {pam} {sunmos} {nx}");
+    // Factors: paper has 26/16.2 = 1.6, 28/16.2 = 1.7, 46/16.2 = 2.8.
+    assert!((1.3..2.0).contains(&(pam / flipc)));
+    assert!((1.4..2.1).contains(&(sunmos / flipc)));
+    assert!((2.3..3.4).contains(&(nx / flipc)));
+    // Each baseline lands near its published value (they are calibrated,
+    // so this is a regression check on the calibration).
+    assert!((pam - 26.0).abs() < 1.5);
+    assert!((sunmos - 28.0).abs() < 1.5);
+    assert!((nx - 46.0).abs() < 2.0);
+}
+
+// ---------------------------------------------------------------------
+// E3: the cache-tuning ablation.
+// ---------------------------------------------------------------------
+
+#[test]
+fn tuning_ablation_is_about_15us_and_almost_2x() {
+    let rows = ablation_cache_tuning(42);
+    let get = |name: &str| {
+        rows.iter().find(|r| r.config.starts_with(name)).unwrap().latency_us
+    };
+    let untuned = get("locked + false-shared");
+    let tuned = get("lockless + padded");
+    let delta = untuned - tuned;
+    let factor = untuned / tuned;
+    // Paper: "improved latency by 15µs or almost a factor of two".
+    assert!((11.0..19.0).contains(&delta), "tuning delta {delta:.1}µs vs paper ~15µs");
+    assert!((1.6..2.2).contains(&factor), "tuning factor {factor:.2} vs paper ~2x");
+}
+
+#[test]
+fn each_fix_helps_independently() {
+    let rows = ablation_cache_tuning(42);
+    let get = |name: &str| {
+        rows.iter().find(|r| r.config.starts_with(name)).unwrap().latency_us
+    };
+    // Removing locks helps at either layout; padding helps at either lock
+    // setting.
+    assert!(get("lockless + false-shared") < get("locked + false-shared"));
+    assert!(get("lockless + padded") < get("locked + padded"));
+    assert!(get("locked + padded") < get("locked + false-shared"));
+    assert!(get("lockless + padded") < get("lockless + false-shared"));
+}
+
+// ---------------------------------------------------------------------
+// E4: validity checks.
+// ---------------------------------------------------------------------
+
+#[test]
+fn validity_checks_add_about_2us() {
+    let (off, on) = ablation_validity_checks(42);
+    let delta = on - off;
+    // Paper: "Configuring these checks adds an additional 2µs".
+    assert!((1.5..2.5).contains(&delta), "checks delta {delta:.2}µs vs paper ~2µs");
+}
+
+// ---------------------------------------------------------------------
+// E5: the cold-start transient.
+// ---------------------------------------------------------------------
+
+#[test]
+fn short_runs_are_faster_than_steady_state() {
+    // Paper: runs with a small number of exchanges are ~3µs faster than
+    // steady state because lines shared in steady state are not yet
+    // shared, so writes pay fewer invalidations. We assert the sign and
+    // a conservative magnitude (>= 1µs); the gap shrinks as the short run
+    // grows, which we also verify.
+    let (short3, steady) = startup_transient(42, 3);
+    assert!(
+        steady - short3 > 1.0,
+        "3-exchange runs ({short3:.2}µs) must undercut steady state ({steady:.2}µs)"
+    );
+    let (short10, _) = startup_transient(42, 10);
+    assert!(short10 > short3, "the transient decays as the run lengthens");
+}
+
+// ---------------------------------------------------------------------
+// E6: PAM's small-message point.
+// ---------------------------------------------------------------------
+
+#[test]
+fn pam_beats_flipc_at_20_bytes_by_about_a_third() {
+    let (pam_us, flipc_us, copy_ns) = pam_small_message(42);
+    // Paper: PAM < 10µs, "about a third faster than FLIPC would be on a
+    // 20 byte message"; PAM copy < 0.2µs.
+    assert!(pam_us < 10.0, "PAM 20B: {pam_us:.1}µs");
+    let advantage = (flipc_us - pam_us) / flipc_us;
+    assert!(
+        (0.25..0.48).contains(&advantage),
+        "PAM advantage {advantage:.2} vs paper ~1/3 (PAM {pam_us:.1} vs FLIPC {flipc_us:.1})"
+    );
+    assert!(copy_ns < 200);
+}
+
+// ---------------------------------------------------------------------
+// E7: bandwidth points.
+// ---------------------------------------------------------------------
+
+#[test]
+fn bandwidth_table_matches_published_points() {
+    let rows = bandwidth_table(42);
+    let get = |label: &str| {
+        rows.iter().find(|r| r.label.starts_with(label)).unwrap().mb_per_s
+    };
+    assert!(get("FLIPC") > 150.0, "FLIPC stream {:.0} MB/s (paper: >150)", get("FLIPC"));
+    assert!((135.0..160.0).contains(&get("NX")), "NX {:.0} (paper: >140)", get("NX"));
+    assert!((150.0..165.0).contains(&get("SUNMOS")), "SUNMOS {:.0} (paper: ~160)", get("SUNMOS"));
+    // Everything stays below the 200 MB/s hardware peak.
+    for r in &rows {
+        assert!(r.mb_per_s < 200.0, "{}: {:.0} exceeds the mesh peak", r.label, r.mb_per_s);
+    }
+}
+
+// ---------------------------------------------------------------------
+// E8: real-time responsiveness under a competing bulk transfer.
+// ---------------------------------------------------------------------
+
+#[test]
+fn sunmos_single_packet_stalls_the_stream_flipc_chunks_do_not() {
+    let r = responsiveness(42);
+    // The paper's critique: a multi-megabyte single-packet message
+    // occupies the interconnect path for its duration. A 4MB packet at
+    // 200 MB/s holds its links ~21ms, so the crossing 120B stream's worst
+    // case explodes by three orders of magnitude.
+    assert!(
+        r.sunmos_max_us > 1_000.0,
+        "stream max under SUNMOS bulk: {:.0}µs — should be milliseconds",
+        r.sunmos_max_us
+    );
+    // FLIPC moves the same bytes as fixed-size messages: the stream waits
+    // at most a few chunk serializations.
+    assert!(
+        r.flipc_chunked_max_us < r.baseline_max_us + 50.0,
+        "stream max under FLIPC-chunked bulk: {:.0}µs (baseline {:.0}µs)",
+        r.flipc_chunked_max_us,
+        r.baseline_max_us
+    );
+    assert!(r.sunmos_max_us / r.flipc_chunked_max_us > 100.0);
+    // And the baseline itself is ordinary medium-message latency.
+    assert!((15.0..19.0).contains(&r.baseline_mean_us));
+}
+
+// ---------------------------------------------------------------------
+// E11 (extension): latency vs offered load.
+// ---------------------------------------------------------------------
+
+#[test]
+fn load_latency_floor_and_saturation_match_the_anchors() {
+    use flipc_paragon::experiments::load_latency;
+    // Low offered load: latency sits at the Figure 4 floor.
+    let low = &load_latency(42, 120, &[5.0])[0];
+    assert!(
+        (15.5..18.5).contains(&low.mean_us),
+        "low-load 120B latency {:.1}µs should sit near the 16.2µs floor",
+        low.mean_us
+    );
+    // 1KB messages deliver >150 MB/s when offered it (the slope's claim).
+    let hot = &load_latency(42, 1016, &[150.0])[0];
+    assert!(hot.delivered_mb_s > 145.0, "delivered {:.0} MB/s", hot.delivered_mb_s);
+    // And latency grows monotonically toward saturation.
+    let sweep = load_latency(42, 1016, &[20.0, 80.0, 140.0]);
+    assert!(sweep[0].mean_us < sweep[1].mean_us);
+    assert!(sweep[1].mean_us < sweep[2].mean_us);
+}

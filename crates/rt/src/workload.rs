@@ -1,0 +1,220 @@
+//! Event-driven real-time workload generators.
+//!
+//! The paper motivates FLIPC with event-driven distributed real-time
+//! systems — process control, factory-floor automation, military command
+//! and control (AEGIS, AWACS) — whose defining traffic properties are:
+//!
+//! * **medium-sized messages (50–500 bytes)**: events are too rich for tiny
+//!   messages, and aggregation into large ones is limited by its impact on
+//!   response time;
+//! * **multiple concurrent streams of differing importance** on each node.
+//!
+//! These generators produce deterministic (seeded) event schedules with
+//! exactly that structure, for the examples, tests, and benchmark
+//! workloads. We do not have AEGIS traces; the statistical shape here is
+//! the synthetic equivalent the reproduction uses instead (see DESIGN.md).
+
+use flipc_core::endpoint::Importance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's medium-message payload range, inclusive.
+pub const MEDIUM_MIN: usize = 50;
+/// Upper end of the medium-message range.
+pub const MEDIUM_MAX: usize = 500;
+
+/// One message-generating event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MsgEvent {
+    /// Emission time in nanoseconds from workload start.
+    pub at_ns: u64,
+    /// Stream the event belongs to.
+    pub stream: u32,
+    /// Payload size in bytes.
+    pub size: usize,
+    /// Stream importance class.
+    pub importance: Importance,
+}
+
+/// A periodic stream specification.
+#[derive(Clone, Copy, Debug)]
+pub struct PeriodicSpec {
+    /// Inter-event period in nanoseconds.
+    pub period_ns: u64,
+    /// Payload size per event.
+    pub size: usize,
+    /// Importance class.
+    pub importance: Importance,
+    /// Phase offset of the first event.
+    pub phase_ns: u64,
+}
+
+/// Deterministic workload generator.
+pub struct WorkloadGen {
+    rng: StdRng,
+}
+
+impl WorkloadGen {
+    /// Creates a generator from a seed (same seed, same workload).
+    pub fn new(seed: u64) -> WorkloadGen {
+        WorkloadGen { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// A uniformly random medium-message size (50–500 bytes).
+    pub fn medium_size(&mut self) -> usize {
+        self.rng.gen_range(MEDIUM_MIN..=MEDIUM_MAX)
+    }
+
+    /// Events of one strictly periodic stream over `duration_ns`.
+    pub fn periodic(&mut self, stream: u32, spec: PeriodicSpec, duration_ns: u64) -> Vec<MsgEvent> {
+        assert!(spec.period_ns > 0, "period must be nonzero");
+        let mut out = Vec::new();
+        let mut t = spec.phase_ns;
+        while t < duration_ns {
+            out.push(MsgEvent {
+                at_ns: t,
+                stream,
+                size: spec.size,
+                importance: spec.importance,
+            });
+            t += spec.period_ns;
+        }
+        out
+    }
+
+    /// Poisson event stream with the given mean rate (events/second) and
+    /// random medium sizes — the aperiodic "detection" traffic.
+    pub fn poisson(
+        &mut self,
+        stream: u32,
+        rate_per_sec: f64,
+        importance: Importance,
+        duration_ns: u64,
+    ) -> Vec<MsgEvent> {
+        assert!(rate_per_sec > 0.0, "rate must be positive");
+        let mean_gap_ns = 1e9 / rate_per_sec;
+        let mut out = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            let u: f64 = self.rng.gen_range(1e-12..1.0);
+            t += -mean_gap_ns * u.ln();
+            if t >= duration_ns as f64 {
+                break;
+            }
+            let size = self.medium_size();
+            out.push(MsgEvent { at_ns: t as u64, stream, size, importance });
+        }
+        out
+    }
+
+    /// A mixed-criticality scenario: a high-importance tracking stream, a
+    /// normal telemetry stream, and low-importance maintenance chatter —
+    /// the paper's introduction in workload form. Returns all events merged
+    /// in time order.
+    pub fn mixed_criticality(&mut self, duration_ns: u64) -> Vec<MsgEvent> {
+        let mut events = Vec::new();
+        // Stream 0: radar tracks, 1 kHz, 200-byte updates, high importance.
+        events.extend(self.periodic(
+            0,
+            PeriodicSpec {
+                period_ns: 1_000_000,
+                size: 200,
+                importance: Importance::High,
+                phase_ns: 0,
+            },
+            duration_ns,
+        ));
+        // Stream 1: telemetry, 200 Hz, random medium sizes, normal.
+        events.extend(self.poisson(1, 200.0, Importance::Normal, duration_ns));
+        // Stream 2: maintenance, 10 Hz, 400-byte reports, low importance.
+        events.extend(self.periodic(
+            2,
+            PeriodicSpec {
+                period_ns: 100_000_000,
+                size: 400,
+                importance: Importance::Low,
+                phase_ns: 37_000,
+            },
+            duration_ns,
+        ));
+        events.sort_by_key(|e| (e.at_ns, e.stream));
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_workload() {
+        let a = WorkloadGen::new(7).mixed_criticality(50_000_000);
+        let b = WorkloadGen::new(7).mixed_criticality(50_000_000);
+        assert_eq!(a, b);
+        let c = WorkloadGen::new(8).mixed_criticality(50_000_000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn periodic_stream_is_exactly_periodic() {
+        let mut g = WorkloadGen::new(1);
+        let spec = PeriodicSpec {
+            period_ns: 1_000,
+            size: 64,
+            importance: Importance::Normal,
+            phase_ns: 500,
+        };
+        let ev = g.periodic(3, spec, 10_000);
+        assert_eq!(ev.len(), 10);
+        for (i, e) in ev.iter().enumerate() {
+            assert_eq!(e.at_ns, 500 + i as u64 * 1_000);
+            assert_eq!(e.stream, 3);
+            assert_eq!(e.size, 64);
+        }
+    }
+
+    #[test]
+    fn poisson_rate_is_approximately_right() {
+        let mut g = WorkloadGen::new(42);
+        let one_sec = 1_000_000_000;
+        let ev = g.poisson(0, 1000.0, Importance::Normal, one_sec);
+        assert!(
+            (900..1100).contains(&ev.len()),
+            "expected ~1000 events, got {}",
+            ev.len()
+        );
+        // Strictly increasing times within the duration.
+        for w in ev.windows(2) {
+            assert!(w[0].at_ns <= w[1].at_ns);
+        }
+        assert!(ev.last().unwrap().at_ns < one_sec);
+    }
+
+    #[test]
+    fn medium_sizes_stay_in_the_papers_range() {
+        let mut g = WorkloadGen::new(3);
+        for _ in 0..1000 {
+            let s = g.medium_size();
+            assert!((MEDIUM_MIN..=MEDIUM_MAX).contains(&s));
+        }
+    }
+
+    #[test]
+    fn mixed_criticality_has_all_three_streams_in_time_order() {
+        let ev = WorkloadGen::new(5).mixed_criticality(200_000_000);
+        for w in ev.windows(2) {
+            assert!(w[0].at_ns <= w[1].at_ns, "events must be time sorted");
+        }
+        let has = |s: u32| ev.iter().any(|e| e.stream == s);
+        assert!(has(0) && has(1) && has(2));
+        // The high-importance stream dominates event count (1 kHz).
+        let n0 = ev.iter().filter(|e| e.stream == 0).count();
+        let n2 = ev.iter().filter(|e| e.stream == 2).count();
+        assert!(n0 > 50 * n2);
+        // Importance classes are attached per stream.
+        assert!(ev
+            .iter()
+            .filter(|e| e.stream == 0)
+            .all(|e| e.importance == Importance::High));
+    }
+}

@@ -1,0 +1,349 @@
+//! The discrete-event simulation kernel.
+//!
+//! [`Sim<S>`] owns a user-supplied world state `S` and a time-ordered event
+//! queue. Events are boxed closures invoked with exclusive access to the
+//! whole simulation, so they can both mutate the world and schedule further
+//! events. Ties in firing time are broken by insertion order, which makes
+//! every run deterministic.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+/// An event body: a one-shot closure run with exclusive simulation access.
+pub type EventFn<S> = Box<dyn FnOnce(&mut Sim<S>)>;
+
+struct Scheduled<S> {
+    at: SimTime,
+    seq: u64,
+    f: EventFn<S>,
+}
+
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<S> Eq for Scheduled<S> {}
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Scheduled<S> {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulator over world state `S`.
+///
+/// # Examples
+///
+/// ```
+/// use flipc_sim::executor::Sim;
+/// use flipc_sim::time::SimDuration;
+///
+/// let mut sim = Sim::new(0u32);
+/// sim.schedule_in(SimDuration::from_ns(10), |sim| {
+///     sim.state += 1;
+///     sim.schedule_in(SimDuration::from_ns(5), |sim| sim.state += 10);
+/// });
+/// sim.run();
+/// assert_eq!(sim.state, 11);
+/// assert_eq!(sim.now().as_ns(), 15);
+/// ```
+pub struct Sim<S> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<S>>,
+    cancelled: HashSet<EventId>,
+    /// The simulated world, freely accessible to event bodies.
+    pub state: S,
+}
+
+impl<S> Sim<S> {
+    /// Creates a simulator at time zero over `state`.
+    pub fn new(state: S) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            state,
+        }
+    }
+
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events still pending (including cancelled-but-unpopped).
+    pub fn pending(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
+    }
+
+    /// Schedules `f` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F) -> EventId
+    where
+        F: FnOnce(&mut Sim<S>) + 'static,
+    {
+        assert!(at >= self.now, "cannot schedule into the past ({at:?} < {:?})", self.now);
+        let id = EventId(self.seq);
+        self.queue.push(Scheduled {
+            at,
+            seq: self.seq,
+            f: Box::new(f),
+        });
+        self.seq += 1;
+        id
+    }
+
+    /// Schedules `f` to fire `after` from now.
+    pub fn schedule_in<F>(&mut self, after: SimDuration, f: F) -> EventId
+    where
+        F: FnOnce(&mut Sim<S>) + 'static,
+    {
+        self.schedule_at(self.now + after, f)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet fired (or been cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.seq {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Fires the next pending event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        while let Some(ev) = self.queue.pop() {
+            if self.cancelled.remove(&EventId(ev.seq)) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now, "event queue went backwards");
+            self.now = ev.at;
+            (ev.f)(self);
+            return true;
+        }
+        false
+    }
+
+    /// Runs until the event queue drains.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs events with firing time `<= deadline`, then advances the clock
+    /// to `deadline` (if it is later than the last fired event).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            // Skip over cancelled entries at the head so peeking sees a live
+            // event time.
+            while let Some(head) = self.queue.peek() {
+                if self.cancelled.contains(&EventId(head.seq)) {
+                    let popped = self.queue.pop().expect("peeked entry vanished");
+                    self.cancelled.remove(&EventId(popped.seq));
+                } else {
+                    break;
+                }
+            }
+            match self.queue.peek() {
+                Some(head) if head.at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if deadline > self.now {
+            self.now = deadline;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new(Vec::new());
+        sim.schedule_at(SimTime::from_ns(30), |s| s.state.push(3));
+        sim.schedule_at(SimTime::from_ns(10), |s| s.state.push(1));
+        sim.schedule_at(SimTime::from_ns(20), |s| s.state.push(2));
+        sim.run();
+        assert_eq!(sim.state, vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_ns(30));
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_insertion_order() {
+        let mut sim = Sim::new(Vec::new());
+        for i in 0..16 {
+            sim.schedule_at(SimTime::from_ns(5), move |s| s.state.push(i));
+        }
+        sim.run();
+        assert_eq!(sim.state, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Sim::new(0u64);
+        fn tick(sim: &mut Sim<u64>) {
+            sim.state += 1;
+            if sim.state < 100 {
+                sim.schedule_in(SimDuration::from_ns(7), tick);
+            }
+        }
+        sim.schedule_in(SimDuration::ZERO, tick);
+        sim.run();
+        assert_eq!(sim.state, 100);
+        assert_eq!(sim.now().as_ns(), 99 * 7);
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut sim = Sim::new(0u32);
+        let id = sim.schedule_in(SimDuration::from_ns(10), |s| s.state += 1);
+        sim.schedule_in(SimDuration::from_ns(20), |s| s.state += 10);
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double-cancel must report false");
+        sim.run();
+        assert_eq!(sim.state, 10);
+    }
+
+    #[test]
+    fn cancel_of_unknown_id_is_false() {
+        let mut sim: Sim<()> = Sim::new(());
+        assert!(!sim.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_advances_clock() {
+        let mut sim = Sim::new(Vec::new());
+        sim.schedule_at(SimTime::from_ns(10), |s| s.state.push(10));
+        sim.schedule_at(SimTime::from_ns(50), |s| s.state.push(50));
+        sim.run_until(SimTime::from_ns(30));
+        assert_eq!(sim.state, vec![10]);
+        assert_eq!(sim.now(), SimTime::from_ns(30));
+        sim.run();
+        assert_eq!(sim.state, vec![10, 50]);
+    }
+
+    #[test]
+    fn run_until_skips_cancelled_head() {
+        let mut sim = Sim::new(0u32);
+        let id = sim.schedule_at(SimTime::from_ns(10), |s| s.state += 1);
+        sim.schedule_at(SimTime::from_ns(20), |s| s.state += 2);
+        sim.cancel(id);
+        sim.run_until(SimTime::from_ns(15));
+        assert_eq!(sim.state, 0);
+        sim.run_until(SimTime::from_ns(25));
+        assert_eq!(sim.state, 2);
+    }
+
+    #[test]
+    fn pending_accounts_for_cancellations() {
+        let mut sim: Sim<()> = Sim::new(());
+        let a = sim.schedule_in(SimDuration::from_ns(1), |_| {});
+        let _b = sim.schedule_in(SimDuration::from_ns(2), |_| {});
+        assert_eq!(sim.pending(), 2);
+        sim.cancel(a);
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim = Sim::new(());
+        sim.schedule_at(SimTime::from_ns(10), |_| {});
+        sim.run();
+        sim.schedule_at(SimTime::from_ns(5), |_| {});
+    }
+}
+
+impl<S: 'static> Sim<S> {
+    /// Schedules `f` every `period` starting at `first`, until it returns
+    /// `false`. Convenience for periodic real-time traffic sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero (the event would recur at the same
+    /// instant forever).
+    pub fn schedule_every<F>(&mut self, first: SimTime, period: SimDuration, f: F)
+    where
+        F: FnMut(&mut Sim<S>) -> bool + 'static,
+    {
+        assert!(period > SimDuration::ZERO, "zero period");
+        fn tick<S: 'static, F>(sim: &mut Sim<S>, period: SimDuration, mut f: F)
+        where
+            F: FnMut(&mut Sim<S>) -> bool + 'static,
+        {
+            if f(sim) {
+                sim.schedule_in(period, move |sim| tick(sim, period, f));
+            }
+        }
+        self.schedule_at(first, move |sim| tick(sim, period, f));
+    }
+}
+
+#[cfg(test)]
+mod periodic_tests {
+    use super::*;
+
+    #[test]
+    fn periodic_events_fire_on_schedule_until_stopped() {
+        let mut sim = Sim::new(Vec::new());
+        sim.schedule_every(SimTime::from_ns(100), SimDuration::from_ns(50), |sim| {
+            let t = sim.now().as_ns();
+            sim.state.push(t);
+            t < 300
+        });
+        sim.run();
+        assert_eq!(sim.state, vec![100, 150, 200, 250, 300]);
+    }
+
+    #[test]
+    fn two_periodic_sources_interleave_deterministically() {
+        let mut sim = Sim::new(Vec::new());
+        sim.schedule_every(SimTime::from_ns(0), SimDuration::from_ns(30), |sim| {
+            let t = sim.now().as_ns();
+            sim.state.push(('a', t));
+            t < 90
+        });
+        sim.schedule_every(SimTime::from_ns(15), SimDuration::from_ns(30), |sim| {
+            let t = sim.now().as_ns();
+            sim.state.push(('b', t));
+            t < 90
+        });
+        sim.run();
+        let times: Vec<u64> = sim.state.iter().map(|&(_, t)| t).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "time order must hold across sources");
+        assert_eq!(sim.state.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero period")]
+    fn zero_period_panics() {
+        let mut sim: Sim<()> = Sim::new(());
+        sim.schedule_every(SimTime::ZERO, SimDuration::ZERO, |_| true);
+    }
+}

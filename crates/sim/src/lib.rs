@@ -1,0 +1,34 @@
+//! Simulation substrate for the FLIPC reproduction.
+//!
+//! The paper evaluates FLIPC on Intel Paragon MP3 nodes — hardware we do not
+//! have — so the evaluation experiments run on a deterministic discrete-event
+//! simulation of that platform. This crate provides the pieces every
+//! simulated experiment shares:
+//!
+//! * [`time`] — integer-nanosecond simulated clocks,
+//! * [`executor`] — the discrete-event kernel ([`executor::Sim`]),
+//! * [`cache`] — a MESI-style coherent-cache model of the MP3 node (the
+//!   source of the paper's false-sharing, bus-locked-TAS and cold-start
+//!   effects),
+//! * [`cost`] — the calibrated hardware cost parameters,
+//! * [`stats`] — mean/stddev/percentiles and line fitting for the figures,
+//! * [`rng`] — a seeded PRNG so every run is reproducible.
+//!
+//! Nothing in this crate knows about FLIPC itself; the protocol models live
+//! in `flipc-paragon` and `flipc-baselines`, and the real (host) FLIPC
+//! implementation in `flipc-core`/`flipc-engine` does not use this crate at
+//! all.
+
+pub mod cache;
+pub mod cost;
+pub mod executor;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use cache::{CacheCosts, CacheStats, CoherentBus, CpuId, CPU_APP, CPU_MCP};
+pub use cost::CostModel;
+pub use executor::{EventId, Sim};
+pub use rng::SimRng;
+pub use stats::{linear_fit, percentile, LineFit, RunningStats};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,234 @@
+//! Statistics used by the benchmark harnesses.
+//!
+//! The Figure 4 reproduction needs a mean and standard deviation per message
+//! size and a least-squares line fit (to extract the paper's
+//! `15.45µs + 6.25 ns/byte` form), so this module provides Welford running
+//! statistics, percentile extraction and simple linear regression.
+
+use crate::time::SimDuration;
+
+/// Single-pass (Welford) mean/variance accumulator.
+#[derive(Clone, Debug, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds a duration sample, in nanoseconds.
+    pub fn push_duration(&mut self, d: SimDuration) {
+        self.push(d.as_ns() as f64);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (n-1 denominator; 0 for fewer than two
+    /// samples).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Result of a least-squares line fit `y = intercept + slope * x`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LineFit {
+    /// Intercept (value of `y` at `x = 0`).
+    pub intercept: f64,
+    /// Slope (`dy/dx`).
+    pub slope: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r2: f64,
+}
+
+/// Least-squares fit of `y = a + b x` over paired samples.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or fewer than two points, or
+/// if all `x` are identical.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LineFit {
+    assert_eq!(xs.len(), ys.len(), "mismatched sample lengths");
+    assert!(xs.len() >= 2, "need at least two points to fit a line");
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mean_x) * (x - mean_x);
+        sxy += (x - mean_x) * (y - mean_y);
+        syy += (y - mean_y) * (y - mean_y);
+    }
+    assert!(sxx > 0.0, "all x values identical; slope undefined");
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    LineFit { intercept, slope, r2 }
+}
+
+/// Returns the `p`-th percentile (0–100, nearest-rank) of `samples`.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or `p` is outside `[0, 100]`.
+pub fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of empty sample set");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    if p == 0.0 {
+        return samples[0];
+    }
+    let rank = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+    samples[rank.saturating_sub(1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_match_direct_computation() {
+        let samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = RunningStats::new();
+        for &x in &samples {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample stddev of this classic set is sqrt(32/7).
+        assert!((s.stddev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_has_zero_stddev() {
+        let mut s = RunningStats::new();
+        s.push(42.0);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn push_duration_uses_nanoseconds() {
+        let mut s = RunningStats::new();
+        s.push_duration(SimDuration::from_us(2));
+        assert_eq!(s.mean(), 2_000.0);
+    }
+
+    #[test]
+    fn fit_recovers_exact_line() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64 * 32.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 15_450.0 + 6.25 * x).collect();
+        let fit = linear_fit(&xs, &ys);
+        assert!((fit.intercept - 15_450.0).abs() < 1e-6);
+        assert!((fit.slope - 6.25).abs() < 1e-9);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_of_noisy_line_has_reasonable_r2() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 3.0 + 2.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let fit = linear_fit(&xs, &ys);
+        assert!((fit.slope - 2.0).abs() < 0.02);
+        assert!(fit.r2 > 0.99);
+    }
+
+    #[test]
+    fn flat_data_r2_is_one() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 5.0];
+        let fit = linear_fit(&xs, &ys);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r2, 1.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut v = vec![15.0, 20.0, 35.0, 40.0, 50.0];
+        assert_eq!(percentile(&mut v, 0.0), 15.0);
+        assert_eq!(percentile(&mut v, 30.0), 20.0);
+        assert_eq!(percentile(&mut v, 40.0), 20.0);
+        assert_eq!(percentile(&mut v, 50.0), 35.0);
+        assert_eq!(percentile(&mut v, 100.0), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn fit_needs_two_points() {
+        let _ = linear_fit(&[1.0], &[2.0]);
+    }
+}

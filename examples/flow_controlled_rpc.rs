@@ -1,0 +1,106 @@
+//! Flow-controlled request/response over FLIPC's optimistic transport.
+//!
+//! Run with: `cargo run --example flow_controlled_rpc`
+//!
+//! FLIPC deliberately vests flow control in the layers above the
+//! transport: "flow control to avoid discarded messages can be provided
+//! either by applications or by libraries designed to fit between
+//! applications and FLIPC." This example shows both the failure mode and
+//! the fix:
+//!
+//! 1. an eager client overruns a small server ring — messages are
+//!    discarded and *counted* (never silently lost, never deadlocking the
+//!    interconnect);
+//! 2. the same traffic through the window-based flow-control library
+//!    (`flipc::core::flow`, PAM-style credits) arrives without a single
+//!    drop;
+//! 3. two cooperating applications share one node's communication buffer
+//!    by dividing its endpoints — the paper's multi-application story.
+
+use flipc::core::flow::{FlowReceiver, FlowSender};
+use flipc::core::managed::{ManagedReceiver, ManagedSender};
+use flipc::engine::{EngineConfig, InlineCluster};
+use flipc::{EndpointType, FlipcError, Geometry, Importance};
+
+const REQUESTS: u32 = 100;
+
+fn main() -> Result<(), FlipcError> {
+    let mut cluster = InlineCluster::new(
+        2,
+        Geometry { buffers: 200, ring_capacity: 64, ..Geometry::small() },
+        EngineConfig::default(),
+    )?;
+    // Two cooperating applications attach to node 0's single communication
+    // buffer (they divide the endpoints); the server runs on node 1.
+    let client_a = cluster.node(0).attach();
+    let client_b = cluster.node(0).attach();
+    let server = cluster.node(1).attach();
+
+    // --- Part 1: no flow control -> counted drops. -----------------------
+    let naive_in = server.endpoint_allocate(EndpointType::Receive, Importance::Normal)?;
+    let mut naive_rx = ManagedReceiver::new(&server, naive_in, 4)?; // tiny ring
+    let naive_out = client_a.endpoint_allocate(EndpointType::Send, Importance::Normal)?;
+    let mut naive_tx = ManagedSender::new(&client_a, naive_out, 32)?;
+    let naive_addr = client_a_address(&server, &naive_rx);
+
+    // The eager client bursts a full in-flight window before the server
+    // gets a chance to drain — exactly the overrun the transport refuses
+    // to absorb.
+    let mut sent = 0;
+    while sent < REQUESTS {
+        let mut burst = 0;
+        while sent < REQUESTS
+            && burst < 16
+            && naive_tx.send_bytes(naive_addr, format!("req {sent}").as_bytes()).is_ok()
+        {
+            sent += 1;
+            burst += 1;
+        }
+        cluster.pump_until_idle(16);
+        while naive_rx.recv_bytes()?.is_some() {}
+    }
+    let dropped = naive_rx.drops()?;
+    println!("eager client, 4-buffer server ring: {dropped} of {REQUESTS} requests dropped");
+    assert!(dropped > 0, "overrun should drop");
+
+    // --- Part 2: the window flow-control library -> zero drops. ----------
+    let data_out = client_b.endpoint_allocate(EndpointType::Send, Importance::Normal)?;
+    let credit_in = client_b.endpoint_allocate(EndpointType::Receive, Importance::Normal)?;
+    let data_in = server.endpoint_allocate(EndpointType::Receive, Importance::Normal)?;
+    let credit_out = server.endpoint_allocate(EndpointType::Send, Importance::Normal)?;
+    let data_addr = server.address(&data_in);
+
+    let mut tx = FlowSender::new(&client_b, data_out, credit_in, data_addr, 8)?;
+    let credit_addr = tx.credit_address(&client_b);
+    let mut rx = FlowReceiver::new(&server, data_in, credit_out, credit_addr, 8)?;
+
+    let mut sent = 0u32;
+    let mut received = 0u32;
+    while received < REQUESTS {
+        while sent < REQUESTS && tx.try_send(format!("req {sent}").as_bytes()).is_ok() {
+            sent += 1;
+        }
+        cluster.pump_until_idle(16);
+        while let Some(msg) = rx.recv()? {
+            let text = String::from_utf8_lossy(&msg.data);
+            assert!(text.starts_with("req "), "garbled request");
+            received += 1;
+        }
+        cluster.pump_until_idle(16); // move credits back
+        tx.poll_credits()?;
+    }
+    println!("window flow control (w=8): {received} of {REQUESTS} delivered, {} dropped", rx.drops()?);
+    assert_eq!(rx.drops()?, 0);
+
+    println!("both clients shared node 0's communication buffer; server never deadlocked");
+    Ok(())
+}
+
+/// Both applications obtained the server's endpoint address out of band;
+/// here "out of band" is just asking the server-side handle.
+fn client_a_address(
+    server: &flipc::Flipc,
+    rx: &ManagedReceiver<'_>,
+) -> flipc::EndpointAddress {
+    server.address(rx.endpoint())
+}

@@ -1,0 +1,166 @@
+//! Name service + RPC + all-sizes channel: the assumed ecosystem.
+//!
+//! Run with: `cargo run --example name_service`
+//!
+//! The paper keeps FLIPC minimal and assumes its surroundings: "FLIPC does
+//! not contain a nameservice of its own, but assumes that one is available"
+//! for distributing endpoint addresses, and its Future Work calls for
+//! integration "into a system that provides excellent performance for
+//! messages of all sizes". This example runs that ecosystem end to end on
+//! a three-node cluster:
+//!
+//! 1. node 0 hosts the [`NameServer`] (built on the FLIPC RPC layer);
+//! 2. node 1 (a data producer) registers its direct + bulk endpoints under
+//!    well-known names;
+//! 3. node 2 looks the names up and ships both a medium telemetry record
+//!    (direct path) and a large snapshot (bulk path) through one
+//!    size-adaptive channel.
+
+use flipc::core::bulk::{AdaptiveMessage, AdaptiveReceiver, AdaptiveSender, BulkReceiver, BulkSender};
+use flipc::core::flow::{FlowReceiver, FlowSender};
+use flipc::core::managed::ManagedReceiver;
+use flipc::core::names::{NameClient, NameServer};
+use flipc::core::rpc::{RpcClient, RpcServer};
+use flipc::engine::{EngineConfig, InlineCluster};
+use flipc::{EndpointType, FlipcError, Geometry, Importance};
+
+fn main() -> Result<(), FlipcError> {
+    let geo = Geometry { buffers: 256, ring_capacity: 64, ..Geometry::small() };
+    let mut cluster = InlineCluster::new(3, geo, EngineConfig::default())?;
+    let ns_app = cluster.node(0).attach();
+    let producer = cluster.node(1).attach();
+    let consumer = cluster.node(2).attach();
+
+    // --- Name server on node 0, reachable at one well-known address. ----
+    let srv_rx = ns_app.endpoint_allocate(EndpointType::Receive, Importance::Normal)?;
+    let srv_tx = ns_app.endpoint_allocate(EndpointType::Send, Importance::Normal)?;
+    let mut names = NameServer::new(RpcServer::new(&ns_app, srv_rx, srv_tx, 4, 2)?);
+    let ns_addr = names.address(&ns_app);
+
+    // --- Producer: receiving channel endpoints, registered by name. -----
+    // Direct path.
+    let direct_in = producer.endpoint_allocate(EndpointType::Receive, Importance::Normal)?;
+    let direct_addr = producer.address(&direct_in);
+    let direct_rx = ManagedReceiver::new(&producer, direct_in, 16)?;
+    // Bulk path (flow-controlled).
+    let bulk_data_in = producer.endpoint_allocate(EndpointType::Receive, Importance::Normal)?;
+    let bulk_credit_out = producer.endpoint_allocate(EndpointType::Send, Importance::Normal)?;
+    let bulk_data_addr = producer.address(&bulk_data_in);
+
+    // Register both addresses with the directory (pumping the cluster
+    // between attempts; `call_sync` resumes across timeouts).
+    let p_tx = producer.endpoint_allocate(EndpointType::Send, Importance::Normal)?;
+    let p_rx = producer.endpoint_allocate(EndpointType::Receive, Importance::Normal)?;
+    let mut p_names = NameClient::new(RpcClient::new(&producer, p_tx, p_rx, ns_addr, 2)?);
+    let register = |client: &mut NameClient<'_>, name: &str, addr, cluster: &mut InlineCluster, names: &mut NameServer<'_>| {
+        for _ in 0..50 {
+            match client.register(name, addr, || {}, 1) {
+                Ok(()) => return Ok(()),
+                Err(FlipcError::Timeout) => {
+                    cluster.pump_until_idle(16);
+                    names.serve_pending()?;
+                    cluster.pump_until_idle(16);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(FlipcError::Timeout)
+    };
+    register(&mut p_names, "telemetry/ingest", direct_addr, &mut cluster, &mut names)?;
+    register(&mut p_names, "telemetry/bulk", bulk_data_addr, &mut cluster, &mut names)?;
+    println!("producer registered 2 names; directory size = {}", names.len());
+
+    // --- Consumer: resolve names, wire up the adaptive channel. ----------
+    let c_tx = consumer.endpoint_allocate(EndpointType::Send, Importance::Normal)?;
+    let c_rx = consumer.endpoint_allocate(EndpointType::Receive, Importance::Normal)?;
+    let mut c_names = NameClient::new(RpcClient::new(&consumer, c_tx, c_rx, ns_addr, 2)?);
+    let resolve = |client: &mut NameClient<'_>, name: &str, cluster: &mut InlineCluster, names: &mut NameServer<'_>| {
+        for _ in 0..50 {
+            match client.lookup(name, || {}, 1) {
+                Ok(Some(a)) => return Ok(a),
+                Ok(None) => return Err(FlipcError::BadEndpoint),
+                Err(FlipcError::Timeout) => {
+                    cluster.pump_until_idle(16);
+                    names.serve_pending()?;
+                    cluster.pump_until_idle(16);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(FlipcError::Timeout)
+    };
+    let direct_dest = resolve(&mut c_names, "telemetry/ingest", &mut cluster, &mut names)?;
+    let bulk_dest = resolve(&mut c_names, "telemetry/bulk", &mut cluster, &mut names)?;
+    println!("consumer resolved ingest={direct_dest} bulk={bulk_dest}");
+
+    // Sender-side channel halves on the consumer node.
+    let a_direct = consumer.endpoint_allocate(EndpointType::Send, Importance::Normal)?;
+    let b_data = consumer.endpoint_allocate(EndpointType::Send, Importance::Normal)?;
+    let b_credit = consumer.endpoint_allocate(EndpointType::Receive, Importance::Normal)?;
+    let flow_tx = FlowSender::new(&consumer, b_data, b_credit, bulk_dest, 8)?;
+    let credit_dest = flow_tx.credit_address(&consumer);
+    let bulk_tx = BulkSender::new(&consumer, flow_tx);
+    let mut adaptive_tx = AdaptiveSender::new(&consumer, a_direct, direct_dest, bulk_tx, 8)?;
+
+    // Producer-side receiving halves.
+    let flow_rx = FlowReceiver::new(&producer, bulk_data_in, bulk_credit_out, credit_dest, 8)?;
+    let mut adaptive_rx = AdaptiveReceiver::new(direct_rx, BulkReceiver::new(flow_rx));
+
+    // --- Ship one medium record and one large snapshot. ------------------
+    let record = b"temp=71C pressure=2.3bar rpm=1450".to_vec();
+    let snapshot: Vec<u8> = (0..40_000u32).map(|i| (i % 251) as u8).collect();
+    println!(
+        "cutoff {}B: {}B record goes direct, {}B snapshot goes bulk",
+        adaptive_tx.cutoff(),
+        record.len(),
+        snapshot.len()
+    );
+
+    adaptive_tx.send(&record, || {}, 10)?;
+    cluster.pump_until_idle(32);
+    let mut received: Vec<AdaptiveMessage> = Vec::new();
+    while let Some(m) = adaptive_rx.recv()? {
+        received.push(m);
+    }
+    // The bulk path needs interleaved pumping: credits flow back only as
+    // the producer consumes chunks, so the send's `progress` callback
+    // drives the cluster and drains the receiver.
+    adaptive_tx.send(
+        &snapshot,
+        || {
+            cluster.pump_until_idle(16);
+            while let Some(m) = adaptive_rx.recv().expect("recv") {
+                received.push(m);
+            }
+            cluster.pump_until_idle(16);
+        },
+        100_000,
+    )?;
+    for _ in 0..10_000 {
+        cluster.pump_until_idle(16);
+        while let Some(m) = adaptive_rx.recv()? {
+            received.push(m);
+        }
+        if received.len() >= 2 {
+            break;
+        }
+    }
+
+    let direct = received
+        .iter()
+        .find(|m| matches!(m, AdaptiveMessage::Direct(_)))
+        .expect("record not delivered");
+    let bulk = received
+        .iter()
+        .find(|m| matches!(m, AdaptiveMessage::Bulk(_)))
+        .expect("snapshot not delivered");
+    assert_eq!(direct.data(), record.as_slice());
+    assert_eq!(bulk.data(), snapshot.as_slice());
+    println!(
+        "producer received: {}B direct record, {}B reassembled snapshot — byte exact",
+        direct.data().len(),
+        bulk.data().len()
+    );
+    println!("done");
+    Ok(())
+}

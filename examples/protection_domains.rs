@@ -1,0 +1,134 @@
+//! Protection domains: mutually untrusting applications on one node.
+//!
+//! Run with: `cargo run --example protection_domains`
+//!
+//! The paper's Future Work asks for "multiple communication buffers per
+//! node and protection mechanisms that restrict where messages can be
+//! sent ... to support multiple applications that do not trust each
+//! other." This example runs a node with two communication buffers — a
+//! trusted avionics control application and an untrusted third-party
+//! payload application — plus a ground-station node:
+//!
+//! * each application has its *own* communication buffer, so neither can
+//!   corrupt or exhaust the other's endpoints, rings, or buffer pool;
+//! * the payload domain is only allowed to message its own node (for
+//!   local coordination); its attempts to reach the ground station are
+//!   suppressed by the engine and show up on its drop counter;
+//! * the control domain talks to the ground station freely and relays
+//!   vetted payload data itself.
+
+use std::sync::Arc;
+
+use flipc::engine::engine::Domain;
+use flipc::engine::{Engine, EngineConfig};
+use flipc::{CommBuffer, EndpointType, Flipc, FlipcError, FlipcNodeId, Geometry, Importance,
+    WaitRegistry};
+
+fn main() -> Result<(), FlipcError> {
+    let geo = Geometry::small(); // 8 endpoints per domain
+
+    // --- Node 0: two protection domains served by ONE engine. ------------
+    let control_cb = Arc::new(CommBuffer::new(geo)?);
+    let control_reg = WaitRegistry::new();
+    let payload_cb = Arc::new(CommBuffer::new(geo)?);
+    let payload_reg = WaitRegistry::new();
+
+    let mut ports = flipc::engine::fabric(2, 64).into_iter();
+    let mut sat_engine = Engine::new_multi(
+        vec![
+            // The control domain occupies endpoint indices 0..8, no
+            // restrictions.
+            Domain::unrestricted(control_cb.clone(), control_reg.clone()),
+            // The payload domain occupies indices 8..16 and may only
+            // address node 0 (itself) — never the ground station.
+            Domain {
+                cb: payload_cb.clone(),
+                registry: payload_reg.clone(),
+                index_base: 8,
+                allowed_destinations: Some(vec![FlipcNodeId(0)]),
+            },
+        ],
+        Box::new(ports.next().expect("port")),
+        EngineConfig::default(),
+    );
+
+    // --- Node 1: the ground station. -------------------------------------
+    let ground_cb = Arc::new(CommBuffer::new(geo)?);
+    let ground_reg = WaitRegistry::new();
+    let mut ground_engine = Engine::new(
+        ground_cb.clone(),
+        Box::new(ports.next().expect("port")),
+        ground_reg.clone(),
+        EngineConfig::default(),
+    );
+
+    let control = Flipc::attach_at(control_cb, FlipcNodeId(0), control_reg, 0);
+    let payload = Flipc::attach_at(payload_cb, FlipcNodeId(0), payload_reg, 8);
+    let ground = Flipc::attach(ground_cb, FlipcNodeId(1), ground_reg);
+
+    let pump = |a: &mut Engine, b: &mut Engine| {
+        for _ in 0..6 {
+            a.iterate();
+            b.iterate();
+        }
+    };
+
+    // Ground station inbox.
+    let downlink = ground.endpoint_allocate(EndpointType::Receive, Importance::Normal)?;
+    for _ in 0..8 {
+        let b = ground.buffer_allocate()?;
+        ground.provide_receive_buffer(&downlink, b).map_err(|r| r.error)?;
+    }
+    let downlink_addr = ground.address(&downlink);
+
+    // Control's relay inbox (payload hands data to control locally).
+    let relay_in = control.endpoint_allocate(EndpointType::Receive, Importance::Normal)?;
+    for _ in 0..8 {
+        let b = control.buffer_allocate()?;
+        control.provide_receive_buffer(&relay_in, b).map_err(|r| r.error)?;
+    }
+    let relay_addr = control.address(&relay_in);
+
+    // 1. The payload app tries to phone home directly: denied by policy.
+    let sneaky = payload.endpoint_allocate(EndpointType::Send, Importance::Normal)?;
+    for i in 0..3u8 {
+        let mut t = payload.buffer_allocate()?;
+        payload.payload_mut(&mut t)[..13].copy_from_slice(b"EXFILTRATE...");
+        payload.payload_mut(&mut t)[13] = i;
+        payload.send(&sneaky, t, downlink_addr).map_err(|r| r.error)?;
+    }
+    pump(&mut sat_engine, &mut ground_engine);
+    println!(
+        "payload -> ground directly: denied {} sends (its drop counter: {})",
+        sat_engine.stats().denied.load(std::sync::atomic::Ordering::Relaxed),
+        payload.drops_reset(&sneaky)?
+    );
+    assert!(ground.recv(&downlink)?.is_none(), "policy breached!");
+
+    // 2. The sanctioned path: payload -> control (same node, allowed),
+    //    control vets and relays -> ground.
+    let to_control = payload.endpoint_allocate(EndpointType::Send, Importance::Normal)?;
+    let mut t = payload.buffer_allocate()?;
+    let data = b"spectrometer frame 0042";
+    payload.payload_mut(&mut t)[..data.len()].copy_from_slice(data);
+    payload.send(&to_control, t, relay_addr).map_err(|r| r.error)?;
+    pump(&mut sat_engine, &mut ground_engine);
+
+    let vetted = control.recv(&relay_in)?.expect("local hand-off");
+    println!(
+        "control vetted a {}-byte payload frame from {}",
+        data.len(),
+        vetted.from
+    );
+    let uplink = control.endpoint_allocate(EndpointType::Send, Importance::High)?;
+    control.send(&uplink, vetted.token, downlink_addr).map_err(|r| r.error)?;
+    pump(&mut sat_engine, &mut ground_engine);
+
+    let received = ground.recv(&downlink)?.expect("relayed frame");
+    assert_eq!(&ground.payload(&received.token)[..data.len()], data);
+    println!(
+        "ground received the relayed frame from {} — isolation + mediation both held",
+        received.from
+    );
+    Ok(())
+}

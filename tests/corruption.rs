@@ -1,0 +1,155 @@
+//! Fault injection: arbitrary communication-buffer corruption.
+//!
+//! The wait-free design exists because "a controller hang may render the
+//! node useless": no application behaviour — including scribbling over the
+//! shared communication buffer — may stall or crash the engine. These
+//! tests corrupt the region with random word writes (the strongest thing
+//! an errant application sharing the mapping can do) and assert the engine
+//! keeps running, bounded, with validity checks flagging what they catch.
+
+use proptest::prelude::*;
+use std::sync::atomic::Ordering;
+
+use flipc::engine::{EngineConfig, InlineCluster, ThreadedCluster};
+use flipc::{EndpointType, Geometry, Importance};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random word writes anywhere in the sender node's region: the
+    /// engines must finish every iteration (no panic, no hang) and keep
+    /// the receiving node fully functional.
+    #[test]
+    fn random_corruption_never_panics_or_wedges_the_engine(
+        writes in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..64),
+    ) {
+        let geo = Geometry::small();
+        let mut cl = InlineCluster::new(2, geo, EngineConfig::default()).expect("cluster");
+        let a = cl.node(0).attach();
+        let b = cl.node(1).attach();
+        let tx = a.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
+        let rx = b.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+        let dest = b.address(&rx);
+        for _ in 0..4 {
+            let t = b.buffer_allocate().expect("buffer");
+            b.provide_receive_buffer(&rx, t).map_err(|r| r.error).expect("provide");
+        }
+        for i in 0..4u8 {
+            let mut t = a.buffer_allocate().expect("buffer");
+            a.payload_mut(&mut t)[0] = i;
+            a.send(&tx, t, dest).expect("send");
+        }
+        // The errant application scribbles over its node's whole region
+        // (any 4-aligned offset, any value).
+        let total = a.commbuf().layout().total_size();
+        for (off, val) in writes {
+            let off = (off as usize % (total / 4)) * 4;
+            a.commbuf().raw_word(off).store(val, Ordering::Relaxed);
+        }
+        // Bounded pumping must terminate; nothing may panic.
+        for _ in 0..50 {
+            cl.pump();
+        }
+        // The receiving node is still coherent: whatever arrived is
+        // readable and its accounting is consistent.
+        let mut delivered = 0u64;
+        while let Some(r) = b.recv(&rx).expect("recv") {
+            delivered += 1;
+            b.buffer_free(r.token);
+        }
+        let dropped = b.drops_reset(&rx).expect("drops") as u64;
+        let misaddressed = b.misaddressed_reset() as u64;
+        // At most the 4 real messages can materialize at the receiver;
+        // corruption can forge *drops/misaddresses* (garbage frames), so
+        // only deliveries of real buffers are bounded.
+        prop_assert!(delivered <= 4, "corruption must not duplicate deliveries");
+        let _ = dropped + misaddressed; // any value is legal, must not panic
+        // No further application calls on node 0: corruption may have set
+        // its TAS lock words, and a wedged application on the corrupted
+        // buffer is *within* the paper's threat model (the errant
+        // application hurts its cohabitants) — only the ENGINE must stay
+        // live, which the bounded pumping above already proved. Node 1's
+        // applications and engine remain fully functional:
+        let rtx = b.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
+        let brx = b.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+        let t = b.buffer_allocate().expect("buffer");
+        b.provide_receive_buffer(&brx, t).map_err(|r| r.error).expect("provide");
+        let t = b.buffer_allocate().expect("buffer");
+        b.send(&rtx, t, b.address(&brx)).map_err(|r| r.error).expect("send");
+        for _ in 0..20 {
+            cl.pump();
+        }
+        prop_assert!(b.recv(&brx).expect("recv").is_some(), "clean node lost service");
+        // And both engines can still complete iterations against the
+        // corrupted region (wait-freedom: bounded work, no panic).
+        for _ in 0..10 {
+            cl.pump();
+        }
+    }
+}
+
+/// A live scribbler racing a real engine thread: the engine must survive
+/// sustained concurrent corruption and stop cleanly.
+#[test]
+fn concurrent_scribbler_cannot_stall_a_running_engine() {
+    let cl = ThreadedCluster::new(2, Geometry::small(), EngineConfig::default()).expect("cluster");
+    let evil = cl.node(0).attach();
+    let good = cl.node(1).attach();
+
+    // Legitimate background traffic from node 1 to node 0... the target
+    // region is node 0's, so run traffic node1 -> node1-local? Keep it
+    // simple: node 1 sends to itself (local delivery) while node 0's
+    // region is being scribbled; both engines keep iterating.
+    let tx = good.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
+    let rx = good.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+    let dest = good.address(&rx);
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let evil_cb = evil.commbuf().clone();
+    let scribbler = std::thread::spawn(move || {
+        let total = evil_cb.layout().total_size();
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        let mut burst = 0u32;
+        while !stop2.load(Ordering::Acquire) {
+            // Cheap xorshift over offsets and values.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let off = ((x as usize) % (total / 4)) * 4;
+            evil_cb.raw_word(off).store(x as u32, Ordering::Relaxed);
+            burst += 1;
+            if burst >= 256 {
+                // Yield so single-core hosts still schedule the engines
+                // and the application (the corruption pressure stays
+                // overwhelming: 256 writes per timeslice).
+                burst = 0;
+                std::thread::yield_now();
+            }
+        }
+    });
+
+    let mut delivered = 0;
+    for i in 0..10u8 {
+        let mut t = good.buffer_allocate().expect("buffer");
+        good.payload_mut(&mut t)[0] = i;
+        let b = good.buffer_allocate().expect("buffer");
+        good.provide_receive_buffer(&rx, b).map_err(|r| r.error).expect("provide");
+        good.send(&tx, t, dest).expect("send");
+        let got = good
+            .recv_blocking(&rx, std::time::Duration::from_secs(20))
+            .expect("delivery under concurrent corruption");
+        assert_eq!(good.payload(&got.token)[0], i);
+        good.buffer_free(got.token);
+        while let Some(tok) = good.reclaim_send(&tx).expect("reclaim") {
+            good.buffer_free(tok);
+        }
+        delivered += 1;
+    }
+    stop.store(true, Ordering::Release);
+    scribbler.join().expect("scribbler");
+    assert_eq!(delivered, 10);
+    // Engine 0 kept iterating the whole time (wait-freedom in action).
+    assert!(cl.engine_stats(0).iterations.load(Ordering::Relaxed) > 0);
+    cl.shutdown();
+}

@@ -1,0 +1,416 @@
+//! Property-based tests of the core invariants (DESIGN.md §7).
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::sync::atomic::AtomicU32;
+
+use flipc::core::counter::{CounterAppSide, CounterEngineSide};
+use flipc::core::queue::{AppQueue, EngineQueue};
+use flipc::engine::wire::Frame;
+use flipc::mesh::{DmaConstraints, MeshShape, MeshTiming, Network, NodeId};
+use flipc::sim::{SimTime};
+use flipc::{CommBuffer, EndpointAddress, EndpointIndex, FlipcNodeId, Geometry};
+
+// ---------------------------------------------------------------------
+// The three-pointer queue vs a reference model.
+// ---------------------------------------------------------------------
+
+/// Operations an interleaving may perform on an endpoint queue.
+#[derive(Clone, Copy, Debug)]
+enum QueueOp {
+    /// Application releases the next sequential id.
+    Release,
+    /// Engine processes one pending buffer.
+    Process,
+    /// Application acquires one processed buffer.
+    Acquire,
+}
+
+fn queue_op() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![
+        Just(QueueOp::Release),
+        Just(QueueOp::Process),
+        Just(QueueOp::Acquire),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any single-threaded interleaving of release/process/acquire keeps
+    /// the queue equivalent to a pair of FIFO stages: no index is lost,
+    /// duplicated, reordered, or fabricated, and the occupancy invariants
+    /// hold at every step.
+    #[test]
+    fn queue_matches_two_stage_fifo_reference(
+        ops in proptest::collection::vec(queue_op(), 1..400),
+        cap_pow in 1u32..6,
+    ) {
+        let cap = 1usize << cap_pow;
+        let release = AtomicU32::new(0);
+        let process = AtomicU32::new(0);
+        let acquire = AtomicU32::new(0);
+        let slots: Vec<AtomicU32> = (0..cap).map(|_| AtomicU32::new(0)).collect();
+        let mut app = AppQueue::new(&release, &process, &acquire, &slots);
+        let eng = EngineQueue::new(&release, &process, &acquire, &slots);
+
+        // Reference model: two FIFO stages.
+        let mut awaiting: VecDeque<u32> = VecDeque::new(); // released, unprocessed
+        let mut done: VecDeque<u32> = VecDeque::new(); // processed, unacquired
+        let mut next_id = 0u32;
+
+        for op in ops {
+            match op {
+                QueueOp::Release => {
+                    let full = awaiting.len() + done.len() == cap;
+                    match app.release(next_id) {
+                        Ok(()) => {
+                            prop_assert!(!full, "release succeeded on a full ring");
+                            awaiting.push_back(next_id);
+                            next_id += 1;
+                        }
+                        Err(_) => prop_assert!(full, "release failed on a non-full ring"),
+                    }
+                }
+                QueueOp::Process => {
+                    match eng.peek() {
+                        Some(got) => {
+                            let expect = awaiting.pop_front();
+                            prop_assert_eq!(Some(got), expect, "engine saw wrong buffer");
+                            eng.advance();
+                            done.push_back(got);
+                        }
+                        None => prop_assert!(awaiting.is_empty(), "peek missed a pending buffer"),
+                    }
+                }
+                QueueOp::Acquire => {
+                    let got = app.acquire();
+                    let expect = done.pop_front();
+                    prop_assert_eq!(got, expect, "app acquired wrong buffer");
+                }
+            }
+            // Occupancy invariants after every step.
+            prop_assert_eq!(app.len() as usize, awaiting.len() + done.len());
+            prop_assert_eq!(app.pending_process() as usize, awaiting.len());
+            prop_assert_eq!(app.acquirable() as usize, done.len());
+            prop_assert_eq!(eng.backlog() as usize, awaiting.len());
+        }
+    }
+
+    /// The two-location counter never loses or double-counts an event
+    /// under any interleaving of increments and read-and-resets.
+    #[test]
+    fn counter_conserves_events(ops in proptest::collection::vec(any::<bool>(), 1..500)) {
+        let drops = AtomicU32::new(0);
+        let taken = AtomicU32::new(0);
+        let eng = CounterEngineSide::new(&drops);
+        let app = CounterAppSide::new(&drops, &taken);
+        let mut incremented = 0u64;
+        let mut harvested = 0u64;
+        for inc in ops {
+            if inc {
+                eng.increment();
+                incremented += 1;
+            } else {
+                harvested += app.read_and_reset() as u64;
+            }
+            prop_assert_eq!(harvested + app.read() as u64, incremented);
+        }
+        harvested += app.read_and_reset() as u64;
+        prop_assert_eq!(harvested, incremented);
+        prop_assert_eq!(app.read(), 0);
+    }
+
+    /// Frame encode/decode is a faithful round trip for any addresses and
+    /// payload.
+    #[test]
+    fn frame_roundtrips(
+        src in any::<u64>(),
+        dst in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Addresses use 48 bits on the wire.
+        let f = Frame {
+            src: EndpointAddress::unpack(src & 0xFFFF_FFFF_FFFF),
+            dst: EndpointAddress::unpack(dst & 0xFFFF_FFFF_FFFF),
+            payload: payload.clone().into(),
+        };
+        let decoded = Frame::decode(&f.encode()).expect("decodes");
+        prop_assert_eq!(decoded, f);
+    }
+
+    /// Endpoint addresses pack/unpack losslessly.
+    #[test]
+    fn address_roundtrips(node in any::<u16>(), idx in any::<u16>(), gen in any::<u16>()) {
+        let a = EndpointAddress::new(FlipcNodeId(node), EndpointIndex(idx), gen);
+        prop_assert_eq!(EndpointAddress::unpack(a.pack()), a);
+    }
+
+    /// DMA padding always yields a legal transfer size, minimally.
+    #[test]
+    fn dma_padding_is_minimal_and_legal(size in 1u64..16_384) {
+        let d = DmaConstraints::PARAGON;
+        let padded = d.pad_size(size);
+        prop_assert!(d.size_ok(padded));
+        prop_assert!(padded >= size);
+        // Minimality: no smaller legal size fits.
+        if padded > d.min_size {
+            prop_assert!(padded - d.granule < size || padded - d.granule < d.min_size);
+        }
+    }
+
+    /// XY routes are contiguous neighbour chains with length == Manhattan
+    /// distance, and idle-mesh latency matches the closed form.
+    #[test]
+    fn mesh_routing_and_idle_latency(
+        cols in 1u16..8,
+        rows in 1u16..8,
+        seed in any::<u64>(),
+        bytes in 1u64..4096,
+    ) {
+        let shape = MeshShape::new(cols, rows);
+        let n = shape.len() as u64;
+        let src = NodeId((seed % n) as u16);
+        let dst = NodeId(((seed / n) % n) as u16);
+        let route = shape.route(src, dst);
+        prop_assert_eq!(route.len() as u32, shape.hops(src, dst));
+        for w in route.windows(2) {
+            prop_assert_eq!(w[0].to, w[1].from);
+        }
+        if src != dst {
+            let mut net = Network::new(shape, MeshTiming::paragon());
+            let arrival = net.transmit(SimTime::ZERO, src, dst, bytes);
+            let expect = net.uncontended_latency(src, dst, bytes);
+            prop_assert_eq!(arrival.as_ns(), expect.as_ns());
+        }
+    }
+
+    /// Any valid geometry produces a layout whose regions are disjoint,
+    /// in-bounds, and cache-line disciplined.
+    #[test]
+    fn layout_invariants_for_arbitrary_geometry(
+        endpoints in 1u16..32,
+        ring_pow in 1u32..8,
+        buffers in 1u32..256,
+        msg_mult in 2u32..16,
+    ) {
+        let geo = Geometry {
+            endpoints,
+            ring_capacity: 1 << ring_pow,
+            buffers,
+            msg_size: msg_mult * 32,
+        };
+        let cb = CommBuffer::new(geo).expect("valid geometry");
+        let lay = cb.layout();
+        // Buffers start after the last ring slot and are DMA-aligned.
+        let last_slot = lay.ring_slot(endpoints - 1, (1 << ring_pow) - 1);
+        prop_assert!(last_slot + 4 <= lay.buffer(0));
+        for bidx in 0..buffers {
+            prop_assert_eq!(lay.buffer(bidx) % 32, 0);
+        }
+        prop_assert_eq!(
+            lay.buffer(buffers - 1) + geo.msg_size as usize,
+            lay.total_size()
+        );
+        // The pool really holds `buffers` distinct indices.
+        let mut tokens = Vec::new();
+        while let Ok(t) = cb.alloc_buffer() {
+            tokens.push(t.index());
+        }
+        tokens.sort_unstable();
+        tokens.dedup();
+        prop_assert_eq!(tokens.len() as u32, buffers);
+    }
+
+    /// Sending random medium-sized payloads through a two-node cluster
+    /// delivers them byte-for-byte, in order.
+    #[test]
+    fn cluster_delivers_arbitrary_payloads_in_order(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..120),
+            1..12,
+        ),
+    ) {
+        use flipc::engine::{EngineConfig, InlineCluster};
+        use flipc::{EndpointType, Importance};
+        let mut cl = InlineCluster::new(2, Geometry::small(), EngineConfig::default())
+            .expect("cluster");
+        let a = cl.node(0).attach();
+        let b = cl.node(1).attach();
+        let tx = a.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
+        let rx = b.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+        let dest = b.address(&rx);
+        for _ in 0..payloads.len() {
+            let t = b.buffer_allocate().expect("buffer");
+            b.provide_receive_buffer(&rx, t).map_err(|r| r.error).expect("provide");
+        }
+        for p in &payloads {
+            let mut t = a.buffer_allocate().expect("buffer");
+            a.payload_mut(&mut t)[..p.len()].copy_from_slice(p);
+            a.send(&tx, t, dest).map_err(|r| r.error).expect("send");
+            // Keep the send ring drained.
+            cl.pump_until_idle(16);
+            while a.reclaim_send(&tx).expect("reclaim").is_some() {}
+        }
+        for p in &payloads {
+            let got = b.recv(&rx).expect("recv").expect("delivered");
+            prop_assert_eq!(&b.payload(&got.token)[..p.len()], &p[..]);
+            b.buffer_free(got.token);
+        }
+        prop_assert_eq!(b.drops_reset(&rx).expect("drops"), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Group receive-any serves members fairly under any load pattern:
+    /// with every member continuously loaded, consecutive scans never
+    /// serve one member twice while another waits.
+    #[test]
+    fn group_rotation_is_fair_for_any_member_count(members in 2usize..6) {
+        use flipc::engine::{EngineConfig, InlineCluster};
+        use flipc::{EndpointGroup, EndpointType, Importance};
+        let geo = Geometry { buffers: 128, ring_capacity: 16, ..Geometry::small() };
+        let mut cl = InlineCluster::new(2, geo, EngineConfig::default()).expect("cluster");
+        let tx_app = cl.node(0).attach();
+        let rx_app = cl.node(1).attach();
+        let tx = tx_app.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
+        let mut group = EndpointGroup::new();
+        let mut addrs = Vec::new();
+        for _ in 0..members {
+            let ep = rx_app.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+            for _ in 0..4 {
+                let b = rx_app.buffer_allocate().expect("buffer");
+                rx_app.provide_receive_buffer(&ep, b).map_err(|r| r.error).expect("provide");
+            }
+            addrs.push(rx_app.address(&ep));
+            group.add(ep).map_err(|(e, _)| e).expect("add");
+        }
+        // Load every member with 3 messages.
+        for round in 0..3u8 {
+            for (m, addr) in addrs.iter().enumerate() {
+                let mut t = tx_app.buffer_allocate().expect("buffer");
+                tx_app.payload_mut(&mut t)[0] = m as u8;
+                tx_app.payload_mut(&mut t)[1] = round;
+                tx_app.send(&tx, t, *addr).map_err(|r| r.error).expect("send");
+            }
+        }
+        cl.pump_until_idle(64);
+        // Drain via receive-any; count services per member.
+        let mut counts = vec![0u32; members];
+        let mut served = Vec::new();
+        while let Some((m, r)) = group.recv_any(&rx_app).expect("recv_any") {
+            counts[m] += 1;
+            served.push(m);
+            rx_app.buffer_free(r.token);
+        }
+        prop_assert_eq!(served.len(), members * 3);
+        for (m, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(c, 3, "member {} over/under served: {:?}", m, served);
+        }
+        // Rotation: while all members are loaded, the first `members`
+        // services hit distinct members.
+        let mut first: Vec<usize> = served[..members].to_vec();
+        first.sort_unstable();
+        first.dedup();
+        prop_assert_eq!(first.len(), members, "scan repeated a member: {:?}", served);
+    }
+
+    /// The flow-control invariant: at every point, credits + in-flight +
+    /// delivered-but-unconsumed == window, so the receiver ring can never
+    /// be overrun regardless of the send/consume interleaving.
+    #[test]
+    fn flow_window_is_conserved(
+        ops in proptest::collection::vec(any::<bool>(), 1..200),
+        window in 2u32..12,
+    ) {
+        use flipc::core::flow::{FlowReceiver, FlowSender};
+        use flipc::engine::{EngineConfig, InlineCluster};
+        use flipc::{EndpointType, Importance};
+        let geo = Geometry { buffers: 200, ring_capacity: 64, ..Geometry::small() };
+        let mut cl = InlineCluster::new(2, geo, EngineConfig::default()).expect("cluster");
+        let a = cl.node(0).attach();
+        let b = cl.node(1).attach();
+        let s_data = a.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
+        let s_credit = a.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+        let r_data = b.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+        let r_credit = b.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
+        let dest = b.address(&r_data);
+        let mut tx = FlowSender::new(&a, s_data, s_credit, dest, window).expect("sender");
+        let credit_dest = tx.credit_address(&a);
+        let mut rx = FlowReceiver::new(&b, r_data, r_credit, credit_dest, window).expect("receiver");
+
+        let mut sent = 0u32;
+        let mut consumed = 0u32;
+        for op in ops {
+            if op {
+                if tx.try_send(&sent.to_le_bytes()).is_ok() {
+                    sent += 1;
+                }
+            } else {
+                cl.pump_until_idle(32);
+                if let Some(m) = rx.recv().expect("recv") {
+                    let v = u32::from_le_bytes([m.data[0], m.data[1], m.data[2], m.data[3]]);
+                    prop_assert_eq!(v, consumed, "flow channel out of order");
+                    consumed += 1;
+                }
+                cl.pump_until_idle(32);
+                tx.poll_credits().expect("credits");
+            }
+            // The sender can never have more than `window` unconsumed
+            // messages outstanding.
+            prop_assert!(sent - consumed <= window + window, "window runaway");
+        }
+        prop_assert_eq!(rx.drops().expect("drops"), 0, "flow control must prevent drops");
+    }
+
+    /// Name-service protocol: arbitrary (printable) names round trip
+    /// through register + lookup.
+    #[test]
+    fn name_service_handles_arbitrary_names(name in "[a-zA-Z0-9/_.-]{1,60}") {
+        use flipc::core::names::{NameClient, NameServer};
+        use flipc::core::rpc::{RpcClient, RpcServer};
+        use flipc::engine::{EngineConfig, InlineCluster};
+        use flipc::{EndpointType, Importance};
+        let geo = Geometry { buffers: 128, ring_capacity: 32, ..Geometry::small() };
+        let mut cl = InlineCluster::new(2, geo, EngineConfig::default()).expect("cluster");
+        let d = cl.node(0).attach();
+        let c = cl.node(1).attach();
+        let srx = d.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+        let stx = d.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
+        let mut server = NameServer::new(RpcServer::new(&d, srx, stx, 1, 2).expect("server"));
+        let ns_addr = server.address(&d);
+        let ctx = c.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
+        let crx = c.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+        let mut client = NameClient::new(RpcClient::new(&c, ctx, crx, ns_addr, 2).expect("client"));
+
+        let target = EndpointAddress::new(FlipcNodeId(1), EndpointIndex(3), 9);
+        let mut ok = false;
+        for _ in 0..50 {
+            match client.register(&name, target, || {}, 1) {
+                Ok(()) => { ok = true; break; }
+                Err(flipc::FlipcError::Timeout) => {
+                    cl.pump_until_idle(32);
+                    server.serve_pending().expect("serve");
+                    cl.pump_until_idle(32);
+                }
+                Err(e) => panic!("register: {e}"),
+            }
+        }
+        prop_assert!(ok, "register never completed");
+        let mut found = None;
+        for _ in 0..50 {
+            match client.lookup(&name, || {}, 1) {
+                Ok(r) => { found = r; break; }
+                Err(flipc::FlipcError::Timeout) => {
+                    cl.pump_until_idle(32);
+                    server.serve_pending().expect("serve");
+                    cl.pump_until_idle(32);
+                }
+                Err(e) => panic!("lookup: {e}"),
+            }
+        }
+        prop_assert_eq!(found, Some(target));
+    }
+}

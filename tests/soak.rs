@@ -1,0 +1,128 @@
+//! Soak test: a mixed-criticality real-time workload driven through the
+//! full stack, with message-conservation accounting at the end.
+
+use std::collections::HashMap;
+
+use flipc::engine::{EngineConfig, InlineCluster};
+use flipc::rt::{MsgEvent, WorkloadGen};
+use flipc::{EndpointType, Flipc, Geometry, Importance, LocalEndpoint};
+
+/// Drives the seeded mixed-criticality schedule (high-rate tracking,
+/// Poisson telemetry, slow maintenance) from one node to another; asserts
+/// per-stream conservation and that the high-importance stream never
+/// drops despite a deliberately tight maintenance ring.
+#[test]
+fn mixed_criticality_workload_conserves_every_stream() {
+    let geo = Geometry { buffers: 200, ring_capacity: 64, msg_size: 544, endpoints: 8 };
+    let mut cl = InlineCluster::new(2, geo, EngineConfig::default()).expect("cluster");
+    let src = cl.node(0).attach();
+    let dst = cl.node(1).attach();
+
+    // One endpoint pair per stream; ring provisioning differs by class.
+    let importances = [Importance::High, Importance::Normal, Importance::Low];
+    let rings = [24usize, 16, 2]; // maintenance is deliberately starved
+    let mut txs: Vec<LocalEndpoint> = Vec::new();
+    let mut rxs: Vec<LocalEndpoint> = Vec::new();
+    let mut dests = Vec::new();
+    for (&imp, &ring) in importances.iter().zip(&rings) {
+        let tx = src.endpoint_allocate(EndpointType::Send, imp).expect("ep");
+        let rx = dst.endpoint_allocate(EndpointType::Receive, imp).expect("ep");
+        for _ in 0..ring {
+            let b = dst.buffer_allocate().expect("buffer");
+            dst.provide_receive_buffer(&rx, b).map_err(|r| r.error).expect("provide");
+        }
+        dests.push(dst.address(&rx));
+        txs.push(tx);
+        rxs.push(rx);
+    }
+
+    // 300ms of the paper's motivating workload (deterministic, seed 1996):
+    // ~300 track updates, ~60 telemetry events, 3 maintenance reports.
+    let events: Vec<MsgEvent> = WorkloadGen::new(1996).mixed_criticality(300_000_000);
+    assert!(events.len() > 300, "workload too small to be interesting");
+    assert!(events.iter().any(|e| e.stream == 2), "maintenance stream missing");
+
+    let mut sent: HashMap<u32, u64> = HashMap::new();
+    let mut received: HashMap<u32, u64> = HashMap::new();
+    let payload_cap = src.payload_size();
+
+    let drain = |cl: &mut InlineCluster, dst: &Flipc, rxs: &[LocalEndpoint],
+                 received: &mut HashMap<u32, u64>| {
+        cl.pump_until_idle(32);
+        for (s, rx) in rxs.iter().enumerate() {
+            while let Some(r) = dst.recv(rx).expect("recv") {
+                *received.entry(s as u32).or_default() += 1;
+                // Recycle the buffer onto the same ring.
+                dst.provide_receive_buffer(rx, r.token).map_err(|e| e.error).expect("recycle");
+            }
+        }
+    };
+
+    for chunk in events.chunks(16) {
+        for ev in chunk {
+            let stream = ev.stream as usize;
+            let mut t = loop {
+                match src.buffer_allocate() {
+                    Ok(t) => break t,
+                    Err(_) => {
+                        // Reclaim completed sends to free pool space.
+                        for tx in &txs {
+                            while let Some(b) = src.reclaim_send(tx).expect("reclaim") {
+                                src.buffer_free(b);
+                            }
+                        }
+                        drain(&mut cl, &dst, &rxs, &mut received);
+                    }
+                }
+            };
+            let n = ev.size.min(payload_cap);
+            src.payload_mut(&mut t)[..n].fill(ev.stream as u8);
+            loop {
+                match src.send(&txs[stream], t, dests[stream]) {
+                    Ok(_) => break,
+                    Err(rej) => {
+                        assert_eq!(rej.error, flipc::FlipcError::QueueFull);
+                        t = rej.token;
+                        for tx in &txs {
+                            while let Some(b) = src.reclaim_send(tx).expect("reclaim") {
+                                src.buffer_free(b);
+                            }
+                        }
+                        drain(&mut cl, &dst, &rxs, &mut received);
+                    }
+                }
+            }
+            *sent.entry(ev.stream).or_default() += 1;
+        }
+        drain(&mut cl, &dst, &rxs, &mut received);
+    }
+    // Final settles.
+    for _ in 0..4 {
+        drain(&mut cl, &dst, &rxs, &mut received);
+    }
+
+    // Conservation per stream: sent == received + dropped.
+    let mut total_dropped = 0;
+    for (s, rx) in rxs.iter().enumerate() {
+        let dropped = dst.drops_reset(rx).expect("drops") as u64;
+        let s_sent = sent.get(&(s as u32)).copied().unwrap_or(0);
+        let s_recv = received.get(&(s as u32)).copied().unwrap_or(0);
+        assert_eq!(
+            s_recv + dropped,
+            s_sent,
+            "stream {s}: sent {s_sent}, received {s_recv}, dropped {dropped}"
+        );
+        total_dropped += dropped;
+        if s == 0 {
+            // The tracking stream (24-buffer ring, drained every 16 events)
+            // must be lossless.
+            assert_eq!(dropped, 0, "high-importance stream dropped messages");
+        }
+    }
+    // The starved maintenance ring makes some loss likely but not certain;
+    // what matters is that every loss was counted (asserted above).
+    let total_sent: u64 = sent.values().sum();
+    let total_recv: u64 = received.values().sum();
+    assert_eq!(total_recv + total_dropped, total_sent);
+    assert!(total_recv > 0);
+}
