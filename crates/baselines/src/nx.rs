@@ -73,8 +73,7 @@ impl MessagingModel for NxModel {
             let grant = env.net.transmit(req + self.recv_sw, dst, src, NX_HEADER);
             let t_ready = grant + self.send_sw;
             let t_arrived = env.net.transmit(t_ready, src, dst, payload + NX_HEADER);
-            let sw_bulk =
-                SimDuration::from_ns_f64(self.bulk_extra_ns_per_byte * payload as f64);
+            let sw_bulk = SimDuration::from_ns_f64(self.bulk_extra_ns_per_byte * payload as f64);
             t_arrived + sw_bulk + self.recv_sw
         }
     }
@@ -100,7 +99,10 @@ mod tests {
         let mut nx = NxModel::default();
         let stats = pingpong(&mut nx, &mut env, NodeId(0), NodeId(1), 120, 5, 100);
         let us = stats.mean() / 1000.0;
-        assert!((44.0..48.0).contains(&us), "NX 120B latency {us:.1}us, paper: 46us");
+        assert!(
+            (44.0..48.0).contains(&us),
+            "NX 120B latency {us:.1}us, paper: 46us"
+        );
     }
 
     #[test]
@@ -108,7 +110,10 @@ mod tests {
         let mut env = SimEnv::paragon_pair(2);
         let mut nx = NxModel::default();
         let bw = stream_bandwidth(&mut nx, &mut env, NodeId(0), NodeId(1), 4 << 20, 4);
-        assert!(bw > 135.0 && bw < 160.0, "NX bulk bandwidth {bw:.0} MB/s, paper: >140");
+        assert!(
+            bw > 135.0 && bw < 160.0,
+            "NX bulk bandwidth {bw:.0} MB/s, paper: >140"
+        );
     }
 
     #[test]
@@ -131,8 +136,13 @@ mod tests {
         let mut nx = NxModel::default();
         let eager = nx.one_way(&mut env, SimTime::ZERO, NodeId(0), NodeId(1), 16 * 1024);
         let mut env = SimEnv::paragon_pair(4);
-        let rendezvous =
-            nx.one_way(&mut env, SimTime::ZERO, NodeId(0), NodeId(1), 16 * 1024 + 32);
+        let rendezvous = nx.one_way(
+            &mut env,
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            16 * 1024 + 32,
+        );
         assert!(
             rendezvous.as_ns() < eager.as_ns(),
             "rendezvous onset: eager {eager} vs rendezvous {rendezvous}"
@@ -141,7 +151,10 @@ mod tests {
         // forcing a 120-byte message down the bulk path would cost more
         // than an extra control round trip over the eager path.
         let mut env = SimEnv::paragon_pair(4);
-        let mut forced = NxModel { rendezvous_threshold: 0, ..NxModel::default() };
+        let mut forced = NxModel {
+            rendezvous_threshold: 0,
+            ..NxModel::default()
+        };
         let small_bulk = forced.one_way(&mut env, SimTime::ZERO, NodeId(0), NodeId(1), 120);
         let mut env = SimEnv::paragon_pair(4);
         let small_eager = nx.one_way(&mut env, SimTime::ZERO, NodeId(0), NodeId(1), 120);

@@ -117,7 +117,10 @@ mod tests {
         let mut env = SimEnv::paragon_pair(2);
         let mut pam = PamModel::default();
         let us = pingpong(&mut pam, &mut env, NodeId(0), NodeId(1), 120, 5, 100).mean() / 1000.0;
-        assert!((24.5..27.5).contains(&us), "PAM 120B latency {us:.1}us, paper: 26us");
+        assert!(
+            (24.5..27.5).contains(&us),
+            "PAM 120B latency {us:.1}us, paper: 26us"
+        );
     }
 
     #[test]

@@ -66,7 +66,9 @@ impl MessagingModel for SunmosModel {
         // The whole message goes as ONE packet, whatever its size; the
         // mesh model holds the full path until the tail drains.
         let injected = now + self.send_sw;
-        let arrived = env.net.transmit(injected, src, dst, payload + SUNMOS_HEADER);
+        let arrived = env
+            .net
+            .transmit(injected, src, dst, payload + SUNMOS_HEADER);
         let sw = SimDuration::from_ns_f64(self.extra_ns_per_byte * payload as f64);
         arrived + sw + self.recv_sw
     }
@@ -87,7 +89,10 @@ mod tests {
         let mut env = SimEnv::paragon_pair(1);
         let mut s = SunmosModel::default();
         let us = pingpong(&mut s, &mut env, NodeId(0), NodeId(1), 120, 5, 100).mean() / 1000.0;
-        assert!((26.5..29.5).contains(&us), "SUNMOS 120B latency {us:.1}us, paper: 28us");
+        assert!(
+            (26.5..29.5).contains(&us),
+            "SUNMOS 120B latency {us:.1}us, paper: 28us"
+        );
     }
 
     #[test]
@@ -122,13 +127,7 @@ mod tests {
         let mut env = SimEnv::new(4, 1, flipc_sim::cost::CostModel::paragon(), 4);
         let mut s = SunmosModel::default();
         let bulk_done = s.one_way(&mut env, SimTime::ZERO, NodeId(0), NodeId(3), 4 << 20);
-        let small_done = s.one_way(
-            &mut env,
-            SimTime::from_ns(1_000),
-            NodeId(0),
-            NodeId(2),
-            120,
-        );
+        let small_done = s.one_way(&mut env, SimTime::from_ns(1_000), NodeId(0), NodeId(2), 120);
         assert!(bulk_done.as_ns() > 20_000_000);
         assert!(
             small_done.as_ns() > 20_000_000,

@@ -16,5 +16,8 @@ fn main() {
         ],
     );
     println!();
-    println!("delta: {:.2}us   (paper: \"adds an additional 2us\")", on - off);
+    println!(
+        "delta: {:.2}us   (paper: \"adds an additional 2us\")",
+        on - off
+    );
 }

@@ -21,15 +21,21 @@ fn main() {
     // — each message still costs the sender a `reclaim_send` and the
     // receiver a `provide_receive_buffer`, which is exactly the paper's
     // "half of the calls are buffer management".
-    let mut cl = InlineCluster::new(2, Geometry::small(), EngineConfig::default())
-        .expect("cluster");
+    let mut cl =
+        InlineCluster::new(2, Geometry::small(), EngineConfig::default()).expect("cluster");
     let a = cl.node(0).attach();
     let b = cl.node(1).attach();
-    let tx = a.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
-    let rx = b.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+    let tx = a
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .expect("ep");
+    let rx = b
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .expect("ep");
     let dest = b.address(&rx);
     let first = b.buffer_allocate().expect("buffer");
-    b.provide_receive_buffer(&rx, first).map_err(|r| r.error).expect("provide");
+    b.provide_receive_buffer(&rx, first)
+        .map_err(|r| r.error)
+        .expect("provide");
     let mut token = Some(a.buffer_allocate().expect("buffer"));
     for _ in 0..MESSAGES {
         let mut t = token.take().expect("send buffer");
@@ -37,7 +43,9 @@ fn main() {
         a.send(&tx, t, dest).expect("send");
         cl.pump_until_idle(16);
         let got = b.recv(&rx).expect("recv").expect("message");
-        b.provide_receive_buffer(&rx, got.token).map_err(|r| r.error).expect("recycle");
+        b.provide_receive_buffer(&rx, got.token)
+            .map_err(|r| r.error)
+            .expect("recycle");
         token = Some(a.reclaim_send(&tx).expect("reclaim").expect("buffer"));
     }
     let sa = a.call_stats();
@@ -46,12 +54,16 @@ fn main() {
     let raw_buf_calls = sa.buffer_mgmt + sb.buffer_mgmt;
 
     // Managed layer: one call per message per side.
-    let mut cl = InlineCluster::new(2, Geometry::small(), EngineConfig::default())
-        .expect("cluster");
+    let mut cl =
+        InlineCluster::new(2, Geometry::small(), EngineConfig::default()).expect("cluster");
     let a = cl.node(0).attach();
     let b = cl.node(1).attach();
-    let tx = a.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
-    let rx = b.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+    let tx = a
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .expect("ep");
+    let rx = b
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .expect("ep");
     let dest = b.address(&rx);
     let mut mtx = ManagedSender::new(&a, tx, 8).expect("sender");
     let mut mrx = ManagedReceiver::new(&b, rx, 8).expect("receiver");
@@ -64,7 +76,12 @@ fn main() {
 
     print_table(
         &format!("Programmer-visible FLIPC calls for {MESSAGES} request messages"),
-        &["API", "send/recv calls", "buffer-mgmt calls", "buffer-mgmt share"],
+        &[
+            "API",
+            "send/recv calls",
+            "buffer-mgmt calls",
+            "buffer-mgmt share",
+        ],
         &[
             vec![
                 "raw (paper's API)".into(),

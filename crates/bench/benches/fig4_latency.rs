@@ -12,13 +12,7 @@ fn main() {
     let rows = fig4_sweep(42, 1016, 400);
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| {
-            vec![
-                r.msg_bytes.to_string(),
-                us(r.mean_us),
-                us(r.stddev_us),
-            ]
-        })
+        .map(|r| vec![r.msg_bytes.to_string(), us(r.mean_us), us(r.stddev_us)])
         .collect();
     print_table(
         "Figure 4: FLIPC message latency vs size (simulated Paragon)",

@@ -91,12 +91,16 @@ fn api_send_path(c: &mut Criterion) {
     // unlocked variant the paper's measurements use vs the TAS-locked one.
     let cb = Arc::new(CommBuffer::new(Geometry::small()).expect("commbuf"));
     let f = Flipc::attach(cb, FlipcNodeId(0), WaitRegistry::new());
-    let ep = f.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
+    let ep = f
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .expect("ep");
     let dest = EndpointAddress::new(FlipcNodeId(1), EndpointIndex(0), 1);
     let pump = |f: &Flipc, idx: EndpointIndex| {
         let q = f.commbuf().engine_queue(idx).expect("queue");
         while let Some(b) = q.peek() {
-            f.commbuf().header(b).set_state(flipc_core::BufferState::Processed);
+            f.commbuf()
+                .header(b)
+                .set_state(flipc_core::BufferState::Processed);
             q.advance();
         }
     };
@@ -105,7 +109,10 @@ fn api_send_path(c: &mut Criterion) {
             let t = f.buffer_allocate().expect("buffer");
             f.send_unlocked(&ep, t, dest).expect("send");
             pump(&f, ep.index());
-            let back = f.reclaim_send_unlocked(&ep).expect("reclaim").expect("token");
+            let back = f
+                .reclaim_send_unlocked(&ep)
+                .expect("reclaim")
+                .expect("token");
             f.buffer_free(back);
         })
     });

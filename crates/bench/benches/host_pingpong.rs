@@ -18,14 +18,26 @@ use flipc_engine::engine::EngineConfig;
 use flipc_engine::node::InlineCluster;
 
 fn inline_roundtrip(c: &mut Criterion) {
-    let geo = Geometry { ring_capacity: 32, buffers: 128, ..Geometry::small() };
+    let geo = Geometry {
+        ring_capacity: 32,
+        buffers: 128,
+        ..Geometry::small()
+    };
     let mut cl = InlineCluster::new(2, geo, EngineConfig::default()).expect("cluster");
     let a = cl.node(0).attach();
     let b = cl.node(1).attach();
-    let tx_a = a.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
-    let rx_a = a.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
-    let tx_b = b.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
-    let rx_b = b.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+    let tx_a = a
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .expect("ep");
+    let rx_a = a
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .expect("ep");
+    let tx_b = b
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .expect("ep");
+    let rx_b = b
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .expect("ep");
     let to_b = b.address(&rx_b);
     let to_a = a.address(&rx_a);
 
@@ -33,7 +45,9 @@ fn inline_roundtrip(c: &mut Criterion) {
         bench.iter(|| {
             // A -> B.
             let buf = b.buffer_allocate().expect("buffer");
-            b.provide_receive_buffer(&rx_b, buf).map_err(|r| r.error).expect("provide");
+            b.provide_receive_buffer(&rx_b, buf)
+                .map_err(|r| r.error)
+                .expect("provide");
             let mut t = a.buffer_allocate().expect("buffer");
             t_fill(a.payload_mut(&mut t));
             a.send_unlocked(&tx_a, t, to_b).expect("send");
@@ -41,7 +55,9 @@ fn inline_roundtrip(c: &mut Criterion) {
             let got = b.recv_unlocked(&rx_b).expect("recv").expect("message");
             // B -> A (echo).
             let buf = a.buffer_allocate().expect("buffer");
-            a.provide_receive_buffer(&rx_a, buf).map_err(|r| r.error).expect("provide");
+            a.provide_receive_buffer(&rx_a, buf)
+                .map_err(|r| r.error)
+                .expect("provide");
             b.send_unlocked(&tx_b, got.token, to_a).expect("send");
             cl.pump_until_idle(8);
             let back = a.recv_unlocked(&rx_a).expect("recv").expect("message");
@@ -65,23 +81,36 @@ fn t_fill(p: &mut [u8]) {
 
 fn inline_streaming(c: &mut Criterion) {
     // One-way streaming throughput through the full stack, per message.
-    let geo = Geometry { ring_capacity: 64, buffers: 256, ..Geometry::small() };
+    let geo = Geometry {
+        ring_capacity: 64,
+        buffers: 256,
+        ..Geometry::small()
+    };
     let mut cl = InlineCluster::new(2, geo, EngineConfig::default()).expect("cluster");
     let a = cl.node(0).attach();
     let b = cl.node(1).attach();
-    let tx = a.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
-    let rx = b.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+    let tx = a
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .expect("ep");
+    let rx = b
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .expect("ep");
     let dest = b.address(&rx);
     c.bench_function("inline/one_way_stream_msg", |bench| {
         bench.iter(|| {
             let buf = b.buffer_allocate().expect("buffer");
-            b.provide_receive_buffer(&rx, buf).map_err(|r| r.error).expect("provide");
+            b.provide_receive_buffer(&rx, buf)
+                .map_err(|r| r.error)
+                .expect("provide");
             let t = a.buffer_allocate().expect("buffer");
             a.send_unlocked(&tx, t, dest).expect("send");
             cl.pump_until_idle(8);
             let got = b.recv_unlocked(&rx).expect("recv").expect("message");
             b.buffer_free(got.token);
-            let back = a.reclaim_send_unlocked(&tx).expect("reclaim").expect("token");
+            let back = a
+                .reclaim_send_unlocked(&tx)
+                .expect("reclaim")
+                .expect("token");
             a.buffer_free(back);
         })
     });

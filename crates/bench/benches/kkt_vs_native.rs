@@ -22,13 +22,21 @@ use flipc_kkt::kkt_fabric;
 const BURST: usize = 64;
 
 fn build(transports: Vec<Box<dyn Transport>>) -> (Vec<Flipc>, Vec<Engine>) {
-    let geo = Geometry { ring_capacity: 128, buffers: 256, ..Geometry::small() };
+    let geo = Geometry {
+        ring_capacity: 128,
+        buffers: 256,
+        ..Geometry::small()
+    };
     let mut flipc = Vec::new();
     let mut engines = Vec::new();
     for (i, port) in transports.into_iter().enumerate() {
         let cb = Arc::new(CommBuffer::new(geo).expect("commbuf"));
         let registry = WaitRegistry::new();
-        flipc.push(Flipc::attach(cb.clone(), FlipcNodeId(i as u16), registry.clone()));
+        flipc.push(Flipc::attach(
+            cb.clone(),
+            FlipcNodeId(i as u16),
+            registry.clone(),
+        ));
         engines.push(Engine::new(cb, port, registry, EngineConfig::default()));
     }
     (flipc, engines)
@@ -36,12 +44,19 @@ fn build(transports: Vec<Box<dyn Transport>>) -> (Vec<Flipc>, Vec<Engine>) {
 
 /// Sends a burst and returns (engine rounds, wall-clock µs) to deliver all.
 fn run(flipc: &[Flipc], engines: &mut [Engine]) -> (u32, f64) {
-    let tx = flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
-    let rx = flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+    let tx = flipc[0]
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .expect("ep");
+    let rx = flipc[1]
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .expect("ep");
     let dest = flipc[1].address(&rx);
     for _ in 0..BURST {
         let b = flipc[1].buffer_allocate().expect("buffer");
-        flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).expect("provide");
+        flipc[1]
+            .provide_receive_buffer(&rx, b)
+            .map_err(|r| r.error)
+            .expect("provide");
     }
     for i in 0..BURST {
         let mut t = flipc[0].buffer_allocate().expect("buffer");
@@ -65,12 +80,18 @@ fn run(flipc: &[Flipc], engines: &mut [Engine]) -> (u32, f64) {
 
 fn main() {
     let (nf, mut ne) = build(
-        fabric(2, 256).into_iter().map(|p| Box::new(p) as Box<dyn Transport>).collect(),
+        fabric(2, 256)
+            .into_iter()
+            .map(|p| Box::new(p) as Box<dyn Transport>)
+            .collect(),
     );
     let (native_rounds, native_us) = run(&nf, &mut ne);
 
     let (kf, mut ke) = build(
-        kkt_fabric(2).into_iter().map(|p| Box::new(p) as Box<dyn Transport>).collect(),
+        kkt_fabric(2)
+            .into_iter()
+            .map(|p| Box::new(p) as Box<dyn Transport>)
+            .collect(),
     );
     let (kkt_rounds, kkt_us) = run(&kf, &mut ke);
 
@@ -78,8 +99,16 @@ fn main() {
         &format!("Delivering a {BURST}-message burst: native engine vs KKT transport (host)"),
         &["transport", "engine rounds", "wall clock (us)"],
         &[
-            vec!["native (one-way frames)".into(), native_rounds.to_string(), format!("{native_us:.0}")],
-            vec!["KKT (RPC per message)".into(), kkt_rounds.to_string(), format!("{kkt_us:.0}")],
+            vec![
+                "native (one-way frames)".into(),
+                native_rounds.to_string(),
+                format!("{native_us:.0}"),
+            ],
+            vec![
+                "KKT (RPC per message)".into(),
+                kkt_rounds.to_string(),
+                format!("{kkt_us:.0}"),
+            ],
         ],
     );
     println!();

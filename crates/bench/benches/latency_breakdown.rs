@@ -31,8 +31,20 @@ fn breakdown(cfg: FlipcModelConfig) -> [f64; 6] {
 fn main() {
     let configs = [
         ("tuned", FlipcModelConfig::tuned()),
-        ("checks on", FlipcModelConfig { checks: true, ..FlipcModelConfig::tuned() }),
-        ("locked", FlipcModelConfig { locked_ops: true, ..FlipcModelConfig::tuned() }),
+        (
+            "checks on",
+            FlipcModelConfig {
+                checks: true,
+                ..FlipcModelConfig::tuned()
+            },
+        ),
+        (
+            "locked",
+            FlipcModelConfig {
+                locked_ops: true,
+                ..FlipcModelConfig::tuned()
+            },
+        ),
         ("untuned", FlipcModelConfig::untuned()),
     ];
     let rows: Vec<Vec<String>> = configs
@@ -46,7 +58,15 @@ fn main() {
         .collect();
     print_table(
         "120B one-way latency decomposition (us, one steady-state sample)",
-        &["config", "sender app", "src engine", "wire+DMA", "dst engine", "dst app", "total"],
+        &[
+            "config",
+            "sender app",
+            "src engine",
+            "wire+DMA",
+            "dst engine",
+            "dst app",
+            "total",
+        ],
         &rows,
     );
     println!();

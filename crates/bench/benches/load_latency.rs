@@ -24,7 +24,12 @@ fn show(payload: u64, loads: &[f64]) {
         .collect();
     print_table(
         &format!("{payload}B FLIPC stream: latency vs offered load (simulated Paragon)"),
-        &["offered (MB/s)", "mean (us)", "p99 (us)", "delivered (MB/s)"],
+        &[
+            "offered (MB/s)",
+            "mean (us)",
+            "p99 (us)",
+            "delivered (MB/s)",
+        ],
         &table,
     );
 }

@@ -17,7 +17,10 @@ fn main() {
         &["scenario", "worst-case stream latency (us)"],
         &[
             vec!["no bulk transfer (baseline)".into(), us(r.baseline_max_us)],
-            vec!["4MB as FLIPC fixed-size messages".into(), us(r.flipc_chunked_max_us)],
+            vec![
+                "4MB as FLIPC fixed-size messages".into(),
+                us(r.flipc_chunked_max_us),
+            ],
             vec!["4MB as one SUNMOS packet".into(), us(r.sunmos_max_us)],
         ],
     );

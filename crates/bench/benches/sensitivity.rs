@@ -40,25 +40,56 @@ fn main() {
     let base = FlipcSoftwareCosts::default();
     let mut rows = Vec::new();
     let (b0, s0) = fit_with(base);
-    rows.push(vec!["calibrated".to_string(), format!("{b0:.2}"), format!("{s0:.3}")]);
+    rows.push(vec![
+        "calibrated".to_string(),
+        format!("{b0:.2}"),
+        format!("{s0:.3}"),
+    ]);
 
     for (name, sw) in [
-        ("poll_gap +25%", FlipcSoftwareCosts { poll_gap: scaled(base.poll_gap, 25), ..base }),
-        ("poll_gap -25%", FlipcSoftwareCosts { poll_gap: scaled(base.poll_gap, -25), ..base }),
-        ("dma_setup +25%", FlipcSoftwareCosts { dma_setup: scaled(base.dma_setup, 25), ..base }),
-        ("engine_sw +25%", FlipcSoftwareCosts {
-            engine_sw_tx: scaled(base.engine_sw_tx, 25),
-            engine_sw_rx: scaled(base.engine_sw_rx, 25),
-            ..base
-        }),
-        ("call_overhead +25%", FlipcSoftwareCosts {
-            call_overhead: scaled(base.call_overhead, 25),
-            ..base
-        }),
-        ("dma_per_line +25%", FlipcSoftwareCosts {
-            dma_per_line: scaled(base.dma_per_line, 25),
-            ..base
-        }),
+        (
+            "poll_gap +25%",
+            FlipcSoftwareCosts {
+                poll_gap: scaled(base.poll_gap, 25),
+                ..base
+            },
+        ),
+        (
+            "poll_gap -25%",
+            FlipcSoftwareCosts {
+                poll_gap: scaled(base.poll_gap, -25),
+                ..base
+            },
+        ),
+        (
+            "dma_setup +25%",
+            FlipcSoftwareCosts {
+                dma_setup: scaled(base.dma_setup, 25),
+                ..base
+            },
+        ),
+        (
+            "engine_sw +25%",
+            FlipcSoftwareCosts {
+                engine_sw_tx: scaled(base.engine_sw_tx, 25),
+                engine_sw_rx: scaled(base.engine_sw_rx, 25),
+                ..base
+            },
+        ),
+        (
+            "call_overhead +25%",
+            FlipcSoftwareCosts {
+                call_overhead: scaled(base.call_overhead, 25),
+                ..base
+            },
+        ),
+        (
+            "dma_per_line +25%",
+            FlipcSoftwareCosts {
+                dma_per_line: scaled(base.dma_per_line, 25),
+                ..base
+            },
+        ),
     ] {
         let (b, s) = fit_with(sw);
         rows.push(vec![name.to_string(), format!("{b:.2}"), format!("{s:.3}")]);

@@ -25,5 +25,7 @@ fn main() {
     );
     println!();
     println!("paper's point: FLIPC 16.2us vs PAM 26us, SUNMOS 28us, NX 46us —");
-    println!("the medium-message class is not served by systems tuned for small or large messages.");
+    println!(
+        "the medium-message class is not served by systems tuned for small or large messages."
+    );
 }

@@ -65,7 +65,10 @@ mod tests {
         print_table(
             "demo",
             &["system", "us"],
-            &[vec!["FLIPC".into(), "16.2".into()], vec!["NX".into(), "46.0".into()]],
+            &[
+                vec!["FLIPC".into(), "16.2".into()],
+                vec!["NX".into(), "46.0".into()],
+            ],
         );
     }
 

@@ -1,0 +1,42 @@
+//! Surface demo: the single-writer discipline checker catching an errant
+//! cross-role write. Run with `--features ownership-checks`.
+
+fn main() {
+    #[cfg(not(feature = "ownership-checks"))]
+    println!("built without ownership-checks: checker compiled out (zero cost)");
+
+    #[cfg(feature = "ownership-checks")]
+    {
+        use flipc_core::commbuf::CommBuffer;
+        use flipc_core::endpoint::{EndpointType, Importance};
+        use flipc_core::layout::{Geometry, EP_PROCESS};
+        use flipc_core::ownership;
+        use flipc_core::sync::atomic::Ordering;
+
+        let cb = CommBuffer::new(Geometry::small()).unwrap();
+        let (ep, _) = cb
+            .alloc_endpoint(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let _ = ownership::take_violations();
+
+        // Legitimate traffic: release through the app queue, process
+        // through the engine-side handle.
+        let token = cb.alloc_buffer().unwrap();
+        let idx = token.index();
+        cb.app_queue(ep).unwrap().release(idx).unwrap();
+        let eq = cb.engine_queue(ep).unwrap();
+        eq.peek();
+        eq.advance();
+        println!(
+            "normal traffic violations: {}",
+            ownership::take_violations().len()
+        );
+
+        // Errant: app-role raw store to the engine-owned process pointer.
+        let off = cb.layout().endpoint(ep.0) + EP_PROCESS;
+        cb.raw_word(off).store(0xDEAD, Ordering::Relaxed);
+        for v in ownership::take_violations() {
+            println!("caught: {v}");
+        }
+    }
+}

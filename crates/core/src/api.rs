@@ -141,7 +141,13 @@ impl Flipc {
         registry: Arc<WaitRegistry>,
         index_base: u16,
     ) -> Flipc {
-        Flipc { cb, node, registry, stats: CallStats::default(), index_base }
+        Flipc {
+            cb,
+            node,
+            registry,
+            stats: CallStats::default(),
+            index_base,
+        }
     }
 
     /// This node's id.
@@ -196,11 +202,7 @@ impl Flipc {
     /// The endpoint's opaque address, for handing to senders (FLIPC has no
     /// name service of its own; distribution is up to the application).
     pub fn address(&self, ep: &LocalEndpoint) -> EndpointAddress {
-        EndpointAddress::new(
-            self.node,
-            EndpointIndex(self.index_base + ep.idx.0),
-            ep.gen,
-        )
+        EndpointAddress::new(self.node, EndpointIndex(self.index_base + ep.idx.0), ep.gen)
     }
 
     // ------------------------------------------------------------------
@@ -287,7 +289,10 @@ impl Flipc {
         dest: EndpointAddress,
     ) -> std::result::Result<BufferId, Rejected> {
         if ep.ty != EndpointType::Send {
-            return Err(Rejected { error: FlipcError::WrongEndpointType, token });
+            return Err(Rejected {
+                error: FlipcError::WrongEndpointType,
+                token,
+            });
         }
         let idx = token.index();
         // Address + state are published together with the Release-ordered
@@ -378,7 +383,10 @@ impl Flipc {
         token: BufferToken,
     ) -> std::result::Result<(), Rejected> {
         if ep.ty != EndpointType::Receive {
-            return Err(Rejected { error: FlipcError::WrongEndpointType, token });
+            return Err(Rejected {
+                error: FlipcError::WrongEndpointType,
+                token,
+            });
         }
         self.stats.buffer_mgmt.fetch_add(1, Ordering::Relaxed);
         let idx = token.index();
@@ -423,7 +431,10 @@ impl Flipc {
                 let (from, _state) = self.cb.header(idx).load();
                 self.cb.header(idx).set_state(BufferState::Free);
                 self.stats.recvs.fetch_add(1, Ordering::Relaxed);
-                Ok(Some(Received { token: BufferToken::new(idx), from }))
+                Ok(Some(Received {
+                    token: BufferToken::new(idx),
+                    from,
+                }))
             }
             None => Ok(None),
         }
@@ -517,13 +528,18 @@ mod tests {
     #[test]
     fn send_queues_and_reclaim_returns_buffer() {
         let f = flipc();
-        let send = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let send = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
         let dest = EndpointAddress::new(FlipcNodeId(1), EndpointIndex(0), 1);
         let mut t = f.buffer_allocate().unwrap();
         f.payload_mut(&mut t)[..3].copy_from_slice(b"abc");
         let id = f.send(&send, t, dest).unwrap();
         assert_eq!(f.buffer_state(id).unwrap(), BufferState::Queued);
-        assert!(f.reclaim_send(&send).unwrap().is_none(), "not processed yet");
+        assert!(
+            f.reclaim_send(&send).unwrap().is_none(),
+            "not processed yet"
+        );
         pump_engine(&f, send.index());
         assert_eq!(f.buffer_state(id).unwrap(), BufferState::Processed);
         let back = f.reclaim_send(&send).unwrap().unwrap();
@@ -534,22 +550,31 @@ mod tests {
     #[test]
     fn wrong_endpoint_type_is_rejected_with_token_returned() {
         let f = flipc();
-        let recv = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let recv = f
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let t = f.buffer_allocate().unwrap();
         let dest = EndpointAddress::new(FlipcNodeId(0), EndpointIndex(0), 1);
         let rej = f.send(&recv, t, dest).unwrap_err();
         assert_eq!(rej.error, FlipcError::WrongEndpointType);
         // Token handed back; still usable.
-        let rej2 = f.provide_receive_buffer(&recv, rej.token).map_err(|r| r.error);
+        let rej2 = f
+            .provide_receive_buffer(&recv, rej.token)
+            .map_err(|r| r.error);
         assert!(rej2.is_ok());
         assert!(f.recv(&recv).unwrap().is_none());
-        assert_eq!(f.reclaim_send(&recv).unwrap_err(), FlipcError::WrongEndpointType);
+        assert_eq!(
+            f.reclaim_send(&recv).unwrap_err(),
+            FlipcError::WrongEndpointType
+        );
     }
 
     #[test]
     fn queue_full_returns_token_and_restores_state() {
         let f = flipc();
-        let send = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let send = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
         let dest = EndpointAddress::new(FlipcNodeId(1), EndpointIndex(0), 1);
         // Ring capacity is 16; the 17th send must bounce.
         for _ in 0..16 {
@@ -569,7 +594,9 @@ mod tests {
         // A ping-pong style workload: allocate, send, reclaim — the paper's
         // observation that ~half the calls are buffer management.
         let f = flipc();
-        let send = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let send = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
         let dest = EndpointAddress::new(FlipcNodeId(1), EndpointIndex(0), 1);
         for _ in 0..100 {
             let t = f.buffer_allocate().unwrap();
@@ -587,9 +614,13 @@ mod tests {
     #[test]
     fn recv_returns_sender_address() {
         let f = flipc();
-        let recv = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let recv = f
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let t = f.buffer_allocate().unwrap();
-        f.provide_receive_buffer(&recv, t).map_err(|r| r.error).unwrap();
+        f.provide_receive_buffer(&recv, t)
+            .map_err(|r| r.error)
+            .unwrap();
         // Hand-deliver a message as the engine would: write payload, set
         // header to (source, Processed), advance.
         let q = f.commbuf().engine_queue(recv.index()).unwrap();
@@ -608,8 +639,12 @@ mod tests {
     #[test]
     fn recv_blocking_times_out_cleanly() {
         let f = flipc();
-        let recv = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
-        let err = f.recv_blocking(&recv, Duration::from_millis(20)).unwrap_err();
+        let recv = f
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
+        let err = f
+            .recv_blocking(&recv, Duration::from_millis(20))
+            .unwrap_err();
         assert_eq!(err, FlipcError::Timeout);
         // No waiter leaked.
         assert_eq!(f.commbuf().waiters(recv.index()).unwrap(), 0);
@@ -620,14 +655,19 @@ mod tests {
         let cb = Arc::new(CommBuffer::new(Geometry::small()).unwrap());
         let registry = WaitRegistry::new();
         let f = Arc::new(Flipc::attach(cb, FlipcNodeId(0), registry.clone()));
-        let recv = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let recv = f
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let t = f.buffer_allocate().unwrap();
-        f.provide_receive_buffer(&recv, t).map_err(|r| r.error).unwrap();
+        f.provide_receive_buffer(&recv, t)
+            .map_err(|r| r.error)
+            .unwrap();
         let idx = recv.index();
 
         let f2 = f.clone();
         let waiter = std::thread::spawn(move || {
-            f2.recv_blocking(&recv, Duration::from_secs(5)).map(|r| r.from)
+            f2.recv_blocking(&recv, Duration::from_secs(5))
+                .map(|r| r.from)
         });
         // Give the waiter time to park, then deliver as the engine.
         while f.commbuf().waiters(idx).unwrap() == 0 {
@@ -647,7 +687,9 @@ mod tests {
     #[test]
     fn unlocked_variants_behave_like_locked_single_threaded() {
         let f = flipc();
-        let send = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let send = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
         let dest = EndpointAddress::new(FlipcNodeId(1), EndpointIndex(0), 1);
         let t = f.buffer_allocate().unwrap();
         let id = f.send_unlocked(&send, t, dest).unwrap();
@@ -659,7 +701,9 @@ mod tests {
     #[test]
     fn drop_counter_surface() {
         let f = flipc();
-        let recv = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let recv = f
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         f.commbuf().drops_engine(recv.index()).unwrap().increment();
         f.commbuf().drops_engine(recv.index()).unwrap().increment();
         assert_eq!(f.drops(&recv).unwrap(), 2);
@@ -672,7 +716,9 @@ mod tests {
     #[test]
     fn endpoint_free_through_api() {
         let f = flipc();
-        let ep = f.endpoint_allocate(EndpointType::Send, Importance::High).unwrap();
+        let ep = f
+            .endpoint_allocate(EndpointType::Send, Importance::High)
+            .unwrap();
         let addr = f.address(&ep);
         assert_eq!(addr.node(), FlipcNodeId(0));
         f.endpoint_free(ep).unwrap();

@@ -19,7 +19,7 @@
 //! pointers. The word always has exactly one writer at a time (the buffer's
 //! current owner); ownership alternates through the endpoint queue.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 use crate::endpoint::EndpointAddress;
 
@@ -164,7 +164,11 @@ mod tests {
     fn all_states_roundtrip() {
         let w = AtomicU64::new(0);
         let h = HeaderWord::new(&w);
-        for s in [BufferState::Free, BufferState::Queued, BufferState::Processed] {
+        for s in [
+            BufferState::Free,
+            BufferState::Queued,
+            BufferState::Processed,
+        ] {
             h.set_state(s);
             assert_eq!(h.state(), s);
         }

@@ -44,9 +44,7 @@ fn decode_chunk(payload: &[u8]) -> Option<(u32, u32, u32, &[u8])> {
     if payload.len() < BULK_HEADER {
         return None;
     }
-    let word = |i: usize| {
-        u32::from_le_bytes(payload[i..i + 4].try_into().expect("sliced 4"))
-    };
+    let word = |i: usize| u32::from_le_bytes(payload[i..i + 4].try_into().expect("sliced 4"));
     let (xfer, seq, total, len) = (word(0), word(4), word(8), word(12) as usize);
     let data = payload.get(BULK_HEADER..BULK_HEADER + len)?;
     Some((xfer, seq, total, data))
@@ -145,7 +143,10 @@ pub struct BulkTransfer {
 impl<'f> BulkReceiver<'f> {
     /// Builds the receiving half over a window-flow-controlled channel.
     pub fn new(flow: FlowReceiver<'f>) -> BulkReceiver<'f> {
-        BulkReceiver { flow, partial: HashMap::new() }
+        BulkReceiver {
+            flow,
+            partial: HashMap::new(),
+        }
     }
 
     /// Ingests any arrived chunks; returns a transfer if one completed.
@@ -236,12 +237,7 @@ impl<'f> AdaptiveSender<'f> {
 
     /// Sends `data` by whichever path fits, pumping `progress` when the
     /// bulk window backpressures.
-    pub fn send(
-        &mut self,
-        data: &[u8],
-        progress: impl FnMut(),
-        max_stalls: u32,
-    ) -> Result<()> {
+    pub fn send(&mut self, data: &[u8], progress: impl FnMut(), max_stalls: u32) -> Result<()> {
         if data.len() <= self.cutoff {
             let mut framed = Vec::with_capacity(4 + data.len());
             framed.extend_from_slice(&(data.len() as u32).to_le_bytes());
@@ -279,7 +275,10 @@ impl<'f> AdaptiveReceiver<'f> {
     pub fn recv(&mut self) -> Result<Option<AdaptiveMessage>> {
         if let Some(m) = self.direct.recv_bytes()? {
             let len = u32::from_le_bytes(
-                m.data.get(0..4).and_then(|s| s.try_into().ok()).unwrap_or([0; 4]),
+                m.data
+                    .get(0..4)
+                    .and_then(|s| s.try_into().ok())
+                    .unwrap_or([0; 4]),
             ) as usize;
             let body = m.data.get(4..4 + len).unwrap_or(&[]).to_vec();
             return Ok(Some(AdaptiveMessage::Direct(body)));
@@ -300,18 +299,30 @@ mod tests {
 
     fn flipc() -> Flipc {
         let cb = Arc::new(
-            CommBuffer::new(Geometry { buffers: 256, ring_capacity: 64, ..Geometry::small() })
-                .unwrap(),
+            CommBuffer::new(Geometry {
+                buffers: 256,
+                ring_capacity: 64,
+                ..Geometry::small()
+            })
+            .unwrap(),
         );
         Flipc::attach(cb, FlipcNodeId(0), WaitRegistry::new())
     }
 
     /// Builds a connected bulk pair on one node (loopback via pump_local).
     fn bulk_pair(f: &Flipc, window: u32) -> (BulkSender<'_>, BulkReceiver<'_>) {
-        let s_data = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let s_credit = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
-        let r_data = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
-        let r_credit = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let s_data = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let s_credit = f
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
+        let r_data = f
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
+        let r_credit = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
         let data_dest = f.address(&r_data);
         let flow_tx = FlowSender::new(f, s_data, s_credit, data_dest, window).unwrap();
         let credit_dest = flow_tx.credit_address(f);
@@ -376,7 +387,14 @@ mod tests {
         let (mut tx, mut rx) = bulk_pair(&f, 4);
         let cb = f.commbuf().clone();
         let node = f.node();
-        tx.send_all(&[], || { pump_local(&cb, node); }, 100).unwrap();
+        tx.send_all(
+            &[],
+            || {
+                pump_local(&cb, node);
+            },
+            100,
+        )
+        .unwrap();
         let mut got = None;
         for _ in 0..20 {
             pump_local(f.commbuf(), f.node());
@@ -445,8 +463,12 @@ mod tests {
     fn adaptive_channel_picks_the_right_path() {
         let f = flipc();
         // Direct path endpoints.
-        let d_tx = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let d_rx_ep = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let d_tx = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let d_rx_ep = f
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let d_dest = f.address(&d_rx_ep);
         let d_rx = crate::managed::ManagedReceiver::new(&f, d_rx_ep, 8).unwrap();
         // Bulk path.
@@ -484,8 +506,14 @@ mod tests {
             }
         }
         assert_eq!(got.len(), 2);
-        let direct = got.iter().find(|m| matches!(m, AdaptiveMessage::Direct(_))).unwrap();
-        let bulk = got.iter().find(|m| matches!(m, AdaptiveMessage::Bulk(_))).unwrap();
+        let direct = got
+            .iter()
+            .find(|m| matches!(m, AdaptiveMessage::Direct(_)))
+            .unwrap();
+        let bulk = got
+            .iter()
+            .find(|m| matches!(m, AdaptiveMessage::Bulk(_)))
+            .unwrap();
         assert_eq!(direct.data(), &small[..]);
         assert_eq!(bulk.data(), &large[..]);
     }

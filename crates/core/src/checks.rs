@@ -128,8 +128,7 @@ mod tests {
     fn stale_generation_is_rejected() {
         let (cb, idx, gen) = setup();
         assert_eq!(
-            validate_delivery(&cb, FlipcNodeId(0), addr(0, idx, gen.wrapping_sub(1)))
-                .unwrap_err(),
+            validate_delivery(&cb, FlipcNodeId(0), addr(0, idx, gen.wrapping_sub(1))).unwrap_err(),
             FlipcError::BadEndpoint
         );
     }
@@ -144,7 +143,9 @@ mod tests {
     #[test]
     fn send_endpoint_cannot_receive() {
         let cb = CommBuffer::new(Geometry::small()).unwrap();
-        let (idx, gen) = cb.alloc_endpoint(EndpointType::Send, Importance::Normal).unwrap();
+        let (idx, gen) = cb
+            .alloc_endpoint(EndpointType::Send, Importance::Normal)
+            .unwrap();
         assert_eq!(
             validate_delivery(&cb, FlipcNodeId(0), addr(0, idx, gen)).unwrap_err(),
             FlipcError::WrongEndpointType
@@ -163,22 +164,31 @@ mod tests {
         let t = cb.alloc_buffer().unwrap();
         let idx = t.index();
         // Free state: not processable.
-        assert_eq!(validate_queued_buffer(&cb, idx).unwrap_err(), FlipcError::BadBuffer);
+        assert_eq!(
+            validate_queued_buffer(&cb, idx).unwrap_err(),
+            FlipcError::BadBuffer
+        );
         cb.header(idx).set_state(BufferState::Queued);
         assert!(validate_queued_buffer(&cb, idx).is_ok());
         // Out-of-range index from a corrupted ring slot.
-        assert_eq!(validate_queued_buffer(&cb, 9999).unwrap_err(), FlipcError::BadBuffer);
+        assert_eq!(
+            validate_queued_buffer(&cb, 9999).unwrap_err(),
+            FlipcError::BadBuffer
+        );
     }
 
     #[test]
     fn corrupted_release_pointer_fails_backlog_check() {
         let (cb, _, _) = setup();
-        let (send_ep, _) = cb.alloc_endpoint(EndpointType::Send, Importance::Normal).unwrap();
+        let (send_ep, _) = cb
+            .alloc_endpoint(EndpointType::Send, Importance::Normal)
+            .unwrap();
         let q = cb.engine_queue(send_ep).unwrap();
         assert!(validate_backlog(&q).is_ok());
         // Errant application smashes the release pointer.
         let off = cb.layout().endpoint(send_ep.0) + crate::layout::EP_RELEASE;
-        cb.raw_word(off).store(0x8000_0000, std::sync::atomic::Ordering::Relaxed);
+        cb.raw_word(off)
+            .store(0x8000_0000, crate::sync::atomic::Ordering::Relaxed);
         assert_eq!(validate_backlog(&q).unwrap_err(), FlipcError::BadEndpoint);
     }
 }

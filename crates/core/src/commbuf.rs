@@ -20,7 +20,7 @@
 //! mirroring the paper's placement of all resource control in the
 //! application library.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use crate::sync::atomic::{AtomicU32, Ordering};
 
 use crate::buffer::{BufferState, BufferToken, HeaderWord};
 use crate::counter::{CounterAppSide, CounterEngineSide};
@@ -50,15 +50,21 @@ impl CommBuffer {
         let region = Region::alloc_zeroed(layout.total_size());
         let cb = CommBuffer { region, layout };
         // Stamp the header.
-        cb.region.atomic_u32(HDR_MAGIC).store(COMMBUF_MAGIC, Ordering::Relaxed);
+        cb.region
+            .atomic_u32(HDR_MAGIC)
+            .store(COMMBUF_MAGIC, Ordering::Relaxed);
         cb.region
             .atomic_u32(HDR_ENDPOINTS)
             .store(geo.endpoints as u32, Ordering::Relaxed);
         cb.region
             .atomic_u32(HDR_RING_CAP)
             .store(geo.ring_capacity, Ordering::Relaxed);
-        cb.region.atomic_u32(HDR_BUFFERS).store(geo.buffers, Ordering::Relaxed);
-        cb.region.atomic_u32(HDR_MSG_SIZE).store(geo.msg_size, Ordering::Release);
+        cb.region
+            .atomic_u32(HDR_BUFFERS)
+            .store(geo.buffers, Ordering::Relaxed);
+        cb.region
+            .atomic_u32(HDR_MSG_SIZE)
+            .store(geo.msg_size, Ordering::Release);
         // Free list: a stack holding every buffer index.
         let fl = cb.layout.freelist();
         for i in 0..geo.buffers {
@@ -69,6 +75,8 @@ impl CommBuffer {
         cb.region
             .atomic_u32(fl + FREE_TOP)
             .store(geo.buffers, Ordering::Release);
+        #[cfg(feature = "ownership-checks")]
+        crate::ownership::register_region(cb.region.base_addr(), cb.layout.total_size(), cb.layout);
         Ok(cb)
     }
 
@@ -149,7 +157,9 @@ impl CommBuffer {
     /// Number of buffers currently in the free pool.
     pub fn free_buffers(&self) -> u32 {
         let fl = self.layout.freelist();
-        self.region.atomic_u32(fl + FREE_TOP).load(Ordering::Relaxed)
+        self.region
+            .atomic_u32(fl + FREE_TOP)
+            .load(Ordering::Relaxed)
     }
 
     // ------------------------------------------------------------------
@@ -210,21 +220,30 @@ impl CommBuffer {
     /// Reads an endpoint's (generation, active) pair.
     pub fn endpoint_gen_active(&self, idx: EndpointIndex) -> Result<(u16, bool)> {
         let off = self.endpoint_off_checked(idx)?;
-        let ga = self.region.atomic_u32(off + EP_GEN_ACTIVE).load(Ordering::Acquire);
+        let ga = self
+            .region
+            .atomic_u32(off + EP_GEN_ACTIVE)
+            .load(Ordering::Acquire);
         Ok((((ga >> 1) as u16), ga & 1 == 1))
     }
 
     /// Reads an endpoint's type; fails on inactive or corrupt records.
     pub fn endpoint_type(&self, idx: EndpointIndex) -> Result<EndpointType> {
         let off = self.endpoint_off_checked(idx)?;
-        EndpointType::decode(self.region.atomic_u32(off + EP_TYPE).load(Ordering::Acquire))
+        EndpointType::decode(
+            self.region
+                .atomic_u32(off + EP_TYPE)
+                .load(Ordering::Acquire),
+        )
     }
 
     /// Reads an endpoint's importance class.
     pub fn endpoint_importance(&self, idx: EndpointIndex) -> Result<Importance> {
         let off = self.endpoint_off_checked(idx)?;
         Ok(Importance::decode(
-            self.region.atomic_u32(off + EP_IMPORTANCE).load(Ordering::Relaxed),
+            self.region
+                .atomic_u32(off + EP_IMPORTANCE)
+                .load(Ordering::Relaxed),
         ))
     }
 
@@ -247,7 +266,9 @@ impl CommBuffer {
         // the last slot's offset is validated too, so the whole range is in
         // bounds.
         let first = self.region.atomic_u32(base);
-        let _ = self.region.atomic_u32(self.layout.ring_slot(idx, cap as u32 - 1));
+        let _ = self
+            .region
+            .atomic_u32(self.layout.ring_slot(idx, cap as u32 - 1));
         // SAFETY: `first` points at `cap` consecutive, 4-byte-aligned,
         // in-bounds u32 words (layout places ring slots contiguously);
         // AtomicU32 has the same layout as u32; the region is zero-
@@ -303,7 +324,9 @@ impl CommBuffer {
     /// Engine side of endpoint `idx`'s discarded-message counter.
     pub fn drops_engine(&self, idx: EndpointIndex) -> Result<CounterEngineSide<'_>> {
         let off = self.endpoint_off_checked(idx)?;
-        Ok(CounterEngineSide::new(self.region.atomic_u32(off + EP_DROPS)))
+        Ok(CounterEngineSide::new(
+            self.region.atomic_u32(off + EP_DROPS),
+        ))
     }
 
     /// Application side of the node-global misaddressed-message counter
@@ -337,7 +360,10 @@ impl CommBuffer {
     /// arrival must also post a kernel wakeup).
     pub fn waiters(&self, idx: EndpointIndex) -> Result<u32> {
         let off = self.endpoint_off_checked(idx)?;
-        Ok(self.region.atomic_u32(off + EP_WAITERS).load(Ordering::Acquire))
+        Ok(self
+            .region
+            .atomic_u32(off + EP_WAITERS)
+            .load(Ordering::Acquire))
     }
 
     // ------------------------------------------------------------------
@@ -369,16 +395,11 @@ impl CommBuffer {
     pub unsafe fn payload_mut(&self, idx: u32) -> &mut [u8] {
         let off = self.layout.buffer_payload(idx);
         let len = self.payload_size();
-        let _bounds = self.region.atomic_u32(off); // 4-aligned, validates start
-        // SAFETY: Offset/length are in bounds by layout construction; the
-        // exclusivity obligation is forwarded to our caller per the
-        // function's contract; u8 has no validity or alignment concerns.
-        unsafe {
-            std::slice::from_raw_parts_mut(
-                (self.region.base_addr() + off) as *mut u8,
-                len,
-            )
-        }
+        // SAFETY: `ptr_at` bounds-checks the range and preserves pointer
+        // provenance; the exclusivity obligation is forwarded to our caller
+        // per the function's contract; u8 has no validity or alignment
+        // concerns.
+        unsafe { std::slice::from_raw_parts_mut(self.region.ptr_at(off, len), len) }
     }
 
     /// Copies an owned buffer's payload out (engine send path).
@@ -412,6 +433,13 @@ impl CommBuffer {
     /// semantics; kept safe because the word is an atomic.
     pub fn raw_word(&self, offset: usize) -> &AtomicU32 {
         self.region.atomic_u32(offset)
+    }
+}
+
+#[cfg(feature = "ownership-checks")]
+impl Drop for CommBuffer {
+    fn drop(&mut self) {
+        crate::ownership::unregister_region(self.region.base_addr());
     }
 }
 
@@ -453,8 +481,12 @@ mod tests {
     #[test]
     fn endpoint_allocation_assigns_distinct_slots_and_generations() {
         let c = cb();
-        let (a, g1) = c.alloc_endpoint(EndpointType::Send, Importance::Normal).unwrap();
-        let (b, _) = c.alloc_endpoint(EndpointType::Receive, Importance::High).unwrap();
+        let (a, g1) = c
+            .alloc_endpoint(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let (b, _) = c
+            .alloc_endpoint(EndpointType::Receive, Importance::High)
+            .unwrap();
         assert_ne!(a, b);
         assert_eq!(c.endpoint_type(a).unwrap(), EndpointType::Send);
         assert_eq!(c.endpoint_type(b).unwrap(), EndpointType::Receive);
@@ -463,7 +495,9 @@ mod tests {
         // Freeing and reallocating the slot bumps the generation.
         c.free_endpoint(a).unwrap();
         assert_eq!(c.endpoint_gen_active(a).unwrap(), (g1, false));
-        let (a2, g2) = c.alloc_endpoint(EndpointType::Send, Importance::Low).unwrap();
+        let (a2, g2) = c
+            .alloc_endpoint(EndpointType::Send, Importance::Low)
+            .unwrap();
         assert_eq!(a2, a, "first free slot is reused");
         assert_eq!(g2, g1.wrapping_add(1));
     }
@@ -472,10 +506,12 @@ mod tests {
     fn endpoint_pool_exhausts() {
         let c = cb();
         for _ in 0..8 {
-            c.alloc_endpoint(EndpointType::Send, Importance::Normal).unwrap();
+            c.alloc_endpoint(EndpointType::Send, Importance::Normal)
+                .unwrap();
         }
         assert_eq!(
-            c.alloc_endpoint(EndpointType::Send, Importance::Normal).unwrap_err(),
+            c.alloc_endpoint(EndpointType::Send, Importance::Normal)
+                .unwrap_err(),
             FlipcError::NoFreeEndpoints
         );
     }
@@ -483,7 +519,9 @@ mod tests {
     #[test]
     fn free_endpoint_requires_drained_queue() {
         let c = cb();
-        let (ep, _) = c.alloc_endpoint(EndpointType::Send, Importance::Normal).unwrap();
+        let (ep, _) = c
+            .alloc_endpoint(EndpointType::Send, Importance::Normal)
+            .unwrap();
         let t = c.alloc_buffer().unwrap();
         c.app_queue(ep).unwrap().release(t.index()).unwrap();
         assert_eq!(c.free_endpoint(ep).unwrap_err(), FlipcError::QueueFull);
@@ -499,7 +537,9 @@ mod tests {
     #[test]
     fn queue_views_share_state() {
         let c = cb();
-        let (ep, _) = c.alloc_endpoint(EndpointType::Send, Importance::Normal).unwrap();
+        let (ep, _) = c
+            .alloc_endpoint(EndpointType::Send, Importance::Normal)
+            .unwrap();
         let t = c.alloc_buffer().unwrap();
         let idx = t.index();
         c.app_queue(ep).unwrap().release(idx).unwrap();
@@ -528,7 +568,9 @@ mod tests {
     #[test]
     fn waiter_counts_adjust() {
         let c = cb();
-        let (ep, _) = c.alloc_endpoint(EndpointType::Receive, Importance::Normal).unwrap();
+        let (ep, _) = c
+            .alloc_endpoint(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         assert_eq!(c.waiters(ep).unwrap(), 0);
         c.adjust_waiters(ep, 1).unwrap();
         c.adjust_waiters(ep, 1).unwrap();
@@ -540,8 +582,12 @@ mod tests {
     #[test]
     fn drop_counters_are_per_endpoint() {
         let c = cb();
-        let (a, _) = c.alloc_endpoint(EndpointType::Receive, Importance::Normal).unwrap();
-        let (b, _) = c.alloc_endpoint(EndpointType::Receive, Importance::Normal).unwrap();
+        let (a, _) = c
+            .alloc_endpoint(EndpointType::Receive, Importance::Normal)
+            .unwrap();
+        let (b, _) = c
+            .alloc_endpoint(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         c.drops_engine(a).unwrap().increment();
         assert_eq!(c.drops_app(a).unwrap().read(), 1);
         assert_eq!(c.drops_app(b).unwrap().read(), 0);
@@ -566,7 +612,11 @@ mod tests {
     fn concurrent_buffer_allocation_is_exact() {
         use std::sync::Arc;
         let c = Arc::new(
-            CommBuffer::new(Geometry { buffers: 256, ..Geometry::small() }).unwrap(),
+            CommBuffer::new(Geometry {
+                buffers: 256,
+                ..Geometry::small()
+            })
+            .unwrap(),
         );
         let mut handles = Vec::new();
         for _ in 0..4 {

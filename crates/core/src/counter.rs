@@ -13,7 +13,7 @@
 //! The engine writes only `drops`, the application writes only `taken`, and
 //! the layout places them on different cache lines.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use crate::sync::atomic::{AtomicU32, Ordering};
 
 /// Engine-side handle: may only increment.
 pub struct CounterEngineSide<'a> {
@@ -36,6 +36,10 @@ impl<'a> CounterEngineSide<'a> {
     /// engine is the only writer of this location, so load + store does not
     /// race.
     pub fn increment(&self) {
+        // This handle is the engine's side of the counter: attribute the
+        // store to the Engine role for the single-writer checker.
+        #[cfg(feature = "ownership-checks")]
+        let _role = crate::ownership::enter(crate::ownership::Role::Engine);
         let v = self.drops.load(Ordering::Relaxed);
         self.drops.store(v.wrapping_add(1), Ordering::Release);
     }
@@ -70,7 +74,6 @@ impl<'a> CounterAppSide<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU32;
     use std::sync::Arc;
 
     fn pair() -> (AtomicU32, AtomicU32) {

@@ -109,7 +109,11 @@ impl EndpointAddress {
     /// them; this constructor exists for the messaging engine (stamping
     /// source addresses onto frames) and for tests.
     pub fn new(node: FlipcNodeId, index: EndpointIndex, generation: u16) -> Self {
-        EndpointAddress { node, index, generation }
+        EndpointAddress {
+            node,
+            index,
+            generation,
+        }
     }
 
     /// The node the endpoint lives on.

@@ -38,7 +38,9 @@ pub enum FlipcError {
 impl fmt::Display for FlipcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FlipcError::BadGeometry(why) => write!(f, "invalid communication buffer geometry: {why}"),
+            FlipcError::BadGeometry(why) => {
+                write!(f, "invalid communication buffer geometry: {why}")
+            }
             FlipcError::NoFreeEndpoints => write!(f, "no free endpoints"),
             FlipcError::NoFreeBuffers => write!(f, "no free message buffers"),
             FlipcError::QueueFull => write!(f, "endpoint buffer queue is full"),

@@ -72,7 +72,13 @@ impl<'f> FlowSender<'f> {
     ) -> Result<FlowSender<'f>> {
         let data = ManagedSender::new(f, data_ep, window as usize)?;
         let credit_rx = ManagedReceiver::new(f, credit_ep, 4)?;
-        Ok(FlowSender { data, credit_rx, dest, credits: window, window })
+        Ok(FlowSender {
+            data,
+            credit_rx,
+            dest,
+            credits: window,
+            window,
+        })
     }
 
     /// Address credits should be sent to (give this to the receiver).
@@ -137,7 +143,13 @@ impl<'f> FlowReceiver<'f> {
         // Return credits in half-window batches: frequent enough to keep
         // the pipe full, infrequent enough to amortize the reverse message.
         let batch = (window / 2).max(1);
-        Ok(FlowReceiver { data_rx, credit_tx, credit_dest, consumed: 0, batch })
+        Ok(FlowReceiver {
+            data_rx,
+            credit_tx,
+            credit_dest,
+            consumed: 0,
+            batch,
+        })
     }
 
     /// Receives the next data message, returning credits as consumption
@@ -151,7 +163,11 @@ impl<'f> FlowReceiver<'f> {
             let granting = self.consumed;
             // A full credit ring just means the grant is retried on the
             // next recv; credits are cumulative so nothing is lost.
-            if self.credit_tx.send_bytes(self.credit_dest, &encode_credit(granting)).is_ok() {
+            if self
+                .credit_tx
+                .send_bytes(self.credit_dest, &encode_credit(granting))
+                .is_ok()
+            {
                 self.consumed = 0;
             }
         }
@@ -184,17 +200,29 @@ mod tests {
 
     fn flipc() -> Flipc {
         let cb = Arc::new(
-            CommBuffer::new(Geometry { buffers: 128, ..Geometry::small() }).unwrap(),
+            CommBuffer::new(Geometry {
+                buffers: 128,
+                ..Geometry::small()
+            })
+            .unwrap(),
         );
         Flipc::attach(cb, FlipcNodeId(0), WaitRegistry::new())
     }
 
     /// Builds a connected sender/receiver pair on one node (loopback).
     fn pair(f: &Flipc, window: u32) -> (FlowSender<'_>, FlowReceiver<'_>) {
-        let s_data = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let s_credit = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
-        let r_data = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
-        let r_credit = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let s_data = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let s_credit = f
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
+        let r_data = f
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
+        let r_credit = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
         let data_dest = f.address(&r_data);
         let tx = FlowSender::new(f, s_data, s_credit, data_dest, window).unwrap();
         let credit_dest = tx.credit_address(f);
@@ -256,8 +284,12 @@ mod tests {
         // messages than the receiver ring, no credits -> drops observed and
         // *counted*, never lost.
         let f = flipc();
-        let sep = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rep = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let sep = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rep = f
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let dest = f.address(&rep);
         // Receive ring holds only 2 buffers.
         let rx = ManagedReceiver::new(&f, rep, 2).unwrap();
@@ -267,6 +299,9 @@ mod tests {
         }
         pump_local(f.commbuf(), f.node());
         let dropped = rx.drops().unwrap();
-        assert_eq!(dropped, 8, "2 delivered into the ring, 8 discarded and counted");
+        assert_eq!(
+            dropped, 8,
+            "2 delivered into the ring, 8 discarded and counted"
+        );
     }
 }

@@ -28,13 +28,19 @@ pub struct EndpointGroup {
 impl EndpointGroup {
     /// Creates an empty group.
     pub fn new() -> EndpointGroup {
-        EndpointGroup { members: Vec::new(), cursor: 0 }
+        EndpointGroup {
+            members: Vec::new(),
+            cursor: 0,
+        }
     }
 
     /// Adds a receive endpoint to the group, taking ownership.
     ///
     /// Fails (returning the endpoint) if it is not a receive endpoint.
-    pub fn add(&mut self, ep: LocalEndpoint) -> std::result::Result<(), (FlipcError, LocalEndpoint)> {
+    pub fn add(
+        &mut self,
+        ep: LocalEndpoint,
+    ) -> std::result::Result<(), (FlipcError, LocalEndpoint)> {
         if ep.endpoint_type() != EndpointType::Receive {
             return Err((FlipcError::WrongEndpointType, ep));
         }
@@ -87,11 +93,7 @@ impl EndpointGroup {
 
     /// Blocking receive-any: parks the thread until any member delivers or
     /// `timeout` elapses.
-    pub fn recv_any_blocking(
-        &mut self,
-        f: &Flipc,
-        timeout: Duration,
-    ) -> Result<(usize, Received)> {
+    pub fn recv_any_blocking(&mut self, f: &Flipc, timeout: Duration) -> Result<(usize, Received)> {
         if self.members.is_empty() {
             return Err(FlipcError::BadGroup);
         }
@@ -170,9 +172,13 @@ mod tests {
     fn group_of(f: &Flipc, n: usize) -> EndpointGroup {
         let mut g = EndpointGroup::new();
         for _ in 0..n {
-            let ep = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+            let ep = f
+                .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+                .unwrap();
             let t = f.buffer_allocate().unwrap();
-            f.provide_receive_buffer(&ep, t).map_err(|r| r.error).unwrap();
+            f.provide_receive_buffer(&ep, t)
+                .map_err(|r| r.error)
+                .unwrap();
             g.add(ep).map_err(|e| e.0).unwrap();
         }
         g
@@ -190,7 +196,9 @@ mod tests {
     fn send_endpoints_are_rejected() {
         let f = flipc();
         let mut g = EndpointGroup::new();
-        let s = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let s = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
         let (err, ep) = g.add(s).unwrap_err();
         assert_eq!(err, FlipcError::WrongEndpointType);
         f.endpoint_free(ep).unwrap();
@@ -239,10 +247,15 @@ mod tests {
     fn blocking_recv_any_times_out() {
         let f = flipc();
         let mut g = group_of(&f, 2);
-        let err = g.recv_any_blocking(&f, Duration::from_millis(15)).unwrap_err();
+        let err = g
+            .recv_any_blocking(&f, Duration::from_millis(15))
+            .unwrap_err();
         assert_eq!(err, FlipcError::Timeout);
         for i in 0..2 {
-            assert_eq!(f.commbuf().waiters(g.member(i).unwrap().index()).unwrap(), 0);
+            assert_eq!(
+                f.commbuf().waiters(g.member(i).unwrap().index()).unwrap(),
+                0
+            );
         }
     }
 

@@ -150,12 +150,18 @@ mod tests {
     #[test]
     fn snapshot_tracks_queue_and_pool_state() {
         let f = flipc();
-        let tx = f.endpoint_allocate(EndpointType::Send, Importance::High).unwrap();
-        let rx = f.endpoint_allocate(EndpointType::Receive, Importance::Low).unwrap();
+        let tx = f
+            .endpoint_allocate(EndpointType::Send, Importance::High)
+            .unwrap();
+        let rx = f
+            .endpoint_allocate(EndpointType::Receive, Importance::Low)
+            .unwrap();
         // Two buffers queued on the receive ring, one allocated and held.
         for _ in 0..2 {
             let t = f.buffer_allocate().unwrap();
-            f.provide_receive_buffer(&rx, t).map_err(|r| r.error).unwrap();
+            f.provide_receive_buffer(&rx, t)
+                .map_err(|r| r.error)
+                .unwrap();
         }
         let held = f.buffer_allocate().unwrap();
 
@@ -177,23 +183,37 @@ mod tests {
     #[test]
     fn snapshot_reads_do_not_consume_counters() {
         let f = flipc();
-        let rx = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let rx = f
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         f.commbuf().drops_engine(rx.index()).unwrap().increment();
         let s1 = CommBufferSnapshot::capture(f.commbuf());
         let s2 = CommBufferSnapshot::capture(f.commbuf());
         assert_eq!(s1.endpoints[0].drops, 1);
-        assert_eq!(s2.endpoints[0].drops, 1, "inspection must not reset counters");
-        assert_eq!(f.drops_reset(&rx).unwrap(), 1, "the application still harvests it");
+        assert_eq!(
+            s2.endpoints[0].drops, 1,
+            "inspection must not reset counters"
+        );
+        assert_eq!(
+            f.drops_reset(&rx).unwrap(),
+            1,
+            "the application still harvests it"
+        );
     }
 
     #[test]
     fn render_mentions_active_endpoints_only() {
         let f = flipc();
-        let _tx = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let _tx = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
         let s = CommBufferSnapshot::capture(f.commbuf());
         let text = s.render();
         assert!(text.contains("pool 64/64 free"));
         assert!(text.contains("ep0"));
-        assert!(!text.contains("ep1 "), "inactive slots must not be listed:\n{text}");
+        assert!(
+            !text.contains("ep1 "),
+            "inactive slots must not be listed:\n{text}"
+        );
     }
 }

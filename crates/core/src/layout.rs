@@ -94,16 +94,22 @@ impl Geometry {
             return Err(FlipcError::BadGeometry("buffer count must be nonzero"));
         }
         if !self.ring_capacity.is_power_of_two() {
-            return Err(FlipcError::BadGeometry("ring capacity must be a power of two"));
+            return Err(FlipcError::BadGeometry(
+                "ring capacity must be a power of two",
+            ));
         }
         if self.ring_capacity < 2 {
             return Err(FlipcError::BadGeometry("ring capacity must be at least 2"));
         }
         if (self.msg_size as usize) < MIN_MSG_SIZE {
-            return Err(FlipcError::BadGeometry("message size below platform minimum (64)"));
+            return Err(FlipcError::BadGeometry(
+                "message size below platform minimum (64)",
+            ));
         }
         if !(self.msg_size as usize).is_multiple_of(MSG_SIZE_GRANULE) {
-            return Err(FlipcError::BadGeometry("message size must be a multiple of 32"));
+            return Err(FlipcError::BadGeometry(
+                "message size must be a multiple of 32",
+            ));
         }
         Ok(())
     }
@@ -193,6 +199,31 @@ pub const EP_DROPS: usize = 2 * CACHE_LINE + 4;
 /// locked RMW bypasses the caches and would otherwise disturb line 1.
 pub const EP_LOCK: usize = 3 * CACHE_LINE;
 
+/// The single role allowed to write a shared field — the paper's central
+/// layout discipline (see the write-ownership map in `DESIGN.md`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteOwner {
+    /// Written only by the application library (possibly under a TAS lock
+    /// for app-thread mutual exclusion — still one *role*).
+    App,
+    /// Written only by the messaging engine.
+    Engine,
+    /// Ownership alternates over time via the buffer-ownership protocol
+    /// (message-buffer header words and payloads): exactly one side may
+    /// write at any moment, but which side changes hands, so a static
+    /// checker must exempt it.
+    Dynamic,
+}
+
+/// A classified region offset: which field it falls in and who may write it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldClass {
+    /// Human-readable field name, e.g. `endpoint[3].process`.
+    pub name: String,
+    /// The field's single writer role.
+    pub owner: WriteOwner,
+}
+
 impl Layout {
     /// Computes the layout for `geo`.
     ///
@@ -267,6 +298,90 @@ impl Layout {
     pub fn buffer_index_ok(&self, b: u32) -> bool {
         b < self.geo.buffers
     }
+
+    /// Classifies a byte offset: which field it falls in and which role is
+    /// its single writer. Returns `None` for offsets past the region.
+    ///
+    /// This is the machine-readable form of the write-ownership map in
+    /// `DESIGN.md`, used by the `ownership-checks` runtime checker and by
+    /// diagnostics ([`crate::inspect`]).
+    pub fn classify(&self, off: usize) -> Option<FieldClass> {
+        use WriteOwner::{App, Dynamic, Engine};
+        let f = |name: String, owner: WriteOwner| Some(FieldClass { name, owner });
+        if off >= self.total {
+            return None;
+        }
+        if off < HDR_SIZE {
+            return match off {
+                HDR_MAGIC => f("header.magic".into(), App),
+                HDR_ENDPOINTS => f("header.endpoints".into(), App),
+                HDR_RING_CAP => f("header.ring_cap".into(), App),
+                HDR_BUFFERS => f("header.buffers".into(), App),
+                HDR_MSG_SIZE => f("header.msg_size".into(), App),
+                HDR_EP_ALLOC_LOCK => f("header.ep_alloc_lock".into(), App),
+                HDR_MISADDR_DROPS => f("header.misaddr_drops".into(), Engine),
+                HDR_MISADDR_TAKEN => f("header.misaddr_taken".into(), App),
+                // Padding inherits its cache line's writer (line 2 is the
+                // engine's counter line; the rest are app-written).
+                _ if off / CACHE_LINE == HDR_MISADDR_DROPS / CACHE_LINE => {
+                    f(format!("header.pad[{off}]"), Engine)
+                }
+                _ => f(format!("header.pad[{off}]"), App),
+            };
+        }
+        if off < self.endpoints_off {
+            // The buffer free list is app-only (the engine never allocates).
+            let rel = off - self.freelist_off;
+            return match rel {
+                FREE_LOCK => f("freelist.lock".into(), App),
+                FREE_TOP => f("freelist.top".into(), App),
+                _ if rel >= FREE_SLOTS => {
+                    f(format!("freelist.slot[{}]", (rel - FREE_SLOTS) / 4), App)
+                }
+                _ => f(format!("freelist.pad[{rel}]"), App),
+            };
+        }
+        if off < self.rings_off {
+            let rel = off - self.endpoints_off;
+            let i = rel / ENDPOINT_RECORD_SIZE;
+            let within = rel % ENDPOINT_RECORD_SIZE;
+            return match within {
+                EP_TYPE => f(format!("endpoint[{i}].type"), App),
+                EP_GEN_ACTIVE => f(format!("endpoint[{i}].gen_active"), App),
+                EP_IMPORTANCE => f(format!("endpoint[{i}].importance"), App),
+                EP_RELEASE => f(format!("endpoint[{i}].release"), App),
+                EP_ACQUIRE => f(format!("endpoint[{i}].acquire"), App),
+                EP_DROPS_TAKEN => f(format!("endpoint[{i}].drops_taken"), App),
+                EP_WAITERS => f(format!("endpoint[{i}].waiters"), App),
+                EP_PROCESS => f(format!("endpoint[{i}].process"), Engine),
+                EP_DROPS => f(format!("endpoint[{i}].drops"), Engine),
+                EP_LOCK => f(format!("endpoint[{i}].lock"), App),
+                // Padding inherits its line's writer; line 2 is the
+                // engine's.
+                _ if within / CACHE_LINE == EP_PROCESS / CACHE_LINE => {
+                    f(format!("endpoint[{i}].pad[{within}]"), Engine)
+                }
+                _ => f(format!("endpoint[{i}].pad[{within}]"), App),
+            };
+        }
+        if off < self.buffers_off {
+            // Ring slots: app-written, engine-read.
+            let rel = off - self.rings_off;
+            let ring_size = round_line(self.geo.ring_capacity as usize * 4);
+            let i = rel / ring_size;
+            let slot = (rel % ring_size) / 4;
+            return f(format!("ring[{i}].slot[{slot}]"), App);
+        }
+        // Message buffers: ownership alternates via the buffer protocol.
+        let rel = off - self.buffers_off;
+        let b = rel / self.geo.msg_size as usize;
+        let within = rel % self.geo.msg_size as usize;
+        if within < MSG_HEADER_SIZE {
+            f(format!("buffer[{b}].header"), Dynamic)
+        } else {
+            f(format!("buffer[{b}].payload"), Dynamic)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -282,12 +397,42 @@ mod tests {
     fn geometry_rules_are_enforced() {
         let base = Geometry::small();
         let cases = [
-            (Geometry { endpoints: 0, ..base }, "endpoint"),
+            (
+                Geometry {
+                    endpoints: 0,
+                    ..base
+                },
+                "endpoint",
+            ),
             (Geometry { buffers: 0, ..base }, "buffer"),
-            (Geometry { ring_capacity: 12, ..base }, "power of two"),
-            (Geometry { ring_capacity: 1, ..base }, "at least 2"),
-            (Geometry { msg_size: 32, ..base }, "minimum"),
-            (Geometry { msg_size: 96 + 8, ..base }, "multiple of 32"),
+            (
+                Geometry {
+                    ring_capacity: 12,
+                    ..base
+                },
+                "power of two",
+            ),
+            (
+                Geometry {
+                    ring_capacity: 1,
+                    ..base
+                },
+                "at least 2",
+            ),
+            (
+                Geometry {
+                    msg_size: 32,
+                    ..base
+                },
+                "minimum",
+            ),
+            (
+                Geometry {
+                    msg_size: 96 + 8,
+                    ..base
+                },
+                "multiple of 32",
+            ),
         ];
         for (geo, needle) in cases {
             match geo.validate() {
@@ -301,7 +446,10 @@ mod tests {
 
     #[test]
     fn min_payload_is_56_bytes() {
-        let geo = Geometry { msg_size: 64, ..Geometry::small() };
+        let geo = Geometry {
+            msg_size: 64,
+            ..Geometry::small()
+        };
         assert_eq!(geo.payload_size(), 56);
     }
 
@@ -347,7 +495,11 @@ mod tests {
         let engine = [EP_PROCESS, EP_DROPS];
         for a in app {
             for e in engine {
-                assert_ne!(a / CACHE_LINE, e / CACHE_LINE, "fields {a} and {e} share a line");
+                assert_ne!(
+                    a / CACHE_LINE,
+                    e / CACHE_LINE,
+                    "fields {a} and {e} share a line"
+                );
             }
         }
         // The lock is on its own line, away from both.
@@ -405,6 +557,86 @@ mod tests {
         assert!(big > small);
         // 1024 buffers of 256B dominate.
         assert!(big > 1024 * 256);
+    }
+
+    #[test]
+    fn classify_names_every_control_word_with_its_single_writer() {
+        let lay = Layout::new(Geometry::small()).unwrap();
+        let cases: &[(usize, &str, WriteOwner)] = &[
+            (HDR_MAGIC, "header.magic", WriteOwner::App),
+            (HDR_EP_ALLOC_LOCK, "header.ep_alloc_lock", WriteOwner::App),
+            (
+                HDR_MISADDR_DROPS,
+                "header.misaddr_drops",
+                WriteOwner::Engine,
+            ),
+            (HDR_MISADDR_TAKEN, "header.misaddr_taken", WriteOwner::App),
+            (lay.freelist() + FREE_LOCK, "freelist.lock", WriteOwner::App),
+            (lay.freelist() + FREE_TOP, "freelist.top", WriteOwner::App),
+            (
+                lay.freelist() + FREE_SLOTS + 8,
+                "freelist.slot[2]",
+                WriteOwner::App,
+            ),
+            (
+                lay.endpoint(0) + EP_RELEASE,
+                "endpoint[0].release",
+                WriteOwner::App,
+            ),
+            (
+                lay.endpoint(0) + EP_ACQUIRE,
+                "endpoint[0].acquire",
+                WriteOwner::App,
+            ),
+            (
+                lay.endpoint(3) + EP_PROCESS,
+                "endpoint[3].process",
+                WriteOwner::Engine,
+            ),
+            (
+                lay.endpoint(3) + EP_DROPS,
+                "endpoint[3].drops",
+                WriteOwner::Engine,
+            ),
+            (
+                lay.endpoint(1) + EP_DROPS_TAKEN,
+                "endpoint[1].drops_taken",
+                WriteOwner::App,
+            ),
+            (
+                lay.endpoint(1) + EP_WAITERS,
+                "endpoint[1].waiters",
+                WriteOwner::App,
+            ),
+            (
+                lay.endpoint(7) + EP_LOCK,
+                "endpoint[7].lock",
+                WriteOwner::App,
+            ),
+            (lay.ring_slot(2, 5), "ring[2].slot[5]", WriteOwner::App),
+            (lay.buffer(9), "buffer[9].header", WriteOwner::Dynamic),
+            (
+                lay.buffer_payload(9),
+                "buffer[9].payload",
+                WriteOwner::Dynamic,
+            ),
+        ];
+        for &(off, name, owner) in cases {
+            let fc = lay
+                .classify(off)
+                .unwrap_or_else(|| panic!("{name} unclassified"));
+            assert_eq!(fc.name, name, "at offset {off}");
+            assert_eq!(fc.owner, owner, "wrong writer for {name}");
+        }
+        assert_eq!(lay.classify(lay.total_size()), None);
+    }
+
+    #[test]
+    fn classify_covers_every_word_in_the_region() {
+        let lay = Layout::new(Geometry::small()).unwrap();
+        for off in (0..lay.total_size()).step_by(4) {
+            assert!(lay.classify(off).is_some(), "offset {off} unclassified");
+        }
     }
 
     #[test]

@@ -59,10 +59,13 @@ pub mod layout;
 pub mod lock;
 pub mod managed;
 pub mod names;
+#[cfg(feature = "ownership-checks")]
+pub mod ownership;
 pub mod queue;
 pub mod region;
 pub mod rmem;
 pub mod rpc;
+pub mod sync;
 #[cfg(test)]
 pub(crate) mod testutil;
 pub mod wait;

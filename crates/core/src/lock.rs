@@ -13,7 +13,7 @@
 //! [`crate::layout::EP_LOCK`]) and the API exposes both locked and unlocked
 //! operation variants.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use crate::sync::atomic::{AtomicU32, Ordering};
 
 /// A guard releasing the lock on drop.
 pub struct TasGuard<'a> {
@@ -81,7 +81,6 @@ impl<'a> TasLock<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU32;
     use std::sync::Arc;
 
     #[test]

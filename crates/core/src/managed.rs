@@ -46,7 +46,14 @@ impl<'f> ManagedSender<'f> {
                 }
             }
         }
-        Ok(ManagedSender { f, ep, pool, outstanding: 0, max_outstanding: depth, user_calls: 0 })
+        Ok(ManagedSender {
+            f,
+            ep,
+            pool,
+            outstanding: 0,
+            max_outstanding: depth,
+            user_calls: 0,
+        })
     }
 
     /// Sends `data` to `dest`, handling buffer allocation, completion
@@ -150,7 +157,11 @@ impl<'f> ManagedReceiver<'f> {
             let t = f.buffer_allocate()?;
             f.provide_receive_buffer(&ep, t).map_err(|r| r.error)?;
         }
-        Ok(ManagedReceiver { f, ep, user_calls: 0 })
+        Ok(ManagedReceiver {
+            f,
+            ep,
+            user_calls: 0,
+        })
     }
 
     /// Receives the next message, if any: copies it out, recycles the
@@ -212,8 +223,12 @@ mod tests {
     #[test]
     fn managed_roundtrip_one_call_per_message() {
         let f = flipc();
-        let sep = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rep = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let sep = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rep = f
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let dest = f.address(&rep);
         let mut tx = ManagedSender::new(&f, sep, 8).unwrap();
         let mut rx = ManagedReceiver::new(&f, rep, 8).unwrap();
@@ -234,8 +249,12 @@ mod tests {
         // E9 in miniature: raw API needs allocate+send+reclaim+free on the
         // send side; the managed layer needs one call.
         let f = flipc();
-        let sep = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rep = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let sep = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rep = f
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let dest = f.address(&rep);
         let mut rx = ManagedReceiver::new(&f, rep, 8).unwrap();
 
@@ -266,15 +285,22 @@ mod tests {
     #[test]
     fn sender_backpressures_at_depth_then_recovers() {
         let f = flipc();
-        let sep = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rep = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let sep = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rep = f
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let dest = f.address(&rep);
         let _rx = ManagedReceiver::new(&f, rep, 8).unwrap();
         let mut tx = ManagedSender::new(&f, sep, 4).unwrap();
         for _ in 0..4 {
             tx.send_bytes(dest, b"q").unwrap();
         }
-        assert_eq!(tx.send_bytes(dest, b"q").unwrap_err(), FlipcError::QueueFull);
+        assert_eq!(
+            tx.send_bytes(dest, b"q").unwrap_err(),
+            FlipcError::QueueFull
+        );
         pump_local(f.commbuf(), f.node());
         tx.send_bytes(dest, b"q").unwrap();
         assert!(tx.in_flight() <= 4);
@@ -283,18 +309,25 @@ mod tests {
     #[test]
     fn oversize_payload_is_rejected() {
         let f = flipc();
-        let sep = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let sep = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
         let mut tx = ManagedSender::new(&f, sep, 2).unwrap();
         let dest = EndpointAddress::new(FlipcNodeId(0), EndpointIndex(0), 1);
         let big = vec![0u8; f.payload_size() + 1];
-        assert_eq!(tx.send_bytes(dest, &big).unwrap_err(), FlipcError::PayloadTooLarge);
+        assert_eq!(
+            tx.send_bytes(dest, &big).unwrap_err(),
+            FlipcError::PayloadTooLarge
+        );
     }
 
     #[test]
     fn close_returns_resources() {
         let f = flipc();
         let before = f.commbuf().free_buffers();
-        let sep = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let sep = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
         let tx = ManagedSender::new(&f, sep, 8).unwrap();
         let ep = tx.close();
         assert_eq!(f.commbuf().free_buffers(), before);

@@ -64,7 +64,10 @@ impl<'f> NameServer<'f> {
     /// Wraps an RPC server (size it for the expected client population
     /// with [`RpcServer::new`]).
     pub fn new(rpc: RpcServer<'f>) -> NameServer<'f> {
-        NameServer { rpc, table: HashMap::new() }
+        NameServer {
+            rpc,
+            table: HashMap::new(),
+        }
     }
 
     /// The well-known address clients should be configured with.
@@ -150,8 +153,11 @@ impl<'f> NameClient<'f> {
         progress: impl FnMut(),
         max_polls: u32,
     ) -> Result<()> {
-        let reply =
-            self.roundtrip(encode_request(OP_REGISTER, name, Some(addr)), progress, max_polls)?;
+        let reply = self.roundtrip(
+            encode_request(OP_REGISTER, name, Some(addr)),
+            progress,
+            max_polls,
+        )?;
         match reply.first() {
             Some(&ST_OK) => Ok(()),
             _ => Err(FlipcError::BadGroup),
@@ -183,8 +189,11 @@ impl<'f> NameClient<'f> {
         progress: impl FnMut(),
         max_polls: u32,
     ) -> Result<bool> {
-        let reply =
-            self.roundtrip(encode_request(OP_UNREGISTER, name, None), progress, max_polls)?;
+        let reply = self.roundtrip(
+            encode_request(OP_UNREGISTER, name, None),
+            progress,
+            max_polls,
+        )?;
         match reply.first() {
             Some(&ST_OK) => Ok(true),
             Some(&ST_NOT_FOUND) => Ok(false),
@@ -206,21 +215,33 @@ mod tests {
 
     fn flipc() -> Flipc {
         let cb = Arc::new(
-            CommBuffer::new(Geometry { buffers: 200, ring_capacity: 64, ..Geometry::small() })
-                .unwrap(),
+            CommBuffer::new(Geometry {
+                buffers: 200,
+                ring_capacity: 64,
+                ..Geometry::small()
+            })
+            .unwrap(),
         );
         Flipc::attach(cb, FlipcNodeId(0), WaitRegistry::new())
     }
 
     fn make_server(f: &Flipc) -> NameServer<'_> {
-        let rx = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
-        let tx = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let rx = f
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
+        let tx = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
         NameServer::new(RpcServer::new(f, rx, tx, 4, 2).unwrap())
     }
 
     fn make_client<'f>(f: &'f Flipc, server: EndpointAddress) -> NameClient<'f> {
-        let tx = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rx = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let tx = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rx = f
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         NameClient::new(RpcClient::new(f, tx, rx, server, 2).unwrap())
     }
 
@@ -255,7 +276,14 @@ mod tests {
         let mut done = false;
         for _ in 0..20 {
             if !done {
-                match client.register("sensors/alpha", target, || { pump_local(&cb, node); }, 1) {
+                match client.register(
+                    "sensors/alpha",
+                    target,
+                    || {
+                        pump_local(&cb, node);
+                    },
+                    1,
+                ) {
                     Ok(()) => {
                         done = true;
                         break;
@@ -276,7 +304,13 @@ mod tests {
         let mut client2 = make_client(&f, server_addr);
         let mut found = None;
         for _ in 0..20 {
-            match client2.lookup("sensors/alpha", || { pump_local(&cb, node); }, 1) {
+            match client2.lookup(
+                "sensors/alpha",
+                || {
+                    pump_local(&cb, node);
+                },
+                1,
+            ) {
                 Ok(r) => {
                     found = r;
                     break;
@@ -294,7 +328,13 @@ mod tests {
         // Unknown names resolve to None.
         let mut missing = Some(target);
         for _ in 0..20 {
-            match client2.lookup("sensors/beta", || { pump_local(&cb, node); }, 1) {
+            match client2.lookup(
+                "sensors/beta",
+                || {
+                    pump_local(&cb, node);
+                },
+                1,
+            ) {
                 Ok(r) => {
                     missing = r;
                     break;
@@ -312,7 +352,13 @@ mod tests {
         // Unregister.
         let mut removed = false;
         for _ in 0..20 {
-            match client.unregister("sensors/alpha", || { pump_local(&cb, node); }, 1) {
+            match client.unregister(
+                "sensors/alpha",
+                || {
+                    pump_local(&cb, node);
+                },
+                1,
+            ) {
                 Ok(r) => {
                     removed = r;
                     break;
@@ -335,8 +381,12 @@ mod tests {
         let mut server = make_server(&f);
         let server_addr = server.address(&f);
         // A raw RPC client sending garbage.
-        let tx = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rx = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let tx = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rx = f
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let mut raw = RpcClient::new(&f, tx, rx, server_addr, 1).unwrap();
         let cb = f.commbuf().clone();
         let node = f.node();

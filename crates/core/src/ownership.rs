@@ -1,0 +1,178 @@
+//! Runtime single-writer-discipline checker (feature `ownership-checks`).
+//!
+//! FLIPC's synchronization correctness rests on one rule: **every shared
+//! control word has exactly one writing role** — application library or
+//! messaging engine (paper §3: the engine's controller cannot perform
+//! atomic read-modify-write on main memory, so all protocols are built
+//! from single-writer loads and stores). A write from the wrong role is a
+//! protocol bug that no test assertion on values will reliably catch,
+//! because the damage (a clobbered pointer, a lost drop count) surfaces
+//! arbitrarily far from the errant store.
+//!
+//! This module checks the rule directly at run time:
+//!
+//! * Every [`CommBuffer`](crate::CommBuffer) registers its memory range
+//!   and [`Layout`] here on construction.
+//! * Every write through the [`crate::sync`] atomics facade reports the
+//!   written address. If it falls inside a registered region, the offset
+//!   is classified via [`Layout::classify`] into a field name and its
+//!   static [`WriteOwner`].
+//! * The writing *role* is a thread-local set by the role-tagged code
+//!   paths: engine-side handles ([`crate::queue::EngineQueue`],
+//!   [`crate::counter::CounterEngineSide`]) scope their writes as
+//!   [`Role::Engine`]; everything else (the application library, tests,
+//!   errant raw-word scribbles) defaults to [`Role::App`].
+//! * Mismatches are recorded as [`Violation`]s, drained by
+//!   [`take_violations`]. Fields with [`WriteOwner::Dynamic`] ownership
+//!   (message-buffer contents, whose owner alternates via the
+//!   buffer-ownership protocol) are exempt.
+//!
+//! The checker verifies *code-path* discipline, not thread identity: a
+//! write is attributed to the role of the handle it went through, so it
+//! pinpoints the accessor that broke the rule regardless of which thread
+//! ran it. With the feature disabled this module does not exist and the
+//! facade's write hook compiles to nothing.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+use crate::layout::{Layout, WriteOwner};
+
+/// The writing role a code path runs under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Application library (the default for untagged code).
+    App,
+    /// Messaging engine.
+    Engine,
+}
+
+thread_local! {
+    static ROLE: Cell<Role> = const { Cell::new(Role::App) };
+}
+
+/// Restores the previous role on drop.
+pub struct RoleGuard {
+    prev: Role,
+}
+
+/// Enters `role` for the current scope; writes made until the returned
+/// guard drops are attributed to it. Nests correctly.
+pub fn enter(role: Role) -> RoleGuard {
+    let prev = ROLE.with(|r| r.replace(role));
+    RoleGuard { prev }
+}
+
+impl Drop for RoleGuard {
+    fn drop(&mut self) {
+        ROLE.with(|r| r.set(self.prev));
+    }
+}
+
+/// The role the current thread's writes are attributed to.
+pub fn current_role() -> Role {
+    ROLE.with(Cell::get)
+}
+
+/// One detected cross-role write.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Base address of the communication buffer written into (lets tests
+    /// with several live buffers filter for their own).
+    pub region_base: usize,
+    /// Byte offset of the written word within the region.
+    pub offset: usize,
+    /// Layout field name at that offset, e.g. `endpoint[0].process`.
+    pub field: String,
+    /// The field's single legitimate writer.
+    pub owner: WriteOwner,
+    /// The role that actually wrote it.
+    pub actual: Role,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "single-writer violation: {:?} wrote {} (offset {}, owned by {:?})",
+            self.actual, self.field, self.offset, self.owner
+        )
+    }
+}
+
+struct RegionEntry {
+    base: usize,
+    len: usize,
+    layout: Layout,
+}
+
+fn registry() -> &'static Mutex<Vec<RegionEntry>> {
+    static REGISTRY: OnceLock<Mutex<Vec<RegionEntry>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn violations() -> &'static Mutex<Vec<Violation>> {
+    static VIOLATIONS: OnceLock<Mutex<Vec<Violation>>> = OnceLock::new();
+    VIOLATIONS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Registers a communication-buffer region for write checking (called by
+/// `CommBuffer::new`).
+pub(crate) fn register_region(base: usize, len: usize, layout: Layout) {
+    let mut reg = registry().lock().expect("ownership registry");
+    // An address may be reused after a previous buffer was freed.
+    reg.retain(|e| e.base != base);
+    reg.push(RegionEntry { base, len, layout });
+}
+
+/// Unregisters a region (called when a `CommBuffer` drops) so reused
+/// allocations are not misattributed.
+pub(crate) fn unregister_region(base: usize) {
+    let mut reg = registry().lock().expect("ownership registry");
+    reg.retain(|e| e.base != base);
+}
+
+/// Reports a facade atomic write at `addr`; records a [`Violation`] if the
+/// address falls in a registered region and the current role is not the
+/// field's single writer. Called by `crate::sync::atomic` under the
+/// `ownership-checks` feature.
+pub(crate) fn record_write(addr: usize) {
+    let classified = {
+        let reg = registry().lock().expect("ownership registry");
+        reg.iter().find_map(|e| {
+            if addr < e.base || addr >= e.base + e.len {
+                return None;
+            }
+            let offset = addr - e.base;
+            e.layout.classify(offset).map(|fc| (e.base, offset, fc))
+        })
+    };
+    let Some((region_base, offset, fc)) = classified else {
+        return; // not communication-buffer memory (e.g. SPSC rings, tests)
+    };
+    let actual = current_role();
+    let ok = match fc.owner {
+        WriteOwner::Dynamic => true,
+        WriteOwner::App => actual == Role::App,
+        WriteOwner::Engine => actual == Role::Engine,
+    };
+    if !ok {
+        violations()
+            .lock()
+            .expect("ownership violations")
+            .push(Violation {
+                region_base,
+                offset,
+                field: fc.name,
+                owner: fc.owner,
+                actual,
+            });
+    }
+}
+
+/// Drains all recorded violations (across every registered region; filter
+/// by [`Violation::region_base`] when multiple buffers are live).
+pub fn take_violations() -> Vec<Violation> {
+    std::mem::take(&mut *violations().lock().expect("ownership violations"))
+}

@@ -32,7 +32,7 @@
 //! variants); one application writer at a time is a precondition of the
 //! app-side handles below, which is why they take `&mut self`.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use crate::sync::atomic::{AtomicU32, Ordering};
 
 use crate::error::{FlipcError, Result};
 
@@ -82,8 +82,18 @@ impl<'a> AppQueue<'a> {
         acquire: &'a AtomicU32,
         slots: &'a [AtomicU32],
     ) -> Self {
-        assert!(slots.len().is_power_of_two(), "ring capacity must be a power of two");
-        AppQueue { raw: RawQueue { release, process, acquire, slots } }
+        assert!(
+            slots.len().is_power_of_two(),
+            "ring capacity must be a power of two"
+        );
+        AppQueue {
+            raw: RawQueue {
+                release,
+                process,
+                acquire,
+                slots,
+            },
+        }
     }
 
     /// Number of buffers currently held by the queue (released, not yet
@@ -119,7 +129,9 @@ impl<'a> AppQueue<'a> {
         // a Release store; the engine's Acquire load of `release` makes the
         // slot (and the buffer contents written before this call) visible.
         self.raw.slots[(rel & self.raw.mask()) as usize].store(buf, Ordering::Relaxed);
-        self.raw.release.store(rel.wrapping_add(1), Ordering::Release);
+        self.raw
+            .release
+            .store(rel.wrapping_add(1), Ordering::Release);
         Ok(())
     }
 
@@ -138,7 +150,9 @@ impl<'a> AppQueue<'a> {
             return None;
         }
         let buf = self.raw.slots[(acq & self.raw.mask()) as usize].load(Ordering::Relaxed);
-        self.raw.acquire.store(acq.wrapping_add(1), Ordering::Release);
+        self.raw
+            .acquire
+            .store(acq.wrapping_add(1), Ordering::Release);
         Some(buf)
     }
 
@@ -171,8 +185,18 @@ impl<'a> EngineQueue<'a> {
         acquire: &'a AtomicU32,
         slots: &'a [AtomicU32],
     ) -> Self {
-        assert!(slots.len().is_power_of_two(), "ring capacity must be a power of two");
-        EngineQueue { raw: RawQueue { release, process, acquire, slots } }
+        assert!(
+            slots.len().is_power_of_two(),
+            "ring capacity must be a power of two"
+        );
+        EngineQueue {
+            raw: RawQueue {
+                release,
+                process,
+                acquire,
+                slots,
+            },
+        }
     }
 
     /// Peeks the next buffer awaiting processing without consuming it, or
@@ -210,12 +234,18 @@ impl<'a> EngineQueue<'a> {
     ///
     /// Wait-free: one load, one store.
     pub fn advance(&self) {
+        // Engine-side handle: attribute the `process` store to the Engine
+        // role for the single-writer checker.
+        #[cfg(feature = "ownership-checks")]
+        let _role = crate::ownership::enter(crate::ownership::Role::Engine);
         let proc = self.raw.process.load(Ordering::Relaxed);
         // Deliberately no assertion against `release` here: `release` is
         // application-writable memory and may be concurrently corrupted by
         // an errant application; the engine's contract is to keep moving
         // regardless (callers pair `advance` with a preceding `peek`).
-        self.raw.process.store(proc.wrapping_add(1), Ordering::Release);
+        self.raw
+            .process
+            .store(proc.wrapping_add(1), Ordering::Release);
     }
 
     /// Ring capacity (for validity checks).
@@ -358,7 +388,10 @@ mod tests {
         // An errant application smashes `release` far ahead.
         s.release.store(1_000_000, Ordering::Relaxed);
         let eng = s.engine();
-        assert!(eng.backlog() > eng.capacity(), "corruption must be detectable");
+        assert!(
+            eng.backlog() > eng.capacity(),
+            "corruption must be detectable"
+        );
     }
 
     #[test]

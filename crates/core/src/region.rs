@@ -10,9 +10,9 @@
 //! [`crate::buffer`]; everything above operates on offsets handed out by
 //! [`crate::layout::Layout`].
 
+use crate::sync::atomic::{AtomicU32, AtomicU64};
 use std::alloc::{alloc_zeroed, dealloc, Layout as AllocLayout};
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicU32, AtomicU64};
 
 use crate::layout::CACHE_LINE;
 
@@ -64,7 +64,10 @@ impl Region {
 
     #[inline]
     fn check(&self, off: usize, size: usize, align: usize) {
-        assert!(off.is_multiple_of(align), "offset {off} unaligned for {size}-byte word");
+        assert!(
+            off.is_multiple_of(align),
+            "offset {off} unaligned for {size}-byte word"
+        );
         assert!(
             off.checked_add(size).is_some_and(|end| end <= self.len),
             "offset {off} out of region (len {})",
@@ -97,6 +100,24 @@ impl Region {
         self.check(off, 8, 8);
         // SAFETY: As for `atomic_u32`, with 8-byte alignment checked.
         unsafe { &*(self.ptr.as_ptr().add(off) as *const AtomicU64) }
+    }
+
+    /// Raw pointer to byte offset `off`, valid for `len` bytes.
+    ///
+    /// Derived from the allocation pointer (not from an integer address)
+    /// so pointer provenance is preserved — required for Miri-clean payload
+    /// access. Dereferencing carries the same exclusivity obligations as
+    /// [`Region::read_bytes`] / [`Region::write_bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off + len` is out of bounds.
+    #[inline]
+    pub fn ptr_at(&self, off: usize, len: usize) -> *mut u8 {
+        self.check(off, len.max(1), 1);
+        // SAFETY: `off` is in bounds (checked above), so the offset pointer
+        // stays within the allocation.
+        unsafe { self.ptr.as_ptr().add(off) }
     }
 
     /// Copies `dst.len()` bytes out of the region starting at `off`.
@@ -161,8 +182,7 @@ impl Region {
 
 impl Drop for Region {
     fn drop(&mut self) {
-        let layout =
-            AllocLayout::from_size_align(self.len, CACHE_LINE).expect("bad region layout");
+        let layout = AllocLayout::from_size_align(self.len, CACHE_LINE).expect("bad region layout");
         // SAFETY: `ptr` was returned by `alloc_zeroed` with exactly this
         // layout and has not been freed.
         unsafe { dealloc(self.ptr.as_ptr(), layout) };
@@ -172,7 +192,7 @@ impl Drop for Region {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::Ordering;
+    use crate::sync::atomic::Ordering;
 
     #[test]
     fn region_is_zeroed_and_aligned() {

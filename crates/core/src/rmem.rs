@@ -51,7 +51,13 @@ fn decode_req(body: &[u8]) -> Option<(u8, WindowId, u32, u32, &[u8])> {
         return None;
     }
     let word = |i: usize| u32::from_le_bytes(body[i..i + 4].try_into().expect("sliced 4"));
-    Some((body[0], WindowId(word(1)), word(5), word(9), &body[REQ_HEADER..]))
+    Some((
+        body[0],
+        WindowId(word(1)),
+        word(5),
+        word(9),
+        &body[REQ_HEADER..],
+    ))
 }
 
 /// The exporting side: owns window storage and serves remote accesses.
@@ -64,7 +70,11 @@ pub struct MemoryServer<'f> {
 impl<'f> MemoryServer<'f> {
     /// Wraps an RPC server.
     pub fn new(rpc: RpcServer<'f>) -> MemoryServer<'f> {
-        MemoryServer { rpc, windows: HashMap::new(), next_id: 1 }
+        MemoryServer {
+            rpc,
+            windows: HashMap::new(),
+            next_id: 1,
+        }
     }
 
     /// The address remote clients target.
@@ -240,28 +250,37 @@ mod tests {
 
     fn flipc() -> Flipc {
         let cb = Arc::new(
-            CommBuffer::new(Geometry { buffers: 200, ring_capacity: 64, ..Geometry::small() })
-                .unwrap(),
+            CommBuffer::new(Geometry {
+                buffers: 200,
+                ring_capacity: 64,
+                ..Geometry::small()
+            })
+            .unwrap(),
         );
         Flipc::attach(cb, FlipcNodeId(0), WaitRegistry::new())
     }
 
     fn pair<'f>(f: &'f Flipc) -> (RefCell<MemoryServer<'f>>, RemoteMemory<'f>) {
-        let srx = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
-        let stx = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let srx = f
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
+        let stx = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
         let server = MemoryServer::new(RpcServer::new(f, srx, stx, 1, 2).unwrap());
         let addr = server.address(f);
-        let ctx = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let crx = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let ctx = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let crx = f
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let client = RemoteMemory::new(f, RpcClient::new(f, ctx, crx, addr, 2).unwrap());
         (RefCell::new(server), client)
     }
 
     /// Progress closure: pump the local engine and let the server serve.
-    fn turn<'a>(
-        f: &'a Flipc,
-        server: &'a RefCell<MemoryServer<'a>>,
-    ) -> impl FnMut() + 'a {
+    fn turn<'a>(f: &'a Flipc, server: &'a RefCell<MemoryServer<'a>>) -> impl FnMut() + 'a {
         move || {
             pump_local(f.commbuf(), f.node());
             server.borrow_mut().serve_pending().expect("serve");
@@ -273,7 +292,10 @@ mod tests {
     fn request_codec_roundtrips() {
         let req = encode_req(OP_WRITE, WindowId(7), 100, 4, b"data");
         let (op, w, off, len, data) = decode_req(&req).unwrap();
-        assert_eq!((op, w, off, len, data), (OP_WRITE, WindowId(7), 100, 4, b"data".as_slice()));
+        assert_eq!(
+            (op, w, off, len, data),
+            (OP_WRITE, WindowId(7), 100, 4, b"data".as_slice())
+        );
         assert!(decode_req(&req[..12]).is_none());
     }
 
@@ -284,7 +306,9 @@ mod tests {
         let window = server.borrow_mut().export(256);
 
         let data: Vec<u8> = (0..200u8).collect();
-        client.write(window, 20, &data, turn(&f, &server), 50).unwrap();
+        client
+            .write(window, 20, &data, turn(&f, &server), 50)
+            .unwrap();
         // The exporter sees the bytes locally.
         assert_eq!(&server.borrow().window(window).unwrap()[20..220], &data[..]);
         // And the remote client reads them back.
@@ -312,10 +336,14 @@ mod tests {
         let f = flipc();
         let (server, mut client) = pair(&f);
         let window = server.borrow_mut().export(32);
-        client.write(window, 0, b"live", turn(&f, &server), 50).unwrap();
+        client
+            .write(window, 0, b"live", turn(&f, &server), 50)
+            .unwrap();
         let contents = server.borrow_mut().unexport(window).unwrap();
         assert_eq!(&contents[..4], b"live");
-        let err = client.read(window, 0, 4, turn(&f, &server), 50).unwrap_err();
+        let err = client
+            .read(window, 0, 4, turn(&f, &server), 50)
+            .unwrap_err();
         assert_eq!(err, FlipcError::BadEndpoint);
     }
 
@@ -325,8 +353,12 @@ mod tests {
         let (server, mut client) = pair(&f);
         let window = server.borrow_mut().export(4096);
         let data: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
-        client.write(window, 0, &data, turn(&f, &server), 5_000).unwrap();
-        let got = client.read(window, 0, 4096, turn(&f, &server), 5_000).unwrap();
+        client
+            .write(window, 0, &data, turn(&f, &server), 5_000)
+            .unwrap();
+        let got = client
+            .read(window, 0, 4096, turn(&f, &server), 5_000)
+            .unwrap();
         assert_eq!(got, data);
     }
 }

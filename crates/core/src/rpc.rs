@@ -133,7 +133,10 @@ impl<'f> RpcClient<'f> {
             // A stale or duplicate reply; surface nothing.
             return Ok(None);
         }
-        Ok(Some(RpcReply { correlation: corr, body: body.to_vec() }))
+        Ok(Some(RpcReply {
+            correlation: corr,
+            body: body.to_vec(),
+        }))
     }
 
     /// Calls and waits for *this* call's reply, invoking `progress`
@@ -204,7 +207,12 @@ impl<'f> RpcServer<'f> {
         let depth = rpc_buffers_needed(clients, per_client);
         let rx = ManagedReceiver::new(f, recv_ep, depth as usize)?;
         let tx = ManagedSender::new(f, send_ep, depth as usize)?;
-        Ok(RpcServer { rx, tx, scratch: Vec::new(), served: 0 })
+        Ok(RpcServer {
+            rx,
+            tx,
+            scratch: Vec::new(),
+            served: 0,
+        })
     }
 
     /// The address clients should call.
@@ -214,10 +222,7 @@ impl<'f> RpcServer<'f> {
 
     /// Serves at most one pending request through `handler`; returns
     /// whether one was served.
-    pub fn serve_one(
-        &mut self,
-        handler: impl FnOnce(&[u8]) -> Vec<u8>,
-    ) -> Result<bool> {
+    pub fn serve_one(&mut self, handler: impl FnOnce(&[u8]) -> Vec<u8>) -> Result<bool> {
         let Some(msg) = self.rx.recv_bytes()? else {
             return Ok(false);
         };
@@ -259,21 +264,33 @@ mod tests {
 
     fn flipc() -> Flipc {
         let cb = Arc::new(
-            CommBuffer::new(Geometry { buffers: 200, ring_capacity: 64, ..Geometry::small() })
-                .unwrap(),
+            CommBuffer::new(Geometry {
+                buffers: 200,
+                ring_capacity: 64,
+                ..Geometry::small()
+            })
+            .unwrap(),
         );
         Flipc::attach(cb, FlipcNodeId(0), WaitRegistry::new())
     }
 
     fn server(f: &Flipc, clients: u32, per_client: u32) -> RpcServer<'_> {
-        let rx = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
-        let tx = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let rx = f
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
+        let tx = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
         RpcServer::new(f, rx, tx, clients, per_client).unwrap()
     }
 
     fn client(f: &Flipc, srv: EndpointAddress, per_client: u32) -> RpcClient<'_> {
-        let tx = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rx = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let tx = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rx = f
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         RpcClient::new(f, tx, rx, srv, per_client).unwrap()
     }
 
@@ -352,8 +369,14 @@ mod tests {
         pump_local(f.commbuf(), f.node());
         let r1 = c1.poll_reply().unwrap().expect("c1 reply");
         let r2 = c2.poll_reply().unwrap().expect("c2 reply");
-        assert_eq!((r1.correlation, r1.body.as_slice()), (id1, b"one".as_slice()));
-        assert_eq!((r2.correlation, r2.body.as_slice()), (id2, b"two".as_slice()));
+        assert_eq!(
+            (r1.correlation, r1.body.as_slice()),
+            (id1, b"one".as_slice())
+        );
+        assert_eq!(
+            (r2.correlation, r2.body.as_slice()),
+            (id2, b"two".as_slice())
+        );
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Switchable atomics facade for the wait-free core.
+//!
+//! Every shared-memory access in the FLIPC protocol goes through the types
+//! in [`atomic`] rather than `std::sync::atomic` directly. The wrappers are
+//! `#[repr(transparent)]`, so they add nothing in a normal build, but they
+//! give the crate two instrumentation seams:
+//!
+//! * Under `--cfg loom` the inner type is `flipc_loom`'s instrumented
+//!   atomic, and every access becomes a scheduling point for bounded
+//!   exhaustive interleaving checking of the production protocol code.
+//! * Under the `ownership-checks` feature every *write* is reported to
+//!   [`crate::ownership`], which verifies the paper's single-writer
+//!   discipline (each shared word has exactly one writing role) at run
+//!   time. With the feature off the hook compiles to nothing.
+//!
+//! Because the wrappers are transparent over (ultimately) the `std`
+//! atomics in every configuration, [`crate::region::Region`] can still
+//! project them directly onto raw shared memory.
+
+/// Atomic types with the instrumentation seams described at the module
+/// level. Mirrors the `std::sync::atomic` API subset the crate uses.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    #[cfg(loom)]
+    use flipc_loom::sync::atomic as imp;
+    #[cfg(not(loom))]
+    use std::sync::atomic as imp;
+
+    #[cfg(feature = "ownership-checks")]
+    fn on_write(addr: usize) {
+        crate::ownership::record_write(addr);
+    }
+    #[cfg(not(feature = "ownership-checks"))]
+    #[inline(always)]
+    fn on_write(_addr: usize) {}
+
+    macro_rules! facade_atomic {
+        ($(#[$meta:meta])* $name:ident, $prim:ty) => {
+            $(#[$meta])*
+            ///
+            /// `#[repr(transparent)]` over the underlying atomic so shared
+            /// memory regions can be reinterpreted as this type.
+            #[repr(transparent)]
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: imp::$name,
+            }
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                pub const fn new(v: $prim) -> $name {
+                    $name { inner: imp::$name::new(v) }
+                }
+
+                #[inline(always)]
+                fn addr(&self) -> usize {
+                    self as *const $name as usize
+                }
+
+                /// Atomic load.
+                #[inline]
+                pub fn load(&self, order: Ordering) -> $prim {
+                    self.inner.load(order)
+                }
+
+                /// Atomic store (an ownership-checked write).
+                #[inline]
+                pub fn store(&self, v: $prim, order: Ordering) {
+                    on_write(self.addr());
+                    self.inner.store(v, order);
+                }
+
+                /// Atomic swap (an ownership-checked write).
+                #[inline]
+                pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                    on_write(self.addr());
+                    self.inner.swap(v, order)
+                }
+
+                /// Atomic compare-exchange (an ownership-checked write
+                /// attempt).
+                #[inline]
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    on_write(self.addr());
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                /// Atomic weak compare-exchange (an ownership-checked
+                /// write attempt).
+                #[inline]
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    on_write(self.addr());
+                    self.inner.compare_exchange_weak(current, new, success, failure)
+                }
+
+                /// Atomic add, returning the previous value (an
+                /// ownership-checked write).
+                #[inline]
+                pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                    on_write(self.addr());
+                    self.inner.fetch_add(v, order)
+                }
+
+                /// Atomic subtract, returning the previous value (an
+                /// ownership-checked write).
+                #[inline]
+                pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                    on_write(self.addr());
+                    self.inner.fetch_sub(v, order)
+                }
+
+                /// Returns a mutable reference to the value.
+                pub fn get_mut(&mut self) -> &mut $prim {
+                    self.inner.get_mut()
+                }
+
+                /// Consumes the atomic, returning the value.
+                pub fn into_inner(self) -> $prim {
+                    self.inner.into_inner()
+                }
+            }
+
+            impl From<$prim> for $name {
+                fn from(v: $prim) -> $name {
+                    $name::new(v)
+                }
+            }
+        };
+    }
+
+    facade_atomic!(
+        /// Facade `AtomicU32` — the protocol's word size.
+        AtomicU32, u32
+    );
+    facade_atomic!(
+        /// Facade `AtomicU64` — buffer header words.
+        AtomicU64, u64
+    );
+}

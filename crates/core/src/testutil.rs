@@ -18,7 +18,9 @@ pub(crate) fn pump_local(cb: &CommBuffer, node: FlipcNodeId) -> usize {
     let n = cb.geometry().endpoints;
     for i in 0..n {
         let idx = EndpointIndex(i);
-        let Ok((gen, active)) = cb.endpoint_gen_active(idx) else { continue };
+        let Ok((gen, active)) = cb.endpoint_gen_active(idx) else {
+            continue;
+        };
         if !active || cb.endpoint_type(idx) != Ok(EndpointType::Send) {
             continue;
         }

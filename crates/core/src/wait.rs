@@ -32,7 +32,10 @@ pub struct WaitCell {
 impl WaitCell {
     /// Creates an unsignaled cell.
     pub fn new() -> Arc<WaitCell> {
-        Arc::new(WaitCell { state: Mutex::new(false), cv: Condvar::new() })
+        Arc::new(WaitCell {
+            state: Mutex::new(false),
+            cv: Condvar::new(),
+        })
     }
 
     /// Signals the cell, waking a current or future waiter.

@@ -1,0 +1,182 @@
+//! Bounded exhaustive interleaving models of the wait-free core.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`, where the
+//! `flipc_core::sync` facade switches to instrumented atomics and
+//! `flipc_loom` explores every schedule of the accesses below (within the
+//! preemption bound). The *production* protocol code is what runs —
+//! `CounterEngineSide`/`CounterAppSide` and `AppQueue`/`EngineQueue` —
+//! not re-implementations.
+//!
+//! Run with: `RUSTFLAGS="--cfg loom" cargo test -p flipc-core --release loom_`
+//!
+//! Models must not spin: every loop below is bounded, because an unbounded
+//! retry loop cannot be exhaustively explored.
+#![cfg(loom)]
+
+use std::sync::Arc;
+
+use flipc_core::counter::{CounterAppSide, CounterEngineSide};
+use flipc_core::queue::{AppQueue, EngineQueue};
+use flipc_core::sync::atomic::{AtomicU32, Ordering};
+
+/// The paper's no-lost-drop-event guarantee: engine increments racing with
+/// the application's `read_and_reset` are never lost or double-counted.
+#[test]
+fn loom_counter_no_lost_drop_event() {
+    flipc_loom::model(|| {
+        let drops = Arc::new(AtomicU32::new(0));
+        let taken = Arc::new(AtomicU32::new(0));
+        let drops2 = drops.clone();
+        let engine = flipc_loom::thread::spawn(move || {
+            let eng = CounterEngineSide::new(&drops2);
+            eng.increment();
+            eng.increment();
+        });
+        let app = CounterAppSide::new(&drops, &taken);
+        // One reset concurrent with the increments, one after.
+        let first = u64::from(app.read_and_reset());
+        engine.join().unwrap();
+        let rest = u64::from(app.read_and_reset());
+        assert_eq!(first + rest, 2, "a drop event was lost or duplicated");
+        assert_eq!(app.read(), 0, "counter did not reset");
+    });
+}
+
+/// Queue storage shared between the app and engine model threads.
+struct Shared {
+    release: AtomicU32,
+    process: AtomicU32,
+    acquire: AtomicU32,
+    slots: [AtomicU32; 4],
+}
+
+impl Shared {
+    fn new() -> Shared {
+        Shared {
+            release: AtomicU32::new(0),
+            process: AtomicU32::new(0),
+            acquire: AtomicU32::new(0),
+            slots: [
+                AtomicU32::new(0),
+                AtomicU32::new(0),
+                AtomicU32::new(0),
+                AtomicU32::new(0),
+            ],
+        }
+    }
+
+    fn app(&self) -> AppQueue<'_> {
+        AppQueue::new(&self.release, &self.process, &self.acquire, &self.slots)
+    }
+
+    fn engine(&self) -> EngineQueue<'_> {
+        EngineQueue::new(&self.release, &self.process, &self.acquire, &self.slots)
+    }
+
+    /// Asserts the three-pointer invariant `acquire <= process <= release`.
+    ///
+    /// Sound from either thread at any point: the loads are made in
+    /// ascending pointer order, and each pointer is monotonic, so a stale
+    /// earlier load can only under-read — it can never manufacture a
+    /// violation that did not occur.
+    fn check_invariant(&self) {
+        let a = self.acquire.load(Ordering::Relaxed);
+        let p = self.process.load(Ordering::Relaxed);
+        let r = self.release.load(Ordering::Relaxed);
+        assert!(a <= p, "invariant violated: acquire {a} > process {p}");
+        assert!(p <= r, "invariant violated: process {p} > release {r}");
+    }
+}
+
+/// The three-pointer protocol of Figure 3 under every interleaving of an
+/// application (release + acquire) and an engine (peek + advance): the
+/// pointers never cross, the engine sees releases in FIFO order, and the
+/// application gets every processed buffer back in the same order.
+#[test]
+fn loom_queue_three_pointer_invariant() {
+    flipc_loom::model(|| {
+        let s = Arc::new(Shared::new());
+        let mut app = s.app();
+        // Two buffers released before the engine starts (so the engine
+        // deterministically has work) ...
+        app.release(10).unwrap();
+        app.release(20).unwrap();
+        let s2 = s.clone();
+        let engine = flipc_loom::thread::spawn(move || {
+            let eng = s2.engine();
+            let mut seen = Vec::new();
+            for _ in 0..6 {
+                s2.check_invariant();
+                if let Some(buf) = eng.peek() {
+                    seen.push(buf);
+                    eng.advance();
+                }
+            }
+            s2.check_invariant();
+            seen
+        });
+        // ... and a third released concurrently with its processing.
+        app.release(30).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..4 {
+            s.check_invariant();
+            if let Some(buf) = app.acquire() {
+                got.push(buf);
+            }
+        }
+        let seen = engine.join().unwrap();
+        // The engine saw a FIFO prefix (always including the two buffers
+        // released before it started), never reordered or duplicated.
+        let expected = [10u32, 20, 30];
+        assert!(
+            seen.len() >= 2,
+            "engine missed pre-released buffers: {seen:?}"
+        );
+        assert_eq!(
+            seen,
+            expected[..seen.len()],
+            "engine processed out of order"
+        );
+        // Post-join drain is race-free and bounded.
+        while let Some(buf) = app.acquire() {
+            got.push(buf);
+        }
+        assert_eq!(got, expected[..seen.len()], "app acquired out of order");
+        s.check_invariant();
+        assert_eq!(
+            app.len() as usize,
+            3 - seen.len(),
+            "released minus acquired must equal the unprocessed remainder"
+        );
+    });
+}
+
+/// `pending_process`/`acquirable` (the paper's two half-empty conditions)
+/// never exceed the number of outstanding buffers under any interleaving.
+#[test]
+fn loom_queue_half_empty_conditions_bounded() {
+    flipc_loom::model(|| {
+        let s = Arc::new(Shared::new());
+        let mut app = s.app();
+        app.release(1).unwrap();
+        app.release(2).unwrap();
+        let s2 = s.clone();
+        let engine = flipc_loom::thread::spawn(move || {
+            let eng = s2.engine();
+            for _ in 0..2 {
+                assert!(eng.backlog() <= 2, "backlog exceeds outstanding releases");
+                if eng.peek().is_some() {
+                    eng.advance();
+                }
+            }
+        });
+        for _ in 0..3 {
+            let pending = app.pending_process();
+            let ready = app.acquirable();
+            assert!(pending <= 2, "pending_process {pending} exceeds releases");
+            assert!(ready <= 2, "acquirable {ready} exceeds releases");
+            let _ = app.acquire();
+        }
+        engine.join().unwrap();
+    });
+}

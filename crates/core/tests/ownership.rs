@@ -1,0 +1,132 @@
+//! Single-writer-discipline checker tests (feature `ownership-checks`).
+//!
+//! Run with: `cargo test -p flipc-core --features ownership-checks`
+#![cfg(feature = "ownership-checks")]
+
+use flipc_core::commbuf::CommBuffer;
+use flipc_core::endpoint::{EndpointType, Importance};
+use flipc_core::layout::{Geometry, WriteOwner, EP_DROPS, EP_PROCESS, HDR_MISADDR_DROPS};
+use flipc_core::ownership::{self, Role};
+use flipc_core::sync::atomic::Ordering;
+
+fn base_of(cb: &CommBuffer) -> usize {
+    cb.raw_word(0) as *const _ as usize
+}
+
+/// Violations recorded for this buffer only (tests in this binary run in
+/// parallel and the violation list is global).
+fn my_violations(cb: &CommBuffer) -> Vec<ownership::Violation> {
+    let base = base_of(cb);
+    ownership::take_violations()
+        .into_iter()
+        .filter(|v| v.region_base == base)
+        .collect()
+}
+
+/// The seeded cross-role write: an errant application scribbles on the
+/// engine-owned `process` pointer through `raw_word`. The checker must
+/// report it, resolved to the layout field name.
+#[test]
+fn errant_app_write_to_process_pointer_is_detected() {
+    let cb = CommBuffer::new(Geometry::small()).unwrap();
+    let (ep, _) = cb
+        .alloc_endpoint(EndpointType::Send, Importance::Normal)
+        .unwrap();
+    let _ = my_violations(&cb); // discard any setup noise
+    let off = cb.layout().endpoint(ep.0) + EP_PROCESS;
+    cb.raw_word(off).store(0xDEAD, Ordering::Relaxed);
+    let violations = my_violations(&cb);
+    assert_eq!(violations.len(), 1, "exactly one violation: {violations:?}");
+    let v = &violations[0];
+    assert_eq!(v.field, format!("endpoint[{}].process", ep.0));
+    assert_eq!(v.offset, off);
+    assert_eq!(v.owner, WriteOwner::Engine);
+    assert_eq!(v.actual, Role::App);
+    let shown = v.to_string();
+    assert!(
+        shown.contains("process"),
+        "display names the field: {shown}"
+    );
+}
+
+/// Same for the engine's drop counters: app-role stores to `drops` words
+/// are cross-role; the legitimate engine-side handle is not.
+#[test]
+fn drop_counter_words_are_engine_owned() {
+    let cb = CommBuffer::new(Geometry::small()).unwrap();
+    let (ep, _) = cb
+        .alloc_endpoint(EndpointType::Receive, Importance::Normal)
+        .unwrap();
+    let _ = my_violations(&cb);
+    // Legitimate: through the engine-side handle (role-tagged).
+    cb.drops_engine(ep).unwrap().increment();
+    cb.misaddressed_engine().increment();
+    assert!(
+        my_violations(&cb).is_empty(),
+        "tagged engine writes are clean"
+    );
+    // Errant: raw app-role stores to the same words.
+    cb.raw_word(cb.layout().endpoint(ep.0) + EP_DROPS)
+        .store(9, Ordering::Relaxed);
+    cb.raw_word(HDR_MISADDR_DROPS).store(9, Ordering::Relaxed);
+    let violations = my_violations(&cb);
+    let fields: Vec<&str> = violations.iter().map(|v| v.field.as_str()).collect();
+    assert!(
+        fields.contains(&format!("endpoint[{}].drops", ep.0).as_str()),
+        "missing endpoint drops violation: {fields:?}"
+    );
+    assert!(
+        fields.contains(&"header.misaddr_drops"),
+        "missing misaddressed violation: {fields:?}"
+    );
+}
+
+/// A full legitimate message cycle — allocation, release, engine
+/// processing, acquire, counters, free — produces zero violations: the
+/// production code paths all write through correctly-roled accessors.
+#[test]
+fn normal_traffic_is_violation_free() {
+    let cb = CommBuffer::new(Geometry::small()).unwrap();
+    let _ = my_violations(&cb);
+    let (ep, _) = cb
+        .alloc_endpoint(EndpointType::Send, Importance::High)
+        .unwrap();
+    let token = cb.alloc_buffer().unwrap();
+    let idx = token.index();
+    cb.app_queue(ep).unwrap().release(idx).unwrap();
+    // Engine side processes.
+    let eq = cb.engine_queue(ep).unwrap();
+    assert_eq!(eq.peek(), Some(idx));
+    eq.advance();
+    cb.drops_engine(ep).unwrap().increment();
+    // App side reclaims.
+    assert_eq!(cb.app_queue(ep).unwrap().acquire(), Some(idx));
+    assert_eq!(cb.drops_app(ep).unwrap().read_and_reset(), 1);
+    cb.adjust_waiters(ep, 1).unwrap();
+    cb.adjust_waiters(ep, -1).unwrap();
+    cb.free_buffer(token);
+    cb.free_endpoint(ep).unwrap();
+    let violations = my_violations(&cb);
+    assert!(
+        violations.is_empty(),
+        "unexpected violations: {violations:?}"
+    );
+}
+
+/// Buffer header words have dynamic (alternating) ownership and are
+/// exempt — writes from either role are legal there.
+#[test]
+fn buffer_words_are_exempt_dynamic_ownership() {
+    let cb = CommBuffer::new(Geometry::small()).unwrap();
+    let _ = my_violations(&cb);
+    let token = cb.alloc_buffer().unwrap();
+    // App-role write to the buffer header word (via set_state inside
+    // alloc; write again explicitly through the raw facade).
+    let hdr_off = cb.layout().buffer(token.index());
+    cb.raw_word(hdr_off).store(1, Ordering::Relaxed);
+    cb.raw_word(hdr_off + 12).store(7, Ordering::Relaxed); // payload word
+    assert!(
+        my_violations(&cb).is_empty(),
+        "dynamic words must be exempt"
+    );
+}

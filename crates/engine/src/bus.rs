@@ -73,7 +73,10 @@ pub fn bus_fabric(n: usize, bus_depth: usize) -> Vec<BusPort> {
         mailboxes: (0..n).map(|_| VecDeque::new()).collect(),
     }));
     (0..n)
-        .map(|i| BusPort { node: FlipcNodeId(i as u16), state: state.clone() })
+        .map(|i| BusPort {
+            node: FlipcNodeId(i as u16),
+            state: state.clone(),
+        })
         .collect()
 }
 
@@ -173,12 +176,12 @@ mod tests {
 
     #[test]
     fn engine_runs_unchanged_over_the_bus() {
+        use crate::engine::{Engine, EngineConfig};
         use flipc_core::api::Flipc;
         use flipc_core::commbuf::CommBuffer;
         use flipc_core::endpoint::{EndpointType, Importance};
         use flipc_core::layout::Geometry;
         use flipc_core::wait::WaitRegistry;
-        use crate::engine::{Engine, EngineConfig};
         use std::sync::Arc as StdArc;
 
         let ports = bus_fabric(2, 1);
@@ -187,15 +190,31 @@ mod tests {
         for (i, port) in ports.into_iter().enumerate() {
             let cb = StdArc::new(CommBuffer::new(Geometry::small()).unwrap());
             let registry = WaitRegistry::new();
-            flipc.push(Flipc::attach(cb.clone(), FlipcNodeId(i as u16), registry.clone()));
-            engines.push(Engine::new(cb, Box::new(port), registry, EngineConfig::default()));
+            flipc.push(Flipc::attach(
+                cb.clone(),
+                FlipcNodeId(i as u16),
+                registry.clone(),
+            ));
+            engines.push(Engine::new(
+                cb,
+                Box::new(port),
+                registry,
+                EngineConfig::default(),
+            ));
         }
-        let tx = flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rx = flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let tx = flipc[0]
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rx = flipc[1]
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let dest = flipc[1].address(&rx);
         for _ in 0..8 {
             let b = flipc[1].buffer_allocate().unwrap();
-            flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+            flipc[1]
+                .provide_receive_buffer(&rx, b)
+                .map_err(|r| r.error)
+                .unwrap();
         }
         for i in 0..6u8 {
             let mut t = flipc[0].buffer_allocate().unwrap();

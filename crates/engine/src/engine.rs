@@ -26,7 +26,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use flipc_core::buffer::BufferState;
-use flipc_core::checks::{validate_backlog, validate_delivery_at, validate_queued_buffer, CheckMode};
+use flipc_core::checks::{
+    validate_backlog, validate_delivery_at, validate_queued_buffer, CheckMode,
+};
 use flipc_core::commbuf::CommBuffer;
 use flipc_core::endpoint::{EndpointAddress, EndpointIndex, EndpointType, Importance};
 use flipc_core::wait::WaitRegistry;
@@ -118,7 +120,12 @@ impl Domain {
     /// An unrestricted domain at index base 0 (the single-application
     /// configuration).
     pub fn unrestricted(cb: Arc<CommBuffer>, registry: Arc<WaitRegistry>) -> Domain {
-        Domain { cb, registry, index_base: 0, allowed_destinations: None }
+        Domain {
+            cb,
+            registry,
+            index_base: 0,
+            allowed_destinations: None,
+        }
     }
 
     fn endpoints(&self) -> u16 {
@@ -158,11 +165,7 @@ impl Engine {
         registry: Arc<WaitRegistry>,
         cfg: EngineConfig,
     ) -> Engine {
-        Engine::new_multi(
-            vec![Domain::unrestricted(cb, registry)],
-            transport,
-            cfg,
-        )
+        Engine::new_multi(vec![Domain::unrestricted(cb, registry)], transport, cfg)
     }
 
     /// Builds an engine serving several protection domains (multiple
@@ -208,7 +211,8 @@ impl Engine {
     /// queued — nothing is dropped.
     /// (`ep` is the node-global endpoint index: domain base + slot.)
     pub fn set_rate_limit(&mut self, ep: EndpointIndex, bytes_per_iteration: u64, burst: u64) {
-        self.shaper.limit(ep.0, TokenBucket::new(bytes_per_iteration, burst));
+        self.shaper
+            .limit(ep.0, TokenBucket::new(bytes_per_iteration, burst));
     }
 
     /// Removes a previously installed rate limit.
@@ -244,7 +248,9 @@ impl Engine {
     fn pump_incoming(&mut self) -> u32 {
         let mut done = 0;
         while done < self.cfg.incoming_budget {
-            let Some(frame) = self.transport.try_recv() else { break };
+            let Some(frame) = self.transport.try_recv() else {
+                break;
+            };
             self.deliver(frame);
             done += 1;
         }
@@ -294,9 +300,7 @@ impl Engine {
             Self::count_drop(&self.stats, cb, didx);
             return;
         };
-        if self.cfg.check_mode == CheckMode::Checked
-            && validate_queued_buffer(cb, buf).is_err()
-        {
+        if self.cfg.check_mode == CheckMode::Checked && validate_queued_buffer(cb, buf).is_err() {
             // The ring slot held garbage. Skip the slot (bounded: one per
             // arrival) and count both a check failure and a drop.
             q.advance();
@@ -342,7 +346,9 @@ impl Engine {
                     break;
                 }
                 let flat = (self.scan_cursor + step) % n;
-                let Some((dom, idx)) = self.flat_to_domain(flat) else { continue };
+                let Some((dom, idx)) = self.flat_to_domain(flat) else {
+                    continue;
+                };
                 if !self.endpoint_sendable(dom, idx, importance) {
                     continue;
                 }
@@ -417,7 +423,9 @@ impl Engine {
                 break;
             }
             let (dest, _) = cb.header(buf).load();
-            let Ok((gen, _)) = cb.endpoint_gen_active(idx) else { break };
+            let Ok((gen, _)) = cb.endpoint_gen_active(idx) else {
+                break;
+            };
 
             // Protection: an untrusting-domain configuration restricts
             // where this buffer's messages may go. Denied messages are
@@ -434,15 +442,16 @@ impl Engine {
                 continue;
             }
 
-            let src = EndpointAddress::new(
-                self.transport.local_node(),
-                EndpointIndex(global_idx),
-                gen,
-            );
+            let src =
+                EndpointAddress::new(self.transport.local_node(), EndpointIndex(global_idx), gen);
             let mut payload = vec![0u8; cb.payload_size()].into_boxed_slice();
             // SAFETY: The engine owns `buf` between `peek` and `advance`.
             unsafe { cb.payload_read(buf, &mut payload) };
-            let frame = Frame { src, dst: dest, payload };
+            let frame = Frame {
+                src,
+                dst: dest,
+                payload,
+            };
 
             if dest.node() == self.transport.local_node() {
                 // Node-local delivery bypasses the interconnect (possibly
@@ -494,7 +503,11 @@ mod tests {
         for (i, port) in ports.into_iter().enumerate() {
             let cb = Arc::new(CommBuffer::new(geo).unwrap());
             let registry = WaitRegistry::new();
-            flipc.push(Flipc::attach(cb.clone(), FlipcNodeId(i as u16), registry.clone()));
+            flipc.push(Flipc::attach(
+                cb.clone(),
+                FlipcNodeId(i as u16),
+                registry.clone(),
+            ));
             engines.push(Engine::new(cb, Box::new(port), registry, cfg));
         }
         World { flipc, engines }
@@ -512,7 +525,12 @@ mod tests {
         }
     }
 
-    fn send_bytes(f: &Flipc, ep: &flipc_core::api::LocalEndpoint, dest: EndpointAddress, data: &[u8]) {
+    fn send_bytes(
+        f: &Flipc,
+        ep: &flipc_core::api::LocalEndpoint,
+        dest: EndpointAddress,
+        data: &[u8],
+    ) {
         let mut t = f.buffer_allocate().unwrap();
         f.payload_mut(&mut t)[..data.len()].copy_from_slice(data);
         f.send(ep, t, dest).unwrap();
@@ -521,11 +539,18 @@ mod tests {
     #[test]
     fn end_to_end_delivery_between_nodes() {
         let mut w = world(2);
-        let tx = w.flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rx = w.flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let tx = w.flipc[0]
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rx = w.flipc[1]
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let dest = w.flipc[1].address(&rx);
         let buf = w.flipc[1].buffer_allocate().unwrap();
-        w.flipc[1].provide_receive_buffer(&rx, buf).map_err(|r| r.error).unwrap();
+        w.flipc[1]
+            .provide_receive_buffer(&rx, buf)
+            .map_err(|r| r.error)
+            .unwrap();
 
         send_bytes(&w.flipc[0], &tx, dest, b"hello paragon");
         w.pump();
@@ -542,11 +567,17 @@ mod tests {
     fn node_local_delivery_bypasses_the_wire() {
         let mut w = world(1);
         let f = &w.flipc[0];
-        let tx = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rx = f.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let tx = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rx = f
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let dest = f.address(&rx);
         let b = f.buffer_allocate().unwrap();
-        f.provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+        f.provide_receive_buffer(&rx, b)
+            .map_err(|r| r.error)
+            .unwrap();
         send_bytes(f, &tx, dest, b"local");
         w.engines[0].iterate();
         let got = w.flipc[0].recv(&rx).unwrap().unwrap();
@@ -556,12 +587,19 @@ mod tests {
     #[test]
     fn ordering_is_preserved_per_endpoint_pair() {
         let mut w = world(2);
-        let tx = w.flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rx = w.flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let tx = w.flipc[0]
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rx = w.flipc[1]
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let dest = w.flipc[1].address(&rx);
         for _ in 0..16 {
             let b = w.flipc[1].buffer_allocate().unwrap();
-            w.flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+            w.flipc[1]
+                .provide_receive_buffer(&rx, b)
+                .map_err(|r| r.error)
+                .unwrap();
         }
         for i in 0..10u8 {
             send_bytes(&w.flipc[0], &tx, dest, &[i]);
@@ -578,8 +616,12 @@ mod tests {
     #[test]
     fn no_receive_buffer_discards_and_counts() {
         let mut w = world(2);
-        let tx = w.flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rx = w.flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let tx = w.flipc[0]
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rx = w.flipc[1]
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let dest = w.flipc[1].address(&rx);
         for i in 0..5u8 {
             send_bytes(&w.flipc[0], &tx, dest, &[i]);
@@ -599,19 +641,31 @@ mod tests {
     #[test]
     fn stale_address_is_misaddressed_not_delivered() {
         let mut w = world(2);
-        let tx = w.flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rx = w.flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let tx = w.flipc[0]
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rx = w.flipc[1]
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let stale = w.flipc[1].address(&rx);
         // Free and reallocate the endpoint: the old address's generation is
         // now stale.
         w.flipc[1].endpoint_free(rx).unwrap();
-        let rx2 = w.flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let rx2 = w.flipc[1]
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let b = w.flipc[1].buffer_allocate().unwrap();
-        w.flipc[1].provide_receive_buffer(&rx2, b).map_err(|r| r.error).unwrap();
+        w.flipc[1]
+            .provide_receive_buffer(&rx2, b)
+            .map_err(|r| r.error)
+            .unwrap();
 
         send_bytes(&w.flipc[0], &tx, stale, b"ghost");
         w.pump();
-        assert!(w.flipc[1].recv(&rx2).unwrap().is_none(), "stale traffic must not leak");
+        assert!(
+            w.flipc[1].recv(&rx2).unwrap().is_none(),
+            "stale traffic must not leak"
+        );
         assert_eq!(w.flipc[1].misaddressed_reset(), 1);
         assert_eq!(w.engines[1].stats().misaddressed.load(Ordering::Relaxed), 1);
     }
@@ -620,15 +674,27 @@ mod tests {
     fn high_importance_sends_first() {
         // Queue on a low-importance endpoint first, then a high one; with a
         // tiny outgoing budget the high-importance message must still win.
-        let cfg = EngineConfig { outgoing_budget: 1, ..Default::default() };
+        let cfg = EngineConfig {
+            outgoing_budget: 1,
+            ..Default::default()
+        };
         let mut w = world_with(2, cfg, Geometry::small());
-        let lo = w.flipc[0].endpoint_allocate(EndpointType::Send, Importance::Low).unwrap();
-        let hi = w.flipc[0].endpoint_allocate(EndpointType::Send, Importance::High).unwrap();
-        let rx = w.flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let lo = w.flipc[0]
+            .endpoint_allocate(EndpointType::Send, Importance::Low)
+            .unwrap();
+        let hi = w.flipc[0]
+            .endpoint_allocate(EndpointType::Send, Importance::High)
+            .unwrap();
+        let rx = w.flipc[1]
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let dest = w.flipc[1].address(&rx);
         for _ in 0..4 {
             let b = w.flipc[1].buffer_allocate().unwrap();
-            w.flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+            w.flipc[1]
+                .provide_receive_buffer(&rx, b)
+                .map_err(|r| r.error)
+                .unwrap();
         }
         send_bytes(&w.flipc[0], &lo, dest, b"maintenance");
         send_bytes(&w.flipc[0], &hi, dest, b"missile!");
@@ -651,15 +717,31 @@ mod tests {
         for (i, port) in ports.into_iter().enumerate() {
             let cb = Arc::new(CommBuffer::new(geo).unwrap());
             let registry = WaitRegistry::new();
-            flipc.push(Flipc::attach(cb.clone(), FlipcNodeId(i as u16), registry.clone()));
-            engines.push(Engine::new(cb, Box::new(port), registry, EngineConfig::default()));
+            flipc.push(Flipc::attach(
+                cb.clone(),
+                FlipcNodeId(i as u16),
+                registry.clone(),
+            ));
+            engines.push(Engine::new(
+                cb,
+                Box::new(port),
+                registry,
+                EngineConfig::default(),
+            ));
         }
-        let tx = flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rx = flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let tx = flipc[0]
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rx = flipc[1]
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let dest = flipc[1].address(&rx);
         for _ in 0..8 {
             let b = flipc[1].buffer_allocate().unwrap();
-            flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+            flipc[1]
+                .provide_receive_buffer(&rx, b)
+                .map_err(|r| r.error)
+                .unwrap();
         }
         for i in 0..6u8 {
             let mut t = flipc[0].buffer_allocate().unwrap();
@@ -681,12 +763,16 @@ mod tests {
     fn corrupted_ring_slot_cannot_stall_the_engine() {
         let mut w = world(2);
         let f = &w.flipc[0];
-        let tx = f.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let tx = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
         // Errant application: scribble an out-of-range buffer index into
         // the ring and bump release by smashing raw words.
         let lay = f.commbuf().layout();
         let slot_off = lay.ring_slot(tx.index().0, 0);
-        f.commbuf().raw_word(slot_off).store(0xFFFF_FFFF, Ordering::Relaxed);
+        f.commbuf()
+            .raw_word(slot_off)
+            .store(0xFFFF_FFFF, Ordering::Relaxed);
         let rel_off = lay.endpoint(tx.index().0) + flipc_core::layout::EP_RELEASE;
         f.commbuf().raw_word(rel_off).store(1, Ordering::Relaxed);
 
@@ -697,11 +783,18 @@ mod tests {
         assert!(stats.check_failures.load(Ordering::Relaxed) >= 1);
 
         // Other endpoints still work end to end.
-        let tx2 = w.flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rx = w.flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let tx2 = w.flipc[0]
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rx = w.flipc[1]
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let dest = w.flipc[1].address(&rx);
         let b = w.flipc[1].buffer_allocate().unwrap();
-        w.flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+        w.flipc[1]
+            .provide_receive_buffer(&rx, b)
+            .map_err(|r| r.error)
+            .unwrap();
         send_bytes(&w.flipc[0], &tx2, dest, b"alive");
         w.pump();
         assert!(w.flipc[1].recv(&rx).unwrap().unwrap().token.index() < 64);
@@ -709,10 +802,25 @@ mod tests {
 
     #[test]
     fn iteration_work_is_bounded_by_budget() {
-        let cfg = EngineConfig { incoming_budget: 4, outgoing_budget: 4, ..Default::default() };
-        let mut w = world_with(2, cfg, Geometry { ring_capacity: 32, ..Geometry::small() });
-        let tx = w.flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rx = w.flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let cfg = EngineConfig {
+            incoming_budget: 4,
+            outgoing_budget: 4,
+            ..Default::default()
+        };
+        let mut w = world_with(
+            2,
+            cfg,
+            Geometry {
+                ring_capacity: 32,
+                ..Geometry::small()
+            },
+        );
+        let tx = w.flipc[0]
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rx = w.flipc[1]
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let dest = w.flipc[1].address(&rx);
         for i in 0..20u8 {
             send_bytes(&w.flipc[0], &tx, dest, &[i]);
@@ -726,11 +834,18 @@ mod tests {
     #[test]
     fn blocking_receiver_is_woken_by_engine() {
         let mut w = world(2);
-        let tx = w.flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rx = w.flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let tx = w.flipc[0]
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rx = w.flipc[1]
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let dest = w.flipc[1].address(&rx);
         let b = w.flipc[1].buffer_allocate().unwrap();
-        w.flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+        w.flipc[1]
+            .provide_receive_buffer(&rx, b)
+            .map_err(|r| r.error)
+            .unwrap();
 
         // Run the receiving app on another thread; pump engines here.
         let replacement = Flipc::attach(
@@ -740,7 +855,9 @@ mod tests {
         );
         let f1 = std::mem::replace(&mut w.flipc[1], replacement);
         let waiter = std::thread::spawn(move || {
-            let got = f1.recv_blocking(&rx, std::time::Duration::from_secs(10)).unwrap();
+            let got = f1
+                .recv_blocking(&rx, std::time::Duration::from_secs(10))
+                .unwrap();
             f1.payload(&got.token)[0]
         });
         while w.flipc[1].commbuf().waiters(EndpointIndex(0)).unwrap() == 0 {
@@ -766,23 +883,45 @@ mod shaping_tests {
     /// waits.
     #[test]
     fn rate_limited_endpoint_is_throttled_not_dropped() {
-        let geo = Geometry { ring_capacity: 32, buffers: 128, ..Geometry::small() };
+        let geo = Geometry {
+            ring_capacity: 32,
+            buffers: 128,
+            ..Geometry::small()
+        };
         let ports = fabric(2, 256);
         let mut flipc = Vec::new();
         let mut engines = Vec::new();
         for (i, port) in ports.into_iter().enumerate() {
             let cb = Arc::new(CommBuffer::new(geo).unwrap());
             let registry = WaitRegistry::new();
-            flipc.push(Flipc::attach(cb.clone(), FlipcNodeId(i as u16), registry.clone()));
-            engines.push(Engine::new(cb, Box::new(port), registry, EngineConfig::default()));
+            flipc.push(Flipc::attach(
+                cb.clone(),
+                FlipcNodeId(i as u16),
+                registry.clone(),
+            ));
+            engines.push(Engine::new(
+                cb,
+                Box::new(port),
+                registry,
+                EngineConfig::default(),
+            ));
         }
-        let limited = flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let free = flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rx = flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let limited = flipc[0]
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let free = flipc[0]
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rx = flipc[1]
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let dest = flipc[1].address(&rx);
         for _ in 0..32 {
             let b = flipc[1].buffer_allocate().unwrap();
-            flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+            flipc[1]
+                .provide_receive_buffer(&rx, b)
+                .map_err(|r| r.error)
+                .unwrap();
         }
         // One 120-byte payload per iteration for the limited endpoint.
         let payload = flipc[0].payload_size() as u64;
@@ -810,7 +949,10 @@ mod shaping_tests {
             }
         }
         assert_eq!(free_got, 8, "unlimited endpoint must drain in one pass");
-        assert_eq!(limited_got, 1, "limited endpoint gets one message per iteration");
+        assert_eq!(
+            limited_got, 1,
+            "limited endpoint gets one message per iteration"
+        );
 
         // The rest arrive over subsequent iterations — throttled, never
         // dropped.
@@ -829,22 +971,42 @@ mod shaping_tests {
     /// Clearing a limit restores full-speed service.
     #[test]
     fn clear_rate_limit_restores_throughput() {
-        let geo = Geometry { ring_capacity: 32, buffers: 128, ..Geometry::small() };
+        let geo = Geometry {
+            ring_capacity: 32,
+            buffers: 128,
+            ..Geometry::small()
+        };
         let ports = fabric(2, 256);
         let mut flipc = Vec::new();
         let mut engines = Vec::new();
         for (i, port) in ports.into_iter().enumerate() {
             let cb = Arc::new(CommBuffer::new(geo).unwrap());
             let registry = WaitRegistry::new();
-            flipc.push(Flipc::attach(cb.clone(), FlipcNodeId(i as u16), registry.clone()));
-            engines.push(Engine::new(cb, Box::new(port), registry, EngineConfig::default()));
+            flipc.push(Flipc::attach(
+                cb.clone(),
+                FlipcNodeId(i as u16),
+                registry.clone(),
+            ));
+            engines.push(Engine::new(
+                cb,
+                Box::new(port),
+                registry,
+                EngineConfig::default(),
+            ));
         }
-        let tx = flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rx = flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let tx = flipc[0]
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rx = flipc[1]
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let dest = flipc[1].address(&rx);
         for _ in 0..16 {
             let b = flipc[1].buffer_allocate().unwrap();
-            flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+            flipc[1]
+                .provide_receive_buffer(&rx, b)
+                .map_err(|r| r.error)
+                .unwrap();
         }
         engines[0].set_rate_limit(tx.index(), 0, 0); // fully blocked
         for _ in 0..4 {
@@ -855,7 +1017,10 @@ mod shaping_tests {
             engines[0].iterate();
             engines[1].iterate();
         }
-        assert!(flipc[1].recv(&rx).unwrap().is_none(), "blocked endpoint leaked");
+        assert!(
+            flipc[1].recv(&rx).unwrap().is_none(),
+            "blocked endpoint leaked"
+        );
         engines[0].clear_rate_limit(tx.index());
         for _ in 0..3 {
             engines[0].iterate();
@@ -882,24 +1047,44 @@ mod fairness_tests {
     /// than one draining completely first.
     #[test]
     fn equal_importance_endpoints_share_service() {
-        let geo = Geometry { ring_capacity: 32, buffers: 128, ..Geometry::small() };
+        let geo = Geometry {
+            ring_capacity: 32,
+            buffers: 128,
+            ..Geometry::small()
+        };
         let ports = fabric(2, 256);
         let mut flipc = Vec::new();
         let mut engines = Vec::new();
-        let cfg = EngineConfig { outgoing_budget: 1, ..Default::default() };
+        let cfg = EngineConfig {
+            outgoing_budget: 1,
+            ..Default::default()
+        };
         for (i, port) in ports.into_iter().enumerate() {
             let cb = Arc::new(CommBuffer::new(geo).unwrap());
             let registry = WaitRegistry::new();
-            flipc.push(Flipc::attach(cb.clone(), FlipcNodeId(i as u16), registry.clone()));
+            flipc.push(Flipc::attach(
+                cb.clone(),
+                FlipcNodeId(i as u16),
+                registry.clone(),
+            ));
             engines.push(Engine::new(cb, Box::new(port), registry, cfg));
         }
-        let ep_a = flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let ep_b = flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rx = flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let ep_a = flipc[0]
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let ep_b = flipc[0]
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rx = flipc[1]
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let dest = flipc[1].address(&rx);
         for _ in 0..16 {
             let b = flipc[1].buffer_allocate().unwrap();
-            flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+            flipc[1]
+                .provide_receive_buffer(&rx, b)
+                .map_err(|r| r.error)
+                .unwrap();
         }
         for i in 0..4u8 {
             for (tag, ep) in [(b'a', &ep_a), (b'b', &ep_b)] {
@@ -953,8 +1138,17 @@ mod lifecycle_tests {
         for (i, port) in ports.into_iter().enumerate() {
             let cb = Arc::new(CommBuffer::new(Geometry::small()).unwrap());
             let registry = WaitRegistry::new();
-            flipc.push(Flipc::attach(cb.clone(), FlipcNodeId(i as u16), registry.clone()));
-            engines.push(Engine::new(cb, Box::new(port), registry, EngineConfig::default()));
+            flipc.push(Flipc::attach(
+                cb.clone(),
+                FlipcNodeId(i as u16),
+                registry.clone(),
+            ));
+            engines.push(Engine::new(
+                cb,
+                Box::new(port),
+                registry,
+                EngineConfig::default(),
+            ));
         }
         (flipc, engines)
     }
@@ -964,11 +1158,18 @@ mod lifecycle_tests {
     #[test]
     fn freed_endpoint_is_skipped_and_slot_reuse_is_clean() {
         let (flipc, mut engines) = pair();
-        let tx = flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rx = flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let tx = flipc[0]
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rx = flipc[1]
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let dest = flipc[1].address(&rx);
         let b = flipc[1].buffer_allocate().unwrap();
-        flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+        flipc[1]
+            .provide_receive_buffer(&rx, b)
+            .map_err(|r| r.error)
+            .unwrap();
 
         let mut t = flipc[0].buffer_allocate().unwrap();
         flipc[0].payload_mut(&mut t)[0] = 1;
@@ -992,10 +1193,15 @@ mod lifecycle_tests {
         assert_eq!(engines[0].stats().sent.load(Ordering::Relaxed), sent_before);
 
         // The slot's next tenant works immediately, with a new generation.
-        let tx2 = flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+        let tx2 = flipc[0]
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
         assert_eq!(tx2.index(), old_idx, "first-fit reuse expected");
         let b = flipc[1].buffer_allocate().unwrap();
-        flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+        flipc[1]
+            .provide_receive_buffer(&rx, b)
+            .map_err(|r| r.error)
+            .unwrap();
         let mut t = flipc[0].buffer_allocate().unwrap();
         flipc[0].payload_mut(&mut t)[0] = 2;
         flipc[0].send(&tx2, t, dest).unwrap();
@@ -1013,20 +1219,35 @@ mod lifecycle_tests {
     #[test]
     fn zero_budget_engine_is_inert_but_sound() {
         let ports = fabric(2, 64);
-        let cfg = EngineConfig { incoming_budget: 0, outgoing_budget: 0, ..Default::default() };
+        let cfg = EngineConfig {
+            incoming_budget: 0,
+            outgoing_budget: 0,
+            ..Default::default()
+        };
         let mut flipc = Vec::new();
         let mut engines = Vec::new();
         for (i, port) in ports.into_iter().enumerate() {
             let cb = Arc::new(CommBuffer::new(Geometry::small()).unwrap());
             let registry = WaitRegistry::new();
-            flipc.push(Flipc::attach(cb.clone(), FlipcNodeId(i as u16), registry.clone()));
+            flipc.push(Flipc::attach(
+                cb.clone(),
+                FlipcNodeId(i as u16),
+                registry.clone(),
+            ));
             engines.push(Engine::new(cb, Box::new(port), registry, cfg));
         }
-        let tx = flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rx = flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let tx = flipc[0]
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rx = flipc[1]
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let dest = flipc[1].address(&rx);
         let b = flipc[1].buffer_allocate().unwrap();
-        flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+        flipc[1]
+            .provide_receive_buffer(&rx, b)
+            .map_err(|r| r.error)
+            .unwrap();
         let t = flipc[0].buffer_allocate().unwrap();
         flipc[0].send(&tx, t, dest).unwrap();
         for _ in 0..10 {

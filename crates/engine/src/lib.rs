@@ -29,9 +29,9 @@ pub mod wire;
 
 pub use bus::{bus_fabric, BusPort};
 pub use engine::{Domain, Engine, EngineConfig, EngineStats};
-pub use shaper::{Shaper, TokenBucket};
 pub use loopback::{fabric, LoopbackPort};
 pub use node::{InlineCluster, NodeCore, ThreadedCluster};
+pub use shaper::{Shaper, TokenBucket};
 pub use thread::{spawn_engine, EngineHandle};
 pub use transport::Transport;
 pub use wire::Frame;

@@ -33,12 +33,10 @@ pub fn fabric(n: usize, wire_depth: usize) -> Vec<LoopbackPort> {
     assert!(n >= 1, "fabric needs at least one node");
     assert!(n <= u16::MAX as usize, "node id space is u16");
     // producers[s][d] / consumers[d][s]
-    let mut producers: Vec<Vec<Option<Producer<Frame>>>> = (0..n)
-        .map(|_| (0..n).map(|_| None).collect())
-        .collect();
-    let mut consumers: Vec<Vec<Option<Consumer<Frame>>>> = (0..n)
-        .map(|_| (0..n).map(|_| None).collect())
-        .collect();
+    let mut producers: Vec<Vec<Option<Producer<Frame>>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    let mut consumers: Vec<Vec<Option<Consumer<Frame>>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
     for s in 0..n {
         for d in 0..n {
             if s == d {

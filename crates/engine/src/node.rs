@@ -53,7 +53,11 @@ fn build_cores(n: usize, geo: Geometry) -> Result<Vec<(NodeCore, Arc<WaitRegistr
         let cb = Arc::new(CommBuffer::new(geo)?);
         let registry = WaitRegistry::new();
         out.push((
-            NodeCore { id: FlipcNodeId(i as u16), cb, registry: registry.clone() },
+            NodeCore {
+                id: FlipcNodeId(i as u16),
+                cb,
+                registry: registry.clone(),
+            },
             registry,
         ));
     }
@@ -78,7 +82,10 @@ impl ThreadedCluster {
             handles.push(spawn_engine(engine));
             out_cores.push(core);
         }
-        Ok(ThreadedCluster { cores: out_cores, handles })
+        Ok(ThreadedCluster {
+            cores: out_cores,
+            handles,
+        })
     }
 
     /// Number of nodes.
@@ -187,11 +194,17 @@ mod tests {
         let mut cl = InlineCluster::new(3, Geometry::small(), EngineConfig::default()).unwrap();
         let a = cl.node(0).attach();
         let c = cl.node(2).attach();
-        let tx = a.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rx = c.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let tx = a
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rx = c
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let dest = c.address(&rx);
         let b = c.buffer_allocate().unwrap();
-        c.provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+        c.provide_receive_buffer(&rx, b)
+            .map_err(|r| r.error)
+            .unwrap();
         let mut t = a.buffer_allocate().unwrap();
         a.payload_mut(&mut t)[..2].copy_from_slice(b"ok");
         a.send(&tx, t, dest).unwrap();
@@ -206,11 +219,17 @@ mod tests {
         let app1 = cl.node(0).attach();
         let app2 = cl.node(0).attach();
         // Each app allocates its own endpoints from the shared buffer.
-        let tx = app1.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rx = app2.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let tx = app1
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rx = app2
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let dest = app2.address(&rx);
         let b = app2.buffer_allocate().unwrap();
-        app2.provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+        app2.provide_receive_buffer(&rx, b)
+            .map_err(|r| r.error)
+            .unwrap();
         let t = app1.buffer_allocate().unwrap();
         app1.send(&tx, t, dest).unwrap();
         cl.pump_until_idle(8);
@@ -225,15 +244,23 @@ mod tests {
         let cl = ThreadedCluster::new(2, Geometry::small(), EngineConfig::default()).unwrap();
         let a = cl.node(0).attach();
         let b = cl.node(1).attach();
-        let tx = a.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rx = b.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let tx = a
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rx = b
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let dest = b.address(&rx);
         let buf = b.buffer_allocate().unwrap();
-        b.provide_receive_buffer(&rx, buf).map_err(|r| r.error).unwrap();
+        b.provide_receive_buffer(&rx, buf)
+            .map_err(|r| r.error)
+            .unwrap();
         let mut t = a.buffer_allocate().unwrap();
         a.payload_mut(&mut t)[..5].copy_from_slice(b"hello");
         a.send(&tx, t, dest).unwrap();
-        let got = b.recv_blocking(&rx, std::time::Duration::from_secs(10)).unwrap();
+        let got = b
+            .recv_blocking(&rx, std::time::Duration::from_secs(10))
+            .unwrap();
         assert_eq!(&b.payload(&got.token)[..5], b"hello");
         cl.shutdown();
     }

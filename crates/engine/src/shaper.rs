@@ -30,7 +30,11 @@ pub struct TokenBucket {
 impl TokenBucket {
     /// Creates a bucket that starts full.
     pub fn new(refill_per_iteration: u64, burst: u64) -> TokenBucket {
-        TokenBucket { refill_per_iteration, burst, tokens: burst }
+        TokenBucket {
+            refill_per_iteration,
+            burst,
+            tokens: burst,
+        }
     }
 
     /// Adds one iteration's refill.

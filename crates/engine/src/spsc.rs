@@ -11,9 +11,9 @@
 //! returns one [`Producer`] and one [`Consumer`], neither of which is
 //! `Clone`.
 
+use flipc_core::sync::atomic::{AtomicU32, Ordering};
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// Pads a value to a cache line to prevent false sharing between the
@@ -67,7 +67,12 @@ pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
         tail: CachePadded(AtomicU32::new(0)),
         slots,
     });
-    (Producer { inner: inner.clone() }, Consumer { inner })
+    (
+        Producer {
+            inner: inner.clone(),
+        },
+        Consumer { inner },
+    )
 }
 
 impl<T> Producer<T> {
@@ -209,7 +214,7 @@ mod tests {
                 tx.push(D).unwrap();
             }
             drop(rx.pop()); // one dropped by consumption
-            // four left inside on drop
+                            // four left inside on drop
         }
         assert_eq!(DROPS.load(Ordering::Relaxed), 5);
     }

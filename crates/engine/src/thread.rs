@@ -46,7 +46,11 @@ pub fn spawn_engine(mut engine: Engine) -> EngineHandle {
             engine
         })
         .expect("failed to spawn engine thread");
-    EngineHandle { stop, stats, join: Some(join) }
+    EngineHandle {
+        stop,
+        stats,
+        join: Some(join),
+    }
 }
 
 impl EngineHandle {
@@ -95,7 +99,11 @@ mod tests {
         for (i, port) in ports.into_iter().enumerate() {
             let cb = Arc::new(CommBuffer::new(Geometry::small()).unwrap());
             let registry = WaitRegistry::new();
-            flipc.push(Flipc::attach(cb.clone(), FlipcNodeId(i as u16), registry.clone()));
+            flipc.push(Flipc::attach(
+                cb.clone(),
+                FlipcNodeId(i as u16),
+                registry.clone(),
+            ));
             handles.push(spawn_engine(Engine::new(
                 cb,
                 Box::new(port),
@@ -103,11 +111,18 @@ mod tests {
                 EngineConfig::default(),
             )));
         }
-        let tx = flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rx = flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let tx = flipc[0]
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rx = flipc[1]
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let dest = flipc[1].address(&rx);
         let b = flipc[1].buffer_allocate().unwrap();
-        flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+        flipc[1]
+            .provide_receive_buffer(&rx, b)
+            .map_err(|r| r.error)
+            .unwrap();
 
         let mut t = flipc[0].buffer_allocate().unwrap();
         flipc[0].payload_mut(&mut t)[..4].copy_from_slice(b"ping");
@@ -139,6 +154,10 @@ mod tests {
         drop(h);
         let after = stats.iterations.load(Ordering::Relaxed);
         std::thread::sleep(std::time::Duration::from_millis(10));
-        assert_eq!(stats.iterations.load(Ordering::Relaxed), after, "engine kept running");
+        assert_eq!(
+            stats.iterations.load(Ordering::Relaxed),
+            after,
+            "engine kept running"
+        );
     }
 }

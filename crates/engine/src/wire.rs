@@ -85,7 +85,11 @@ mod tests {
     fn decode_rejects_truncated_header() {
         assert!(Frame::decode(&[0u8; 15]).is_none());
         // Exactly a header with empty payload decodes.
-        let f = Frame { src: addr(0, 0, 0), dst: addr(0, 0, 0), payload: Box::new([]) };
+        let f = Frame {
+            src: addr(0, 0, 0),
+            dst: addr(0, 0, 0),
+            payload: Box::new([]),
+        };
         assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
     }
 }

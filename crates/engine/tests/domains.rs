@@ -71,7 +71,12 @@ fn pump(engines: &mut [Engine]) {
     }
 }
 
-fn send(f: &Flipc, ep: &flipc_core::api::LocalEndpoint, dest: flipc_core::EndpointAddress, tag: u8) {
+fn send(
+    f: &Flipc,
+    ep: &flipc_core::api::LocalEndpoint,
+    dest: flipc_core::EndpointAddress,
+    tag: u8,
+) {
     let mut t = f.buffer_allocate().expect("buffer");
     f.payload_mut(&mut t)[0] = tag;
     f.send(ep, t, dest).expect("send");
@@ -80,7 +85,9 @@ fn send(f: &Flipc, ep: &flipc_core::api::LocalEndpoint, dest: flipc_core::Endpoi
 fn provide(f: &Flipc, ep: &flipc_core::api::LocalEndpoint, n: usize) {
     for _ in 0..n {
         let t = f.buffer_allocate().expect("buffer");
-        f.provide_receive_buffer(ep, t).map_err(|r| r.error).expect("provide");
+        f.provide_receive_buffer(ep, t)
+            .map_err(|r| r.error)
+            .expect("provide");
     }
 }
 
@@ -88,8 +95,14 @@ fn provide(f: &Flipc, ep: &flipc_core::api::LocalEndpoint, n: usize) {
 fn domains_route_by_index_base_and_stay_isolated() {
     let mut w = world(None);
     // Each domain gets a receive endpoint; the remote node sends to both.
-    let c_rx = w.control.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
-    let g_rx = w.guest.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+    let c_rx = w
+        .control
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .unwrap();
+    let g_rx = w
+        .guest
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .unwrap();
     provide(&w.control, &c_rx, 2);
     provide(&w.guest, &g_rx, 2);
     // Addresses carry the domain's base: control ep0 -> global 0, guest
@@ -99,7 +112,10 @@ fn domains_route_by_index_base_and_stay_isolated() {
     assert_eq!(c_addr.index().0, 0);
     assert_eq!(g_addr.index().0, 8);
 
-    let r_tx = w.remote.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+    let r_tx = w
+        .remote
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .unwrap();
     send(&w.remote, &r_tx, c_addr, 1);
     send(&w.remote, &r_tx, g_addr, 2);
     pump(&mut w.engines);
@@ -118,11 +134,17 @@ fn domains_route_by_index_base_and_stay_isolated() {
 #[test]
 fn cross_domain_messaging_on_one_node_goes_through_the_engine() {
     let mut w = world(None);
-    let g_rx = w.guest.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+    let g_rx = w
+        .guest
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .unwrap();
     provide(&w.guest, &g_rx, 1);
     let g_addr = w.guest.address(&g_rx);
 
-    let c_tx = w.control.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+    let c_tx = w
+        .control
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .unwrap();
     send(&w.control, &c_tx, g_addr, 42);
     pump(&mut w.engines);
 
@@ -138,18 +160,27 @@ fn send_restriction_denies_and_counts() {
     // The guest may only talk to node 0 (itself) — its messages to node 1
     // must be suppressed by the engine, visibly.
     let mut w = world(Some(vec![FlipcNodeId(0)]));
-    let r_rx = w.remote.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+    let r_rx = w
+        .remote
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .unwrap();
     provide(&w.remote, &r_rx, 4);
     let r_addr = w.remote.address(&r_rx);
 
-    let g_tx = w.guest.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+    let g_tx = w
+        .guest
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .unwrap();
     for i in 0..3u8 {
         send(&w.guest, &g_tx, r_addr, i);
     }
     pump(&mut w.engines);
 
     // Nothing reached the remote node.
-    assert!(w.remote.recv(&r_rx).unwrap().is_none(), "restricted send leaked off-node");
+    assert!(
+        w.remote.recv(&r_rx).unwrap().is_none(),
+        "restricted send leaked off-node"
+    );
     // The denial is observable: engine stat + the send endpoint's drop
     // counter, and the buffers complete so the guest can reclaim them.
     assert_eq!(w.engines[0].stats().denied.load(Ordering::Relaxed), 3);
@@ -161,10 +192,17 @@ fn send_restriction_denies_and_counts() {
     assert_eq!(reclaimed, 3);
 
     // The control domain (unrestricted) still reaches node 1.
-    let c_tx = w.control.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+    let c_tx = w
+        .control
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .unwrap();
     send(&w.control, &c_tx, r_addr, 9);
     pump(&mut w.engines);
-    let got = w.remote.recv(&r_rx).unwrap().expect("control traffic must pass");
+    let got = w
+        .remote
+        .recv(&r_rx)
+        .unwrap()
+        .expect("control traffic must pass");
     assert_eq!(w.remote.payload(&got.token)[0], 9);
 }
 
@@ -172,10 +210,16 @@ fn send_restriction_denies_and_counts() {
 fn restricted_guest_may_still_message_allowed_nodes() {
     let mut w = world(Some(vec![FlipcNodeId(0)]));
     // Guest -> control (same node, allowed).
-    let c_rx = w.control.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+    let c_rx = w
+        .control
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .unwrap();
     provide(&w.control, &c_rx, 1);
     let c_addr = w.control.address(&c_rx);
-    let g_tx = w.guest.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+    let g_tx = w
+        .guest
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .unwrap();
     send(&w.guest, &g_tx, c_addr, 7);
     pump(&mut w.engines);
     let got = w.control.recv(&c_rx).unwrap().expect("allowed destination");
@@ -186,7 +230,10 @@ fn restricted_guest_may_still_message_allowed_nodes() {
 #[test]
 fn unowned_global_index_is_misaddressed() {
     let mut w = world(None);
-    let r_tx = w.remote.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+    let r_tx = w
+        .remote
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .unwrap();
     // Global index 99 belongs to no domain on node 0.
     let bogus = flipc_core::EndpointAddress::new(FlipcNodeId(0), flipc_core::EndpointIndex(99), 1);
     send(&w.remote, &r_tx, bogus, 5);

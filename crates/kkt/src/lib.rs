@@ -211,15 +211,31 @@ mod tests {
         for (i, port) in ports.into_iter().enumerate() {
             let cb = Arc::new(CommBuffer::new(Geometry::small()).unwrap());
             let registry = WaitRegistry::new();
-            flipc.push(Flipc::attach(cb.clone(), FlipcNodeId(i as u16), registry.clone()));
-            engines.push(Engine::new(cb, Box::new(port), registry, EngineConfig::default()));
+            flipc.push(Flipc::attach(
+                cb.clone(),
+                FlipcNodeId(i as u16),
+                registry.clone(),
+            ));
+            engines.push(Engine::new(
+                cb,
+                Box::new(port),
+                registry,
+                EngineConfig::default(),
+            ));
         }
-        let tx = flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-        let rx = flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+        let tx = flipc[0]
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let rx = flipc[1]
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .unwrap();
         let dest = flipc[1].address(&rx);
         for _ in 0..8 {
             let b = flipc[1].buffer_allocate().unwrap();
-            flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+            flipc[1]
+                .provide_receive_buffer(&rx, b)
+                .map_err(|r| r.error)
+                .unwrap();
         }
         for i in 0..5u8 {
             let mut t = flipc[0].buffer_allocate().unwrap();
@@ -254,27 +270,36 @@ mod tests {
 
         const K: usize = 8;
 
-        fn build(
-            transports: Vec<Box<dyn Transport>>,
-        ) -> (Vec<Flipc>, Vec<Engine>) {
+        fn build(transports: Vec<Box<dyn Transport>>) -> (Vec<Flipc>, Vec<Engine>) {
             let mut flipc = Vec::new();
             let mut engines = Vec::new();
             for (i, port) in transports.into_iter().enumerate() {
                 let cb = Arc::new(CommBuffer::new(Geometry::small()).unwrap());
                 let registry = WaitRegistry::new();
-                flipc.push(Flipc::attach(cb.clone(), FlipcNodeId(i as u16), registry.clone()));
+                flipc.push(Flipc::attach(
+                    cb.clone(),
+                    FlipcNodeId(i as u16),
+                    registry.clone(),
+                ));
                 engines.push(Engine::new(cb, port, registry, EngineConfig::default()));
             }
             (flipc, engines)
         }
 
         fn rounds_to_deliver(mut engines: Vec<Engine>, flipc: &[Flipc]) -> u32 {
-            let tx = flipc[0].endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-            let rx = flipc[1].endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+            let tx = flipc[0]
+                .endpoint_allocate(EndpointType::Send, Importance::Normal)
+                .unwrap();
+            let rx = flipc[1]
+                .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+                .unwrap();
             let dest = flipc[1].address(&rx);
             for _ in 0..K {
                 let b = flipc[1].buffer_allocate().unwrap();
-                flipc[1].provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+                flipc[1]
+                    .provide_receive_buffer(&rx, b)
+                    .map_err(|r| r.error)
+                    .unwrap();
             }
             for i in 0..K {
                 let mut t = flipc[0].buffer_allocate().unwrap();

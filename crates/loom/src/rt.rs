@@ -1,0 +1,319 @@
+//! The schedule-exploration runtime: token-passing serialization of model
+//! threads plus DFS over scheduling choice points.
+//!
+//! One OS thread is spawned per model thread per execution, but exactly one
+//! runs at a time: every instrumented access calls [`yield_point`], which
+//! hands control to the scheduler. The scheduler either replays a recorded
+//! decision prefix (DFS backtracking) or takes the first untried branch.
+//! Candidate lists put the currently running thread first, so choice index
+//! 0 is always "no context switch" and any other index consumes one unit of
+//! the preemption budget.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Per-execution cap on scheduling points; exceeding it means a model is
+/// spinning (e.g. a busy-wait loop), which DFS cannot enumerate.
+const MAX_STEPS: usize = 1_000_000;
+
+/// Panic payload used to unwind a model thread out of the model body once
+/// the execution has aborted (model panic, deadlock, or step-cap hit).
+/// Without it, an aborted thread spinning on a condition no other thread
+/// will ever satisfy would run forever with the scheduler gates open.
+struct AbortUnwind;
+
+fn unwind_aborted() -> ! {
+    std::panic::panic_any(AbortUnwind);
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    Runnable,
+    Blocked,
+    Finished,
+}
+
+struct SchedState {
+    current: usize,
+    threads: Vec<TState>,
+    /// Per-target list of threads blocked in `join` on it.
+    joiners: Vec<Vec<usize>>,
+    /// Replayed decision prefix (branch points only).
+    prefix: Vec<usize>,
+    cursor: usize,
+    /// (chosen index, candidate count) per branch point this execution.
+    trace: Vec<(usize, usize)>,
+    preemptions_left: Option<usize>,
+    steps: usize,
+    live: usize,
+    aborted: bool,
+    panic_msg: Option<String>,
+}
+
+/// The per-execution scheduler.
+pub(crate) struct Sched {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Sched>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with the scheduler context of `(sched, tid)` installed,
+/// capturing panics into the shared state.
+pub(crate) fn run_as(sched: Arc<Sched>, tid: usize, f: impl FnOnce()) {
+    CTX.with(|c| *c.borrow_mut() = Some((sched.clone(), tid)));
+    sched.wait_for_turn(tid);
+    if !sched.is_aborted() {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        if let Err(payload) = outcome {
+            // An `AbortUnwind` is the runtime tearing this thread down
+            // after some other failure — not a model panic of its own.
+            if !payload.is::<AbortUnwind>() {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "model thread panicked".to_string());
+                sched.abort(format!("thread {tid} panicked: {msg}"));
+            }
+        }
+    }
+    sched.finish(tid);
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Calls `f` with this thread's scheduler context, if inside a model.
+pub(crate) fn with_ctx<R>(f: impl FnOnce(Option<(&Arc<Sched>, usize)>) -> R) -> R {
+    CTX.with(|c| {
+        let borrow = c.borrow();
+        f(borrow.as_ref().map(|(s, t)| (s, *t)))
+    })
+}
+
+/// The scheduling point every instrumented access passes through.
+pub(crate) fn yield_point() {
+    with_ctx(|ctx| {
+        if let Some((sched, tid)) = ctx {
+            sched.yield_now(tid);
+        }
+    });
+}
+
+/// Registers a new model thread; returns its tid. The spawner keeps
+/// running (spawn itself is a scheduling point via the caller).
+pub(crate) fn register_thread(sched: &Arc<Sched>) -> usize {
+    let mut st = sched.state.lock().expect("scheduler state");
+    let tid = st.threads.len();
+    st.threads.push(TState::Runnable);
+    st.joiners.push(Vec::new());
+    st.live += 1;
+    tid
+}
+
+impl Sched {
+    pub(crate) fn new(prefix: Vec<usize>, preemption_bound: Option<usize>) -> Sched {
+        Sched {
+            state: Mutex::new(SchedState {
+                current: 0,
+                threads: vec![TState::Runnable],
+                joiners: vec![Vec::new()],
+                prefix,
+                cursor: 0,
+                trace: Vec::new(),
+                preemptions_left: preemption_bound,
+                steps: 0,
+                live: 1,
+                aborted: false,
+                panic_msg: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Picks the next thread to run. Caller holds the state lock.
+    fn schedule_next(&self, st: &mut SchedState) {
+        if st.aborted {
+            return;
+        }
+        st.steps += 1;
+        if st.steps > MAX_STEPS {
+            st.aborted = true;
+            st.panic_msg = Some(format!(
+                "model exceeded {MAX_STEPS} scheduling points in one execution; \
+                 models must not spin (use wait-free ops / try_lock, not blocking loops)"
+            ));
+            self.cv.notify_all();
+            return;
+        }
+        let mut candidates: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| st.threads[t] == TState::Runnable)
+            .collect();
+        if candidates.is_empty() {
+            if st.live > 0 {
+                st.aborted = true;
+                st.panic_msg = Some("deadlock: live threads but none runnable".to_string());
+            }
+            self.cv.notify_all();
+            return;
+        }
+        // Current thread first: index 0 always means "keep running".
+        if let Some(pos) = candidates.iter().position(|&t| t == st.current) {
+            candidates.rotate_left(pos);
+            // A single rotation puts current first while keeping the rest
+            // in a deterministic order.
+            if pos != 0 {
+                candidates = std::iter::once(st.current)
+                    .chain(
+                        (0..st.threads.len())
+                            .filter(|&t| t != st.current && st.threads[t] == TState::Runnable),
+                    )
+                    .collect();
+            }
+            // Out of preemption budget: the only candidate is current.
+            if st.preemptions_left == Some(0) {
+                candidates.truncate(1);
+            }
+        }
+        let choice = if candidates.len() > 1 {
+            let c = if st.cursor < st.prefix.len() {
+                st.prefix[st.cursor]
+            } else {
+                0
+            };
+            assert!(c < candidates.len(), "schedule replay diverged");
+            st.cursor += 1;
+            st.trace.push((c, candidates.len()));
+            c
+        } else {
+            0
+        };
+        let next = candidates[choice];
+        if next != st.current && st.threads[st.current] == TState::Runnable {
+            if let Some(left) = st.preemptions_left.as_mut() {
+                *left -= 1;
+            }
+        }
+        st.current = next;
+        self.cv.notify_all();
+    }
+
+    fn wait_for_turn(&self, tid: usize) {
+        let mut st = self.state.lock().expect("scheduler state");
+        while !(st.aborted || (st.current == tid && st.threads[tid] == TState::Runnable)) {
+            st = self.cv.wait(st).expect("scheduler wait");
+        }
+    }
+
+    fn is_aborted(&self) -> bool {
+        self.state.lock().expect("scheduler state").aborted
+    }
+
+    /// The running thread offers a scheduling point. Unwinds (never
+    /// returning to the model body) once the execution has aborted, so
+    /// that even a thread spinning on a condition nothing will satisfy
+    /// is torn down.
+    pub(crate) fn yield_now(&self, tid: usize) {
+        {
+            let mut st = self.state.lock().expect("scheduler state");
+            if st.aborted {
+                drop(st);
+                unwind_aborted();
+            }
+            self.schedule_next(&mut st);
+        }
+        self.wait_for_turn(tid);
+        if self.is_aborted() {
+            unwind_aborted();
+        }
+    }
+
+    /// Blocks `tid` until `target` finishes (the scheduling part of join).
+    pub(crate) fn join_wait(&self, tid: usize, target: usize) {
+        {
+            let mut st = self.state.lock().expect("scheduler state");
+            if st.aborted {
+                drop(st);
+                unwind_aborted();
+            }
+            if st.threads[target] != TState::Finished {
+                st.threads[tid] = TState::Blocked;
+                st.joiners[target].push(tid);
+            }
+            self.schedule_next(&mut st);
+        }
+        self.wait_for_turn(tid);
+        if self.is_aborted() {
+            unwind_aborted();
+        }
+    }
+
+    /// Marks `tid` finished, unblocking its joiners.
+    pub(crate) fn finish(&self, tid: usize) {
+        let mut st = self.state.lock().expect("scheduler state");
+        st.threads[tid] = TState::Finished;
+        st.live -= 1;
+        let joiners = std::mem::take(&mut st.joiners[tid]);
+        for j in joiners {
+            st.threads[j] = TState::Runnable;
+        }
+        if st.live == 0 {
+            self.cv.notify_all();
+        } else {
+            self.schedule_next(&mut st);
+        }
+    }
+
+    /// Aborts the execution (panic or detected deadlock): records the
+    /// message and releases every gate so remaining threads drain freely.
+    pub(crate) fn abort(&self, msg: String) {
+        let mut st = self.state.lock().expect("scheduler state");
+        if st.panic_msg.is_none() {
+            st.panic_msg = Some(msg);
+        }
+        st.aborted = true;
+        self.cv.notify_all();
+    }
+
+    /// Controller side: waits for every model thread to finish, returning
+    /// the branch trace of the execution.
+    pub(crate) fn wait_done(&self) -> Vec<(usize, usize)> {
+        let mut st = self.state.lock().expect("scheduler state");
+        while st.live > 0 {
+            st = self.cv.wait(st).expect("scheduler wait");
+        }
+        st.trace.clone()
+    }
+
+    /// Controller side: re-raises a model panic with schedule context.
+    pub(crate) fn reraise_panic(&self, execution: u64) {
+        let st = self.state.lock().expect("scheduler state");
+        if let Some(msg) = &st.panic_msg {
+            let choices: Vec<usize> = st.trace.iter().map(|(c, _)| *c).collect();
+            panic!(
+                "{} {execution}, schedule {choices:?}: {msg}",
+                trace_header()
+            );
+        }
+    }
+}
+
+/// Prefix of every failure report (lets tests grep for model failures).
+pub fn trace_header() -> &'static str {
+    "flipc-loom: failing execution"
+}
+
+/// Computes the next DFS prefix from a completed execution's trace, or
+/// `None` when the space is exhausted.
+pub(crate) fn next_prefix(trace: &[(usize, usize)]) -> Option<Vec<usize>> {
+    for k in (0..trace.len()).rev() {
+        let (chosen, n) = trace[k];
+        if chosen + 1 < n {
+            let mut next: Vec<usize> = trace[..k].iter().map(|(c, _)| *c).collect();
+            next.push(chosen + 1);
+            return Some(next);
+        }
+    }
+    None
+}

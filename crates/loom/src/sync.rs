@@ -1,0 +1,199 @@
+//! Instrumented `std::sync` look-alikes.
+//!
+//! Each atomic operation is a scheduling point: the runtime may hand the
+//! token to another model thread immediately before the access, so every
+//! interleaving of accesses (within the preemption bound) is explored.
+//! Outside a model (no scheduler context on the thread) the instrumented
+//! types behave exactly like the `std` ones.
+
+/// Instrumented atomic types mirroring `std::sync::atomic`.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::rt::yield_point;
+
+    macro_rules! instrumented_atomic {
+        ($(#[$meta:meta])* $name:ident, $std:ident, $prim:ty) => {
+            $(#[$meta])*
+            ///
+            /// `#[repr(transparent)]` over the `std` atomic so raw shared
+            /// memory can be reinterpreted as this type exactly like the
+            /// uninstrumented one.
+            #[repr(transparent)]
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                pub const fn new(v: $prim) -> $name {
+                    $name { inner: std::sync::atomic::$std::new(v) }
+                }
+
+                /// Atomic load (scheduling point).
+                pub fn load(&self, order: Ordering) -> $prim {
+                    yield_point();
+                    self.inner.load(order)
+                }
+
+                /// Atomic store (scheduling point).
+                pub fn store(&self, v: $prim, order: Ordering) {
+                    yield_point();
+                    self.inner.store(v, order);
+                }
+
+                /// Atomic swap (scheduling point).
+                pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                    yield_point();
+                    self.inner.swap(v, order)
+                }
+
+                /// Atomic compare-exchange (scheduling point).
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    yield_point();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                /// Atomic weak compare-exchange (scheduling point).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    yield_point();
+                    // Deterministic exploration: the weak form never
+                    // spuriously fails here.
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                /// Atomic add, returning the previous value (scheduling point).
+                pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                    yield_point();
+                    self.inner.fetch_add(v, order)
+                }
+
+                /// Atomic subtract, returning the previous value (scheduling point).
+                pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                    yield_point();
+                    self.inner.fetch_sub(v, order)
+                }
+
+                /// Atomic bitwise OR, returning the previous value (scheduling point).
+                pub fn fetch_or(&self, v: $prim, order: Ordering) -> $prim {
+                    yield_point();
+                    self.inner.fetch_or(v, order)
+                }
+
+                /// Atomic bitwise AND, returning the previous value (scheduling point).
+                pub fn fetch_and(&self, v: $prim, order: Ordering) -> $prim {
+                    yield_point();
+                    self.inner.fetch_and(v, order)
+                }
+
+                /// Returns a mutable reference to the value (not a
+                /// scheduling point: exclusive access is data-race free).
+                pub fn get_mut(&mut self) -> &mut $prim {
+                    self.inner.get_mut()
+                }
+
+                /// Consumes the atomic, returning the value.
+                pub fn into_inner(self) -> $prim {
+                    self.inner.into_inner()
+                }
+            }
+
+            impl From<$prim> for $name {
+                fn from(v: $prim) -> $name {
+                    $name::new(v)
+                }
+            }
+        };
+    }
+
+    instrumented_atomic!(
+        /// Instrumented `AtomicU32`.
+        AtomicU32, AtomicU32, u32
+    );
+    instrumented_atomic!(
+        /// Instrumented `AtomicU64`.
+        AtomicU64, AtomicU64, u64
+    );
+    instrumented_atomic!(
+        /// Instrumented `AtomicUsize`.
+        AtomicUsize, AtomicUsize, usize
+    );
+
+    /// Instrumented `AtomicBool`.
+    ///
+    /// `#[repr(transparent)]` over the `std` atomic so raw shared memory
+    /// can be reinterpreted as this type exactly like the uninstrumented
+    /// one.
+    #[repr(transparent)]
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Creates a new atomic with the given initial value.
+        pub const fn new(v: bool) -> AtomicBool {
+            AtomicBool {
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        /// Atomic load (scheduling point).
+        pub fn load(&self, order: Ordering) -> bool {
+            yield_point();
+            self.inner.load(order)
+        }
+
+        /// Atomic store (scheduling point).
+        pub fn store(&self, v: bool, order: Ordering) {
+            yield_point();
+            self.inner.store(v, order);
+        }
+
+        /// Atomic swap (scheduling point).
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            yield_point();
+            self.inner.swap(v, order)
+        }
+
+        /// Atomic compare-exchange (scheduling point).
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            yield_point();
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+    }
+
+    /// Memory fence (scheduling point; ordering is already sequential
+    /// in this checker, so the fence itself is a no-op).
+    pub fn fence(order: Ordering) {
+        yield_point();
+        // An Acquire/Release/SeqCst fence between serialized steps adds
+        // nothing under SC exploration, but keep the real fence so the
+        // instrumented build's codegen stays honest.
+        std::sync::atomic::fence(order);
+    }
+}
+
+/// Yields the current model thread (a pure scheduling point).
+pub fn hint_spin_loop() {
+    crate::rt::yield_point();
+}

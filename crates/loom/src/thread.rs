@@ -1,0 +1,71 @@
+//! Controlled model threads.
+//!
+//! [`spawn`] registers the closure with the active scheduler and runs it on
+//! a real OS thread that only makes progress when the scheduler hands it
+//! the token. Must be called from inside [`crate::model`].
+
+use std::sync::{Arc, Mutex};
+
+use crate::rt;
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    os: std::thread::JoinHandle<()>,
+    result: Arc<Mutex<Option<T>>>,
+    tid: usize,
+}
+
+/// Spawns a model thread running `f`.
+///
+/// # Panics
+///
+/// Panics if called outside a [`crate::model`] execution.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let sched = rt::with_ctx(|ctx| {
+        let (sched, _tid) = ctx.expect("flipc_loom::thread::spawn outside a model");
+        sched.clone()
+    });
+    let tid = rt::register_thread(&sched);
+    let result = Arc::new(Mutex::new(None));
+    let slot = result.clone();
+    let sched2 = sched.clone();
+    let os = std::thread::spawn(move || {
+        rt::run_as(sched2, tid, move || {
+            let value = f();
+            *slot.lock().expect("model result slot") = Some(value);
+        });
+    });
+    // The spawn itself is a scheduling point for the spawner: the new
+    // thread may run first.
+    rt::yield_point();
+    JoinHandle { os, result, tid }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its value.
+    ///
+    /// Returns `Err` if the thread panicked (the model execution is
+    /// already marked failed by then; the error lets `unwrap()` read
+    /// naturally in models).
+    pub fn join(self) -> std::thread::Result<T> {
+        rt::with_ctx(|ctx| {
+            if let Some((sched, tid)) = ctx {
+                sched.join_wait(tid, self.tid);
+            }
+        });
+        self.os.join()?;
+        match self.result.lock().expect("model result slot").take() {
+            Some(value) => Ok(value),
+            None => Err(Box::new("model thread panicked before producing a value")),
+        }
+    }
+}
+
+/// Yields the current model thread to the scheduler.
+pub fn yield_now() {
+    rt::yield_point();
+}

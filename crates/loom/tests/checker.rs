@@ -1,0 +1,128 @@
+//! The checker checking itself: exploration must find classic protocol
+//! bugs and must pass correct protocols exhaustively.
+//!
+//! These run in the normal test suite (the checker's own types are always
+//! instrumented); only the *models of flipc production code* need
+//! `--cfg loom`.
+
+use std::sync::Arc;
+
+use flipc_loom::sync::atomic::{AtomicU32, Ordering};
+
+/// A correct two-thread handoff passes every schedule.
+#[test]
+fn passes_correct_message_passing() {
+    flipc_loom::model(|| {
+        let data = Arc::new(AtomicU32::new(0));
+        let flag = Arc::new(AtomicU32::new(0));
+        let (data2, flag2) = (data.clone(), flag.clone());
+        let t = flipc_loom::thread::spawn(move || {
+            data2.store(42, Ordering::Relaxed);
+            flag2.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "flag visible before data");
+        }
+        t.join().unwrap();
+        assert_eq!(data.load(Ordering::Relaxed), 42);
+    });
+}
+
+/// The classic lost update: two threads doing non-atomic load-then-store
+/// increments. Some schedule loses one — the checker must find it.
+#[test]
+fn finds_lost_update() {
+    let result = std::panic::catch_unwind(|| {
+        flipc_loom::model(|| {
+            let x = Arc::new(AtomicU32::new(0));
+            let x2 = x.clone();
+            let t = flipc_loom::thread::spawn(move || {
+                let v = x2.load(Ordering::Relaxed);
+                x2.store(v + 1, Ordering::Relaxed);
+            });
+            let v = x.load(Ordering::Relaxed);
+            x.store(v + 1, Ordering::Relaxed);
+            t.join().unwrap();
+            assert_eq!(x.load(Ordering::Relaxed), 2);
+        });
+    });
+    let err = result.expect_err("checker missed the lost-update interleaving");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains(flipc_loom::trace_header()),
+        "failure should carry the schedule trace, got: {msg}"
+    );
+}
+
+/// A single-writer location needs no read-modify-write: the same
+/// load-then-store increment is correct when only one thread writes —
+/// FLIPC's core design rule, verified exhaustively.
+#[test]
+fn passes_single_writer_increment() {
+    flipc_loom::model(|| {
+        let x = Arc::new(AtomicU32::new(0));
+        let x2 = x.clone();
+        let t = flipc_loom::thread::spawn(move || {
+            for _ in 0..3 {
+                let v = x2.load(Ordering::Relaxed);
+                x2.store(v + 1, Ordering::Release);
+            }
+        });
+        // Reader: monotonic observations, never above 3.
+        let a = x.load(Ordering::Acquire);
+        let b = x.load(Ordering::Acquire);
+        assert!(a <= b && b <= 3, "single-writer counter ran backwards");
+        t.join().unwrap();
+        assert_eq!(x.load(Ordering::Relaxed), 3);
+    });
+}
+
+/// Preemption bound 0 means cooperative scheduling only: even the buggy
+/// non-atomic increment passes, because neither thread is ever preempted
+/// mid-increment. Verifies the bound actually prunes schedules.
+#[test]
+fn preemption_bound_zero_is_cooperative() {
+    flipc_loom::model::Builder::new()
+        .preemption_bound(Some(0))
+        .check(|| {
+            let x = Arc::new(AtomicU32::new(0));
+            let x2 = x.clone();
+            let t = flipc_loom::thread::spawn(move || {
+                let v = x2.load(Ordering::Relaxed);
+                x2.store(v + 1, Ordering::Relaxed);
+            });
+            let v = x.load(Ordering::Relaxed);
+            x.store(v + 1, Ordering::Relaxed);
+            t.join().unwrap();
+            // With zero preemptions each increment runs to completion from
+            // wherever it starts... except the spawner already ran its load
+            // before spawning could reorder — it cannot: spawn precedes the
+            // main thread's accesses here, and each thread then runs
+            // uninterrupted, so no update is lost.
+            assert_eq!(x.load(Ordering::Relaxed), 2);
+        });
+}
+
+/// Deadlock (a thread joining itself... impossible; instead: two threads
+/// joining each other is unrepresentable with this API, so exercise the
+/// detector with a thread that blocks forever on a join of a thread that
+/// blocks on the main thread's progress) — simplest representable case:
+/// main joins a thread that never gets scheduled progress because it
+/// joins a thread that already needs main... Not constructible; instead
+/// verify the step-cap abort on a genuinely spinning model.
+#[test]
+fn rejects_spinning_models() {
+    let result = std::panic::catch_unwind(|| {
+        flipc_loom::model(|| {
+            let x = Arc::new(AtomicU32::new(0));
+            let x2 = x.clone();
+            let t = flipc_loom::thread::spawn(move || {
+                x2.store(1, Ordering::Release);
+            });
+            // Unbounded spin: must be rejected, not explored forever.
+            while x.load(Ordering::Acquire) == 0 {}
+            t.join().unwrap();
+        });
+    });
+    assert!(result.is_err(), "spinning model should be rejected");
+}

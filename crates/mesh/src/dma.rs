@@ -65,7 +65,11 @@ mod tests {
         assert_eq!(d.pad_size(64), 64);
         assert_eq!(d.pad_size(65), 96);
         assert_eq!(d.pad_size(120), 128);
-        assert_eq!(d.pad_size(56 + 8), 64, "56B payload + 8B header fits the minimum");
+        assert_eq!(
+            d.pad_size(56 + 8),
+            64,
+            "56B payload + 8B header fits the minimum"
+        );
     }
 
     #[test]

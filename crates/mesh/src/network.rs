@@ -132,8 +132,11 @@ impl Network {
         // The source NIC is busy until its last flit leaves, which is the
         // arrival time minus the downstream pipeline depth.
         let hops = self.shape.hops(src, dst) as u64;
-        self.nic_busy[src.0 as usize] =
-            SimTime::from_ns(arrival.as_ns().saturating_sub(self.timing.hop.as_ns() * hops));
+        self.nic_busy[src.0 as usize] = SimTime::from_ns(
+            arrival
+                .as_ns()
+                .saturating_sub(self.timing.hop.as_ns() * hops),
+        );
 
         self.stats.packets += 1;
         self.stats.bytes += bytes;
@@ -225,7 +228,10 @@ mod tests {
         let first = n.transmit(SimTime::ZERO, NodeId(0), NodeId(2), 1_000);
         // Second packet to a different destination still waits for the NIC.
         let second = n.transmit(SimTime::ZERO, NodeId(0), NodeId(1), 64);
-        assert!(second > SimTime::from_ns(5_000), "NIC must serialize injections");
+        assert!(
+            second > SimTime::from_ns(5_000),
+            "NIC must serialize injections"
+        );
         let _ = first;
     }
 
@@ -291,7 +297,10 @@ mod contention_tests {
         let mut n = Network::new(shape, MeshTiming::paragon());
         let first = n.transmit(SimTime::ZERO, NodeId(0), NodeId(3), 10_000);
         let second = n.transmit(SimTime::ZERO, NodeId(1), NodeId(2), 64);
-        assert!(second >= first - SimDuration::from_ns(2 * 40), "must wait for the tail");
+        assert!(
+            second >= first - SimDuration::from_ns(2 * 40),
+            "must wait for the tail"
+        );
         assert!(n.stats().blocked_ns > 0);
     }
 

@@ -97,7 +97,10 @@ impl MeshShape {
     ///
     /// Panics if the coordinates are outside the mesh.
     pub fn node_at(&self, c: Coord) -> NodeId {
-        assert!(c.x < self.cols && c.y < self.rows, "coordinate outside mesh");
+        assert!(
+            c.x < self.cols && c.y < self.rows,
+            "coordinate outside mesh"
+        );
         NodeId(c.y * self.cols + c.x)
     }
 
@@ -118,18 +121,32 @@ impl MeshShape {
         let mut links = Vec::with_capacity(self.hops(src, dst) as usize);
         while here.x != goal.x {
             let next = Coord {
-                x: if goal.x > here.x { here.x + 1 } else { here.x - 1 },
+                x: if goal.x > here.x {
+                    here.x + 1
+                } else {
+                    here.x - 1
+                },
                 y: here.y,
             };
-            links.push(Link { from: here, to: next });
+            links.push(Link {
+                from: here,
+                to: next,
+            });
             here = next;
         }
         while here.y != goal.y {
             let next = Coord {
                 x: here.x,
-                y: if goal.y > here.y { here.y + 1 } else { here.y - 1 },
+                y: if goal.y > here.y {
+                    here.y + 1
+                } else {
+                    here.y - 1
+                },
             };
-            links.push(Link { from: here, to: next });
+            links.push(Link {
+                from: here,
+                to: next,
+            });
             here = next;
         }
         links

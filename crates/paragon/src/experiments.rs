@@ -35,7 +35,15 @@ pub fn fig4_sweep(seed: u64, max_bytes: u64, exchanges: u32) -> Vec<Fig4Row> {
     while size <= max_bytes {
         let mut env = SimEnv::paragon_pair(seed ^ size);
         let mut model = FlipcParagonModel::tuned();
-        let stats = pingpong(&mut model, &mut env, NodeId(0), NodeId(1), size, 50, exchanges);
+        let stats = pingpong(
+            &mut model,
+            &mut env,
+            NodeId(0),
+            NodeId(1),
+            size,
+            50,
+            exchanges,
+        );
         rows.push(Fig4Row {
             msg_bytes: size,
             mean_us: stats.mean() / 1000.0,
@@ -58,7 +66,11 @@ pub fn fig4_fit(rows: &[Fig4Row], min_bytes: u64) -> LineFit {
     let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
     let f = linear_fit(&xs, &ys);
     // Report intercept in µs, slope in ns/B.
-    LineFit { intercept: f.intercept / 1000.0, slope: f.slope, r2: f.r2 }
+    LineFit {
+        intercept: f.intercept / 1000.0,
+        slope: f.slope,
+        r2: f.r2,
+    }
 }
 
 /// One comparison-table row.
@@ -117,14 +129,25 @@ pub struct AblationRow {
 /// fixes together bought ~15µs, "almost a factor of two".
 pub fn ablation_cache_tuning(seed: u64) -> Vec<AblationRow> {
     let configs = [
-        ("locked + false-shared (untuned)", FlipcModelConfig::untuned()),
+        (
+            "locked + false-shared (untuned)",
+            FlipcModelConfig::untuned(),
+        ),
         (
             "locked + padded",
-            FlipcModelConfig { locked_ops: true, padded_layout: true, checks: false },
+            FlipcModelConfig {
+                locked_ops: true,
+                padded_layout: true,
+                checks: false,
+            },
         ),
         (
             "lockless + false-shared",
-            FlipcModelConfig { locked_ops: false, padded_layout: false, checks: false },
+            FlipcModelConfig {
+                locked_ops: false,
+                padded_layout: false,
+                checks: false,
+            },
         ),
         ("lockless + padded (tuned)", FlipcModelConfig::tuned()),
     ];
@@ -133,9 +156,11 @@ pub fn ablation_cache_tuning(seed: u64) -> Vec<AblationRow> {
         .map(|(name, cfg)| {
             let mut env = SimEnv::paragon_pair(seed);
             let mut m = FlipcParagonModel::new(cfg);
-            let us =
-                pingpong(&mut m, &mut env, NodeId(0), NodeId(1), 120, 20, 200).mean() / 1000.0;
-            AblationRow { config: name, latency_us: us }
+            let us = pingpong(&mut m, &mut env, NodeId(0), NodeId(1), 120, 20, 200).mean() / 1000.0;
+            AblationRow {
+                config: name,
+                latency_us: us,
+            }
         })
         .collect()
 }
@@ -164,7 +189,15 @@ pub fn startup_transient(seed: u64, short_exchanges: u32) -> (f64, f64) {
         let mut env = SimEnv::paragon_pair(seed ^ rep);
         let mut m = FlipcParagonModel::tuned();
         FlipcParagonModel::cold_start(&mut env);
-        let s = pingpong(&mut m, &mut env, NodeId(0), NodeId(1), 120, 0, short_exchanges);
+        let s = pingpong(
+            &mut m,
+            &mut env,
+            NodeId(0),
+            NodeId(1),
+            120,
+            0,
+            short_exchanges,
+        );
         short.push(s.mean());
     }
     // Steady state: hundreds of exchanges, warmup excluded.
@@ -205,9 +238,21 @@ pub fn bandwidth_table(seed: u64) -> Vec<BandwidthRow> {
         stream_bandwidth(&mut m, &mut env, NodeId(0), NodeId(1), 4 << 20, 4)
     };
     vec![
-        BandwidthRow { label: "FLIPC (1016B msgs)", mb_per_s: flipc, paper_mb_per_s: 150.0 },
-        BandwidthRow { label: "NX (4MB bulk)", mb_per_s: nx, paper_mb_per_s: 140.0 },
-        BandwidthRow { label: "SUNMOS (4MB bulk)", mb_per_s: sunmos, paper_mb_per_s: 160.0 },
+        BandwidthRow {
+            label: "FLIPC (1016B msgs)",
+            mb_per_s: flipc,
+            paper_mb_per_s: 150.0,
+        },
+        BandwidthRow {
+            label: "NX (4MB bulk)",
+            mb_per_s: nx,
+            paper_mb_per_s: 140.0,
+        },
+        BandwidthRow {
+            label: "SUNMOS (4MB bulk)",
+            mb_per_s: sunmos,
+            paper_mb_per_s: 160.0,
+        },
     ]
 }
 
@@ -398,12 +443,15 @@ mod tests {
         let b = comparison_table(2);
         // Jitter within a fraction of a microsecond.
         for (x, y) in a.iter().zip(&b) {
-            assert!((x.latency_us - y.latency_us).abs() < 0.5, "{}: {x:?} vs {y:?}", x.system);
+            assert!(
+                (x.latency_us - y.latency_us).abs() < 0.5,
+                "{}: {x:?} vs {y:?}",
+                x.system
+            );
         }
         // Ordering identical.
         let order = |rows: &[ComparisonRow]| {
-            let mut v: Vec<(&str, f64)> =
-                rows.iter().map(|r| (r.system, r.latency_us)).collect();
+            let mut v: Vec<(&str, f64)> = rows.iter().map(|r| (r.system, r.latency_us)).collect();
             v.sort_by(|p, q| p.1.partial_cmp(&q.1).expect("no NaN"));
             v.into_iter().map(|p| p.0).collect::<Vec<_>>()
         };

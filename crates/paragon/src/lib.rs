@@ -23,8 +23,8 @@ pub mod experiments;
 pub mod model;
 
 pub use experiments::{
-    ablation_cache_tuning, ablation_validity_checks, bandwidth_table, comparison_table,
-    fig4_fit, fig4_sweep, pam_small_message, responsiveness, startup_transient, AblationRow,
-    BandwidthRow, ComparisonRow, Fig4Row, ResponsivenessResult,
+    ablation_cache_tuning, ablation_validity_checks, bandwidth_table, comparison_table, fig4_fit,
+    fig4_sweep, pam_small_message, responsiveness, startup_transient, AblationRow, BandwidthRow,
+    ComparisonRow, Fig4Row, ResponsivenessResult,
 };
 pub use model::{Breakdown, FlipcModelConfig, FlipcParagonModel, FlipcSoftwareCosts};

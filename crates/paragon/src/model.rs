@@ -123,13 +123,21 @@ impl FlipcModelConfig {
     /// The optimized configuration of Figure 4: unlocked, padded, checks
     /// off.
     pub fn tuned() -> Self {
-        FlipcModelConfig { locked_ops: false, padded_layout: true, checks: false }
+        FlipcModelConfig {
+            locked_ops: false,
+            padded_layout: true,
+            checks: false,
+        }
     }
 
     /// The pre-tuning configuration: locked operations on a false-shared
     /// layout (what the implementation section started from).
     pub fn untuned() -> Self {
-        FlipcModelConfig { locked_ops: true, padded_layout: false, checks: false }
+        FlipcModelConfig {
+            locked_ops: true,
+            padded_layout: false,
+            checks: false,
+        }
     }
 }
 
@@ -581,7 +589,11 @@ mod tests {
         let done = m.one_way(&mut env, now, NodeId(0), NodeId(1), 120);
         let b = m.last;
         let sum = b.sender_app_ns + b.src_engine_ns + b.wire_ns + b.dst_engine_ns + b.dst_app_ns;
-        assert_eq!((done - now).as_ns(), sum, "breakdown must account for every ns");
+        assert_eq!(
+            (done - now).as_ns(),
+            sum,
+            "breakdown must account for every ns"
+        );
     }
 
     #[test]
@@ -606,10 +618,16 @@ mod tests {
             pingpong(&mut m, &mut env, NodeId(0), NodeId(1), 120, 20, 100).mean()
         };
         let unlocked = run(FlipcModelConfig::tuned());
-        let locked = run(FlipcModelConfig { locked_ops: true, ..FlipcModelConfig::tuned() });
+        let locked = run(FlipcModelConfig {
+            locked_ops: true,
+            ..FlipcModelConfig::tuned()
+        });
         // 6 lock acquisitions on the round-trip path at 2.5us each -> the
         // gap per one-way must be several microseconds.
-        assert!(locked - unlocked > 5_000.0, "locked {locked} vs unlocked {unlocked}");
+        assert!(
+            locked - unlocked > 5_000.0,
+            "locked {locked} vs unlocked {unlocked}"
+        );
     }
 
     #[test]
@@ -624,7 +642,10 @@ mod tests {
         };
         let delta = run(true) - run(false);
         let expect = 2.0 * FlipcSoftwareCosts::default().checks_cost.as_ns() as f64;
-        assert!((delta - expect).abs() < 50.0, "checks delta {delta} vs {expect}");
+        assert!(
+            (delta - expect).abs() < 50.0,
+            "checks delta {delta} vs {expect}"
+        );
     }
 
     #[test]

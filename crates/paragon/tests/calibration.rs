@@ -22,8 +22,16 @@ fn fig4_anchors_base_and_slope() {
         "base {:.2}µs vs paper 15.45µs",
         fit.intercept
     );
-    assert!((fit.slope - 6.25).abs() < 0.15, "slope {:.3} vs paper 6.25 ns/B", fit.slope);
-    assert!(fit.r2 > 0.99, "latency must be linear in size (r2 = {:.4})", fit.r2);
+    assert!(
+        (fit.slope - 6.25).abs() < 0.15,
+        "slope {:.3} vs paper 6.25 ns/B",
+        fit.slope
+    );
+    assert!(
+        fit.r2 > 0.99,
+        "latency must be linear in size (r2 = {:.4})",
+        fit.r2
+    );
 }
 
 #[test]
@@ -78,7 +86,10 @@ fn fig4_slope_implies_more_than_150_mb_per_s() {
     let rows = fig4_sweep(42, 1016, 200);
     let fit = fig4_fit(&rows, 96);
     let implied_mb_s = 1000.0 / fit.slope;
-    assert!(implied_mb_s > 150.0, "implied bandwidth {implied_mb_s:.0} MB/s");
+    assert!(
+        implied_mb_s > 150.0,
+        "implied bandwidth {implied_mb_s:.0} MB/s"
+    );
     assert!(implied_mb_s < 200.0, "cannot exceed the mesh peak");
 }
 
@@ -103,7 +114,10 @@ fn comparison_ordering_and_factors_hold() {
     let get = |name: &str| rows.iter().find(|r| r.system == name).unwrap().latency_us;
     let (flipc, pam, sunmos, nx) = (get("FLIPC"), get("PAM"), get("SUNMOS"), get("NX"));
     // Ordering: FLIPC < PAM < SUNMOS < NX.
-    assert!(flipc < pam && pam < sunmos && sunmos < nx, "{flipc} {pam} {sunmos} {nx}");
+    assert!(
+        flipc < pam && pam < sunmos && sunmos < nx,
+        "{flipc} {pam} {sunmos} {nx}"
+    );
     // Factors: paper has 26/16.2 = 1.6, 28/16.2 = 1.7, 46/16.2 = 2.8.
     assert!((1.3..2.0).contains(&(pam / flipc)));
     assert!((1.4..2.1).contains(&(sunmos / flipc)));
@@ -123,22 +137,34 @@ fn comparison_ordering_and_factors_hold() {
 fn tuning_ablation_is_about_15us_and_almost_2x() {
     let rows = ablation_cache_tuning(42);
     let get = |name: &str| {
-        rows.iter().find(|r| r.config.starts_with(name)).unwrap().latency_us
+        rows.iter()
+            .find(|r| r.config.starts_with(name))
+            .unwrap()
+            .latency_us
     };
     let untuned = get("locked + false-shared");
     let tuned = get("lockless + padded");
     let delta = untuned - tuned;
     let factor = untuned / tuned;
     // Paper: "improved latency by 15µs or almost a factor of two".
-    assert!((11.0..19.0).contains(&delta), "tuning delta {delta:.1}µs vs paper ~15µs");
-    assert!((1.6..2.2).contains(&factor), "tuning factor {factor:.2} vs paper ~2x");
+    assert!(
+        (11.0..19.0).contains(&delta),
+        "tuning delta {delta:.1}µs vs paper ~15µs"
+    );
+    assert!(
+        (1.6..2.2).contains(&factor),
+        "tuning factor {factor:.2} vs paper ~2x"
+    );
 }
 
 #[test]
 fn each_fix_helps_independently() {
     let rows = ablation_cache_tuning(42);
     let get = |name: &str| {
-        rows.iter().find(|r| r.config.starts_with(name)).unwrap().latency_us
+        rows.iter()
+            .find(|r| r.config.starts_with(name))
+            .unwrap()
+            .latency_us
     };
     // Removing locks helps at either layout; padding helps at either lock
     // setting.
@@ -157,7 +183,10 @@ fn validity_checks_add_about_2us() {
     let (off, on) = ablation_validity_checks(42);
     let delta = on - off;
     // Paper: "Configuring these checks adds an additional 2µs".
-    assert!((1.5..2.5).contains(&delta), "checks delta {delta:.2}µs vs paper ~2µs");
+    assert!(
+        (1.5..2.5).contains(&delta),
+        "checks delta {delta:.2}µs vs paper ~2µs"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -177,7 +206,10 @@ fn short_runs_are_faster_than_steady_state() {
         "3-exchange runs ({short3:.2}µs) must undercut steady state ({steady:.2}µs)"
     );
     let (short10, _) = startup_transient(42, 10);
-    assert!(short10 > short3, "the transient decays as the run lengthens");
+    assert!(
+        short10 > short3,
+        "the transient decays as the run lengthens"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -206,14 +238,34 @@ fn pam_beats_flipc_at_20_bytes_by_about_a_third() {
 fn bandwidth_table_matches_published_points() {
     let rows = bandwidth_table(42);
     let get = |label: &str| {
-        rows.iter().find(|r| r.label.starts_with(label)).unwrap().mb_per_s
+        rows.iter()
+            .find(|r| r.label.starts_with(label))
+            .unwrap()
+            .mb_per_s
     };
-    assert!(get("FLIPC") > 150.0, "FLIPC stream {:.0} MB/s (paper: >150)", get("FLIPC"));
-    assert!((135.0..160.0).contains(&get("NX")), "NX {:.0} (paper: >140)", get("NX"));
-    assert!((150.0..165.0).contains(&get("SUNMOS")), "SUNMOS {:.0} (paper: ~160)", get("SUNMOS"));
+    assert!(
+        get("FLIPC") > 150.0,
+        "FLIPC stream {:.0} MB/s (paper: >150)",
+        get("FLIPC")
+    );
+    assert!(
+        (135.0..160.0).contains(&get("NX")),
+        "NX {:.0} (paper: >140)",
+        get("NX")
+    );
+    assert!(
+        (150.0..165.0).contains(&get("SUNMOS")),
+        "SUNMOS {:.0} (paper: ~160)",
+        get("SUNMOS")
+    );
     // Everything stays below the 200 MB/s hardware peak.
     for r in &rows {
-        assert!(r.mb_per_s < 200.0, "{}: {:.0} exceeds the mesh peak", r.label, r.mb_per_s);
+        assert!(
+            r.mb_per_s < 200.0,
+            "{}: {:.0} exceeds the mesh peak",
+            r.label,
+            r.mb_per_s
+        );
     }
 }
 
@@ -262,7 +314,11 @@ fn load_latency_floor_and_saturation_match_the_anchors() {
     );
     // 1KB messages deliver >150 MB/s when offered it (the slope's claim).
     let hot = &load_latency(42, 1016, &[150.0])[0];
-    assert!(hot.delivered_mb_s > 145.0, "delivered {:.0} MB/s", hot.delivered_mb_s);
+    assert!(
+        hot.delivered_mb_s > 145.0,
+        "delivered {:.0} MB/s",
+        hot.delivered_mb_s
+    );
     // And latency grows monotonically toward saturation.
     let sweep = load_latency(42, 1016, &[20.0, 80.0, 140.0]);
     assert!(sweep[0].mean_us < sweep[1].mean_us);

@@ -159,12 +159,16 @@ mod tests {
         use flipc_engine::engine::EngineConfig;
         use flipc_engine::node::InlineCluster;
 
-        let mut cl = InlineCluster::new(2, Geometry::small(), EngineConfig::default())
-            .expect("cluster");
+        let mut cl =
+            InlineCluster::new(2, Geometry::small(), EngineConfig::default()).expect("cluster");
         let src = cl.node(0).attach();
         let dst = cl.node(1).attach();
-        let tx = src.endpoint_allocate(EndpointType::Send, Importance::High).expect("ep");
-        let rx = dst.endpoint_allocate(EndpointType::Receive, Importance::High).expect("ep");
+        let tx = src
+            .endpoint_allocate(EndpointType::Send, Importance::High)
+            .expect("ep");
+        let rx = dst
+            .endpoint_allocate(EndpointType::Receive, Importance::High)
+            .expect("ep");
         let dest = dst.address(&rx);
         let mut tracker = DeadlineTracker::new();
 
@@ -172,7 +176,9 @@ mod tests {
         let mut now_ns: u64 = 0;
         for i in 0..20u8 {
             let b = dst.buffer_allocate().expect("buffer");
-            dst.provide_receive_buffer(&rx, b).map_err(|r| r.error).expect("provide");
+            dst.provide_receive_buffer(&rx, b)
+                .map_err(|r| r.error)
+                .expect("provide");
             let mut t = src.buffer_allocate().expect("buffer");
             src.payload_mut(&mut t)[0] = i;
             let released = now_ns;

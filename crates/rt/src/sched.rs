@@ -39,7 +39,11 @@ impl Task {
         importance: Importance,
         work: impl FnMut() -> TaskStatus + 'static,
     ) -> Task {
-        Task { name: name.into(), importance, work: Box::new(work) }
+        Task {
+            name: name.into(),
+            importance,
+            work: Box::new(work),
+        }
     }
 }
 
@@ -137,11 +141,7 @@ mod tests {
     use std::sync::atomic::{AtomicU32, Ordering};
     use std::sync::Arc;
 
-    fn counted(
-        name: &str,
-        importance: Importance,
-        quanta: u32,
-    ) -> (Task, Arc<AtomicU32>) {
+    fn counted(name: &str, importance: Importance, quanta: u32) -> (Task, Arc<AtomicU32>) {
         let count = Arc::new(AtomicU32::new(0));
         let c = count.clone();
         let task = Task::new(name, importance, move || {
@@ -209,7 +209,11 @@ mod tests {
         s.dispatch_one();
         s.dispatch_one();
         assert_eq!(high_count.load(Ordering::Relaxed), 2);
-        assert_eq!(low_count.load(Ordering::Relaxed), 1, "low must not run while high exists");
+        assert_eq!(
+            low_count.load(Ordering::Relaxed),
+            1,
+            "low must not run while high exists"
+        );
         assert!(s.run(20));
         assert_eq!(low_count.load(Ordering::Relaxed), 5);
     }

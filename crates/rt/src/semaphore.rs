@@ -41,7 +41,11 @@ impl RtSemaphore {
     /// Creates a semaphore holding `initial` permits.
     pub fn new(initial: usize) -> RtSemaphore {
         RtSemaphore {
-            state: Mutex::new(State { count: initial, next_seq: 0, waiters: Vec::new() }),
+            state: Mutex::new(State {
+                count: initial,
+                next_seq: 0,
+                waiters: Vec::new(),
+            }),
         }
     }
 

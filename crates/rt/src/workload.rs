@@ -57,7 +57,9 @@ pub struct WorkloadGen {
 impl WorkloadGen {
     /// Creates a generator from a seed (same seed, same workload).
     pub fn new(seed: u64) -> WorkloadGen {
-        WorkloadGen { rng: StdRng::seed_from_u64(seed) }
+        WorkloadGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// A uniformly random medium-message size (50–500 bytes).
@@ -102,7 +104,12 @@ impl WorkloadGen {
                 break;
             }
             let size = self.medium_size();
-            out.push(MsgEvent { at_ns: t as u64, stream, size, importance });
+            out.push(MsgEvent {
+                at_ns: t as u64,
+                stream,
+                size,
+                importance,
+            });
         }
         out
     }

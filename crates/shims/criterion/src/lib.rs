@@ -1,0 +1,166 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the small slice of the criterion API the workspace's benches use:
+//! [`Criterion`] with `sample_size` / `measurement_time` / `warm_up_time` /
+//! `bench_function`, [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is simple wall-clock sampling
+//! with median-of-samples reporting — adequate for relative comparisons,
+//! not a statistical replacement for real criterion.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Criterion {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        let mut b = Bencher {
+            warm_up: self.warm_up_time,
+            budget: self.measurement_time,
+            samples: self.sample_size,
+            ns_per_iter: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    warm_up: Duration,
+    budget: Duration,
+    samples: usize,
+    ns_per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`, calling it repeatedly.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up while estimating per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            std_black_box(routine());
+            iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+        // Pick a batch size so `samples` batches fit the budget.
+        let budget_ns = self.budget.as_nanos() as f64;
+        let batch =
+            ((budget_ns / self.samples as f64 / per_iter.max(1.0)) as u64).clamp(1, 1 << 24);
+        self.ns_per_iter.clear();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            self.ns_per_iter
+                .push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.ns_per_iter.is_empty() {
+            println!("{name:<40} (no measurement)");
+            return;
+        }
+        self.ns_per_iter
+            .sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+        let n = self.ns_per_iter.len();
+        let median = self.ns_per_iter[n / 2];
+        let (lo, hi) = (self.ns_per_iter[0], self.ns_per_iter[n - 1]);
+        println!("{name:<40} time: [{lo:10.1} ns {median:10.1} ns {hi:10.1} ns] ({n} samples)");
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(1u32 + 1));
+        });
+        assert!(ran);
+    }
+}

@@ -87,7 +87,10 @@ impl CoherentBus {
     ///
     /// Panics if `line_size` is not a power of two.
     pub fn new(line_size: u64, costs: CacheCosts) -> Self {
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         CoherentBus {
             line_size,
             costs,
@@ -141,7 +144,10 @@ impl CoherentBus {
     /// invalidates every cached copy of the line.
     pub fn locked_rmw(&mut self, cpu: CpuId, addr: u64) -> SimDuration {
         let line = addr / self.line_size;
-        let states = self.lines.entry(line).or_insert([LineState::Invalid; MAX_CPUS]);
+        let states = self
+            .lines
+            .entry(line)
+            .or_insert([LineState::Invalid; MAX_CPUS]);
         for st in states.iter_mut() {
             *st = LineState::Invalid;
         }
@@ -167,7 +173,10 @@ impl CoherentBus {
 
     fn read_line(&mut self, cpu: CpuId, line: u64) -> SimDuration {
         let me = cpu.0 as usize;
-        let states = self.lines.entry(line).or_insert([LineState::Invalid; MAX_CPUS]);
+        let states = self
+            .lines
+            .entry(line)
+            .or_insert([LineState::Invalid; MAX_CPUS]);
         match states[me] {
             LineState::Shared | LineState::Modified => {
                 self.stats[me].hits += 1;
@@ -197,7 +206,10 @@ impl CoherentBus {
 
     fn write_line(&mut self, cpu: CpuId, line: u64) -> SimDuration {
         let me = cpu.0 as usize;
-        let states = self.lines.entry(line).or_insert([LineState::Invalid; MAX_CPUS]);
+        let states = self
+            .lines
+            .entry(line)
+            .or_insert([LineState::Invalid; MAX_CPUS]);
         let others_have_copy = states
             .iter()
             .enumerate()
@@ -236,7 +248,11 @@ impl CoherentBus {
             }
         }
         for (i, st) in states.iter_mut().enumerate() {
-            *st = if i == me { LineState::Modified } else { LineState::Invalid };
+            *st = if i == me {
+                LineState::Modified
+            } else {
+                LineState::Invalid
+            };
         }
         cost
     }
@@ -303,7 +319,10 @@ mod tests {
         b.read(CPU_MCP, 0, 4); // establishes sharing
         let steady = b.write(CPU_APP, 0, 4);
         assert!(steady > SimDuration::ZERO);
-        assert!(cold > steady - SimDuration::from_ns(1), "cold write missed; steady is upgrade");
+        assert!(
+            cold > steady - SimDuration::from_ns(1),
+            "cold write missed; steady is upgrade"
+        );
         // After the handshake settles, repeated write/read cycles keep paying
         // coherence costs.
         b.read(CPU_MCP, 0, 4);
@@ -334,7 +353,10 @@ mod tests {
                 expensive += 1;
             }
         }
-        assert_eq!(expensive, 20, "every falsely-shared write pays coherence cost");
+        assert_eq!(
+            expensive, 20,
+            "every falsely-shared write pays coherence cost"
+        );
         // Padded to separate lines, the same pattern is all hits after warmup.
         b.write(CPU_APP, 64, 4);
         b.write(CPU_MCP, 128, 4);

@@ -102,7 +102,11 @@ impl<S> Sim<S> {
     where
         F: FnOnce(&mut Sim<S>) + 'static,
     {
-        assert!(at >= self.now, "cannot schedule into the past ({at:?} < {:?})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at:?} < {:?})",
+            self.now
+        );
         let id = EventId(self.seq);
         self.queue.push(Scheduled {
             at,

@@ -121,8 +121,16 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LineFit {
     assert!(sxx > 0.0, "all x values identical; slope undefined");
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
-    LineFit { intercept, slope, r2 }
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    LineFit {
+        intercept,
+        slope,
+        r2,
+    }
 }
 
 /// Returns the `p`-th percentile (0–100, nearest-rank) of `samples`.

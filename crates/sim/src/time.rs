@@ -237,7 +237,10 @@ mod tests {
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_us(1), SimDuration::from_ns(1_000));
         assert_eq!(SimDuration::from_ms(1), SimDuration::from_us(1_000));
-        assert_eq!(SimDuration::from_ns_f64(6.25 * 4.0), SimDuration::from_ns(25));
+        assert_eq!(
+            SimDuration::from_ns_f64(6.25 * 4.0),
+            SimDuration::from_ns(25)
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ fn main() -> Result<(), FlipcError> {
     // Node 0 is the controller; nodes 1..=2 are sensor nodes.
     let mut cluster = InlineCluster::new(
         SENSORS + 1,
-        Geometry { buffers: 128, ..Geometry::small() },
+        Geometry {
+            buffers: 128,
+            ..Geometry::small()
+        },
         EngineConfig::default(),
     )?;
     let controller = cluster.node(0).attach();
@@ -44,7 +47,9 @@ fn main() -> Result<(), FlipcError> {
             let ep = controller.endpoint_allocate(EndpointType::Receive, class)?;
             for _ in 0..depth {
                 let b = controller.buffer_allocate()?;
-                controller.provide_receive_buffer(&ep, b).map_err(|r| r.error)?;
+                controller
+                    .provide_receive_buffer(&ep, b)
+                    .map_err(|r| r.error)?;
             }
             addresses.push((s, class, controller.address(&ep)));
             group.add(ep).map_err(|(e, _)| e)?;
@@ -130,7 +135,10 @@ fn main() -> Result<(), FlipcError> {
     }
     println!("drops (statically provisioned, per the paper): {drops}");
     assert_eq!(alarms_seen, ROUNDS.div_ceil(5));
-    assert_eq!(telemetry_seen, ROUNDS * TELEMETRY_PER_PERIOD * SENSORS as u32);
+    assert_eq!(
+        telemetry_seen,
+        ROUNDS * TELEMETRY_PER_PERIOD * SENSORS as u32
+    );
     assert_eq!(drops, 0);
     println!("done");
     Ok(())

@@ -27,7 +27,11 @@ const REQUESTS: u32 = 100;
 fn main() -> Result<(), FlipcError> {
     let mut cluster = InlineCluster::new(
         2,
-        Geometry { buffers: 200, ring_capacity: 64, ..Geometry::small() },
+        Geometry {
+            buffers: 200,
+            ring_capacity: 64,
+            ..Geometry::small()
+        },
         EngineConfig::default(),
     )?;
     // Two cooperating applications attach to node 0's single communication
@@ -51,7 +55,9 @@ fn main() -> Result<(), FlipcError> {
         let mut burst = 0;
         while sent < REQUESTS
             && burst < 16
-            && naive_tx.send_bytes(naive_addr, format!("req {sent}").as_bytes()).is_ok()
+            && naive_tx
+                .send_bytes(naive_addr, format!("req {sent}").as_bytes())
+                .is_ok()
         {
             sent += 1;
             burst += 1;
@@ -89,7 +95,10 @@ fn main() -> Result<(), FlipcError> {
         cluster.pump_until_idle(16); // move credits back
         tx.poll_credits()?;
     }
-    println!("window flow control (w=8): {received} of {REQUESTS} delivered, {} dropped", rx.drops()?);
+    println!(
+        "window flow control (w=8): {received} of {REQUESTS} delivered, {} dropped",
+        rx.drops()?
+    );
     assert_eq!(rx.drops()?, 0);
 
     println!("both clients shared node 0's communication buffer; server never deadlocked");
@@ -98,9 +107,6 @@ fn main() -> Result<(), FlipcError> {
 
 /// Both applications obtained the server's endpoint address out of band;
 /// here "out of band" is just asking the server-side handle.
-fn client_a_address(
-    server: &flipc::Flipc,
-    rx: &ManagedReceiver<'_>,
-) -> flipc::EndpointAddress {
+fn client_a_address(server: &flipc::Flipc, rx: &ManagedReceiver<'_>) -> flipc::EndpointAddress {
     server.address(rx.endpoint())
 }

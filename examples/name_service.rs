@@ -16,7 +16,9 @@
 //!    (direct path) and a large snapshot (bulk path) through one
 //!    size-adaptive channel.
 
-use flipc::core::bulk::{AdaptiveMessage, AdaptiveReceiver, AdaptiveSender, BulkReceiver, BulkSender};
+use flipc::core::bulk::{
+    AdaptiveMessage, AdaptiveReceiver, AdaptiveSender, BulkReceiver, BulkSender,
+};
 use flipc::core::flow::{FlowReceiver, FlowSender};
 use flipc::core::managed::ManagedReceiver;
 use flipc::core::names::{NameClient, NameServer};
@@ -25,7 +27,11 @@ use flipc::engine::{EngineConfig, InlineCluster};
 use flipc::{EndpointType, FlipcError, Geometry, Importance};
 
 fn main() -> Result<(), FlipcError> {
-    let geo = Geometry { buffers: 256, ring_capacity: 64, ..Geometry::small() };
+    let geo = Geometry {
+        buffers: 256,
+        ring_capacity: 64,
+        ..Geometry::small()
+    };
     let mut cluster = InlineCluster::new(3, geo, EngineConfig::default())?;
     let ns_app = cluster.node(0).attach();
     let producer = cluster.node(1).attach();
@@ -52,7 +58,11 @@ fn main() -> Result<(), FlipcError> {
     let p_tx = producer.endpoint_allocate(EndpointType::Send, Importance::Normal)?;
     let p_rx = producer.endpoint_allocate(EndpointType::Receive, Importance::Normal)?;
     let mut p_names = NameClient::new(RpcClient::new(&producer, p_tx, p_rx, ns_addr, 2)?);
-    let register = |client: &mut NameClient<'_>, name: &str, addr, cluster: &mut InlineCluster, names: &mut NameServer<'_>| {
+    let register = |client: &mut NameClient<'_>,
+                    name: &str,
+                    addr,
+                    cluster: &mut InlineCluster,
+                    names: &mut NameServer<'_>| {
         for _ in 0..50 {
             match client.register(name, addr, || {}, 1) {
                 Ok(()) => return Ok(()),
@@ -66,15 +76,33 @@ fn main() -> Result<(), FlipcError> {
         }
         Err(FlipcError::Timeout)
     };
-    register(&mut p_names, "telemetry/ingest", direct_addr, &mut cluster, &mut names)?;
-    register(&mut p_names, "telemetry/bulk", bulk_data_addr, &mut cluster, &mut names)?;
-    println!("producer registered 2 names; directory size = {}", names.len());
+    register(
+        &mut p_names,
+        "telemetry/ingest",
+        direct_addr,
+        &mut cluster,
+        &mut names,
+    )?;
+    register(
+        &mut p_names,
+        "telemetry/bulk",
+        bulk_data_addr,
+        &mut cluster,
+        &mut names,
+    )?;
+    println!(
+        "producer registered 2 names; directory size = {}",
+        names.len()
+    );
 
     // --- Consumer: resolve names, wire up the adaptive channel. ----------
     let c_tx = consumer.endpoint_allocate(EndpointType::Send, Importance::Normal)?;
     let c_rx = consumer.endpoint_allocate(EndpointType::Receive, Importance::Normal)?;
     let mut c_names = NameClient::new(RpcClient::new(&consumer, c_tx, c_rx, ns_addr, 2)?);
-    let resolve = |client: &mut NameClient<'_>, name: &str, cluster: &mut InlineCluster, names: &mut NameServer<'_>| {
+    let resolve = |client: &mut NameClient<'_>,
+                   name: &str,
+                   cluster: &mut InlineCluster,
+                   names: &mut NameServer<'_>| {
         for _ in 0..50 {
             match client.lookup(name, || {}, 1) {
                 Ok(Some(a)) => return Ok(a),

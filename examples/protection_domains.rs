@@ -21,8 +21,9 @@ use std::sync::Arc;
 
 use flipc::engine::engine::Domain;
 use flipc::engine::{Engine, EngineConfig};
-use flipc::{CommBuffer, EndpointType, Flipc, FlipcError, FlipcNodeId, Geometry, Importance,
-    WaitRegistry};
+use flipc::{
+    CommBuffer, EndpointType, Flipc, FlipcError, FlipcNodeId, Geometry, Importance, WaitRegistry,
+};
 
 fn main() -> Result<(), FlipcError> {
     let geo = Geometry::small(); // 8 endpoints per domain
@@ -77,7 +78,9 @@ fn main() -> Result<(), FlipcError> {
     let downlink = ground.endpoint_allocate(EndpointType::Receive, Importance::Normal)?;
     for _ in 0..8 {
         let b = ground.buffer_allocate()?;
-        ground.provide_receive_buffer(&downlink, b).map_err(|r| r.error)?;
+        ground
+            .provide_receive_buffer(&downlink, b)
+            .map_err(|r| r.error)?;
     }
     let downlink_addr = ground.address(&downlink);
 
@@ -85,7 +88,9 @@ fn main() -> Result<(), FlipcError> {
     let relay_in = control.endpoint_allocate(EndpointType::Receive, Importance::Normal)?;
     for _ in 0..8 {
         let b = control.buffer_allocate()?;
-        control.provide_receive_buffer(&relay_in, b).map_err(|r| r.error)?;
+        control
+            .provide_receive_buffer(&relay_in, b)
+            .map_err(|r| r.error)?;
     }
     let relay_addr = control.address(&relay_in);
 
@@ -95,12 +100,17 @@ fn main() -> Result<(), FlipcError> {
         let mut t = payload.buffer_allocate()?;
         payload.payload_mut(&mut t)[..13].copy_from_slice(b"EXFILTRATE...");
         payload.payload_mut(&mut t)[13] = i;
-        payload.send(&sneaky, t, downlink_addr).map_err(|r| r.error)?;
+        payload
+            .send(&sneaky, t, downlink_addr)
+            .map_err(|r| r.error)?;
     }
     pump(&mut sat_engine, &mut ground_engine);
     println!(
         "payload -> ground directly: denied {} sends (its drop counter: {})",
-        sat_engine.stats().denied.load(std::sync::atomic::Ordering::Relaxed),
+        sat_engine
+            .stats()
+            .denied
+            .load(std::sync::atomic::Ordering::Relaxed),
         payload.drops_reset(&sneaky)?
     );
     assert!(ground.recv(&downlink)?.is_none(), "policy breached!");
@@ -111,7 +121,9 @@ fn main() -> Result<(), FlipcError> {
     let mut t = payload.buffer_allocate()?;
     let data = b"spectrometer frame 0042";
     payload.payload_mut(&mut t)[..data.len()].copy_from_slice(data);
-    payload.send(&to_control, t, relay_addr).map_err(|r| r.error)?;
+    payload
+        .send(&to_control, t, relay_addr)
+        .map_err(|r| r.error)?;
     pump(&mut sat_engine, &mut ground_engine);
 
     let vetted = control.recv(&relay_in)?.expect("local hand-off");
@@ -121,7 +133,9 @@ fn main() -> Result<(), FlipcError> {
         vetted.from
     );
     let uplink = control.endpoint_allocate(EndpointType::Send, Importance::High)?;
-    control.send(&uplink, vetted.token, downlink_addr).map_err(|r| r.error)?;
+    control
+        .send(&uplink, vetted.token, downlink_addr)
+        .map_err(|r| r.error)?;
     pump(&mut sat_engine, &mut ground_engine);
 
     let received = ground.recv(&downlink)?.expect("relayed frame");

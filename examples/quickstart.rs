@@ -24,7 +24,8 @@ fn main() -> Result<(), FlipcError> {
     // (step 1), and publish the endpoint's opaque address.
     let inbox = bob.endpoint_allocate(EndpointType::Receive, Importance::Normal)?;
     let buf = bob.buffer_allocate()?;
-    bob.provide_receive_buffer(&inbox, buf).map_err(|r| r.error)?;
+    bob.provide_receive_buffer(&inbox, buf)
+        .map_err(|r| r.error)?;
     let inbox_addr = bob.address(&inbox);
     println!("bob's inbox address: {inbox_addr}");
 
@@ -60,7 +61,10 @@ fn main() -> Result<(), FlipcError> {
     alice.payload_mut(&mut lost)[..4].copy_from_slice(b"lost");
     alice.send(&outbox, lost, inbox_addr).map_err(|r| r.error)?;
     std::thread::sleep(Duration::from_millis(50));
-    println!("bob's drop counter (read-and-reset): {}", bob.drops_reset(&inbox)?);
+    println!(
+        "bob's drop counter (read-and-reset): {}",
+        bob.drops_reset(&inbox)?
+    );
     assert!(bob.recv(&inbox)?.is_none());
 
     cluster.shutdown();

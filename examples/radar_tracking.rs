@@ -49,7 +49,11 @@ fn drain_one(f: &Flipc, ep: &LocalEndpoint, count: &RefCell<u32>) -> TaskStatus 
 fn main() -> Result<(), FlipcError> {
     let mut cluster = InlineCluster::new(
         2,
-        Geometry { buffers: 128, ring_capacity: 32, ..Geometry::small() },
+        Geometry {
+            buffers: 128,
+            ring_capacity: 32,
+            ..Geometry::small()
+        },
         EngineConfig::default(),
     )?;
     let fusion = cluster.node(0).attach();
@@ -57,17 +61,19 @@ fn main() -> Result<(), FlipcError> {
     let tracker = Rc::new(cluster.node(1).attach());
 
     // Tracker: separate endpoints per class — the resource-control move.
-    let tracks_in =
-        Rc::new(tracker.endpoint_allocate(EndpointType::Receive, Importance::High)?);
-    let maint_in =
-        Rc::new(tracker.endpoint_allocate(EndpointType::Receive, Importance::Low)?);
+    let tracks_in = Rc::new(tracker.endpoint_allocate(EndpointType::Receive, Importance::High)?);
+    let maint_in = Rc::new(tracker.endpoint_allocate(EndpointType::Receive, Importance::Low)?);
     for _ in 0..TRACK_BUFFERS {
         let b = tracker.buffer_allocate()?;
-        tracker.provide_receive_buffer(&tracks_in, b).map_err(|r| r.error)?;
+        tracker
+            .provide_receive_buffer(&tracks_in, b)
+            .map_err(|r| r.error)?;
     }
     for _ in 0..MAINT_BUFFERS {
         let b = tracker.buffer_allocate()?;
-        tracker.provide_receive_buffer(&maint_in, b).map_err(|r| r.error)?;
+        tracker
+            .provide_receive_buffer(&maint_in, b)
+            .map_err(|r| r.error)?;
     }
     let tracks_addr = tracker.address(&tracks_in);
     let maint_addr = tracker.address(&maint_in);
@@ -97,14 +103,18 @@ fn main() -> Result<(), FlipcError> {
             let size = gen.medium_size().min(fusion.payload_size());
             let line = format!("TRACK p{period}b{burst} az=123.4 el=5.6 v=880 len={size}");
             fusion.payload_mut(&mut b)[..line.len()].copy_from_slice(line.as_bytes());
-            fusion.send(&tracks_out, b, tracks_addr).map_err(|r| r.error)?;
+            fusion
+                .send(&tracks_out, b, tracks_addr)
+                .map_err(|r| r.error)?;
             tracks_sent += 1;
         }
         for notice in 0..6 {
             let mut b = fusion.buffer_allocate()?;
             let line = format!("maint p{period}n{notice}: lube bearing 12");
             fusion.payload_mut(&mut b)[..line.len()].copy_from_slice(line.as_bytes());
-            fusion.send(&maint_out, b, maint_addr).map_err(|r| r.error)?;
+            fusion
+                .send(&maint_out, b, maint_addr)
+                .map_err(|r| r.error)?;
             maint_sent += 1;
         }
         cluster.pump_until_idle(64);
@@ -152,13 +162,20 @@ fn main() -> Result<(), FlipcError> {
 
     let track_drops = tracker.drops_reset(&tracks_in)?;
     let maint_drops = tracker.drops_reset(&maint_in)?;
-    println!("track updates sent: {tracks_sent}, processed: {}, dropped: {track_drops}",
-        tracks_processed.borrow());
-    println!("maintenance sent:   {maint_sent}, processed: {}, dropped: {maint_drops}",
-        maint_processed.borrow());
+    println!(
+        "track updates sent: {tracks_sent}, processed: {}, dropped: {track_drops}",
+        tracks_processed.borrow()
+    );
+    println!(
+        "maintenance sent:   {maint_sent}, processed: {}, dropped: {maint_drops}",
+        maint_processed.borrow()
+    );
     assert_eq!(track_drops, 0, "track stream must never lose a message");
     assert_eq!(*tracks_processed.borrow(), tracks_sent);
-    assert!(maint_drops > 0, "overloaded maintenance stream drops (and is counted)");
+    assert!(
+        maint_drops > 0,
+        "overloaded maintenance stream drops (and is counted)"
+    );
     let track_deadlines = deadlines.stream(0);
     println!(
         "track deadline hit rate: {:.0}% ({} of {} within the 2ms period; worst latency {}us)",

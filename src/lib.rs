@@ -60,7 +60,7 @@ pub use flipc_rt as rt;
 pub use flipc_sim as sim;
 
 pub use flipc_core::{
-    BufferId, BufferState, BufferToken, CommBuffer, EndpointAddress, EndpointGroup,
-    EndpointIndex, EndpointType, Flipc, FlipcError, FlipcNodeId, Geometry, Importance,
-    LocalEndpoint, Received, WaitRegistry,
+    BufferId, BufferState, BufferToken, CommBuffer, EndpointAddress, EndpointGroup, EndpointIndex,
+    EndpointType, Flipc, FlipcError, FlipcNodeId, Geometry, Importance, LocalEndpoint, Received,
+    WaitRegistry,
 };

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_cache_tuning-34fe3fd0f071281e.d: crates/bench/benches/ablation_cache_tuning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_cache_tuning-34fe3fd0f071281e.rmeta: crates/bench/benches/ablation_cache_tuning.rs Cargo.toml
+
+crates/bench/benches/ablation_cache_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

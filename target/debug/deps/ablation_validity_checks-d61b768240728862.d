@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_validity_checks-d61b768240728862.d: crates/bench/benches/ablation_validity_checks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_validity_checks-d61b768240728862.rmeta: crates/bench/benches/ablation_validity_checks.rs Cargo.toml
+
+crates/bench/benches/ablation_validity_checks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bandwidth-9bf3ea6f99754f50.d: crates/bench/benches/bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbandwidth-9bf3ea6f99754f50.rmeta: crates/bench/benches/bandwidth.rs Cargo.toml
+
+crates/bench/benches/bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibration-4aa3ff196f0e4a5c.d: crates/paragon/tests/calibration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibration-4aa3ff196f0e4a5c.rmeta: crates/paragon/tests/calibration.rs Cargo.toml
+
+crates/paragon/tests/calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-b7a4cb192dbc6d6f.d: crates/paragon/tests/calibration.rs
+
+/root/repo/target/debug/deps/calibration-b7a4cb192dbc6d6f: crates/paragon/tests/calibration.rs
+
+crates/paragon/tests/calibration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/call_ratio-107726fc60d9fb89.d: crates/bench/benches/call_ratio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcall_ratio-107726fc60d9fb89.rmeta: crates/bench/benches/call_ratio.rs Cargo.toml
+
+crates/bench/benches/call_ratio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checker-7d151a0a110d3b67.d: crates/loom/tests/checker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchecker-7d151a0a110d3b67.rmeta: crates/loom/tests/checker.rs Cargo.toml
+
+crates/loom/tests/checker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checker-e2c6d4519973f9a8.d: crates/loom/tests/checker.rs
+
+/root/repo/target/debug/deps/checker-e2c6d4519973f9a8: crates/loom/tests/checker.rs
+
+crates/loom/tests/checker.rs:

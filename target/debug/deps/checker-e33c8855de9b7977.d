@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checker-e33c8855de9b7977.d: crates/loom/tests/checker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchecker-e33c8855de9b7977.rmeta: crates/loom/tests/checker.rs Cargo.toml
+
+crates/loom/tests/checker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

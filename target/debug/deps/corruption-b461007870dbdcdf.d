@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corruption-b461007870dbdcdf.d: tests/corruption.rs
+
+/root/repo/target/debug/deps/corruption-b461007870dbdcdf: tests/corruption.rs
+
+tests/corruption.rs:

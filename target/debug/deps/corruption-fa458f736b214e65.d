@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/corruption-fa458f736b214e65.d: tests/corruption.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorruption-fa458f736b214e65.rmeta: tests/corruption.rs Cargo.toml
+
+tests/corruption.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/domains-6b196180c50f550a.d: crates/engine/tests/domains.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdomains-6b196180c50f550a.rmeta: crates/engine/tests/domains.rs Cargo.toml
+
+crates/engine/tests/domains.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/domains-8944ac1b61083fcc.d: crates/engine/tests/domains.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdomains-8944ac1b61083fcc.rmeta: crates/engine/tests/domains.rs Cargo.toml
+
+crates/engine/tests/domains.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

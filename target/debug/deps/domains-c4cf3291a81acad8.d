@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/domains-c4cf3291a81acad8.d: crates/engine/tests/domains.rs
+
+/root/repo/target/debug/deps/domains-c4cf3291a81acad8: crates/engine/tests/domains.rs
+
+crates/engine/tests/domains.rs:

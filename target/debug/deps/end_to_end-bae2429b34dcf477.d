@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-bae2429b34dcf477.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-bae2429b34dcf477: tests/end_to_end.rs
+
+tests/end_to_end.rs:

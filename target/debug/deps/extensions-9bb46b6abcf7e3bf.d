@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-9bb46b6abcf7e3bf.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-9bb46b6abcf7e3bf: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flipc-3de888003bc896b5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libflipc-3de888003bc896b5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libflipc-3de888003bc896b5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flipc-842d4c43639a8f4d.d: src/lib.rs
+
+/root/repo/target/debug/deps/flipc-842d4c43639a8f4d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flipc-90375e5872bb04fc.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflipc-90375e5872bb04fc.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flipc_baselines-a50bc935aaf4c6b4.d: crates/baselines/src/lib.rs crates/baselines/src/model.rs crates/baselines/src/nx.rs crates/baselines/src/pam.rs crates/baselines/src/sunmos.rs
+
+/root/repo/target/debug/deps/flipc_baselines-a50bc935aaf4c6b4: crates/baselines/src/lib.rs crates/baselines/src/model.rs crates/baselines/src/nx.rs crates/baselines/src/pam.rs crates/baselines/src/sunmos.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/model.rs:
+crates/baselines/src/nx.rs:
+crates/baselines/src/pam.rs:
+crates/baselines/src/sunmos.rs:

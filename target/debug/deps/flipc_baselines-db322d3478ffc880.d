@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flipc_baselines-db322d3478ffc880.d: crates/baselines/src/lib.rs crates/baselines/src/model.rs crates/baselines/src/nx.rs crates/baselines/src/pam.rs crates/baselines/src/sunmos.rs
+
+/root/repo/target/debug/deps/libflipc_baselines-db322d3478ffc880.rlib: crates/baselines/src/lib.rs crates/baselines/src/model.rs crates/baselines/src/nx.rs crates/baselines/src/pam.rs crates/baselines/src/sunmos.rs
+
+/root/repo/target/debug/deps/libflipc_baselines-db322d3478ffc880.rmeta: crates/baselines/src/lib.rs crates/baselines/src/model.rs crates/baselines/src/nx.rs crates/baselines/src/pam.rs crates/baselines/src/sunmos.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/model.rs:
+crates/baselines/src/nx.rs:
+crates/baselines/src/pam.rs:
+crates/baselines/src/sunmos.rs:

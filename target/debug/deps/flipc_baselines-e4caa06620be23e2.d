@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flipc_baselines-e4caa06620be23e2.d: crates/baselines/src/lib.rs crates/baselines/src/model.rs crates/baselines/src/nx.rs crates/baselines/src/pam.rs crates/baselines/src/sunmos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflipc_baselines-e4caa06620be23e2.rmeta: crates/baselines/src/lib.rs crates/baselines/src/model.rs crates/baselines/src/nx.rs crates/baselines/src/pam.rs crates/baselines/src/sunmos.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/model.rs:
+crates/baselines/src/nx.rs:
+crates/baselines/src/pam.rs:
+crates/baselines/src/sunmos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flipc_bench-7ab1b27c8cd8fb30.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/flipc_bench-7ab1b27c8cd8fb30: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flipc_bench-af379ff0a3a5a362.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libflipc_bench-af379ff0a3a5a362.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libflipc_bench-af379ff0a3a5a362.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

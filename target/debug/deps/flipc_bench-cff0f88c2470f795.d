@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flipc_bench-cff0f88c2470f795.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflipc_bench-cff0f88c2470f795.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

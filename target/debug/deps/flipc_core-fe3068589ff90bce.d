@@ -1,0 +1,31 @@
+/root/repo/target/debug/deps/flipc_core-fe3068589ff90bce.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/buffer.rs crates/core/src/bulk.rs crates/core/src/checks.rs crates/core/src/commbuf.rs crates/core/src/counter.rs crates/core/src/endpoint.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/group.rs crates/core/src/inspect.rs crates/core/src/layout.rs crates/core/src/lock.rs crates/core/src/managed.rs crates/core/src/names.rs crates/core/src/queue.rs crates/core/src/region.rs crates/core/src/rmem.rs crates/core/src/rpc.rs crates/core/src/sync.rs crates/core/src/testutil.rs crates/core/src/wait.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflipc_core-fe3068589ff90bce.rmeta: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/buffer.rs crates/core/src/bulk.rs crates/core/src/checks.rs crates/core/src/commbuf.rs crates/core/src/counter.rs crates/core/src/endpoint.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/group.rs crates/core/src/inspect.rs crates/core/src/layout.rs crates/core/src/lock.rs crates/core/src/managed.rs crates/core/src/names.rs crates/core/src/queue.rs crates/core/src/region.rs crates/core/src/rmem.rs crates/core/src/rpc.rs crates/core/src/sync.rs crates/core/src/testutil.rs crates/core/src/wait.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/buffer.rs:
+crates/core/src/bulk.rs:
+crates/core/src/checks.rs:
+crates/core/src/commbuf.rs:
+crates/core/src/counter.rs:
+crates/core/src/endpoint.rs:
+crates/core/src/error.rs:
+crates/core/src/flow.rs:
+crates/core/src/group.rs:
+crates/core/src/inspect.rs:
+crates/core/src/layout.rs:
+crates/core/src/lock.rs:
+crates/core/src/managed.rs:
+crates/core/src/names.rs:
+crates/core/src/queue.rs:
+crates/core/src/region.rs:
+crates/core/src/rmem.rs:
+crates/core/src/rpc.rs:
+crates/core/src/sync.rs:
+crates/core/src/testutil.rs:
+crates/core/src/wait.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/flipc_engine-4ab2c3ebd737eda3.d: crates/engine/src/lib.rs crates/engine/src/bus.rs crates/engine/src/engine.rs crates/engine/src/loopback.rs crates/engine/src/node.rs crates/engine/src/shaper.rs crates/engine/src/spsc.rs crates/engine/src/thread.rs crates/engine/src/transport.rs crates/engine/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflipc_engine-4ab2c3ebd737eda3.rmeta: crates/engine/src/lib.rs crates/engine/src/bus.rs crates/engine/src/engine.rs crates/engine/src/loopback.rs crates/engine/src/node.rs crates/engine/src/shaper.rs crates/engine/src/spsc.rs crates/engine/src/thread.rs crates/engine/src/transport.rs crates/engine/src/wire.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/bus.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/loopback.rs:
+crates/engine/src/node.rs:
+crates/engine/src/shaper.rs:
+crates/engine/src/spsc.rs:
+crates/engine/src/thread.rs:
+crates/engine/src/transport.rs:
+crates/engine/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/flipc_engine-5007fda9af7faec9.d: crates/engine/src/lib.rs crates/engine/src/bus.rs crates/engine/src/engine.rs crates/engine/src/loopback.rs crates/engine/src/node.rs crates/engine/src/shaper.rs crates/engine/src/spsc.rs crates/engine/src/thread.rs crates/engine/src/transport.rs crates/engine/src/wire.rs
+
+/root/repo/target/debug/deps/libflipc_engine-5007fda9af7faec9.rlib: crates/engine/src/lib.rs crates/engine/src/bus.rs crates/engine/src/engine.rs crates/engine/src/loopback.rs crates/engine/src/node.rs crates/engine/src/shaper.rs crates/engine/src/spsc.rs crates/engine/src/thread.rs crates/engine/src/transport.rs crates/engine/src/wire.rs
+
+/root/repo/target/debug/deps/libflipc_engine-5007fda9af7faec9.rmeta: crates/engine/src/lib.rs crates/engine/src/bus.rs crates/engine/src/engine.rs crates/engine/src/loopback.rs crates/engine/src/node.rs crates/engine/src/shaper.rs crates/engine/src/spsc.rs crates/engine/src/thread.rs crates/engine/src/transport.rs crates/engine/src/wire.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/bus.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/loopback.rs:
+crates/engine/src/node.rs:
+crates/engine/src/shaper.rs:
+crates/engine/src/spsc.rs:
+crates/engine/src/thread.rs:
+crates/engine/src/transport.rs:
+crates/engine/src/wire.rs:

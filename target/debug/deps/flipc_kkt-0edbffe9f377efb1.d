@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flipc_kkt-0edbffe9f377efb1.d: crates/kkt/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflipc_kkt-0edbffe9f377efb1.rmeta: crates/kkt/src/lib.rs Cargo.toml
+
+crates/kkt/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flipc_kkt-53d2951ae804c60a.d: crates/kkt/src/lib.rs
+
+/root/repo/target/debug/deps/flipc_kkt-53d2951ae804c60a: crates/kkt/src/lib.rs
+
+crates/kkt/src/lib.rs:

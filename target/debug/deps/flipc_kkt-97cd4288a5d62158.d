@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flipc_kkt-97cd4288a5d62158.d: crates/kkt/src/lib.rs
+
+/root/repo/target/debug/deps/libflipc_kkt-97cd4288a5d62158.rlib: crates/kkt/src/lib.rs
+
+/root/repo/target/debug/deps/libflipc_kkt-97cd4288a5d62158.rmeta: crates/kkt/src/lib.rs
+
+crates/kkt/src/lib.rs:

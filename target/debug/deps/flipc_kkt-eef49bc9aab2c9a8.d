@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flipc_kkt-eef49bc9aab2c9a8.d: crates/kkt/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflipc_kkt-eef49bc9aab2c9a8.rmeta: crates/kkt/src/lib.rs Cargo.toml
+
+crates/kkt/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

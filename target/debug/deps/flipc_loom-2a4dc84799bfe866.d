@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flipc_loom-2a4dc84799bfe866.d: crates/loom/src/lib.rs crates/loom/src/rt.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+/root/repo/target/debug/deps/libflipc_loom-2a4dc84799bfe866.rlib: crates/loom/src/lib.rs crates/loom/src/rt.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+/root/repo/target/debug/deps/libflipc_loom-2a4dc84799bfe866.rmeta: crates/loom/src/lib.rs crates/loom/src/rt.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+crates/loom/src/lib.rs:
+crates/loom/src/rt.rs:
+crates/loom/src/sync.rs:
+crates/loom/src/thread.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flipc_loom-2da3c7e88f69db85.d: crates/loom/src/lib.rs crates/loom/src/rt.rs crates/loom/src/sync.rs crates/loom/src/thread.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflipc_loom-2da3c7e88f69db85.rmeta: crates/loom/src/lib.rs crates/loom/src/rt.rs crates/loom/src/sync.rs crates/loom/src/thread.rs Cargo.toml
+
+crates/loom/src/lib.rs:
+crates/loom/src/rt.rs:
+crates/loom/src/sync.rs:
+crates/loom/src/thread.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flipc_loom-62e1168a82f73254.d: crates/loom/src/lib.rs crates/loom/src/rt.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+/root/repo/target/debug/deps/libflipc_loom-62e1168a82f73254.rlib: crates/loom/src/lib.rs crates/loom/src/rt.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+/root/repo/target/debug/deps/libflipc_loom-62e1168a82f73254.rmeta: crates/loom/src/lib.rs crates/loom/src/rt.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+crates/loom/src/lib.rs:
+crates/loom/src/rt.rs:
+crates/loom/src/sync.rs:
+crates/loom/src/thread.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flipc_loom-ba530dae043cc4a2.d: crates/loom/src/lib.rs crates/loom/src/rt.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+/root/repo/target/debug/deps/flipc_loom-ba530dae043cc4a2: crates/loom/src/lib.rs crates/loom/src/rt.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+crates/loom/src/lib.rs:
+crates/loom/src/rt.rs:
+crates/loom/src/sync.rs:
+crates/loom/src/thread.rs:

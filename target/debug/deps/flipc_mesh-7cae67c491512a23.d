@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flipc_mesh-7cae67c491512a23.d: crates/mesh/src/lib.rs crates/mesh/src/dma.rs crates/mesh/src/network.rs crates/mesh/src/topology.rs
+
+/root/repo/target/debug/deps/libflipc_mesh-7cae67c491512a23.rlib: crates/mesh/src/lib.rs crates/mesh/src/dma.rs crates/mesh/src/network.rs crates/mesh/src/topology.rs
+
+/root/repo/target/debug/deps/libflipc_mesh-7cae67c491512a23.rmeta: crates/mesh/src/lib.rs crates/mesh/src/dma.rs crates/mesh/src/network.rs crates/mesh/src/topology.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/dma.rs:
+crates/mesh/src/network.rs:
+crates/mesh/src/topology.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flipc_mesh-815e947c66236e0e.d: crates/mesh/src/lib.rs crates/mesh/src/dma.rs crates/mesh/src/network.rs crates/mesh/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflipc_mesh-815e947c66236e0e.rmeta: crates/mesh/src/lib.rs crates/mesh/src/dma.rs crates/mesh/src/network.rs crates/mesh/src/topology.rs Cargo.toml
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/dma.rs:
+crates/mesh/src/network.rs:
+crates/mesh/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flipc_mesh-b29dcc192734db7a.d: crates/mesh/src/lib.rs crates/mesh/src/dma.rs crates/mesh/src/network.rs crates/mesh/src/topology.rs
+
+/root/repo/target/debug/deps/flipc_mesh-b29dcc192734db7a: crates/mesh/src/lib.rs crates/mesh/src/dma.rs crates/mesh/src/network.rs crates/mesh/src/topology.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/dma.rs:
+crates/mesh/src/network.rs:
+crates/mesh/src/topology.rs:

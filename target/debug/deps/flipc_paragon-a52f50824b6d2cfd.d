@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flipc_paragon-a52f50824b6d2cfd.d: crates/paragon/src/lib.rs crates/paragon/src/experiments.rs crates/paragon/src/model.rs
+
+/root/repo/target/debug/deps/flipc_paragon-a52f50824b6d2cfd: crates/paragon/src/lib.rs crates/paragon/src/experiments.rs crates/paragon/src/model.rs
+
+crates/paragon/src/lib.rs:
+crates/paragon/src/experiments.rs:
+crates/paragon/src/model.rs:

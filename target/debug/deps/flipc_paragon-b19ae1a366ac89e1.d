@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flipc_paragon-b19ae1a366ac89e1.d: crates/paragon/src/lib.rs crates/paragon/src/experiments.rs crates/paragon/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflipc_paragon-b19ae1a366ac89e1.rmeta: crates/paragon/src/lib.rs crates/paragon/src/experiments.rs crates/paragon/src/model.rs Cargo.toml
+
+crates/paragon/src/lib.rs:
+crates/paragon/src/experiments.rs:
+crates/paragon/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flipc_paragon-d259a41131371eb3.d: crates/paragon/src/lib.rs crates/paragon/src/experiments.rs crates/paragon/src/model.rs
+
+/root/repo/target/debug/deps/libflipc_paragon-d259a41131371eb3.rlib: crates/paragon/src/lib.rs crates/paragon/src/experiments.rs crates/paragon/src/model.rs
+
+/root/repo/target/debug/deps/libflipc_paragon-d259a41131371eb3.rmeta: crates/paragon/src/lib.rs crates/paragon/src/experiments.rs crates/paragon/src/model.rs
+
+crates/paragon/src/lib.rs:
+crates/paragon/src/experiments.rs:
+crates/paragon/src/model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flipc_rt-65b2d6cbbcc90761.d: crates/rt/src/lib.rs crates/rt/src/deadline.rs crates/rt/src/sched.rs crates/rt/src/semaphore.rs crates/rt/src/workload.rs
+
+/root/repo/target/debug/deps/flipc_rt-65b2d6cbbcc90761: crates/rt/src/lib.rs crates/rt/src/deadline.rs crates/rt/src/sched.rs crates/rt/src/semaphore.rs crates/rt/src/workload.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/deadline.rs:
+crates/rt/src/sched.rs:
+crates/rt/src/semaphore.rs:
+crates/rt/src/workload.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flipc_rt-eede84db4b3e0409.d: crates/rt/src/lib.rs crates/rt/src/deadline.rs crates/rt/src/sched.rs crates/rt/src/semaphore.rs crates/rt/src/workload.rs
+
+/root/repo/target/debug/deps/libflipc_rt-eede84db4b3e0409.rlib: crates/rt/src/lib.rs crates/rt/src/deadline.rs crates/rt/src/sched.rs crates/rt/src/semaphore.rs crates/rt/src/workload.rs
+
+/root/repo/target/debug/deps/libflipc_rt-eede84db4b3e0409.rmeta: crates/rt/src/lib.rs crates/rt/src/deadline.rs crates/rt/src/sched.rs crates/rt/src/semaphore.rs crates/rt/src/workload.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/deadline.rs:
+crates/rt/src/sched.rs:
+crates/rt/src/semaphore.rs:
+crates/rt/src/workload.rs:

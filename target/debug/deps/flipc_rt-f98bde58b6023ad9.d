@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flipc_rt-f98bde58b6023ad9.d: crates/rt/src/lib.rs crates/rt/src/deadline.rs crates/rt/src/sched.rs crates/rt/src/semaphore.rs crates/rt/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflipc_rt-f98bde58b6023ad9.rmeta: crates/rt/src/lib.rs crates/rt/src/deadline.rs crates/rt/src/sched.rs crates/rt/src/semaphore.rs crates/rt/src/workload.rs Cargo.toml
+
+crates/rt/src/lib.rs:
+crates/rt/src/deadline.rs:
+crates/rt/src/sched.rs:
+crates/rt/src/semaphore.rs:
+crates/rt/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flipc_sim-40ac4d9338212f97.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cost.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libflipc_sim-40ac4d9338212f97.rlib: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cost.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libflipc_sim-40ac4d9338212f97.rmeta: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cost.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flipc_sim-c7bdc2ec079e3e17.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cost.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/flipc_sim-c7bdc2ec079e3e17: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cost.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/flipc_sim-f5955b4b04af4fbc.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cost.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflipc_sim-f5955b4b04af4fbc.rmeta: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cost.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

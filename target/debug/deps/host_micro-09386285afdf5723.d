@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/host_micro-09386285afdf5723.d: crates/bench/benches/host_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhost_micro-09386285afdf5723.rmeta: crates/bench/benches/host_micro.rs Cargo.toml
+
+crates/bench/benches/host_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/host_pingpong-046240fdf90652be.d: crates/bench/benches/host_pingpong.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhost_pingpong-046240fdf90652be.rmeta: crates/bench/benches/host_pingpong.rs Cargo.toml
+
+crates/bench/benches/host_pingpong.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kkt_vs_native-f6a723c39b80d2c0.d: crates/bench/benches/kkt_vs_native.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkkt_vs_native-f6a723c39b80d2c0.rmeta: crates/bench/benches/kkt_vs_native.rs Cargo.toml
+
+crates/bench/benches/kkt_vs_native.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/latency_breakdown-faf82326b704492e.d: crates/bench/benches/latency_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblatency_breakdown-faf82326b704492e.rmeta: crates/bench/benches/latency_breakdown.rs Cargo.toml
+
+crates/bench/benches/latency_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/load_latency-c129586c8bc1a479.d: crates/bench/benches/load_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libload_latency-c129586c8bc1a479.rmeta: crates/bench/benches/load_latency.rs Cargo.toml
+
+crates/bench/benches/load_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loom_models-1350f4fed9a4399e.d: crates/core/tests/loom_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloom_models-1350f4fed9a4399e.rmeta: crates/core/tests/loom_models.rs Cargo.toml
+
+crates/core/tests/loom_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

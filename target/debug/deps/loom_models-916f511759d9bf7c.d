@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loom_models-916f511759d9bf7c.d: crates/core/tests/loom_models.rs
+
+/root/repo/target/debug/deps/loom_models-916f511759d9bf7c: crates/core/tests/loom_models.rs
+
+crates/core/tests/loom_models.rs:

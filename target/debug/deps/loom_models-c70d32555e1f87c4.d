@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loom_models-c70d32555e1f87c4.d: crates/core/tests/loom_models.rs
+
+/root/repo/target/debug/deps/loom_models-c70d32555e1f87c4: crates/core/tests/loom_models.rs
+
+crates/core/tests/loom_models.rs:

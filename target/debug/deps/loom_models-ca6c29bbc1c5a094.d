@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loom_models-ca6c29bbc1c5a094.d: crates/core/tests/loom_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloom_models-ca6c29bbc1c5a094.rmeta: crates/core/tests/loom_models.rs Cargo.toml
+
+crates/core/tests/loom_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loom_spsc-2165fac0a70d02be.d: crates/engine/tests/loom_spsc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloom_spsc-2165fac0a70d02be.rmeta: crates/engine/tests/loom_spsc.rs Cargo.toml
+
+crates/engine/tests/loom_spsc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

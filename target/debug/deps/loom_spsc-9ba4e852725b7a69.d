@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loom_spsc-9ba4e852725b7a69.d: crates/engine/tests/loom_spsc.rs
+
+/root/repo/target/debug/deps/loom_spsc-9ba4e852725b7a69: crates/engine/tests/loom_spsc.rs
+
+crates/engine/tests/loom_spsc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loom_spsc-b777a5de44faf1f1.d: crates/engine/tests/loom_spsc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloom_spsc-b777a5de44faf1f1.rmeta: crates/engine/tests/loom_spsc.rs Cargo.toml
+
+crates/engine/tests/loom_spsc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ownership-a97abc2424fd29f3.d: crates/core/tests/ownership.rs
+
+/root/repo/target/debug/deps/ownership-a97abc2424fd29f3: crates/core/tests/ownership.rs
+
+crates/core/tests/ownership.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ownership-cb81ee89e1c08daa.d: crates/core/tests/ownership.rs
+
+/root/repo/target/debug/deps/ownership-cb81ee89e1c08daa: crates/core/tests/ownership.rs
+
+crates/core/tests/ownership.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ownership-d83979c2e4c519d1.d: crates/core/tests/ownership.rs Cargo.toml
+
+/root/repo/target/debug/deps/libownership-d83979c2e4c519d1.rmeta: crates/core/tests/ownership.rs Cargo.toml
+
+crates/core/tests/ownership.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ownership-d96472b83d4b01c0.d: crates/core/tests/ownership.rs Cargo.toml
+
+/root/repo/target/debug/deps/libownership-d96472b83d4b01c0.rmeta: crates/core/tests/ownership.rs Cargo.toml
+
+crates/core/tests/ownership.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

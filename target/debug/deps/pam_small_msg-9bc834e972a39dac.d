@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pam_small_msg-9bc834e972a39dac.d: crates/bench/benches/pam_small_msg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpam_small_msg-9bc834e972a39dac.rmeta: crates/bench/benches/pam_small_msg.rs Cargo.toml
+
+crates/bench/benches/pam_small_msg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d744de129ecc989d.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d744de129ecc989d: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/responsiveness-8a53e8a5a70e7fa3.d: crates/bench/benches/responsiveness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresponsiveness-8a53e8a5a70e7fa3.rmeta: crates/bench/benches/responsiveness.rs Cargo.toml
+
+crates/bench/benches/responsiveness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sensitivity-992123b485fdb9af.d: crates/bench/benches/sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsensitivity-992123b485fdb9af.rmeta: crates/bench/benches/sensitivity.rs Cargo.toml
+
+crates/bench/benches/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

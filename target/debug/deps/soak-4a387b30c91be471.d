@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soak-4a387b30c91be471.d: tests/soak.rs
+
+/root/repo/target/debug/deps/soak-4a387b30c91be471: tests/soak.rs
+
+tests/soak.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/startup_transient-1cb48787895d97b6.d: crates/bench/benches/startup_transient.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstartup_transient-1cb48787895d97b6.rmeta: crates/bench/benches/startup_transient.rs Cargo.toml
+
+crates/bench/benches/startup_transient.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_comparison-7d96c09d4f9def04.d: crates/bench/benches/table_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_comparison-7d96c09d4f9def04.rmeta: crates/bench/benches/table_comparison.rs Cargo.toml
+
+crates/bench/benches/table_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

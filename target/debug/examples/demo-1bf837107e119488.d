@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/demo-1bf837107e119488.d: crates/loom/examples/demo.rs
+
+/root/repo/target/debug/examples/demo-1bf837107e119488: crates/loom/examples/demo.rs
+
+crates/loom/examples/demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/demo-674c46e5c14f9a40.d: crates/loom/examples/demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdemo-674c46e5c14f9a40.rmeta: crates/loom/examples/demo.rs Cargo.toml
+
+crates/loom/examples/demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

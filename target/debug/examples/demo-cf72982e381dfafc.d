@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/demo-cf72982e381dfafc.d: crates/loom/examples/demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdemo-cf72982e381dfafc.rmeta: crates/loom/examples/demo.rs Cargo.toml
+
+crates/loom/examples/demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/factory_floor-348acaf9c3c13635.d: examples/factory_floor.rs
+
+/root/repo/target/debug/examples/factory_floor-348acaf9c3c13635: examples/factory_floor.rs
+
+examples/factory_floor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/factory_floor-572087c5d5865daf.d: examples/factory_floor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfactory_floor-572087c5d5865daf.rmeta: examples/factory_floor.rs Cargo.toml
+
+examples/factory_floor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flow_controlled_rpc-45970e2c6032994c.d: examples/flow_controlled_rpc.rs
+
+/root/repo/target/debug/examples/flow_controlled_rpc-45970e2c6032994c: examples/flow_controlled_rpc.rs
+
+examples/flow_controlled_rpc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/flow_controlled_rpc-72d3ef1010f6e879.d: examples/flow_controlled_rpc.rs Cargo.toml
+
+/root/repo/target/debug/examples/libflow_controlled_rpc-72d3ef1010f6e879.rmeta: examples/flow_controlled_rpc.rs Cargo.toml
+
+examples/flow_controlled_rpc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

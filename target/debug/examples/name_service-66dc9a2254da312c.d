@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/name_service-66dc9a2254da312c.d: examples/name_service.rs
+
+/root/repo/target/debug/examples/name_service-66dc9a2254da312c: examples/name_service.rs
+
+examples/name_service.rs:

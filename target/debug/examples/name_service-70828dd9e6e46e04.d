@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/name_service-70828dd9e6e46e04.d: examples/name_service.rs Cargo.toml
+
+/root/repo/target/debug/examples/libname_service-70828dd9e6e46e04.rmeta: examples/name_service.rs Cargo.toml
+
+examples/name_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

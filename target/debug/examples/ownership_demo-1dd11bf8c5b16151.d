@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ownership_demo-1dd11bf8c5b16151.d: crates/core/examples/ownership_demo.rs
+
+/root/repo/target/debug/examples/ownership_demo-1dd11bf8c5b16151: crates/core/examples/ownership_demo.rs
+
+crates/core/examples/ownership_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ownership_demo-a6072c3fd3a5cac6.d: crates/core/examples/ownership_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libownership_demo-a6072c3fd3a5cac6.rmeta: crates/core/examples/ownership_demo.rs Cargo.toml
+
+crates/core/examples/ownership_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ownership_demo-b4452068300818a1.d: crates/core/examples/ownership_demo.rs
+
+/root/repo/target/debug/examples/ownership_demo-b4452068300818a1: crates/core/examples/ownership_demo.rs
+
+crates/core/examples/ownership_demo.rs:

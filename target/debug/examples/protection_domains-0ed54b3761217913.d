@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protection_domains-0ed54b3761217913.d: examples/protection_domains.rs
+
+/root/repo/target/debug/examples/protection_domains-0ed54b3761217913: examples/protection_domains.rs
+
+examples/protection_domains.rs:

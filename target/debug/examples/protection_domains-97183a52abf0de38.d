@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/protection_domains-97183a52abf0de38.d: examples/protection_domains.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprotection_domains-97183a52abf0de38.rmeta: examples/protection_domains.rs Cargo.toml
+
+examples/protection_domains.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b22d43101914a6a9.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b22d43101914a6a9: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/radar_tracking-a59521c6cda8afc8.d: examples/radar_tracking.rs Cargo.toml
+
+/root/repo/target/debug/examples/libradar_tracking-a59521c6cda8afc8.rmeta: examples/radar_tracking.rs Cargo.toml
+
+examples/radar_tracking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/radar_tracking-b93204fd647f2280.d: examples/radar_tracking.rs
+
+/root/repo/target/debug/examples/radar_tracking-b93204fd647f2280: examples/radar_tracking.rs
+
+examples/radar_tracking.rs:

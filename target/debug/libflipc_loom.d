@@ -1,0 +1,1 @@
+/root/repo/target/debug/libflipc_loom.rlib: /root/repo/crates/loom/src/lib.rs /root/repo/crates/loom/src/rt.rs /root/repo/crates/loom/src/sync.rs /root/repo/crates/loom/src/thread.rs

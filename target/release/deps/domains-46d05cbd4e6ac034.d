@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/domains-46d05cbd4e6ac034.d: crates/engine/tests/domains.rs
+
+/root/repo/target/release/deps/domains-46d05cbd4e6ac034: crates/engine/tests/domains.rs
+
+crates/engine/tests/domains.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/flipc-0b28ff5bce2028a4.d: src/lib.rs
+
+/root/repo/target/release/deps/libflipc-0b28ff5bce2028a4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libflipc-0b28ff5bce2028a4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/flipc_baselines-86b223d2e5d4f1b8.d: crates/baselines/src/lib.rs crates/baselines/src/model.rs crates/baselines/src/nx.rs crates/baselines/src/pam.rs crates/baselines/src/sunmos.rs
+
+/root/repo/target/release/deps/libflipc_baselines-86b223d2e5d4f1b8.rlib: crates/baselines/src/lib.rs crates/baselines/src/model.rs crates/baselines/src/nx.rs crates/baselines/src/pam.rs crates/baselines/src/sunmos.rs
+
+/root/repo/target/release/deps/libflipc_baselines-86b223d2e5d4f1b8.rmeta: crates/baselines/src/lib.rs crates/baselines/src/model.rs crates/baselines/src/nx.rs crates/baselines/src/pam.rs crates/baselines/src/sunmos.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/model.rs:
+crates/baselines/src/nx.rs:
+crates/baselines/src/pam.rs:
+crates/baselines/src/sunmos.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/flipc_engine-ed90e80e80979275.d: crates/engine/src/lib.rs crates/engine/src/bus.rs crates/engine/src/engine.rs crates/engine/src/loopback.rs crates/engine/src/node.rs crates/engine/src/shaper.rs crates/engine/src/spsc.rs crates/engine/src/thread.rs crates/engine/src/transport.rs crates/engine/src/wire.rs
+
+/root/repo/target/release/deps/libflipc_engine-ed90e80e80979275.rlib: crates/engine/src/lib.rs crates/engine/src/bus.rs crates/engine/src/engine.rs crates/engine/src/loopback.rs crates/engine/src/node.rs crates/engine/src/shaper.rs crates/engine/src/spsc.rs crates/engine/src/thread.rs crates/engine/src/transport.rs crates/engine/src/wire.rs
+
+/root/repo/target/release/deps/libflipc_engine-ed90e80e80979275.rmeta: crates/engine/src/lib.rs crates/engine/src/bus.rs crates/engine/src/engine.rs crates/engine/src/loopback.rs crates/engine/src/node.rs crates/engine/src/shaper.rs crates/engine/src/spsc.rs crates/engine/src/thread.rs crates/engine/src/transport.rs crates/engine/src/wire.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/bus.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/loopback.rs:
+crates/engine/src/node.rs:
+crates/engine/src/shaper.rs:
+crates/engine/src/spsc.rs:
+crates/engine/src/thread.rs:
+crates/engine/src/transport.rs:
+crates/engine/src/wire.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/flipc_kkt-939eb93422ca32d9.d: crates/kkt/src/lib.rs
+
+/root/repo/target/release/deps/libflipc_kkt-939eb93422ca32d9.rlib: crates/kkt/src/lib.rs
+
+/root/repo/target/release/deps/libflipc_kkt-939eb93422ca32d9.rmeta: crates/kkt/src/lib.rs
+
+crates/kkt/src/lib.rs:

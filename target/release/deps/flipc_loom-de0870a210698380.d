@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flipc_loom-de0870a210698380.d: crates/loom/src/lib.rs crates/loom/src/rt.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+/root/repo/target/release/deps/libflipc_loom-de0870a210698380.rlib: crates/loom/src/lib.rs crates/loom/src/rt.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+/root/repo/target/release/deps/libflipc_loom-de0870a210698380.rmeta: crates/loom/src/lib.rs crates/loom/src/rt.rs crates/loom/src/sync.rs crates/loom/src/thread.rs
+
+crates/loom/src/lib.rs:
+crates/loom/src/rt.rs:
+crates/loom/src/sync.rs:
+crates/loom/src/thread.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flipc_mesh-9197c7688c8cd294.d: crates/mesh/src/lib.rs crates/mesh/src/dma.rs crates/mesh/src/network.rs crates/mesh/src/topology.rs
+
+/root/repo/target/release/deps/libflipc_mesh-9197c7688c8cd294.rlib: crates/mesh/src/lib.rs crates/mesh/src/dma.rs crates/mesh/src/network.rs crates/mesh/src/topology.rs
+
+/root/repo/target/release/deps/libflipc_mesh-9197c7688c8cd294.rmeta: crates/mesh/src/lib.rs crates/mesh/src/dma.rs crates/mesh/src/network.rs crates/mesh/src/topology.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/dma.rs:
+crates/mesh/src/network.rs:
+crates/mesh/src/topology.rs:

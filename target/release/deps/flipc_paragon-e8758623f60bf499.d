@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/flipc_paragon-e8758623f60bf499.d: crates/paragon/src/lib.rs crates/paragon/src/experiments.rs crates/paragon/src/model.rs
+
+/root/repo/target/release/deps/libflipc_paragon-e8758623f60bf499.rlib: crates/paragon/src/lib.rs crates/paragon/src/experiments.rs crates/paragon/src/model.rs
+
+/root/repo/target/release/deps/libflipc_paragon-e8758623f60bf499.rmeta: crates/paragon/src/lib.rs crates/paragon/src/experiments.rs crates/paragon/src/model.rs
+
+crates/paragon/src/lib.rs:
+crates/paragon/src/experiments.rs:
+crates/paragon/src/model.rs:

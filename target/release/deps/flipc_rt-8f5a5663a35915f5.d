@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/flipc_rt-8f5a5663a35915f5.d: crates/rt/src/lib.rs crates/rt/src/deadline.rs crates/rt/src/sched.rs crates/rt/src/semaphore.rs crates/rt/src/workload.rs
+
+/root/repo/target/release/deps/libflipc_rt-8f5a5663a35915f5.rlib: crates/rt/src/lib.rs crates/rt/src/deadline.rs crates/rt/src/sched.rs crates/rt/src/semaphore.rs crates/rt/src/workload.rs
+
+/root/repo/target/release/deps/libflipc_rt-8f5a5663a35915f5.rmeta: crates/rt/src/lib.rs crates/rt/src/deadline.rs crates/rt/src/sched.rs crates/rt/src/semaphore.rs crates/rt/src/workload.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/deadline.rs:
+crates/rt/src/sched.rs:
+crates/rt/src/semaphore.rs:
+crates/rt/src/workload.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/flipc_sim-de49f189dcda11e9.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cost.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libflipc_sim-de49f189dcda11e9.rlib: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cost.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libflipc_sim-de49f189dcda11e9.rmeta: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/cost.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/loom_models-09a544dc182b19c4.d: crates/core/tests/loom_models.rs
+
+/root/repo/target/release/deps/loom_models-09a544dc182b19c4: crates/core/tests/loom_models.rs
+
+crates/core/tests/loom_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/loom_spsc-144d12331475f6e6.d: crates/engine/tests/loom_spsc.rs
+
+/root/repo/target/release/deps/loom_spsc-144d12331475f6e6: crates/engine/tests/loom_spsc.rs
+
+crates/engine/tests/loom_spsc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ownership-14ee99a396390fd1.d: crates/core/tests/ownership.rs
+
+/root/repo/target/release/deps/ownership-14ee99a396390fd1: crates/core/tests/ownership.rs
+
+crates/core/tests/ownership.rs:

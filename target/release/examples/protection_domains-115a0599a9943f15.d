@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/protection_domains-115a0599a9943f15.d: examples/protection_domains.rs
+
+/root/repo/target/release/examples/protection_domains-115a0599a9943f15: examples/protection_domains.rs
+
+examples/protection_domains.rs:

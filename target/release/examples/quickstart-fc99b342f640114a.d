@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-fc99b342f640114a.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-fc99b342f640114a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/radar_tracking-b8314de86f83497d.d: examples/radar_tracking.rs
+
+/root/repo/target/release/examples/radar_tracking-b8314de86f83497d: examples/radar_tracking.rs
+
+examples/radar_tracking.rs:

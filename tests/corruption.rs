@@ -100,8 +100,12 @@ fn concurrent_scribbler_cannot_stall_a_running_engine() {
     // region is node 0's, so run traffic node1 -> node1-local? Keep it
     // simple: node 1 sends to itself (local delivery) while node 0's
     // region is being scribbled; both engines keep iterating.
-    let tx = good.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
-    let rx = good.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+    let tx = good
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .expect("ep");
+    let rx = good
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .expect("ep");
     let dest = good.address(&rx);
 
     let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
@@ -134,7 +138,9 @@ fn concurrent_scribbler_cannot_stall_a_running_engine() {
         let mut t = good.buffer_allocate().expect("buffer");
         good.payload_mut(&mut t)[0] = i;
         let b = good.buffer_allocate().expect("buffer");
-        good.provide_receive_buffer(&rx, b).map_err(|r| r.error).expect("provide");
+        good.provide_receive_buffer(&rx, b)
+            .map_err(|r| r.error)
+            .expect("provide");
         good.send(&tx, t, dest).expect("send");
         let got = good
             .recv_blocking(&rx, std::time::Duration::from_secs(20))

@@ -4,9 +4,7 @@ use std::time::Duration;
 
 use flipc::core::flow::{FlowReceiver, FlowSender};
 use flipc::engine::{EngineConfig, InlineCluster, ThreadedCluster};
-use flipc::{
-    EndpointGroup, EndpointType, Flipc, FlipcError, Geometry, Importance, LocalEndpoint,
-};
+use flipc::{EndpointGroup, EndpointType, Flipc, FlipcError, Geometry, Importance, LocalEndpoint};
 
 fn send_bytes(f: &Flipc, ep: &LocalEndpoint, dest: flipc::EndpointAddress, data: &[u8]) {
     let mut t = f.buffer_allocate().expect("buffer");
@@ -17,17 +15,25 @@ fn send_bytes(f: &Flipc, ep: &LocalEndpoint, dest: flipc::EndpointAddress, data:
 #[test]
 fn all_to_all_messaging_on_four_nodes() {
     const N: usize = 4;
-    let geo = Geometry { buffers: 128, ring_capacity: 32, ..Geometry::small() };
+    let geo = Geometry {
+        buffers: 128,
+        ring_capacity: 32,
+        ..Geometry::small()
+    };
     let mut cl = InlineCluster::new(N, geo, EngineConfig::default()).expect("cluster");
     let apps: Vec<Flipc> = (0..N).map(|i| cl.node(i).attach()).collect();
 
     // Every node gets a receive endpoint with plenty of buffers.
     let mut rx = Vec::new();
     for app in &apps {
-        let ep = app.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+        let ep = app
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .expect("ep");
         for _ in 0..(N - 1) * 4 {
             let b = app.buffer_allocate().expect("buffer");
-            app.provide_receive_buffer(&ep, b).map_err(|r| r.error).expect("provide");
+            app.provide_receive_buffer(&ep, b)
+                .map_err(|r| r.error)
+                .expect("provide");
         }
         rx.push(ep);
     }
@@ -36,7 +42,9 @@ fn all_to_all_messaging_on_four_nodes() {
     // Every node sends 4 messages to every other node.
     let mut tx = Vec::new();
     for (i, app) in apps.iter().enumerate() {
-        let ep = app.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
+        let ep = app
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .expect("ep");
         for (j, &addr) in addrs.iter().enumerate() {
             if i == j {
                 continue;
@@ -69,17 +77,27 @@ fn all_to_all_messaging_on_four_nodes() {
 fn message_conservation_under_overload() {
     // Every sent message is delivered exactly once or counted exactly once
     // as dropped/misaddressed — the paper's accounting guarantee.
-    let geo = Geometry { buffers: 64, ring_capacity: 64, ..Geometry::small() };
+    let geo = Geometry {
+        buffers: 64,
+        ring_capacity: 64,
+        ..Geometry::small()
+    };
     let mut cl = InlineCluster::new(2, geo, EngineConfig::default()).expect("cluster");
     let a = cl.node(0).attach();
     let b = cl.node(1).attach();
-    let tx = a.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
-    let rx = b.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+    let tx = a
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .expect("ep");
+    let rx = b
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .expect("ep");
     let dest = b.address(&rx);
     // Only 5 receive buffers for 40 messages.
     for _ in 0..5 {
         let t = b.buffer_allocate().expect("buffer");
-        b.provide_receive_buffer(&rx, t).map_err(|r| r.error).expect("provide");
+        b.provide_receive_buffer(&rx, t)
+            .map_err(|r| r.error)
+            .expect("provide");
     }
     let mut sent = 0u64;
     for burst in 0..8 {
@@ -101,7 +119,9 @@ fn message_conservation_under_overload() {
     let stats = cl.engine_stats(1);
     assert_eq!(
         stats.delivered.load(std::sync::atomic::Ordering::Relaxed)
-            + stats.dropped_no_buffer.load(std::sync::atomic::Ordering::Relaxed),
+            + stats
+                .dropped_no_buffer
+                .load(std::sync::atomic::Ordering::Relaxed),
         sent
     );
 }
@@ -115,32 +135,50 @@ fn threaded_cluster_blocking_pipeline() {
     let b = cl.node(1).attach();
     let c = cl.node(2).attach();
 
-    let b_in = b.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
-    let c_in = c.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+    let b_in = b
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .expect("ep");
+    let c_in = c
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .expect("ep");
     for _ in 0..8 {
         let t = b.buffer_allocate().expect("buffer");
-        b.provide_receive_buffer(&b_in, t).map_err(|r| r.error).expect("provide");
+        b.provide_receive_buffer(&b_in, t)
+            .map_err(|r| r.error)
+            .expect("provide");
         let t = c.buffer_allocate().expect("buffer");
-        c.provide_receive_buffer(&c_in, t).map_err(|r| r.error).expect("provide");
+        c.provide_receive_buffer(&c_in, t)
+            .map_err(|r| r.error)
+            .expect("provide");
     }
     let b_addr = b.address(&b_in);
     let c_addr = c.address(&c_in);
 
-    let a_out = a.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
-    let b_out = b.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
+    let a_out = a
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .expect("ep");
+    let b_out = b
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .expect("ep");
 
     // Stage 2 thread: receive on b, transform, forward to c.
     let forwarder = std::thread::spawn(move || {
         for _ in 0..8 {
-            let got = b.recv_blocking(&b_in, Duration::from_secs(20)).expect("stage2 recv");
+            let got = b
+                .recv_blocking(&b_in, Duration::from_secs(20))
+                .expect("stage2 recv");
             let mut out = b.buffer_allocate().expect("buffer");
             let v = b.payload(&got.token)[0];
             out = {
                 b.payload_mut(&mut out)[0] = v + 100;
                 out
             };
-            b.provide_receive_buffer(&b_in, got.token).map_err(|r| r.error).expect("recycle");
-            b.send(&b_out, out, c_addr).map_err(|r| r.error).expect("forward");
+            b.provide_receive_buffer(&b_in, got.token)
+                .map_err(|r| r.error)
+                .expect("recycle");
+            b.send(&b_out, out, c_addr)
+                .map_err(|r| r.error)
+                .expect("forward");
         }
     });
 
@@ -148,7 +186,9 @@ fn threaded_cluster_blocking_pipeline() {
         send_bytes(&a, &a_out, b_addr, &[i]);
     }
     for _ in 0..8 {
-        let got = c.recv_blocking(&c_in, Duration::from_secs(20)).expect("stage3 recv");
+        let got = c
+            .recv_blocking(&c_in, Duration::from_secs(20))
+            .expect("stage3 recv");
         let v = c.payload(&got.token)[0];
         assert!((100..108).contains(&v), "transform lost: {v}");
         c.buffer_free(got.token);
@@ -159,25 +199,37 @@ fn threaded_cluster_blocking_pipeline() {
 
 #[test]
 fn stale_generation_addresses_never_leak_across_reuse() {
-    let mut cl = InlineCluster::new(2, Geometry::small(), EngineConfig::default()).expect("cluster");
+    let mut cl =
+        InlineCluster::new(2, Geometry::small(), EngineConfig::default()).expect("cluster");
     let a = cl.node(0).attach();
     let b = cl.node(1).attach();
-    let tx = a.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
+    let tx = a
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .expect("ep");
 
     // First tenant of the slot.
-    let old = b.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+    let old = b
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .expect("ep");
     let stale_addr = b.address(&old);
     b.endpoint_free(old).expect("free");
 
     // New tenant in the same slot with buffers queued.
-    let new = b.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+    let new = b
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .expect("ep");
     let t = b.buffer_allocate().expect("buffer");
-    b.provide_receive_buffer(&new, t).map_err(|r| r.error).expect("provide");
+    b.provide_receive_buffer(&new, t)
+        .map_err(|r| r.error)
+        .expect("provide");
 
     send_bytes(&a, &tx, stale_addr, b"ghost");
     cl.pump_until_idle(16);
 
-    assert!(b.recv(&new).expect("recv").is_none(), "stale traffic leaked to new tenant");
+    assert!(
+        b.recv(&new).expect("recv").is_none(),
+        "stale traffic leaked to new tenant"
+    );
     assert_eq!(b.misaddressed_reset(), 1);
     // The new tenant's own traffic flows normally.
     send_bytes(&a, &tx, b.address(&new), b"fresh");
@@ -195,48 +247,80 @@ fn errant_application_cannot_stall_a_live_engine_thread() {
     let good = cl.node(0).attach();
     let sink = cl.node(1).attach();
 
-    let evil_ep = evil.endpoint_allocate(EndpointType::Send, Importance::High).expect("ep");
+    let evil_ep = evil
+        .endpoint_allocate(EndpointType::Send, Importance::High)
+        .expect("ep");
     // Corrupt: out-of-range buffer index in slot 0, release pointer far
     // ahead of acquire.
     let lay = evil.commbuf().layout();
     let slot = lay.ring_slot(evil_ep.index().0, 0);
-    evil.commbuf().raw_word(slot).store(u32::MAX, std::sync::atomic::Ordering::Relaxed);
+    evil.commbuf()
+        .raw_word(slot)
+        .store(u32::MAX, std::sync::atomic::Ordering::Relaxed);
     let rel = lay.endpoint(evil_ep.index().0) + flipc::core::layout::EP_RELEASE;
-    evil.commbuf().raw_word(rel).store(0x7000_0000, std::sync::atomic::Ordering::Relaxed);
+    evil.commbuf()
+        .raw_word(rel)
+        .store(0x7000_0000, std::sync::atomic::Ordering::Relaxed);
 
     // Despite the corruption, a well-behaved app on the same node gets
     // service from the same engine.
-    let tx = good.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
-    let rx = sink.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+    let tx = good
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .expect("ep");
+    let rx = sink
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .expect("ep");
     let dest = sink.address(&rx);
     for _ in 0..4 {
         let t = sink.buffer_allocate().expect("buffer");
-        sink.provide_receive_buffer(&rx, t).map_err(|r| r.error).expect("provide");
+        sink.provide_receive_buffer(&rx, t)
+            .map_err(|r| r.error)
+            .expect("provide");
     }
     for i in 0..4u8 {
         send_bytes(&good, &tx, dest, &[i]);
     }
     for i in 0..4u8 {
-        let got = sink.recv_blocking(&rx, Duration::from_secs(20)).expect("recv");
+        let got = sink
+            .recv_blocking(&rx, Duration::from_secs(20))
+            .expect("recv");
         assert_eq!(sink.payload(&got.token)[0], i);
         sink.buffer_free(got.token);
     }
-    let failures = cl.engine_stats(0).check_failures.load(std::sync::atomic::Ordering::Relaxed);
-    assert!(failures > 0, "validity checks should have flagged the corruption");
+    let failures = cl
+        .engine_stats(0)
+        .check_failures
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        failures > 0,
+        "validity checks should have flagged the corruption"
+    );
     cl.shutdown();
 }
 
 #[test]
 fn managed_and_flow_layers_work_across_real_engines() {
-    let geo = Geometry { buffers: 200, ring_capacity: 64, ..Geometry::small() };
+    let geo = Geometry {
+        buffers: 200,
+        ring_capacity: 64,
+        ..Geometry::small()
+    };
     let mut cl = InlineCluster::new(2, geo, EngineConfig::default()).expect("cluster");
     let a = cl.node(0).attach();
     let b = cl.node(1).attach();
 
-    let data_out = a.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
-    let credit_in = a.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
-    let data_in = b.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
-    let credit_out = b.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
+    let data_out = a
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .expect("ep");
+    let credit_in = a
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .expect("ep");
+    let data_in = b
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .expect("ep");
+    let credit_out = b
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .expect("ep");
     let data_addr = b.address(&data_in);
 
     let mut tx = FlowSender::new(&a, data_out, credit_in, data_addr, 8).expect("sender");
@@ -271,17 +355,25 @@ fn group_receive_across_nodes_with_blocking() {
     let mut group = EndpointGroup::new();
     let mut addrs = Vec::new();
     for _ in 0..2 {
-        let ep = hub.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+        let ep = hub
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .expect("ep");
         for _ in 0..4 {
             let t = hub.buffer_allocate().expect("buffer");
-            hub.provide_receive_buffer(&ep, t).map_err(|r| r.error).expect("provide");
+            hub.provide_receive_buffer(&ep, t)
+                .map_err(|r| r.error)
+                .expect("provide");
         }
         addrs.push(hub.address(&ep));
         group.add(ep).map_err(|(e, _)| e).expect("add");
     }
 
-    let ltx = left.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
-    let rtx = right.endpoint_allocate(EndpointType::Send, Importance::Normal).expect("ep");
+    let ltx = left
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .expect("ep");
+    let rtx = right
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .expect("ep");
     send_bytes(&left, &ltx, addrs[0], b"from-left");
     send_bytes(&right, &rtx, addrs[1], b"from-right");
 
@@ -300,7 +392,8 @@ fn group_receive_across_nodes_with_blocking() {
 
 #[test]
 fn payload_too_large_and_resource_exhaustion_errors() {
-    let mut cl = InlineCluster::new(1, Geometry::small(), EngineConfig::default()).expect("cluster");
+    let mut cl =
+        InlineCluster::new(1, Geometry::small(), EngineConfig::default()).expect("cluster");
     let f = cl.node(0).attach();
     // Endpoint exhaustion.
     let mut eps = Vec::new();
@@ -335,17 +428,28 @@ fn payload_too_large_and_resource_exhaustion_errors() {
 fn importance_ordering_visible_end_to_end() {
     // With a tiny per-iteration budget, a high-importance stream queued
     // second still beats a low-importance stream queued first.
-    let cfg = EngineConfig { outgoing_budget: 1, ..EngineConfig::default() };
+    let cfg = EngineConfig {
+        outgoing_budget: 1,
+        ..EngineConfig::default()
+    };
     let mut cl = InlineCluster::new(2, Geometry::small(), cfg).expect("cluster");
     let a = cl.node(0).attach();
     let b = cl.node(1).attach();
-    let lo = a.endpoint_allocate(EndpointType::Send, Importance::Low).expect("ep");
-    let hi = a.endpoint_allocate(EndpointType::Send, Importance::High).expect("ep");
-    let rx = b.endpoint_allocate(EndpointType::Receive, Importance::Normal).expect("ep");
+    let lo = a
+        .endpoint_allocate(EndpointType::Send, Importance::Low)
+        .expect("ep");
+    let hi = a
+        .endpoint_allocate(EndpointType::Send, Importance::High)
+        .expect("ep");
+    let rx = b
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .expect("ep");
     let dest = b.address(&rx);
     for _ in 0..8 {
         let t = b.buffer_allocate().expect("buffer");
-        b.provide_receive_buffer(&rx, t).map_err(|r| r.error).expect("provide");
+        b.provide_receive_buffer(&rx, t)
+            .map_err(|r| r.error)
+            .expect("provide");
     }
     for i in 0..3u8 {
         send_bytes(&a, &lo, dest, &[b'l', i]);

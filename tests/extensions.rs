@@ -11,7 +11,11 @@ use flipc::{EndpointType, FlipcError, Geometry, Importance};
 fn cluster(n: usize) -> InlineCluster {
     InlineCluster::new(
         n,
-        Geometry { buffers: 256, ring_capacity: 64, ..Geometry::small() },
+        Geometry {
+            buffers: 256,
+            ring_capacity: 64,
+            ..Geometry::small()
+        },
         EngineConfig::default(),
     )
     .expect("cluster")
@@ -23,13 +27,21 @@ fn rpc_across_nodes() {
     let server_app = cl.node(0).attach();
     let client_app = cl.node(1).attach();
 
-    let srx = server_app.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
-    let stx = server_app.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+    let srx = server_app
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .unwrap();
+    let stx = server_app
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .unwrap();
     let mut server = RpcServer::new(&server_app, srx, stx, 1, 4).unwrap();
     let server_addr = server.address(&server_app);
 
-    let ctx = client_app.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-    let crx = client_app.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+    let ctx = client_app
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .unwrap();
+    let crx = client_app
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .unwrap();
     let mut client = RpcClient::new(&client_app, ctx, crx, server_addr, 4).unwrap();
 
     // Pipeline four calls, serve, correlate.
@@ -43,7 +55,10 @@ fn rpc_across_nodes() {
     }
     assert_eq!(replies.len(), 4);
     for r in &replies {
-        let i = ids.iter().position(|&id| id == r.correlation).expect("known id");
+        let i = ids
+            .iter()
+            .position(|&id| id == r.correlation)
+            .expect("known id");
         assert_eq!(r.body, vec![i as u8 + 10]);
     }
     assert_eq!(server.drops().unwrap(), 0);
@@ -57,18 +72,28 @@ fn name_service_across_nodes() {
     let publisher = cl.node(1).attach();
     let seeker = cl.node(2).attach();
 
-    let srx = directory.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
-    let stx = directory.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+    let srx = directory
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .unwrap();
+    let stx = directory
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .unwrap();
     let mut names = NameServer::new(RpcServer::new(&directory, srx, stx, 2, 2).unwrap());
     let ns_addr = names.address(&directory);
 
     let target = {
-        let ep = publisher.endpoint_allocate(EndpointType::Receive, Importance::High).unwrap();
+        let ep = publisher
+            .endpoint_allocate(EndpointType::Receive, Importance::High)
+            .unwrap();
         publisher.address(&ep)
     };
 
-    let ptx = publisher.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-    let prx = publisher.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+    let ptx = publisher
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .unwrap();
+    let prx = publisher
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .unwrap();
     let mut pub_client = NameClient::new(RpcClient::new(&publisher, ptx, prx, ns_addr, 2).unwrap());
 
     // Register with retries: the directory node must run between polls.
@@ -89,8 +114,12 @@ fn name_service_across_nodes() {
     }
     assert!(registered);
 
-    let stx2 = seeker.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-    let srx2 = seeker.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+    let stx2 = seeker
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .unwrap();
+    let srx2 = seeker
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .unwrap();
     let mut seek_client = NameClient::new(RpcClient::new(&seeker, stx2, srx2, ns_addr, 2).unwrap());
     let mut found = None;
     for _ in 0..50 {
@@ -116,16 +145,23 @@ fn bulk_transfer_across_nodes() {
     let sender_app = cl.node(0).attach();
     let receiver_app = cl.node(1).attach();
 
-    let s_data = sender_app.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
-    let s_credit = sender_app.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
-    let r_data = receiver_app.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
-    let r_credit = receiver_app.endpoint_allocate(EndpointType::Send, Importance::Normal).unwrap();
+    let s_data = sender_app
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .unwrap();
+    let s_credit = sender_app
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .unwrap();
+    let r_data = receiver_app
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .unwrap();
+    let r_credit = receiver_app
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .unwrap();
     let data_dest = receiver_app.address(&r_data);
 
     let flow_tx = FlowSender::new(&sender_app, s_data, s_credit, data_dest, 8).unwrap();
     let credit_dest = flow_tx.credit_address(&sender_app);
-    let flow_rx =
-        FlowReceiver::new(&receiver_app, r_data, r_credit, credit_dest, 8).unwrap();
+    let flow_rx = FlowReceiver::new(&receiver_app, r_data, r_credit, credit_dest, 8).unwrap();
     let mut tx = BulkSender::new(&sender_app, flow_tx);
     let mut rx = BulkReceiver::new(flow_rx);
 
@@ -164,17 +200,26 @@ fn shaped_stream_shares_a_node_with_urgent_traffic() {
     let app = cl.node(0).attach();
     let sink = cl.node(1).attach();
 
-    let background = app.endpoint_allocate(EndpointType::Send, Importance::Low).unwrap();
-    let urgent = app.endpoint_allocate(EndpointType::Send, Importance::High).unwrap();
-    let rx = sink.endpoint_allocate(EndpointType::Receive, Importance::Normal).unwrap();
+    let background = app
+        .endpoint_allocate(EndpointType::Send, Importance::Low)
+        .unwrap();
+    let urgent = app
+        .endpoint_allocate(EndpointType::Send, Importance::High)
+        .unwrap();
+    let rx = sink
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .unwrap();
     let dest = sink.address(&rx);
     for _ in 0..48 {
         let b = sink.buffer_allocate().unwrap();
-        sink.provide_receive_buffer(&rx, b).map_err(|r| r.error).unwrap();
+        sink.provide_receive_buffer(&rx, b)
+            .map_err(|r| r.error)
+            .unwrap();
     }
     // Background: one message every four iterations.
     let payload = app.payload_size() as u64;
-    cl.engine_mut(0).set_rate_limit(background.index(), payload / 4, payload);
+    cl.engine_mut(0)
+        .set_rate_limit(background.index(), payload / 4, payload);
 
     for i in 0..16u8 {
         let mut t = app.buffer_allocate().unwrap();
@@ -201,7 +246,10 @@ fn shaped_stream_shares_a_node_with_urgent_traffic() {
         }
     }
     assert_eq!(urgent_got, 8, "urgent stream must not be shaped");
-    assert!(background_got <= 2, "background exceeded its rate: {background_got}");
+    assert!(
+        background_got <= 2,
+        "background exceeded its rate: {background_got}"
+    );
 
     // Eventually everything arrives; nothing is dropped by shaping. (A
     // plain pump loop, not pump_until_idle: a shaped engine can report a

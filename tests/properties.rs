@@ -1,14 +1,14 @@
 //! Property-based tests of the core invariants (DESIGN.md §7).
 
+use flipc_core::sync::atomic::AtomicU32;
 use proptest::prelude::*;
 use std::collections::VecDeque;
-use std::sync::atomic::AtomicU32;
 
 use flipc::core::counter::{CounterAppSide, CounterEngineSide};
 use flipc::core::queue::{AppQueue, EngineQueue};
 use flipc::engine::wire::Frame;
 use flipc::mesh::{DmaConstraints, MeshShape, MeshTiming, Network, NodeId};
-use flipc::sim::{SimTime};
+use flipc::sim::SimTime;
 use flipc::{CommBuffer, EndpointAddress, EndpointIndex, FlipcNodeId, Geometry};
 
 // ---------------------------------------------------------------------
@@ -119,6 +119,85 @@ proptest! {
         harvested += app.read_and_reset() as u64;
         prop_assert_eq!(harvested, incremented);
         prop_assert_eq!(app.read(), 0);
+    }
+
+    /// Step-level interleaving model of the two-location counter: the
+    /// engine's increment (load `drops`; store `drops+1`) and the app's
+    /// read-and-reset (load `drops`; load `taken`; store `taken = d`) are
+    /// broken into their individual loads/stores, and an arbitrary
+    /// interleaving of the two step machines is executed against the real
+    /// atomics. Conservation must hold at every sub-step boundary and at
+    /// quiescence — the single-writer argument, checked at the same
+    /// granularity the loom models explore exhaustively.
+    #[test]
+    fn counter_conserves_events_at_substep_granularity(
+        schedule in proptest::collection::vec(any::<bool>(), 1..600),
+    ) {
+        let drops = AtomicU32::new(0);
+        let taken = AtomicU32::new(0);
+        use std::sync::atomic::Ordering;
+
+        // Engine step machine: None = about to load, Some(v) = loaded v,
+        // about to store v+1. Single writer of `drops`.
+        let mut eng_tmp: Option<u32> = None;
+        // App step machine walks 0 → 1 → 2 → 0 through the three
+        // sub-steps of read_and_reset. Single writer of `taken`.
+        let mut app_d: Option<u32> = None;
+        let mut app_t: Option<u32> = None;
+
+        let mut increments = 0u64; // completed engine stores
+        let mut harvested = 0u64; // sum of completed reset returns
+
+        for engine_turn in schedule {
+            if engine_turn {
+                match eng_tmp.take() {
+                    None => eng_tmp = Some(drops.load(Ordering::Relaxed)),
+                    Some(v) => {
+                        drops.store(v.wrapping_add(1), Ordering::Release);
+                        increments += 1;
+                    }
+                }
+            } else if app_d.is_none() {
+                app_d = Some(drops.load(Ordering::Acquire));
+            } else if app_t.is_none() {
+                app_t = Some(taken.load(Ordering::Relaxed));
+            } else {
+                let (d, t) = (app_d.take().unwrap(), app_t.take().unwrap());
+                taken.store(d, Ordering::Release);
+                harvested += d.wrapping_sub(t) as u64;
+            }
+            // Single-writer conservation, at every sub-step boundary:
+            // `drops` holds exactly the completed increments, `taken`
+            // telescopes to exactly the harvested total, so the residual
+            // is their difference and nothing is lost or double-counted.
+            prop_assert_eq!(drops.load(Ordering::Relaxed) as u64, increments);
+            prop_assert_eq!(taken.load(Ordering::Relaxed) as u64, harvested);
+            let residual = drops
+                .load(Ordering::Relaxed)
+                .wrapping_sub(taken.load(Ordering::Relaxed)) as u64;
+            prop_assert_eq!(harvested + residual, increments);
+        }
+        // Drain: each role is a single thread, so mid-flight ops complete
+        // in program order — engine store first (any order works), then
+        // the app's stale-snapshot reset, then one final clean reset.
+        if let Some(v) = eng_tmp {
+            drops.store(v.wrapping_add(1), Ordering::Release);
+            increments += 1;
+        }
+        if let Some(d) = app_d {
+            let t = app_t.unwrap_or_else(|| taken.load(Ordering::Relaxed));
+            taken.store(d, Ordering::Release);
+            harvested += d.wrapping_sub(t) as u64;
+        }
+        let d = drops.load(Ordering::Acquire);
+        let t = taken.load(Ordering::Relaxed);
+        taken.store(d, Ordering::Release);
+        harvested += d.wrapping_sub(t) as u64;
+        let residual = drops
+            .load(Ordering::Relaxed)
+            .wrapping_sub(taken.load(Ordering::Relaxed)) as u64;
+        prop_assert_eq!(residual, 0u64, "clean reset left a residue");
+        prop_assert_eq!(harvested, increments, "events lost or duplicated");
     }
 
     /// Frame encode/decode is a faithful round trip for any addresses and

@@ -13,7 +13,12 @@ use flipc::{EndpointType, Flipc, Geometry, Importance, LocalEndpoint};
 /// drops despite a deliberately tight maintenance ring.
 #[test]
 fn mixed_criticality_workload_conserves_every_stream() {
-    let geo = Geometry { buffers: 200, ring_capacity: 64, msg_size: 544, endpoints: 8 };
+    let geo = Geometry {
+        buffers: 200,
+        ring_capacity: 64,
+        msg_size: 544,
+        endpoints: 8,
+    };
     let mut cl = InlineCluster::new(2, geo, EngineConfig::default()).expect("cluster");
     let src = cl.node(0).attach();
     let dst = cl.node(1).attach();
@@ -26,10 +31,14 @@ fn mixed_criticality_workload_conserves_every_stream() {
     let mut dests = Vec::new();
     for (&imp, &ring) in importances.iter().zip(&rings) {
         let tx = src.endpoint_allocate(EndpointType::Send, imp).expect("ep");
-        let rx = dst.endpoint_allocate(EndpointType::Receive, imp).expect("ep");
+        let rx = dst
+            .endpoint_allocate(EndpointType::Receive, imp)
+            .expect("ep");
         for _ in 0..ring {
             let b = dst.buffer_allocate().expect("buffer");
-            dst.provide_receive_buffer(&rx, b).map_err(|r| r.error).expect("provide");
+            dst.provide_receive_buffer(&rx, b)
+                .map_err(|r| r.error)
+                .expect("provide");
         }
         dests.push(dst.address(&rx));
         txs.push(tx);
@@ -40,20 +49,27 @@ fn mixed_criticality_workload_conserves_every_stream() {
     // ~300 track updates, ~60 telemetry events, 3 maintenance reports.
     let events: Vec<MsgEvent> = WorkloadGen::new(1996).mixed_criticality(300_000_000);
     assert!(events.len() > 300, "workload too small to be interesting");
-    assert!(events.iter().any(|e| e.stream == 2), "maintenance stream missing");
+    assert!(
+        events.iter().any(|e| e.stream == 2),
+        "maintenance stream missing"
+    );
 
     let mut sent: HashMap<u32, u64> = HashMap::new();
     let mut received: HashMap<u32, u64> = HashMap::new();
     let payload_cap = src.payload_size();
 
-    let drain = |cl: &mut InlineCluster, dst: &Flipc, rxs: &[LocalEndpoint],
+    let drain = |cl: &mut InlineCluster,
+                 dst: &Flipc,
+                 rxs: &[LocalEndpoint],
                  received: &mut HashMap<u32, u64>| {
         cl.pump_until_idle(32);
         for (s, rx) in rxs.iter().enumerate() {
             while let Some(r) = dst.recv(rx).expect("recv") {
                 *received.entry(s as u32).or_default() += 1;
                 // Recycle the buffer onto the same ring.
-                dst.provide_receive_buffer(rx, r.token).map_err(|e| e.error).expect("recycle");
+                dst.provide_receive_buffer(rx, r.token)
+                    .map_err(|e| e.error)
+                    .expect("recycle");
             }
         }
     };
