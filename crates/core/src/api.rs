@@ -453,6 +453,12 @@ impl Flipc {
             let cell = WaitCell::new();
             self.registry.register(ep.idx, &cell);
             self.cb.adjust_waiters(ep.idx, 1)?;
+            // The waiter-count store must be globally visible before the
+            // ring re-check below reads the engine's process pointer, and
+            // symmetrically on the engine side (advance, fence, read
+            // waiters) — otherwise StoreLoad reordering lets both sides
+            // miss each other and the wakeup is lost.
+            crate::sync::atomic::fence(Ordering::SeqCst);
             // Re-check after raising the waiter count: a message that
             // arrived in between will be found here, and any message after
             // it will see waiters > 0 and post a wake.

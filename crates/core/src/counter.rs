@@ -71,6 +71,45 @@ impl<'a> CounterAppSide<'a> {
     }
 }
 
+/// An owned two-location counter for components that do not live inside a
+/// communication buffer (network transports, future device layers).
+///
+/// Same discipline as the in-buffer counters: the event-recording side
+/// (obtained via [`OwnedCounter::writer`]) only increments `events`; the
+/// inspecting side ([`OwnedCounter::reader`]) only writes `taken`. No
+/// read-modify-write is ever required, so the recording side stays on the
+/// messaging engine's loads-and-stores budget.
+#[derive(Debug, Default)]
+pub struct OwnedCounter {
+    events: AtomicU32,
+    taken: AtomicU32,
+}
+
+impl OwnedCounter {
+    /// A zeroed counter.
+    pub const fn new() -> OwnedCounter {
+        OwnedCounter {
+            events: AtomicU32::new(0),
+            taken: AtomicU32::new(0),
+        }
+    }
+
+    /// The event-recording side (single writer of the `events` location).
+    pub fn writer(&self) -> CounterEngineSide<'_> {
+        CounterEngineSide::new(&self.events)
+    }
+
+    /// The inspecting side (single writer of the `taken` location).
+    pub fn reader(&self) -> CounterAppSide<'_> {
+        CounterAppSide::new(&self.events, &self.taken)
+    }
+
+    /// Current unharvested count (a read through [`OwnedCounter::reader`]).
+    pub fn read(&self) -> u32 {
+        self.reader().read()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,6 +117,18 @@ mod tests {
 
     fn pair() -> (AtomicU32, AtomicU32) {
         (AtomicU32::new(0), AtomicU32::new(0))
+    }
+
+    #[test]
+    fn owned_counter_matches_borrowed_semantics() {
+        let c = OwnedCounter::new();
+        c.writer().increment();
+        c.writer().increment();
+        assert_eq!(c.read(), 2);
+        assert_eq!(c.reader().read_and_reset(), 2);
+        assert_eq!(c.read(), 0);
+        c.writer().increment();
+        assert_eq!(c.read(), 1);
     }
 
     #[test]

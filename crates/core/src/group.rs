@@ -110,6 +110,9 @@ impl EndpointGroup {
                 registry.register(m.index(), &cell);
                 f.commbuf().adjust_waiters(m.index(), 1)?;
             }
+            // Same lost-wakeup guard as `Flipc::recv_blocking`: the waiter
+            // counts must be visible before the rescan reads the rings.
+            crate::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
             let rescan = self.recv_any(f)?;
             if rescan.is_none() {
                 let now = std::time::Instant::now();

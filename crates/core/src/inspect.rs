@@ -121,6 +121,91 @@ impl CommBufferSnapshot {
     }
 }
 
+/// Point-in-time reliability state of one inter-node path (this node to or
+/// from one peer), as reported by a network transport.
+///
+/// All counts are cumulative since the transport was built; `in_flight` is
+/// a gauge (frames sent and not yet cumulatively acknowledged). Transports
+/// fill these from their own two-location counters
+/// ([`crate::counter::OwnedCounter`]), so capturing a snapshot never resets
+/// anything the transport is still writing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PathSnapshot {
+    /// The peer node on the far end of this path.
+    pub peer: crate::endpoint::FlipcNodeId,
+    /// Data frames transmitted for the first time.
+    pub sent: u32,
+    /// Data frames re-transmitted by the reliability layer.
+    pub retransmitted: u32,
+    /// In-order frames handed up to the engine.
+    pub delivered: u32,
+    /// Duplicate arrivals discarded by the dedup window.
+    pub dup_dropped: u32,
+    /// Arrivals outside the reorder window, discarded (the peer's
+    /// retransmission recovers them).
+    pub out_of_window: u32,
+    /// First-transmission attempts the wire refused (the retransmit timer
+    /// recovers them).
+    pub wire_dropped: u32,
+    /// Frames sent and not yet cumulatively acknowledged (gauge, bounded
+    /// by the transport's window).
+    pub in_flight: u32,
+}
+
+/// Point-in-time state of a whole network transport: one [`PathSnapshot`]
+/// per configured peer plus node-scope error counts.
+#[derive(Clone, Debug)]
+pub struct TransportSnapshot {
+    /// The node the transport serves.
+    pub local: crate::endpoint::FlipcNodeId,
+    /// Per-peer path states.
+    pub paths: Vec<PathSnapshot>,
+    /// Datagrams rejected before peer attribution (bad magic, version, or
+    /// length).
+    pub decode_errors: u32,
+    /// Well-formed datagrams from node ids outside the peer table.
+    pub unknown_peer: u32,
+}
+
+impl TransportSnapshot {
+    /// A compact human-readable report (one line per peer), in the same
+    /// spirit as [`CommBufferSnapshot::render`].
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "net node {}: decode errors {}, unknown peers {}",
+            self.local.0, self.decode_errors, self.unknown_peer
+        );
+        for p in &self.paths {
+            let _ = writeln!(
+                out,
+                "peer {:<3} sent {} (+{} rexmit, {} wire-dropped), delivered {}, \
+                 dup {}, out-of-window {}, in-flight {}",
+                p.peer.0,
+                p.sent,
+                p.retransmitted,
+                p.wire_dropped,
+                p.delivered,
+                p.dup_dropped,
+                p.out_of_window,
+                p.in_flight
+            );
+        }
+        out
+    }
+
+    /// Sum of frames discarded on receive across all paths (the peer's
+    /// reliability layer recovers every one of them).
+    pub fn total_recv_drops(&self) -> u64 {
+        self.paths
+            .iter()
+            .map(|p| p.dup_dropped as u64 + p.out_of_window as u64)
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +284,30 @@ mod tests {
             1,
             "the application still harvests it"
         );
+    }
+
+    #[test]
+    fn transport_snapshot_renders_per_peer_lines() {
+        let s = TransportSnapshot {
+            local: FlipcNodeId(0),
+            paths: vec![PathSnapshot {
+                peer: FlipcNodeId(1),
+                sent: 10,
+                retransmitted: 2,
+                delivered: 7,
+                dup_dropped: 1,
+                out_of_window: 3,
+                wire_dropped: 0,
+                in_flight: 4,
+            }],
+            decode_errors: 5,
+            unknown_peer: 0,
+        };
+        let text = s.render();
+        assert!(text.contains("net node 0"));
+        assert!(text.contains("decode errors 5"));
+        assert!(text.contains("peer 1"));
+        assert_eq!(s.total_recv_drops(), 4);
     }
 
     #[test]

@@ -149,4 +149,15 @@ pub mod atomic {
         /// Facade `AtomicU64` — buffer header words.
         AtomicU64, u64
     );
+
+    /// Memory fence through the facade (a scheduling point under loom).
+    ///
+    /// Needed by the blocked-waiter handshake: the "store then load the
+    /// *other* location" pattern on both sides of the sleep/wake protocol
+    /// requires `SeqCst` fences — plain Release/Acquire permits both sides
+    /// to miss each other's store (StoreLoad reordering), which loses the
+    /// wakeup.
+    pub fn fence(order: Ordering) {
+        imp::fence(order);
+    }
 }

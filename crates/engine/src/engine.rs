@@ -315,6 +315,12 @@ impl Engine {
         cb.header(buf).store(frame.src, BufferState::Processed);
         q.advance();
         EngineStats::bump(&self.stats.delivered);
+        // The `advance` store must be globally visible before the waiter
+        // count is read: a blocking receiver raises its count, fences, and
+        // re-polls the ring, so with this fence at least one side always
+        // sees the other (plain Release/Acquire would let the StoreLoad
+        // pair reorder and the wakeup get lost).
+        flipc_core::sync::atomic::fence(Ordering::SeqCst);
         // Kernel-wakeup role: only if a thread said it was blocking.
         if cb.waiters(didx).unwrap_or(0) > 0 {
             domain.registry.wake(didx);

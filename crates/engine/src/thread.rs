@@ -43,6 +43,17 @@ pub fn spawn_engine(mut engine: Engine) -> EngineHandle {
                     idle_streak = 0;
                 }
             }
+            // Quiesce before exiting: sends are optimistic, so the
+            // application may have queued frames the loop has not picked
+            // up yet when the stop flag lands. Keep iterating (bounded,
+            // in case a peer's acks never arrive) until an iteration
+            // finds nothing to do, so stopping the engine cannot strand
+            // a queued send in the outbox ring.
+            for _ in 0..1024 {
+                if engine.iterate() == 0 {
+                    break;
+                }
+            }
             engine
         })
         .expect("failed to spawn engine thread");

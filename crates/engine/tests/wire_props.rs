@@ -1,0 +1,74 @@
+//! Property tests of the frame wire encoding ([`flipc_engine::wire`]).
+//!
+//! The encoding is the contract between the engine and every
+//! byte-oriented transport (KKT today, `flipc-net`'s UDP framing on top
+//! of it): `encode` → `decode` must be the identity for every frame, and
+//! `decode` must reject anything too short to carry the header rather
+//! than fabricate addresses from garbage.
+
+use proptest::prelude::*;
+
+use flipc_core::endpoint::{EndpointAddress, EndpointIndex, FlipcNodeId};
+use flipc_engine::wire::{Frame, FRAME_HEADER_LEN};
+
+fn address() -> impl Strategy<Value = EndpointAddress> {
+    (any::<u16>(), any::<u16>(), any::<u16>())
+        .prop_map(|(n, e, g)| EndpointAddress::new(FlipcNodeId(n), EndpointIndex(e), g))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `decode(encode(f)) == f` for arbitrary addresses and payloads,
+    /// including the empty payload and paper-sized (50–500 byte) ones.
+    #[test]
+    fn encode_decode_is_identity(
+        src in address(),
+        dst in address(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let frame = Frame { src, dst, payload: payload.into() };
+        let bytes = frame.encode();
+        prop_assert_eq!(bytes.len(), frame.wire_len());
+        let back = Frame::decode(&bytes).expect("well-formed frame decodes");
+        prop_assert_eq!(back, frame);
+    }
+
+    /// Packed addresses survive the u64 trip through the header bytes.
+    #[test]
+    fn address_pack_unpack_is_identity(addr in address()) {
+        prop_assert_eq!(EndpointAddress::unpack(addr.pack()), addr);
+    }
+
+    /// Any buffer shorter than the 16-byte header is rejected, whatever
+    /// its contents — truncation never produces a phantom frame.
+    #[test]
+    fn truncated_header_is_rejected(
+        bytes in proptest::collection::vec(any::<u8>(), 0..FRAME_HEADER_LEN),
+    ) {
+        prop_assert!(Frame::decode(&bytes).is_none());
+    }
+
+    /// Truncating an encoded frame anywhere inside the header makes it
+    /// undecodable; truncating inside the payload yields a *different*
+    /// frame (shorter payload), never a decode of the original.
+    #[test]
+    fn corruption_by_truncation_never_roundtrips(
+        src in address(),
+        dst in address(),
+        payload in proptest::collection::vec(any::<u8>(), 1..128),
+        cut in any::<u16>(),
+    ) {
+        let frame = Frame { src, dst, payload: payload.into() };
+        let bytes = frame.encode();
+        let cut = (cut as usize) % bytes.len();
+        match Frame::decode(&bytes[..cut]) {
+            None => prop_assert!(cut < FRAME_HEADER_LEN),
+            Some(partial) => {
+                prop_assert!(cut >= FRAME_HEADER_LEN);
+                prop_assert_ne!(partial, frame);
+                prop_assert_eq!(partial.payload.len(), cut - FRAME_HEADER_LEN);
+            }
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Two-process UDP ping-pong over the FLIPC engine.
+//!
+//! Spawned by the two-process smoke test, and runnable by hand:
+//!
+//! ```text
+//! net_pingpong --server [--port P] [--rounds N]
+//! net_pingpong --client --server-addr 127.0.0.1:P --inbox PACKED [--rounds N]
+//! ```
+//!
+//! The server prints `LISTEN <port>` and `INBOX <packed-address>`; feed
+//! those to the client. See `flipc_net::demo` for the protocol.
+
+fn main() -> std::io::Result<()> {
+    flipc_net::demo::run_cli(std::env::args().skip(1))
+}

@@ -1,0 +1,211 @@
+//! The `flipc-net` datagram format.
+//!
+//! The engine's [`flipc_engine::wire::Frame`] assumes a reliable ordered
+//! medium, so it carries no transport state. A real network is neither
+//! reliable nor ordered; `flipc-net` therefore wraps each frame in a small
+//! versioned header carrying the sending node and a per-path sequence
+//! number, and adds a second packet kind for cumulative acknowledgements.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic:   u16  0xF11C
+//! version: u8   1
+//! kind:    u8   1 = Data, 2 = Ack
+//! src:     u16  FLIPC node id of the sender
+//! len:     u16  Data: byte length of the embedded frame; Ack: 0
+//! seq:     u32  Data: path sequence number (first frame is 1)
+//!               Ack: cumulative ack — highest in-order sequence received
+//! ```
+//!
+//! Data packets append [`Frame::encode`] bytes after the header. A `len`
+//! that disagrees with the datagram size is rejected (UDP preserves
+//! datagram boundaries, so a mismatch means corruption or a foreign
+//! speaker, not fragmentation).
+
+use flipc_core::endpoint::FlipcNodeId;
+use flipc_engine::wire::Frame;
+
+/// First two bytes of every `flipc-net` datagram.
+pub const MAGIC: u16 = 0xF11C;
+/// Wire protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Byte length of the packet header.
+pub const HEADER_LEN: usize = 12;
+/// Largest datagram this implementation will emit or accept. Large enough
+/// for any fixed-size FLIPC message geometry in this workspace; small
+/// enough to avoid IP fragmentation on loopback and most LANs with jumbo
+/// frames disabled being the only exception we accept.
+pub const MAX_DATAGRAM: usize = 9 * 1024;
+
+/// One decoded `flipc-net` datagram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Packet {
+    /// A sequenced engine frame on the path `src -> us`.
+    Data {
+        /// Sending node.
+        src: FlipcNodeId,
+        /// Path sequence number (starts at 1).
+        seq: u32,
+        /// The engine frame being carried.
+        frame: Frame,
+    },
+    /// A cumulative acknowledgement for the path `us -> src`.
+    Ack {
+        /// Acknowledging node.
+        src: FlipcNodeId,
+        /// Highest sequence number received in order (0 = nothing yet).
+        cumulative: u32,
+    },
+}
+
+fn header(kind: u8, src: FlipcNodeId, len: u16, seq: u32) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[0..2].copy_from_slice(&MAGIC.to_le_bytes());
+    h[2] = VERSION;
+    h[3] = kind;
+    h[4..6].copy_from_slice(&src.0.to_le_bytes());
+    h[6..8].copy_from_slice(&len.to_le_bytes());
+    h[8..12].copy_from_slice(&seq.to_le_bytes());
+    h
+}
+
+/// Encodes a data packet carrying `frame` as sequence `seq` from `src`.
+///
+/// Returns `None` if the frame is too large for one datagram (a
+/// misconfigured geometry; the caller treats it as undeliverable).
+pub fn encode_data(src: FlipcNodeId, seq: u32, frame: &Frame) -> Option<Vec<u8>> {
+    let body = frame.encode();
+    if HEADER_LEN + body.len() > MAX_DATAGRAM || body.len() > u16::MAX as usize {
+        return None;
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.extend_from_slice(&header(1, src, body.len() as u16, seq));
+    out.extend_from_slice(&body);
+    Some(out)
+}
+
+/// Encodes a cumulative acknowledgement from `src`.
+pub fn encode_ack(src: FlipcNodeId, cumulative: u32) -> Vec<u8> {
+    header(2, src, 0, cumulative).to_vec()
+}
+
+/// Decodes one datagram. Returns `None` for anything that is not a
+/// well-formed `flipc-net` packet: short datagrams, wrong magic or
+/// version, unknown kind, or a length field that disagrees with the
+/// datagram size.
+pub fn decode(bytes: &[u8]) -> Option<Packet> {
+    if bytes.len() < HEADER_LEN || bytes.len() > MAX_DATAGRAM {
+        return None;
+    }
+    let magic = u16::from_le_bytes(bytes[0..2].try_into().expect("sliced 2 bytes"));
+    if magic != MAGIC || bytes[2] != VERSION {
+        return None;
+    }
+    let kind = bytes[3];
+    let src = FlipcNodeId(u16::from_le_bytes(
+        bytes[4..6].try_into().expect("sliced 2 bytes"),
+    ));
+    let len = u16::from_le_bytes(bytes[6..8].try_into().expect("sliced 2 bytes")) as usize;
+    let seq = u32::from_le_bytes(bytes[8..12].try_into().expect("sliced 4 bytes"));
+    match kind {
+        1 => {
+            if bytes.len() - HEADER_LEN != len {
+                return None;
+            }
+            let frame = Frame::decode(&bytes[HEADER_LEN..])?;
+            Some(Packet::Data { src, seq, frame })
+        }
+        2 => {
+            if len != 0 || bytes.len() != HEADER_LEN {
+                return None;
+            }
+            Some(Packet::Ack {
+                src,
+                cumulative: seq,
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flipc_core::endpoint::{EndpointAddress, EndpointIndex};
+
+    fn frame(tag: u8) -> Frame {
+        Frame {
+            src: EndpointAddress::new(FlipcNodeId(3), EndpointIndex(1), 7),
+            dst: EndpointAddress::new(FlipcNodeId(4), EndpointIndex(2), 9),
+            payload: vec![tag; 56].into(),
+        }
+    }
+
+    #[test]
+    fn data_roundtrips() {
+        let f = frame(0xAB);
+        let bytes = encode_data(FlipcNodeId(3), 42, &f).unwrap();
+        assert_eq!(
+            decode(&bytes).unwrap(),
+            Packet::Data {
+                src: FlipcNodeId(3),
+                seq: 42,
+                frame: f
+            }
+        );
+    }
+
+    #[test]
+    fn ack_roundtrips() {
+        let bytes = encode_ack(FlipcNodeId(9), 17);
+        assert_eq!(
+            decode(&bytes).unwrap(),
+            Packet::Ack {
+                src: FlipcNodeId(9),
+                cumulative: 17
+            }
+        );
+    }
+
+    #[test]
+    fn corrupt_headers_are_rejected() {
+        let good = encode_data(FlipcNodeId(1), 1, &frame(1)).unwrap();
+        // Truncated below the header.
+        assert!(decode(&good[..HEADER_LEN - 1]).is_none());
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(decode(&bad).is_none());
+        // Wrong version.
+        let mut bad = good.clone();
+        bad[2] = VERSION + 1;
+        assert!(decode(&bad).is_none());
+        // Unknown kind.
+        let mut bad = good.clone();
+        bad[3] = 3;
+        assert!(decode(&bad).is_none());
+        // Length disagreeing with the datagram.
+        let mut bad = good.clone();
+        bad[6] = bad[6].wrapping_add(1);
+        assert!(decode(&bad).is_none());
+        // Truncated body.
+        assert!(decode(&good[..good.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn ack_with_trailing_bytes_is_rejected() {
+        let mut bytes = encode_ack(FlipcNodeId(0), 5);
+        bytes.push(0);
+        assert!(decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn oversized_frames_are_unencodable() {
+        let f = Frame {
+            payload: vec![0u8; MAX_DATAGRAM].into(),
+            ..frame(0)
+        };
+        assert!(encode_data(FlipcNodeId(0), 1, &f).is_none());
+    }
+}

@@ -1,0 +1,176 @@
+//! Static node addressing: the node-map config.
+//!
+//! FLIPC assumes addressing is configured at boot ("the size and number of
+//! buffers is fixed at boot time" — the same spirit applies to the node
+//! table) and that naming beyond that is an external service. A
+//! [`NodeMap`] is the minimal boot-time artifact: one line per node,
+//! mapping a FLIPC node id to a UDP socket address, with `dynamic` for
+//! peers whose address is learned from their first packet (a client
+//! behind an ephemeral port).
+//!
+//! ```text
+//! # flipc node map
+//! 0 = 10.0.0.1:7000
+//! 1 = 10.0.0.2:7000
+//! 2 = dynamic
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::SocketAddr;
+use std::path::Path;
+
+use flipc_core::endpoint::FlipcNodeId;
+
+/// One node's boot-time addressing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeAddr {
+    /// A fixed socket address.
+    Static(SocketAddr),
+    /// Learned from the node's first authenticated-by-format packet.
+    Dynamic,
+}
+
+/// The boot-time node table: node id → address.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeMap {
+    entries: BTreeMap<u16, NodeAddr>,
+}
+
+/// A syntax or consistency problem in a node map.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeMapError {
+    /// A line was not `node = addr` (1-based line number, content).
+    Malformed(usize, String),
+    /// A node id appeared twice.
+    Duplicate(u16),
+}
+
+impl fmt::Display for NodeMapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeMapError::Malformed(line, text) => {
+                write!(f, "node map line {line}: cannot parse {text:?}")
+            }
+            NodeMapError::Duplicate(node) => write!(f, "node {node} defined twice"),
+        }
+    }
+}
+
+impl std::error::Error for NodeMapError {}
+
+impl NodeMap {
+    /// An empty map; populate with [`NodeMap::insert`].
+    pub fn new() -> NodeMap {
+        NodeMap::default()
+    }
+
+    /// Adds or replaces one node's address.
+    pub fn insert(&mut self, node: FlipcNodeId, addr: NodeAddr) -> &mut NodeMap {
+        self.entries.insert(node.0, addr);
+        self
+    }
+
+    /// Parses the `node = addr` line format (`#` comments, blank lines
+    /// allowed; `dynamic` for learned addresses).
+    pub fn parse(text: &str) -> Result<NodeMap, NodeMapError> {
+        let mut map = NodeMap::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let malformed = || NodeMapError::Malformed(i + 1, raw.to_string());
+            let (node, addr) = line.split_once('=').ok_or_else(malformed)?;
+            let node: u16 = node.trim().parse().map_err(|_| malformed())?;
+            let addr = addr.trim();
+            let addr = if addr.eq_ignore_ascii_case("dynamic") {
+                NodeAddr::Dynamic
+            } else {
+                NodeAddr::Static(addr.parse().map_err(|_| malformed())?)
+            };
+            if map.entries.insert(node, addr).is_some() {
+                return Err(NodeMapError::Duplicate(node));
+            }
+        }
+        Ok(map)
+    }
+
+    /// Reads and parses a node-map file.
+    pub fn from_file(path: impl AsRef<Path>) -> std::io::Result<NodeMap> {
+        let text = std::fs::read_to_string(path)?;
+        NodeMap::parse(&text).map_err(std::io::Error::other)
+    }
+
+    /// The address configured for `node`, if the node is in the table.
+    pub fn addr(&self, node: FlipcNodeId) -> Option<NodeAddr> {
+        self.entries.get(&node.0).copied()
+    }
+
+    /// The static socket address for `node`, if it has one.
+    pub fn static_addr(&self, node: FlipcNodeId) -> Option<SocketAddr> {
+        match self.entries.get(&node.0)? {
+            NodeAddr::Static(a) => Some(*a),
+            NodeAddr::Dynamic => None,
+        }
+    }
+
+    /// All configured node ids, ascending.
+    pub fn nodes(&self) -> impl Iterator<Item = FlipcNodeId> + '_ {
+        self.entries.keys().map(|&n| FlipcNodeId(n))
+    }
+
+    /// Number of configured nodes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no nodes are configured.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_statics_and_dynamics() {
+        let map = NodeMap::parse(
+            "# cluster\n\
+             0 = 127.0.0.1:7000  # server\n\
+             \n\
+             1 = dynamic\n",
+        )
+        .unwrap();
+        assert_eq!(map.len(), 2);
+        assert_eq!(
+            map.static_addr(FlipcNodeId(0)),
+            Some("127.0.0.1:7000".parse().unwrap())
+        );
+        assert_eq!(map.addr(FlipcNodeId(1)), Some(NodeAddr::Dynamic));
+        assert_eq!(map.static_addr(FlipcNodeId(1)), None);
+        assert_eq!(map.addr(FlipcNodeId(2)), None);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_and_duplicates() {
+        assert!(matches!(
+            NodeMap::parse("zero = 127.0.0.1:1"),
+            Err(NodeMapError::Malformed(1, _))
+        ));
+        assert!(matches!(
+            NodeMap::parse("0 = not-an-addr"),
+            Err(NodeMapError::Malformed(1, _))
+        ));
+        assert!(matches!(
+            NodeMap::parse("0 127.0.0.1:1"),
+            Err(NodeMapError::Malformed(1, _))
+        ));
+        assert_eq!(
+            NodeMap::parse("0 = 127.0.0.1:1\n0 = 127.0.0.1:2"),
+            Err(NodeMapError::Duplicate(0))
+        );
+    }
+}

@@ -1,0 +1,386 @@
+//! The optimistic go-back-N reliability state machine.
+//!
+//! FLIPC's transport philosophy is *optimistic*: send immediately, assume
+//! delivery, recover rarely. This module reproduces that over a lossy
+//! reordering datagram network with the cheapest classical machinery that
+//! still gives the engine its reliable-ordered contract:
+//!
+//! * **Sender** ([`SenderPath`]): per-peer sequence numbers and a bounded
+//!   retransmit ring of already-encoded datagrams. Nothing is waited for —
+//!   a frame goes on the wire the moment the engine offers it, and the
+//!   only cost on the happy path is one ring push. When the cumulative
+//!   acknowledgement stalls past a timeout, the whole unacknowledged ring
+//!   is resent (go-back-N) and the timeout backs off exponentially to a
+//!   cap, so a dead peer costs a bounded, decaying trickle of datagrams —
+//!   never unbounded memory (the ring is the window) and never a blocked
+//!   engine (a full ring surfaces as wire backpressure, which the engine
+//!   already handles by retrying its queue head later).
+//! * **Receiver** ([`ReceiverPath`]): in-order delivery with a bounded
+//!   reorder window. Frames ahead of the expected sequence are parked (up
+//!   to the window), duplicates and stale arrivals are dropped and
+//!   counted, and anything beyond the window is dropped too — the peer's
+//!   retransmission recovers it. Every data arrival is answered with a
+//!   cumulative ack (coalesced per poll by the transport).
+//!
+//! Sequence numbers are `u32` and wrap; all comparisons are windowed
+//! wrapping comparisons, sound because both windows are tiny (≤ 2^15)
+//! relative to the sequence space.
+//!
+//! Where this deliberately differs from the paper: FLIPC-on-Paragon had a
+//! reliable mesh and therefore *no* retransmission at all. The recovery
+//! machinery here is the minimum needed to re-create the mesh's
+//! reliable-ordered property over UDP; it stays off the happy path, which
+//! is the paper-faithful part.
+
+use std::collections::{HashMap, VecDeque};
+
+use flipc_engine::wire::Frame;
+
+/// Tuning for one transport's reliability layer.
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// Sender window: max unacknowledged data frames per peer (also the
+    /// retransmit-ring capacity). A full window backpressures the engine.
+    pub window: u32,
+    /// Receiver reorder window: how far ahead of the next expected
+    /// sequence an arrival may be and still be parked for reassembly.
+    pub reorder_window: u32,
+    /// Initial retransmit timeout, in clock ticks (µs on the real clock).
+    pub rto: u64,
+    /// Backoff cap for the retransmit timeout, in clock ticks.
+    pub rto_max: u64,
+    /// Max datagrams drained from the wire per transport poll.
+    pub recv_burst: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            window: 64,
+            reorder_window: 64,
+            rto: 5_000,
+            rto_max: 80_000,
+            recv_burst: 128,
+        }
+    }
+}
+
+/// Half the u32 sequence space; distances below this are "forward".
+const HALF: u32 = 1 << 31;
+
+/// Sender side of one path: sequence allocation + retransmit ring.
+#[derive(Debug)]
+pub struct SenderPath {
+    cfg: NetConfig,
+    /// Sequence number the next fresh frame will carry.
+    next_seq: u32,
+    /// Highest cumulatively acknowledged sequence.
+    cum_acked: u32,
+    /// Encoded datagrams sent but not yet acknowledged, oldest first.
+    unacked: VecDeque<(u32, Vec<u8>)>,
+    /// Current retransmit timeout (ticks), grows under backoff.
+    rto_cur: u64,
+    /// Tick of the last forward progress (send-from-empty or new ack).
+    last_progress: u64,
+}
+
+impl SenderPath {
+    /// A fresh path; the first frame will be sequence 1.
+    pub fn new(cfg: NetConfig) -> SenderPath {
+        SenderPath {
+            cfg,
+            next_seq: 1,
+            cum_acked: 0,
+            unacked: VecDeque::new(),
+            rto_cur: cfg.rto,
+            last_progress: 0,
+        }
+    }
+
+    /// Frames in flight (sent, unacknowledged).
+    pub fn in_flight(&self) -> u32 {
+        self.unacked.len() as u32
+    }
+
+    /// True when the window is full: the caller must backpressure.
+    pub fn full(&self) -> bool {
+        self.unacked.len() as u32 >= self.cfg.window
+    }
+
+    /// Admits one frame: assigns it the next sequence number and parks the
+    /// encoded datagram in the retransmit ring. Returns `None` (without
+    /// consuming a sequence number) when the window is full.
+    ///
+    /// `encode` maps the assigned sequence to the wire bytes; the same
+    /// bytes are reused verbatim for any retransmission.
+    pub fn admit(
+        &mut self,
+        now: u64,
+        encode: impl FnOnce(u32) -> Option<Vec<u8>>,
+    ) -> Option<&[u8]> {
+        if self.full() {
+            return None;
+        }
+        let seq = self.next_seq;
+        let bytes = encode(seq)?;
+        if self.unacked.is_empty() {
+            // The timer measures ack stall; (re)arm it when the ring goes
+            // from idle to occupied so old idle time doesn't count.
+            self.last_progress = now;
+        }
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.unacked.push_back((seq, bytes));
+        Some(&self.unacked.back().expect("just pushed").1)
+    }
+
+    /// Applies a cumulative acknowledgement. Returns the number of frames
+    /// newly acknowledged (0 for stale or duplicate acks).
+    pub fn on_ack(&mut self, now: u64, cumulative: u32) -> u32 {
+        let advance = cumulative.wrapping_sub(self.cum_acked);
+        if advance == 0 || advance >= HALF {
+            return 0; // duplicate or stale
+        }
+        // Never ack past what we actually sent (a corrupt or foreign ack).
+        let outstanding = self.next_seq.wrapping_sub(1).wrapping_sub(self.cum_acked);
+        if advance > outstanding {
+            return 0;
+        }
+        let mut freed = 0;
+        while let Some((seq, _)) = self.unacked.front() {
+            if seq.wrapping_sub(self.cum_acked) <= advance {
+                self.unacked.pop_front();
+                freed += 1;
+            } else {
+                break;
+            }
+        }
+        self.cum_acked = cumulative;
+        self.rto_cur = self.cfg.rto;
+        self.last_progress = now;
+        freed
+    }
+
+    /// Checks the retransmit timer. If the path has stalled past the
+    /// current timeout, returns the full unacknowledged ring for
+    /// retransmission (go-back-N) and backs the timeout off; otherwise
+    /// returns an empty iterator's worth of nothing.
+    pub fn poll_retransmit(&mut self, now: u64) -> &VecDeque<(u32, Vec<u8>)> {
+        static EMPTY: VecDeque<(u32, Vec<u8>)> = VecDeque::new();
+        if self.unacked.is_empty() || now.wrapping_sub(self.last_progress) < self.rto_cur {
+            return &EMPTY;
+        }
+        self.rto_cur = (self.rto_cur.saturating_mul(2)).min(self.cfg.rto_max);
+        self.last_progress = now;
+        &self.unacked
+    }
+
+    /// Current retransmit timeout (exposed for backoff-cap tests).
+    pub fn rto(&self) -> u64 {
+        self.rto_cur
+    }
+}
+
+/// What the receiver did with one data arrival.
+#[derive(Debug, Default)]
+pub struct RecvOutcome {
+    /// Frames now deliverable in order (the arrival itself and any parked
+    /// successors it unblocked).
+    pub delivered: Vec<Frame>,
+    /// The arrival was a duplicate (stale or already parked) and was
+    /// discarded.
+    pub duplicate: bool,
+    /// The arrival was beyond the reorder window and was discarded.
+    pub out_of_window: bool,
+}
+
+/// Receiver side of one path: reorder/dedup window and cumulative ack
+/// generation.
+#[derive(Debug)]
+pub struct ReceiverPath {
+    cfg: NetConfig,
+    /// Sequence number the next in-order frame must carry.
+    next_expected: u32,
+    /// Parked out-of-order frames, keyed by sequence. Bounded by
+    /// `cfg.reorder_window`; wrap-safe because lookups are by exact key.
+    parked: HashMap<u32, Frame>,
+}
+
+impl ReceiverPath {
+    /// A fresh path expecting sequence 1.
+    pub fn new(cfg: NetConfig) -> ReceiverPath {
+        ReceiverPath {
+            cfg,
+            next_expected: 1,
+            parked: HashMap::new(),
+        }
+    }
+
+    /// Cumulative acknowledgement to advertise: the highest sequence
+    /// received in order (0 until the first frame arrives).
+    pub fn cumulative(&self) -> u32 {
+        self.next_expected.wrapping_sub(1)
+    }
+
+    /// Processes one data arrival.
+    pub fn on_data(&mut self, seq: u32, frame: Frame) -> RecvOutcome {
+        let mut out = RecvOutcome::default();
+        let ahead = seq.wrapping_sub(self.next_expected);
+        if ahead >= HALF {
+            // Behind the cursor: an already-delivered sequence resent by a
+            // go-back-N burst or duplicated by the network.
+            out.duplicate = true;
+            return out;
+        }
+        if ahead == 0 {
+            self.next_expected = self.next_expected.wrapping_add(1);
+            out.delivered.push(frame);
+            // Unblock any parked successors.
+            while let Some(f) = self.parked.remove(&self.next_expected) {
+                self.next_expected = self.next_expected.wrapping_add(1);
+                out.delivered.push(f);
+            }
+            return out;
+        }
+        if ahead >= self.cfg.reorder_window {
+            out.out_of_window = true;
+            return out;
+        }
+        if self.parked.insert(seq, frame).is_some() {
+            out.duplicate = true;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flipc_core::endpoint::{EndpointAddress, EndpointIndex, FlipcNodeId};
+
+    fn cfg() -> NetConfig {
+        NetConfig {
+            window: 4,
+            reorder_window: 4,
+            rto: 100,
+            rto_max: 400,
+            ..NetConfig::default()
+        }
+    }
+
+    fn frame(tag: u8) -> Frame {
+        Frame {
+            src: EndpointAddress::new(FlipcNodeId(0), EndpointIndex(0), 1),
+            dst: EndpointAddress::new(FlipcNodeId(1), EndpointIndex(0), 1),
+            payload: vec![tag; 4].into(),
+        }
+    }
+
+    fn bytes_for(seq: u32) -> Option<Vec<u8>> {
+        Some(seq.to_le_bytes().to_vec())
+    }
+
+    #[test]
+    fn sender_window_backpressures_and_acks_free_it() {
+        let mut s = SenderPath::new(cfg());
+        for _ in 0..4 {
+            assert!(s.admit(0, bytes_for).is_some());
+        }
+        assert!(s.full());
+        assert!(s.admit(0, bytes_for).is_none());
+        assert_eq!(s.on_ack(10, 2), 2);
+        assert_eq!(s.in_flight(), 2);
+        assert!(s.admit(10, bytes_for).is_some());
+        // Duplicate and stale acks are no-ops.
+        assert_eq!(s.on_ack(11, 2), 0);
+        assert_eq!(s.on_ack(11, 0), 0);
+    }
+
+    #[test]
+    fn ack_beyond_outstanding_is_ignored() {
+        let mut s = SenderPath::new(cfg());
+        s.admit(0, bytes_for).unwrap();
+        assert_eq!(s.on_ack(1, 1000), 0, "forged ack must not free anything");
+        assert_eq!(s.in_flight(), 1);
+    }
+
+    #[test]
+    fn retransmit_fires_after_rto_and_backs_off_to_cap() {
+        let mut s = SenderPath::new(cfg());
+        s.admit(0, bytes_for).unwrap();
+        s.admit(0, bytes_for).unwrap();
+        assert!(s.poll_retransmit(99).is_empty(), "before the timeout");
+        assert_eq!(s.poll_retransmit(100).len(), 2, "go-back-N resends all");
+        assert_eq!(s.rto(), 200);
+        assert!(s.poll_retransmit(250).is_empty(), "backoff doubled");
+        assert_eq!(s.poll_retransmit(300).len(), 2);
+        assert_eq!(s.rto(), 400);
+        s.poll_retransmit(700);
+        assert_eq!(s.rto(), 400, "backoff capped at rto_max");
+        // Progress resets the backoff.
+        s.on_ack(700, 2);
+        assert_eq!(s.rto(), 100);
+        assert!(s.poll_retransmit(1_000_000).is_empty(), "nothing in flight");
+    }
+
+    #[test]
+    fn timer_arms_on_first_admit_not_at_epoch() {
+        let mut s = SenderPath::new(cfg());
+        s.admit(1_000, bytes_for).unwrap();
+        assert!(
+            s.poll_retransmit(1_050).is_empty(),
+            "idle epoch time must not count toward the stall"
+        );
+        assert_eq!(s.poll_retransmit(1_100).len(), 1);
+    }
+
+    #[test]
+    fn receiver_delivers_in_order_and_reassembles() {
+        let mut r = ReceiverPath::new(cfg());
+        assert_eq!(r.cumulative(), 0);
+        // 2 arrives early: parked.
+        let out = r.on_data(2, frame(2));
+        assert!(out.delivered.is_empty() && !out.duplicate && !out.out_of_window);
+        // 1 arrives: both deliver, in order.
+        let out = r.on_data(1, frame(1));
+        let tags: Vec<u8> = out.delivered.iter().map(|f| f.payload[0]).collect();
+        assert_eq!(tags, vec![1, 2]);
+        assert_eq!(r.cumulative(), 2);
+    }
+
+    #[test]
+    fn receiver_drops_duplicates_and_far_future() {
+        let mut r = ReceiverPath::new(cfg());
+        assert!(!r.on_data(1, frame(1)).duplicate);
+        assert!(r.on_data(1, frame(1)).duplicate, "replayed frame");
+        assert!(r.on_data(3, frame(3)).delivered.is_empty());
+        assert!(r.on_data(3, frame(3)).duplicate, "duplicate parked frame");
+        // next_expected = 2; window 4 admits 2..6, rejects ≥ 6.
+        assert!(r.on_data(6, frame(6)).out_of_window);
+        assert_eq!(r.cumulative(), 1);
+    }
+
+    #[test]
+    fn sequences_survive_wraparound() {
+        let big = NetConfig {
+            window: 4,
+            reorder_window: 4,
+            ..cfg()
+        };
+        let mut s = SenderPath::new(big);
+        let mut r = ReceiverPath::new(big);
+        // Fast-forward both sides to just below the wrap point.
+        s.next_seq = u32::MAX - 1;
+        s.cum_acked = u32::MAX - 2;
+        r.next_expected = u32::MAX - 1;
+        for i in 0..4u8 {
+            s.admit(0, bytes_for).unwrap();
+            let seq = (u32::MAX - 1).wrapping_add(i as u32);
+            let out = r.on_data(seq, frame(i));
+            assert_eq!(out.delivered.len(), 1, "frame {i} across the wrap");
+            assert_eq!(s.on_ack(0, r.cumulative()), 1);
+        }
+        // Frames carried sequences MAX-1, MAX, 0, 1 — the cursor wrapped.
+        assert_eq!(r.cumulative(), 1, "cursor wrapped cleanly");
+        assert_eq!(s.in_flight(), 0);
+    }
+}

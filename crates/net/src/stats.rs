@@ -1,0 +1,127 @@
+//! Per-peer transport counters, on the two-location discipline.
+//!
+//! Every counter is a [`flipc_core::counter::OwnedCounter`]: the transport
+//! (running inside the engine's event loop) is the single writer of the
+//! event location; inspectors harvest through the `taken` location. That
+//! keeps counting on the engine's loads-and-stores budget and lets a live
+//! operator read (or read-and-reset) without any read-modify-write, the
+//! same property the paper required for the endpoint drop counters.
+//!
+//! [`NetStats::snapshot`] renders into the workspace-wide inspect surface
+//! ([`flipc_core::inspect::TransportSnapshot`]).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use flipc_core::counter::OwnedCounter;
+use flipc_core::endpoint::FlipcNodeId;
+use flipc_core::inspect::{PathSnapshot, TransportSnapshot};
+
+/// Counters for one peer path (both directions).
+#[derive(Debug, Default)]
+pub struct PeerStats {
+    /// The peer these paths connect to.
+    pub node: FlipcNodeId,
+    /// Data frames transmitted for the first time.
+    pub sent: OwnedCounter,
+    /// Data frames re-sent by a go-back-N burst.
+    pub retransmitted: OwnedCounter,
+    /// In-order frames handed up to the engine.
+    pub delivered: OwnedCounter,
+    /// Duplicate arrivals discarded.
+    pub dup_dropped: OwnedCounter,
+    /// Arrivals beyond the reorder window, discarded.
+    pub out_of_window: OwnedCounter,
+    /// First transmissions the wire refused (recovered by retransmit).
+    pub wire_dropped: OwnedCounter,
+    /// Gauge: frames in the retransmit ring right now. Single writer (the
+    /// transport); plain store.
+    pub in_flight: AtomicU32,
+}
+
+/// All of one transport's counters, shared with inspectors via `Arc`.
+#[derive(Debug)]
+pub struct NetStats {
+    /// The node the transport serves.
+    pub local: FlipcNodeId,
+    /// One entry per configured peer (construction order).
+    pub peers: Vec<PeerStats>,
+    /// Datagrams rejected before peer attribution.
+    pub decode_errors: OwnedCounter,
+    /// Well-formed datagrams from unconfigured node ids.
+    pub unknown_peer: OwnedCounter,
+}
+
+impl NetStats {
+    /// Fresh zeroed counters for `local` speaking to `peers`.
+    pub fn new(local: FlipcNodeId, peers: &[FlipcNodeId]) -> Arc<NetStats> {
+        Arc::new(NetStats {
+            local,
+            peers: peers
+                .iter()
+                .map(|&node| PeerStats {
+                    node,
+                    ..PeerStats::default()
+                })
+                .collect(),
+            decode_errors: OwnedCounter::new(),
+            unknown_peer: OwnedCounter::new(),
+        })
+    }
+
+    /// The counters for `node`, if it is a configured peer.
+    pub fn peer(&self, node: FlipcNodeId) -> Option<&PeerStats> {
+        self.peers.iter().find(|p| p.node == node)
+    }
+
+    /// Captures a point-in-time snapshot onto the shared inspect surface.
+    /// Wait-free: one atomic load per field, no counter is reset.
+    pub fn snapshot(&self) -> TransportSnapshot {
+        TransportSnapshot {
+            local: self.local,
+            paths: self
+                .peers
+                .iter()
+                .map(|p| PathSnapshot {
+                    peer: p.node,
+                    sent: p.sent.read(),
+                    retransmitted: p.retransmitted.read(),
+                    delivered: p.delivered.read(),
+                    dup_dropped: p.dup_dropped.read(),
+                    out_of_window: p.out_of_window.read(),
+                    wire_dropped: p.wire_dropped.read(),
+                    in_flight: p.in_flight.load(Ordering::Relaxed),
+                })
+                .collect(),
+            decode_errors: self.decode_errors.read(),
+            unknown_peer: self.unknown_peer.read(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters_without_resetting() {
+        let stats = NetStats::new(FlipcNodeId(0), &[FlipcNodeId(1), FlipcNodeId(2)]);
+        let p = stats.peer(FlipcNodeId(2)).unwrap();
+        p.sent.writer().increment();
+        p.sent.writer().increment();
+        p.retransmitted.writer().increment();
+        p.in_flight.store(5, Ordering::Relaxed);
+        stats.unknown_peer.writer().increment();
+
+        let s1 = stats.snapshot();
+        let s2 = stats.snapshot();
+        assert_eq!(s1.paths.len(), 2);
+        let path = s1.paths.iter().find(|p| p.peer == FlipcNodeId(2)).unwrap();
+        assert_eq!(path.sent, 2);
+        assert_eq!(path.retransmitted, 1);
+        assert_eq!(path.in_flight, 5);
+        assert_eq!(s1.unknown_peer, 1);
+        assert_eq!(s2.paths[1].sent, 2, "snapshots must not consume counts");
+        assert!(s1.render().contains("peer 2"));
+    }
+}

@@ -1,0 +1,120 @@
+//! The headline acceptance test: two *separate OS processes* complete a
+//! FLIPC ping-pong over real UDP sockets on 127.0.0.1, through the
+//! unmodified engine API.
+//!
+//! The test spawns the crate's `net_pingpong` bin twice — once as
+//! `--server --port 0` (ephemeral port), once as `--client` pointed at
+//! the port and packed inbox address the server prints — exactly the
+//! out-of-band bootstrap a human would do by hand.
+
+use std::io::{BufRead, BufReader, Read};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const ROUNDS: u32 = 16;
+
+/// Kills a child on drop so a failing test never leaks a process into
+/// the build environment. Disarm with [`Guard::disarm`] after a clean
+/// wait.
+struct Guard(Option<Child>);
+
+impl Guard {
+    fn child(&mut self) -> &mut Child {
+        self.0.as_mut().expect("child still guarded")
+    }
+
+    fn disarm(&mut self) -> Child {
+        self.0.take().expect("child still guarded")
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        if let Some(child) = &mut self.0 {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn wait_with_deadline(mut guard: Guard, deadline: Instant, who: &str) {
+    loop {
+        match guard.child().try_wait().expect("try_wait") {
+            Some(status) => {
+                assert!(status.success(), "{who} exited with {status}");
+                // Already reaped by `try_wait`; the extra `wait` returns the
+                // cached status and pacifies clippy::zombie_processes.
+                let _ = guard.disarm().wait();
+                return;
+            }
+            None => {
+                assert!(Instant::now() < deadline, "{who} did not finish in time");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+#[test]
+fn two_os_processes_ping_pong_over_udp() {
+    let bin = env!("CARGO_BIN_EXE_net_pingpong");
+
+    let mut server = Guard(Some(
+        Command::new(bin)
+            .args(["--server", "--port", "0", "--rounds", &ROUNDS.to_string()])
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn server"),
+    ));
+
+    // Read the out-of-band bootstrap lines the server prints.
+    let mut server_out = BufReader::new(server.child().stdout.take().expect("server stdout"));
+    let mut port = None;
+    let mut inbox = None;
+    while port.is_none() || inbox.is_none() {
+        let mut line = String::new();
+        let n = server_out.read_line(&mut line).expect("read server stdout");
+        assert!(n > 0, "server exited before printing LISTEN/INBOX");
+        if let Some(p) = line.strip_prefix("LISTEN ") {
+            port = Some(p.trim().parse::<u16>().expect("LISTEN port"));
+        } else if let Some(a) = line.strip_prefix("INBOX ") {
+            inbox = Some(a.trim().parse::<u64>().expect("INBOX address"));
+        }
+    }
+    let (port, inbox) = (port.unwrap(), inbox.unwrap());
+
+    let client = Guard(Some(
+        Command::new(bin)
+            .args([
+                "--client",
+                "--server-addr",
+                &format!("127.0.0.1:{port}"),
+                "--inbox",
+                &inbox.to_string(),
+                "--rounds",
+                &ROUNDS.to_string(),
+            ])
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn client"),
+    ));
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    wait_with_deadline(client, deadline, "client");
+    wait_with_deadline(server, deadline, "server");
+
+    // The server's remaining stdout must report a completed run with
+    // per-peer traffic visible through the inspect surface.
+    let mut rest = String::new();
+    server_out
+        .read_to_string(&mut rest)
+        .expect("server stdout tail");
+    assert!(
+        rest.contains(&format!("DONE server rounds={ROUNDS}")),
+        "server did not report completion:\n{rest}"
+    );
+    assert!(
+        rest.contains("peer 1") && rest.contains("sent"),
+        "server stats must show traffic to the client:\n{rest}"
+    );
+}

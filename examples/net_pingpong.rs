@@ -1,0 +1,21 @@
+//! Two-process UDP ping-pong through the unmodified FLIPC engine.
+//!
+//! Run the server in one terminal and the client in another:
+//!
+//! ```text
+//! cargo run --example net_pingpong -- --server --port 7100
+//! # server prints: LISTEN 7100
+//! #                INBOX <packed-address>
+//! cargo run --example net_pingpong -- --client \
+//!     --server-addr 127.0.0.1:7100 --inbox <packed-address>
+//! ```
+//!
+//! Each process builds a normal FLIPC node (communication buffer, engine
+//! thread, application API) whose transport is `flipc::net`'s UDP
+//! transport; the engine code is byte-for-byte the same as in the
+//! loopback and simulator configurations. See `flipc::net::demo` for the
+//! roles' implementation.
+
+fn main() -> std::io::Result<()> {
+    flipc::net::demo::run_cli(std::env::args().skip(1))
+}
