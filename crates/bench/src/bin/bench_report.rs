@@ -1,0 +1,545 @@
+//! `bench-report`: the fixed deterministic performance suite behind CI's
+//! perf-smoke gate.
+//!
+//! Runs a small set of end-to-end measurements against the real stack and
+//! writes a schema-versioned, machine-readable `BENCH.json`
+//! (see [`flipc_bench::report`]):
+//!
+//! * one-way latency over the in-process loopback fabric at five message
+//!   sizes spanning the paper's 50–500 B payload range, plus the fitted
+//!   ns/byte slope of that curve,
+//! * ping-pong RTT over the loopback fabric and over real `127.0.0.1` UDP
+//!   sockets through `flipc-net`'s reliability layer,
+//! * recovery under seeded 1% / 10% datagram loss (delivery ratio and
+//!   retransmissions per frame — the fault schedule is a fixed, replayable
+//!   adversary),
+//! * the engine's own telemetry view of deliver latency (histogram p50),
+//!   which cross-checks the external stopwatch numbers.
+//!
+//! ```text
+//! bench-report [--quick] [--out BENCH.json]
+//! bench-report --compare OLD.json [--current BENCH.json] [--tolerance 2.0x]
+//! ```
+//!
+//! `--compare` never reruns the suite: it diffs two report files with the
+//! direction-aware comparator and exits non-zero if any metric got worse
+//! by more than the tolerance factor.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use flipc_bench::report::{
+    compare, fit_slope, parse_tolerance, percentile, Direction, Metric, Report,
+};
+use flipc_core::api::{Flipc, LocalEndpoint};
+use flipc_core::commbuf::CommBuffer;
+use flipc_core::endpoint::{EndpointAddress, EndpointIndex, EndpointType, FlipcNodeId, Importance};
+use flipc_core::layout::Geometry;
+use flipc_core::wait::WaitRegistry;
+use flipc_engine::engine::{Engine, EngineConfig};
+use flipc_engine::node::InlineCluster;
+use flipc_engine::transport::Transport;
+use flipc_engine::wire::Frame;
+use flipc_net::{
+    udp_transport, FaultConfig, FaultInjector, ManualClock, MemHub, NetConfig, NetTransport,
+    NodeAddr, NodeMap,
+};
+use flipc_obs::trace_ring;
+
+/// Message sizes (8-byte header + payload) spanning the paper's range.
+const MSG_SIZES: [u32; 5] = [64, 96, 160, 288, 544];
+
+/// Suite iteration counts: (warmup, measured) per size point.
+const FULL_ITERS: (usize, usize) = (200, 2000);
+const QUICK_ITERS: (usize, usize) = (50, 300);
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = String::from("BENCH.json");
+    let mut compare_with: Option<String> = None;
+    let mut current = String::from("BENCH.json");
+    let mut tolerance = 2.0;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out = expect_arg(&args, i, "--out");
+            }
+            "--compare" => {
+                i += 1;
+                compare_with = Some(expect_arg(&args, i, "--compare"));
+            }
+            "--current" => {
+                i += 1;
+                current = expect_arg(&args, i, "--current");
+            }
+            "--tolerance" => {
+                i += 1;
+                let raw = expect_arg(&args, i, "--tolerance");
+                tolerance = match parse_tolerance(&raw) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("bench-report: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench-report [--quick] [--out FILE]\n       \
+                     bench-report --compare OLD [--current FILE] [--tolerance 2.0x]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bench-report: unknown flag {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(baseline) = compare_with {
+        return run_compare(&baseline, &current, tolerance);
+    }
+
+    let report = run_suite(quick);
+    println!("{}", summarize(&report));
+    if let Err(e) = std::fs::write(&out, report.render_json()) {
+        eprintln!("bench-report: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "bench-report: wrote {out} ({} metrics)",
+        report.metrics.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn expect_arg(args: &[String], i: usize, flag: &str) -> String {
+    args.get(i).cloned().unwrap_or_else(|| {
+        eprintln!("bench-report: {flag} needs a value");
+        std::process::exit(2);
+    })
+}
+
+/// Loads two report files, diffs them, prints the verdict. Exit code 1 on
+/// regression, 2 on operational errors (unreadable/invalid files).
+fn run_compare(baseline: &str, current: &str, tolerance: f64) -> ExitCode {
+    let load = |path: &str| -> Result<Report, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Report::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (old, new) = match (load(baseline), load(current)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench-report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let regressions = match compare(&old, &new, tolerance) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench-report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "comparing {current} (rev {}) against {baseline} (rev {}), tolerance {tolerance}x",
+        new.git_rev, old.git_rev
+    );
+    if regressions.is_empty() {
+        println!("OK: no metric regressed past {tolerance}x");
+        return ExitCode::SUCCESS;
+    }
+    for r in &regressions {
+        println!(
+            "REGRESSION {}: {} -> {} ({:.2}x worse, limit {tolerance}x)",
+            r.name, r.old, r.new, r.factor
+        );
+    }
+    ExitCode::FAILURE
+}
+
+/// The git revision to stamp into the report: CI's `GITHUB_SHA`, else the
+/// working tree's HEAD, else `"unknown"`.
+fn git_rev() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Runs the whole deterministic suite and assembles the report.
+fn run_suite(quick: bool) -> Report {
+    let (warmup, iters) = if quick { QUICK_ITERS } else { FULL_ITERS };
+    let mut report = Report::new(git_rev(), quick);
+
+    // --- One-way loopback latency across the size sweep + fitted slope.
+    let mut slope_points = Vec::new();
+    for msg_size in MSG_SIZES {
+        let geo = Geometry {
+            ring_capacity: 32,
+            buffers: 128,
+            msg_size,
+            ..Geometry::small()
+        };
+        let payload = geo.payload_size();
+        let (rtts, telemetry_p50) = loopback_pingpong(geo, warmup, iters);
+        let p50 = percentile(&rtts, 0.5) as f64 / 2.0;
+        let p99 = percentile(&rtts, 0.99) as f64 / 2.0;
+        slope_points.push((payload as f64, p50));
+        report.push(Metric {
+            name: format!("oneway_p50_ns_{payload}B"),
+            unit: "ns".into(),
+            value: p50,
+            p50: Some(p50),
+            p99: Some(p99),
+            direction: Direction::LowerIsBetter,
+            gate: true,
+        });
+        if msg_size == MSG_SIZES[0] {
+            report.push(Metric {
+                name: "loopback_rtt_p50_ns".into(),
+                unit: "ns".into(),
+                value: percentile(&rtts, 0.5) as f64,
+                p50: Some(percentile(&rtts, 0.5) as f64),
+                p99: Some(percentile(&rtts, 0.99) as f64),
+                direction: Direction::LowerIsBetter,
+                gate: true,
+            });
+            report.push(Metric {
+                name: "deliver_latency_telemetry_p50_ns".into(),
+                unit: "ns".into(),
+                value: telemetry_p50,
+                p50: Some(telemetry_p50),
+                p99: None,
+                direction: Direction::LowerIsBetter,
+                // Log2-bucket quantization is coarser than the 2x CI gate.
+                gate: false,
+            });
+        }
+    }
+    if let Some((slope, intercept)) = fit_slope(&slope_points) {
+        report.push(Metric {
+            name: "oneway_ns_per_byte".into(),
+            unit: "ns/B".into(),
+            // A noisy sub-ns/byte slope can fit slightly negative; clamp so
+            // the baseline comparison stays meaningful.
+            value: slope.max(0.001),
+            p50: None,
+            p99: None,
+            direction: Direction::LowerIsBetter,
+            // The slope signal is small against the flat per-message cost;
+            // run-to-run noise would flap a 2x gate.
+            gate: false,
+        });
+        report.push(Metric {
+            name: "oneway_intercept_ns".into(),
+            unit: "ns".into(),
+            value: intercept.max(1.0),
+            p50: None,
+            p99: None,
+            direction: Direction::LowerIsBetter,
+            gate: false,
+        });
+    }
+
+    // --- Real-UDP ping-pong RTT (sockets + reliability layer).
+    let udp_rtts = udp_pingpong(warmup, iters.min(1000));
+    report.push(Metric {
+        name: "udp_rtt_p50_ns".into(),
+        unit: "ns".into(),
+        value: percentile(&udp_rtts, 0.5) as f64,
+        p50: Some(percentile(&udp_rtts, 0.5) as f64),
+        p99: Some(percentile(&udp_rtts, 0.99) as f64),
+        direction: Direction::LowerIsBetter,
+        gate: true,
+    });
+
+    // --- Seeded-loss recovery: the same fixed adversary every run.
+    for (loss_pct, loss) in [(1u32, 0.01f64), (10, 0.10)] {
+        let frames = if quick { 200 } else { 1000 };
+        let (delivered, retransmitted) = lossy_delivery(loss, frames);
+        report.push(Metric {
+            name: format!("loss{loss_pct}_delivery_ratio"),
+            unit: "ratio".into(),
+            value: delivered as f64 / frames as f64,
+            p50: None,
+            p99: None,
+            direction: Direction::HigherIsBetter,
+            gate: true,
+        });
+        report.push(Metric {
+            name: format!("loss{loss_pct}_retransmits_per_frame"),
+            unit: "frames".into(),
+            // Loss-free padding so a zero-retransmit run still yields a
+            // positive, comparable value.
+            value: (retransmitted as f64 + 1.0) / frames as f64,
+            p50: None,
+            p99: None,
+            direction: Direction::LowerIsBetter,
+            gate: true,
+        });
+    }
+
+    report
+}
+
+/// One node pair on the in-process loopback fabric; returns measured
+/// ping-pong RTTs (ns) and the receiving engine's own telemetry p50 of
+/// send→deliver latency — the internal view of the same traffic.
+fn loopback_pingpong(geo: Geometry, warmup: usize, iters: usize) -> (Vec<u64>, f64) {
+    let mut cl = InlineCluster::new(2, geo, EngineConfig::default()).expect("cluster");
+    // Exercise the trace ring on real traffic: engine 1 records its
+    // deliveries; the drained events sanity-check the sample counts.
+    let (tw, mut tr) = trace_ring(4096);
+    cl.engine_mut(1).set_trace(tw);
+    let app0 = cl.node(0).attach();
+    let app1 = cl.node(1).attach();
+    let tx0 = alloc(&app0, EndpointType::Send);
+    let rx0 = alloc(&app0, EndpointType::Receive);
+    let tx1 = alloc(&app1, EndpointType::Send);
+    let rx1 = alloc(&app1, EndpointType::Receive);
+    let to_b = app1.address(&rx1);
+    let to_a = app0.address(&rx0);
+
+    let mut rtts = Vec::with_capacity(iters);
+    for i in 0..warmup + iters {
+        let start = Instant::now();
+        let buf = app1.buffer_allocate().expect("buffer");
+        app1.provide_receive_buffer(&rx1, buf)
+            .map_err(|r| r.error)
+            .expect("provide");
+        let buf = app0.buffer_allocate().expect("buffer");
+        app0.provide_receive_buffer(&rx0, buf)
+            .map_err(|r| r.error)
+            .expect("provide");
+        let ping = app0.buffer_allocate().expect("buffer");
+        app0.send_unlocked(&tx0, ping, to_b).expect("send");
+        cl.pump_until_idle(8);
+        let got = app1.recv_unlocked(&rx1).expect("recv").expect("message");
+        app1.send_unlocked(&tx1, got.token, to_a).expect("send");
+        cl.pump_until_idle(8);
+        let back = app0.recv_unlocked(&rx0).expect("recv").expect("message");
+        app0.buffer_free(back.token);
+        for (app, tx) in [(&app0, &tx0), (&app1, &tx1)] {
+            while let Some(tok) = app.reclaim_send_unlocked(tx).expect("reclaim") {
+                app.buffer_free(tok);
+            }
+        }
+        if i >= warmup {
+            rtts.push(start.elapsed().as_nanos() as u64);
+        }
+    }
+    rtts.sort_unstable();
+
+    // The engine's internal latency distribution for node 1's deliveries.
+    let snap = cl.engine_telemetry(1).harvest();
+    let telemetry_p50 = snap
+        .total_deliver_latency()
+        .quantile(0.5)
+        .unwrap_or(0.0)
+        .max(1.0);
+    // Each round trip delivers one frame to node 1; the trace ring saw
+    // every one (or honestly reported what it shed).
+    let delivers = tr
+        .drain()
+        .iter()
+        .filter(|e| e.kind == flipc_obs::TraceKind::Deliver)
+        .count() as u64;
+    assert!(
+        delivers + u64::from(tr.lost()) >= (warmup + iters) as u64,
+        "trace ring lost deliveries silently"
+    );
+    (rtts, telemetry_p50)
+}
+
+fn alloc(app: &Flipc, ty: EndpointType) -> LocalEndpoint {
+    app.endpoint_allocate(ty, Importance::Normal).expect("ep")
+}
+
+/// One engine-driven node pair joined by real 127.0.0.1 UDP sockets, same
+/// bootstrap as the `flipc-net` ping demo; returns ping-pong RTTs (ns).
+fn udp_pingpong(warmup: usize, iters: usize) -> Vec<u64> {
+    struct Node {
+        app: Flipc,
+        engine: Engine,
+        tx: LocalEndpoint,
+        rx: LocalEndpoint,
+    }
+
+    let geo = Geometry {
+        ring_capacity: 32,
+        buffers: 128,
+        ..Geometry::small()
+    };
+    let mut map0 = NodeMap::new();
+    map0.insert(
+        FlipcNodeId(0),
+        NodeAddr::Static(SocketAddr::from(([127, 0, 0, 1], 0))),
+    )
+    .insert(FlipcNodeId(1), NodeAddr::Dynamic);
+    let t0 = udp_transport(&map0, FlipcNodeId(0), NetConfig::default()).expect("bind node 0");
+    let addr0 = t0.link().local_addr().expect("local addr");
+    let mut map1 = NodeMap::new();
+    map1.insert(FlipcNodeId(0), NodeAddr::Static(addr0)).insert(
+        FlipcNodeId(1),
+        NodeAddr::Static(SocketAddr::from(([127, 0, 0, 1], 0))),
+    );
+    let t1 = udp_transport(&map1, FlipcNodeId(1), NetConfig::default()).expect("bind node 1");
+
+    let mut nodes = Vec::new();
+    for (i, t) in [Box::new(t0), Box::new(t1)].into_iter().enumerate() {
+        let cb = Arc::new(CommBuffer::new(geo).expect("geometry"));
+        let registry = WaitRegistry::new();
+        let app = Flipc::attach(cb.clone(), FlipcNodeId(i as u16), registry.clone());
+        let engine = Engine::new(cb, t, registry, EngineConfig::default());
+        let tx = alloc(&app, EndpointType::Send);
+        let rx = alloc(&app, EndpointType::Receive);
+        nodes.push(Node {
+            app,
+            engine,
+            tx,
+            rx,
+        });
+    }
+    // The pinger must be node 1: it holds a static route to node 0, while
+    // node 0 only learns node 1's ephemeral port from the first arriving
+    // ping (same bootstrap as the flipc-net demo).
+    let mut a = nodes.pop().expect("node 1");
+    let mut b = nodes.pop().expect("node 0");
+    let to_b = b.app.address(&b.rx);
+    let to_a = a.app.address(&a.rx);
+
+    let mut rtts = Vec::with_capacity(iters);
+    for i in 0..warmup + iters {
+        let start = Instant::now();
+        for n in [&b, &a] {
+            let buf = n.app.buffer_allocate().expect("buffer");
+            n.app
+                .provide_receive_buffer(&n.rx, buf)
+                .map_err(|r| r.error)
+                .expect("provide");
+        }
+        let ping = a.app.buffer_allocate().expect("buffer");
+        a.app.send_unlocked(&a.tx, ping, to_b).expect("send");
+        let got = loop {
+            a.engine.iterate();
+            b.engine.iterate();
+            if let Some(got) = b.app.recv_unlocked(&b.rx).expect("recv") {
+                break got;
+            }
+        };
+        b.app.send_unlocked(&b.tx, got.token, to_a).expect("send");
+        let back = loop {
+            a.engine.iterate();
+            b.engine.iterate();
+            if let Some(back) = a.app.recv_unlocked(&a.rx).expect("recv") {
+                break back;
+            }
+        };
+        a.app.buffer_free(back.token);
+        for n in [&a, &b] {
+            while let Some(tok) = n.app.reclaim_send_unlocked(&n.tx).expect("reclaim") {
+                n.app.buffer_free(tok);
+            }
+        }
+        if i >= warmup {
+            rtts.push(start.elapsed().as_nanos() as u64);
+        }
+    }
+    rtts.sort_unstable();
+    rtts
+}
+
+/// Pushes `frames` frames through the reliability layer over a seeded
+/// lossy in-memory link (sender side drops with probability `loss`);
+/// returns (frames delivered in order, frames retransmitted). The fault
+/// schedule depends only on the seed, so a given build always sees the
+/// same adversary.
+fn lossy_delivery(loss: f64, frames: u32) -> (u32, u32) {
+    let hub = MemHub::new(2, 4096);
+    let clock = ManualClock::new();
+    let cfg = NetConfig {
+        window: 32,
+        rto: 100,
+        rto_max: 800,
+        ..NetConfig::default()
+    };
+    let mut a: NetTransport<_, _> = NetTransport::new(
+        FlipcNodeId(0),
+        &[FlipcNodeId(1)],
+        FaultInjector::new(hub.link(FlipcNodeId(0)), FaultConfig::lossy(loss), 0xF11C),
+        clock.clone(),
+        cfg,
+    );
+    let mut b: NetTransport<_, _> = NetTransport::new(
+        FlipcNodeId(1),
+        &[FlipcNodeId(0)],
+        hub.link(FlipcNodeId(1)),
+        clock.clone(),
+        cfg,
+    );
+
+    let frame = Frame {
+        src: EndpointAddress::new(FlipcNodeId(0), EndpointIndex(0), 1),
+        dst: EndpointAddress::new(FlipcNodeId(1), EndpointIndex(0), 1),
+        payload: vec![0xAB; 56].into(),
+        stamp_ns: 0,
+    };
+    let mut sent = 0u32;
+    let mut delivered = 0u32;
+    // Time advances one tick per pump; the retransmit timers fire on the
+    // manual clock, so recovery is deterministic.
+    let mut budget = frames * 400;
+    while delivered < frames && budget > 0 {
+        budget -= 1;
+        if sent < frames && a.try_send(FlipcNodeId(1), &frame) {
+            sent += 1;
+        }
+        while b.try_recv().is_some() {
+            delivered += 1;
+        }
+        let _ = a.try_recv(); // processes acks + services timers
+        clock.advance(25);
+    }
+    let retransmitted = a.stats().snapshot().paths[0].retransmitted;
+    (delivered, retransmitted)
+}
+
+/// Human-readable one-screen summary printed alongside the JSON artifact.
+fn summarize(report: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench-report rev {} ({})",
+        report.git_rev,
+        if report.quick { "quick" } else { "full" }
+    );
+    for m in &report.metrics {
+        let _ = write!(out, "  {:<36} {:>14.1} {}", m.name, m.value, m.unit);
+        if let (Some(p50), Some(p99)) = (m.p50, m.p99) {
+            let _ = write!(out, "  (p50 {p50:.0}, p99 {p99:.0})");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}

@@ -7,6 +7,8 @@
 
 use std::fmt::Write as _;
 
+pub mod report;
+
 /// Prints a titled, column-aligned table to stdout.
 ///
 /// # Panics

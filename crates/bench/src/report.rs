@@ -1,0 +1,420 @@
+//! Machine-readable performance reports (`BENCH.json`) and the pure-Rust
+//! regression comparator behind `bench-report --compare`.
+//!
+//! A [`Report`] is a flat list of named [`Metric`]s plus provenance
+//! (schema version, git revision, quick/full mode). It serializes through
+//! [`flipc_obs::json`] — no external dependencies — so CI can archive the
+//! file as an artifact and diff runs across commits. The comparator
+//! ([`compare`]) is direction-aware: a latency metric regresses when it
+//! grows, a delivery-ratio metric regresses when it shrinks.
+//!
+//! Everything in this module is pure data and arithmetic; the measurement
+//! loops live in the `bench-report` binary so they can be rerun or
+//! replaced without touching the schema.
+
+use flipc_obs::json::Value;
+
+/// Version stamp written into every `BENCH.json`. Bump when the metric
+/// list or field meanings change incompatibly; the comparator refuses to
+/// diff across schema versions.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Which way "better" points for a metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller is better (latencies, retransmit counts).
+    LowerIsBetter,
+    /// Larger is better (delivery ratios, throughput).
+    HigherIsBetter,
+}
+
+impl Direction {
+    /// The string written into JSON (`"lower"` / `"higher"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Direction::LowerIsBetter => "lower",
+            Direction::HigherIsBetter => "higher",
+        }
+    }
+
+    /// Parses the JSON form back.
+    pub fn parse(s: &str) -> Option<Direction> {
+        match s {
+            "lower" => Some(Direction::LowerIsBetter),
+            "higher" => Some(Direction::HigherIsBetter),
+            _ => None,
+        }
+    }
+}
+
+/// One measured quantity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metric {
+    /// Stable identifier (`oneway_p50_ns_56B`, `udp_rtt_p50_ns`, ...).
+    /// The comparator matches metrics across runs by this name.
+    pub name: String,
+    /// Unit string for humans (`ns`, `ns/B`, `ratio`, `frames`).
+    pub unit: String,
+    /// The headline value the comparator diffs.
+    pub value: f64,
+    /// Median of the underlying samples, when the metric has a
+    /// distribution behind it.
+    pub p50: Option<f64>,
+    /// 99th percentile of the underlying samples.
+    pub p99: Option<f64>,
+    /// Which way "better" points.
+    pub direction: Direction,
+    /// Whether the comparator gates on this metric. Derived or intrinsically
+    /// noisy quantities (e.g. the fitted ns/byte slope, whose signal is
+    /// small against the flat per-message cost) are reported for humans but
+    /// excluded from the CI pass/fail decision.
+    pub gate: bool,
+}
+
+/// A complete performance report: provenance plus metrics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Report {
+    /// Schema version ([`SCHEMA_VERSION`] when produced by this build).
+    pub schema: u64,
+    /// Git revision the suite ran against (or `"unknown"`).
+    pub git_rev: String,
+    /// True when produced by `--quick` (fewer iterations; CI smoke mode).
+    pub quick: bool,
+    /// The measurements, in suite order.
+    pub metrics: Vec<Metric>,
+}
+
+impl Report {
+    /// An empty report stamped with this build's schema version.
+    pub fn new(git_rev: impl Into<String>, quick: bool) -> Report {
+        Report {
+            schema: SCHEMA_VERSION,
+            git_rev: git_rev.into(),
+            quick,
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Appends a metric.
+    pub fn push(&mut self, metric: Metric) {
+        self.metrics.push(metric);
+    }
+
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Serializes to the `BENCH.json` object form.
+    pub fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("schema", Value::from(self.schema)),
+            ("git_rev", Value::from(self.git_rev.as_str())),
+            ("quick", Value::Bool(self.quick)),
+            (
+                "metrics",
+                Value::Array(
+                    self.metrics
+                        .iter()
+                        .map(|m| {
+                            let mut fields = vec![
+                                ("name", Value::from(m.name.as_str())),
+                                ("unit", Value::from(m.unit.as_str())),
+                                ("value", Value::from(m.value)),
+                            ];
+                            if let Some(p50) = m.p50 {
+                                fields.push(("p50", Value::from(p50)));
+                            }
+                            if let Some(p99) = m.p99 {
+                                fields.push(("p99", Value::from(p99)));
+                            }
+                            fields.push(("direction", Value::from(m.direction.as_str())));
+                            if !m.gate {
+                                fields.push(("gate", Value::Bool(false)));
+                            }
+                            Value::object(fields)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Pretty-printed `BENCH.json` text (trailing newline included).
+    pub fn render_json(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// Parses a report back from `BENCH.json` text.
+    pub fn parse(text: &str) -> Result<Report, String> {
+        let v = Value::parse(text).map_err(|e| e.to_string())?;
+        Report::from_json(&v)
+    }
+
+    /// Decodes the object form produced by [`Report::to_json`].
+    pub fn from_json(v: &Value) -> Result<Report, String> {
+        let schema = v
+            .get("schema")
+            .and_then(Value::as_f64)
+            .ok_or("missing schema")? as u64;
+        let git_rev = v
+            .get("git_rev")
+            .and_then(Value::as_str)
+            .ok_or("missing git_rev")?
+            .to_string();
+        let quick = matches!(v.get("quick"), Some(Value::Bool(true)));
+        let metrics = v
+            .get("metrics")
+            .and_then(Value::as_array)
+            .ok_or("missing metrics")?
+            .iter()
+            .map(|m| {
+                let name = m
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or("metric missing name")?
+                    .to_string();
+                let unit = m
+                    .get("unit")
+                    .and_then(Value::as_str)
+                    .ok_or("metric missing unit")?
+                    .to_string();
+                let value = m
+                    .get("value")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("metric {name} missing value"))?;
+                let direction = m
+                    .get("direction")
+                    .and_then(Value::as_str)
+                    .and_then(Direction::parse)
+                    .ok_or_else(|| format!("metric {name} missing direction"))?;
+                Ok(Metric {
+                    name,
+                    unit,
+                    value,
+                    p50: m.get("p50").and_then(Value::as_f64),
+                    p99: m.get("p99").and_then(Value::as_f64),
+                    direction,
+                    gate: !matches!(m.get("gate"), Some(Value::Bool(false))),
+                })
+            })
+            .collect::<Result<Vec<Metric>, String>>()?;
+        Ok(Report {
+            schema,
+            git_rev,
+            quick,
+            metrics,
+        })
+    }
+}
+
+/// One metric that moved past the tolerance between two runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// The metric that regressed.
+    pub name: String,
+    /// Baseline value.
+    pub old: f64,
+    /// Current value.
+    pub new: f64,
+    /// Worsening factor (always oriented so >1 means worse; e.g. 3.0 for
+    /// a latency that tripled or a ratio that dropped to a third).
+    pub factor: f64,
+}
+
+/// Diffs `new` against the `old` baseline.
+///
+/// Returns the metrics that got worse by more than `tolerance`
+/// (a factor: `2.0` means "no more than 2x worse"). Metrics present in
+/// only one report are ignored — adding a metric must not fail CI, and a
+/// retired metric must not wedge the baseline. Ungated metrics
+/// (`gate: false` in either report) and non-positive baseline values are
+/// skipped (a zero-latency baseline makes every factor infinite and means
+/// the measurement, not the code, is broken).
+///
+/// # Errors
+///
+/// Fails when the schema versions differ — cross-schema factors are not
+/// meaningful.
+pub fn compare(old: &Report, new: &Report, tolerance: f64) -> Result<Vec<Regression>, String> {
+    if old.schema != new.schema {
+        return Err(format!(
+            "schema mismatch: baseline v{}, current v{} — regenerate the baseline",
+            old.schema, new.schema
+        ));
+    }
+    let mut out = Vec::new();
+    for m_old in &old.metrics {
+        let Some(m_new) = new.get(&m_old.name) else {
+            continue;
+        };
+        if !m_old.gate || !m_new.gate || m_old.value <= 0.0 || m_new.value <= 0.0 {
+            continue;
+        }
+        let factor = match m_old.direction {
+            Direction::LowerIsBetter => m_new.value / m_old.value,
+            Direction::HigherIsBetter => m_old.value / m_new.value,
+        };
+        if factor > tolerance {
+            out.push(Regression {
+                name: m_old.name.clone(),
+                old: m_old.value,
+                new: m_new.value,
+                factor,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a `--tolerance` argument: `"2.0"` or `"2.0x"`.
+///
+/// # Errors
+///
+/// Fails on non-numeric input or factors below 1.0 (a tolerance under 1
+/// would flag improvements as regressions).
+pub fn parse_tolerance(s: &str) -> Result<f64, String> {
+    let t: f64 = s
+        .trim()
+        .trim_end_matches(['x', 'X'])
+        .parse()
+        .map_err(|_| format!("bad tolerance {s:?} (want e.g. 2.0x)"))?;
+    if t < 1.0 {
+        return Err(format!("tolerance {t} < 1.0 would flag improvements"));
+    }
+    Ok(t)
+}
+
+/// Least-squares line fit through `(x, y)` points, returning
+/// `(slope, intercept)`. `None` with fewer than two distinct x values
+/// (the slope is undefined).
+pub fn fit_slope(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return None;
+    }
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < f64::EPSILON {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    Some((slope, intercept))
+}
+
+/// Exact percentile of an ascending-sorted sample set (nearest-rank).
+/// Returns 0 on an empty slice.
+pub fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(name: &str, value: f64, direction: Direction) -> Metric {
+        Metric {
+            name: name.into(),
+            unit: "ns".into(),
+            value,
+            p50: Some(value),
+            p99: Some(value * 2.0),
+            direction,
+            gate: true,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_the_report() {
+        let mut r = Report::new("abc1234", true);
+        r.push(metric("oneway_p50_ns_56B", 812.0, Direction::LowerIsBetter));
+        r.push(metric(
+            "loss10_delivery_ratio",
+            1.0,
+            Direction::HigherIsBetter,
+        ));
+        let text = r.render_json();
+        let back = Report::parse(&text).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.schema, SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn compare_is_direction_aware() {
+        let mut old = Report::new("base", false);
+        old.push(metric("latency", 100.0, Direction::LowerIsBetter));
+        old.push(metric("ratio", 1.0, Direction::HigherIsBetter));
+
+        // Within tolerance both ways.
+        let mut new = old.clone();
+        new.metrics[0].value = 150.0;
+        new.metrics[1].value = 0.8;
+        assert!(compare(&old, &new, 2.0).unwrap().is_empty());
+
+        // Latency tripled: flagged. Ratio collapsed: flagged.
+        new.metrics[0].value = 300.0;
+        new.metrics[1].value = 0.3;
+        let regs = compare(&old, &new, 2.0).unwrap();
+        assert_eq!(regs.len(), 2);
+        assert_eq!(regs[0].name, "latency");
+        assert!((regs[0].factor - 3.0).abs() < 1e-9);
+        assert!((regs[1].factor - 1.0 / 0.3).abs() < 1e-9);
+
+        // A big improvement is never a regression.
+        new.metrics[0].value = 1.0;
+        new.metrics[1].value = 10.0;
+        assert!(compare(&old, &new, 2.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn compare_ignores_asymmetric_metrics_but_rejects_schema_skew() {
+        let mut old = Report::new("base", false);
+        old.push(metric("gone", 1.0, Direction::LowerIsBetter));
+        let mut new = Report::new("head", false);
+        new.push(metric("added", 1.0, Direction::LowerIsBetter));
+        assert!(compare(&old, &new, 1.0).unwrap().is_empty());
+
+        new.schema = SCHEMA_VERSION + 1;
+        assert!(compare(&old, &new, 2.0).is_err());
+    }
+
+    #[test]
+    fn tolerance_accepts_factor_suffix() {
+        assert_eq!(parse_tolerance("2.0x").unwrap(), 2.0);
+        assert_eq!(parse_tolerance("1.5").unwrap(), 1.5);
+        assert!(parse_tolerance("fast").is_err());
+        assert!(parse_tolerance("0.5x").is_err());
+    }
+
+    #[test]
+    fn slope_fit_recovers_a_known_line() {
+        // y = 2.5x + 100 exactly.
+        let pts: Vec<(f64, f64)> = [0.0, 64.0, 128.0, 256.0, 512.0]
+            .iter()
+            .map(|&x| (x, 2.5 * x + 100.0))
+            .collect();
+        let (slope, intercept) = fit_slope(&pts).unwrap();
+        assert!((slope - 2.5).abs() < 1e-9);
+        assert!((intercept - 100.0).abs() < 1e-9);
+        assert!(fit_slope(&pts[..1]).is_none());
+        assert!(fit_slope(&[(1.0, 5.0), (1.0, 6.0)]).is_none());
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&s, 0.5), 50);
+        assert_eq!(percentile(&s, 0.99), 99);
+        assert_eq!(percentile(&s, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.5), 7);
+    }
+}

@@ -1,0 +1,83 @@
+//! End-to-end checks of the `BENCH.json` schema and the regression
+//! comparator: a report written to disk must read back identical, and an
+//! injected 3x latency regression must be flagged past a 2x tolerance —
+//! exactly the path CI's perf-smoke job exercises.
+
+use flipc_bench::report::{compare, Direction, Metric, Report, SCHEMA_VERSION};
+
+fn sample_report(rev: &str) -> Report {
+    let mut r = Report::new(rev, true);
+    r.push(Metric {
+        name: "oneway_p50_ns_56B".into(),
+        unit: "ns".into(),
+        value: 1500.0,
+        p50: Some(1500.0),
+        p99: Some(4200.0),
+        direction: Direction::LowerIsBetter,
+        gate: true,
+    });
+    r.push(Metric {
+        name: "udp_rtt_p50_ns".into(),
+        unit: "ns".into(),
+        value: 11000.0,
+        p50: Some(11000.0),
+        p99: Some(36000.0),
+        direction: Direction::LowerIsBetter,
+        gate: true,
+    });
+    r.push(Metric {
+        name: "loss10_delivery_ratio".into(),
+        unit: "ratio".into(),
+        value: 1.0,
+        p50: None,
+        p99: None,
+        direction: Direction::HigherIsBetter,
+        gate: true,
+    });
+    r
+}
+
+#[test]
+fn written_report_reads_back_identical() {
+    let report = sample_report("abc1234");
+    let path = std::env::temp_dir().join(format!("flipc_bench_{}.json", std::process::id()));
+    std::fs::write(&path, report.render_json()).unwrap();
+    let back = Report::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(back, report);
+    assert_eq!(back.schema, SCHEMA_VERSION);
+}
+
+#[test]
+fn injected_3x_regression_is_flagged_at_2x_tolerance() {
+    let baseline = sample_report("base");
+    let mut regressed = sample_report("head");
+    regressed.metrics[1].value *= 3.0; // udp_rtt_p50_ns triples
+
+    let regs = compare(&baseline, &regressed, 2.0).unwrap();
+    assert_eq!(regs.len(), 1, "exactly the injected regression: {regs:?}");
+    assert_eq!(regs[0].name, "udp_rtt_p50_ns");
+    assert!((regs[0].factor - 3.0).abs() < 1e-9);
+
+    // The same pair passes a 4x gate.
+    assert!(compare(&baseline, &regressed, 4.0).unwrap().is_empty());
+}
+
+#[test]
+fn collapsed_delivery_ratio_is_a_regression_too() {
+    let baseline = sample_report("base");
+    let mut broken = sample_report("head");
+    broken.metrics[2].value = 0.25; // delivered a quarter of the frames
+    let regs = compare(&baseline, &broken, 2.0).unwrap();
+    assert_eq!(regs.len(), 1);
+    assert_eq!(regs[0].name, "loss10_delivery_ratio");
+    assert!((regs[0].factor - 4.0).abs() < 1e-9);
+}
+
+#[test]
+fn schema_skew_refuses_to_compare() {
+    let baseline = sample_report("base");
+    let mut future = sample_report("head");
+    future.schema += 1;
+    assert!(compare(&baseline, &future, 2.0).is_err());
+}

@@ -1,0 +1,476 @@
+//! Wait-free, single-writer log₂-bucketed histograms.
+//!
+//! FLIPC's latency argument is quantitative, so the reproduction needs
+//! always-on distributions (send→deliver latency, engine-loop work counts,
+//! retransmit behaviour) that can be recorded from the messaging engine's
+//! hot path. The engine's controller discipline forbids read-modify-write
+//! and forbids stalling, so a histogram here is built exactly like the
+//! two-location drop counter ([`crate::counter`]), widened to one pair of
+//! locations per power-of-two bucket:
+//!
+//! * The **recorder** (engine role) is the single writer of the `counts`
+//!   bucket array and the running `sum`. A record is two load+store pairs —
+//!   no RMW, no locks, wait-free.
+//! * The **reader** (application role) is the single writer of the `taken`
+//!   shadow array. A snapshot only loads; a snapshot-and-reset copies each
+//!   observed `counts[i]` into `taken[i]`, so samples recorded concurrently
+//!   are never lost — they surface in the next harvest, exactly like the
+//!   drop counter's read-and-reset.
+//! * Recorder-written and reader-written halves live on disjoint cache
+//!   lines (the paper's false-sharing rule).
+//!
+//! Buckets are powers of two: bucket 0 holds the value 0 and bucket `k`
+//! (k ≥ 1) holds `[2^(k-1), 2^k)`, clamped into the top bucket when the
+//! histogram is built with fewer than [`BUCKETS`] buckets. Every `u64`
+//! maps to exactly one bucket (property-tested in `tests/hist_props.rs`).
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket count covering the full `u64` range: bucket 0 for the value 0
+/// plus one bucket per bit position.
+pub const BUCKETS: usize = 65;
+
+/// The log₂ bucket a value falls in (for a full-width histogram):
+/// 0 → 0, and `v` → `64 - v.leading_zeros()` otherwise, so bucket `k ≥ 1`
+/// spans `[2^(k-1), 2^k)`.
+pub const fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` value bounds of bucket `i` of a `B`-bucket
+/// histogram (the top bucket absorbs everything above it).
+pub const fn bucket_bounds(i: usize, total_buckets: usize) -> (u64, u64) {
+    let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+    let hi = if i + 1 >= total_buckets || i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    };
+    (lo, hi)
+}
+
+/// Pads a half to a cache line so the recorder-written and reader-written
+/// words never share one (the paper's false-sharing rule).
+#[repr(align(64))]
+#[derive(Debug)]
+struct CachePadded<T>(T);
+
+/// Recorder-written half: one count per bucket plus the value sum.
+#[derive(Debug)]
+struct RecorderHalf<const B: usize> {
+    counts: [AtomicU64; B],
+    sum: AtomicU64,
+}
+
+/// Reader-written half: the harvested shadow of each recorder word.
+#[derive(Debug)]
+struct ReaderHalf<const B: usize> {
+    taken: [AtomicU64; B],
+    sum_taken: AtomicU64,
+}
+
+/// A wait-free single-writer histogram with `B` log₂ buckets.
+///
+/// `Histogram` (the default `B = BUCKETS`) covers the full `u64` range;
+/// smaller `B` clamp into the top bucket (used by the loom models, which
+/// need few atomics to stay exhaustively explorable).
+#[derive(Debug)]
+#[repr(C)]
+pub struct Histogram<const B: usize = BUCKETS> {
+    rec: CachePadded<RecorderHalf<B>>,
+    rd: CachePadded<ReaderHalf<B>>,
+}
+
+impl<const B: usize> Default for Histogram<B> {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl<const B: usize> Histogram<B> {
+    /// A zeroed histogram.
+    pub fn new() -> Histogram<B> {
+        assert!(B >= 2, "a histogram needs at least two buckets");
+        Histogram {
+            rec: CachePadded(RecorderHalf {
+                counts: std::array::from_fn(|_| AtomicU64::new(0)),
+                sum: AtomicU64::new(0),
+            }),
+            rd: CachePadded(ReaderHalf {
+                taken: std::array::from_fn(|_| AtomicU64::new(0)),
+                sum_taken: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The recording side (single writer of the bucket counts). There must
+    /// be at most one recorder active at a time — same contract as
+    /// [`crate::counter::CounterEngineSide`].
+    pub fn recorder(&self) -> HistRecorder<'_, B> {
+        HistRecorder { h: self }
+    }
+
+    /// The inspecting side (single writer of the `taken` shadow words).
+    pub fn reader(&self) -> HistReader<'_, B> {
+        HistReader { h: self }
+    }
+
+    /// Convenience: a loads-only snapshot of unharvested samples (a read
+    /// through [`Histogram::reader`]).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.reader().snapshot()
+    }
+}
+
+/// Recording handle: may only increment bucket counts and the sum.
+pub struct HistRecorder<'a, const B: usize> {
+    h: &'a Histogram<B>,
+}
+
+impl<const B: usize> HistRecorder<'_, B> {
+    /// Records one sample. Wait-free: two load+store pairs on words this
+    /// handle is the single writer of; the store ordering is `Release` so
+    /// a reader's `Acquire` load observes a fully recorded sample.
+    pub fn record(&self, value: u64) {
+        // This is the engine's side of the histogram: attribute the stores
+        // to the Engine role for the single-writer checker.
+        #[cfg(feature = "ownership-checks")]
+        let _role = crate::ownership::enter(crate::ownership::Role::Engine);
+        let idx = bucket_index(value).min(B - 1);
+        let c = &self.h.rec.0.counts[idx];
+        c.store(c.load(Ordering::Relaxed).wrapping_add(1), Ordering::Release);
+        let s = &self.h.rec.0.sum;
+        s.store(
+            s.load(Ordering::Relaxed).wrapping_add(value),
+            Ordering::Release,
+        );
+    }
+}
+
+/// Inspecting handle: may snapshot, and harvest by writing the `taken`
+/// shadow words (of which it is the single writer).
+pub struct HistReader<'a, const B: usize> {
+    h: &'a Histogram<B>,
+}
+
+impl<const B: usize> HistReader<'_, B> {
+    /// A loads-only snapshot of the samples recorded since the last
+    /// [`HistReader::harvest`] (all of them, if never harvested). Wait-free
+    /// and non-destructive: concurrent snapshots see the same counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let rec = &self.h.rec.0;
+        let rd = &self.h.rd.0;
+        let mut buckets = vec![0u64; B];
+        for (i, b) in buckets.iter_mut().enumerate() {
+            let c = rec.counts[i].load(Ordering::Acquire);
+            let t = rd.taken[i].load(Ordering::Relaxed);
+            *b = c.wrapping_sub(t);
+        }
+        let sum = rec
+            .sum
+            .load(Ordering::Acquire)
+            .wrapping_sub(rd.sum_taken.load(Ordering::Relaxed));
+        HistogramSnapshot { buckets, sum }
+    }
+
+    /// Snapshots and resets in one logical operation. Samples recorded
+    /// concurrently are *not* lost: only the counts actually observed are
+    /// folded into `taken`, so an in-flight sample surfaces in the next
+    /// harvest — the histogram generalization of the drop counter's
+    /// `read_and_reset`.
+    pub fn harvest(&self) -> HistogramSnapshot {
+        let rec = &self.h.rec.0;
+        let rd = &self.h.rd.0;
+        let mut buckets = vec![0u64; B];
+        for (i, b) in buckets.iter_mut().enumerate() {
+            let c = rec.counts[i].load(Ordering::Acquire);
+            let t = rd.taken[i].load(Ordering::Relaxed);
+            rd.taken[i].store(c, Ordering::Release);
+            *b = c.wrapping_sub(t);
+        }
+        let s = rec.sum.load(Ordering::Acquire);
+        let st = rd.sum_taken.load(Ordering::Relaxed);
+        rd.sum_taken.store(s, Ordering::Release);
+        HistogramSnapshot {
+            buckets,
+            sum: s.wrapping_sub(st),
+        }
+    }
+}
+
+/// The ownership-checker registration for a pinned histogram.
+///
+/// A histogram's memory must not move between registration and
+/// unregistration, so callers register only histograms behind a stable
+/// allocation (`Box`/`Arc` contents), and unregister before the
+/// allocation is freed.
+#[cfg(feature = "ownership-checks")]
+impl<const B: usize> Histogram<B> {
+    /// Registers this histogram's words with the single-writer checker:
+    /// bucket counts + sum as Engine-owned, the taken shadows as App-owned.
+    pub fn register_ownership(&self, name: &str) {
+        use crate::layout::WriteOwner;
+        use crate::ownership::{register_fields, FieldSpec};
+        let base = self as *const Self as usize;
+        let word = std::mem::size_of::<AtomicU64>();
+        let at = |p: *const AtomicU64| p as usize - base;
+        let mut fields = Vec::with_capacity(2 * B + 2);
+        for i in 0..B {
+            fields.push(FieldSpec {
+                offset: at(&self.rec.0.counts[i]),
+                len: word,
+                name: format!("{name}.counts[{i}]"),
+                owner: WriteOwner::Engine,
+            });
+            fields.push(FieldSpec {
+                offset: at(&self.rd.0.taken[i]),
+                len: word,
+                name: format!("{name}.taken[{i}]"),
+                owner: WriteOwner::App,
+            });
+        }
+        fields.push(FieldSpec {
+            offset: at(&self.rec.0.sum),
+            len: word,
+            name: format!("{name}.sum"),
+            owner: WriteOwner::Engine,
+        });
+        fields.push(FieldSpec {
+            offset: at(&self.rd.0.sum_taken),
+            len: word,
+            name: format!("{name}.sum_taken"),
+            owner: WriteOwner::App,
+        });
+        register_fields(base, std::mem::size_of::<Self>(), fields);
+    }
+
+    /// Removes this histogram's registration (call before the histogram's
+    /// allocation is freed or moved).
+    pub fn unregister_ownership(&self) {
+        crate::ownership::unregister_region(self as *const Self as usize);
+    }
+}
+
+/// A point-in-time harvest of a histogram: per-bucket sample counts plus
+/// the sum of recorded values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Sample count per log₂ bucket (see [`bucket_bounds`]).
+    pub buckets: Vec<u64>,
+    /// Sum of all recorded values (wrapping).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot with `b` buckets.
+    pub fn empty(b: usize) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; b],
+            sum: 0,
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean recorded value, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        if n == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / n as f64)
+        }
+    }
+
+    /// Merges another snapshot into this one (bucket-wise sum).
+    /// Commutative and associative (property-tested), so per-shard
+    /// histograms can be combined in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket counts differ.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "merging histograms of different widths"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a = a.wrapping_add(*b);
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Approximate value at quantile `q` (0.0 ..= 1.0), interpolated
+    /// linearly within the containing bucket. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * total as f64).max(1.0);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (cum + c) as f64 >= target {
+                let (lo, hi) = bucket_bounds(i, self.buckets.len());
+                let frac = (target - cum as f64) / c as f64;
+                // The top bucket's bound is u64::MAX; interpolating across
+                // it would dwarf every real sample, so report its lower
+                // bound instead.
+                if hi == u64::MAX && i > 0 {
+                    return Some(lo as f64);
+                }
+                return Some(lo as f64 + frac * (hi - lo) as f64);
+            }
+            cum += c;
+        }
+        let (lo, _) = bucket_bounds(self.buckets.len() - 1, self.buckets.len());
+        Some(lo as f64)
+    }
+
+    /// A compact human-readable rendering (one line per non-empty bucket).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "samples {}, sum {}", self.count(), self.sum);
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let (lo, hi) = bucket_bounds(i, self.buckets.len());
+            if hi == u64::MAX {
+                let _ = writeln!(out, "  [{lo}, ..] {c}");
+            } else {
+                let _ = writeln!(out, "  [{lo}, {hi}] {c}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_powers_land_in_their_buckets() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1u64 << 63), 64);
+    }
+
+    #[test]
+    fn bounds_tile_the_u64_range() {
+        for i in 1..BUCKETS {
+            let (lo, _) = bucket_bounds(i, BUCKETS);
+            let (_, prev_hi) = bucket_bounds(i - 1, BUCKETS);
+            assert_eq!(lo, prev_hi + 1, "gap or overlap at bucket {i}");
+        }
+        assert_eq!(bucket_bounds(0, BUCKETS), (0, 0));
+        assert_eq!(bucket_bounds(BUCKETS - 1, BUCKETS).1, u64::MAX);
+    }
+
+    #[test]
+    fn record_snapshot_harvest_roundtrip() {
+        let h: Histogram = Histogram::new();
+        let rec = h.recorder();
+        for v in [0u64, 1, 1, 5, 100] {
+            rec.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.sum, 107);
+        assert_eq!(s.buckets[0], 1); // 0
+        assert_eq!(s.buckets[1], 2); // 1, 1
+        assert_eq!(s.buckets[3], 1); // 5
+        assert_eq!(s.buckets[7], 1); // 100
+                                     // Harvest resets; the next snapshot is empty and new samples show.
+        let harvested = h.reader().harvest();
+        assert_eq!(harvested, s);
+        assert_eq!(h.snapshot().count(), 0);
+        rec.record(7);
+        assert_eq!(h.snapshot().count(), 1);
+        assert_eq!(h.snapshot().sum, 7);
+    }
+
+    #[test]
+    fn small_histogram_clamps_into_top_bucket() {
+        let h: Histogram<4> = Histogram::new();
+        let rec = h.recorder();
+        for v in [0u64, 1, 2, 4, 1000, u64::MAX] {
+            rec.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![1, 1, 1, 3]);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h: Histogram = Histogram::new();
+        let rec = h.recorder();
+        for _ in 0..100 {
+            rec.record(1000); // bucket [512, 1023]
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5).unwrap();
+        assert!((512.0..=1023.0).contains(&p50), "p50 {p50}");
+        assert!(s.quantile(0.99).unwrap() >= p50);
+        assert_eq!(HistogramSnapshot::empty(BUCKETS).quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_is_bucket_wise() {
+        let a: Histogram = Histogram::new();
+        let b: Histogram = Histogram::new();
+        a.recorder().record(1);
+        b.recorder().record(1);
+        b.recorder().record(64);
+        let mut sa = a.snapshot();
+        sa.merge(&b.snapshot());
+        assert_eq!(sa.count(), 3);
+        assert_eq!(sa.sum, 66);
+        assert_eq!(sa.buckets[1], 2);
+        assert_eq!(sa.buckets[7], 1);
+    }
+
+    #[test]
+    fn concurrent_record_and_harvest_conserve_samples() {
+        use std::sync::Arc;
+        let h: Arc<Histogram> = Arc::new(Histogram::new());
+        const N: u64 = 20_000;
+        let h2 = h.clone();
+        let recorder = std::thread::spawn(move || {
+            let rec = h2.recorder();
+            for i in 0..N {
+                rec.record(i % 97);
+                if i % 2048 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let mut total = 0u64;
+        while !recorder.is_finished() {
+            total += h.reader().harvest().count();
+            std::thread::yield_now();
+        }
+        recorder.join().unwrap();
+        total += h.reader().harvest().count();
+        assert_eq!(total, N, "samples lost or duplicated across harvests");
+        assert_eq!(h.snapshot().count(), 0);
+    }
+}

@@ -15,6 +15,7 @@
 
 use crate::commbuf::CommBuffer;
 use crate::endpoint::{EndpointIndex, EndpointType, Importance};
+use crate::hist::HistogramSnapshot;
 
 /// Point-in-time state of one endpoint.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -165,6 +166,13 @@ pub struct TransportSnapshot {
     pub decode_errors: u32,
     /// Well-formed datagrams from node ids outside the peer table.
     pub unknown_peer: u32,
+    /// Distribution of retransmit timeouts that actually fired (transport
+    /// clock ticks — microseconds on the production clock). One sample per
+    /// go-back-N round, node scope.
+    pub rto: HistogramSnapshot,
+    /// Distribution of go-back-N burst sizes (frames re-sent per retransmit
+    /// round), node scope.
+    pub retransmit_burst: HistogramSnapshot,
 }
 
 impl TransportSnapshot {
@@ -191,6 +199,16 @@ impl TransportSnapshot {
                 p.dup_dropped,
                 p.out_of_window,
                 p.in_flight
+            );
+        }
+        let rounds = self.retransmit_burst.count();
+        if rounds > 0 {
+            let _ = writeln!(
+                out,
+                "retransmit rounds {rounds}: burst p50 {:.0}, rto p50 {:.0}, rto p99 {:.0}",
+                self.retransmit_burst.quantile(0.5).unwrap_or(0.0),
+                self.rto.quantile(0.5).unwrap_or(0.0),
+                self.rto.quantile(0.99).unwrap_or(0.0),
             );
         }
         out
@@ -302,12 +320,26 @@ mod tests {
             }],
             decode_errors: 5,
             unknown_peer: 0,
+            rto: HistogramSnapshot::empty(crate::hist::BUCKETS),
+            retransmit_burst: HistogramSnapshot::empty(crate::hist::BUCKETS),
         };
         let text = s.render();
         assert!(text.contains("net node 0"));
         assert!(text.contains("decode errors 5"));
         assert!(text.contains("peer 1"));
+        assert!(
+            !text.contains("retransmit rounds"),
+            "quiet histograms stay unlisted:\n{text}"
+        );
         assert_eq!(s.total_recv_drops(), 4);
+
+        let mut s = s;
+        let mut busy = HistogramSnapshot::empty(crate::hist::BUCKETS);
+        busy.buckets[3] = 2; // two rounds of 4..8 frames
+        busy.sum = 9;
+        s.retransmit_burst = busy.clone();
+        s.rto = busy;
+        assert!(s.render().contains("retransmit rounds 2"));
     }
 
     #[test]

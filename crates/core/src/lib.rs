@@ -54,6 +54,7 @@ pub mod endpoint;
 pub mod error;
 pub mod flow;
 pub mod group;
+pub mod hist;
 pub mod inspect;
 pub mod layout;
 pub mod lock;

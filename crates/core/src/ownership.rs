@@ -101,10 +101,46 @@ impl fmt::Display for Violation {
     }
 }
 
+/// The single legitimate writer of one explicitly registered word range.
+///
+/// Communication buffers classify offsets through [`Layout::classify`];
+/// telemetry structures (histograms, trace rings) are plain structs with
+/// no `Layout`, so they register an explicit field table instead.
+#[derive(Clone, Debug)]
+pub struct FieldSpec {
+    /// Byte offset of the field within the registered region.
+    pub offset: usize,
+    /// Field length in bytes.
+    pub len: usize,
+    /// Diagnostic name, e.g. `deliver_latency.counts[3]`.
+    pub name: String,
+    /// The field's single legitimate writer.
+    pub owner: WriteOwner,
+}
+
+enum RegionKind {
+    /// A communication buffer; offsets classify via its [`Layout`].
+    CommBuf(Layout),
+    /// An explicit field table (telemetry structures).
+    Fields(Vec<FieldSpec>),
+}
+
 struct RegionEntry {
     base: usize,
     len: usize,
-    layout: Layout,
+    kind: RegionKind,
+}
+
+impl RegionEntry {
+    fn classify(&self, offset: usize) -> Option<(String, WriteOwner)> {
+        match &self.kind {
+            RegionKind::CommBuf(layout) => layout.classify(offset).map(|fc| (fc.name, fc.owner)),
+            RegionKind::Fields(fields) => fields
+                .iter()
+                .find(|f| offset >= f.offset && offset < f.offset + f.len)
+                .map(|f| (f.name.clone(), f.owner)),
+        }
+    }
 }
 
 fn registry() -> &'static Mutex<Vec<RegionEntry>> {
@@ -123,12 +159,31 @@ pub(crate) fn register_region(base: usize, len: usize, layout: Layout) {
     let mut reg = registry().lock().expect("ownership registry");
     // An address may be reused after a previous buffer was freed.
     reg.retain(|e| e.base != base);
-    reg.push(RegionEntry { base, len, layout });
+    reg.push(RegionEntry {
+        base,
+        len,
+        kind: RegionKind::CommBuf(layout),
+    });
 }
 
-/// Unregisters a region (called when a `CommBuffer` drops) so reused
-/// allocations are not misattributed.
-pub(crate) fn unregister_region(base: usize) {
+/// Registers an explicit field table for write checking — used by pinned
+/// telemetry structures ([`crate::hist::Histogram`], trace rings) whose
+/// shared words follow the same single-writer rule but live outside any
+/// communication buffer. The memory must not move until
+/// [`unregister_region`] is called with the same base.
+pub fn register_fields(base: usize, len: usize, fields: Vec<FieldSpec>) {
+    let mut reg = registry().lock().expect("ownership registry");
+    reg.retain(|e| e.base != base);
+    reg.push(RegionEntry {
+        base,
+        len,
+        kind: RegionKind::Fields(fields),
+    });
+}
+
+/// Unregisters a region (called when a `CommBuffer` or a registered
+/// telemetry structure drops) so reused allocations are not misattributed.
+pub fn unregister_region(base: usize) {
     let mut reg = registry().lock().expect("ownership registry");
     reg.retain(|e| e.base != base);
 }
@@ -145,14 +200,15 @@ pub(crate) fn record_write(addr: usize) {
                 return None;
             }
             let offset = addr - e.base;
-            e.layout.classify(offset).map(|fc| (e.base, offset, fc))
+            e.classify(offset)
+                .map(|(name, owner)| (e.base, offset, name, owner))
         })
     };
-    let Some((region_base, offset, fc)) = classified else {
-        return; // not communication-buffer memory (e.g. SPSC rings, tests)
+    let Some((region_base, offset, field, owner)) = classified else {
+        return; // not registered memory (e.g. SPSC rings, tests)
     };
     let actual = current_role();
-    let ok = match fc.owner {
+    let ok = match owner {
         WriteOwner::Dynamic => true,
         WriteOwner::App => actual == Role::App,
         WriteOwner::Engine => actual == Role::Engine,
@@ -164,8 +220,8 @@ pub(crate) fn record_write(addr: usize) {
             .push(Violation {
                 region_base,
                 offset,
-                field: fc.name,
-                owner: fc.owner,
+                field,
+                owner,
                 actual,
             });
     }

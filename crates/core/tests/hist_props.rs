@@ -1,0 +1,123 @@
+//! Property tests of the wait-free log₂ histogram
+//! ([`flipc_core::hist`]).
+//!
+//! Three properties carry the telemetry layer's correctness argument:
+//! the bucket function is a total partition of `u64` with monotone
+//! bounds, merge is associative/commutative (so per-shard histograms
+//! combine in any order), and the two-location harvest protocol never
+//! loses more than the sample in flight at the moment of the snapshot.
+
+use proptest::prelude::*;
+
+use flipc_core::hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
+
+/// A snapshot built directly from a list of values (for merge tests).
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h: Histogram = Histogram::new();
+    let rec = h.recorder();
+    for &v in values {
+        rec.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every `u64` maps to exactly one in-range bucket, and the bucket's
+    /// bounds actually contain the value.
+    #[test]
+    fn every_value_lands_in_exactly_one_bucket(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        let (lo, hi) = bucket_bounds(i, BUCKETS);
+        prop_assert!(v >= lo && v <= hi, "{v} outside [{lo}, {hi}] of bucket {i}");
+        // No other bucket contains it.
+        for j in 0..BUCKETS {
+            if j == i {
+                continue;
+            }
+            let (jlo, jhi) = bucket_bounds(j, BUCKETS);
+            prop_assert!(v < jlo || v > jhi, "{v} also in bucket {j}");
+        }
+    }
+
+    /// Bucket bounds are monotone and tile the `u64` range with no gap
+    /// or overlap, for the full width and for clamped widths.
+    #[test]
+    fn bounds_are_monotone_and_gapless(width in 2usize..=BUCKETS) {
+        let (first_lo, _) = bucket_bounds(0, width);
+        prop_assert_eq!(first_lo, 0);
+        for i in 1..width {
+            let (_, prev_hi) = bucket_bounds(i - 1, width);
+            let (lo, hi) = bucket_bounds(i, width);
+            prop_assert_eq!(lo, prev_hi + 1, "gap/overlap at bucket {}", i);
+            prop_assert!(hi >= lo);
+        }
+        prop_assert_eq!(bucket_bounds(width - 1, width).1, u64::MAX);
+    }
+
+    /// The bucket function is monotone: a larger value never lands in a
+    /// smaller bucket.
+    #[test]
+    fn bucket_index_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    /// Merge is associative and commutative: sharded recording followed
+    /// by any merge order equals recording everything in one histogram.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        xs in proptest::collection::vec(any::<u64>(), 0..64),
+        ys in proptest::collection::vec(any::<u64>(), 0..64),
+        zs in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let (sx, sy, sz) = (snapshot_of(&xs), snapshot_of(&ys), snapshot_of(&zs));
+
+        // (x ⊕ y) ⊕ z
+        let mut left = sx.clone();
+        left.merge(&sy);
+        left.merge(&sz);
+        // x ⊕ (y ⊕ z)
+        let mut right_inner = sy.clone();
+        right_inner.merge(&sz);
+        let mut right = sx.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right);
+
+        // z ⊕ y ⊕ x (commuted)
+        let mut commuted = sz;
+        commuted.merge(&sy);
+        commuted.merge(&sx);
+        prop_assert_eq!(&left, &commuted);
+
+        // Both equal recording the concatenation directly.
+        let all: Vec<u64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        prop_assert_eq!(&left, &snapshot_of(&all));
+    }
+
+    /// Interleaved record/harvest at every possible harvest point: the
+    /// union of all harvests is exactly the recorded multiset — the
+    /// two-location protocol loses at most the sample in flight, and that
+    /// sample surfaces in the next harvest.
+    #[test]
+    fn harvests_partition_the_recorded_samples(
+        values in proptest::collection::vec(any::<u64>(), 1..64),
+        harvest_after in proptest::collection::vec(any::<bool>(), 1..64),
+    ) {
+        let h: Histogram = Histogram::new();
+        let rec = h.recorder();
+        let reader = h.reader();
+        let mut union = HistogramSnapshot::empty(BUCKETS);
+        for (i, &v) in values.iter().enumerate() {
+            rec.record(v);
+            if *harvest_after.get(i).unwrap_or(&false) {
+                union.merge(&reader.harvest());
+            }
+        }
+        union.merge(&reader.harvest());
+        prop_assert_eq!(&union, &snapshot_of(&values));
+        prop_assert_eq!(h.snapshot().count(), 0);
+    }
+}

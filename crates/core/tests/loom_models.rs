@@ -16,6 +16,7 @@
 use std::sync::Arc;
 
 use flipc_core::counter::{CounterAppSide, CounterEngineSide};
+use flipc_core::hist::Histogram;
 use flipc_core::queue::{AppQueue, EngineQueue};
 use flipc_core::sync::atomic::{AtomicU32, Ordering};
 
@@ -39,6 +40,40 @@ fn loom_counter_no_lost_drop_event() {
         let rest = u64::from(app.read_and_reset());
         assert_eq!(first + rest, 2, "a drop event was lost or duplicated");
         assert_eq!(app.read(), 0, "counter did not reset");
+    });
+}
+
+/// The histogram generalization of the drop-counter guarantee: engine
+/// records racing with the application's `harvest` never lose or duplicate
+/// a sample across harvests. A two-bucket histogram keeps the state space
+/// small; the production `record`/`harvest` code is what runs.
+#[test]
+fn loom_hist_record_vs_harvest_conserves_samples() {
+    flipc_loom::model(|| {
+        let h: Arc<Histogram<2>> = Arc::new(Histogram::new());
+        let h2 = h.clone();
+        let engine = flipc_loom::thread::spawn(move || {
+            let rec = h2.recorder();
+            rec.record(0); // bucket 0
+            rec.record(5); // clamped into bucket 1
+        });
+        let reader = h.reader();
+        // One harvest concurrent with the records, one after.
+        let first = reader.harvest();
+        engine.join().unwrap();
+        let rest = reader.harvest();
+        assert_eq!(
+            first.count() + rest.count(),
+            2,
+            "a sample was lost or duplicated across harvests"
+        );
+        assert_eq!(
+            first.buckets[0] + rest.buckets[0],
+            1,
+            "bucket 0 sample miscounted"
+        );
+        assert_eq!(first.sum.wrapping_add(rest.sum), 5, "sum drifted");
+        assert_eq!(h.snapshot().count(), 0, "harvest did not reset");
     });
 }
 

@@ -113,6 +113,64 @@ fn normal_traffic_is_violation_free() {
     );
 }
 
+/// The telemetry histogram follows the same discipline: its recording
+/// side is Engine-owned, its harvest shadow is App-owned, and a pinned
+/// registered histogram reports cross-role writes by field name.
+#[test]
+fn histogram_words_follow_single_writer_discipline() {
+    use flipc_core::hist::Histogram;
+    // Pinned allocation: registration requires a stable address.
+    let h: Box<Histogram> = Box::new(Histogram::new());
+    h.register_ownership("deliver_latency");
+    let base = &*h as *const Histogram as usize;
+    let mine = |vs: Vec<ownership::Violation>| -> Vec<ownership::Violation> {
+        vs.into_iter().filter(|v| v.region_base == base).collect()
+    };
+    let _ = mine(ownership::take_violations());
+
+    // Legitimate: record() runs under the Engine role, harvest() under
+    // the default App role — both write only words their role owns.
+    h.recorder().record(42);
+    let snap = h.reader().harvest();
+    assert_eq!(snap.count(), 1);
+    assert!(
+        mine(ownership::take_violations()).is_empty(),
+        "production record/harvest paths must be violation-free"
+    );
+
+    // Errant: an app-role record() (role forced back to App inside the
+    // engine-owned store) is simulated by an engine-role harvest —
+    // the harvest writes App-owned `taken` words from the Engine role.
+    {
+        let _role = ownership::enter(Role::Engine);
+        let _ = h.reader().harvest();
+    }
+    let violations = mine(ownership::take_violations());
+    assert!(
+        !violations.is_empty(),
+        "engine-role harvest must be flagged"
+    );
+    assert!(
+        violations
+            .iter()
+            .all(|v| v.owner == WriteOwner::App && v.actual == Role::Engine),
+        "violations misattributed: {violations:?}"
+    );
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.field.starts_with("deliver_latency.taken")),
+        "field names must resolve through the registered table: {violations:?}"
+    );
+    h.unregister_ownership();
+    // After unregistration the words are anonymous again.
+    {
+        let _role = ownership::enter(Role::Engine);
+        let _ = h.reader().harvest();
+    }
+    assert!(mine(ownership::take_violations()).is_empty());
+}
+
 /// Buffer header words have dynamic (alternating) ownership and are
 /// exempt — writes from either role are legal there.
 #[test]

@@ -32,6 +32,7 @@ use flipc_core::checks::{
 use flipc_core::commbuf::CommBuffer;
 use flipc_core::endpoint::{EndpointAddress, EndpointIndex, EndpointType, Importance};
 use flipc_core::wait::WaitRegistry;
+use flipc_obs::{EngineTelemetry, TraceKind, TraceWriter};
 
 use crate::shaper::{Shaper, TokenBucket};
 use crate::transport::Transport;
@@ -152,6 +153,11 @@ pub struct Engine {
     stats: Arc<EngineStats>,
     scan_cursor: u16,
     shaper: Shaper,
+    /// Always-on wait-free histograms (iteration work, per-endpoint
+    /// send→deliver latency). The engine is the single recorder.
+    telemetry: Arc<EngineTelemetry>,
+    /// Optional event trace; the engine is the single producer.
+    trace: Option<TraceWriter>,
 }
 
 impl Engine {
@@ -194,6 +200,13 @@ impl Engine {
                 );
             }
         }
+        // Telemetry spans the node-global endpoint index space so latency
+        // samples land on the index applications see in addresses.
+        let total_endpoints = domains
+            .iter()
+            .map(|d| usize::from(d.index_base) + usize::from(d.endpoints()))
+            .max()
+            .unwrap_or(0);
         Engine {
             domains,
             transport,
@@ -201,6 +214,8 @@ impl Engine {
             stats: Arc::new(EngineStats::default()),
             scan_cursor: 0,
             shaper: Shaper::new(),
+            telemetry: EngineTelemetry::new(total_endpoints),
+            trace: None,
         }
     }
 
@@ -225,6 +240,22 @@ impl Engine {
         self.stats.clone()
     }
 
+    /// Shared telemetry handle: loads-only histogram snapshots of
+    /// iteration work and per-endpoint send→deliver latency, readable
+    /// while the engine runs (same inspect discipline as
+    /// [`flipc_core::inspect`]).
+    pub fn telemetry(&self) -> Arc<EngineTelemetry> {
+        self.telemetry.clone()
+    }
+
+    /// Installs the producer half of a trace ring; subsequent engine
+    /// activity emits [`TraceKind`] events into it. The engine never
+    /// blocks on a full ring — overflow events are dropped and tallied on
+    /// the ring's lost counter.
+    pub fn set_trace(&mut self, trace: TraceWriter) {
+        self.trace = Some(trace);
+    }
+
     /// The node this engine serves.
     pub fn node(&self) -> flipc_core::endpoint::FlipcNodeId {
         self.transport.local_node()
@@ -238,6 +269,22 @@ impl Engine {
         let mut work = 0;
         work += self.pump_incoming();
         work += self.pump_outgoing();
+        // Telemetry rides the loop's tail: one wait-free histogram record
+        // of how much this pass moved (the engine's occupancy signal), and
+        // a trace event for any reliability-layer retransmissions the
+        // transport performed while we pumped it.
+        self.telemetry.record_iteration_work(u64::from(work));
+        if let Some(t) = self.trace.as_mut() {
+            let rexmit = self.transport.retransmits_since_poll();
+            if rexmit > 0 {
+                t.event(
+                    TraceKind::Retransmit,
+                    self.transport.local_node().0,
+                    u16::MAX,
+                    rexmit,
+                );
+            }
+        }
         work
     }
 
@@ -270,6 +317,9 @@ impl Engine {
             // it (there is always at least one domain).
             self.domains[0].cb.misaddressed_engine().increment();
             EngineStats::bump(&self.stats.misaddressed);
+            if let Some(t) = self.trace.as_mut() {
+                t.event(TraceKind::Misaddressed, local.0, frame.dst.index().0, 0);
+            }
             return;
         };
         let domain = &self.domains[dom];
@@ -279,6 +329,9 @@ impl Engine {
             Err(_) => {
                 cb.misaddressed_engine().increment();
                 EngineStats::bump(&self.stats.misaddressed);
+                if let Some(t) = self.trace.as_mut() {
+                    t.event(TraceKind::Misaddressed, local.0, frame.dst.index().0, 0);
+                }
                 return;
             }
         };
@@ -289,7 +342,7 @@ impl Engine {
         if self.cfg.check_mode == CheckMode::Checked && validate_backlog(&q).is_err() {
             // Corrupted release pointer: treat the endpoint as having no
             // usable buffers; the message is discarded and counted.
-            Self::count_drop(&self.stats, cb, didx);
+            Self::count_drop(&self.stats, &mut self.trace, local.0, cb, didx, &frame);
             EngineStats::bump(&self.stats.check_failures);
             return;
         }
@@ -297,14 +350,14 @@ impl Engine {
             // The defining optimistic-transport move: no receive buffer
             // queued, so the message is discarded and the wait-free drop
             // counter ticks. The application learns via `drops()`.
-            Self::count_drop(&self.stats, cb, didx);
+            Self::count_drop(&self.stats, &mut self.trace, local.0, cb, didx, &frame);
             return;
         };
         if self.cfg.check_mode == CheckMode::Checked && validate_queued_buffer(cb, buf).is_err() {
             // The ring slot held garbage. Skip the slot (bounded: one per
             // arrival) and count both a check failure and a drop.
             q.advance();
-            Self::count_drop(&self.stats, cb, didx);
+            Self::count_drop(&self.stats, &mut self.trace, local.0, cb, didx, &frame);
             EngineStats::bump(&self.stats.check_failures);
             return;
         }
@@ -315,6 +368,19 @@ impl Engine {
         cb.header(buf).store(frame.src, BufferState::Processed);
         q.advance();
         EngineStats::bump(&self.stats.delivered);
+        // Send→deliver latency: only frames stamped by an engine whose
+        // clock we share (node-local bypass and in-process transports; an
+        // off-the-wire decode leaves the stamp 0, because two processes'
+        // monotonic clocks are not comparable).
+        if frame.stamp_ns != 0 {
+            self.telemetry.record_deliver_latency(
+                usize::from(frame.dst.index().0),
+                flipc_obs::now_ns().saturating_sub(frame.stamp_ns),
+            );
+        }
+        if let Some(t) = self.trace.as_mut() {
+            t.event(TraceKind::Deliver, local.0, frame.dst.index().0, n as u32);
+        }
         // The `advance` store must be globally visible before the waiter
         // count is read: a blocking receiver raises its count, fences, and
         // re-polls the ring, so with this fence at least one side always
@@ -322,16 +388,35 @@ impl Engine {
         // pair reorder and the wakeup get lost).
         flipc_core::sync::atomic::fence(Ordering::SeqCst);
         // Kernel-wakeup role: only if a thread said it was blocking.
-        if cb.waiters(didx).unwrap_or(0) > 0 {
+        let waiters = cb.waiters(didx).unwrap_or(0);
+        if waiters > 0 {
             domain.registry.wake(didx);
+            if let Some(t) = self.trace.as_mut() {
+                t.event(TraceKind::Wakeup, local.0, frame.dst.index().0, waiters);
+            }
         }
     }
 
-    fn count_drop(stats: &EngineStats, cb: &CommBuffer, ep: EndpointIndex) {
+    fn count_drop(
+        stats: &EngineStats,
+        trace: &mut Option<TraceWriter>,
+        node: u16,
+        cb: &CommBuffer,
+        ep: EndpointIndex,
+        frame: &Frame,
+    ) {
         if let Ok(c) = cb.drops_engine(ep) {
             c.increment();
         }
         EngineStats::bump(&stats.dropped_no_buffer);
+        if let Some(t) = trace.as_mut() {
+            t.event(
+                TraceKind::Drop,
+                node,
+                frame.dst.index().0,
+                frame.payload.len() as u32,
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -457,6 +542,11 @@ impl Engine {
                 src,
                 dst: dest,
                 payload,
+                // Stamped at transmit: the delivery path (here for the
+                // node-local bypass, a peer engine sharing our clock for
+                // in-process transports) turns this into a send→deliver
+                // latency sample.
+                stamp_ns: flipc_obs::now_ns(),
             };
 
             if dest.node() == self.transport.local_node() {
@@ -478,6 +568,14 @@ impl Engine {
                 q.advance();
             }
             EngineStats::bump(&self.stats.sent);
+            if let Some(t) = self.trace.as_mut() {
+                t.event(
+                    TraceKind::Send,
+                    self.transport.local_node().0,
+                    global_idx,
+                    cb.payload_size() as u32,
+                );
+            }
             *budget -= 1;
             done += 1;
         }

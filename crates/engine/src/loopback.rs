@@ -104,6 +104,7 @@ mod tests {
             src: EndpointAddress::new(FlipcNodeId(src_node), EndpointIndex(0), 1),
             dst: EndpointAddress::new(FlipcNodeId(dst_node), EndpointIndex(0), 1),
             payload: vec![tag; 8].into(),
+            stamp_ns: 0,
         }
     }
 

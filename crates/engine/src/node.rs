@@ -108,6 +108,12 @@ impl ThreadedCluster {
         self.handles[i].stats()
     }
 
+    /// Node `i`'s engine telemetry (histogram snapshots readable while
+    /// the engine runs).
+    pub fn engine_telemetry(&self, i: usize) -> &Arc<flipc_obs::EngineTelemetry> {
+        self.handles[i].telemetry()
+    }
+
     /// Stops all engines (also happens on drop).
     pub fn shutdown(self) {
         for h in self.handles {
@@ -155,6 +161,11 @@ impl InlineCluster {
     /// Node `i`'s engine statistics.
     pub fn engine_stats(&self, i: usize) -> Arc<EngineStats> {
         self.engines[i].stats()
+    }
+
+    /// Node `i`'s engine telemetry.
+    pub fn engine_telemetry(&self, i: usize) -> Arc<flipc_obs::EngineTelemetry> {
+        self.engines[i].telemetry()
     }
 
     /// Mutable access to node `i`'s engine (e.g. to install rate limits).

@@ -11,11 +11,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::engine::{Engine, EngineStats};
+use flipc_obs::EngineTelemetry;
 
 /// Handle to a running engine thread; stops and joins on drop.
 pub struct EngineHandle {
     stop: Arc<AtomicBool>,
     stats: Arc<EngineStats>,
+    telemetry: Arc<EngineTelemetry>,
     join: Option<JoinHandle<Engine>>,
 }
 
@@ -23,6 +25,7 @@ pub struct EngineHandle {
 pub fn spawn_engine(mut engine: Engine) -> EngineHandle {
     let stop = Arc::new(AtomicBool::new(false));
     let stats = engine.stats();
+    let telemetry = engine.telemetry();
     let stop2 = stop.clone();
     let join = std::thread::Builder::new()
         .name(format!("flipc-engine-{}", engine.node().0))
@@ -60,6 +63,7 @@ pub fn spawn_engine(mut engine: Engine) -> EngineHandle {
     EngineHandle {
         stop,
         stats,
+        telemetry,
         join: Some(join),
     }
 }
@@ -68,6 +72,12 @@ impl EngineHandle {
     /// Shared statistics of the running engine.
     pub fn stats(&self) -> &Arc<EngineStats> {
         &self.stats
+    }
+
+    /// Shared telemetry of the running engine (loads-only histogram
+    /// snapshots, readable while the engine runs).
+    pub fn telemetry(&self) -> &Arc<EngineTelemetry> {
+        &self.telemetry
     }
 
     /// Stops the engine loop and returns the engine (for inspection or

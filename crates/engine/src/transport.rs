@@ -30,4 +30,12 @@ pub trait Transport: Send {
 
     /// This transport's local node id.
     fn local_node(&self) -> FlipcNodeId;
+
+    /// Data frames this transport retransmitted since the last poll
+    /// (telemetry only; the engine forwards the count to its trace ring).
+    /// Transports without a reliability layer never retransmit — the
+    /// default is a constant 0.
+    fn retransmits_since_poll(&mut self) -> u32 {
+        0
+    }
 }

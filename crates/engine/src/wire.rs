@@ -11,7 +11,7 @@
 use flipc_core::endpoint::EndpointAddress;
 
 /// One message in flight between two nodes.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct Frame {
     /// Sending endpoint (stamped into the delivered buffer's header as the
     /// reply address).
@@ -20,7 +20,25 @@ pub struct Frame {
     pub dst: EndpointAddress,
     /// Fixed-size application payload.
     pub payload: Box<[u8]>,
+    /// Telemetry stamp: the sending engine's `flipc_obs::now_ns()` at
+    /// transmit time, or 0 for "unstamped". Diagnostic metadata only — it
+    /// is NOT serialized (clocks of different processes are not
+    /// comparable), so it survives in-process transports (which move
+    /// `Frame` values) and decodes to 0 off the wire. The delivery path
+    /// turns a non-zero stamp into a send→deliver latency sample.
+    pub stamp_ns: u64,
 }
+
+impl PartialEq for Frame {
+    fn eq(&self, other: &Frame) -> bool {
+        // `stamp_ns` is diagnostic metadata, not message identity: two
+        // frames carrying the same addresses and payload are the same
+        // message whether or not telemetry stamped them.
+        self.src == other.src && self.dst == other.dst && self.payload == other.payload
+    }
+}
+
+impl Eq for Frame {}
 
 /// Byte length of the encoded frame header (packed src + packed dst).
 pub const FRAME_HEADER_LEN: usize = 16;
@@ -49,6 +67,7 @@ impl Frame {
             src: EndpointAddress::unpack(src),
             dst: EndpointAddress::unpack(dst),
             payload: bytes[FRAME_HEADER_LEN..].into(),
+            stamp_ns: 0,
         })
     }
 
@@ -74,6 +93,7 @@ mod tests {
             src: addr(1, 2, 3),
             dst: addr(4, 5, 6),
             payload: vec![9u8; 56].into(),
+            stamp_ns: 0,
         };
         let bytes = f.encode();
         assert_eq!(bytes.len(), f.wire_len());
@@ -89,6 +109,7 @@ mod tests {
             src: addr(0, 0, 0),
             dst: addr(0, 0, 0),
             payload: Box::new([]),
+            stamp_ns: 0,
         };
         assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
     }

@@ -27,7 +27,7 @@ proptest! {
         dst in address(),
         payload in proptest::collection::vec(any::<u8>(), 0..512),
     ) {
-        let frame = Frame { src, dst, payload: payload.into() };
+        let frame = Frame { src, dst, payload: payload.into(), stamp_ns: 0 };
         let bytes = frame.encode();
         prop_assert_eq!(bytes.len(), frame.wire_len());
         let back = Frame::decode(&bytes).expect("well-formed frame decodes");
@@ -59,7 +59,7 @@ proptest! {
         payload in proptest::collection::vec(any::<u8>(), 1..128),
         cut in any::<u16>(),
     ) {
-        let frame = Frame { src, dst, payload: payload.into() };
+        let frame = Frame { src, dst, payload: payload.into(), stamp_ns: 0 };
         let bytes = frame.encode();
         let cut = (cut as usize) % bytes.len();
         match Frame::decode(&bytes[..cut]) {

@@ -153,6 +153,7 @@ mod tests {
             src: EndpointAddress::new(FlipcNodeId(0), EndpointIndex(0), 1),
             dst: EndpointAddress::new(FlipcNodeId(dst_node), EndpointIndex(0), 1),
             payload: vec![tag; 8].into(),
+            stamp_ns: 0,
         }
     }
 

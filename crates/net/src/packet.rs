@@ -139,6 +139,7 @@ mod tests {
             src: EndpointAddress::new(FlipcNodeId(3), EndpointIndex(1), 7),
             dst: EndpointAddress::new(FlipcNodeId(4), EndpointIndex(2), 9),
             payload: vec![tag; 56].into(),
+            stamp_ns: 0,
         }
     }
 
@@ -204,6 +205,7 @@ mod tests {
     fn oversized_frames_are_unencodable() {
         let f = Frame {
             payload: vec![0u8; MAX_DATAGRAM].into(),
+            stamp_ns: 0,
             ..frame(0)
         };
         assert!(encode_data(FlipcNodeId(0), 1, &f).is_none());

@@ -272,6 +272,7 @@ mod tests {
             src: EndpointAddress::new(FlipcNodeId(0), EndpointIndex(0), 1),
             dst: EndpointAddress::new(FlipcNodeId(1), EndpointIndex(0), 1),
             payload: vec![tag; 4].into(),
+            stamp_ns: 0,
         }
     }
 

@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use flipc_core::counter::OwnedCounter;
 use flipc_core::endpoint::FlipcNodeId;
+use flipc_core::hist::Histogram;
 use flipc_core::inspect::{PathSnapshot, TransportSnapshot};
 
 /// Counters for one peer path (both directions).
@@ -50,6 +51,13 @@ pub struct NetStats {
     pub decode_errors: OwnedCounter,
     /// Well-formed datagrams from unconfigured node ids.
     pub unknown_peer: OwnedCounter,
+    /// Distribution of retransmit timeouts that actually fired (transport
+    /// clock ticks — microseconds on the production clock). The transport
+    /// is the single recorder; one sample per go-back-N round.
+    pub rto: Histogram,
+    /// Distribution of go-back-N burst sizes (frames re-sent per round).
+    /// Same recorder discipline as `rto`.
+    pub retransmit_burst: Histogram,
 }
 
 impl NetStats {
@@ -66,6 +74,8 @@ impl NetStats {
                 .collect(),
             decode_errors: OwnedCounter::new(),
             unknown_peer: OwnedCounter::new(),
+            rto: Histogram::new(),
+            retransmit_burst: Histogram::new(),
         })
     }
 
@@ -95,6 +105,8 @@ impl NetStats {
                 .collect(),
             decode_errors: self.decode_errors.read(),
             unknown_peer: self.unknown_peer.read(),
+            rto: self.rto.snapshot(),
+            retransmit_burst: self.retransmit_burst.snapshot(),
         }
     }
 }

@@ -58,6 +58,10 @@ pub struct NetTransport<L: Link, C: Clock = MonotonicClock> {
     by_node: Vec<Option<u16>>,
     /// In-order frames awaiting the engine.
     ready: VecDeque<Frame>,
+    /// Frames re-sent since the engine last called
+    /// [`Transport::retransmits_since_poll`] (telemetry; the engine
+    /// forwards it to its trace ring).
+    rexmit_since_poll: u32,
     stats: Arc<NetStats>,
     /// Reusable datagram receive buffer.
     recv_buf: Box<[u8]>,
@@ -95,6 +99,7 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
             clock,
             cfg,
             ready: VecDeque::new(),
+            rexmit_since_poll: 0,
             recv_buf: vec![0u8; MAX_DATAGRAM].into_boxed_slice(),
         }
     }
@@ -182,10 +187,21 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
     fn service_timers(&mut self, now: u64) {
         for i in 0..self.peers.len() {
             let dst = self.peers[i].node;
+            // The timeout that is about to fire (poll doubles the backoff).
+            let rto_fired = self.peers[i].sender.rto();
             let ring = self.peers[i].sender.poll_retransmit(now);
+            let burst = ring.len() as u32;
             for (_, bytes) in ring {
                 self.stats.peers[i].retransmitted.writer().increment();
                 self.link.send(dst, bytes);
+            }
+            if burst > 0 {
+                self.rexmit_since_poll = self.rexmit_since_poll.saturating_add(burst);
+                self.stats.rto.recorder().record(rto_fired);
+                self.stats
+                    .retransmit_burst
+                    .recorder()
+                    .record(u64::from(burst));
             }
         }
     }
@@ -236,6 +252,10 @@ impl<L: Link, C: Clock> Transport for NetTransport<L, C> {
     fn local_node(&self) -> FlipcNodeId {
         self.local
     }
+
+    fn retransmits_since_poll(&mut self) -> u32 {
+        std::mem::take(&mut self.rexmit_since_poll)
+    }
 }
 
 /// Builds the production configuration: a [`NetTransport`] over a bound
@@ -269,6 +289,7 @@ mod tests {
             src: EndpointAddress::new(FlipcNodeId(0), EndpointIndex(0), 1),
             dst: EndpointAddress::new(FlipcNodeId(1), EndpointIndex(0), 1),
             payload: vec![tag; 16].into(),
+            stamp_ns: 0,
         }
     }
 
@@ -387,6 +408,20 @@ mod tests {
             !a.try_send(FlipcNodeId(1), &frame(9)),
             "still backpressured"
         );
+        // Every go-back-N round recorded one rto and one burst sample, and
+        // each round re-sent the whole 4-frame window.
+        assert!(s.rto.count() > 0, "rto histogram populated");
+        assert_eq!(s.rto.count(), s.retransmit_burst.count());
+        assert_eq!(
+            s.retransmit_burst.sum,
+            u64::from(s.paths[0].retransmitted),
+            "burst sizes sum to the retransmit counter"
+        );
+        // The first round fired at the base timeout; backoff then caps.
+        assert!(s.rto.quantile(1.0).unwrap_or(0.0) <= 400.0 * 2.0);
+        // The engine-facing poll reports and resets the tally.
+        assert_eq!(a.retransmits_since_poll(), s.paths[0].retransmitted);
+        assert_eq!(a.retransmits_since_poll(), 0, "poll resets the tally");
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! FLIPC observability: always-on, wait-free telemetry.
+//!
+//! FLIPC's argument is quantitative (sub-20µs medium-message latency, a
+//! ~6 ns/byte copy slope), so the reproduction carries instrumentation
+//! that can stay enabled on the engine's hot path:
+//!
+//! * [`telemetry`] — engine-owned log₂ histograms
+//!   ([`flipc_core::hist`]) of send→deliver latency per endpoint and of
+//!   per-iteration work counts, sampled through the same loads-only
+//!   snapshot surface as [`flipc_core::inspect`];
+//! * [`trace`] — a wait-free SPSC trace ring recording engine events
+//!   (send, deliver, drop, retransmit, wakeup) with a drain API and
+//!   text/JSON dumps;
+//! * [`json`] — a small dependency-free JSON value used by the trace
+//!   dumps and the `bench-report` perf reports (the build environment is
+//!   offline, so no serde).
+//!
+//! Everything here obeys the engine's controller discipline: recording is
+//! loads and stores only, single writer per location, never blocking —
+//! telemetry must not perturb the latency it measures.
+
+pub mod json;
+pub mod telemetry;
+pub mod trace;
+
+pub use telemetry::{EngineTelemetry, EngineTelemetrySnapshot};
+pub use trace::{trace_ring, TraceEvent, TraceKind, TraceReader, TraceWriter};
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Nanoseconds since the process-wide telemetry epoch (first call).
+///
+/// Monotonic within a process, so differences of two stamps are real
+/// durations; stamps from *different* processes are not comparable, which
+/// is why the engine only computes send→deliver latency for frames whose
+/// stamp it set itself (node-local and loopback traffic).
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now().duration_since(epoch).as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_ns_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

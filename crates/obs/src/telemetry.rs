@@ -1,0 +1,221 @@
+//! Engine-owned telemetry histograms.
+//!
+//! One [`EngineTelemetry`] block per engine holds the always-on
+//! distributions the paper's evaluation reports: send→deliver latency per
+//! receive endpoint (nanoseconds) and the per-iteration work count of the
+//! engine loop (messages moved per pass — the engine's occupancy signal).
+//! The engine is the **single recorder** of every histogram here; any
+//! thread may take loads-only snapshots through the same inspect-style
+//! surface as [`flipc_core::inspect`], and the application role harvests
+//! with the two-location reset that never loses an in-flight sample.
+//!
+//! Under the `ownership-checks` feature the block registers every shared
+//! word (recorder side Engine-owned, harvest side App-owned) with the
+//! single-writer checker, and unregisters on drop.
+
+use std::sync::Arc;
+
+use flipc_core::hist::{Histogram, HistogramSnapshot};
+
+/// Index of the iteration-work histogram inside the block.
+const ITER_WORK: usize = 0;
+
+/// The telemetry block for one engine: iteration-work histogram plus one
+/// send→deliver latency histogram per endpoint slot the engine serves.
+///
+/// The histograms live behind an `Arc` so their addresses are stable for
+/// the ownership-checker registration and so observers can hold the block
+/// after the engine thread ends.
+#[derive(Debug)]
+pub struct EngineTelemetry {
+    /// `[0]` = iteration work; `[1 + e]` = deliver latency of endpoint `e`.
+    hists: Box<[Histogram]>,
+}
+
+impl EngineTelemetry {
+    /// A telemetry block covering `endpoints` endpoint slots.
+    pub fn new(endpoints: usize) -> Arc<EngineTelemetry> {
+        let hists: Box<[Histogram]> = (0..endpoints + 1).map(|_| Histogram::new()).collect();
+        let t = Arc::new(EngineTelemetry { hists });
+        #[cfg(feature = "ownership-checks")]
+        {
+            t.hists[ITER_WORK].register_ownership("telemetry.iteration_work");
+            for (e, h) in t.hists[1..].iter().enumerate() {
+                h.register_ownership(&format!("telemetry.deliver_latency[{e}]"));
+            }
+        }
+        t
+    }
+
+    /// Endpoint slots this block covers.
+    pub fn endpoints(&self) -> usize {
+        self.hists.len() - 1
+    }
+
+    /// Records the number of messages moved by one engine-loop pass.
+    /// Engine-side only (single recorder).
+    pub fn record_iteration_work(&self, moved: u64) {
+        self.hists[ITER_WORK].recorder().record(moved);
+    }
+
+    /// Records one send→deliver latency sample (nanoseconds) for the
+    /// endpoint the message was delivered to. Engine-side only (single
+    /// recorder). Out-of-range endpoints are ignored — telemetry must
+    /// never turn a misaddressed message into a panic.
+    pub fn record_deliver_latency(&self, endpoint: usize, ns: u64) {
+        if let Some(h) = self.hists.get(1 + endpoint) {
+            h.recorder().record(ns);
+        }
+    }
+
+    /// A loads-only snapshot (non-destructive, any thread).
+    pub fn snapshot(&self) -> EngineTelemetrySnapshot {
+        EngineTelemetrySnapshot {
+            iteration_work: self.hists[ITER_WORK].snapshot(),
+            deliver_latency: self.hists[1..].iter().map(Histogram::snapshot).collect(),
+        }
+    }
+
+    /// Snapshots and resets every histogram (application role: writes the
+    /// harvest shadows; samples recorded concurrently surface in the next
+    /// harvest).
+    pub fn harvest(&self) -> EngineTelemetrySnapshot {
+        EngineTelemetrySnapshot {
+            iteration_work: self.hists[ITER_WORK].reader().harvest(),
+            deliver_latency: self.hists[1..]
+                .iter()
+                .map(|h| h.reader().harvest())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(feature = "ownership-checks")]
+impl Drop for EngineTelemetry {
+    fn drop(&mut self) {
+        for h in &self.hists {
+            h.unregister_ownership();
+        }
+    }
+}
+
+/// Point-in-time state of an engine's telemetry block, in the same spirit
+/// as [`flipc_core::inspect::CommBufferSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineTelemetrySnapshot {
+    /// Messages moved per engine-loop pass.
+    pub iteration_work: HistogramSnapshot,
+    /// Send→deliver latency (ns) per endpoint slot.
+    pub deliver_latency: Vec<HistogramSnapshot>,
+}
+
+impl EngineTelemetrySnapshot {
+    /// All endpoint latency histograms merged into one distribution.
+    pub fn total_deliver_latency(&self) -> HistogramSnapshot {
+        let mut total = HistogramSnapshot::empty(
+            self.deliver_latency
+                .first()
+                .map_or(flipc_core::hist::BUCKETS, |s| s.buckets.len()),
+        );
+        for s in &self.deliver_latency {
+            total.merge(s);
+        }
+        total
+    }
+
+    /// A compact human-readable report: loop-occupancy summary plus one
+    /// line per endpoint that delivered anything.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let iw = &self.iteration_work;
+        let _ = writeln!(
+            out,
+            "engine iterations {} (mean work {:.2}, p99 {:.0})",
+            iw.count(),
+            iw.mean().unwrap_or(0.0),
+            iw.quantile(0.99).unwrap_or(0.0),
+        );
+        for (e, s) in self.deliver_latency.iter().enumerate() {
+            if s.count() == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "ep{e:<3} delivered {}: latency p50 {:.0} ns, p99 {:.0} ns",
+                s.count(),
+                s.quantile(0.5).unwrap_or(0.0),
+                s.quantile(0.99).unwrap_or(0.0),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_route_to_the_right_histograms() {
+        let t = EngineTelemetry::new(4);
+        assert_eq!(t.endpoints(), 4);
+        t.record_iteration_work(3);
+        t.record_deliver_latency(2, 1500);
+        t.record_deliver_latency(2, 1600);
+        t.record_deliver_latency(9999, 1); // out of range: ignored
+        let s = t.snapshot();
+        assert_eq!(s.iteration_work.count(), 1);
+        assert_eq!(s.deliver_latency[2].count(), 2);
+        assert_eq!(s.deliver_latency[0].count(), 0);
+        assert_eq!(s.total_deliver_latency().count(), 2);
+        let text = s.render();
+        assert!(text.contains("ep2"), "{text}");
+        assert!(
+            !text.contains("ep0 "),
+            "quiet endpoints stay unlisted: {text}"
+        );
+    }
+
+    #[test]
+    fn harvest_resets_without_losing_samples() {
+        let t = EngineTelemetry::new(2);
+        t.record_deliver_latency(0, 100);
+        let first = t.harvest();
+        assert_eq!(first.deliver_latency[0].count(), 1);
+        assert_eq!(t.snapshot().deliver_latency[0].count(), 0);
+        t.record_deliver_latency(0, 100);
+        assert_eq!(t.harvest().deliver_latency[0].count(), 1);
+    }
+
+    #[cfg(feature = "ownership-checks")]
+    #[test]
+    fn production_paths_are_violation_free_and_registered() {
+        use flipc_core::ownership;
+        let t = EngineTelemetry::new(2);
+        let base = &t.hists[ITER_WORK] as *const _ as usize;
+        let _ = ownership::take_violations();
+        t.record_iteration_work(1);
+        let _ = t.harvest();
+        let mine: Vec<_> = ownership::take_violations()
+            .into_iter()
+            .filter(|v| v.region_base == base)
+            .collect();
+        assert!(mine.is_empty(), "production paths flagged: {mine:?}");
+        // Cross-role write through the registered region is flagged with
+        // the telemetry field name.
+        {
+            let _role = ownership::enter(ownership::Role::Engine);
+            let _ = t.hists[ITER_WORK].reader().harvest();
+        }
+        let mine: Vec<_> = ownership::take_violations()
+            .into_iter()
+            .filter(|v| v.region_base == base)
+            .collect();
+        assert!(
+            mine.iter()
+                .any(|v| v.field.starts_with("telemetry.iteration_work.taken")),
+            "field name must resolve: {mine:?}"
+        );
+    }
+}

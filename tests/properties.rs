@@ -213,6 +213,7 @@ proptest! {
             src: EndpointAddress::unpack(src & 0xFFFF_FFFF_FFFF),
             dst: EndpointAddress::unpack(dst & 0xFFFF_FFFF_FFFF),
             payload: payload.clone().into(),
+            stamp_ns: 0,
         };
         let decoded = Frame::decode(&f.encode()).expect("decodes");
         prop_assert_eq!(decoded, f);
