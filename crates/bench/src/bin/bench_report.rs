@@ -273,6 +273,19 @@ fn run_suite(quick: bool) -> Report {
         gate: true,
     });
 
+    // --- Sustained throughput: saturating open loop over the loopback
+    // pair (the ROADMAP's msgs/s metric; higher is better).
+    let msgs_per_sec = sustained_throughput(quick);
+    report.push(Metric {
+        name: "sustained_throughput_msgs_per_sec".into(),
+        unit: "msg/s".into(),
+        value: msgs_per_sec,
+        p50: None,
+        p99: None,
+        direction: Direction::HigherIsBetter,
+        gate: true,
+    });
+
     // --- Seeded-loss recovery: the same fixed adversary every run.
     for (loss_pct, loss) in [(1u32, 0.01f64), (10, 0.10)] {
         let frames = if quick { 200 } else { 1000 };
@@ -365,7 +378,7 @@ fn loopback_pingpong(geo: Geometry, warmup: usize, iters: usize) -> (Vec<u64>, f
         .filter(|e| e.kind == flipc_obs::TraceKind::Deliver)
         .count() as u64;
     assert!(
-        delivers + u64::from(tr.lost()) >= (warmup + iters) as u64,
+        delivers + tr.lost() >= (warmup + iters) as u64,
         "trace ring lost deliveries silently"
     );
     (rtts, telemetry_p50)
@@ -373,6 +386,69 @@ fn loopback_pingpong(geo: Geometry, warmup: usize, iters: usize) -> (Vec<u64>, f
 
 fn alloc(app: &Flipc, ty: EndpointType) -> LocalEndpoint {
     app.endpoint_allocate(ty, Importance::Normal).expect("ep")
+}
+
+/// Saturating open loop over an inline loopback pair: the sender keeps the
+/// send ring full, the receiver keeps buffers provided and frees arrivals
+/// as they land, and no send ever waits for a response — the engines run
+/// at their iteration-bounded maximum. Returns messages delivered per
+/// second of wall time over the measured window (a warmup window runs
+/// first so ramp-up cost stays out of the number).
+fn sustained_throughput(quick: bool) -> f64 {
+    let geo = Geometry {
+        ring_capacity: 32,
+        buffers: 128,
+        ..Geometry::small()
+    };
+    let mut cl = InlineCluster::new(2, geo, EngineConfig::default()).expect("cluster");
+    let app0 = cl.node(0).attach();
+    let app1 = cl.node(1).attach();
+    let tx = alloc(&app0, EndpointType::Send);
+    let rx = alloc(&app1, EndpointType::Receive);
+    let dest = app1.address(&rx);
+
+    let (warmup, window): (u64, u64) = if quick {
+        (5_000, 50_000)
+    } else {
+        (20_000, 400_000)
+    };
+    let mut delivered = 0u64;
+    let mut window_base: Option<u64> = None;
+    let mut start = Instant::now();
+    loop {
+        // Keep the receive ring stocked...
+        while let Ok(buf) = app1.buffer_allocate() {
+            if let Err(r) = app1.provide_receive_buffer_unlocked(&rx, buf) {
+                app1.buffer_free(r.token);
+                break;
+            }
+        }
+        // ...and the send ring full (reclaim completed sends first so the
+        // pool never starves).
+        while let Some(tok) = app0.reclaim_send_unlocked(&tx).expect("reclaim") {
+            app0.buffer_free(tok);
+        }
+        while let Ok(buf) = app0.buffer_allocate() {
+            if let Err(r) = app0.send_unlocked(&tx, buf, dest) {
+                app0.buffer_free(r.token);
+                break;
+            }
+        }
+        cl.pump();
+        while let Some(got) = app1.recv_unlocked(&rx).expect("recv") {
+            app1.buffer_free(got.token);
+            delivered += 1;
+        }
+        if window_base.is_none() && delivered >= warmup {
+            window_base = Some(delivered);
+            start = Instant::now();
+        }
+        if let Some(base) = window_base {
+            if delivered >= base + window {
+                return (delivered - base) as f64 / start.elapsed().as_secs_f64();
+            }
+        }
+    }
 }
 
 /// One engine-driven node pair joined by real 127.0.0.1 UDP sockets, same

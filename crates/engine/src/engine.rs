@@ -256,6 +256,23 @@ impl Engine {
         self.trace = Some(trace);
     }
 
+    /// Builds a trace ring of `capacity` events, installs its producer
+    /// half on this engine, and hands back the consumer half — the
+    /// one-call form of [`Engine::set_trace`] used by observers
+    /// (`flipc-top`, the stall monitor).
+    pub fn install_trace(&mut self, capacity: usize) -> flipc_obs::TraceReader {
+        let (w, r) = flipc_obs::trace_ring(capacity);
+        self.set_trace(w);
+        r
+    }
+
+    /// A loads-only snapshot of the transport's reliability state, when
+    /// the transport keeps one (`None` for in-process carriers). Observer
+    /// surface — never called from the event loop.
+    pub fn transport_snapshot(&self) -> Option<flipc_core::inspect::TransportSnapshot> {
+        self.transport.snapshot()
+    }
+
     /// The node this engine serves.
     pub fn node(&self) -> flipc_core::endpoint::FlipcNodeId {
         self.transport.local_node()

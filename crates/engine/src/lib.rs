@@ -32,6 +32,6 @@ pub use engine::{Domain, Engine, EngineConfig, EngineStats};
 pub use loopback::{fabric, LoopbackPort};
 pub use node::{InlineCluster, NodeCore, ThreadedCluster};
 pub use shaper::{Shaper, TokenBucket};
-pub use thread::{spawn_engine, EngineHandle};
+pub use thread::{spawn_engine, spawn_engine_traced, EngineHandle};
 pub use transport::Transport;
 pub use wire::Frame;

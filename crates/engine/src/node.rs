@@ -19,7 +19,7 @@ use flipc_core::wait::WaitRegistry;
 
 use crate::engine::{Engine, EngineConfig, EngineStats};
 use crate::loopback::fabric;
-use crate::thread::{spawn_engine, EngineHandle};
+use crate::thread::{spawn_engine, spawn_engine_traced, EngineHandle};
 
 /// Shared node state applications attach to.
 #[derive(Clone)]
@@ -73,13 +73,38 @@ pub struct ThreadedCluster {
 impl ThreadedCluster {
     /// Builds `n` nodes on a loopback fabric and starts their engines.
     pub fn new(n: usize, geo: Geometry, cfg: EngineConfig) -> Result<ThreadedCluster> {
+        ThreadedCluster::build(n, geo, cfg, None)
+    }
+
+    /// Like [`ThreadedCluster::new`], but every engine starts with a trace
+    /// ring of `trace_capacity` events installed; observers claim the
+    /// consumer halves via [`ThreadedCluster::handle_mut`] +
+    /// [`EngineHandle::take_trace_reader`].
+    pub fn new_traced(
+        n: usize,
+        geo: Geometry,
+        cfg: EngineConfig,
+        trace_capacity: usize,
+    ) -> Result<ThreadedCluster> {
+        ThreadedCluster::build(n, geo, cfg, Some(trace_capacity))
+    }
+
+    fn build(
+        n: usize,
+        geo: Geometry,
+        cfg: EngineConfig,
+        trace_capacity: Option<usize>,
+    ) -> Result<ThreadedCluster> {
         let ports = fabric(n, 256);
         let cores = build_cores(n, geo)?;
         let mut handles = Vec::with_capacity(n);
         let mut out_cores = Vec::with_capacity(n);
         for ((core, registry), port) in cores.into_iter().zip(ports) {
             let engine = Engine::new(core.cb.clone(), Box::new(port), registry, cfg);
-            handles.push(spawn_engine(engine));
+            handles.push(match trace_capacity {
+                Some(cap) => spawn_engine_traced(engine, cap),
+                None => spawn_engine(engine),
+            });
             out_cores.push(core);
         }
         Ok(ThreadedCluster {
@@ -112,6 +137,12 @@ impl ThreadedCluster {
     /// the engine runs).
     pub fn engine_telemetry(&self, i: usize) -> &Arc<flipc_obs::EngineTelemetry> {
         self.handles[i].telemetry()
+    }
+
+    /// Mutable access to node `i`'s engine handle (e.g. to take a trace
+    /// reader installed with [`ThreadedCluster::new_traced`]).
+    pub fn handle_mut(&mut self, i: usize) -> &mut EngineHandle {
+        &mut self.handles[i]
     }
 
     /// Stops all engines (also happens on drop).

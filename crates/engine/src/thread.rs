@@ -11,14 +11,27 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::engine::{Engine, EngineStats};
-use flipc_obs::EngineTelemetry;
+use flipc_obs::{EngineTelemetry, EngineTelemetrySnapshot, TraceReader};
 
 /// Handle to a running engine thread; stops and joins on drop.
 pub struct EngineHandle {
     stop: Arc<AtomicBool>,
     stats: Arc<EngineStats>,
     telemetry: Arc<EngineTelemetry>,
+    /// Consumer half of the engine's trace ring, parked here until an
+    /// observer claims it (see [`EngineHandle::take_trace_reader`]).
+    trace: Option<TraceReader>,
     join: Option<JoinHandle<Engine>>,
+}
+
+/// Starts `engine` on its own thread with a trace ring of `capacity`
+/// events installed; the consumer half rides the returned handle until an
+/// observer takes it.
+pub fn spawn_engine_traced(mut engine: Engine, capacity: usize) -> EngineHandle {
+    let reader = engine.install_trace(capacity);
+    let mut handle = spawn_engine(engine);
+    handle.trace = Some(reader);
+    handle
 }
 
 /// Starts `engine` on its own thread.
@@ -64,6 +77,7 @@ pub fn spawn_engine(mut engine: Engine) -> EngineHandle {
         stop,
         stats,
         telemetry,
+        trace: None,
         join: Some(join),
     }
 }
@@ -78,6 +92,22 @@ impl EngineHandle {
     /// snapshots, readable while the engine runs).
     pub fn telemetry(&self) -> &Arc<EngineTelemetry> {
         &self.telemetry
+    }
+
+    /// Harvests (snapshot-and-reset) the engine's telemetry. The caller
+    /// becomes the application-role harvester for this interval — run at
+    /// most one concurrent harvester per engine, per the two-location
+    /// counter discipline.
+    pub fn harvest_telemetry(&self) -> EngineTelemetrySnapshot {
+        self.telemetry.harvest()
+    }
+
+    /// Hands the trace ring's consumer half to the caller (present only
+    /// when the engine was started with [`spawn_engine_traced`]; `None`
+    /// afterwards or for untraced engines). The reader outlives the
+    /// handle, so an observer may keep draining after the engine stops.
+    pub fn take_trace_reader(&mut self) -> Option<TraceReader> {
+        self.trace.take()
     }
 
     /// Stops the engine loop and returns the engine (for inspection or

@@ -15,6 +15,7 @@
 //!   development platform (and its overhead).
 
 use flipc_core::endpoint::FlipcNodeId;
+use flipc_core::inspect::TransportSnapshot;
 
 use crate::wire::Frame;
 
@@ -37,5 +38,13 @@ pub trait Transport: Send {
     /// default is a constant 0.
     fn retransmits_since_poll(&mut self) -> u32 {
         0
+    }
+
+    /// A loads-only snapshot of this transport's reliability state, for
+    /// observers (the metrics exposition, `flipc-top`). Transports without
+    /// per-peer state report `None` — the default for in-process carriers
+    /// like the loopback fabric.
+    fn snapshot(&self) -> Option<TransportSnapshot> {
+        None
     }
 }

@@ -256,6 +256,10 @@ impl<L: Link, C: Clock> Transport for NetTransport<L, C> {
     fn retransmits_since_poll(&mut self) -> u32 {
         std::mem::take(&mut self.rexmit_since_poll)
     }
+
+    fn snapshot(&self) -> Option<flipc_core::inspect::TransportSnapshot> {
+        Some(self.stats.snapshot())
+    }
 }
 
 /// Builds the production configuration: a [`NetTransport`] over a bound

@@ -1,0 +1,545 @@
+//! Dependency-free Prometheus-style text exposition.
+//!
+//! Dashboards need the telemetry the recorders gather, and the standard
+//! transport for that is the Prometheus text format — `# HELP`/`# TYPE`
+//! headers, one `name{labels} value` sample per line, histograms as
+//! cumulative `_bucket{le="…"}` series. This module renders
+//! [`EngineTelemetrySnapshot`] and [`TransportSnapshot`] into that format
+//! with **stable metric names** (golden-tested in
+//! `tests/expo_golden.rs`), entirely from the standard library.
+//!
+//! Serving is equally minimal: [`serve_once`] answers exactly one HTTP
+//! request on an already-bound listener, and [`ExpoServer`] loops that in
+//! a background thread. Both run strictly on the observer side — the
+//! engine never blocks on, or even knows about, the listener.
+//!
+//! Metric-name contract (dashboards depend on these):
+//!
+//! | metric | type | labels |
+//! |---|---|---|
+//! | `flipc_iteration_work` | histogram | `node` |
+//! | `flipc_deliver_latency_ns` | histogram | `node`, `endpoint` |
+//! | `flipc_trace_events_lost_total` | counter | `node` |
+//! | `flipc_net_sent_total` | counter | `node`, `peer` |
+//! | `flipc_net_retransmitted_total` | counter | `node`, `peer` |
+//! | `flipc_net_delivered_total` | counter | `node`, `peer` |
+//! | `flipc_net_dup_dropped_total` | counter | `node`, `peer` |
+//! | `flipc_net_out_of_window_total` | counter | `node`, `peer` |
+//! | `flipc_net_wire_dropped_total` | counter | `node`, `peer` |
+//! | `flipc_net_in_flight` | gauge | `node`, `peer` |
+//! | `flipc_net_decode_errors_total` | counter | `node` |
+//! | `flipc_net_unknown_peer_total` | counter | `node` |
+//! | `flipc_net_rto_ticks` | histogram | `node` |
+//! | `flipc_net_retransmit_burst` | histogram | `node` |
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use flipc_core::hist::{bucket_bounds, HistogramSnapshot};
+use flipc_core::inspect::TransportSnapshot;
+
+use crate::telemetry::EngineTelemetrySnapshot;
+
+/// Prometheus sample types this renderer knows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MetricType {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricType {
+    fn name(self) -> &'static str {
+        match self {
+            MetricType::Counter => "counter",
+            MetricType::Gauge => "gauge",
+            MetricType::Histogram => "histogram",
+        }
+    }
+}
+
+/// One metric family: a HELP/TYPE header plus its samples, rendered in
+/// insertion order.
+struct Family {
+    name: String,
+    help: &'static str,
+    kind: MetricType,
+    /// Pre-rendered sample lines (`name{labels} value`).
+    lines: Vec<String>,
+}
+
+/// Label set for one sample: `(key, value)` pairs rendered in order.
+pub type Labels<'a> = &'a [(&'a str, String)];
+
+/// Builder for one exposition page.
+///
+/// Families render in first-registration order, so repeated exposure of
+/// the same snapshot structure yields byte-identical layout — the property
+/// the golden test pins down.
+#[derive(Default)]
+pub struct Exposition {
+    families: Vec<Family>,
+}
+
+impl Exposition {
+    /// An empty page.
+    pub fn new() -> Exposition {
+        Exposition::default()
+    }
+
+    fn family(&mut self, name: &str, help: &'static str, kind: MetricType) -> &mut Family {
+        if let Some(i) = self.families.iter().position(|f| f.name == name) {
+            assert_eq!(
+                self.families[i].kind, kind,
+                "metric {name} registered with two types"
+            );
+            return &mut self.families[i];
+        }
+        self.families.push(Family {
+            name: name.to_owned(),
+            help,
+            kind,
+            lines: Vec::new(),
+        });
+        self.families.last_mut().expect("just pushed")
+    }
+
+    fn sample(family: &mut Family, suffix: &str, labels: Labels<'_>, value: &str) {
+        let mut line = String::with_capacity(64);
+        line.push_str(&family.name);
+        line.push_str(suffix);
+        if !labels.is_empty() {
+            line.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push_str(k);
+                line.push_str("=\"");
+                // Prometheus label escaping: backslash, quote, newline.
+                for c in v.chars() {
+                    match c {
+                        '\\' => line.push_str("\\\\"),
+                        '"' => line.push_str("\\\""),
+                        '\n' => line.push_str("\\n"),
+                        c => line.push(c),
+                    }
+                }
+                line.push('"');
+            }
+            line.push('}');
+        }
+        line.push(' ');
+        line.push_str(value);
+        family.lines.push(line);
+    }
+
+    /// Adds one counter sample.
+    pub fn counter(&mut self, name: &str, help: &'static str, labels: Labels<'_>, value: u64) {
+        let f = self.family(name, help, MetricType::Counter);
+        Exposition::sample(f, "", labels, &value.to_string());
+    }
+
+    /// Adds one gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &'static str, labels: Labels<'_>, value: u64) {
+        let f = self.family(name, help, MetricType::Gauge);
+        Exposition::sample(f, "", labels, &value.to_string());
+    }
+
+    /// Adds one histogram series: cumulative `_bucket{le="…"}` lines for
+    /// every non-empty log₂ bucket plus the mandatory `le="+Inf"`, then
+    /// `_sum` and `_count`. The `le` bound of bucket `i` is its inclusive
+    /// upper value bound from [`bucket_bounds`].
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &'static str,
+        labels: Labels<'_>,
+        h: &HistogramSnapshot,
+    ) {
+        let f = self.family(name, help, MetricType::Histogram);
+        let total: u64 = h.count();
+        let mut cum = 0u64;
+        for (i, &c) in h.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            let (_, hi) = bucket_bounds(i, h.buckets.len());
+            if hi == u64::MAX {
+                // The top bucket is the +Inf bucket rendered below.
+                continue;
+            }
+            let mut le_labels: Vec<(&str, String)> = labels.to_vec();
+            le_labels.push(("le", hi.to_string()));
+            Exposition::sample(f, "_bucket", &le_labels, &cum.to_string());
+        }
+        let mut inf_labels: Vec<(&str, String)> = labels.to_vec();
+        inf_labels.push(("le", "+Inf".to_owned()));
+        Exposition::sample(f, "_bucket", &inf_labels, &total.to_string());
+        Exposition::sample(f, "_sum", labels, &h.sum.to_string());
+        Exposition::sample(f, "_count", labels, &total.to_string());
+    }
+
+    /// Renders the whole page (trailing newline included).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for f in &self.families {
+            let _ = writeln!(out, "# HELP {} {}", f.name, f.help);
+            let _ = writeln!(out, "# TYPE {} {}", f.name, f.kind.name());
+            for line in &f.lines {
+                let _ = writeln!(out, "{line}");
+            }
+        }
+        out
+    }
+}
+
+/// Exposes one engine's telemetry snapshot under the stable names
+/// `flipc_iteration_work` and `flipc_deliver_latency_ns` (per-endpoint),
+/// labelled with this engine's `node`.
+pub fn expose_engine(expo: &mut Exposition, node: u16, snap: &EngineTelemetrySnapshot) {
+    let node_l = node.to_string();
+    expo.histogram(
+        "flipc_iteration_work",
+        "Messages moved per engine-loop pass.",
+        &[("node", node_l.clone())],
+        &snap.iteration_work,
+    );
+    for (e, h) in snap.deliver_latency.iter().enumerate() {
+        if h.count() == 0 {
+            continue;
+        }
+        expo.histogram(
+            "flipc_deliver_latency_ns",
+            "Send-to-deliver latency per receive endpoint, nanoseconds.",
+            &[("node", node_l.clone()), ("endpoint", e.to_string())],
+            h,
+        );
+    }
+}
+
+/// Exposes the trace ring's lost-event tally for one node.
+pub fn expose_trace_lost(expo: &mut Exposition, node: u16, lost: u64) {
+    expo.counter(
+        "flipc_trace_events_lost_total",
+        "Trace events dropped because the ring was full.",
+        &[("node", node.to_string())],
+        lost,
+    );
+}
+
+/// Exposes a transport snapshot under the stable `flipc_net_*` names
+/// (per-peer counters + gauges, node-scope error counters, retransmit
+/// histograms).
+pub fn expose_transport(expo: &mut Exposition, snap: &TransportSnapshot) {
+    let node = snap.local.0.to_string();
+    for p in &snap.paths {
+        let labels = [("node", node.clone()), ("peer", p.peer.0.to_string())];
+        let counters: [(&str, &'static str, u32); 6] = [
+            (
+                "flipc_net_sent_total",
+                "Data frames transmitted for the first time.",
+                p.sent,
+            ),
+            (
+                "flipc_net_retransmitted_total",
+                "Data frames re-transmitted by the reliability layer.",
+                p.retransmitted,
+            ),
+            (
+                "flipc_net_delivered_total",
+                "In-order frames handed up to the engine.",
+                p.delivered,
+            ),
+            (
+                "flipc_net_dup_dropped_total",
+                "Duplicate arrivals discarded by the dedup window.",
+                p.dup_dropped,
+            ),
+            (
+                "flipc_net_out_of_window_total",
+                "Arrivals outside the reorder window, discarded.",
+                p.out_of_window,
+            ),
+            (
+                "flipc_net_wire_dropped_total",
+                "First-transmission attempts the wire refused.",
+                p.wire_dropped,
+            ),
+        ];
+        for (name, help, v) in counters {
+            expo.counter(name, help, &labels, u64::from(v));
+        }
+        expo.gauge(
+            "flipc_net_in_flight",
+            "Frames sent and not yet cumulatively acknowledged.",
+            &labels,
+            u64::from(p.in_flight),
+        );
+    }
+    let node_l = [("node", node.clone())];
+    expo.counter(
+        "flipc_net_decode_errors_total",
+        "Datagrams rejected before peer attribution.",
+        &node_l,
+        u64::from(snap.decode_errors),
+    );
+    expo.counter(
+        "flipc_net_unknown_peer_total",
+        "Well-formed datagrams from unconfigured node ids.",
+        &node_l,
+        u64::from(snap.unknown_peer),
+    );
+    expo.histogram(
+        "flipc_net_rto_ticks",
+        "Retransmit timeouts that fired, in transport clock ticks.",
+        &node_l,
+        &snap.rto,
+    );
+    expo.histogram(
+        "flipc_net_retransmit_burst",
+        "Frames re-sent per go-back-N retransmit round.",
+        &node_l,
+        &snap.retransmit_burst,
+    );
+}
+
+/// Answers exactly one HTTP request on `listener` with `body` as
+/// `text/plain` (any request path — this is a metrics page, not a
+/// router). Returns the peer that was served.
+///
+/// Blocks until a client connects (honouring the listener's own blocking
+/// mode and timeouts).
+pub fn serve_once(listener: &TcpListener, body: &str) -> std::io::Result<SocketAddr> {
+    let (mut stream, peer) = listener.accept()?;
+    // Read (and discard) the request head so the client sees a clean
+    // exchange; cap the read so a misbehaving client can't hold us.
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut buf = [0u8; 1024];
+    let _ = stream.read(&mut buf);
+    let head = format!(
+        "HTTP/1.1 200 OK\r\ncontent-type: text/plain; version=0.0.4\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    Ok(peer)
+}
+
+/// A tiny blocking metrics listener on a background thread: each accepted
+/// connection gets a freshly rendered page from the supplied callback.
+pub struct ExpoServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ExpoServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves `render` until the
+    /// handle is dropped.
+    pub fn spawn<F>(addr: &str, render: F) -> std::io::Result<ExpoServer>
+    where
+        F: Fn() -> String + Send + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        // Nonblocking accept + sleep keeps shutdown simple (no self-connect
+        // tricks) at the cost of a few wakeups per second — observer-side
+        // only, invisible to the engine.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let join = std::thread::Builder::new()
+            .name("flipc-expo".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            stream.set_nonblocking(false).ok();
+                            serve_stream(stream, &render());
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(_) => return,
+                    }
+                }
+            })?;
+        Ok(ExpoServer {
+            addr: bound,
+            stop,
+            join: Some(join),
+        })
+    }
+
+    /// The address actually bound (resolves `:0` port requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+fn serve_stream(mut stream: std::net::TcpStream, body: &str) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut buf = [0u8; 1024];
+    let _ = stream.read(&mut buf);
+    let head = format!(
+        "HTTP/1.1 200 OK\r\ncontent-type: text/plain; version=0.0.4\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+}
+
+impl Drop for ExpoServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flipc_core::hist::BUCKETS;
+
+    #[test]
+    fn families_dedupe_help_and_type_headers() {
+        let mut e = Exposition::new();
+        e.counter("flipc_x_total", "X.", &[("node", "0".into())], 1);
+        e.counter("flipc_x_total", "X.", &[("node", "1".into())], 2);
+        let page = e.render();
+        assert_eq!(page.matches("# HELP flipc_x_total").count(), 1);
+        assert_eq!(page.matches("# TYPE flipc_x_total counter").count(), 1);
+        assert!(page.contains("flipc_x_total{node=\"0\"} 1\n"));
+        assert!(page.contains("flipc_x_total{node=\"1\"} 2\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf() {
+        let mut h = HistogramSnapshot::empty(BUCKETS);
+        h.buckets[1] = 3; // values in [1,1]
+        h.buckets[3] = 2; // values in [4,7]
+        h.sum = 13;
+        let mut e = Exposition::new();
+        e.histogram("flipc_h", "H.", &[], &h);
+        let page = e.render();
+        assert!(page.contains("flipc_h_bucket{le=\"1\"} 3\n"), "{page}");
+        assert!(page.contains("flipc_h_bucket{le=\"7\"} 5\n"), "{page}");
+        assert!(page.contains("flipc_h_bucket{le=\"+Inf\"} 5\n"), "{page}");
+        assert!(page.contains("flipc_h_sum 13\n"));
+        assert!(page.contains("flipc_h_count 5\n"));
+    }
+
+    #[test]
+    fn top_bucket_samples_surface_only_in_inf() {
+        let mut h = HistogramSnapshot::empty(BUCKETS);
+        h.buckets[BUCKETS - 1] = 4;
+        let mut e = Exposition::new();
+        e.histogram("flipc_h", "H.", &[], &h);
+        let page = e.render();
+        assert!(page.contains("flipc_h_bucket{le=\"+Inf\"} 4\n"), "{page}");
+        assert_eq!(page.matches("_bucket").count(), 1, "{page}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut e = Exposition::new();
+        e.gauge("g", "G.", &[("who", "a\"b\\c\nd".into())], 7);
+        assert!(e.render().contains("g{who=\"a\\\"b\\\\c\\nd\"} 7\n"));
+    }
+
+    #[test]
+    fn serve_once_answers_http() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || serve_once(&listener, "flipc_up 1\n").unwrap());
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nhost: x\r\n\r\n")
+            .unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        server.join().unwrap();
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+        assert!(resp.contains("text/plain"), "{resp}");
+        assert!(resp.ends_with("flipc_up 1\n"), "{resp}");
+    }
+
+    #[test]
+    fn expo_server_serves_fresh_pages_until_dropped() {
+        use std::sync::atomic::AtomicU64;
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = n.clone();
+        let server = ExpoServer::spawn("127.0.0.1:0", move || {
+            format!("flipc_page {}\n", n2.fetch_add(1, Ordering::Relaxed))
+        })
+        .unwrap();
+        let fetch = |addr| {
+            let mut s = std::net::TcpStream::connect(addr).unwrap();
+            s.write_all(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+            let mut r = String::new();
+            s.read_to_string(&mut r).unwrap();
+            r
+        };
+        let a = fetch(server.addr());
+        let b = fetch(server.addr());
+        assert!(a.contains("flipc_page 0"), "{a}");
+        assert!(b.contains("flipc_page 1"), "{b}");
+        drop(server);
+    }
+
+    #[test]
+    fn engine_and_transport_exposure_use_stable_names() {
+        use flipc_core::endpoint::FlipcNodeId;
+        use flipc_core::inspect::PathSnapshot;
+        let mut lat = HistogramSnapshot::empty(BUCKETS);
+        lat.buckets[11] = 5;
+        lat.sum = 5_000;
+        let snap = crate::telemetry::EngineTelemetrySnapshot {
+            iteration_work: HistogramSnapshot::empty(BUCKETS),
+            deliver_latency: vec![HistogramSnapshot::empty(BUCKETS), lat],
+        };
+        let tsnap = TransportSnapshot {
+            local: FlipcNodeId(0),
+            paths: vec![PathSnapshot {
+                peer: FlipcNodeId(1),
+                sent: 10,
+                retransmitted: 2,
+                delivered: 9,
+                dup_dropped: 1,
+                out_of_window: 0,
+                wire_dropped: 0,
+                in_flight: 1,
+            }],
+            decode_errors: 0,
+            unknown_peer: 0,
+            rto: HistogramSnapshot::empty(BUCKETS),
+            retransmit_burst: HistogramSnapshot::empty(BUCKETS),
+        };
+        let mut e = Exposition::new();
+        expose_engine(&mut e, 0, &snap);
+        expose_trace_lost(&mut e, 0, 3);
+        expose_transport(&mut e, &tsnap);
+        let page = e.render();
+        for needle in [
+            "# TYPE flipc_iteration_work histogram",
+            "flipc_deliver_latency_ns_count{node=\"0\",endpoint=\"1\"} 5",
+            "flipc_trace_events_lost_total{node=\"0\"} 3",
+            "flipc_net_sent_total{node=\"0\",peer=\"1\"} 10",
+            "flipc_net_in_flight{node=\"0\",peer=\"1\"} 1",
+            "flipc_net_decode_errors_total{node=\"0\"} 0",
+            "# TYPE flipc_net_retransmit_burst histogram",
+        ] {
+            assert!(page.contains(needle), "missing {needle:?} in:\n{page}");
+        }
+        // Quiet endpoints are not exposed (ep0 delivered nothing).
+        assert!(!page.contains("endpoint=\"0\""), "{page}");
+    }
+}

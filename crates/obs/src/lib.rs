@@ -15,15 +15,34 @@
 //!   dumps and the `bench-report` perf reports (the build environment is
 //!   offline, so no serde).
 //!
+//! On top of the recorders sits the analysis/presentation layer — the
+//! consumers, which run strictly off the hot path:
+//!
+//! * [`timeline`] — reconstructs per-endpoint event timelines
+//!   (send→deliver chains, inter-event gap statistics, lost-event
+//!   accounting) from drained [`trace`] events;
+//! * [`stall`] — detects engine-loop stalls (trace gaps above a
+//!   threshold) and attributes each one by correlating against the
+//!   iteration-work histogram and transport retransmit activity;
+//! * [`expo`] — dependency-free Prometheus-style text exposition of
+//!   telemetry and transport snapshots, servable one-shot or from a tiny
+//!   blocking TCP listener.
+//!
 //! Everything here obeys the engine's controller discipline: recording is
 //! loads and stores only, single writer per location, never blocking —
 //! telemetry must not perturb the latency it measures.
 
+pub mod expo;
 pub mod json;
+pub mod stall;
 pub mod telemetry;
+pub mod timeline;
 pub mod trace;
 
+pub use expo::{expose_engine, expose_trace_lost, expose_transport, ExpoServer, Exposition};
+pub use stall::{StallCause, StallConfig, StallMonitor, StallReport};
 pub use telemetry::{EngineTelemetry, EngineTelemetrySnapshot};
+pub use timeline::{EndpointTimeline, GapStats, Timeline, TimelineBuilder};
 pub use trace::{trace_ring, TraceEvent, TraceKind, TraceReader, TraceWriter};
 
 use std::sync::OnceLock;

@@ -1,0 +1,469 @@
+//! Engine-loop stall detection and attribution.
+//!
+//! The ROADMAP's open question — *where do Wakeup/Deliver gaps come from?*
+//! — needs more than a threshold: a gap in the trace is only actionable
+//! once it is attributed to a cause. This module has two layers:
+//!
+//! * a **pure core** ([`scan`]) that walks a batch of trace events per
+//!   node, flags inter-event gaps above a configurable threshold, and
+//!   classifies each one by correlating against the iteration-work
+//!   histogram harvested over the same window (engine-busy backlog vs
+//!   engine-idle quiet) and the transport's retransmit delta
+//!   (transport-retransmit);
+//! * a **background consumer** ([`StallMonitor`]) that owns the
+//!   [`TraceReader`], tails it on its own thread with the non-allocating
+//!   [`TraceReader::drain_into`], and publishes structured
+//!   [`StallReport`]s. The monitor never touches engine-owned state with
+//!   anything but loads — recording stays wait-free; only the observer
+//!   pays for analysis.
+
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::time::Duration;
+
+use flipc_core::hist::HistogramSnapshot;
+
+use crate::json::Value;
+use crate::telemetry::EngineTelemetry;
+use crate::timeline::TimelineBuilder;
+use crate::trace::{TraceEvent, TraceKind, TraceReader};
+
+/// Stall-detection tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct StallConfig {
+    /// Minimum inter-event gap (ns) that counts as a stall.
+    pub threshold_ns: u64,
+    /// Iteration-work sample at or above which a harvest is read as "the
+    /// loop resumed into a backlog" (the long-tail bucket correlation).
+    pub busy_work_threshold: u64,
+    /// How often the background monitor polls the ring.
+    pub poll_interval: Duration,
+}
+
+impl Default for StallConfig {
+    fn default() -> StallConfig {
+        StallConfig {
+            // Engine-loop passes are microseconds; 10ms of silence between
+            // events on an active node is three orders of magnitude off.
+            threshold_ns: 10_000_000,
+            busy_work_threshold: 16,
+            poll_interval: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Why a stall happened, as far as the recorded signals can tell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallCause {
+    /// The gap ends in (or contains) a retransmit burst: the engine was
+    /// waiting out the reliability layer's timers.
+    TransportRetransmit,
+    /// The iteration-work histogram shows a long-tail pass around the gap:
+    /// the loop stopped while work was queued and resumed into a backlog
+    /// (a scheduling stall, the paper's coprocessor-preemption hazard).
+    EngineBusy,
+    /// The work histogram shows only idle passes: nothing was queued — the
+    /// gap is quiet traffic, not a service failure.
+    EngineIdle,
+}
+
+impl StallCause {
+    /// Stable lower-case name used by both dump formats.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCause::TransportRetransmit => "transport-retransmit",
+            StallCause::EngineBusy => "engine-busy",
+            StallCause::EngineIdle => "engine-idle",
+        }
+    }
+}
+
+/// One attributed stall.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StallReport {
+    /// Node whose trace showed the gap.
+    pub node: u16,
+    /// Stamp of the last event before the silence.
+    pub start_ns: u64,
+    /// Stamp of the first event after it.
+    pub end_ns: u64,
+    /// The silence itself (`end_ns - start_ns`).
+    pub gap_ns: u64,
+    /// Endpoint of the event that ended the stall (`u16::MAX` when the
+    /// resuming event was not endpoint-scoped).
+    pub endpoint: u16,
+    /// Attributed cause.
+    pub cause: StallCause,
+    /// Events recorded in the first iteration burst after the gap — the
+    /// size of the backlog the loop resumed into.
+    pub resume_burst: u32,
+}
+
+impl StallReport {
+    /// JSON object form used by `flipc-top --once --json`.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("node", Value::from(u64::from(self.node))),
+            ("start_ns", Value::from(self.start_ns)),
+            ("end_ns", Value::from(self.end_ns)),
+            ("gap_ns", Value::from(self.gap_ns)),
+            ("endpoint", Value::from(u64::from(self.endpoint))),
+            ("cause", Value::from(self.cause.name())),
+            ("resume_burst", Value::from(u64::from(self.resume_burst))),
+        ])
+    }
+}
+
+impl std::fmt::Display for StallReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stall n{} ep{} {:.2} ms at {} ns ({}; resume burst {})",
+            self.node,
+            self.endpoint,
+            self.gap_ns as f64 / 1e6,
+            self.start_ns,
+            self.cause.name(),
+            self.resume_burst
+        )
+    }
+}
+
+/// Pure stall scan over one batch of events (per-node gap thresholding).
+///
+/// `carry_last` is the per-node stamp of the last event of the *previous*
+/// batch (so stalls spanning a drain boundary are still seen); pass an
+/// empty slice for a standalone scan. `iter_work` is the iteration-work
+/// histogram harvested over the same window and `retransmit_delta` the
+/// transport's retransmitted-frame delta — the two correlation signals.
+pub fn scan(
+    events: &[TraceEvent],
+    carry_last: &[(u16, u64)],
+    iter_work: &HistogramSnapshot,
+    retransmit_delta: u64,
+    cfg: &StallConfig,
+) -> Vec<StallReport> {
+    let mut out = Vec::new();
+    let mut last: Vec<(u16, u64)> = carry_last.to_vec();
+    for (i, ev) in events.iter().enumerate() {
+        let prev = last.iter_mut().find(|(n, _)| *n == ev.node);
+        match prev {
+            None => last.push((ev.node, ev.t_ns)),
+            Some((_, t)) => {
+                let gap = ev.t_ns.saturating_sub(*t);
+                if gap >= cfg.threshold_ns {
+                    // Backlog size: events in the immediate resume burst
+                    // (stamps within one threshold of the resume point).
+                    let resume_burst = events[i..]
+                        .iter()
+                        .take_while(|e| e.t_ns.saturating_sub(ev.t_ns) < cfg.threshold_ns)
+                        .filter(|e| e.node == ev.node)
+                        .count() as u32;
+                    out.push(StallReport {
+                        node: ev.node,
+                        start_ns: *t,
+                        end_ns: ev.t_ns,
+                        gap_ns: gap,
+                        endpoint: ev.endpoint,
+                        cause: attribute(ev, resume_burst, iter_work, retransmit_delta, cfg),
+                        resume_burst,
+                    });
+                }
+                *t = ev.t_ns;
+            }
+        }
+    }
+    out
+}
+
+/// The attribution decision, in evidence order: a retransmit signal wins
+/// (the engine was waiting out timers), then the backlog correlation
+/// (long-tail iteration-work bucket or a dense resume burst means work was
+/// queued while the loop stood still), else the gap was genuine idleness.
+fn attribute(
+    resume_event: &TraceEvent,
+    resume_burst: u32,
+    iter_work: &HistogramSnapshot,
+    retransmit_delta: u64,
+    cfg: &StallConfig,
+) -> StallCause {
+    if retransmit_delta > 0 || resume_event.kind == TraceKind::Retransmit {
+        return StallCause::TransportRetransmit;
+    }
+    let busy_tail = long_tail_samples(iter_work, cfg.busy_work_threshold) > 0;
+    if busy_tail || u64::from(resume_burst) >= cfg.busy_work_threshold {
+        StallCause::EngineBusy
+    } else {
+        StallCause::EngineIdle
+    }
+}
+
+/// Samples at or above `threshold` in a log₂ histogram snapshot (whole
+/// buckets only: a bucket counts once its lower bound reaches the
+/// threshold).
+fn long_tail_samples(h: &HistogramSnapshot, threshold: u64) -> u64 {
+    h.buckets
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| flipc_core::hist::bucket_bounds(i, h.buckets.len()).0 >= threshold)
+        .map(|(_, &c)| c)
+        .sum()
+}
+
+/// Handle to a running background stall monitor.
+///
+/// Dropping the handle stops the consumer thread. The monitor also feeds a
+/// [`TimelineBuilder`], so one consumer serves both the stall feed and the
+/// timeline rendering.
+pub struct StallMonitor {
+    stop: Sender<()>,
+    reports: Receiver<StallReport>,
+    join: Option<std::thread::JoinHandle<(TraceReader, TimelineBuilder)>>,
+}
+
+impl StallMonitor {
+    /// Spawns a consumer thread tailing `reader` under `cfg`, correlating
+    /// against `telemetry` (each poll harvests the iteration-work
+    /// histogram — the monitor owns the application-role harvest side, so
+    /// no other harvester may run concurrently).
+    pub fn spawn(
+        mut reader: TraceReader,
+        telemetry: Arc<EngineTelemetry>,
+        cfg: StallConfig,
+    ) -> StallMonitor {
+        let (stop_tx, stop_rx) = std::sync::mpsc::channel::<()>();
+        let (rep_tx, rep_rx) = std::sync::mpsc::channel::<StallReport>();
+        let join = std::thread::Builder::new()
+            .name("flipc-stall-monitor".into())
+            .spawn(move || {
+                let mut builder = TimelineBuilder::new();
+                let mut batch: Vec<TraceEvent> = Vec::with_capacity(1024);
+                let mut carry: Vec<(u16, u64)> = Vec::new();
+                loop {
+                    // recv_timeout doubles as the poll interval and the
+                    // stop signal (a disconnect or an explicit send both
+                    // end the loop).
+                    let stopping = !matches!(
+                        stop_rx.recv_timeout(cfg.poll_interval),
+                        Err(std::sync::mpsc::RecvTimeoutError::Timeout)
+                    );
+                    batch.clear();
+                    reader.drain_into(&mut batch);
+                    builder.note_lost(reader.lost());
+                    let work = telemetry.harvest().iteration_work;
+                    for report in scan(&batch, &carry, &work, 0, &cfg) {
+                        let _ = rep_tx.send(report);
+                    }
+                    // Carry the last stamp per node across drains so a
+                    // stall spanning two polls is still one gap.
+                    for ev in &batch {
+                        match carry.iter_mut().find(|(n, _)| *n == ev.node) {
+                            Some((_, t)) => *t = ev.t_ns,
+                            None => carry.push((ev.node, ev.t_ns)),
+                        }
+                    }
+                    builder.ingest(&batch);
+                    if stopping {
+                        return (reader, builder);
+                    }
+                }
+            })
+            .expect("failed to spawn stall monitor");
+        StallMonitor {
+            stop: stop_tx,
+            reports: rep_rx,
+            join: Some(join),
+        }
+    }
+
+    /// Drains every stall reported so far (non-blocking).
+    pub fn take_reports(&self) -> Vec<StallReport> {
+        let mut out = Vec::new();
+        loop {
+            match self.reports.try_recv() {
+                Ok(r) => out.push(r),
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => return out,
+            }
+        }
+    }
+
+    /// Stops the consumer after one final drain; returns the reader, the
+    /// accumulated timeline, and any reports still queued.
+    pub fn stop(mut self) -> (TraceReader, TimelineBuilder, Vec<StallReport>) {
+        let _ = self.stop.send(());
+        let (reader, builder) = self
+            .join
+            .take()
+            .expect("monitor already stopped")
+            .join()
+            .expect("stall monitor panicked");
+        let reports = self.take_reports();
+        (reader, builder, reports)
+    }
+}
+
+impl Drop for StallMonitor {
+    fn drop(&mut self) {
+        let _ = self.stop.send(());
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::trace_ring;
+
+    fn ev(t_ns: u64, kind: TraceKind, node: u16, endpoint: u16) -> TraceEvent {
+        TraceEvent {
+            t_ns,
+            kind,
+            node,
+            endpoint,
+            arg: 0,
+        }
+    }
+
+    fn cfg() -> StallConfig {
+        StallConfig {
+            threshold_ns: 1_000,
+            busy_work_threshold: 4,
+            poll_interval: Duration::from_millis(1),
+        }
+    }
+
+    fn idle_work() -> HistogramSnapshot {
+        HistogramSnapshot::empty(flipc_core::hist::BUCKETS)
+    }
+
+    #[test]
+    fn gaps_below_threshold_are_not_stalls() {
+        let events: Vec<_> = (0..10)
+            .map(|i| ev(i * 500, TraceKind::Deliver, 0, 1))
+            .collect();
+        assert!(scan(&events, &[], &idle_work(), 0, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn a_quiet_gap_is_attributed_idle() {
+        let events = [
+            ev(0, TraceKind::Deliver, 0, 1),
+            ev(5_000, TraceKind::Deliver, 0, 1),
+        ];
+        let stalls = scan(&events, &[], &idle_work(), 0, &cfg());
+        assert_eq!(stalls.len(), 1);
+        assert_eq!(stalls[0].gap_ns, 5_000);
+        assert_eq!(stalls[0].cause, StallCause::EngineIdle);
+        assert_eq!(stalls[0].endpoint, 1);
+    }
+
+    #[test]
+    fn a_backlog_resume_is_attributed_busy() {
+        // After the gap the loop flushes a dense burst: work was queued.
+        let mut events = vec![ev(0, TraceKind::Deliver, 0, 1)];
+        for i in 0..8 {
+            events.push(ev(5_000 + i * 10, TraceKind::Deliver, 0, 1));
+        }
+        let stalls = scan(&events, &[], &idle_work(), 0, &cfg());
+        assert_eq!(stalls.len(), 1);
+        assert_eq!(stalls[0].cause, StallCause::EngineBusy);
+        assert_eq!(stalls[0].resume_burst, 8);
+    }
+
+    #[test]
+    fn long_tail_iteration_work_is_attributed_busy() {
+        let mut work = idle_work();
+        work.buckets[6] += 1; // one pass moved [32, 64) messages
+        let events = [
+            ev(0, TraceKind::Deliver, 0, 1),
+            ev(5_000, TraceKind::Deliver, 0, 1),
+        ];
+        let stalls = scan(&events, &[], &work, 0, &cfg());
+        assert_eq!(stalls[0].cause, StallCause::EngineBusy);
+    }
+
+    #[test]
+    fn retransmit_evidence_wins_attribution() {
+        let events = [
+            ev(0, TraceKind::Send, 0, 1),
+            ev(5_000, TraceKind::Retransmit, 0, u16::MAX),
+        ];
+        let stalls = scan(&events, &[], &idle_work(), 0, &cfg());
+        assert_eq!(stalls[0].cause, StallCause::TransportRetransmit);
+        // A retransmit delta from the transport snapshot also decides it.
+        let events = [
+            ev(0, TraceKind::Send, 0, 1),
+            ev(5_000, TraceKind::Deliver, 0, 1),
+        ];
+        let stalls = scan(&events, &[], &idle_work(), 3, &cfg());
+        assert_eq!(stalls[0].cause, StallCause::TransportRetransmit);
+    }
+
+    #[test]
+    fn nodes_are_scanned_independently_and_carry_spans_batches() {
+        // Node 0 and node 1 interleave; neither has an intra-node gap.
+        let events = [
+            ev(0, TraceKind::Deliver, 0, 1),
+            ev(400, TraceKind::Deliver, 1, 1),
+            ev(800, TraceKind::Deliver, 0, 1),
+            ev(1_200, TraceKind::Deliver, 1, 1),
+        ];
+        assert!(scan(&events, &[], &idle_work(), 0, &cfg()).is_empty());
+        // A carry stamp turns the first event of this batch into a gap end.
+        let stalls = scan(&events[..1], &[(0, 0)], &idle_work(), 0, &cfg());
+        assert!(stalls.is_empty(), "zero gap from carry");
+        let late = [ev(10_000, TraceKind::Deliver, 0, 1)];
+        let stalls = scan(&late, &[(0, 0)], &idle_work(), 0, &cfg());
+        assert_eq!(stalls.len(), 1);
+        assert_eq!(stalls[0].gap_ns, 10_000);
+    }
+
+    #[test]
+    fn monitor_tails_a_live_ring_and_reports() {
+        let (mut w, r) = trace_ring(1024);
+        let telemetry = EngineTelemetry::new(2);
+        let monitor = StallMonitor::spawn(r, telemetry.clone(), cfg());
+        // A synthetic stall: two bursts separated by far more than the
+        // threshold, recorded with explicit stamps.
+        for i in 0..5u64 {
+            w.record(ev(i * 100, TraceKind::Deliver, 0, 1));
+        }
+        for i in 0..5u64 {
+            w.record(ev(1_000_000 + i * 100, TraceKind::Deliver, 0, 1));
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut reports = Vec::new();
+        while reports.is_empty() && std::time::Instant::now() < deadline {
+            reports.extend(monitor.take_reports());
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let (_reader, builder, rest) = monitor.stop();
+        reports.extend(rest);
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        assert_eq!(reports[0].gap_ns, 1_000_000 - 400);
+        let t = builder.timeline();
+        assert_eq!(t.total_events, 10);
+        assert_eq!(t.endpoints[&(0, 1)].delivers, 10);
+    }
+
+    #[test]
+    fn report_renders_both_formats() {
+        let r = StallReport {
+            node: 3,
+            start_ns: 100,
+            end_ns: 5_000_100,
+            gap_ns: 5_000_000,
+            endpoint: 7,
+            cause: StallCause::EngineBusy,
+            resume_burst: 12,
+        };
+        let text = r.to_string();
+        assert!(text.contains("n3 ep7"), "{text}");
+        assert!(text.contains("engine-busy"), "{text}");
+        let json = r.to_json().render();
+        assert!(json.contains("\"cause\":\"engine-busy\""), "{json}");
+        assert!(json.contains("\"gap_ns\":5000000"), "{json}");
+    }
+}

@@ -1,0 +1,510 @@
+//! Per-endpoint event timelines reconstructed from drained trace events.
+//!
+//! The trace ring ([`crate::trace`]) records *what the engine did*; this
+//! module turns a drained batch of [`TraceEvent`]s into *what each endpoint
+//! experienced*: per-endpoint event counts and byte totals, inter-event gap
+//! statistics (the raw material of stall detection), send→deliver chains
+//! with their latency distribution, and honest lost-event accounting.
+//!
+//! Everything here is pure data and arithmetic over already-drained events
+//! — no atomics, no clocks — so the reconstruction is exactly as testable
+//! as a sort. The live consumers ([`crate::stall`], the `flipc-top`
+//! inspector) feed a [`TimelineBuilder`] incrementally; batch analysis uses
+//! [`Timeline::from_events`].
+//!
+//! Grouping invariant (property-tested in `tests/timeline_props.rs`): the
+//! per-endpoint view depends only on each endpoint's own subsequence, so
+//! any interleaving of per-endpoint streams that preserves per-endpoint
+//! order reconstructs identical endpoint timelines.
+
+use std::collections::BTreeMap;
+
+use crate::json::Value;
+use crate::trace::{TraceEvent, TraceKind};
+
+/// Running statistics over a stream of durations (nanoseconds).
+///
+/// Tracks count, min, max, and sum — enough for mean and for stall
+/// thresholds — in O(1) space, so a timeline can absorb unbounded event
+/// streams. Merging two `GapStats` of disjoint sample sets equals the
+/// stats of the union (property-tested).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GapStats {
+    /// Number of samples observed.
+    pub count: u64,
+    /// Smallest sample (ns); 0 when empty.
+    pub min_ns: u64,
+    /// Largest sample (ns); 0 when empty.
+    pub max_ns: u64,
+    /// Sum of all samples (saturating, ns).
+    pub sum_ns: u64,
+}
+
+impl GapStats {
+    /// Folds one sample in.
+    pub fn record(&mut self, ns: u64) {
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+    }
+
+    /// Folds another statistic in (union of the two sample sets).
+    pub fn merge(&mut self, other: &GapStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+    }
+
+    /// Mean sample, `None` when empty.
+    pub fn mean_ns(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum_ns as f64 / self.count as f64)
+        }
+    }
+
+    /// JSON object form (`{"count":..,"min_ns":..,"max_ns":..,"mean_ns":..}`).
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("count", Value::from(self.count)),
+            ("min_ns", Value::from(self.min_ns)),
+            ("max_ns", Value::from(self.max_ns)),
+            ("mean_ns", Value::from(self.mean_ns().unwrap_or(0.0))),
+        ])
+    }
+}
+
+/// What one endpoint experienced over the reconstructed window.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EndpointTimeline {
+    /// Stamp of the endpoint's first event in the window.
+    pub first_ns: u64,
+    /// Stamp of the endpoint's last event in the window.
+    pub last_ns: u64,
+    /// `Send` events (this endpoint was the source).
+    pub sends: u64,
+    /// `Deliver` events (this endpoint was the destination).
+    pub delivers: u64,
+    /// `Drop` events (arrivals discarded for want of a buffer).
+    pub drops: u64,
+    /// `Wakeup` events (blocked receivers woken).
+    pub wakeups: u64,
+    /// `Misaddressed` arrivals aimed at this endpoint index.
+    pub misaddressed: u64,
+    /// Payload bytes moved by this endpoint's sends + delivers.
+    pub bytes: u64,
+    /// Gaps between the endpoint's consecutive events.
+    pub gaps: GapStats,
+}
+
+impl EndpointTimeline {
+    /// Events of every kind this endpoint saw.
+    pub fn events(&self) -> u64 {
+        self.sends + self.delivers + self.drops + self.wakeups + self.misaddressed
+    }
+
+    /// Event rate over the endpoint's active span, `None` when the span is
+    /// empty (fewer than two events).
+    pub fn events_per_sec(&self) -> Option<f64> {
+        let span = self.last_ns.saturating_sub(self.first_ns);
+        if span == 0 {
+            return None;
+        }
+        Some(self.events() as f64 * 1e9 / span as f64)
+    }
+
+    fn absorb(&mut self, ev: &TraceEvent) {
+        if self.events() == 0 {
+            self.first_ns = ev.t_ns;
+        } else {
+            self.gaps.record(ev.t_ns.saturating_sub(self.last_ns));
+        }
+        self.last_ns = self.last_ns.max(ev.t_ns);
+        match ev.kind {
+            TraceKind::Send => {
+                self.sends += 1;
+                self.bytes += u64::from(ev.arg);
+            }
+            TraceKind::Deliver => {
+                self.delivers += 1;
+                self.bytes += u64::from(ev.arg);
+            }
+            TraceKind::Drop => self.drops += 1,
+            TraceKind::Wakeup => self.wakeups += 1,
+            TraceKind::Misaddressed => self.misaddressed += 1,
+            TraceKind::Retransmit => {}
+        }
+    }
+}
+
+/// Key of one endpoint's timeline: (node, endpoint index).
+pub type EndpointKey = (u16, u16);
+
+/// Incremental timeline reconstruction over drained trace batches.
+///
+/// The builder is the analysis half of the trace ring's consumer side:
+/// feed it every drained batch (and every harvested lost count) and read
+/// the [`Timeline`] whenever a rendering is wanted. Ingestion is O(batch)
+/// and the retained state is O(endpoints), so a long-lived consumer never
+/// grows with traffic.
+#[derive(Debug, Default)]
+pub struct TimelineBuilder {
+    endpoints: BTreeMap<EndpointKey, EndpointTimeline>,
+    node_gaps: BTreeMap<u16, GapStats>,
+    node_last_ns: BTreeMap<u16, u64>,
+    retransmit_bursts: u64,
+    retransmit_frames: u64,
+    /// Pending sends per node, for send→deliver chain pairing.
+    chain_pending: BTreeMap<u16, Vec<u64>>,
+    chain_latency: GapStats,
+    total_events: u64,
+    lost: u64,
+}
+
+impl TimelineBuilder {
+    /// An empty builder.
+    pub fn new() -> TimelineBuilder {
+        TimelineBuilder::default()
+    }
+
+    /// Ingests one drained batch (events must be in ring order, which the
+    /// SPSC ring guarantees per drain).
+    pub fn ingest(&mut self, events: &[TraceEvent]) {
+        for ev in events {
+            self.total_events += 1;
+            // Node-scope inter-event gap: the raw signal the stall detector
+            // thresholds. Every event participates, endpoint-scoped or not.
+            if let Some(&last) = self.node_last_ns.get(&ev.node) {
+                self.node_gaps
+                    .entry(ev.node)
+                    .or_default()
+                    .record(ev.t_ns.saturating_sub(last));
+            }
+            self.node_last_ns.insert(ev.node, ev.t_ns);
+
+            if ev.kind == TraceKind::Retransmit {
+                // Node-scope, not endpoint-scope: one event per go-back-N
+                // burst, arg = frames re-sent.
+                self.retransmit_bursts += 1;
+                self.retransmit_frames += u64::from(ev.arg);
+                continue;
+            }
+            self.endpoints
+                .entry((ev.node, ev.endpoint))
+                .or_default()
+                .absorb(ev);
+
+            // Send→deliver chains: the trace carries no message id, but the
+            // engine's per-path FIFO ordering means the k-th deliver on a
+            // node pairs with the k-th unmatched send observed on that same
+            // trace (exact for the loopback bypass, which delivers within
+            // the same engine's trace; cross-node sends simply never match
+            // and age out on the next batch boundary).
+            match ev.kind {
+                TraceKind::Send => {
+                    self.chain_pending.entry(ev.node).or_default().push(ev.t_ns);
+                }
+                TraceKind::Deliver => {
+                    if let Some(pending) = self.chain_pending.get_mut(&ev.node) {
+                        if !pending.is_empty() {
+                            let sent = pending.remove(0);
+                            self.chain_latency.record(ev.t_ns.saturating_sub(sent));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Sends with no matching deliver in this batch were cross-node (or
+        // dropped remotely): forget them rather than mispairing them with
+        // next batch's local traffic.
+        for pending in self.chain_pending.values_mut() {
+            pending.clear();
+        }
+    }
+
+    /// Accounts events the ring shed ([`crate::trace::TraceReader::lost`]).
+    pub fn note_lost(&mut self, lost: u64) {
+        self.lost = self.lost.saturating_add(lost);
+    }
+
+    /// The reconstruction so far.
+    pub fn timeline(&self) -> Timeline {
+        Timeline {
+            endpoints: self.endpoints.clone(),
+            node_gaps: self.node_gaps.clone(),
+            chain_latency: self.chain_latency,
+            retransmit_bursts: self.retransmit_bursts,
+            retransmit_frames: self.retransmit_frames,
+            total_events: self.total_events,
+            lost: self.lost,
+        }
+    }
+}
+
+/// A reconstructed view of everything the trace recorded.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Timeline {
+    /// Per-endpoint reconstructions, keyed by (node, endpoint index).
+    pub endpoints: BTreeMap<EndpointKey, EndpointTimeline>,
+    /// Node-scope inter-event gap statistics (all kinds interleaved).
+    pub node_gaps: BTreeMap<u16, GapStats>,
+    /// Send→deliver chain latency over locally delivered messages.
+    pub chain_latency: GapStats,
+    /// Go-back-N retransmit rounds observed.
+    pub retransmit_bursts: u64,
+    /// Frames re-sent across those rounds.
+    pub retransmit_frames: u64,
+    /// Events ingested (all kinds, endpoint-scoped or not).
+    pub total_events: u64,
+    /// Events the ring shed before they could be drained. The timeline is
+    /// lossy-but-honest: `total_events + lost` equals the number of events
+    /// the engine tried to record.
+    pub lost: u64,
+}
+
+impl Timeline {
+    /// Reconstructs from one batch (convenience over [`TimelineBuilder`]).
+    pub fn from_events(events: &[TraceEvent]) -> Timeline {
+        let mut b = TimelineBuilder::new();
+        b.ingest(events);
+        b.timeline()
+    }
+
+    /// Sum of events accounted to endpoint timelines plus node-scope
+    /// retransmit events — always equal to `total_events` (conservation,
+    /// property-tested).
+    pub fn accounted_events(&self) -> u64 {
+        self.endpoints
+            .values()
+            .map(EndpointTimeline::events)
+            .sum::<u64>()
+            + self.retransmit_bursts
+    }
+
+    /// A one-screen human rendering: one row per endpoint plus the chain
+    /// latency and loss footers.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>4} {:>4} {:>8} {:>8} {:>6} {:>7} {:>10} {:>12} {:>12}",
+            "node",
+            "ep",
+            "sends",
+            "delivers",
+            "drops",
+            "wakeups",
+            "bytes",
+            "gap_mean_ns",
+            "gap_max_ns"
+        );
+        for ((node, ep), t) in &self.endpoints {
+            let _ = writeln!(
+                out,
+                "{:>4} {:>4} {:>8} {:>8} {:>6} {:>7} {:>10} {:>12.0} {:>12}",
+                node,
+                ep,
+                t.sends,
+                t.delivers,
+                t.drops,
+                t.wakeups,
+                t.bytes,
+                t.gaps.mean_ns().unwrap_or(0.0),
+                t.gaps.max_ns,
+            );
+        }
+        if self.chain_latency.count > 0 {
+            let _ = writeln!(
+                out,
+                "send→deliver chains {}: mean {:.0} ns, max {} ns",
+                self.chain_latency.count,
+                self.chain_latency.mean_ns().unwrap_or(0.0),
+                self.chain_latency.max_ns,
+            );
+        }
+        if self.retransmit_bursts > 0 {
+            let _ = writeln!(
+                out,
+                "retransmit rounds {} ({} frames)",
+                self.retransmit_bursts, self.retransmit_frames
+            );
+        }
+        let _ = writeln!(
+            out,
+            "events {} (+{} lost to ring overflow)",
+            self.total_events, self.lost
+        );
+        out
+    }
+
+    /// JSON form used by `flipc-top --once --json`.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            (
+                "endpoints",
+                Value::Array(
+                    self.endpoints
+                        .iter()
+                        .map(|((node, ep), t)| {
+                            Value::object([
+                                ("node", Value::from(u64::from(*node))),
+                                ("endpoint", Value::from(u64::from(*ep))),
+                                ("first_ns", Value::from(t.first_ns)),
+                                ("last_ns", Value::from(t.last_ns)),
+                                ("sends", Value::from(t.sends)),
+                                ("delivers", Value::from(t.delivers)),
+                                ("drops", Value::from(t.drops)),
+                                ("wakeups", Value::from(t.wakeups)),
+                                ("misaddressed", Value::from(t.misaddressed)),
+                                ("bytes", Value::from(t.bytes)),
+                                (
+                                    "events_per_sec",
+                                    Value::from(t.events_per_sec().unwrap_or(0.0)),
+                                ),
+                                ("gaps", t.gaps.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("chain_latency", self.chain_latency.to_json()),
+            ("retransmit_bursts", Value::from(self.retransmit_bursts)),
+            ("retransmit_frames", Value::from(self.retransmit_frames)),
+            ("total_events", Value::from(self.total_events)),
+            ("lost", Value::from(self.lost)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_ns: u64, kind: TraceKind, node: u16, endpoint: u16, arg: u32) -> TraceEvent {
+        TraceEvent {
+            t_ns,
+            kind,
+            node,
+            endpoint,
+            arg,
+        }
+    }
+
+    #[test]
+    fn gap_stats_track_min_max_mean() {
+        let mut g = GapStats::default();
+        assert_eq!(g.mean_ns(), None);
+        for ns in [10, 30, 20] {
+            g.record(ns);
+        }
+        assert_eq!(g.count, 3);
+        assert_eq!(g.min_ns, 10);
+        assert_eq!(g.max_ns, 30);
+        assert_eq!(g.mean_ns(), Some(20.0));
+        let mut other = GapStats::default();
+        other.record(5);
+        g.merge(&other);
+        assert_eq!(g.min_ns, 5);
+        assert_eq!(g.count, 4);
+    }
+
+    #[test]
+    fn endpoints_are_reconstructed_independently() {
+        let t = Timeline::from_events(&[
+            ev(100, TraceKind::Send, 0, 1, 56),
+            ev(150, TraceKind::Deliver, 0, 2, 56),
+            ev(300, TraceKind::Send, 0, 1, 56),
+            ev(320, TraceKind::Drop, 0, 2, 56),
+            ev(400, TraceKind::Wakeup, 0, 2, 1),
+        ]);
+        let tx = &t.endpoints[&(0, 1)];
+        assert_eq!(tx.sends, 2);
+        assert_eq!(tx.bytes, 112);
+        assert_eq!(tx.gaps.count, 1);
+        assert_eq!(tx.gaps.max_ns, 200);
+        let rx = &t.endpoints[&(0, 2)];
+        assert_eq!((rx.delivers, rx.drops, rx.wakeups), (1, 1, 1));
+        assert_eq!(rx.first_ns, 150);
+        assert_eq!(rx.last_ns, 400);
+        assert_eq!(t.accounted_events(), t.total_events);
+    }
+
+    #[test]
+    fn chains_pair_sends_with_local_delivers_in_order() {
+        let t = Timeline::from_events(&[
+            ev(100, TraceKind::Send, 0, 1, 56),
+            ev(110, TraceKind::Send, 0, 1, 56),
+            ev(175, TraceKind::Deliver, 0, 2, 56),
+            ev(205, TraceKind::Deliver, 0, 2, 56),
+        ]);
+        assert_eq!(t.chain_latency.count, 2);
+        assert_eq!(t.chain_latency.min_ns, 75);
+        assert_eq!(t.chain_latency.max_ns, 95);
+    }
+
+    #[test]
+    fn cross_node_sends_do_not_pollute_chains_across_batches() {
+        let mut b = TimelineBuilder::new();
+        // Batch 1: a send whose deliver happens on another node (never in
+        // this trace).
+        b.ingest(&[ev(100, TraceKind::Send, 0, 1, 56)]);
+        // Batch 2: purely local round much later — must not pair with the
+        // stale send.
+        b.ingest(&[
+            ev(9_000, TraceKind::Send, 0, 1, 56),
+            ev(9_050, TraceKind::Deliver, 0, 2, 56),
+        ]);
+        let t = b.timeline();
+        assert_eq!(t.chain_latency.count, 1);
+        assert_eq!(t.chain_latency.max_ns, 50);
+    }
+
+    #[test]
+    fn retransmits_and_losses_are_node_scope_accounting() {
+        let mut b = TimelineBuilder::new();
+        b.ingest(&[
+            ev(10, TraceKind::Send, 0, 1, 56),
+            ev(20, TraceKind::Retransmit, 0, u16::MAX, 3),
+        ]);
+        b.note_lost(7);
+        let t = b.timeline();
+        assert_eq!(t.retransmit_bursts, 1);
+        assert_eq!(t.retransmit_frames, 3);
+        assert_eq!(t.lost, 7);
+        assert_eq!(t.total_events, 2);
+        assert_eq!(t.accounted_events(), 2);
+        assert!(!t.endpoints.contains_key(&(0, u16::MAX)));
+        let text = t.render();
+        assert!(text.contains("retransmit rounds 1"), "{text}");
+        assert!(text.contains("+7 lost"), "{text}");
+    }
+
+    #[test]
+    fn json_rendering_carries_every_endpoint() {
+        let t = Timeline::from_events(&[
+            ev(100, TraceKind::Send, 0, 1, 56),
+            ev(200, TraceKind::Deliver, 1, 4, 56),
+        ]);
+        let json = t.to_json().render();
+        assert!(json.contains("\"endpoint\":1"), "{json}");
+        assert!(json.contains("\"endpoint\":4"), "{json}");
+        assert!(json.contains("\"total_events\":2"), "{json}");
+    }
+}

@@ -200,17 +200,31 @@ impl TraceReader {
     /// Drains every currently visible event.
     pub fn drain(&mut self) -> Vec<TraceEvent> {
         let mut out = Vec::new();
+        self.drain_into(&mut out);
+        out
+    }
+
+    /// Drains every currently visible event into `out`, appending —
+    /// the non-allocating form for consumers that poll in a loop and
+    /// reuse one buffer (clear it between polls if you want only the
+    /// fresh batch).
+    pub fn drain_into(&mut self, out: &mut Vec<TraceEvent>) {
         while let Some(ev) = self.pop() {
             out.push(ev);
         }
-        out
     }
 
     /// Harvests the count of events lost to a full ring since the last
     /// harvest (two-location read-and-reset; concurrent losses surface in
     /// the next harvest).
-    pub fn lost(&self) -> u32 {
-        self.inner.lost.reader().read_and_reset()
+    ///
+    /// Returned as `u64` so callers can accumulate across harvests
+    /// without overflow bookkeeping; the underlying two-location counter
+    /// is still `u32`-wide, so more than `u32::MAX` losses *between two
+    /// harvests* would wrap the hardware word — harvest at any sane
+    /// interval and the tally is exact.
+    pub fn lost(&self) -> u64 {
+        u64::from(self.inner.lost.reader().read_and_reset())
     }
 
     /// Drains and renders one event per line.
@@ -309,7 +323,11 @@ mod tests {
         let mut w = producer.join().unwrap();
         seen.extend(r.drain().into_iter().map(|e| e.arg));
         let lost = r.lost();
-        assert_eq!(seen.len() as u32 + lost, N, "events vanished untallied");
+        assert_eq!(
+            seen.len() as u64 + lost,
+            u64::from(N),
+            "events vanished untallied"
+        );
         assert!(seen.windows(2).all(|p| p[0] < p[1]), "order broken");
         // The ring is reusable after a full drain.
         w.record(ev(TraceKind::Wakeup, 1));

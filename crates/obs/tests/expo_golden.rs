@@ -1,0 +1,133 @@
+//! Golden test of the Prometheus-style exposition format.
+//!
+//! Dashboards scrape by metric name and label: once shipped, those are a
+//! public contract. This test renders a fully deterministic, hand-built
+//! snapshot set through every exposer and compares the page byte for
+//! byte. If it fails because you *intentionally* renamed or relabelled a
+//! metric, update the golden below AND the contract table in
+//! `flipc_obs::expo`'s module docs — and expect to migrate dashboards.
+
+use flipc_core::endpoint::FlipcNodeId;
+use flipc_core::hist::{bucket_index, HistogramSnapshot, BUCKETS};
+use flipc_core::inspect::{PathSnapshot, TransportSnapshot};
+use flipc_obs::{
+    expose_engine, expose_trace_lost, expose_transport, EngineTelemetrySnapshot, Exposition,
+};
+
+/// A histogram snapshot with `values` recorded — built arithmetically,
+/// no clocks involved.
+fn hist_of(values: &[u64]) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::empty(BUCKETS);
+    for &v in values {
+        h.buckets[bucket_index(v)] += 1;
+        h.sum = h.sum.wrapping_add(v);
+    }
+    h
+}
+
+fn page() -> String {
+    let engine = EngineTelemetrySnapshot {
+        iteration_work: hist_of(&[0, 0, 1, 2, 3]),
+        deliver_latency: vec![
+            hist_of(&[]),           // quiet endpoint: must be skipped
+            hist_of(&[900, 4_000]), // active endpoint 1
+        ],
+    };
+    let transport = TransportSnapshot {
+        local: FlipcNodeId(0),
+        paths: vec![PathSnapshot {
+            peer: FlipcNodeId(1),
+            sent: 120,
+            retransmitted: 3,
+            delivered: 117,
+            dup_dropped: 2,
+            out_of_window: 1,
+            wire_dropped: 4,
+            in_flight: 5,
+        }],
+        decode_errors: 1,
+        unknown_peer: 0,
+        rto: hist_of(&[2_000]),
+        retransmit_burst: hist_of(&[2, 1]),
+    };
+    let mut expo = Exposition::new();
+    expose_engine(&mut expo, 0, &engine);
+    expose_trace_lost(&mut expo, 0, 7);
+    expose_transport(&mut expo, &transport);
+    expo.render()
+}
+
+#[test]
+fn exposition_page_matches_golden() {
+    let golden = "\
+# HELP flipc_iteration_work Messages moved per engine-loop pass.
+# TYPE flipc_iteration_work histogram
+flipc_iteration_work_bucket{node=\"0\",le=\"0\"} 2
+flipc_iteration_work_bucket{node=\"0\",le=\"1\"} 3
+flipc_iteration_work_bucket{node=\"0\",le=\"3\"} 5
+flipc_iteration_work_bucket{node=\"0\",le=\"+Inf\"} 5
+flipc_iteration_work_sum{node=\"0\"} 6
+flipc_iteration_work_count{node=\"0\"} 5
+# HELP flipc_deliver_latency_ns Send-to-deliver latency per receive endpoint, nanoseconds.
+# TYPE flipc_deliver_latency_ns histogram
+flipc_deliver_latency_ns_bucket{node=\"0\",endpoint=\"1\",le=\"1023\"} 1
+flipc_deliver_latency_ns_bucket{node=\"0\",endpoint=\"1\",le=\"4095\"} 2
+flipc_deliver_latency_ns_bucket{node=\"0\",endpoint=\"1\",le=\"+Inf\"} 2
+flipc_deliver_latency_ns_sum{node=\"0\",endpoint=\"1\"} 4900
+flipc_deliver_latency_ns_count{node=\"0\",endpoint=\"1\"} 2
+# HELP flipc_trace_events_lost_total Trace events dropped because the ring was full.
+# TYPE flipc_trace_events_lost_total counter
+flipc_trace_events_lost_total{node=\"0\"} 7
+# HELP flipc_net_sent_total Data frames transmitted for the first time.
+# TYPE flipc_net_sent_total counter
+flipc_net_sent_total{node=\"0\",peer=\"1\"} 120
+# HELP flipc_net_retransmitted_total Data frames re-transmitted by the reliability layer.
+# TYPE flipc_net_retransmitted_total counter
+flipc_net_retransmitted_total{node=\"0\",peer=\"1\"} 3
+# HELP flipc_net_delivered_total In-order frames handed up to the engine.
+# TYPE flipc_net_delivered_total counter
+flipc_net_delivered_total{node=\"0\",peer=\"1\"} 117
+# HELP flipc_net_dup_dropped_total Duplicate arrivals discarded by the dedup window.
+# TYPE flipc_net_dup_dropped_total counter
+flipc_net_dup_dropped_total{node=\"0\",peer=\"1\"} 2
+# HELP flipc_net_out_of_window_total Arrivals outside the reorder window, discarded.
+# TYPE flipc_net_out_of_window_total counter
+flipc_net_out_of_window_total{node=\"0\",peer=\"1\"} 1
+# HELP flipc_net_wire_dropped_total First-transmission attempts the wire refused.
+# TYPE flipc_net_wire_dropped_total counter
+flipc_net_wire_dropped_total{node=\"0\",peer=\"1\"} 4
+# HELP flipc_net_in_flight Frames sent and not yet cumulatively acknowledged.
+# TYPE flipc_net_in_flight gauge
+flipc_net_in_flight{node=\"0\",peer=\"1\"} 5
+# HELP flipc_net_decode_errors_total Datagrams rejected before peer attribution.
+# TYPE flipc_net_decode_errors_total counter
+flipc_net_decode_errors_total{node=\"0\"} 1
+# HELP flipc_net_unknown_peer_total Well-formed datagrams from unconfigured node ids.
+# TYPE flipc_net_unknown_peer_total counter
+flipc_net_unknown_peer_total{node=\"0\"} 0
+# HELP flipc_net_rto_ticks Retransmit timeouts that fired, in transport clock ticks.
+# TYPE flipc_net_rto_ticks histogram
+flipc_net_rto_ticks_bucket{node=\"0\",le=\"2047\"} 1
+flipc_net_rto_ticks_bucket{node=\"0\",le=\"+Inf\"} 1
+flipc_net_rto_ticks_sum{node=\"0\"} 2000
+flipc_net_rto_ticks_count{node=\"0\"} 1
+# HELP flipc_net_retransmit_burst Frames re-sent per go-back-N retransmit round.
+# TYPE flipc_net_retransmit_burst histogram
+flipc_net_retransmit_burst_bucket{node=\"0\",le=\"1\"} 1
+flipc_net_retransmit_burst_bucket{node=\"0\",le=\"3\"} 2
+flipc_net_retransmit_burst_bucket{node=\"0\",le=\"+Inf\"} 2
+flipc_net_retransmit_burst_sum{node=\"0\"} 3
+flipc_net_retransmit_burst_count{node=\"0\"} 2
+";
+    let got = page();
+    assert_eq!(
+        got, golden,
+        "exposition format drifted — if intentional, update the golden \
+         and the contract table in flipc_obs::expo"
+    );
+}
+
+#[test]
+fn exposition_is_deterministic() {
+    assert_eq!(page(), page());
+}

@@ -1,0 +1,177 @@
+//! Deterministic stall injection against a real engine.
+//!
+//! Uses the engine's existing capacity-control fault hook
+//! (`set_rate_limit(ep, 0, 0)` fully blocks an endpoint; messages stay
+//! queued, nothing is dropped) to freeze traffic for several detector
+//! thresholds with a backlog queued, then unblocks and asserts the stall
+//! analyzer reports exactly the injected stall — and, in the control run
+//! without injection, reports nothing.
+//!
+//! The caller-pumped [`InlineCluster`] keeps everything single-threaded
+//! and schedule-deterministic: the only nondeterminism left is the wall
+//! clock, and the margins (threshold 200 ms, freeze 3×) are wide enough
+//! that detection is a certainty, not a race.
+
+use std::time::{Duration, Instant};
+
+use flipc_core::endpoint::{EndpointType, Importance};
+use flipc_core::layout::Geometry;
+use flipc_engine::engine::EngineConfig;
+use flipc_engine::node::InlineCluster;
+use flipc_obs::stall::{scan, StallCause, StallConfig};
+use flipc_obs::timeline::TimelineBuilder;
+use flipc_obs::trace::TraceEvent;
+
+const THRESHOLD: Duration = Duration::from_millis(200);
+/// Enough queued messages that the resume flush trips the busy-work
+/// attribution on both prongs (long-tail iteration and resume burst).
+const BACKLOG: usize = 24;
+
+/// Drives ping traffic node 0 → node 1 for `dur`, pumping continuously
+/// so inter-event gaps stay far below the detector threshold.
+fn drive(
+    cl: &mut InlineCluster,
+    tx: &flipc_core::api::LocalEndpoint,
+    rx: &flipc_core::api::LocalEndpoint,
+    dur: Duration,
+) {
+    let app0 = cl.node(0).attach();
+    let app1 = cl.node(1).attach();
+    let dest = app1.address(rx);
+    let deadline = Instant::now() + dur;
+    while Instant::now() < deadline {
+        if let Ok(b) = app1.buffer_allocate() {
+            if let Err(r) = app1.provide_receive_buffer_unlocked(rx, b) {
+                app1.buffer_free(r.token);
+            }
+        }
+        while let Ok(Some(t)) = app0.reclaim_send_unlocked(tx) {
+            app0.buffer_free(t);
+        }
+        if let Ok(b) = app0.buffer_allocate() {
+            if let Err(r) = app0.send_unlocked(tx, b, dest) {
+                app0.buffer_free(r.token);
+            }
+        }
+        cl.pump_until_idle(16);
+        while let Ok(Some(got)) = app1.recv_unlocked(rx) {
+            app1.buffer_free(got.token);
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Builds the cluster, runs warmup traffic, optionally injects a
+/// rate-limit freeze with a queued backlog, and returns the scan output.
+fn run_scenario(inject: bool) -> Vec<flipc_obs::StallReport> {
+    let geo = Geometry {
+        ring_capacity: 64,
+        buffers: 128,
+        ..Geometry::small()
+    };
+    let mut cl = InlineCluster::new(2, geo, EngineConfig::default()).expect("cluster");
+    let mut reader = cl.engine_mut(0).install_trace(8192);
+    let telemetry = cl.engine_telemetry(0);
+
+    let app0 = cl.node(0).attach();
+    let app1 = cl.node(1).attach();
+    let tx = app0
+        .endpoint_allocate(EndpointType::Send, Importance::Normal)
+        .expect("tx");
+    let rx = app1
+        .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+        .expect("rx");
+    let dest = app1.address(&rx);
+
+    drive(&mut cl, &tx, &rx, THRESHOLD / 4);
+
+    if inject {
+        // Fault hook: fully block the send endpoint, queue a backlog
+        // behind it, and keep pumping — the engine runs but can move
+        // nothing, so the trace goes silent for 3 thresholds.
+        cl.engine_mut(0).set_rate_limit(tx.index(), 0, 0);
+        for _ in 0..BACKLOG {
+            if let Ok(b) = app1.buffer_allocate() {
+                if let Err(r) = app1.provide_receive_buffer_unlocked(&rx, b) {
+                    app1.buffer_free(r.token);
+                }
+            }
+            let Ok(b) = app0.buffer_allocate() else { break };
+            if let Err(r) = app0.send_unlocked(&tx, b, dest) {
+                app0.buffer_free(r.token);
+                break;
+            }
+        }
+        let frozen_until = Instant::now() + 3 * THRESHOLD;
+        while Instant::now() < frozen_until {
+            cl.pump();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        cl.engine_mut(0).clear_rate_limit(tx.index());
+        cl.pump_until_idle(64);
+    }
+
+    drive(&mut cl, &tx, &rx, THRESHOLD / 4);
+
+    let mut events: Vec<TraceEvent> = Vec::new();
+    reader.drain_into(&mut events);
+    assert!(!events.is_empty(), "warmup produced no trace events");
+    let work = telemetry.harvest();
+    let cfg = StallConfig {
+        threshold_ns: THRESHOLD.as_nanos() as u64,
+        ..StallConfig::default()
+    };
+    let reports = scan(&events, &[], &work.iteration_work, 0, &cfg);
+
+    // The timeline reconstruction sees the same gap the detector saw.
+    let mut b = TimelineBuilder::new();
+    b.ingest(&events);
+    let tl = b.timeline();
+    assert_eq!(tl.accounted_events(), events.len() as u64);
+    if inject {
+        let node_max = tl.node_gaps.get(&0).expect("node 0 gaps").max_ns;
+        assert!(
+            node_max >= cfg.threshold_ns,
+            "timeline max gap {node_max} below threshold"
+        );
+    }
+    reports
+}
+
+#[test]
+fn injected_rate_limit_stall_is_detected_and_attributed() {
+    let reports = run_scenario(true);
+    assert!(
+        !reports.is_empty(),
+        "injected a {:?} freeze but scan reported nothing",
+        3 * THRESHOLD
+    );
+    let r = &reports[0];
+    assert_eq!(r.node, 0);
+    assert!(
+        r.gap_ns >= THRESHOLD.as_nanos() as u64,
+        "reported gap {} shorter than the threshold",
+        r.gap_ns
+    );
+    // A backlog of BACKLOG messages flushes on resume: busy on both the
+    // iteration-work and resume-burst prongs.
+    assert_eq!(
+        r.cause,
+        StallCause::EngineBusy,
+        "freeze-with-backlog must attribute engine-busy, got {r}"
+    );
+    assert!(
+        u64::from(r.resume_burst) >= BACKLOG as u64 / 2,
+        "resume burst {} does not reflect the queued backlog",
+        r.resume_burst
+    );
+}
+
+#[test]
+fn undisturbed_traffic_reports_no_stall() {
+    let reports = run_scenario(false);
+    assert!(
+        reports.is_empty(),
+        "control run with continuous traffic reported stalls: {reports:?}"
+    );
+}

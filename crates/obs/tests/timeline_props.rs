@@ -1,0 +1,164 @@
+//! Property tests of the timeline reconstruction layer
+//! ([`flipc_obs::timeline`]) and the trace ring's loss accounting.
+//!
+//! Three properties carry the consumer side's correctness argument:
+//! per-endpoint timelines (and their gap statistics) depend only on each
+//! endpoint's own event subsequence, so any interleaving and any batch
+//! chunking that preserve per-endpoint order reconstruct identical
+//! timelines; every ingested event is accounted for exactly once; and
+//! the ring conserves events — everything recorded is either drained or
+//! tallied as lost, never both, never neither.
+
+use proptest::prelude::*;
+
+use flipc_obs::timeline::{Timeline, TimelineBuilder};
+use flipc_obs::trace::{trace_ring, TraceEvent, TraceKind};
+
+/// Decodes a proptest-generated tuple into a trace event. Kinds cycle
+/// through all six variants; timestamps are made nondecreasing by the
+/// caller so per-endpoint order is meaningful.
+fn event(node: u16, endpoint: u16, kind_sel: u8, t_ns: u64, arg: u32) -> TraceEvent {
+    let kind = match kind_sel % 6 {
+        0 => TraceKind::Send,
+        1 => TraceKind::Deliver,
+        2 => TraceKind::Drop,
+        3 => TraceKind::Misaddressed,
+        4 => TraceKind::Retransmit,
+        _ => TraceKind::Wakeup,
+    };
+    TraceEvent {
+        t_ns,
+        kind,
+        node,
+        endpoint,
+        arg,
+    }
+}
+
+/// A generated event stream: small node/endpoint spaces (so streams
+/// actually collide on endpoints) and strictly accumulating timestamps.
+fn event_stream(raw: &[(u8, u8, u8, u16, u32)]) -> Vec<TraceEvent> {
+    let mut t = 0u64;
+    raw.iter()
+        .map(|&(node, ep, kind, dt, arg)| {
+            t += u64::from(dt);
+            event(u16::from(node % 3), u16::from(ep % 4), kind, t, arg)
+        })
+        .collect()
+}
+
+/// Builds a timeline ingesting `events` split at `cut` (clamped).
+fn timeline_chunked(events: &[TraceEvent], cut: usize) -> Timeline {
+    let cut = cut.min(events.len());
+    let mut b = TimelineBuilder::new();
+    b.ingest(&events[..cut]);
+    b.ingest(&events[cut..]);
+    b.timeline()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Per-endpoint timelines — counts, byte totals, and gap statistics —
+    /// are invariant under (a) any interleaving that preserves each
+    /// endpoint's relative order (here: a stable sort by endpoint key)
+    /// and (b) any batch-boundary placement.
+    #[test]
+    fn endpoint_timelines_invariant_under_interleaving(
+        raw in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>(), any::<u16>(), any::<u32>()),
+            0..96,
+        ),
+        cut_a in any::<u8>(),
+        cut_b in any::<u8>(),
+    ) {
+        let events = event_stream(&raw);
+
+        // Interleaving B: stable-sorted by endpoint key. Stability keeps
+        // every endpoint's own subsequence in its original order, which is
+        // exactly the class of reorderings a per-endpoint view must not
+        // distinguish.
+        let mut regrouped = events.clone();
+        regrouped.sort_by_key(|ev| (ev.node, ev.endpoint));
+
+        let a = timeline_chunked(&events, cut_a as usize);
+        let b = timeline_chunked(&regrouped, cut_b as usize);
+        prop_assert_eq!(&a.endpoints, &b.endpoints);
+
+        // Batch chunking alone never changes anything observable except
+        // chain pairing (documented): compare against a single-batch build
+        // on the same order.
+        let whole = Timeline::from_events(&events);
+        prop_assert_eq!(&a.endpoints, &whole.endpoints);
+        prop_assert_eq!(a.node_gaps, whole.node_gaps);
+        prop_assert_eq!(a.retransmit_bursts, whole.retransmit_bursts);
+        prop_assert_eq!(a.retransmit_frames, whole.retransmit_frames);
+    }
+
+    /// Conservation inside the builder: every ingested event lands in
+    /// exactly one bucket of the accounting — some endpoint's tally or
+    /// the node-scope retransmit tally.
+    #[test]
+    fn every_event_is_accounted_exactly_once(
+        raw in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>(), any::<u16>(), any::<u32>()),
+            0..96,
+        ),
+        cut in any::<u8>(),
+    ) {
+        let events = event_stream(&raw);
+        let tl = timeline_chunked(&events, cut as usize);
+        prop_assert_eq!(tl.total_events, events.len() as u64);
+        prop_assert_eq!(tl.accounted_events(), tl.total_events);
+
+        // Gap-stat internal consistency: an endpoint with n events has
+        // exactly n-1 recorded gaps, and min ≤ mean ≤ max.
+        for ept in tl.endpoints.values() {
+            prop_assert_eq!(ept.gaps.count, ept.events().saturating_sub(1));
+            if let Some(mean) = ept.gaps.mean_ns() {
+                prop_assert!(ept.gaps.min_ns as f64 <= mean + 1e-9);
+                prop_assert!(mean <= ept.gaps.max_ns as f64 + 1e-9);
+            }
+        }
+    }
+
+    /// Ring conservation: recorded == drained + lost, at every drain
+    /// schedule. The lossy ring may discard events, but it must say so.
+    #[test]
+    fn ring_conserves_events(
+        cap_exp in 1usize..6,
+        ops in proptest::collection::vec((any::<u8>(), any::<bool>()), 0..64),
+    ) {
+        let (mut w, mut r) = trace_ring(1 << cap_exp);
+        let mut recorded: u64 = 0;
+        let mut drained: Vec<TraceEvent> = Vec::new();
+        let mut lost: u64 = 0;
+        for (i, &(burst, drain)) in ops.iter().enumerate() {
+            for k in 0..burst {
+                w.record(event(0, 0, 0, (i as u64) << 8 | u64::from(k), recorded as u32));
+                recorded += 1;
+            }
+            if drain {
+                r.drain_into(&mut drained);
+                lost += r.lost();
+            }
+        }
+        r.drain_into(&mut drained);
+        lost += r.lost();
+        prop_assert_eq!(drained.len() as u64 + lost, recorded);
+
+        // What did survive is a subsequence in recording order: the
+        // per-event payload we stamped is strictly increasing.
+        for pair in drained.windows(2) {
+            prop_assert!(pair[0].arg < pair[1].arg);
+        }
+
+        // And the builder's lost tally flows straight through.
+        let mut b = TimelineBuilder::new();
+        b.ingest(&drained);
+        b.note_lost(lost);
+        let tl = b.timeline();
+        prop_assert_eq!(tl.lost, lost);
+        prop_assert_eq!(tl.total_events + tl.lost, recorded);
+    }
+}

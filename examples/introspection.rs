@@ -1,0 +1,198 @@
+//! Live introspection of running clusters: trace timelines, the stall
+//! monitor, and the metrics exposition.
+//!
+//! Run with: `cargo run --example introspection`
+//!
+//! Two acts. Act 1 runs real engine threads ([`ThreadedCluster`] built
+//! traced) and shows the handle-side observer workflow: claim the parked
+//! trace reader, drain it into a timeline, harvest telemetry, render the
+//! Prometheus-style exposition page. Act 2 runs deterministic inline
+//! engines with a background [`StallMonitor`] tailing the trace ring,
+//! deliberately freezes an endpoint with the engine's rate-limit fault
+//! hook, and prints the stall report the monitor produced — gap length
+//! and attributed cause.
+//!
+//! Every consumer here runs strictly off the messaging hot path: the
+//! engines only ever touch the wait-free recorder halves.
+//!
+//! For the interactive version of this loop, see the `flipc-top` binary:
+//! `cargo run --bin flipc-top -- --help`.
+
+use std::time::{Duration, Instant};
+
+use flipc::engine::{EngineConfig, InlineCluster, ThreadedCluster};
+use flipc::obs::timeline::TimelineBuilder;
+use flipc::obs::{
+    expose_engine, expose_trace_lost, Exposition, StallConfig, StallMonitor, TraceEvent,
+};
+use flipc::{EndpointType, Flipc, FlipcError, Geometry, Importance, LocalEndpoint};
+
+fn geometry() -> Geometry {
+    Geometry {
+        ring_capacity: 32,
+        buffers: 128,
+        ..Geometry::small()
+    }
+}
+
+/// One ping from `tx` to `dest` plus housekeeping (restock the receive
+/// ring, reclaim sent buffers, drain arrivals). Returns deliveries seen.
+fn ping_once(
+    alice: &Flipc,
+    bob: &Flipc,
+    tx: &LocalEndpoint,
+    rx: &LocalEndpoint,
+    dest: flipc::EndpointAddress,
+) -> Result<u32, FlipcError> {
+    let mut delivered = 0;
+    if let Ok(b) = bob.buffer_allocate() {
+        if let Err(r) = bob.provide_receive_buffer(rx, b) {
+            bob.buffer_free(r.token);
+        }
+    }
+    while let Some(t) = alice.reclaim_send(tx)? {
+        alice.buffer_free(t);
+    }
+    if let Ok(b) = alice.buffer_allocate() {
+        if let Err(r) = alice.send(tx, b, dest) {
+            alice.buffer_free(r.token);
+        }
+    }
+    while let Some(got) = bob.recv(rx)? {
+        bob.buffer_free(got.token);
+        delivered += 1;
+    }
+    Ok(delivered)
+}
+
+/// Act 1: engine threads, observer on the handle.
+fn act_one() -> Result<(), FlipcError> {
+    println!("=== act 1: threaded cluster, handle-side observer ===");
+    let mut cluster = ThreadedCluster::new_traced(2, geometry(), EngineConfig::default(), 4096)?;
+    let alice = cluster.node(0).attach();
+    let bob = cluster.node(1).attach();
+    let tx = alice.endpoint_allocate(EndpointType::Send, Importance::Normal)?;
+    let rx = bob.endpoint_allocate(EndpointType::Receive, Importance::Normal)?;
+    let dest = bob.address(&rx);
+
+    // The traced cluster parks one trace reader per engine; claiming it
+    // makes this thread the node's observer.
+    let mut reader = cluster
+        .handle_mut(0)
+        .take_trace_reader()
+        .expect("traced cluster parks a reader per engine");
+
+    let deadline = Instant::now() + Duration::from_millis(300);
+    let mut delivered = 0;
+    while Instant::now() < deadline {
+        delivered += ping_once(&alice, &bob, &tx, &rx, dest)?;
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Reconstruct the timeline from the drained ring and render the
+    // exposition page a scraper would fetch.
+    let mut events: Vec<TraceEvent> = Vec::new();
+    reader.drain_into(&mut events);
+    let mut builder = TimelineBuilder::new();
+    builder.ingest(&events);
+    builder.note_lost(reader.lost());
+    println!("{delivered} deliveries observed by the application");
+    print!("{}", builder.timeline().render());
+
+    let work = cluster.handle_mut(0).harvest_telemetry();
+    let mut expo = Exposition::new();
+    expose_engine(&mut expo, 0, &work);
+    expose_trace_lost(&mut expo, 0, builder.timeline().lost);
+    println!("--- exposition ---");
+    print!("{}", expo.render());
+
+    cluster.shutdown();
+    Ok(())
+}
+
+/// Act 2: inline engines, background stall monitor, injected stall.
+fn act_two() -> Result<(), FlipcError> {
+    println!("\n=== act 2: stall monitor vs. an injected freeze ===");
+    let mut cluster = InlineCluster::new(2, geometry(), EngineConfig::default())?;
+    let reader = cluster.engine_mut(0).install_trace(4096);
+    let telemetry = cluster.engine_telemetry(0);
+    let alice = cluster.node(0).attach();
+    let bob = cluster.node(1).attach();
+    let tx = alice.endpoint_allocate(EndpointType::Send, Importance::Normal)?;
+    let rx = bob.endpoint_allocate(EndpointType::Receive, Importance::Normal)?;
+    let dest = bob.address(&rx);
+
+    // The monitor tails the ring and harvests telemetry on its own
+    // thread; the engines never know it exists.
+    let monitor = StallMonitor::spawn(
+        reader,
+        telemetry,
+        StallConfig {
+            threshold_ns: Duration::from_millis(100).as_nanos() as u64,
+            ..StallConfig::default()
+        },
+    );
+
+    // Healthy traffic: dense event stream, monitor stays quiet.
+    let deadline = Instant::now() + Duration::from_millis(150);
+    while Instant::now() < deadline {
+        ping_once(&alice, &bob, &tx, &rx, dest)?;
+        cluster.pump_until_idle(16);
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    println!(
+        "healthy phase: {} stall reports",
+        monitor.take_reports().len()
+    );
+
+    // The freeze: fully block the send endpoint with the capacity-control
+    // fault hook, queue a backlog behind it, and keep pumping — the
+    // engine runs but is allowed to move nothing, so the trace goes
+    // silent for four thresholds.
+    cluster.engine_mut(0).set_rate_limit(tx.index(), 0, 0);
+    for _ in 0..24 {
+        if let Ok(b) = bob.buffer_allocate() {
+            if let Err(r) = bob.provide_receive_buffer(&rx, b) {
+                bob.buffer_free(r.token);
+            }
+        }
+        let Ok(b) = alice.buffer_allocate() else {
+            break;
+        };
+        if let Err(r) = alice.send(&tx, b, dest) {
+            alice.buffer_free(r.token);
+            break;
+        }
+    }
+    let frozen_until = Instant::now() + Duration::from_millis(400);
+    while Instant::now() < frozen_until {
+        cluster.pump();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cluster.engine_mut(0).clear_rate_limit(tx.index());
+    cluster.pump_until_idle(64);
+
+    // Recovery traffic, then the verdict.
+    let deadline = Instant::now() + Duration::from_millis(150);
+    while Instant::now() < deadline {
+        ping_once(&alice, &bob, &tx, &rx, dest)?;
+        cluster.pump_until_idle(16);
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let (_reader, builder, stalls) = monitor.stop();
+    print!("{}", builder.timeline().render());
+    println!("--- stall reports ---");
+    for s in &stalls {
+        println!("{s}");
+    }
+    assert!(
+        !stalls.is_empty(),
+        "the injected 400ms freeze must be detected"
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), FlipcError> {
+    act_one()?;
+    act_two()
+}

@@ -1,0 +1,550 @@
+//! `flipc-top`: a live inspector for a FLIPC node pair.
+//!
+//! Drives a two-node demo (in-process loopback fabric by default,
+//! `--udp` for real `127.0.0.1` sockets through `flipc-net`'s
+//! reliability layer), harvests telemetry and trace snapshots on an
+//! interval, and renders what an operator needs: per-endpoint p50/p99
+//! deliver latency, event rates, drop/retransmit counts, and live stall
+//! reports from the trace-gap analyzer.
+//!
+//! ```text
+//! flipc-top [--interval MS] [--ticks N] [--once] [--json]
+//!           [--inject-stall] [--udp] [--stall-threshold MS]
+//!           [--trace-out FILE] [--listen ADDR]
+//! ```
+//!
+//! * `--once --json` — headless mode for CI: run a short window, emit one
+//!   JSON document (timeline, stall reports, exposition page) to stdout.
+//! * `--inject-stall` — freeze the engine pump mid-run with messages
+//!   queued, so the stall analyzer has something real to attribute.
+//! * `--trace-out FILE` — also write the raw trace events as text.
+//! * `--listen ADDR` — serve the Prometheus-style exposition over HTTP
+//!   while the demo runs (e.g. `--listen 127.0.0.1:9464`).
+//!
+//! The engines stay untouched by all of this: the inspector is strictly a
+//! consumer of the wait-free recorders (trace rings, telemetry
+//! histograms, transport counters).
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use flipc_core::api::{Flipc, LocalEndpoint};
+use flipc_core::commbuf::CommBuffer;
+use flipc_core::endpoint::{EndpointAddress, EndpointType, FlipcNodeId, Importance};
+use flipc_core::layout::Geometry;
+use flipc_core::wait::WaitRegistry;
+use flipc_engine::engine::{Engine, EngineConfig};
+use flipc_engine::loopback::fabric;
+use flipc_net::{udp_transport, NetConfig, NodeAddr, NodeMap};
+use flipc_obs::json::Value;
+use flipc_obs::stall::{scan, StallConfig, StallReport};
+use flipc_obs::timeline::TimelineBuilder;
+use flipc_obs::trace::TraceEvent;
+use flipc_obs::{
+    expose_engine, expose_trace_lost, expose_transport, EngineTelemetry, EngineTelemetrySnapshot,
+    ExpoServer, Exposition, TraceReader,
+};
+
+/// Command-line options.
+struct Opts {
+    interval: Duration,
+    ticks: u32,
+    json: bool,
+    inject_stall: bool,
+    udp: bool,
+    stall_threshold: Duration,
+    trace_out: Option<String>,
+    listen: Option<String>,
+}
+
+impl Default for Opts {
+    fn default() -> Opts {
+        Opts {
+            interval: Duration::from_millis(250),
+            ticks: 8,
+            json: false,
+            inject_stall: false,
+            udp: false,
+            stall_threshold: Duration::from_millis(150),
+            trace_out: None,
+            listen: None,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Opts::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--once" => opts.ticks = 2,
+            "--json" => opts.json = true,
+            "--inject-stall" => opts.inject_stall = true,
+            "--udp" => opts.udp = true,
+            "--interval" => {
+                i += 1;
+                opts.interval = Duration::from_millis(parse_num(&args, i, "--interval"));
+            }
+            "--ticks" => {
+                i += 1;
+                opts.ticks = parse_num(&args, i, "--ticks") as u32;
+            }
+            "--stall-threshold" => {
+                i += 1;
+                opts.stall_threshold =
+                    Duration::from_millis(parse_num(&args, i, "--stall-threshold"));
+            }
+            "--trace-out" => {
+                i += 1;
+                opts.trace_out = Some(expect_arg(&args, i, "--trace-out"));
+            }
+            "--listen" => {
+                i += 1;
+                opts.listen = Some(expect_arg(&args, i, "--listen"));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: flipc-top [--interval MS] [--ticks N] [--once] [--json]\n       \
+                     [--inject-stall] [--udp] [--stall-threshold MS]\n       \
+                     [--trace-out FILE] [--listen ADDR]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("flipc-top: unknown flag {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    run(&opts)
+}
+
+fn expect_arg(args: &[String], i: usize, flag: &str) -> String {
+    args.get(i).cloned().unwrap_or_else(|| {
+        eprintln!("flipc-top: {flag} needs a value");
+        std::process::exit(2);
+    })
+}
+
+fn parse_num(args: &[String], i: usize, flag: &str) -> u64 {
+    expect_arg(args, i, flag).parse().unwrap_or_else(|_| {
+        eprintln!("flipc-top: {flag} needs a number");
+        std::process::exit(2);
+    })
+}
+
+/// One demo node: application handle, inline-pumped engine, and the
+/// observer-side taps (trace reader, telemetry, scan carry state).
+struct DemoNode {
+    app: Flipc,
+    engine: Engine,
+    tx: LocalEndpoint,
+    rx: LocalEndpoint,
+    reader: TraceReader,
+    telemetry: Arc<EngineTelemetry>,
+    /// Per-node last-event stamps carried across drains so a stall
+    /// spanning two ticks is still one gap.
+    carry: Vec<(u16, u64)>,
+    /// Telemetry merged across ticks (for the final p50/p99 rendering).
+    accum: Option<EngineTelemetrySnapshot>,
+    /// Cumulative retransmitted-frame count at the last tick, for deltas.
+    prev_retransmitted: u64,
+    lost: u64,
+}
+
+impl DemoNode {
+    fn new(app: Flipc, mut engine: Engine) -> DemoNode {
+        let reader = engine.install_trace(8192);
+        let telemetry = engine.telemetry();
+        let tx = app
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .expect("allocate send endpoint");
+        let rx = app
+            .endpoint_allocate(EndpointType::Receive, Importance::Normal)
+            .expect("allocate receive endpoint");
+        DemoNode {
+            app,
+            engine,
+            tx,
+            rx,
+            reader,
+            telemetry,
+            carry: Vec::new(),
+            accum: None,
+            prev_retransmitted: 0,
+            lost: 0,
+        }
+    }
+}
+
+fn geometry() -> Geometry {
+    Geometry {
+        ring_capacity: 32,
+        buffers: 128,
+        ..Geometry::small()
+    }
+}
+
+/// Builds the two demo nodes on the chosen transport.
+fn build_nodes(udp: bool) -> Vec<DemoNode> {
+    let geo = geometry();
+    let mk = |id: u16, transport: Box<dyn flipc_engine::transport::Transport>| {
+        let cb = Arc::new(CommBuffer::new(geo).expect("geometry"));
+        let registry = WaitRegistry::new();
+        let app = Flipc::attach(cb.clone(), FlipcNodeId(id), registry.clone());
+        DemoNode::new(
+            app,
+            Engine::new(cb, transport, registry, EngineConfig::default()),
+        )
+    };
+    if udp {
+        // Same bootstrap as the flipc-net demo: node 0 binds an ephemeral
+        // port, node 1 routes to it statically; node 0 learns node 1's
+        // port from the first arriving datagram.
+        let mut map0 = NodeMap::new();
+        map0.insert(
+            FlipcNodeId(0),
+            NodeAddr::Static(SocketAddr::from(([127, 0, 0, 1], 0))),
+        )
+        .insert(FlipcNodeId(1), NodeAddr::Dynamic);
+        let t0 = udp_transport(&map0, FlipcNodeId(0), NetConfig::default()).expect("bind node 0");
+        let addr0 = t0.link().local_addr().expect("local addr");
+        let mut map1 = NodeMap::new();
+        map1.insert(FlipcNodeId(0), NodeAddr::Static(addr0)).insert(
+            FlipcNodeId(1),
+            NodeAddr::Static(SocketAddr::from(([127, 0, 0, 1], 0))),
+        );
+        let t1 = udp_transport(&map1, FlipcNodeId(1), NetConfig::default()).expect("bind node 1");
+        vec![mk(0, Box::new(t0)), mk(1, Box::new(t1))]
+    } else {
+        let mut ports = fabric(2, 256);
+        let p1 = ports.pop().expect("port 1");
+        let p0 = ports.pop().expect("port 0");
+        vec![mk(0, Box::new(p0)), mk(1, Box::new(p1))]
+    }
+}
+
+/// Tops up both receive rings from the buffer pools.
+fn stock_receivers(nodes: &mut [DemoNode]) {
+    for n in nodes.iter_mut() {
+        while let Ok(buf) = n.app.buffer_allocate() {
+            match n.app.provide_receive_buffer_unlocked(&n.rx, buf) {
+                Ok(()) => {}
+                Err(r) => {
+                    n.app.buffer_free(r.token);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// One ping-pong round: node 0 pings node 1, node 1 pongs back. With the
+/// UDP transport a hop needs several engine passes, so each receive polls
+/// a bounded pump loop. In demo traffic a dropped round is fine — the
+/// engines' own counters record it.
+///
+/// `pinger` pings `ponger`, who echoes back. Over UDP the pinger must be
+/// node 1: node 0's routing entry for node 1 is `Dynamic`, learned from
+/// the first datagram node 1 sends, so traffic has to originate there.
+fn round(
+    nodes: &mut [DemoNode],
+    pinger: usize,
+    ponger: usize,
+    to_ponger: EndpointAddress,
+    to_pinger: EndpointAddress,
+) {
+    stock_receivers(nodes);
+    for n in nodes.iter_mut() {
+        while let Ok(Some(tok)) = n.app.reclaim_send_unlocked(&n.tx) {
+            n.app.buffer_free(tok);
+        }
+    }
+    if let Ok(buf) = nodes[pinger].app.buffer_allocate() {
+        if let Err(r) = nodes[pinger]
+            .app
+            .send_unlocked(&nodes[pinger].tx, buf, to_ponger)
+        {
+            nodes[pinger].app.buffer_free(r.token);
+            return;
+        }
+    }
+    for _ in 0..128 {
+        for n in nodes.iter_mut() {
+            n.engine.iterate();
+        }
+        if let Ok(Some(got)) = nodes[ponger].app.recv_unlocked(&nodes[ponger].rx) {
+            let _ = nodes[ponger]
+                .app
+                .send_unlocked(&nodes[ponger].tx, got.token, to_pinger);
+        }
+        if let Ok(Some(back)) = nodes[pinger].app.recv_unlocked(&nodes[pinger].rx) {
+            nodes[pinger].app.buffer_free(back.token);
+            return;
+        }
+    }
+}
+
+/// Queues `count` pings on the pinger WITHOUT pumping any engine — the
+/// backlog the stall analyzer should attribute the frozen interval to.
+fn queue_burst(nodes: &mut [DemoNode], pinger: usize, to_ponger: EndpointAddress, count: usize) {
+    stock_receivers(nodes);
+    for _ in 0..count {
+        let Ok(buf) = nodes[pinger].app.buffer_allocate() else {
+            break;
+        };
+        if let Err(r) = nodes[pinger]
+            .app
+            .send_unlocked(&nodes[pinger].tx, buf, to_ponger)
+        {
+            nodes[pinger].app.buffer_free(r.token);
+            break;
+        }
+    }
+}
+
+/// Everything one tick harvested, for rendering.
+struct TickHarvest {
+    stalls: Vec<StallReport>,
+}
+
+/// Drains every node's trace ring and telemetry, scans for stalls, and
+/// folds the results into the long-lived builder/accumulators.
+fn harvest_tick(
+    nodes: &mut [DemoNode],
+    builder: &mut TimelineBuilder,
+    trace_text: &mut String,
+    cfg: &StallConfig,
+) -> TickHarvest {
+    use std::fmt::Write as _;
+    let mut stalls = Vec::new();
+    let mut batch: Vec<TraceEvent> = Vec::with_capacity(4096);
+    for n in nodes.iter_mut() {
+        batch.clear();
+        n.reader.drain_into(&mut batch);
+        let lost = n.reader.lost();
+        n.lost += lost;
+        builder.note_lost(lost);
+        let work = n.telemetry.harvest();
+        let retransmitted = n
+            .engine
+            .transport_snapshot()
+            .map(|s| {
+                s.paths
+                    .iter()
+                    .map(|p| u64::from(p.retransmitted))
+                    .sum::<u64>()
+            })
+            .unwrap_or(0);
+        let delta = retransmitted.saturating_sub(n.prev_retransmitted);
+        n.prev_retransmitted = retransmitted;
+        stalls.extend(scan(&batch, &n.carry, &work.iteration_work, delta, cfg));
+        for ev in &batch {
+            match n.carry.iter_mut().find(|(node, _)| *node == ev.node) {
+                Some((_, t)) => *t = ev.t_ns,
+                None => n.carry.push((ev.node, ev.t_ns)),
+            }
+            let _ = writeln!(trace_text, "{ev}");
+        }
+        builder.ingest(&batch);
+        match n.accum.as_mut() {
+            None => n.accum = Some(work),
+            Some(acc) => {
+                acc.iteration_work.merge(&work.iteration_work);
+                for (a, b) in acc.deliver_latency.iter_mut().zip(&work.deliver_latency) {
+                    a.merge(b);
+                }
+            }
+        }
+    }
+    TickHarvest { stalls }
+}
+
+/// Renders the current exposition page from the accumulated state.
+fn exposition(nodes: &[DemoNode]) -> String {
+    let mut expo = Exposition::new();
+    for (i, n) in nodes.iter().enumerate() {
+        if let Some(acc) = &n.accum {
+            expose_engine(&mut expo, i as u16, acc);
+        }
+        expose_trace_lost(&mut expo, i as u16, n.lost);
+        if let Some(snap) = n.engine.transport_snapshot() {
+            expose_transport(&mut expo, &snap);
+        }
+    }
+    expo.render()
+}
+
+/// Per-node telemetry summary for the JSON document.
+fn telemetry_json(nodes: &[DemoNode]) -> Value {
+    Value::Array(
+        nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let acc = n.accum.clone().unwrap_or(EngineTelemetrySnapshot {
+                    iteration_work: flipc_core::hist::HistogramSnapshot::empty(
+                        flipc_core::hist::BUCKETS,
+                    ),
+                    deliver_latency: Vec::new(),
+                });
+                Value::object([
+                    ("node", Value::from(i as u64)),
+                    ("iterations", Value::from(acc.iteration_work.count())),
+                    (
+                        "mean_work",
+                        Value::from(acc.iteration_work.mean().unwrap_or(0.0)),
+                    ),
+                    (
+                        "endpoints",
+                        Value::Array(
+                            acc.deliver_latency
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, h)| h.count() > 0)
+                                .map(|(e, h)| {
+                                    Value::object([
+                                        ("endpoint", Value::from(e as u64)),
+                                        ("delivers", Value::from(h.count())),
+                                        ("p50_ns", Value::from(h.quantile(0.5).unwrap_or(0.0))),
+                                        ("p99_ns", Value::from(h.quantile(0.99).unwrap_or(0.0))),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn run(opts: &Opts) -> ExitCode {
+    let mut nodes = build_nodes(opts.udp);
+    // Over UDP, traffic must originate at node 1 (see `round`).
+    let (pinger, ponger) = if opts.udp { (1, 0) } else { (0, 1) };
+    let to_ponger = nodes[ponger].app.address(&nodes[ponger].rx);
+    let to_pinger = nodes[pinger].app.address(&nodes[pinger].rx);
+    let cfg = StallConfig {
+        threshold_ns: opts.stall_threshold.as_nanos() as u64,
+        ..StallConfig::default()
+    };
+
+    // The optional HTTP listener serves whatever page the last tick
+    // rendered (observer-side state only).
+    let page: Arc<Mutex<String>> = Arc::new(Mutex::new(String::new()));
+    let _server = match &opts.listen {
+        None => None,
+        Some(addr) => {
+            let page = page.clone();
+            match ExpoServer::spawn(addr, move || page.lock().expect("page lock").clone()) {
+                Ok(s) => {
+                    eprintln!("flipc-top: serving metrics on http://{}", s.addr());
+                    Some(s)
+                }
+                Err(e) => {
+                    eprintln!("flipc-top: cannot listen on {addr}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let mut builder = TimelineBuilder::new();
+    let mut trace_text = String::new();
+    let mut all_stalls: Vec<StallReport> = Vec::new();
+    let mut injected = !opts.inject_stall;
+
+    for tick in 0..opts.ticks {
+        let deadline = Instant::now() + opts.interval;
+        let halfway = Instant::now() + opts.interval / 2;
+        while Instant::now() < deadline {
+            round(&mut nodes, pinger, ponger, to_ponger, to_pinger);
+            if !injected && Instant::now() >= halfway {
+                injected = true;
+                // Freeze the pump with work queued: the trace goes silent
+                // for several thresholds, and the flush on resume gives
+                // the analyzer its backlog evidence.
+                queue_burst(&mut nodes, pinger, to_ponger, 24);
+                std::thread::sleep(4 * opts.stall_threshold);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let h = harvest_tick(&mut nodes, &mut builder, &mut trace_text, &cfg);
+        *page.lock().expect("page lock") = exposition(&nodes);
+        if !opts.json {
+            println!("--- tick {}/{} ---", tick + 1, opts.ticks);
+            for (i, n) in nodes.iter().enumerate() {
+                if let Some(acc) = &n.accum {
+                    print!("node {i}: {}", acc.render());
+                }
+            }
+            for s in &h.stalls {
+                println!("STALL {s}");
+            }
+        }
+        all_stalls.extend(h.stalls);
+    }
+
+    let timeline = builder.timeline();
+    *page.lock().expect("page lock") = exposition(&nodes);
+    if let Some(path) = &opts.trace_out {
+        if let Err(e) = std::fs::write(path, &trace_text) {
+            eprintln!("flipc-top: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if opts.json {
+        let doc = Value::object([
+            ("schema", Value::from(1u64)),
+            (
+                "mode",
+                Value::from(if opts.udp { "udp" } else { "loopback" }),
+            ),
+            ("ticks", Value::from(u64::from(opts.ticks))),
+            ("stall_injected", Value::Bool(opts.inject_stall)),
+            ("timeline", timeline.to_json()),
+            (
+                "stalls",
+                Value::Array(all_stalls.iter().map(StallReport::to_json).collect()),
+            ),
+            ("telemetry", telemetry_json(&nodes)),
+            ("exposition", Value::from(exposition(&nodes).as_str())),
+        ]);
+        println!("{}", doc.render_pretty());
+    } else {
+        println!("=== timeline ===");
+        print!("{}", timeline.render());
+        println!("=== stalls ({}) ===", all_stalls.len());
+        for s in &all_stalls {
+            println!("{s}");
+        }
+        println!("=== exposition ===");
+        print!("{}", exposition(&nodes));
+    }
+
+    // Sanity for CI: the demo must have produced at least one endpoint
+    // timeline, and stall detection must match the injection request.
+    if timeline.endpoints.is_empty() {
+        eprintln!("flipc-top: demo produced no endpoint activity");
+        return ExitCode::FAILURE;
+    }
+    if opts.inject_stall && all_stalls.is_empty() {
+        eprintln!("flipc-top: stall injected but not detected");
+        return ExitCode::FAILURE;
+    }
+    if !opts.inject_stall && !all_stalls.is_empty() {
+        eprintln!(
+            "flipc-top: {} spurious stall report(s) on healthy traffic \
+             (raise --stall-threshold on very noisy machines)",
+            all_stalls.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -12,6 +12,7 @@
 //! | [`engine`] | `flipc-engine` | the messaging engine, transports, SPSC wire rings, node/cluster assembly |
 //! | [`kkt`] | `flipc-kkt` | the RPC-per-message development transport |
 //! | [`net`] | `flipc-net` | real UDP inter-node transport with the optimistic go-back-N reliability layer, fault injection, per-peer wire stats |
+//! | [`obs`] | `flipc-obs` | wait-free trace ring and telemetry recorders plus their consumers: timeline reconstruction, stall analysis, metrics exposition (see also the `flipc-top` binary) |
 //! | [`rt`] | `flipc-rt` | real-time semaphore, priority dispatcher, workload generators |
 //! | [`sim`] | `flipc-sim` | discrete-event kernel, coherent-cache model, cost model, statistics |
 //! | [`mesh`] | `flipc-mesh` | Paragon-style wormhole 2D mesh simulator |
@@ -57,6 +58,7 @@ pub use flipc_engine as engine;
 pub use flipc_kkt as kkt;
 pub use flipc_mesh as mesh;
 pub use flipc_net as net;
+pub use flipc_obs as obs;
 pub use flipc_paragon as paragon;
 pub use flipc_rt as rt;
 pub use flipc_sim as sim;
