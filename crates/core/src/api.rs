@@ -31,6 +31,7 @@ use crate::buffer::{BufferState, BufferToken};
 use crate::commbuf::CommBuffer;
 use crate::endpoint::{EndpointAddress, EndpointIndex, EndpointType, FlipcNodeId, Importance};
 use crate::error::{FlipcError, Result};
+use crate::inspect::{LivenessBoard, PeerLiveness};
 use crate::wait::{WaitCell, WaitRegistry};
 
 /// A copyable identifier for tracking a specific buffer's completion via
@@ -119,6 +120,10 @@ pub struct Flipc {
     registry: Arc<WaitRegistry>,
     stats: CallStats,
     index_base: u16,
+    /// Peer liveness published by the node's transport, if the node has
+    /// one. Checked on `send` so a dead destination is rejected with
+    /// [`FlipcError::PeerDown`] instead of silently discarded downstream.
+    liveness: Option<Arc<LivenessBoard>>,
 }
 
 impl Flipc {
@@ -147,7 +152,15 @@ impl Flipc {
             registry,
             stats: CallStats::default(),
             index_base,
+            liveness: None,
         }
+    }
+
+    /// Wires in the transport's peer-liveness board so `send` can refuse a
+    /// destination the failure detector has declared dead (the board is
+    /// exposed by `flipc-net`'s `NetStats::liveness`).
+    pub fn set_liveness(&mut self, board: Arc<LivenessBoard>) {
+        self.liveness = Some(board);
     }
 
     /// This node's id.
@@ -293,6 +306,20 @@ impl Flipc {
                 error: FlipcError::WrongEndpointType,
                 token,
             });
+        }
+        // A destination the transport has declared dead is refused up
+        // front — the application keeps the buffer and gets a real error
+        // instead of a silent downstream discard. Node-local delivery
+        // never consults the board.
+        if dest.node() != self.node {
+            if let Some(board) = &self.liveness {
+                if board.get(dest.node()) == PeerLiveness::Dead {
+                    return Err(Rejected {
+                        error: FlipcError::PeerDown(dest.node()),
+                        token,
+                    });
+                }
+            }
         }
         let idx = token.index();
         // Address + state are published together with the Release-ordered
@@ -717,6 +744,34 @@ mod tests {
         assert_eq!(f.drops(&recv).unwrap(), 0);
         f.commbuf().misaddressed_engine().increment();
         assert_eq!(f.misaddressed_reset(), 1);
+    }
+
+    #[test]
+    fn send_to_dead_peer_is_rejected_with_peer_down() {
+        let mut f = flipc();
+        let board = Arc::new(LivenessBoard::new(4));
+        f.set_liveness(board.clone());
+        let send = f
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let dest = EndpointAddress::new(FlipcNodeId(1), EndpointIndex(0), 1);
+        board.set(FlipcNodeId(1), PeerLiveness::Dead);
+        let t = f.buffer_allocate().unwrap();
+        let rej = f.send(&send, t, dest).unwrap_err();
+        assert_eq!(rej.error, FlipcError::PeerDown(FlipcNodeId(1)));
+        // The buffer came back untouched and is reusable once the peer is
+        // re-admitted.
+        board.set(FlipcNodeId(1), PeerLiveness::Healthy);
+        f.send(&send, rej.token, dest).unwrap();
+        // Suspect peers still send (optimism: only Dead refuses), and
+        // node-local sends never consult the board.
+        board.set(FlipcNodeId(1), PeerLiveness::Suspect);
+        let t = f.buffer_allocate().unwrap();
+        f.send(&send, t, dest).unwrap();
+        board.set(FlipcNodeId(0), PeerLiveness::Dead);
+        let local = EndpointAddress::new(FlipcNodeId(0), EndpointIndex(0), 1);
+        let t = f.buffer_allocate().unwrap();
+        f.send(&send, t, local).unwrap();
     }
 
     #[test]

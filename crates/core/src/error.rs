@@ -33,6 +33,11 @@ pub enum FlipcError {
     BadGroup,
     /// A blocking operation timed out.
     Timeout,
+    /// The destination node has been declared dead by the transport's
+    /// failure detector (retransmit budget exhausted). The send is refused
+    /// so the application keeps the buffer; the peer is re-admitted
+    /// automatically if it returns.
+    PeerDown(crate::endpoint::FlipcNodeId),
 }
 
 impl fmt::Display for FlipcError {
@@ -51,6 +56,9 @@ impl fmt::Display for FlipcError {
             FlipcError::PayloadTooLarge => write!(f, "payload exceeds fixed message size"),
             FlipcError::BadGroup => write!(f, "invalid endpoint group operation"),
             FlipcError::Timeout => write!(f, "blocking operation timed out"),
+            FlipcError::PeerDown(node) => {
+                write!(f, "destination node {} is declared dead", node.0)
+            }
         }
     }
 }
@@ -78,6 +86,7 @@ mod tests {
             FlipcError::PayloadTooLarge,
             FlipcError::BadGroup,
             FlipcError::Timeout,
+            FlipcError::PeerDown(crate::endpoint::FlipcNodeId(3)),
         ];
         let mut texts: Vec<String> = all.iter().map(|e| e.to_string()).collect();
         texts.sort();

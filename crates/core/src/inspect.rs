@@ -122,6 +122,97 @@ impl CommBufferSnapshot {
     }
 }
 
+/// Liveness classification of one peer, as judged by a network transport's
+/// failure detector (bounded retransmit budget + idle heartbeats).
+///
+/// The state machine only moves `Healthy → Suspect → Dead` on evidence of
+/// silence and jumps straight back to `Healthy` on any valid arrival — a
+/// returning peer is always re-admitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PeerLiveness {
+    /// The peer is acknowledging (or idle but answering heartbeats).
+    #[default]
+    Healthy,
+    /// The retransmit/heartbeat strike budget is partially consumed; the
+    /// peer may be slow, partitioned, or gone.
+    Suspect,
+    /// The strike budget is exhausted: the transport has stopped spending
+    /// datagrams on this peer and fails its sends back to the application.
+    Dead,
+}
+
+impl PeerLiveness {
+    /// Stable lower-case name used by renderers and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            PeerLiveness::Healthy => "healthy",
+            PeerLiveness::Suspect => "suspect",
+            PeerLiveness::Dead => "dead",
+        }
+    }
+
+    /// Numeric encoding used on the wire-free atomic board (and as the
+    /// `flipc_net_peer_state` gauge value).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            PeerLiveness::Healthy => 0,
+            PeerLiveness::Suspect => 1,
+            PeerLiveness::Dead => 2,
+        }
+    }
+
+    /// Inverse of [`PeerLiveness::as_u8`]; unknown encodings read as
+    /// `Healthy` (the optimistic default).
+    pub fn from_u8(v: u8) -> PeerLiveness {
+        match v {
+            1 => PeerLiveness::Suspect,
+            2 => PeerLiveness::Dead,
+            _ => PeerLiveness::Healthy,
+        }
+    }
+}
+
+/// A shared per-node liveness table: one atomic cell per peer node id,
+/// written only by the node's transport (plain stores) and read by anyone —
+/// the application interface checks it on `send` so a dead destination is
+/// rejected with [`crate::error::FlipcError::PeerDown`] instead of silently
+/// black-holed, and inspectors render it.
+///
+/// Same single-writer discipline as every other shared surface in this
+/// workspace: loads and stores only, no read-modify-write anywhere.
+#[derive(Debug)]
+pub struct LivenessBoard {
+    states: Vec<core::sync::atomic::AtomicU8>,
+}
+
+impl LivenessBoard {
+    /// A board covering node ids `0..=max_node`, all `Healthy`.
+    pub fn new(max_node: u16) -> LivenessBoard {
+        LivenessBoard {
+            states: (0..=u32::from(max_node))
+                .map(|_| core::sync::atomic::AtomicU8::new(0))
+                .collect(),
+        }
+    }
+
+    /// The recorded state of `node`; ids outside the board read `Healthy`
+    /// (an unknown peer is not known to be dead).
+    pub fn get(&self, node: crate::endpoint::FlipcNodeId) -> PeerLiveness {
+        match self.states.get(node.0 as usize) {
+            Some(s) => PeerLiveness::from_u8(s.load(core::sync::atomic::Ordering::Relaxed)),
+            None => PeerLiveness::Healthy,
+        }
+    }
+
+    /// Records `state` for `node` (single writer: the transport). Ids
+    /// outside the board are ignored.
+    pub fn set(&self, node: crate::endpoint::FlipcNodeId, state: PeerLiveness) {
+        if let Some(s) = self.states.get(node.0 as usize) {
+            s.store(state.as_u8(), core::sync::atomic::Ordering::Relaxed);
+        }
+    }
+}
+
 /// Point-in-time reliability state of one inter-node path (this node to or
 /// from one peer), as reported by a network transport.
 ///
@@ -151,6 +242,25 @@ pub struct PathSnapshot {
     /// Frames sent and not yet cumulatively acknowledged (gauge, bounded
     /// by the transport's window).
     pub in_flight: u32,
+    /// Frames failed back to the application by the peer lifecycle (dead
+    /// declaration or epoch resync) instead of being retransmitted forever.
+    pub failed: u32,
+    /// Datagrams from a stale session epoch, rejected (never delivered).
+    pub stale_epoch: u32,
+    /// Heartbeat pings sent on this path while it was idle.
+    pub pings: u32,
+    /// The failure detector's current verdict for this peer.
+    pub liveness: PeerLiveness,
+    /// Smoothed round-trip time estimate (clock ticks; 0 = no samples yet).
+    pub srtt: u64,
+    /// Round-trip time variance estimate (clock ticks).
+    pub rttvar: u64,
+    /// The retransmit timeout currently armed for this path (clock ticks):
+    /// `clamp(srtt + 4·rttvar)` once samples exist, plus any loss backoff.
+    pub rto: u64,
+    /// This node's current session epoch on the path (stamped into every
+    /// outgoing datagram; bumped when the peer is declared dead).
+    pub epoch: u16,
 }
 
 /// Point-in-time state of a whole network transport: one [`PathSnapshot`]
@@ -166,6 +276,10 @@ pub struct TransportSnapshot {
     pub decode_errors: u32,
     /// Well-formed datagrams from node ids outside the peer table.
     pub unknown_peer: u32,
+    /// Times a peer arrived speaking a newer session epoch and the path
+    /// was resynchronized (receiver state reset; a crashed-and-restarted
+    /// peer produces exactly one).
+    pub epoch_resyncs: u32,
     /// Distribution of retransmit timeouts that actually fired (transport
     /// clock ticks — microseconds on the production clock). One sample per
     /// go-back-N round, node scope.
@@ -183,22 +297,30 @@ impl TransportSnapshot {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "net node {}: decode errors {}, unknown peers {}",
-            self.local.0, self.decode_errors, self.unknown_peer
+            "net node {}: decode errors {}, unknown peers {}, epoch resyncs {}",
+            self.local.0, self.decode_errors, self.unknown_peer, self.epoch_resyncs
         );
         for p in &self.paths {
             let _ = writeln!(
                 out,
-                "peer {:<3} sent {} (+{} rexmit, {} wire-dropped), delivered {}, \
-                 dup {}, out-of-window {}, in-flight {}",
+                "peer {:<3} [{} e{}] sent {} (+{} rexmit, {} wire-dropped), delivered {}, \
+                 dup {}, out-of-window {}, in-flight {}, failed {}, stale-epoch {}, \
+                 srtt {} rttvar {} rto {}",
                 p.peer.0,
+                p.liveness.name(),
+                p.epoch,
                 p.sent,
                 p.retransmitted,
                 p.wire_dropped,
                 p.delivered,
                 p.dup_dropped,
                 p.out_of_window,
-                p.in_flight
+                p.in_flight,
+                p.failed,
+                p.stale_epoch,
+                p.srtt,
+                p.rttvar,
+                p.rto
             );
         }
         let rounds = self.retransmit_burst.count();
@@ -317,16 +439,28 @@ mod tests {
                 out_of_window: 3,
                 wire_dropped: 0,
                 in_flight: 4,
+                failed: 0,
+                stale_epoch: 0,
+                pings: 0,
+                liveness: PeerLiveness::Suspect,
+                srtt: 120,
+                rttvar: 30,
+                rto: 240,
+                epoch: 3,
             }],
             decode_errors: 5,
             unknown_peer: 0,
+            epoch_resyncs: 1,
             rto: HistogramSnapshot::empty(crate::hist::BUCKETS),
             retransmit_burst: HistogramSnapshot::empty(crate::hist::BUCKETS),
         };
         let text = s.render();
         assert!(text.contains("net node 0"));
         assert!(text.contains("decode errors 5"));
+        assert!(text.contains("epoch resyncs 1"));
         assert!(text.contains("peer 1"));
+        assert!(text.contains("[suspect e3]"), "{text}");
+        assert!(text.contains("srtt 120"), "{text}");
         assert!(
             !text.contains("retransmit rounds"),
             "quiet histograms stay unlisted:\n{text}"
@@ -340,6 +474,28 @@ mod tests {
         s.retransmit_burst = busy.clone();
         s.rto = busy;
         assert!(s.render().contains("retransmit rounds 2"));
+    }
+
+    #[test]
+    fn liveness_board_tracks_per_node_state() {
+        let board = LivenessBoard::new(3);
+        assert_eq!(board.get(FlipcNodeId(2)), PeerLiveness::Healthy);
+        board.set(FlipcNodeId(2), PeerLiveness::Dead);
+        board.set(FlipcNodeId(0), PeerLiveness::Suspect);
+        assert_eq!(board.get(FlipcNodeId(2)), PeerLiveness::Dead);
+        assert_eq!(board.get(FlipcNodeId(0)), PeerLiveness::Suspect);
+        // Out-of-board ids read Healthy and writes to them are ignored.
+        assert_eq!(board.get(FlipcNodeId(9)), PeerLiveness::Healthy);
+        board.set(FlipcNodeId(9), PeerLiveness::Dead);
+        assert_eq!(board.get(FlipcNodeId(9)), PeerLiveness::Healthy);
+        // Round-trip of the numeric encoding.
+        for s in [
+            PeerLiveness::Healthy,
+            PeerLiveness::Suspect,
+            PeerLiveness::Dead,
+        ] {
+            assert_eq!(PeerLiveness::from_u8(s.as_u8()), s);
+        }
     }
 
     #[test]

@@ -75,6 +75,10 @@ pub struct EngineStats {
     pub check_failures: AtomicU64,
     /// Sends suppressed by a protection domain's destination restriction.
     pub denied: AtomicU64,
+    /// Sends failed because the transport's failure detector declared the
+    /// destination node dead (the buffer completes and the endpoint's drop
+    /// counter records the loss; see `Transport::peer_down`).
+    pub peer_down: AtomicU64,
     /// Event-loop iterations executed.
     pub iterations: AtomicU64,
 }
@@ -546,6 +550,22 @@ impl Engine {
                     c.increment();
                 }
                 EngineStats::bump(&self.stats.denied);
+                *budget -= 1;
+                continue;
+            }
+
+            // Peer lifecycle: a destination declared dead by the failure
+            // detector fails fast instead of black-holing. The buffer
+            // completes (the application reclaims it), the loss lands on
+            // the endpoint's drop counter, and the transport spends no
+            // datagram. The peer's return re-admits it automatically.
+            if dest.node() != self.transport.local_node() && self.transport.peer_down(dest.node()) {
+                cb.header(buf).set_state(BufferState::Processed);
+                q.advance();
+                if let Ok(c) = cb.drops_engine(idx) {
+                    c.increment();
+                }
+                EngineStats::bump(&self.stats.peer_down);
                 *budget -= 1;
                 continue;
             }
@@ -1376,5 +1396,74 @@ mod lifecycle_tests {
             assert_eq!(engines[1].iterate(), 0);
         }
         assert!(flipc[1].recv(&rx).unwrap().is_none());
+    }
+
+    /// A transport whose failure detector reports one node dead. Sends to
+    /// it must fail fast onto the endpoint's drop counter — buffer
+    /// completed, `peer_down` stat bumped, no frame handed to the wire —
+    /// while other destinations keep flowing.
+    #[test]
+    fn sends_to_a_dead_peer_fail_onto_the_drop_counter() {
+        struct DeadPeerPort {
+            inner: Box<dyn Transport>,
+            dead: FlipcNodeId,
+        }
+        impl Transport for DeadPeerPort {
+            fn try_send(&mut self, dst: FlipcNodeId, frame: &Frame) -> bool {
+                self.inner.try_send(dst, frame)
+            }
+            fn try_recv(&mut self) -> Option<Frame> {
+                self.inner.try_recv()
+            }
+            fn local_node(&self) -> FlipcNodeId {
+                self.inner.local_node()
+            }
+            fn peer_down(&self, dst: FlipcNodeId) -> bool {
+                dst == self.dead
+            }
+        }
+
+        let mut ports = fabric(3, 64).into_iter();
+        let cb = Arc::new(CommBuffer::new(Geometry::small()).unwrap());
+        let registry = WaitRegistry::new();
+        let flipc = Flipc::attach(cb.clone(), FlipcNodeId(0), registry.clone());
+        let mut engine = Engine::new(
+            cb,
+            Box::new(DeadPeerPort {
+                inner: Box::new(ports.next().unwrap()),
+                dead: FlipcNodeId(2),
+            }),
+            registry,
+            EngineConfig::default(),
+        );
+
+        let tx = flipc
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let to_dead = EndpointAddress::new(FlipcNodeId(2), EndpointIndex(0), 1);
+        let to_live = EndpointAddress::new(FlipcNodeId(1), EndpointIndex(0), 1);
+        let t = flipc.buffer_allocate().unwrap();
+        flipc.send(&tx, t, to_dead).unwrap();
+        let t = flipc.buffer_allocate().unwrap();
+        flipc.send(&tx, t, to_live).unwrap();
+        for _ in 0..4 {
+            engine.iterate();
+        }
+
+        let stats = engine.stats();
+        assert_eq!(stats.peer_down.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            stats.sent.load(Ordering::Relaxed),
+            1,
+            "only the live-destination frame reached the wire"
+        );
+        assert_eq!(
+            flipc.drops_reset(&tx).unwrap(),
+            1,
+            "the failed send lands on the endpoint's drop counter"
+        );
+        // Both buffers completed: the application reclaims them.
+        assert!(flipc.reclaim_send(&tx).unwrap().is_some());
+        assert!(flipc.reclaim_send(&tx).unwrap().is_some());
     }
 }

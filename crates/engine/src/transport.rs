@@ -47,4 +47,15 @@ pub trait Transport: Send {
     fn snapshot(&self) -> Option<TransportSnapshot> {
         None
     }
+
+    /// True when this transport's failure detector has declared `dst`
+    /// dead (retransmit budget exhausted). The engine checks this before
+    /// draining a frame toward `dst` so the send fails back to the
+    /// application's drop counter instead of being black-holed. Transports
+    /// without a failure detector never give up on a peer — the default is
+    /// a constant `false`.
+    fn peer_down(&self, dst: FlipcNodeId) -> bool {
+        let _ = dst;
+        false
+    }
 }

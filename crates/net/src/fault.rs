@@ -2,15 +2,26 @@
 //!
 //! [`FaultInjector`] wraps any [`Link`] and misdelivers its outbound
 //! datagrams with seeded pseudo-randomness: probabilistic loss,
-//! duplication, reordering, and delay. Because the randomness comes from a
-//! seed and the "time" unit is link operations (not wall clock), a given
-//! seed reproduces the exact same fault schedule on every run — the
-//! robustness suite's 10%-loss test is a fixed, replayable adversary, not
-//! a flake generator.
+//! duplication, reordering, delay, corruption, and hard per-direction
+//! partitions. Because the randomness comes from a seed and the "time"
+//! unit is link operations (not wall clock), a given seed reproduces the
+//! exact same fault schedule on every run — the robustness suite's
+//! 10%-loss test and the chaos scenarios are fixed, replayable
+//! adversaries, not flake generators.
 //!
 //! Faults are applied on the send side only; `recv` passes through. That
 //! is sufficient generality: a drop on A→B's send is indistinguishable
-//! from a drop on B's receive.
+//! from a drop on B's receive. A *one-way* partition of A→B is therefore
+//! expressed by partitioning B on A's injector while leaving B's injector
+//! alone — B's traffic still reaches A.
+//!
+//! Probabilities and partitions can be changed mid-run
+//! ([`FaultInjector::set_config`], [`FaultInjector::partition`] /
+//! [`FaultInjector::heal`]), which is how the chaos harness scripts loss
+//! bursts and partition windows; the RNG stream is not reset by
+//! reconfiguration, so a scenario stays a pure function of (seed, script).
+
+use std::collections::HashSet;
 
 use flipc_core::endpoint::FlipcNodeId;
 use rand::rngs::StdRng;
@@ -19,7 +30,8 @@ use rand::{Rng, SeedableRng};
 use crate::link::Link;
 
 /// Fault probabilities and shape. Probabilities are independent per
-/// datagram and evaluated in the order loss → duplication → delay/reorder.
+/// datagram and evaluated in the order partition → loss → delay →
+/// reorder → corruption → duplication.
 #[derive(Clone, Copy, Debug)]
 pub struct FaultConfig {
     /// Probability a datagram is silently dropped.
@@ -28,8 +40,21 @@ pub struct FaultConfig {
     pub duplicate: f64,
     /// Probability a datagram is held back so later traffic overtakes it.
     pub reorder: f64,
-    /// How many link operations a held-back datagram waits before release.
+    /// How many link operations a held-back (reordered or delayed)
+    /// datagram waits before release.
     pub delay_ops: u64,
+    /// Probability a datagram is *delayed*: held like a reordered one, but
+    /// for `delay_ops` plus a seeded jitter of up to `delay_jitter_ops`
+    /// extra operations — an asymmetric-latency fault rather than a
+    /// deliberate overtake.
+    pub delay: f64,
+    /// Upper bound (exclusive) of the extra random hold applied to
+    /// delayed datagrams; `0` makes delays fixed at `delay_ops`.
+    pub delay_jitter_ops: u64,
+    /// Probability a datagram is corrupted in flight (one byte flipped).
+    /// The versioned header/length checks must reject these; corruption
+    /// storms surface as `decode_errors`, never as delivered garbage.
+    pub corrupt: f64,
 }
 
 impl Default for FaultConfig {
@@ -39,6 +64,9 @@ impl Default for FaultConfig {
             duplicate: 0.0,
             reorder: 0.0,
             delay_ops: 3,
+            delay: 0.0,
+            delay_jitter_ops: 0,
+            corrupt: 0.0,
         }
     }
 }
@@ -53,22 +81,37 @@ impl FaultConfig {
     }
 }
 
+/// Cumulative fault tallies (for test assertions and chaos transcripts).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Datagrams silently dropped by the loss fault.
+    pub dropped: u64,
+    /// Datagrams delivered twice.
+    pub duplicated: u64,
+    /// Datagrams held back for deliberate reordering.
+    pub reordered: u64,
+    /// Datagrams held back by the delay fault.
+    pub delayed: u64,
+    /// Datagrams swallowed by an active partition.
+    pub partitioned: u64,
+    /// Datagrams corrupted in flight.
+    pub corrupted: u64,
+}
+
 /// A [`Link`] decorator that injects seeded faults into outbound traffic.
 pub struct FaultInjector<L: Link> {
     inner: L,
     cfg: FaultConfig,
     rng: StdRng,
-    /// Datagrams held for reordering: (release at op counter, dst, bytes).
+    /// Destinations currently unreachable from this side (one-way cut).
+    partitioned: HashSet<u16>,
+    /// Datagrams held for reordering/delay: (release at op counter, dst,
+    /// bytes).
     held: Vec<(u64, FlipcNodeId, Vec<u8>)>,
     /// Monotone count of send/recv operations (the deterministic "clock"
     /// that releases held datagrams).
     ops: u64,
-    /// Datagrams dropped so far (for test assertions).
-    dropped: u64,
-    /// Datagrams duplicated so far.
-    duplicated: u64,
-    /// Datagrams held back (reordered) so far.
-    reordered: u64,
+    counts: FaultCounts,
 }
 
 impl<L: Link> FaultInjector<L> {
@@ -79,17 +122,41 @@ impl<L: Link> FaultInjector<L> {
             inner,
             cfg,
             rng: StdRng::seed_from_u64(seed),
+            partitioned: HashSet::new(),
             held: Vec::new(),
             ops: 0,
-            dropped: 0,
-            duplicated: 0,
-            reordered: 0,
+            counts: FaultCounts::default(),
         }
     }
 
-    /// Datagrams dropped / duplicated / reordered so far.
-    pub fn fault_counts(&self) -> (u64, u64, u64) {
-        (self.dropped, self.duplicated, self.reordered)
+    /// Cumulative fault tallies so far.
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.counts
+    }
+
+    /// Replaces the fault probabilities mid-run (loss bursts, storm
+    /// windows). Held datagrams and the RNG stream are untouched, so the
+    /// overall schedule stays a pure function of the seed and the sequence
+    /// of reconfigurations.
+    pub fn set_config(&mut self, cfg: FaultConfig) {
+        self.cfg = cfg;
+    }
+
+    /// Cuts this side's traffic toward `dst` (the reverse direction is
+    /// governed by the peer's injector — partition both for a full cut).
+    pub fn partition(&mut self, dst: FlipcNodeId) {
+        self.partitioned.insert(dst.0);
+    }
+
+    /// Restores this side's traffic toward `dst`. Datagrams swallowed
+    /// while the cut was active stay lost (that is what a partition is).
+    pub fn heal(&mut self, dst: FlipcNodeId) {
+        self.partitioned.remove(&dst.0);
+    }
+
+    /// True while this side's traffic toward `dst` is cut.
+    pub fn is_partitioned(&self, dst: FlipcNodeId) -> bool {
+        self.partitioned.contains(&dst.0)
     }
 
     fn tick(&mut self) {
@@ -108,10 +175,13 @@ impl<L: Link> FaultInjector<L> {
             due
         };
         for (_, dst, bytes) in due {
-            // A held datagram that the wire refuses on release is simply
-            // lost — the reliability layer recovers it like any other drop.
-            if !self.inner.send(dst, &bytes) {
-                self.dropped += 1;
+            // A held datagram released into an active partition is lost;
+            // one the wire refuses on release is simply lost too — the
+            // reliability layer recovers both like any other drop.
+            if self.partitioned.contains(&dst.0) {
+                self.counts.partitioned += 1;
+            } else if !self.inner.send(dst, &bytes) {
+                self.counts.dropped += 1;
             }
         }
     }
@@ -120,20 +190,46 @@ impl<L: Link> FaultInjector<L> {
 impl<L: Link> Link for FaultInjector<L> {
     fn send(&mut self, dst: FlipcNodeId, bytes: &[u8]) -> bool {
         self.tick();
+        if self.partitioned.contains(&dst.0) {
+            // The wire "accepted" it; the far side never sees it. Real
+            // partitions give the sender no error either.
+            self.counts.partitioned += 1;
+            return true;
+        }
         if self.rng.gen_f64() < self.cfg.loss {
-            self.dropped += 1;
-            return true; // the wire "accepted" it; it just never arrives
+            self.counts.dropped += 1;
+            return true;
+        }
+        if self.rng.gen_f64() < self.cfg.delay {
+            self.counts.delayed += 1;
+            let jitter = if self.cfg.delay_jitter_ops == 0 {
+                0
+            } else {
+                (self.rng.gen_f64() * self.cfg.delay_jitter_ops as f64) as u64
+            };
+            self.held
+                .push((self.ops + self.cfg.delay_ops + jitter, dst, bytes.to_vec()));
+            return true;
         }
         if self.rng.gen_f64() < self.cfg.reorder {
-            self.reordered += 1;
+            self.counts.reordered += 1;
             self.held
                 .push((self.ops + self.cfg.delay_ops, dst, bytes.to_vec()));
             return true;
         }
-        let sent = self.inner.send(dst, bytes);
+        let payload: Vec<u8> = if self.rng.gen_f64() < self.cfg.corrupt && !bytes.is_empty() {
+            self.counts.corrupted += 1;
+            let mut b = bytes.to_vec();
+            let at = (self.rng.gen_f64() * b.len() as f64) as usize % b.len();
+            b[at] ^= 0xFF;
+            b
+        } else {
+            bytes.to_vec()
+        };
+        let sent = self.inner.send(dst, &payload);
         if sent && self.rng.gen_f64() < self.cfg.duplicate {
-            self.duplicated += 1;
-            self.inner.send(dst, bytes);
+            self.counts.duplicated += 1;
+            self.inner.send(dst, &payload);
         }
         sent
     }
@@ -182,6 +278,9 @@ mod tests {
                 loss: 0.3,
                 duplicate: 0.2,
                 reorder: 0.2,
+                delay: 0.1,
+                delay_jitter_ops: 4,
+                corrupt: 0.1,
                 delay_ops: 2,
             };
             let mut a = FaultInjector::new(hub.link(FlipcNodeId(0)), cfg, seed);
@@ -205,7 +304,7 @@ mod tests {
         }
         let got = drain(&mut b).len();
         assert!((50..150).contains(&got), "p=0.5 of 200 delivered {got}");
-        assert_eq!(a.fault_counts().0 as usize, 200 - got);
+        assert_eq!(a.fault_counts().dropped as usize, 200 - got);
     }
 
     #[test]
@@ -229,6 +328,98 @@ mod tests {
         }
         let got = drain(&mut b);
         assert_eq!(got.len(), 8, "every held datagram is eventually released");
-        assert_eq!(a.fault_counts().2, 8);
+        assert_eq!(a.fault_counts().reordered, 8);
+    }
+
+    #[test]
+    fn delayed_datagrams_arrive_late_with_bounded_jitter() {
+        let hub = MemHub::new(2, 64);
+        let cfg = FaultConfig {
+            delay: 1.0,
+            delay_ops: 3,
+            delay_jitter_ops: 5,
+            ..FaultConfig::default()
+        };
+        let mut a = FaultInjector::new(hub.link(FlipcNodeId(0)), cfg, 11);
+        let mut b = hub.link(FlipcNodeId(1));
+        for i in 0..6u8 {
+            a.send(FlipcNodeId(1), &[i]);
+        }
+        assert!(drain(&mut b).is_empty(), "all in the delay line");
+        let mut buf = [0u8; 8];
+        // delay_ops + jitter ≤ 8 extra ops covers every hold.
+        for _ in 0..32 {
+            a.recv(&mut buf);
+        }
+        assert_eq!(drain(&mut b).len(), 6, "delays never lose datagrams");
+        assert_eq!(a.fault_counts().delayed, 6);
+    }
+
+    #[test]
+    fn partition_is_per_direction_and_heals_mid_run() {
+        let hub = MemHub::new(3, 64);
+        let mut a = FaultInjector::new(hub.link(FlipcNodeId(0)), FaultConfig::default(), 5);
+        let mut b = hub.link(FlipcNodeId(1));
+        let mut c = hub.link(FlipcNodeId(2));
+
+        a.partition(FlipcNodeId(1));
+        assert!(a.is_partitioned(FlipcNodeId(1)));
+        assert!(a.send(FlipcNodeId(1), b"cut"), "sender sees no error");
+        assert!(a.send(FlipcNodeId(2), b"open"), "other directions flow");
+        // The reverse direction is not this injector's business.
+        assert!(b.send(FlipcNodeId(0), b"back"));
+        assert!(drain(&mut b).is_empty());
+        assert_eq!(drain(&mut c).len(), 1);
+        let mut buf = [0u8; 8];
+        assert!(a.recv(&mut buf).is_some(), "b -> a still open");
+
+        a.heal(FlipcNodeId(1));
+        assert!(a.send(FlipcNodeId(1), b"post"));
+        let got = drain(&mut b);
+        assert_eq!(got, vec![b"post".to_vec()], "cut traffic stays lost");
+        assert_eq!(a.fault_counts().partitioned, 1);
+    }
+
+    #[test]
+    fn corruption_flips_bytes_but_preserves_length() {
+        let hub = MemHub::new(2, 256);
+        let cfg = FaultConfig {
+            corrupt: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut a = FaultInjector::new(hub.link(FlipcNodeId(0)), cfg, 9);
+        let mut b = hub.link(FlipcNodeId(1));
+        for _ in 0..20 {
+            a.send(FlipcNodeId(1), &[0xAA; 8]);
+        }
+        let got = drain(&mut b);
+        assert_eq!(got.len(), 20);
+        for d in &got {
+            assert_eq!(d.len(), 8, "corruption never truncates");
+            assert_ne!(d, &vec![0xAA; 8], "every datagram was mangled");
+        }
+        assert_eq!(a.fault_counts().corrupted, 20);
+    }
+
+    #[test]
+    fn set_config_toggles_faults_mid_run() {
+        let hub = MemHub::new(2, 256);
+        let mut a = FaultInjector::new(hub.link(FlipcNodeId(0)), FaultConfig::default(), 13);
+        let mut b = hub.link(FlipcNodeId(1));
+        for i in 0..10u8 {
+            a.send(FlipcNodeId(1), &[i]);
+        }
+        a.set_config(FaultConfig::lossy(1.0));
+        for i in 10..20u8 {
+            a.send(FlipcNodeId(1), &[i]);
+        }
+        a.set_config(FaultConfig::default());
+        for i in 20..30u8 {
+            a.send(FlipcNodeId(1), &[i]);
+        }
+        let got: Vec<u8> = drain(&mut b).into_iter().map(|d| d[0]).collect();
+        let expect: Vec<u8> = (0..10).chain(20..30).collect();
+        assert_eq!(got, expect, "exactly the burst window was lost");
+        assert_eq!(a.fault_counts().dropped, 10);
     }
 }

@@ -22,8 +22,13 @@
 //!   `dynamic` entries learned from a peer's first packet);
 //! * [`link`] — the best-effort datagram abstraction under the protocol:
 //!   real sockets ([`udp::UdpLink`]) or an in-memory hub for tests;
-//! * [`fault`] — a seeded loss/duplication/reorder/delay injector
+//! * [`fault`] — a seeded fault injector (loss, duplication, reorder,
+//!   fixed/jittered delay, per-direction partitions, corruption)
 //!   wrapping any link, so robustness tests are deterministic;
+//! * [`chaos`] — a scripted scenario harness over the fault injector
+//!   that replays whole failure stories (loss bursts, one-way
+//!   partitions, crash/restart) against live transports and records a
+//!   transcript of every lifecycle transition;
 //! * [`stats`] — per-peer two-location counters (frames sent,
 //!   retransmitted, dropped, out-of-window) on the same wait-free
 //!   discipline as the endpoint drop counters, exposed through
@@ -44,6 +49,7 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
+pub mod chaos;
 pub mod clock;
 pub mod demo;
 pub mod fault;
@@ -55,8 +61,9 @@ pub mod stats;
 pub mod transport;
 pub mod udp;
 
+pub use chaos::{Scenario, ScenarioOutcome, ScenarioStep};
 pub use clock::{Clock, ManualClock, MonotonicClock};
-pub use fault::{FaultConfig, FaultInjector};
+pub use fault::{FaultConfig, FaultCounts, FaultInjector};
 pub use link::{Link, MemHub, MemLink};
 pub use peers::{NodeAddr, NodeMap, NodeMapError};
 pub use reliability::NetConfig;

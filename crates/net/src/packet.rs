@@ -3,35 +3,62 @@
 //! The engine's [`flipc_engine::wire::Frame`] assumes a reliable ordered
 //! medium, so it carries no transport state. A real network is neither
 //! reliable nor ordered; `flipc-net` therefore wraps each frame in a small
-//! versioned header carrying the sending node and a per-path sequence
-//! number, and adds a second packet kind for cumulative acknowledgements.
+//! versioned header carrying the sending node, a per-path sequence number,
+//! and the sender's *session epoch*, and adds packet kinds for cumulative
+//! acknowledgements and idle-path heartbeats.
 //!
-//! Layout (little-endian):
+//! Layout (little-endian), version 2:
 //!
 //! ```text
 //! magic:   u16  0xF11C
-//! version: u8   1
-//! kind:    u8   1 = Data, 2 = Ack
+//! version: u8   2
+//! kind:    u8   1 = Data, 2 = Ack, 3 = Ping
 //! src:     u16  FLIPC node id of the sender
-//! len:     u16  Data: byte length of the embedded frame; Ack: 0
+//! len:     u16  Data: byte length of the embedded frame
+//!               Ack: epoch of the data being acknowledged
+//!               Ping: 0
 //! seq:     u32  Data: path sequence number (first frame is 1)
 //!               Ack: cumulative ack — highest in-order sequence received
+//!               Ping: 0
+//! epoch:   u16  the sender's current session epoch on this path
+//! check:   u32  FNV-1a of the whole datagram with this field zeroed
 //! ```
+//!
+//! The checksum is what keeps in-flight corruption out of the protocol:
+//! UDP's 16-bit checksum is optional and weak, and a flipped bit in the
+//! sequence, epoch, or embedded frame would otherwise parse cleanly and
+//! poison the go-back-N state (or deliver garbage to the application).
+//! With it, corrupted datagrams of any shape are counted as
+//! `decode_errors` and recovered by retransmission like ordinary loss.
+//!
+//! The epoch is what makes a crashed-and-restarted peer detectable: a
+//! fresh incarnation (or a sender that reset the path after declaring its
+//! peer dead) speaks a *newer* epoch, the receiver resets its go-back-N
+//! state and resynchronizes, and datagrams from a *stale* epoch are
+//! rejected outright — in-order exactly-once delivery is guaranteed
+//! within one epoch (see `DESIGN.md` §3.4.2). Acks echo the epoch of the
+//! data they acknowledge in `len` so a sender never applies an ack meant
+//! for a previous incarnation of the path.
 //!
 //! Data packets append [`Frame::encode`] bytes after the header. A `len`
 //! that disagrees with the datagram size is rejected (UDP preserves
 //! datagram boundaries, so a mismatch means corruption or a foreign
-//! speaker, not fragmentation).
+//! speaker, not fragmentation). Version-1 datagrams (no epoch) are
+//! rejected like any other version mismatch: both ends of a path upgrade
+//! together, as with any header change.
 
 use flipc_core::endpoint::FlipcNodeId;
 use flipc_engine::wire::Frame;
 
 /// First two bytes of every `flipc-net` datagram.
 pub const MAGIC: u16 = 0xF11C;
-/// Wire protocol version this build speaks.
-pub const VERSION: u8 = 1;
+/// Wire protocol version this build speaks (2 added the session epoch and
+/// the Ping heartbeat kind).
+pub const VERSION: u8 = 2;
 /// Byte length of the packet header.
-pub const HEADER_LEN: usize = 12;
+pub const HEADER_LEN: usize = 18;
+/// Byte offset of the checksum field within the header.
+const CHECK_OFFSET: usize = 14;
 /// Largest datagram this implementation will emit or accept. Large enough
 /// for any fixed-size FLIPC message geometry in this workspace; small
 /// enough to avoid IP fragmentation on loopback and most LANs with jumbo
@@ -45,8 +72,10 @@ pub enum Packet {
     Data {
         /// Sending node.
         src: FlipcNodeId,
-        /// Path sequence number (starts at 1).
+        /// Path sequence number (starts at 1 in every epoch).
         seq: u32,
+        /// The sender's session epoch on this path.
+        epoch: u16,
         /// The engine frame being carried.
         frame: Frame,
     },
@@ -56,10 +85,24 @@ pub enum Packet {
         src: FlipcNodeId,
         /// Highest sequence number received in order (0 = nothing yet).
         cumulative: u32,
+        /// The acknowledging node's own session epoch.
+        epoch: u16,
+        /// Epoch of the data stream being acknowledged (our sender epoch,
+        /// as last seen by the peer). A sender ignores acks whose
+        /// `acked_epoch` is not its current epoch.
+        acked_epoch: u16,
+    },
+    /// An idle-path heartbeat; any valid reply (the receiver answers with
+    /// an ack) proves the peer alive.
+    Ping {
+        /// Pinging node.
+        src: FlipcNodeId,
+        /// The pinging node's session epoch.
+        epoch: u16,
     },
 }
 
-fn header(kind: u8, src: FlipcNodeId, len: u16, seq: u32) -> [u8; HEADER_LEN] {
+fn header(kind: u8, src: FlipcNodeId, len: u16, seq: u32, epoch: u16) -> [u8; HEADER_LEN] {
     let mut h = [0u8; HEADER_LEN];
     h[0..2].copy_from_slice(&MAGIC.to_le_bytes());
     h[2] = VERSION;
@@ -67,33 +110,68 @@ fn header(kind: u8, src: FlipcNodeId, len: u16, seq: u32) -> [u8; HEADER_LEN] {
     h[4..6].copy_from_slice(&src.0.to_le_bytes());
     h[6..8].copy_from_slice(&len.to_le_bytes());
     h[8..12].copy_from_slice(&seq.to_le_bytes());
+    h[12..14].copy_from_slice(&epoch.to_le_bytes());
+    // check (14..18) stays zero here; seal() fills it over the whole
+    // datagram.
     h
 }
 
-/// Encodes a data packet carrying `frame` as sequence `seq` from `src`.
+/// FNV-1a over the datagram with the check field read as zero.
+fn checksum(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for (i, &b) in bytes.iter().enumerate() {
+        let b = if (CHECK_OFFSET..CHECK_OFFSET + 4).contains(&i) {
+            0
+        } else {
+            b
+        };
+        h = (h ^ u32::from(b)).wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Writes the checksum of the assembled datagram into its header.
+fn seal(out: &mut [u8]) {
+    let c = checksum(out);
+    out[CHECK_OFFSET..CHECK_OFFSET + 4].copy_from_slice(&c.to_le_bytes());
+}
+
+/// Encodes a data packet carrying `frame` as sequence `seq` of session
+/// epoch `epoch` from `src`.
 ///
 /// Returns `None` if the frame is too large for one datagram (a
 /// misconfigured geometry; the caller treats it as undeliverable).
-pub fn encode_data(src: FlipcNodeId, seq: u32, frame: &Frame) -> Option<Vec<u8>> {
+pub fn encode_data(src: FlipcNodeId, seq: u32, epoch: u16, frame: &Frame) -> Option<Vec<u8>> {
     let body = frame.encode();
     if HEADER_LEN + body.len() > MAX_DATAGRAM || body.len() > u16::MAX as usize {
         return None;
     }
     let mut out = Vec::with_capacity(HEADER_LEN + body.len());
-    out.extend_from_slice(&header(1, src, body.len() as u16, seq));
+    out.extend_from_slice(&header(1, src, body.len() as u16, seq, epoch));
     out.extend_from_slice(&body);
+    seal(&mut out);
     Some(out)
 }
 
-/// Encodes a cumulative acknowledgement from `src`.
-pub fn encode_ack(src: FlipcNodeId, cumulative: u32) -> Vec<u8> {
-    header(2, src, 0, cumulative).to_vec()
+/// Encodes a cumulative acknowledgement from `src` (whose own epoch is
+/// `epoch`) for the peer's data stream at `acked_epoch`.
+pub fn encode_ack(src: FlipcNodeId, cumulative: u32, epoch: u16, acked_epoch: u16) -> Vec<u8> {
+    let mut out = header(2, src, acked_epoch, cumulative, epoch).to_vec();
+    seal(&mut out);
+    out
+}
+
+/// Encodes an idle-path heartbeat from `src` at session epoch `epoch`.
+pub fn encode_ping(src: FlipcNodeId, epoch: u16) -> Vec<u8> {
+    let mut out = header(3, src, 0, 0, epoch).to_vec();
+    seal(&mut out);
+    out
 }
 
 /// Decodes one datagram. Returns `None` for anything that is not a
 /// well-formed `flipc-net` packet: short datagrams, wrong magic or
-/// version, unknown kind, or a length field that disagrees with the
-/// datagram size.
+/// version, a failed checksum, unknown kind, or a length field that
+/// disagrees with the datagram size.
 pub fn decode(bytes: &[u8]) -> Option<Packet> {
     if bytes.len() < HEADER_LEN || bytes.len() > MAX_DATAGRAM {
         return None;
@@ -102,28 +180,50 @@ pub fn decode(bytes: &[u8]) -> Option<Packet> {
     if magic != MAGIC || bytes[2] != VERSION {
         return None;
     }
+    let check = u32::from_le_bytes(
+        bytes[CHECK_OFFSET..CHECK_OFFSET + 4]
+            .try_into()
+            .expect("sliced 4 bytes"),
+    );
+    if check != checksum(bytes) {
+        return None;
+    }
     let kind = bytes[3];
     let src = FlipcNodeId(u16::from_le_bytes(
         bytes[4..6].try_into().expect("sliced 2 bytes"),
     ));
-    let len = u16::from_le_bytes(bytes[6..8].try_into().expect("sliced 2 bytes")) as usize;
+    let len = u16::from_le_bytes(bytes[6..8].try_into().expect("sliced 2 bytes"));
     let seq = u32::from_le_bytes(bytes[8..12].try_into().expect("sliced 4 bytes"));
+    let epoch = u16::from_le_bytes(bytes[12..14].try_into().expect("sliced 2 bytes"));
     match kind {
         1 => {
-            if bytes.len() - HEADER_LEN != len {
+            if bytes.len() - HEADER_LEN != len as usize {
                 return None;
             }
             let frame = Frame::decode(&bytes[HEADER_LEN..])?;
-            Some(Packet::Data { src, seq, frame })
+            Some(Packet::Data {
+                src,
+                seq,
+                epoch,
+                frame,
+            })
         }
         2 => {
-            if len != 0 || bytes.len() != HEADER_LEN {
+            if bytes.len() != HEADER_LEN {
                 return None;
             }
             Some(Packet::Ack {
                 src,
                 cumulative: seq,
+                epoch,
+                acked_epoch: len,
             })
+        }
+        3 => {
+            if len != 0 || seq != 0 || bytes.len() != HEADER_LEN {
+                return None;
+            }
+            Some(Packet::Ping { src, epoch })
         }
         _ => None,
     }
@@ -146,45 +246,63 @@ mod tests {
     #[test]
     fn data_roundtrips() {
         let f = frame(0xAB);
-        let bytes = encode_data(FlipcNodeId(3), 42, &f).unwrap();
+        let bytes = encode_data(FlipcNodeId(3), 42, 5, &f).unwrap();
         assert_eq!(
             decode(&bytes).unwrap(),
             Packet::Data {
                 src: FlipcNodeId(3),
                 seq: 42,
+                epoch: 5,
                 frame: f
             }
         );
     }
 
     #[test]
-    fn ack_roundtrips() {
-        let bytes = encode_ack(FlipcNodeId(9), 17);
+    fn ack_roundtrips_with_both_epochs() {
+        let bytes = encode_ack(FlipcNodeId(9), 17, 4, 11);
         assert_eq!(
             decode(&bytes).unwrap(),
             Packet::Ack {
                 src: FlipcNodeId(9),
-                cumulative: 17
+                cumulative: 17,
+                epoch: 4,
+                acked_epoch: 11
+            }
+        );
+    }
+
+    #[test]
+    fn ping_roundtrips() {
+        let bytes = encode_ping(FlipcNodeId(2), 8);
+        assert_eq!(
+            decode(&bytes).unwrap(),
+            Packet::Ping {
+                src: FlipcNodeId(2),
+                epoch: 8
             }
         );
     }
 
     #[test]
     fn corrupt_headers_are_rejected() {
-        let good = encode_data(FlipcNodeId(1), 1, &frame(1)).unwrap();
+        let good = encode_data(FlipcNodeId(1), 1, 1, &frame(1)).unwrap();
         // Truncated below the header.
         assert!(decode(&good[..HEADER_LEN - 1]).is_none());
         // Wrong magic.
         let mut bad = good.clone();
         bad[0] ^= 0xFF;
         assert!(decode(&bad).is_none());
-        // Wrong version.
+        // Wrong version — including the epoch-less version 1.
         let mut bad = good.clone();
         bad[2] = VERSION + 1;
         assert!(decode(&bad).is_none());
+        let mut bad = good.clone();
+        bad[2] = 1;
+        assert!(decode(&bad).is_none());
         // Unknown kind.
         let mut bad = good.clone();
-        bad[3] = 3;
+        bad[3] = 4;
         assert!(decode(&bad).is_none());
         // Length disagreeing with the datagram.
         let mut bad = good.clone();
@@ -195,9 +313,40 @@ mod tests {
     }
 
     #[test]
+    fn any_single_byte_flip_is_rejected() {
+        // The checksum closes the holes the field checks cannot see:
+        // flipped sequence numbers, epochs, or payload bytes would parse
+        // cleanly and poison the protocol state.
+        let good = encode_data(FlipcNodeId(1), 7, 3, &frame(0x5A)).unwrap();
+        assert!(decode(&good).is_some(), "the unmodified datagram decodes");
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0xFF;
+            assert!(decode(&bad).is_none(), "flip of byte {i} must be rejected");
+        }
+        let good = encode_ack(FlipcNodeId(1), 7, 3, 3);
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x01;
+            assert!(decode(&bad).is_none(), "ack flip of byte {i}");
+        }
+    }
+
+    #[test]
     fn ack_with_trailing_bytes_is_rejected() {
-        let mut bytes = encode_ack(FlipcNodeId(0), 5);
+        let mut bytes = encode_ack(FlipcNodeId(0), 5, 1, 1);
         bytes.push(0);
+        assert!(decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn ping_with_payload_is_rejected() {
+        let mut bytes = encode_ping(FlipcNodeId(0), 1);
+        bytes.push(0);
+        assert!(decode(&bytes).is_none());
+        // A ping whose seq field is nonzero is malformed too.
+        let mut bytes = encode_ping(FlipcNodeId(0), 1);
+        bytes[8] = 1;
         assert!(decode(&bytes).is_none());
     }
 
@@ -208,6 +357,6 @@ mod tests {
             stamp_ns: 0,
             ..frame(0)
         };
-        assert!(encode_data(FlipcNodeId(0), 1, &f).is_none());
+        assert!(encode_data(FlipcNodeId(0), 1, 1, &f).is_none());
     }
 }

@@ -11,20 +11,28 @@
 //!   only cost on the happy path is one ring push. When the cumulative
 //!   acknowledgement stalls past a timeout, the whole unacknowledged ring
 //!   is resent (go-back-N) and the timeout backs off exponentially to a
-//!   cap, so a dead peer costs a bounded, decaying trickle of datagrams —
-//!   never unbounded memory (the ring is the window) and never a blocked
-//!   engine (a full ring surfaces as wire backpressure, which the engine
-//!   already handles by retrying its queue head later).
+//!   cap. The timeout itself is *adaptive* ([`RttEstimator`]): an
+//!   RFC-6298-style SRTT/RTTVAR filter fed by per-frame ack RTT samples
+//!   (Karn's rule: retransmitted frames never produce samples), so the
+//!   recovery latency tracks the path instead of a fixed schedule.
 //! * **Receiver** ([`ReceiverPath`]): in-order delivery with a bounded
 //!   reorder window. Frames ahead of the expected sequence are parked (up
 //!   to the window), duplicates and stale arrivals are dropped and
 //!   counted, and anything beyond the window is dropped too — the peer's
 //!   retransmission recovers it. Every data arrival is answered with a
 //!   cumulative ack (coalesced per poll by the transport).
+//! * **Failure detector** ([`LivenessTracker`]): a bounded strike budget
+//!   (`Healthy → Suspect → Dead`) charged by failed retransmit rounds and
+//!   unanswered idle heartbeats. On `Dead` the transport stops spending
+//!   datagrams on the peer, fails its queued/in-flight sends back to the
+//!   application ([`flipc_core::error::FlipcError::PeerDown`]), and bumps
+//!   its session epoch so a later resync restarts the stream cleanly. Any
+//!   valid arrival re-admits the peer.
 //!
 //! Sequence numbers are `u32` and wrap; all comparisons are windowed
 //! wrapping comparisons, sound because both windows are tiny (≤ 2^15)
-//! relative to the sequence space.
+//! relative to the sequence space. Session epochs are `u16` and compared
+//! the same way ([`epoch_newer`]).
 //!
 //! Where this deliberately differs from the paper: FLIPC-on-Paragon had a
 //! reliable mesh and therefore *no* retransmission at all. The recovery
@@ -34,6 +42,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use flipc_core::inspect::PeerLiveness;
 use flipc_engine::wire::Frame;
 
 /// Tuning for one transport's reliability layer.
@@ -45,10 +54,35 @@ pub struct NetConfig {
     /// Receiver reorder window: how far ahead of the next expected
     /// sequence an arrival may be and still be parked for reassembly.
     pub reorder_window: u32,
-    /// Initial retransmit timeout, in clock ticks (µs on the real clock).
+    /// Initial retransmit timeout, in clock ticks (µs on the real clock),
+    /// used until the adaptive estimator has its first RTT sample.
     pub rto: u64,
+    /// Lower clamp for the adaptive retransmit timeout, in clock ticks.
+    /// (If the bounds conflict, `rto_max` wins.)
+    pub rto_min: u64,
     /// Backoff cap for the retransmit timeout, in clock ticks.
     pub rto_max: u64,
+    /// Feed observed ack RTTs back into the timeout
+    /// (`clamp(srtt + 4·rttvar)`). When `false` the fixed
+    /// `rto`-with-backoff schedule is kept (the pre-adaptive behaviour,
+    /// still used as the comparison baseline by `bench-report`).
+    pub adaptive_rto: bool,
+    /// Strikes (failed retransmit rounds or unanswered heartbeats) before
+    /// a peer is demoted from `Healthy` to `Suspect`.
+    pub suspect_strikes: u32,
+    /// Strikes before a peer is declared `Dead`: the bounded retransmit
+    /// budget. `u32::MAX` disables dead declaration (retransmit forever,
+    /// the pre-lifecycle behaviour).
+    pub dead_strikes: u32,
+    /// Idle-path heartbeat interval, in clock ticks: after this much
+    /// silence on a path with nothing in flight, a ping is sent (and an
+    /// unanswered ping is a strike). `0` disables heartbeats.
+    pub heartbeat_interval: u64,
+    /// The session epoch this transport's paths start at. A supervisor
+    /// restarting a crashed node should hand the new incarnation a larger
+    /// epoch so peers detect the restart immediately; the transport also
+    /// bumps it per path when it declares a peer dead.
+    pub initial_epoch: u16,
     /// Max datagrams drained from the wire per transport poll.
     pub recv_burst: usize,
 }
@@ -59,7 +93,13 @@ impl Default for NetConfig {
             window: 64,
             reorder_window: 64,
             rto: 5_000,
+            rto_min: 1_000,
             rto_max: 80_000,
+            adaptive_rto: true,
+            suspect_strikes: 3,
+            dead_strikes: 12,
+            heartbeat_interval: 200_000,
+            initial_epoch: 1,
             recv_burst: 128,
         }
     }
@@ -67,6 +107,91 @@ impl Default for NetConfig {
 
 /// Half the u32 sequence space; distances below this are "forward".
 const HALF: u32 = 1 << 31;
+
+/// True when epoch `a` is strictly newer than `b` under wrapping `u16`
+/// comparison (sound because real epoch deltas are tiny relative to the
+/// space). Stale-epoch datagrams — `a` older than the recorded epoch — are
+/// rejected; newer epochs trigger a path resync.
+pub fn epoch_newer(a: u16, b: u16) -> bool {
+    a != b && a.wrapping_sub(b) < 1 << 15
+}
+
+/// RFC-6298-style smoothed RTT estimator (integer arithmetic, clock
+/// ticks). Single-writer like everything else on the path: the transport
+/// observes samples from inside the engine loop and mirrors the estimate
+/// to gauges with plain stores.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RttEstimator {
+    srtt: u64,
+    rttvar: u64,
+    samples: u64,
+}
+
+impl RttEstimator {
+    /// An estimator with no samples (the configured initial RTO applies).
+    pub fn new() -> RttEstimator {
+        RttEstimator::default()
+    }
+
+    /// Feeds one ack RTT sample (ticks). Saturating throughout, so even
+    /// pathological samples (`u64::MAX`) cannot overflow.
+    pub fn observe(&mut self, rtt: u64) {
+        if self.samples == 0 {
+            self.srtt = rtt;
+            self.rttvar = rtt / 2;
+        } else {
+            // RFC 6298: RTTVAR := 3/4·RTTVAR + 1/4·|SRTT − R|,
+            //           SRTT := 7/8·SRTT + 1/8·R.
+            let err = self.srtt.abs_diff(rtt);
+            self.rttvar = (self.rttvar.saturating_mul(3).saturating_add(err)) / 4;
+            self.srtt = (self.srtt.saturating_mul(7).saturating_add(rtt)) / 8;
+        }
+        self.samples = self.samples.saturating_add(1);
+    }
+
+    /// Smoothed RTT (0 until the first sample).
+    pub fn srtt(&self) -> u64 {
+        self.srtt
+    }
+
+    /// RTT variance.
+    pub fn rttvar(&self) -> u64 {
+        self.rttvar
+    }
+
+    /// Samples observed so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The retransmit timeout this estimate implies:
+    /// `clamp(srtt + 4·rttvar, rto_min, rto_max)`, or the configured
+    /// initial `rto` while no samples exist. The floor is applied first,
+    /// so `rto_max` wins if the configured bounds conflict.
+    pub fn rto(&self, cfg: &NetConfig) -> u64 {
+        if self.samples == 0 {
+            return cfg.rto.min(cfg.rto_max);
+        }
+        self.srtt
+            .saturating_add(self.rttvar.saturating_mul(4))
+            .max(cfg.rto_min)
+            .min(cfg.rto_max)
+    }
+}
+
+/// One datagram in the retransmit ring.
+#[derive(Debug)]
+pub struct InFlight {
+    /// Sequence number the datagram carries.
+    pub seq: u32,
+    /// The encoded bytes, reused verbatim for any retransmission.
+    pub bytes: Vec<u8>,
+    /// Tick of the first transmission (the RTT sample base).
+    pub sent_at: u64,
+    /// Set once any go-back-N round re-sent this datagram. Karn's rule:
+    /// such frames never produce RTT samples (the ack is ambiguous).
+    pub retransmitted: bool,
+}
 
 /// Sender side of one path: sequence allocation + retransmit ring.
 #[derive(Debug)]
@@ -77,11 +202,13 @@ pub struct SenderPath {
     /// Highest cumulatively acknowledged sequence.
     cum_acked: u32,
     /// Encoded datagrams sent but not yet acknowledged, oldest first.
-    unacked: VecDeque<(u32, Vec<u8>)>,
+    unacked: VecDeque<InFlight>,
     /// Current retransmit timeout (ticks), grows under backoff.
     rto_cur: u64,
     /// Tick of the last forward progress (send-from-empty or new ack).
     last_progress: u64,
+    /// Adaptive RTT estimate for this path.
+    estimator: RttEstimator,
 }
 
 impl SenderPath {
@@ -92,8 +219,9 @@ impl SenderPath {
             next_seq: 1,
             cum_acked: 0,
             unacked: VecDeque::new(),
-            rto_cur: cfg.rto,
+            rto_cur: cfg.rto.min(cfg.rto_max),
             last_progress: 0,
+            estimator: RttEstimator::new(),
         }
     }
 
@@ -105,6 +233,12 @@ impl SenderPath {
     /// True when the window is full: the caller must backpressure.
     pub fn full(&self) -> bool {
         self.unacked.len() as u32 >= self.cfg.window
+    }
+
+    /// True once any frame has been admitted in the current epoch (used to
+    /// decide whether an epoch resync must also reset this sender).
+    pub fn has_history(&self) -> bool {
+        self.next_seq != 1
     }
 
     /// Admits one frame: assigns it the next sequence number and parks the
@@ -129,12 +263,19 @@ impl SenderPath {
             self.last_progress = now;
         }
         self.next_seq = self.next_seq.wrapping_add(1);
-        self.unacked.push_back((seq, bytes));
-        Some(&self.unacked.back().expect("just pushed").1)
+        self.unacked.push_back(InFlight {
+            seq,
+            bytes,
+            sent_at: now,
+            retransmitted: false,
+        });
+        Some(&self.unacked.back().expect("just pushed").bytes)
     }
 
     /// Applies a cumulative acknowledgement. Returns the number of frames
-    /// newly acknowledged (0 for stale or duplicate acks).
+    /// newly acknowledged (0 for stale or duplicate acks). Progress feeds
+    /// the RTT estimator (newest acked never-retransmitted frame — Karn's
+    /// rule) and re-arms the timeout from the estimate.
     pub fn on_ack(&mut self, now: u64, cumulative: u32) -> u32 {
         let advance = cumulative.wrapping_sub(self.cum_acked);
         if advance == 0 || advance >= HALF {
@@ -146,37 +287,91 @@ impl SenderPath {
             return 0;
         }
         let mut freed = 0;
-        while let Some((seq, _)) = self.unacked.front() {
-            if seq.wrapping_sub(self.cum_acked) <= advance {
+        let mut sample = None;
+        while let Some(f) = self.unacked.front() {
+            if f.seq.wrapping_sub(self.cum_acked) <= advance {
+                if !f.retransmitted {
+                    sample = Some(now.saturating_sub(f.sent_at));
+                }
                 self.unacked.pop_front();
                 freed += 1;
             } else {
                 break;
             }
         }
+        if let Some(rtt) = sample {
+            self.estimator.observe(rtt);
+        }
         self.cum_acked = cumulative;
-        self.rto_cur = self.cfg.rto;
+        self.rto_cur = self.current_rto();
         self.last_progress = now;
         freed
     }
 
+    /// The un-backed-off timeout the configuration implies right now.
+    fn current_rto(&self) -> u64 {
+        if self.cfg.adaptive_rto {
+            self.estimator.rto(&self.cfg)
+        } else {
+            self.cfg.rto.min(self.cfg.rto_max)
+        }
+    }
+
     /// Checks the retransmit timer. If the path has stalled past the
     /// current timeout, returns the full unacknowledged ring for
-    /// retransmission (go-back-N) and backs the timeout off; otherwise
-    /// returns an empty iterator's worth of nothing.
-    pub fn poll_retransmit(&mut self, now: u64) -> &VecDeque<(u32, Vec<u8>)> {
-        static EMPTY: VecDeque<(u32, Vec<u8>)> = VecDeque::new();
+    /// retransmission (go-back-N), backs the timeout off, and marks every
+    /// returned frame retransmitted (Karn); otherwise returns an empty
+    /// ring.
+    pub fn poll_retransmit(&mut self, now: u64) -> &VecDeque<InFlight> {
+        static EMPTY: VecDeque<InFlight> = VecDeque::new();
         if self.unacked.is_empty() || now.wrapping_sub(self.last_progress) < self.rto_cur {
             return &EMPTY;
         }
         self.rto_cur = (self.rto_cur.saturating_mul(2)).min(self.cfg.rto_max);
         self.last_progress = now;
+        for f in &mut self.unacked {
+            f.retransmitted = true;
+        }
         &self.unacked
     }
 
-    /// Current retransmit timeout (exposed for backoff-cap tests).
+    /// Abandons the current epoch: clears the retransmit ring (the caller
+    /// fails those frames back to the application), restarts the sequence
+    /// space at 1, and resets the backoff. The RTT estimate survives — the
+    /// path's physics did not change, only the session. Returns how many
+    /// in-flight frames were abandoned.
+    ///
+    /// The caller must bump its wire epoch alongside this reset so the
+    /// peer's receiver resynchronizes instead of treating the fresh
+    /// sequence numbers as duplicates.
+    pub fn reset_epoch(&mut self) -> u32 {
+        let failed = self.unacked.len() as u32;
+        self.unacked.clear();
+        self.next_seq = 1;
+        self.cum_acked = 0;
+        self.rto_cur = self.current_rto();
+        failed
+    }
+
+    /// Current retransmit timeout (exposed for backoff-cap tests and the
+    /// per-peer gauge).
     pub fn rto(&self) -> u64 {
         self.rto_cur
+    }
+
+    /// Smoothed RTT estimate (0 until the first sample).
+    pub fn srtt(&self) -> u64 {
+        self.estimator.srtt()
+    }
+
+    /// RTT variance estimate.
+    pub fn rttvar(&self) -> u64 {
+        self.estimator.rttvar()
+    }
+
+    /// The estimator itself (for tests and benches).
+    pub fn estimator(&self) -> &RttEstimator {
+        &self.estimator
     }
 }
 
@@ -221,6 +416,14 @@ impl ReceiverPath {
         self.next_expected.wrapping_sub(1)
     }
 
+    /// Restarts the path for a new session epoch: the peer's stream begins
+    /// again at sequence 1 and parked frames from the old epoch are
+    /// discarded (the in-order guarantee is per-epoch).
+    pub fn reset(&mut self) {
+        self.next_expected = 1;
+        self.parked.clear();
+    }
+
     /// Processes one data arrival.
     pub fn on_data(&mut self, seq: u32, frame: Frame) -> RecvOutcome {
         let mut out = RecvOutcome::default();
@@ -252,6 +455,118 @@ impl ReceiverPath {
     }
 }
 
+/// The per-peer failure detector: a strike budget shared by the retransmit
+/// timer (a fired round with no progress is a strike) and the idle-path
+/// heartbeat (an unanswered ping is a strike).
+///
+/// `Healthy → Suspect → Dead` is monotone under silence; any valid arrival
+/// re-admits the peer to `Healthy` (the transport re-syncs the path state
+/// separately, via epochs).
+#[derive(Debug)]
+pub struct LivenessTracker {
+    state: PeerLiveness,
+    strikes: u32,
+    /// Tick of the last valid arrival (or of construction).
+    last_heard: u64,
+    /// Tick of the last heartbeat ping (0 = none sent yet).
+    last_ping: u64,
+    /// A ping is out and nothing has been heard since.
+    ping_outstanding: bool,
+}
+
+impl LivenessTracker {
+    /// A fresh tracker; silence is measured from `now`.
+    pub fn new(now: u64) -> LivenessTracker {
+        LivenessTracker {
+            state: PeerLiveness::Healthy,
+            strikes: 0,
+            last_heard: now,
+            last_ping: 0,
+            ping_outstanding: false,
+        }
+    }
+
+    /// Current verdict.
+    pub fn state(&self) -> PeerLiveness {
+        self.state
+    }
+
+    /// Strikes accumulated since the last reset.
+    pub fn strikes(&self) -> u32 {
+        self.strikes
+    }
+
+    /// A valid datagram arrived from the peer. `idle` is whether we have
+    /// nothing in flight toward it — an idle peer that talks is fully
+    /// healthy, while a talking peer that never acks our in-flight frames
+    /// keeps its retransmit strikes (a one-way partition must still
+    /// exhaust the budget). Returns `true` when this arrival re-admits a
+    /// peer previously declared dead.
+    pub fn on_heard(&mut self, now: u64, idle: bool) -> bool {
+        self.last_heard = now;
+        self.ping_outstanding = false;
+        if self.state == PeerLiveness::Dead {
+            self.strikes = 0;
+            self.state = PeerLiveness::Healthy;
+            return true;
+        }
+        if idle {
+            self.strikes = 0;
+            self.state = PeerLiveness::Healthy;
+        }
+        false
+    }
+
+    /// The peer acknowledged forward progress: full reset to `Healthy`.
+    pub fn on_progress(&mut self, now: u64) {
+        self.last_heard = now;
+        self.ping_outstanding = false;
+        self.strikes = 0;
+        self.state = PeerLiveness::Healthy;
+    }
+
+    /// One strike (a failed retransmit round or an unanswered heartbeat).
+    /// Returns the (possibly unchanged) state after charging it.
+    pub fn on_strike(&mut self, cfg: &NetConfig) -> PeerLiveness {
+        if self.state == PeerLiveness::Dead {
+            return PeerLiveness::Dead;
+        }
+        self.strikes = self.strikes.saturating_add(1);
+        self.state = if self.strikes >= cfg.dead_strikes {
+            PeerLiveness::Dead
+        } else if self.strikes >= cfg.suspect_strikes {
+            PeerLiveness::Suspect
+        } else {
+            PeerLiveness::Healthy
+        };
+        self.state
+    }
+
+    /// Decides whether an idle-path heartbeat should go out now. Charges a
+    /// strike first if the previous ping went unanswered; returns `false`
+    /// (no datagram) once the peer is dead or heartbeats are disabled.
+    pub fn heartbeat_due(&mut self, now: u64, cfg: &NetConfig) -> bool {
+        if cfg.heartbeat_interval == 0 || self.state == PeerLiveness::Dead {
+            return false;
+        }
+        if now.saturating_sub(self.last_heard) < cfg.heartbeat_interval {
+            return false;
+        }
+        if self.last_ping != 0 && now.saturating_sub(self.last_ping) < cfg.heartbeat_interval {
+            return false;
+        }
+        if self.ping_outstanding && self.on_strike(cfg) == PeerLiveness::Dead {
+            // The unanswered-ping strike exhausted the budget: no more
+            // datagrams toward this peer.
+            self.ping_outstanding = false;
+            return false;
+        }
+        self.last_ping = now;
+        self.ping_outstanding = true;
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +577,7 @@ mod tests {
             window: 4,
             reorder_window: 4,
             rto: 100,
+            rto_min: 10,
             rto_max: 400,
             ..NetConfig::default()
         }
@@ -317,10 +633,79 @@ mod tests {
         assert_eq!(s.rto(), 400);
         s.poll_retransmit(700);
         assert_eq!(s.rto(), 400, "backoff capped at rto_max");
-        // Progress resets the backoff.
+        // Progress resets the backoff. Both frames were retransmitted, so
+        // Karn's rule leaves the estimator empty and the initial RTO
+        // applies.
         s.on_ack(700, 2);
+        assert_eq!(s.estimator().samples(), 0, "Karn: no ambiguous samples");
         assert_eq!(s.rto(), 100);
         assert!(s.poll_retransmit(1_000_000).is_empty(), "nothing in flight");
+    }
+
+    #[test]
+    fn clean_acks_adapt_the_timeout_to_the_observed_rtt() {
+        let mut s = SenderPath::new(cfg());
+        // Steady 40-tick RTT, no losses: the estimator converges and the
+        // armed timeout tracks clamp(srtt + 4·rttvar) instead of the
+        // initial 100-tick schedule.
+        let mut now = 0;
+        for _ in 0..32 {
+            s.admit(now, bytes_for).unwrap();
+            now += 40;
+            assert!(s.on_ack(now, s.next_seq.wrapping_sub(1)) == 1);
+        }
+        let srtt = s.srtt();
+        assert!((20..=80).contains(&srtt), "srtt converged near 40: {srtt}");
+        assert!(s.rto() >= 40, "timeout at least the observed RTT");
+        assert!(s.rto() < 100, "timeout adapted below the fixed schedule");
+        // The fixed-schedule configuration ignores the samples.
+        let mut fixed = SenderPath::new(NetConfig {
+            adaptive_rto: false,
+            ..cfg()
+        });
+        let mut now = 0;
+        for _ in 0..8 {
+            fixed.admit(now, bytes_for).unwrap();
+            now += 40;
+            fixed.on_ack(now, fixed.next_seq.wrapping_sub(1));
+        }
+        assert_eq!(fixed.rto(), 100, "fixed schedule keeps the configured rto");
+    }
+
+    #[test]
+    fn estimator_follows_rfc6298_shape_and_saturates() {
+        let mut e = RttEstimator::new();
+        e.observe(100);
+        assert_eq!(e.srtt(), 100);
+        assert_eq!(e.rttvar(), 50);
+        e.observe(100);
+        assert_eq!(e.srtt(), 100);
+        assert!(e.rttvar() < 50, "constant samples shrink the variance");
+        // Pathological samples must not overflow.
+        e.observe(u64::MAX);
+        e.observe(u64::MAX);
+        let cfg = cfg();
+        assert_eq!(e.rto(&cfg), cfg.rto_max, "clamped at the cap");
+    }
+
+    #[test]
+    fn reset_epoch_abandons_the_ring_and_restarts_sequences() {
+        let mut s = SenderPath::new(cfg());
+        for _ in 0..3 {
+            s.admit(0, bytes_for).unwrap();
+        }
+        assert!(s.has_history());
+        assert_eq!(s.reset_epoch(), 3, "in-flight frames reported as failed");
+        assert_eq!(s.in_flight(), 0);
+        assert!(!s.has_history());
+        // The sequence space restarted: the next admit carries seq 1.
+        let mut seen = None;
+        s.admit(0, |seq| {
+            seen = Some(seq);
+            bytes_for(seq)
+        })
+        .unwrap();
+        assert_eq!(seen, Some(1));
     }
 
     #[test]
@@ -361,6 +746,21 @@ mod tests {
     }
 
     #[test]
+    fn receiver_reset_restarts_the_stream() {
+        let mut r = ReceiverPath::new(cfg());
+        assert_eq!(r.on_data(1, frame(1)).delivered.len(), 1);
+        r.on_data(3, frame(3)); // parked
+        r.reset();
+        assert_eq!(r.cumulative(), 0);
+        // The new epoch's sequence 1 delivers; the parked frame from the
+        // old epoch is gone (no spurious unblock at seq 3).
+        assert_eq!(r.on_data(1, frame(9)).delivered.len(), 1);
+        assert_eq!(r.on_data(2, frame(9)).delivered.len(), 1);
+        assert_eq!(r.on_data(3, frame(9)).delivered.len(), 1);
+        assert_eq!(r.cumulative(), 3);
+    }
+
+    #[test]
     fn sequences_survive_wraparound() {
         let big = NetConfig {
             window: 4,
@@ -383,5 +783,94 @@ mod tests {
         // Frames carried sequences MAX-1, MAX, 0, 1 — the cursor wrapped.
         assert_eq!(r.cumulative(), 1, "cursor wrapped cleanly");
         assert_eq!(s.in_flight(), 0);
+    }
+
+    #[test]
+    fn epoch_comparison_is_wrapping() {
+        assert!(epoch_newer(2, 1));
+        assert!(!epoch_newer(1, 2));
+        assert!(!epoch_newer(5, 5));
+        assert!(epoch_newer(0, u16::MAX), "newer across the wrap");
+        assert!(!epoch_newer(u16::MAX, 0));
+    }
+
+    #[test]
+    fn liveness_walks_healthy_suspect_dead_and_readmits() {
+        let cfg = NetConfig {
+            suspect_strikes: 2,
+            dead_strikes: 4,
+            ..cfg()
+        };
+        let mut t = LivenessTracker::new(0);
+        assert_eq!(t.state(), PeerLiveness::Healthy);
+        assert_eq!(t.on_strike(&cfg), PeerLiveness::Healthy);
+        assert_eq!(t.on_strike(&cfg), PeerLiveness::Suspect);
+        assert_eq!(t.on_strike(&cfg), PeerLiveness::Suspect);
+        assert_eq!(t.on_strike(&cfg), PeerLiveness::Dead);
+        assert_eq!(t.on_strike(&cfg), PeerLiveness::Dead, "dead is absorbing");
+        // Any valid arrival re-admits.
+        assert!(t.on_heard(100, true), "re-admission reported");
+        assert_eq!(t.state(), PeerLiveness::Healthy);
+        assert_eq!(t.strikes(), 0);
+    }
+
+    #[test]
+    fn heard_while_in_flight_keeps_retransmit_strikes() {
+        // One-way partition shape: the peer talks to us (heard) but never
+        // acks our in-flight frames — strikes must keep accumulating.
+        let cfg = NetConfig {
+            suspect_strikes: 1,
+            dead_strikes: 3,
+            ..cfg()
+        };
+        let mut t = LivenessTracker::new(0);
+        t.on_strike(&cfg);
+        assert_eq!(t.state(), PeerLiveness::Suspect);
+        assert!(!t.on_heard(10, false), "not idle: strikes survive");
+        assert_eq!(t.state(), PeerLiveness::Suspect);
+        assert_eq!(t.strikes(), 1);
+        // Ack progress clears everything.
+        t.on_progress(20);
+        assert_eq!(t.state(), PeerLiveness::Healthy);
+        assert_eq!(t.strikes(), 0);
+    }
+
+    #[test]
+    fn heartbeats_fire_on_idle_silence_and_strike_when_unanswered() {
+        let cfg = NetConfig {
+            heartbeat_interval: 100,
+            suspect_strikes: 1,
+            dead_strikes: 2,
+            ..cfg()
+        };
+        let mut t = LivenessTracker::new(0);
+        assert!(!t.heartbeat_due(50, &cfg), "not silent long enough");
+        assert!(t.heartbeat_due(100, &cfg), "first ping after the interval");
+        assert!(!t.heartbeat_due(150, &cfg), "one ping per interval");
+        // Unanswered: the next due heartbeat charges a strike first.
+        assert!(t.heartbeat_due(200, &cfg));
+        assert_eq!(t.state(), PeerLiveness::Suspect);
+        // The second unanswered ping exhausts the budget: dead, and no
+        // further pings (zero datagram cost).
+        assert!(!t.heartbeat_due(300, &cfg));
+        assert_eq!(t.state(), PeerLiveness::Dead);
+        assert!(!t.heartbeat_due(10_000, &cfg), "dead peers are not pinged");
+        // An answered ping never strikes.
+        let mut t = LivenessTracker::new(0);
+        assert!(t.heartbeat_due(100, &cfg));
+        t.on_heard(110, true);
+        assert!(t.heartbeat_due(400, &cfg));
+        assert_eq!(t.state(), PeerLiveness::Healthy);
+    }
+
+    #[test]
+    fn disabled_heartbeats_never_ping() {
+        let cfg = NetConfig {
+            heartbeat_interval: 0,
+            ..cfg()
+        };
+        let mut t = LivenessTracker::new(0);
+        assert!(!t.heartbeat_due(1_000_000, &cfg));
+        assert_eq!(t.state(), PeerLiveness::Healthy);
     }
 }

@@ -7,16 +7,22 @@
 //! operator read (or read-and-reset) without any read-modify-write, the
 //! same property the paper required for the endpoint drop counters.
 //!
+//! The peer-lifecycle surface lives here too: the transport mirrors each
+//! path's SRTT/RTTVAR/RTO estimate and session epoch into plain-store
+//! gauges, and publishes its failure-detector verdicts on a shared
+//! [`flipc_core::inspect::LivenessBoard`] so the application interface can
+//! fail sends to dead peers without asking the transport anything.
+//!
 //! [`NetStats::snapshot`] renders into the workspace-wide inspect surface
 //! ([`flipc_core::inspect::TransportSnapshot`]).
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use flipc_core::counter::OwnedCounter;
 use flipc_core::endpoint::FlipcNodeId;
 use flipc_core::hist::Histogram;
-use flipc_core::inspect::{PathSnapshot, TransportSnapshot};
+use flipc_core::inspect::{LivenessBoard, PathSnapshot, TransportSnapshot};
 
 /// Counters for one peer path (both directions).
 #[derive(Debug, Default)]
@@ -35,9 +41,24 @@ pub struct PeerStats {
     pub out_of_window: OwnedCounter,
     /// First transmissions the wire refused (recovered by retransmit).
     pub wire_dropped: OwnedCounter,
+    /// Frames failed back to the application by the peer lifecycle (dead
+    /// declaration or epoch resync) instead of being retransmitted forever.
+    pub failed: OwnedCounter,
+    /// Datagrams from a stale session epoch, rejected before delivery.
+    pub stale_epoch: OwnedCounter,
+    /// Idle-path heartbeat pings sent to this peer.
+    pub pings: OwnedCounter,
     /// Gauge: frames in the retransmit ring right now. Single writer (the
     /// transport); plain store.
     pub in_flight: AtomicU32,
+    /// Gauge: smoothed RTT estimate for this path (clock ticks).
+    pub srtt: AtomicU64,
+    /// Gauge: RTT variance estimate (clock ticks).
+    pub rttvar: AtomicU64,
+    /// Gauge: retransmit timeout currently armed (clock ticks).
+    pub rto_cur: AtomicU64,
+    /// Gauge: this node's current session epoch on the path.
+    pub epoch: AtomicU32,
 }
 
 /// All of one transport's counters, shared with inspectors via `Arc`.
@@ -51,6 +72,8 @@ pub struct NetStats {
     pub decode_errors: OwnedCounter,
     /// Well-formed datagrams from unconfigured node ids.
     pub unknown_peer: OwnedCounter,
+    /// Paths resynchronized because the peer arrived on a newer epoch.
+    pub epoch_resyncs: OwnedCounter,
     /// Distribution of retransmit timeouts that actually fired (transport
     /// clock ticks — microseconds on the production clock). The transport
     /// is the single recorder; one sample per go-back-N round.
@@ -58,11 +81,21 @@ pub struct NetStats {
     /// Distribution of go-back-N burst sizes (frames re-sent per round).
     /// Same recorder discipline as `rto`.
     pub retransmit_burst: Histogram,
+    /// The failure detector's shared verdict table. The transport is the
+    /// single writer; hand a clone to [`flipc_core::api::Flipc::set_liveness`]
+    /// so the application interface fails sends to dead peers eagerly.
+    pub liveness: Arc<LivenessBoard>,
 }
 
 impl NetStats {
     /// Fresh zeroed counters for `local` speaking to `peers`.
     pub fn new(local: FlipcNodeId, peers: &[FlipcNodeId]) -> Arc<NetStats> {
+        let max_node = peers
+            .iter()
+            .map(|n| n.0)
+            .chain(std::iter::once(local.0))
+            .max()
+            .unwrap_or(0);
         Arc::new(NetStats {
             local,
             peers: peers
@@ -74,8 +107,10 @@ impl NetStats {
                 .collect(),
             decode_errors: OwnedCounter::new(),
             unknown_peer: OwnedCounter::new(),
+            epoch_resyncs: OwnedCounter::new(),
             rto: Histogram::new(),
             retransmit_burst: Histogram::new(),
+            liveness: Arc::new(LivenessBoard::new(max_node)),
         })
     }
 
@@ -101,10 +136,19 @@ impl NetStats {
                     out_of_window: p.out_of_window.read(),
                     wire_dropped: p.wire_dropped.read(),
                     in_flight: p.in_flight.load(Ordering::Relaxed),
+                    failed: p.failed.read(),
+                    stale_epoch: p.stale_epoch.read(),
+                    pings: p.pings.read(),
+                    liveness: self.liveness.get(p.node),
+                    srtt: p.srtt.load(Ordering::Relaxed),
+                    rttvar: p.rttvar.load(Ordering::Relaxed),
+                    rto: p.rto_cur.load(Ordering::Relaxed),
+                    epoch: p.epoch.load(Ordering::Relaxed) as u16,
                 })
                 .collect(),
             decode_errors: self.decode_errors.read(),
             unknown_peer: self.unknown_peer.read(),
+            epoch_resyncs: self.epoch_resyncs.read(),
             rto: self.rto.snapshot(),
             retransmit_burst: self.retransmit_burst.snapshot(),
         }
@@ -114,6 +158,7 @@ impl NetStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flipc_core::inspect::PeerLiveness;
 
     #[test]
     fn snapshot_reflects_counters_without_resetting() {
@@ -135,5 +180,44 @@ mod tests {
         assert_eq!(s1.unknown_peer, 1);
         assert_eq!(s2.paths[1].sent, 2, "snapshots must not consume counts");
         assert!(s1.render().contains("peer 2"));
+    }
+
+    #[test]
+    fn snapshot_carries_lifecycle_gauges_and_board_state() {
+        let stats = NetStats::new(FlipcNodeId(0), &[FlipcNodeId(1)]);
+        let p = stats.peer(FlipcNodeId(1)).unwrap();
+        for _ in 0..3 {
+            p.failed.writer().increment();
+        }
+        p.stale_epoch.writer().increment();
+        p.pings.writer().increment();
+        p.pings.writer().increment();
+        p.srtt.store(150, Ordering::Relaxed);
+        p.rttvar.store(40, Ordering::Relaxed);
+        p.rto_cur.store(310, Ordering::Relaxed);
+        p.epoch.store(7, Ordering::Relaxed);
+        stats.epoch_resyncs.writer().increment();
+        stats.liveness.set(FlipcNodeId(1), PeerLiveness::Dead);
+
+        let s = stats.snapshot();
+        let path = &s.paths[0];
+        assert_eq!(path.failed, 3);
+        assert_eq!(path.stale_epoch, 1);
+        assert_eq!(path.pings, 2);
+        assert_eq!(path.srtt, 150);
+        assert_eq!(path.rttvar, 40);
+        assert_eq!(path.rto, 310);
+        assert_eq!(path.epoch, 7);
+        assert_eq!(path.liveness, PeerLiveness::Dead);
+        assert_eq!(s.epoch_resyncs, 1);
+        assert!(s.render().contains("[dead e7]"));
+    }
+
+    #[test]
+    fn board_covers_every_configured_node() {
+        // Peer ids need not be dense; the board must still cover the max.
+        let stats = NetStats::new(FlipcNodeId(2), &[FlipcNodeId(9)]);
+        stats.liveness.set(FlipcNodeId(9), PeerLiveness::Suspect);
+        assert_eq!(stats.liveness.get(FlipcNodeId(9)), PeerLiveness::Suspect);
     }
 }

@@ -177,6 +177,7 @@ fn one_percent_loss_delivers_everything_in_order() {
             duplicate: 0.01,
             reorder: 0.02,
             delay_ops: 3,
+            ..FaultConfig::default()
         },
         0xF11C_0001,
     );
@@ -190,6 +191,7 @@ fn ten_percent_loss_delivers_everything_in_order() {
             duplicate: 0.05,
             reorder: 0.10,
             delay_ops: 4,
+            ..FaultConfig::default()
         },
         0xF11C_0010,
     );
@@ -225,6 +227,12 @@ fn dead_peer_keeps_memory_and_retransmit_rate_bounded() {
         window: 8,
         rto: 1_000,
         rto_max: 4_000,
+        // This test pins the pre-lifecycle property: even with dead
+        // declaration disabled, the retransmit machinery alone keeps
+        // memory and datagram rate bounded. The chaos suite covers the
+        // lifecycle path (declare, fail, resync) separately.
+        dead_strikes: u32::MAX,
+        heartbeat_interval: 0,
         ..NetConfig::default()
     };
     // 100% loss in both directions: node 1 is unreachable.

@@ -1,0 +1,164 @@
+//! Property tests for the adaptive RTO estimator and session-epoch
+//! admission — the two places where a wrong edge case silently costs
+//! either latency (a timeout that never converges) or correctness (a
+//! stale-epoch frame leaking into delivery).
+
+use flipc_core::endpoint::{EndpointAddress, EndpointIndex, FlipcNodeId};
+use flipc_engine::transport::Transport;
+use flipc_engine::wire::Frame;
+use flipc_net::packet::encode_data;
+use flipc_net::reliability::RttEstimator;
+use flipc_net::{Link, ManualClock, MemHub, NetConfig, NetTransport};
+use proptest::prelude::*;
+
+/// A config whose clamp stays out of the way, for raw-adaptation checks.
+fn open_cfg() -> NetConfig {
+    NetConfig {
+        rto: 1,
+        rto_min: 1,
+        rto_max: u64::MAX,
+        ..NetConfig::default()
+    }
+}
+
+/// Sample values that stress the arithmetic: zeros, extremes, and the
+/// whole ordinary range.
+fn rtt_sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(1u64),
+        Just(u64::MAX),
+        Just(u64::MAX / 2),
+        any::<u64>(),
+        0u64..1_000_000,
+    ]
+}
+
+proptest! {
+    /// Whatever the sample history, the implied timeout obeys the
+    /// configured clamp: never above `rto_max`, never below `rto_min`
+    /// when the bounds are consistent, and exactly `rto_max` when they
+    /// conflict (the cap wins). With no samples the configured initial
+    /// `rto` applies, still capped.
+    #[test]
+    fn rto_respects_the_configured_clamp(
+        samples in proptest::collection::vec(rtt_sample(), 0..64),
+        rto in any::<u64>(),
+        rto_min in any::<u64>(),
+        rto_max in any::<u64>(),
+    ) {
+        let cfg = NetConfig { rto, rto_min, rto_max, ..NetConfig::default() };
+        let mut e = RttEstimator::new();
+        for &s in &samples {
+            e.observe(s);
+        }
+        let got = e.rto(&cfg);
+        prop_assert!(got <= rto_max, "rto {got} above cap {rto_max}");
+        if samples.is_empty() {
+            prop_assert_eq!(got, rto.min(rto_max));
+        } else if rto_min <= rto_max {
+            prop_assert!(got >= rto_min, "rto {got} below floor {rto_min}");
+        } else {
+            prop_assert_eq!(got, rto_max, "conflicting bounds must resolve to the cap");
+        }
+    }
+
+    /// Feeding arbitrary (including pathological) samples never panics,
+    /// and the internal estimates never overflow into nonsense: srtt and
+    /// rttvar stay representable and the implied rto stays within the cap.
+    #[test]
+    fn pathological_samples_never_overflow(
+        samples in proptest::collection::vec(rtt_sample(), 1..256),
+    ) {
+        let mut e = RttEstimator::new();
+        for &s in &samples {
+            e.observe(s);
+        }
+        prop_assert_eq!(e.samples(), samples.len() as u64);
+        let cfg = open_cfg();
+        // Saturating arithmetic: the estimate is monotone-bounded by the
+        // largest sample's order of magnitude, never a wrapped tiny value
+        // after a huge one... the cheap observable check is that the
+        // clamped timeout still respects any cap we choose.
+        for cap in [1u64, 1_000, u64::MAX] {
+            let cfg = NetConfig { rto_max: cap, ..cfg };
+            prop_assert!(e.rto(&cfg) <= cap);
+        }
+    }
+
+    /// After the path's true RTT step-changes (by up to 8x either way),
+    /// 32 samples at the new value pull the implied timeout to within 2x
+    /// of the new true RTT — the estimator tracks the path instead of
+    /// fossilizing the old schedule.
+    #[test]
+    fn estimator_converges_within_32_samples_of_a_step_change(
+        r_old in 100u64..100_000,
+        num in 1u64..=8,
+        den in 1u64..=8,
+    ) {
+        // The step stays within 8x either way by construction.
+        let r_new = (r_old * num / den).max(100);
+        let mut e = RttEstimator::new();
+        for _ in 0..64 {
+            e.observe(r_old);
+        }
+        for _ in 0..32 {
+            e.observe(r_new);
+        }
+        let rto = e.rto(&open_cfg());
+        prop_assert!(
+            rto >= r_new / 2 && rto <= r_new * 2,
+            "rto {rto} not within 2x of true RTT {r_new} (step from {r_old})"
+        );
+    }
+}
+
+/// A well-formed data datagram carrying `seq` at `epoch`, from node 1.
+fn datagram(seq: u32, epoch: u16) -> Vec<u8> {
+    let frame = Frame {
+        src: EndpointAddress::new(FlipcNodeId(1), EndpointIndex(0), 1),
+        dst: EndpointAddress::new(FlipcNodeId(0), EndpointIndex(0), 1),
+        payload: vec![0x5A; 16].into(),
+        stamp_ns: 0,
+    };
+    encode_data(FlipcNodeId(1), seq, epoch, &frame).expect("encodable")
+}
+
+proptest! {
+    /// Frames from any stale epoch (1..=32767 behind the admitted one,
+    /// i.e. everything `epoch_newer` calls "older") are counted and
+    /// dropped, never delivered — and the path still accepts the next
+    /// in-order frame on the live epoch afterwards.
+    #[test]
+    fn stale_epoch_frames_are_never_delivered(
+        epoch in any::<u16>(),
+        stale in proptest::collection::vec((1u16..=32767, any::<u32>()), 1..16),
+    ) {
+        let hub = MemHub::new(2, 1024);
+        let mut transport: NetTransport<_, _> = NetTransport::new(
+            FlipcNodeId(0),
+            &[FlipcNodeId(1)],
+            hub.link(FlipcNodeId(0)),
+            ManualClock::new(),
+            NetConfig::default(),
+        );
+        let mut raw = hub.link(FlipcNodeId(1));
+
+        // Establish the live epoch with the first in-order frame.
+        prop_assert!(raw.send(FlipcNodeId(0), &datagram(1, epoch)));
+        prop_assert!(transport.try_recv().is_some(), "live frame must deliver");
+
+        // Every stale-epoch frame must bounce off admission.
+        for &(behind, seq) in &stale {
+            prop_assert!(raw.send(FlipcNodeId(0), &datagram(seq, epoch.wrapping_sub(behind))));
+        }
+        prop_assert!(transport.try_recv().is_none(), "stale frames leaked into delivery");
+        let snap = transport.stats().snapshot();
+        prop_assert_eq!(snap.paths[0].stale_epoch, stale.len() as u32);
+        prop_assert_eq!(snap.paths[0].delivered, 1);
+
+        // The live epoch keeps flowing.
+        prop_assert!(raw.send(FlipcNodeId(0), &datagram(2, epoch)));
+        prop_assert!(transport.try_recv().is_some(), "live epoch must survive the storm");
+    }
+}

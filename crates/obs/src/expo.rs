@@ -26,9 +26,18 @@
 //! | `flipc_net_dup_dropped_total` | counter | `node`, `peer` |
 //! | `flipc_net_out_of_window_total` | counter | `node`, `peer` |
 //! | `flipc_net_wire_dropped_total` | counter | `node`, `peer` |
+//! | `flipc_net_failed_total` | counter | `node`, `peer` |
+//! | `flipc_net_stale_epoch_total` | counter | `node`, `peer` |
+//! | `flipc_net_pings_total` | counter | `node`, `peer` |
 //! | `flipc_net_in_flight` | gauge | `node`, `peer` |
+//! | `flipc_net_peer_state` | gauge | `node`, `peer` (0 healthy, 1 suspect, 2 dead) |
+//! | `flipc_net_srtt_ticks` | gauge | `node`, `peer` |
+//! | `flipc_net_rttvar_ticks` | gauge | `node`, `peer` |
+//! | `flipc_net_rto_current_ticks` | gauge | `node`, `peer` |
+//! | `flipc_net_epoch` | gauge | `node`, `peer` |
 //! | `flipc_net_decode_errors_total` | counter | `node` |
 //! | `flipc_net_unknown_peer_total` | counter | `node` |
+//! | `flipc_net_epoch_resyncs_total` | counter | `node` |
 //! | `flipc_net_rto_ticks` | histogram | `node` |
 //! | `flipc_net_retransmit_burst` | histogram | `node` |
 
@@ -240,7 +249,7 @@ pub fn expose_transport(expo: &mut Exposition, snap: &TransportSnapshot) {
     let node = snap.local.0.to_string();
     for p in &snap.paths {
         let labels = [("node", node.clone()), ("peer", p.peer.0.to_string())];
-        let counters: [(&str, &'static str, u32); 6] = [
+        let counters: [(&str, &'static str, u32); 9] = [
             (
                 "flipc_net_sent_total",
                 "Data frames transmitted for the first time.",
@@ -271,6 +280,21 @@ pub fn expose_transport(expo: &mut Exposition, snap: &TransportSnapshot) {
                 "First-transmission attempts the wire refused.",
                 p.wire_dropped,
             ),
+            (
+                "flipc_net_failed_total",
+                "Sends failed back to the application by the peer lifecycle.",
+                p.failed,
+            ),
+            (
+                "flipc_net_stale_epoch_total",
+                "Datagrams from a stale session epoch, rejected.",
+                p.stale_epoch,
+            ),
+            (
+                "flipc_net_pings_total",
+                "Idle-path heartbeat pings sent.",
+                p.pings,
+            ),
         ];
         for (name, help, v) in counters {
             expo.counter(name, help, &labels, u64::from(v));
@@ -281,6 +305,36 @@ pub fn expose_transport(expo: &mut Exposition, snap: &TransportSnapshot) {
             &labels,
             u64::from(p.in_flight),
         );
+        let gauges: [(&str, &'static str, u64); 5] = [
+            (
+                "flipc_net_peer_state",
+                "Failure-detector verdict: 0 healthy, 1 suspect, 2 dead.",
+                u64::from(p.liveness.as_u8()),
+            ),
+            (
+                "flipc_net_srtt_ticks",
+                "Smoothed round-trip time estimate, transport clock ticks.",
+                p.srtt,
+            ),
+            (
+                "flipc_net_rttvar_ticks",
+                "Round-trip time variance estimate, transport clock ticks.",
+                p.rttvar,
+            ),
+            (
+                "flipc_net_rto_current_ticks",
+                "Retransmit timeout currently armed for this path.",
+                p.rto,
+            ),
+            (
+                "flipc_net_epoch",
+                "This node's current session epoch on the path.",
+                u64::from(p.epoch),
+            ),
+        ];
+        for (name, help, v) in gauges {
+            expo.gauge(name, help, &labels, v);
+        }
     }
     let node_l = [("node", node.clone())];
     expo.counter(
@@ -294,6 +348,12 @@ pub fn expose_transport(expo: &mut Exposition, snap: &TransportSnapshot) {
         "Well-formed datagrams from unconfigured node ids.",
         &node_l,
         u64::from(snap.unknown_peer),
+    );
+    expo.counter(
+        "flipc_net_epoch_resyncs_total",
+        "Paths resynchronized after a peer arrived on a newer epoch.",
+        &node_l,
+        u64::from(snap.epoch_resyncs),
     );
     expo.histogram(
         "flipc_net_rto_ticks",
@@ -517,9 +577,18 @@ mod tests {
                 out_of_window: 0,
                 wire_dropped: 0,
                 in_flight: 1,
+                failed: 4,
+                stale_epoch: 2,
+                pings: 6,
+                liveness: flipc_core::inspect::PeerLiveness::Suspect,
+                srtt: 120,
+                rttvar: 30,
+                rto: 240,
+                epoch: 3,
             }],
             decode_errors: 0,
             unknown_peer: 0,
+            epoch_resyncs: 1,
             rto: HistogramSnapshot::empty(BUCKETS),
             retransmit_burst: HistogramSnapshot::empty(BUCKETS),
         };
@@ -534,7 +603,16 @@ mod tests {
             "flipc_trace_events_lost_total{node=\"0\"} 3",
             "flipc_net_sent_total{node=\"0\",peer=\"1\"} 10",
             "flipc_net_in_flight{node=\"0\",peer=\"1\"} 1",
+            "flipc_net_failed_total{node=\"0\",peer=\"1\"} 4",
+            "flipc_net_stale_epoch_total{node=\"0\",peer=\"1\"} 2",
+            "flipc_net_pings_total{node=\"0\",peer=\"1\"} 6",
+            "flipc_net_peer_state{node=\"0\",peer=\"1\"} 1",
+            "flipc_net_srtt_ticks{node=\"0\",peer=\"1\"} 120",
+            "flipc_net_rttvar_ticks{node=\"0\",peer=\"1\"} 30",
+            "flipc_net_rto_current_ticks{node=\"0\",peer=\"1\"} 240",
+            "flipc_net_epoch{node=\"0\",peer=\"1\"} 3",
             "flipc_net_decode_errors_total{node=\"0\"} 0",
+            "flipc_net_epoch_resyncs_total{node=\"0\"} 1",
             "# TYPE flipc_net_retransmit_burst histogram",
         ] {
             assert!(page.contains(needle), "missing {needle:?} in:\n{page}");

@@ -55,6 +55,10 @@ impl Default for StallConfig {
 /// Why a stall happened, as far as the recorded signals can tell.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StallCause {
+    /// The transport's failure detector held one or more peers in
+    /// `Suspect` or `Dead` during the window: the silence is a sick path,
+    /// not a sick engine — deliveries stopped because the peer did.
+    PeerSuspect,
     /// The gap ends in (or contains) a retransmit burst: the engine was
     /// waiting out the reliability layer's timers.
     TransportRetransmit,
@@ -71,6 +75,7 @@ impl StallCause {
     /// Stable lower-case name used by both dump formats.
     pub fn name(self) -> &'static str {
         match self {
+            StallCause::PeerSuspect => "transport-peer-suspect",
             StallCause::TransportRetransmit => "transport-retransmit",
             StallCause::EngineBusy => "engine-busy",
             StallCause::EngineIdle => "engine-idle",
@@ -134,13 +139,16 @@ impl std::fmt::Display for StallReport {
 /// `carry_last` is the per-node stamp of the last event of the *previous*
 /// batch (so stalls spanning a drain boundary are still seen); pass an
 /// empty slice for a standalone scan. `iter_work` is the iteration-work
-/// histogram harvested over the same window and `retransmit_delta` the
-/// transport's retransmitted-frame delta — the two correlation signals.
+/// histogram harvested over the same window, `retransmit_delta` the
+/// transport's retransmitted-frame delta, and `suspect_peers` the number
+/// of peers the transport's failure detector currently holds in `Suspect`
+/// or `Dead` — the three correlation signals, strongest first.
 pub fn scan(
     events: &[TraceEvent],
     carry_last: &[(u16, u64)],
     iter_work: &HistogramSnapshot,
     retransmit_delta: u64,
+    suspect_peers: u32,
     cfg: &StallConfig,
 ) -> Vec<StallReport> {
     let mut out = Vec::new();
@@ -165,7 +173,14 @@ pub fn scan(
                         end_ns: ev.t_ns,
                         gap_ns: gap,
                         endpoint: ev.endpoint,
-                        cause: attribute(ev, resume_burst, iter_work, retransmit_delta, cfg),
+                        cause: attribute(
+                            ev,
+                            resume_burst,
+                            iter_work,
+                            retransmit_delta,
+                            suspect_peers,
+                            cfg,
+                        ),
                         resume_burst,
                     });
                 }
@@ -176,17 +191,23 @@ pub fn scan(
     out
 }
 
-/// The attribution decision, in evidence order: a retransmit signal wins
-/// (the engine was waiting out timers), then the backlog correlation
-/// (long-tail iteration-work bucket or a dense resume burst means work was
-/// queued while the loop stood still), else the gap was genuine idleness.
+/// The attribution decision, in evidence order: a sick peer wins (the
+/// failure detector saw a path stall its whole strike budget — deliveries
+/// stopped because the peer did), then a retransmit signal (the engine
+/// was waiting out timers), then the backlog correlation (long-tail
+/// iteration-work bucket or a dense resume burst means work was queued
+/// while the loop stood still), else the gap was genuine idleness.
 fn attribute(
     resume_event: &TraceEvent,
     resume_burst: u32,
     iter_work: &HistogramSnapshot,
     retransmit_delta: u64,
+    suspect_peers: u32,
     cfg: &StallConfig,
 ) -> StallCause {
+    if suspect_peers > 0 {
+        return StallCause::PeerSuspect;
+    }
     if retransmit_delta > 0 || resume_event.kind == TraceKind::Retransmit {
         return StallCause::TransportRetransmit;
     }
@@ -251,7 +272,10 @@ impl StallMonitor {
                     reader.drain_into(&mut batch);
                     builder.note_lost(reader.lost());
                     let work = telemetry.harvest().iteration_work;
-                    for report in scan(&batch, &carry, &work, 0, &cfg) {
+                    // The monitor has no transport handle: no retransmit
+                    // delta or liveness signal, so those causes are the
+                    // caller's business (flipc-top wires them in).
+                    for report in scan(&batch, &carry, &work, 0, 0, &cfg) {
                         let _ = rep_tx.send(report);
                     }
                     // Carry the last stamp per node across drains so a
@@ -343,7 +367,7 @@ mod tests {
         let events: Vec<_> = (0..10)
             .map(|i| ev(i * 500, TraceKind::Deliver, 0, 1))
             .collect();
-        assert!(scan(&events, &[], &idle_work(), 0, &cfg()).is_empty());
+        assert!(scan(&events, &[], &idle_work(), 0, 0, &cfg()).is_empty());
     }
 
     #[test]
@@ -352,7 +376,7 @@ mod tests {
             ev(0, TraceKind::Deliver, 0, 1),
             ev(5_000, TraceKind::Deliver, 0, 1),
         ];
-        let stalls = scan(&events, &[], &idle_work(), 0, &cfg());
+        let stalls = scan(&events, &[], &idle_work(), 0, 0, &cfg());
         assert_eq!(stalls.len(), 1);
         assert_eq!(stalls[0].gap_ns, 5_000);
         assert_eq!(stalls[0].cause, StallCause::EngineIdle);
@@ -366,7 +390,7 @@ mod tests {
         for i in 0..8 {
             events.push(ev(5_000 + i * 10, TraceKind::Deliver, 0, 1));
         }
-        let stalls = scan(&events, &[], &idle_work(), 0, &cfg());
+        let stalls = scan(&events, &[], &idle_work(), 0, 0, &cfg());
         assert_eq!(stalls.len(), 1);
         assert_eq!(stalls[0].cause, StallCause::EngineBusy);
         assert_eq!(stalls[0].resume_burst, 8);
@@ -380,7 +404,7 @@ mod tests {
             ev(0, TraceKind::Deliver, 0, 1),
             ev(5_000, TraceKind::Deliver, 0, 1),
         ];
-        let stalls = scan(&events, &[], &work, 0, &cfg());
+        let stalls = scan(&events, &[], &work, 0, 0, &cfg());
         assert_eq!(stalls[0].cause, StallCause::EngineBusy);
     }
 
@@ -390,15 +414,30 @@ mod tests {
             ev(0, TraceKind::Send, 0, 1),
             ev(5_000, TraceKind::Retransmit, 0, u16::MAX),
         ];
-        let stalls = scan(&events, &[], &idle_work(), 0, &cfg());
+        let stalls = scan(&events, &[], &idle_work(), 0, 0, &cfg());
         assert_eq!(stalls[0].cause, StallCause::TransportRetransmit);
         // A retransmit delta from the transport snapshot also decides it.
         let events = [
             ev(0, TraceKind::Send, 0, 1),
             ev(5_000, TraceKind::Deliver, 0, 1),
         ];
-        let stalls = scan(&events, &[], &idle_work(), 3, &cfg());
+        let stalls = scan(&events, &[], &idle_work(), 3, 0, &cfg());
         assert_eq!(stalls[0].cause, StallCause::TransportRetransmit);
+    }
+
+    #[test]
+    fn a_sick_peer_outranks_every_other_cause() {
+        // Retransmit evidence AND a backlog resume are both present, but
+        // the failure detector holding a peer in Suspect/Dead explains the
+        // silence better than either.
+        let mut events = vec![ev(0, TraceKind::Send, 0, 1)];
+        events.push(ev(5_000, TraceKind::Retransmit, 0, u16::MAX));
+        for i in 0..8 {
+            events.push(ev(5_010 + i * 10, TraceKind::Deliver, 0, 1));
+        }
+        let stalls = scan(&events, &[], &idle_work(), 3, 1, &cfg());
+        assert_eq!(stalls[0].cause, StallCause::PeerSuspect);
+        assert_eq!(stalls[0].cause.name(), "transport-peer-suspect");
     }
 
     #[test]
@@ -410,12 +449,12 @@ mod tests {
             ev(800, TraceKind::Deliver, 0, 1),
             ev(1_200, TraceKind::Deliver, 1, 1),
         ];
-        assert!(scan(&events, &[], &idle_work(), 0, &cfg()).is_empty());
+        assert!(scan(&events, &[], &idle_work(), 0, 0, &cfg()).is_empty());
         // A carry stamp turns the first event of this batch into a gap end.
-        let stalls = scan(&events[..1], &[(0, 0)], &idle_work(), 0, &cfg());
+        let stalls = scan(&events[..1], &[(0, 0)], &idle_work(), 0, 0, &cfg());
         assert!(stalls.is_empty(), "zero gap from carry");
         let late = [ev(10_000, TraceKind::Deliver, 0, 1)];
-        let stalls = scan(&late, &[(0, 0)], &idle_work(), 0, &cfg());
+        let stalls = scan(&late, &[(0, 0)], &idle_work(), 0, 0, &cfg());
         assert_eq!(stalls.len(), 1);
         assert_eq!(stalls[0].gap_ns, 10_000);
     }

@@ -9,7 +9,7 @@
 
 use flipc_core::endpoint::FlipcNodeId;
 use flipc_core::hist::{bucket_index, HistogramSnapshot, BUCKETS};
-use flipc_core::inspect::{PathSnapshot, TransportSnapshot};
+use flipc_core::inspect::{PathSnapshot, PeerLiveness, TransportSnapshot};
 use flipc_obs::{
     expose_engine, expose_trace_lost, expose_transport, EngineTelemetrySnapshot, Exposition,
 };
@@ -44,9 +44,18 @@ fn page() -> String {
             out_of_window: 1,
             wire_dropped: 4,
             in_flight: 5,
+            failed: 6,
+            stale_epoch: 2,
+            pings: 9,
+            liveness: PeerLiveness::Healthy,
+            srtt: 150,
+            rttvar: 25,
+            rto: 250,
+            epoch: 2,
         }],
         decode_errors: 1,
         unknown_peer: 0,
+        epoch_resyncs: 1,
         rto: hist_of(&[2_000]),
         retransmit_burst: hist_of(&[2, 1]),
     };
@@ -96,15 +105,42 @@ flipc_net_out_of_window_total{node=\"0\",peer=\"1\"} 1
 # HELP flipc_net_wire_dropped_total First-transmission attempts the wire refused.
 # TYPE flipc_net_wire_dropped_total counter
 flipc_net_wire_dropped_total{node=\"0\",peer=\"1\"} 4
+# HELP flipc_net_failed_total Sends failed back to the application by the peer lifecycle.
+# TYPE flipc_net_failed_total counter
+flipc_net_failed_total{node=\"0\",peer=\"1\"} 6
+# HELP flipc_net_stale_epoch_total Datagrams from a stale session epoch, rejected.
+# TYPE flipc_net_stale_epoch_total counter
+flipc_net_stale_epoch_total{node=\"0\",peer=\"1\"} 2
+# HELP flipc_net_pings_total Idle-path heartbeat pings sent.
+# TYPE flipc_net_pings_total counter
+flipc_net_pings_total{node=\"0\",peer=\"1\"} 9
 # HELP flipc_net_in_flight Frames sent and not yet cumulatively acknowledged.
 # TYPE flipc_net_in_flight gauge
 flipc_net_in_flight{node=\"0\",peer=\"1\"} 5
+# HELP flipc_net_peer_state Failure-detector verdict: 0 healthy, 1 suspect, 2 dead.
+# TYPE flipc_net_peer_state gauge
+flipc_net_peer_state{node=\"0\",peer=\"1\"} 0
+# HELP flipc_net_srtt_ticks Smoothed round-trip time estimate, transport clock ticks.
+# TYPE flipc_net_srtt_ticks gauge
+flipc_net_srtt_ticks{node=\"0\",peer=\"1\"} 150
+# HELP flipc_net_rttvar_ticks Round-trip time variance estimate, transport clock ticks.
+# TYPE flipc_net_rttvar_ticks gauge
+flipc_net_rttvar_ticks{node=\"0\",peer=\"1\"} 25
+# HELP flipc_net_rto_current_ticks Retransmit timeout currently armed for this path.
+# TYPE flipc_net_rto_current_ticks gauge
+flipc_net_rto_current_ticks{node=\"0\",peer=\"1\"} 250
+# HELP flipc_net_epoch This node's current session epoch on the path.
+# TYPE flipc_net_epoch gauge
+flipc_net_epoch{node=\"0\",peer=\"1\"} 2
 # HELP flipc_net_decode_errors_total Datagrams rejected before peer attribution.
 # TYPE flipc_net_decode_errors_total counter
 flipc_net_decode_errors_total{node=\"0\"} 1
 # HELP flipc_net_unknown_peer_total Well-formed datagrams from unconfigured node ids.
 # TYPE flipc_net_unknown_peer_total counter
 flipc_net_unknown_peer_total{node=\"0\"} 0
+# HELP flipc_net_epoch_resyncs_total Paths resynchronized after a peer arrived on a newer epoch.
+# TYPE flipc_net_epoch_resyncs_total counter
+flipc_net_epoch_resyncs_total{node=\"0\"} 1
 # HELP flipc_net_rto_ticks Retransmit timeouts that fired, in transport clock ticks.
 # TYPE flipc_net_rto_ticks histogram
 flipc_net_rto_ticks_bucket{node=\"0\",le=\"2047\"} 1

@@ -121,7 +121,7 @@ fn run_scenario(inject: bool) -> Vec<flipc_obs::StallReport> {
         threshold_ns: THRESHOLD.as_nanos() as u64,
         ..StallConfig::default()
     };
-    let reports = scan(&events, &[], &work.iteration_work, 0, &cfg);
+    let reports = scan(&events, &[], &work.iteration_work, 0, 0, &cfg);
 
     // The timeline reconstruction sees the same gap the detector saw.
     let mut b = TimelineBuilder::new();

@@ -4,8 +4,10 @@
 //! `--udp` for real `127.0.0.1` sockets through `flipc-net`'s
 //! reliability layer), harvests telemetry and trace snapshots on an
 //! interval, and renders what an operator needs: per-endpoint p50/p99
-//! deliver latency, event rates, drop/retransmit counts, and live stall
-//! reports from the trace-gap analyzer.
+//! deliver latency, event rates, drop/retransmit counts, the per-peer
+//! lifecycle table (liveness verdict, SRTT/RTTVAR estimator state,
+//! current RTO, session epoch), and live stall reports from the
+//! trace-gap analyzer.
 //!
 //! ```text
 //! flipc-top [--interval MS] [--ticks N] [--once] [--json]
@@ -33,6 +35,7 @@ use std::time::{Duration, Instant};
 use flipc_core::api::{Flipc, LocalEndpoint};
 use flipc_core::commbuf::CommBuffer;
 use flipc_core::endpoint::{EndpointAddress, EndpointType, FlipcNodeId, Importance};
+use flipc_core::inspect::PeerLiveness;
 use flipc_core::layout::Geometry;
 use flipc_core::wait::WaitRegistry;
 use flipc_engine::engine::{Engine, EngineConfig};
@@ -330,19 +333,33 @@ fn harvest_tick(
         n.lost += lost;
         builder.note_lost(lost);
         let work = n.telemetry.harvest();
-        let retransmitted = n
+        let (retransmitted, suspects) = n
             .engine
             .transport_snapshot()
             .map(|s| {
-                s.paths
+                let r = s
+                    .paths
                     .iter()
                     .map(|p| u64::from(p.retransmitted))
-                    .sum::<u64>()
+                    .sum::<u64>();
+                let sus = s
+                    .paths
+                    .iter()
+                    .filter(|p| p.liveness != PeerLiveness::Healthy)
+                    .count() as u32;
+                (r, sus)
             })
-            .unwrap_or(0);
+            .unwrap_or((0, 0));
         let delta = retransmitted.saturating_sub(n.prev_retransmitted);
         n.prev_retransmitted = retransmitted;
-        stalls.extend(scan(&batch, &n.carry, &work.iteration_work, delta, cfg));
+        stalls.extend(scan(
+            &batch,
+            &n.carry,
+            &work.iteration_work,
+            delta,
+            suspects,
+            cfg,
+        ));
         for ev in &batch {
             match n.carry.iter_mut().find(|(node, _)| *node == ev.node) {
                 Some((_, t)) => *t = ev.t_ns,
@@ -377,6 +394,60 @@ fn exposition(nodes: &[DemoNode]) -> String {
         }
     }
     expo.render()
+}
+
+/// Renders the per-peer lifecycle table: failure-detector verdict, RTT
+/// estimator state, currently armed RTO, and session epoch per path.
+fn peer_table(nodes: &[DemoNode]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (i, n) in nodes.iter().enumerate() {
+        let Some(snap) = n.engine.transport_snapshot() else {
+            continue;
+        };
+        for p in &snap.paths {
+            let _ = writeln!(
+                out,
+                "node {i} -> peer {}: {:7} srtt={} rttvar={} rto={} epoch={} \
+                 in-flight={} failed={}",
+                p.peer.0,
+                p.liveness.name(),
+                p.srtt,
+                p.rttvar,
+                p.rto,
+                p.epoch,
+                p.in_flight,
+                p.failed,
+            );
+        }
+    }
+    out
+}
+
+/// The same lifecycle table as structured rows for the JSON document.
+fn peers_json(nodes: &[DemoNode]) -> Value {
+    let mut rows = Vec::new();
+    for (i, n) in nodes.iter().enumerate() {
+        let Some(snap) = n.engine.transport_snapshot() else {
+            continue;
+        };
+        for p in &snap.paths {
+            rows.push(Value::object([
+                ("node", Value::from(i as u64)),
+                ("peer", Value::from(u64::from(p.peer.0))),
+                ("liveness", Value::from(p.liveness.name())),
+                ("srtt_ticks", Value::from(p.srtt)),
+                ("rttvar_ticks", Value::from(p.rttvar)),
+                ("rto_ticks", Value::from(p.rto)),
+                ("epoch", Value::from(u64::from(p.epoch))),
+                ("in_flight", Value::from(u64::from(p.in_flight))),
+                ("failed", Value::from(u64::from(p.failed))),
+                ("stale_epoch", Value::from(u64::from(p.stale_epoch))),
+                ("pings", Value::from(u64::from(p.pings))),
+            ]));
+        }
+    }
+    Value::Array(rows)
 }
 
 /// Per-node telemetry summary for the JSON document.
@@ -483,6 +554,7 @@ fn run(opts: &Opts) -> ExitCode {
                     print!("node {i}: {}", acc.render());
                 }
             }
+            print!("{}", peer_table(&nodes));
             for s in &h.stalls {
                 println!("STALL {s}");
             }
@@ -514,12 +586,15 @@ fn run(opts: &Opts) -> ExitCode {
                 Value::Array(all_stalls.iter().map(StallReport::to_json).collect()),
             ),
             ("telemetry", telemetry_json(&nodes)),
+            ("peers", peers_json(&nodes)),
             ("exposition", Value::from(exposition(&nodes).as_str())),
         ]);
         println!("{}", doc.render_pretty());
     } else {
         println!("=== timeline ===");
         print!("{}", timeline.render());
+        println!("=== peers ===");
+        print!("{}", peer_table(&nodes));
         println!("=== stalls ({}) ===", all_stalls.len());
         for s in &all_stalls {
             println!("{s}");
