@@ -1,0 +1,583 @@
+//! `analyzer.toml` / `analyzer-allowlist.toml` loading.
+//!
+//! The build environment has no crates.io access, so this module includes a
+//! small parser for the TOML subset the two config files use: `[table]`
+//! headers, `[[array-of-tables]]` headers, and `key = value` pairs where a
+//! value is a string, integer, boolean, or (possibly multi-line) array of
+//! strings. Unknown keys are errors — a typo in a discipline config must
+//! not silently relax a rule.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// A parsed TOML value (subset).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TomlValue {
+    /// A quoted string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// An array of strings.
+    StrArray(Vec<String>),
+}
+
+impl TomlValue {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            TomlValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_array(&self) -> Option<&[String]> {
+        match self {
+            TomlValue::StrArray(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// One `[table]` or one element of a `[[table]]` array.
+pub type TomlTable = BTreeMap<String, TomlValue>;
+
+/// A parsed document: named tables plus named arrays-of-tables.
+#[derive(Debug, Default)]
+pub struct TomlDoc {
+    /// `[a.b]` tables, keyed by the dotted header.
+    pub tables: BTreeMap<String, TomlTable>,
+    /// `[[a.b]]` arrays, keyed by the dotted header.
+    pub arrays: BTreeMap<String, Vec<TomlTable>>,
+}
+
+/// A config-loading error with its source line.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// Human-readable description.
+    pub msg: String,
+    /// 1-based line, 0 when not line-specific.
+    pub line: usize,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.msg)
+        } else {
+            write!(f, "{}", self.msg)
+        }
+    }
+}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ConfigError> {
+    Err(ConfigError {
+        msg: msg.into(),
+        line,
+    })
+}
+
+/// Parses the TOML subset.
+pub fn parse_toml(src: &str) -> Result<TomlDoc, ConfigError> {
+    let mut doc = TomlDoc::default();
+    // Where `key = value` lines currently land.
+    enum Cursor {
+        Root,
+        Table(String),
+        Array(String),
+    }
+    let mut cur = Cursor::Root;
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(h) = line.strip_prefix("[[") {
+            let Some(name) = h.strip_suffix("]]") else {
+                return err(lineno, "unterminated [[header]]");
+            };
+            let name = name.trim().to_string();
+            doc.arrays
+                .entry(name.clone())
+                .or_default()
+                .push(TomlTable::new());
+            cur = Cursor::Array(name);
+            continue;
+        }
+        if let Some(h) = line.strip_prefix('[') {
+            let Some(name) = h.strip_suffix(']') else {
+                return err(lineno, "unterminated [header]");
+            };
+            let name = name.trim().to_string();
+            doc.tables.entry(name.clone()).or_default();
+            cur = Cursor::Table(name);
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return err(lineno, format!("expected `key = value`, got `{line}`"));
+        };
+        let key = line[..eq].trim().to_string();
+        let mut rest = line[eq + 1..].trim().to_string();
+        // Multi-line arrays: keep consuming lines until brackets balance.
+        while rest.starts_with('[') && !balanced(&rest) {
+            match lines.next() {
+                Some((_, more)) => {
+                    rest.push(' ');
+                    rest.push_str(strip_comment(more).trim());
+                }
+                None => return err(lineno, "unterminated array"),
+            }
+        }
+        let value = parse_value(&rest, lineno)?;
+        let table = match &cur {
+            Cursor::Root => doc.tables.entry(String::new()).or_default(),
+            Cursor::Table(n) => doc.tables.get_mut(n).expect("cursor table exists"),
+            Cursor::Array(n) => doc
+                .arrays
+                .get_mut(n)
+                .and_then(|v| v.last_mut())
+                .expect("cursor array exists"),
+        };
+        if table.insert(key.clone(), value).is_some() {
+            return err(lineno, format!("duplicate key `{key}`"));
+        }
+    }
+    Ok(doc)
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut esc = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !esc => {
+                esc = true;
+                continue;
+            }
+            '"' if !esc => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        esc = false;
+    }
+    line
+}
+
+fn balanced(s: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut esc = false;
+    for c in s.chars() {
+        match c {
+            '\\' if in_str && !esc => {
+                esc = true;
+                continue;
+            }
+            '"' if !esc => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+        esc = false;
+    }
+    depth == 0 && !in_str
+}
+
+fn parse_value(s: &str, lineno: usize) -> Result<TomlValue, ConfigError> {
+    let s = s.trim();
+    if let Some(inner) = s.strip_prefix('[') {
+        let Some(inner) = inner.strip_suffix(']') else {
+            return err(lineno, "unterminated array");
+        };
+        let mut items = Vec::new();
+        for part in split_top_level(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match parse_value(part, lineno)? {
+                TomlValue::Str(v) => items.push(v),
+                other => {
+                    return err(
+                        lineno,
+                        format!("only string arrays are supported, got {other:?}"),
+                    )
+                }
+            }
+        }
+        return Ok(TomlValue::StrArray(items));
+    }
+    if let Some(inner) = s.strip_prefix('"') {
+        let Some(inner) = inner.strip_suffix('"') else {
+            return err(lineno, "unterminated string");
+        };
+        return Ok(TomlValue::Str(unescape(inner)));
+    }
+    match s {
+        "true" => return Ok(TomlValue::Bool(true)),
+        "false" => return Ok(TomlValue::Bool(false)),
+        _ => {}
+    }
+    match s.replace('_', "").parse::<i64>() {
+        Ok(v) => Ok(TomlValue::Int(v)),
+        Err(_) => err(lineno, format!("unsupported value `{s}`")),
+    }
+}
+
+/// Splits on commas outside quotes.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut esc = false;
+    for c in s.chars() {
+        match c {
+            '\\' if in_str && !esc => {
+                esc = true;
+                cur.push(c);
+                continue;
+            }
+            '"' if !esc => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+        esc = false;
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Typed configuration
+// ---------------------------------------------------------------------
+
+/// A single-writer role scope: one `impl` block audited under one role.
+#[derive(Clone, Debug)]
+pub struct WriterScope {
+    /// Path suffix of the file holding the impl.
+    pub path: String,
+    /// The `impl` type name.
+    pub impl_type: String,
+    /// `"app"` or `"engine"`.
+    pub role: String,
+}
+
+/// The analyzer's rule configuration (`analyzer.toml`).
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// Directories (relative to the root) to scan.
+    pub include: Vec<String>,
+    /// Path substrings excluded from every rule.
+    pub exclude: Vec<String>,
+    /// Files (path suffixes) where `std::sync::atomic` is legitimate —
+    /// the facade itself.
+    pub facade_exempt: Vec<String>,
+    /// `"path::fn"` or `"path::Type::fn"` entries naming cross-thread
+    /// handshake functions audited by the ordering rule.
+    pub handshake: Vec<String>,
+    /// Hot-path roots (same syntax as `handshake`) audited transitively.
+    pub hot_path: Vec<String>,
+    /// Maximum transitive call depth explored from a hot-path root.
+    pub hot_path_max_depth: usize,
+    /// Path substrings excluded from the call-graph *index* (but still
+    /// scanned by the other rules): cfg-switched model crates and tooling
+    /// that can never be linked into a production hot path.
+    pub graph_exclude: Vec<String>,
+    /// Single-writer role scopes.
+    pub writer_scopes: Vec<WriterScope>,
+    /// Struct-field name → layout constant name, for resolving receiver
+    /// expressions to layout fields.
+    pub writer_fields: Vec<(String, String)>,
+}
+
+/// One allowlist entry: a justified, committed exception.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// Rule id the entry applies to.
+    pub rule: String,
+    /// Path suffix the finding must be in.
+    pub path: String,
+    /// Symbol the finding must carry (empty = any in the file).
+    pub symbol: String,
+    /// Substring of the finding message (empty = any).
+    pub contains: String,
+    /// The written justification. Required to be non-empty.
+    pub justification: String,
+}
+
+/// The committed allowlist (`analyzer-allowlist.toml`).
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    /// All entries, in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+fn get_strings(t: &TomlTable, key: &str) -> Vec<String> {
+    t.get(key)
+        .and_then(TomlValue::as_array)
+        .map(<[String]>::to_vec)
+        .unwrap_or_default()
+}
+
+fn known_keys(t: &TomlTable, allowed: &[&str], ctx: &str) -> Result<(), ConfigError> {
+    for k in t.keys() {
+        if !allowed.contains(&k.as_str()) {
+            return err(0, format!("unknown key `{k}` in {ctx}"));
+        }
+    }
+    Ok(())
+}
+
+impl Config {
+    /// Loads and validates `analyzer.toml`.
+    pub fn load(path: &Path) -> Result<Config, ConfigError> {
+        let src = std::fs::read_to_string(path).map_err(|e| ConfigError {
+            msg: format!("cannot read {}: {e}", path.display()),
+            line: 0,
+        })?;
+        Config::parse_str(&src)
+    }
+
+    /// Parses a config from TOML text.
+    pub fn parse_str(src: &str) -> Result<Config, ConfigError> {
+        let doc = parse_toml(src)?;
+        let mut cfg = Config {
+            hot_path_max_depth: 8,
+            ..Config::default()
+        };
+        for (name, table) in &doc.tables {
+            match name.as_str() {
+                "" => known_keys(table, &[], "top level")?,
+                "scan" => {
+                    known_keys(table, &["include", "exclude"], "[scan]")?;
+                    cfg.include = get_strings(table, "include");
+                    cfg.exclude = get_strings(table, "exclude");
+                }
+                "facade" => {
+                    known_keys(table, &["exempt"], "[facade]")?;
+                    cfg.facade_exempt = get_strings(table, "exempt");
+                }
+                "ordering" => {
+                    known_keys(table, &["handshake"], "[ordering]")?;
+                    cfg.handshake = get_strings(table, "handshake");
+                }
+                "hot_path" => {
+                    known_keys(
+                        table,
+                        &["functions", "max_depth", "graph_exclude"],
+                        "[hot_path]",
+                    )?;
+                    cfg.hot_path = get_strings(table, "functions");
+                    cfg.graph_exclude = get_strings(table, "graph_exclude");
+                    if let Some(TomlValue::Int(d)) = table.get("max_depth") {
+                        cfg.hot_path_max_depth = (*d).clamp(1, 64) as usize;
+                    }
+                }
+                "single_writer" => {
+                    known_keys(table, &[], "[single_writer]")?;
+                }
+                "single_writer.fields" => {
+                    for (field, v) in table {
+                        match v {
+                            TomlValue::Str(c) => cfg.writer_fields.push((field.clone(), c.clone())),
+                            _ => return err(0, "field mappings must be strings"),
+                        }
+                    }
+                }
+                other => return err(0, format!("unknown section [{other}]")),
+            }
+        }
+        for (name, tables) in &doc.arrays {
+            if name != "single_writer.scope" {
+                return err(0, format!("unknown array section [[{name}]]"));
+            }
+            for t in tables {
+                known_keys(t, &["path", "impl", "role"], "[[single_writer.scope]]")?;
+                let get = |k: &str| -> Result<String, ConfigError> {
+                    t.get(k)
+                        .and_then(TomlValue::as_str)
+                        .map(str::to_string)
+                        .ok_or(ConfigError {
+                            msg: format!("[[single_writer.scope]] missing `{k}`"),
+                            line: 0,
+                        })
+                };
+                let scope = WriterScope {
+                    path: get("path")?,
+                    impl_type: get("impl")?,
+                    role: get("role")?,
+                };
+                if scope.role != "app" && scope.role != "engine" {
+                    return err(
+                        0,
+                        format!("scope role must be app|engine, got `{}`", scope.role),
+                    );
+                }
+                cfg.writer_scopes.push(scope);
+            }
+        }
+        if cfg.include.is_empty() {
+            cfg.include.push(".".to_string());
+        }
+        Ok(cfg)
+    }
+}
+
+impl Allowlist {
+    /// Loads and validates `analyzer-allowlist.toml`. A missing file is an
+    /// empty allowlist; an entry without a justification is an error.
+    pub fn load(path: &Path) -> Result<Allowlist, ConfigError> {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Allowlist::default()),
+            Err(e) => {
+                return err(0, format!("cannot read {}: {e}", path.display()));
+            }
+        };
+        Allowlist::parse_str(&src)
+    }
+
+    /// Parses an allowlist from TOML text.
+    pub fn parse_str(src: &str) -> Result<Allowlist, ConfigError> {
+        let doc = parse_toml(src)?;
+        for name in doc.tables.keys() {
+            if !name.is_empty() && name != "allow" {
+                return err(0, format!("unknown section [{name}] in allowlist"));
+            }
+        }
+        let mut list = Allowlist::default();
+        for t in doc.arrays.get("allow").map(Vec::as_slice).unwrap_or(&[]) {
+            known_keys(
+                t,
+                &["rule", "path", "symbol", "contains", "justification"],
+                "[[allow]]",
+            )?;
+            let get = |k: &str| {
+                t.get(k)
+                    .and_then(TomlValue::as_str)
+                    .unwrap_or("")
+                    .to_string()
+            };
+            let entry = AllowEntry {
+                rule: get("rule"),
+                path: get("path"),
+                symbol: get("symbol"),
+                contains: get("contains"),
+                justification: get("justification"),
+            };
+            if entry.rule.is_empty() || entry.path.is_empty() {
+                return err(0, "[[allow]] entries need `rule` and `path`");
+            }
+            if entry.justification.trim().is_empty() {
+                return err(
+                    0,
+                    format!(
+                        "[[allow]] entry for {}:{} has no justification — every \
+                         exception must explain itself",
+                        entry.rule, entry.path
+                    ),
+                );
+            }
+            list.entries.push(entry);
+        }
+        Ok(list)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_subset() {
+        let doc = parse_toml(
+            r#"
+            # comment
+            [scan]
+            include = ["crates", "src"] # trailing
+            exclude = [
+                "crates/shims",
+                "target",
+            ]
+            [hot_path]
+            max_depth = 6
+            functions = ["a::b"]
+            [[single_writer.scope]]
+            path = "crates/core/src/queue.rs"
+            impl = "EngineQueue"
+            role = "engine"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            doc.tables["scan"]["include"],
+            TomlValue::StrArray(vec!["crates".into(), "src".into()])
+        );
+        assert_eq!(doc.arrays["single_writer.scope"].len(), 1);
+    }
+
+    #[test]
+    fn config_rejects_unknown_keys() {
+        assert!(Config::parse_str("[scan]\ninclud = [\"x\"]\n").is_err());
+        assert!(Config::parse_str("[typo]\n").is_err());
+    }
+
+    #[test]
+    fn allowlist_requires_justification() {
+        let bad = r#"
+            [[allow]]
+            rule = "hot-path"
+            path = "crates/x.rs"
+        "#;
+        assert!(Allowlist::parse_str(bad).is_err());
+        let good = r#"
+            [[allow]]
+            rule = "hot-path"
+            path = "crates/x.rs"
+            justification = "cold error branch"
+        "#;
+        assert_eq!(Allowlist::parse_str(good).unwrap().entries.len(), 1);
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let doc = parse_toml("[facade]\nexempt = [\"a#b.rs\"] # real comment\n").unwrap();
+        assert_eq!(
+            doc.tables["facade"]["exempt"],
+            TomlValue::StrArray(vec!["a#b.rs".into()])
+        );
+    }
+}

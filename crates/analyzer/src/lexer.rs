@@ -1,0 +1,314 @@
+//! A minimal Rust lexer: enough token structure to audit discipline.
+//!
+//! The analyzer needs identifiers, punctuation, and line numbers — not a
+//! full grammar. Comments and string/char literals are consumed here so no
+//! rule ever matches text inside them; line comments are additionally
+//! retained (with their line numbers) because the ordering rule looks for
+//! `// ordering:` justifications.
+
+/// What kind of token this is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (lexed loosely; the analyzer never interprets it).
+    Num,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct,
+    /// A lifetime such as `'a` (kept so `'a` is never confused with a
+    /// char literal).
+    Lifetime,
+}
+
+/// One token with its source position.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token text. For `Punct` this is a single character.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Token class.
+    pub kind: TokKind,
+}
+
+impl Tok {
+    /// True if this is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A line comment retained for justification matching.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text including the leading `//`.
+    pub text: String,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Line comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and retained line comments.
+///
+/// The lexer is forgiving: anything it does not recognize is consumed as
+/// single-character punctuation, so a pathological file degrades to noisy
+/// punctuation rather than a crash.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = b.len();
+
+    let bump_lines = |s: &[char], line: &mut u32| {
+        *line += s.iter().filter(|&&c| c == '\n').count() as u32;
+    };
+
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let start = i;
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: b[start..i].iter().collect(),
+                });
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                // Block comment, nesting like Rust's.
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if i + 1 < n && b[i] == '/' && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < n && b[i] == '*' && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                bump_lines(&b[start..i], &mut line);
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                while i < n {
+                    match b[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                bump_lines(&b[start..i.min(n)], &mut line);
+            }
+            'r' | 'b' if is_raw_or_byte_string(&b, i) => {
+                let start = i;
+                i = consume_raw_or_byte_string(&b, i);
+                bump_lines(&b[start..i], &mut line);
+            }
+            '\'' => {
+                // Lifetime vs char literal: `'ident` not followed by a
+                // closing quote is a lifetime.
+                let mut j = i + 1;
+                if j < n && (b[j].is_alphabetic() || b[j] == '_') {
+                    let mut k = j + 1;
+                    while k < n && (b[k].is_alphanumeric() || b[k] == '_') {
+                        k += 1;
+                    }
+                    if k < n && b[k] == '\'' {
+                        // Char literal like 'a'.
+                        i = k + 1;
+                    } else {
+                        out.toks.push(Tok {
+                            text: b[j..k].iter().collect(),
+                            line,
+                            kind: TokKind::Lifetime,
+                        });
+                        i = k;
+                    }
+                } else {
+                    // Escaped or symbolic char literal: consume to the
+                    // closing quote.
+                    while j < n {
+                        match b[j] {
+                            '\\' => j += 2,
+                            '\'' => {
+                                j += 1;
+                                break;
+                            }
+                            '\n' => break,
+                            _ => j += 1,
+                        }
+                    }
+                    i = j;
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    text: b[start..i].iter().collect(),
+                    line,
+                    kind: TokKind::Ident,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                // Loose: covers 0xF11C, 1_000, 1e9; `1.0` lexes as
+                // `1` `.` `0`, which is fine for discipline checks.
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    text: b[start..i].iter().collect(),
+                    line,
+                    kind: TokKind::Num,
+                });
+            }
+            c => {
+                out.toks.push(Tok {
+                    text: c.to_string(),
+                    line,
+                    kind: TokKind::Punct,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// True at `r"`, `r#"`, `b"`, `br"`, `br#"` etc.
+fn is_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if j < n && b[j] == 'r' {
+        j += 1;
+        while j < n && b[j] == '#' {
+            j += 1;
+        }
+    }
+    // Must end at a quote AND have consumed at least one prefix char;
+    // otherwise this is an ordinary identifier starting with r/b.
+    j > i && j < n && b[j] == '"'
+}
+
+/// Consumes a raw/byte string starting at `i`; returns the index past it.
+fn consume_raw_or_byte_string(b: &[char], i: usize) -> usize {
+    let n = b.len();
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    let raw = j < n && b[j] == 'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0;
+    while j < n && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert!(j < n && b[j] == '"');
+    j += 1; // opening quote
+    if raw {
+        // Scan for `"` followed by `hashes` hash marks.
+        while j < n {
+            if b[j] == '"' {
+                let mut k = j + 1;
+                let mut h = 0;
+                while k < n && h < hashes && b[k] == '#' {
+                    h += 1;
+                    k += 1;
+                }
+                if h == hashes {
+                    return k;
+                }
+            }
+            j += 1;
+        }
+        n
+    } else {
+        // b"..." with escapes.
+        while j < n {
+            match b[j] {
+                '\\' => j += 2,
+                '"' => return j + 1,
+                _ => j += 1,
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_never_produce_code_tokens() {
+        let l = lex("let s = \"std::sync::atomic\"; // std::sync::atomic\nx");
+        assert!(!l.toks.iter().any(|t| t.is_ident("atomic")));
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("std::sync::atomic"));
+        assert_eq!(l.toks.last().unwrap().line, 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        // The char literals disappear entirely.
+        assert!(!l.toks.iter().any(|t| t.is_ident("x") && t.line == 0));
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        let l = lex("let s = r#\"Mutex \"quoted\" panic!\"#; ok");
+        assert!(!l.toks.iter().any(|t| t.is_ident("Mutex")));
+        assert!(l.toks.iter().any(|t| t.is_ident("ok")));
+    }
+
+    #[test]
+    fn block_comments_nest_and_count_lines() {
+        let l = lex("/* a /* b\n */ still\n */ after");
+        assert_eq!(l.toks.len(), 1);
+        assert!(l.toks[0].is_ident("after"));
+        assert_eq!(l.toks[0].line, 3);
+    }
+}

@@ -1,0 +1,107 @@
+//! flipc-analyzer: a workspace-wide static discipline checker.
+//!
+//! FLIPC's wait-free protocols rest on invariants the compiler cannot see:
+//! every shared-memory location has exactly one writer role, every atomic
+//! access goes through the instrumentable facade, orderings in cross-thread
+//! handshakes are deliberate, and the drain loop never allocates, locks,
+//! blocks, or panics. This crate checks those invariants *statically*, on
+//! stable Rust, with no compiler plugin: a small lexer ([`lexer`]) and item
+//! parser ([`parser`]) feed four rule families ([`rules`]) configured by
+//! `analyzer.toml` ([`config`]), producing a schema-versioned report
+//! ([`report`]) that CI gates on.
+//!
+//! The single-writer rule is a genuine cross-check, not a second copy of
+//! the map: field owners are derived at run time from
+//! [`flipc_core::layout::Layout::classify`], the same map the runtime
+//! ownership checker uses, so the static and dynamic checkers can never
+//! drift apart silently.
+
+pub mod config;
+pub mod lexer;
+pub mod parser;
+pub mod report;
+pub mod rules;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use config::{Allowlist, Config};
+use report::Report;
+use rules::SourceFile;
+
+/// Collects every `.rs` file under the configured include roots, minus
+/// exclusions, as root-relative forward-slash paths in sorted order.
+pub fn collect_files(root: &Path, cfg: &Config) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for inc in &cfg.include {
+        let dir = if inc == "." {
+            root.to_path_buf()
+        } else {
+            root.join(inc)
+        };
+        if dir.is_dir() {
+            walk(&dir, &mut out)?;
+        } else if dir.extension().is_some_and(|e| e == "rs") {
+            out.push(dir);
+        }
+    }
+    out.sort();
+    out.dedup();
+    let excluded = |p: &Path| {
+        let rel = rel_path(root, p);
+        rel.contains("/target/")
+            || rel.starts_with("target/")
+            || cfg.exclude.iter().any(|e| rel.contains(e.as_str()))
+    };
+    out.retain(|p| !excluded(p));
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, with forward slashes.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Lexes and parses every file in scope.
+pub fn scan(root: &Path, cfg: &Config) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    for path in collect_files(root, cfg)? {
+        let src = std::fs::read_to_string(&path)?;
+        let lexed = lexer::lex(&src);
+        let fns = parser::functions(&lexed);
+        files.push(SourceFile {
+            path: rel_path(root, &path),
+            lexed,
+            fns,
+        });
+    }
+    Ok(files)
+}
+
+/// Runs the full analysis: scan, all four rule families, allowlist.
+pub fn analyze(root: &Path, cfg: &Config, allow: &Allowlist) -> io::Result<Report> {
+    let files = scan(root, cfg)?;
+    let mut report = rules::run_all(&files, cfg);
+    report.apply_allowlist(allow);
+    report.sort();
+    Ok(report)
+}

@@ -1,0 +1,126 @@
+//! The `flipc-analyzer` CLI.
+//!
+//! ```text
+//! cargo run -p flipc-analyzer -- [--root DIR] [--config FILE]
+//!     [--allowlist FILE] [--format text|json] [--out FILE]
+//! ```
+//!
+//! Exit status 0 when the workspace is clean (no un-allowlisted findings
+//! and no stale allowlist entries), 1 when the gate should fail, 2 on
+//! usage or configuration errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use flipc_analyzer::config::{Allowlist, Config};
+
+struct Opts {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    allowlist: Option<PathBuf>,
+    json: bool,
+    out: Option<PathBuf>,
+}
+
+fn usage() -> String {
+    "usage: flipc-analyzer [--root DIR] [--config FILE] [--allowlist FILE] \
+     [--format text|json] [--out FILE]"
+        .to_string()
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        config: None,
+        allowlist: None,
+        json: false,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match a.as_str() {
+            "--root" => opts.root = PathBuf::from(value("--root")?),
+            "--config" => opts.config = Some(PathBuf::from(value("--config")?)),
+            "--allowlist" => opts.allowlist = Some(PathBuf::from(value("--allowlist")?)),
+            "--format" => match value("--format")?.as_str() {
+                "json" => opts.json = true,
+                "text" => opts.json = false,
+                other => return Err(format!("unknown format `{other}`")),
+            },
+            "--out" => opts.out = Some(PathBuf::from(value("--out")?)),
+            "-h" | "--help" => return Err(usage()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = opts
+        .config
+        .clone()
+        .unwrap_or_else(|| opts.root.join("analyzer.toml"));
+    let allow_path = opts
+        .allowlist
+        .clone()
+        .unwrap_or_else(|| opts.root.join("analyzer-allowlist.toml"));
+    let cfg = match Config::load(&config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let allow = match Allowlist::load(&allow_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{}: {e}", allow_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let report = match flipc_analyzer::analyze(&opts.root, &cfg, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let rendered = if opts.json {
+        let mut s = report.to_json().render_pretty();
+        s.push('\n');
+        s
+    } else {
+        report.render_text()
+    };
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+        None => print!("{rendered}"),
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        if opts.out.is_some() || opts.json {
+            // Make the failure visible even when the report went to a file
+            // or a machine-readable stream.
+            eprintln!(
+                "flipc-analyzer: {} blocking finding(s), {} stale allowlist entr(ies)",
+                report.unallowlisted().count(),
+                report.stale_allows.len()
+            );
+        }
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,408 @@
+//! Item extraction over the token stream: functions, their enclosing
+//! `impl` blocks, and the cfg-gating that decides whether a function is
+//! part of the default production build.
+//!
+//! This is deliberately not a grammar. The analyzer needs to know *which
+//! function* a token belongs to, *which type* that function is implemented
+//! on, and whether the function is compiled into the production build —
+//! nothing more. Everything else (expressions, types, patterns) stays an
+//! undifferentiated token soup that the rules pattern-match directly.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// Why a function is excluded from production-build analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Gate {
+    /// Compiled in the default production build.
+    None,
+    /// Behind `#[cfg(test)]` or inside a `mod tests`.
+    Test,
+    /// Behind `#[cfg(feature = ...)]`, `#[cfg(loom)]`, or another
+    /// non-default cfg.
+    Cfg,
+}
+
+/// One function found in a file.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// The `impl` type it is defined on, if any.
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range of the body, including the outer braces.
+    /// Empty for bodyless trait declarations.
+    pub body: std::ops::Range<usize>,
+    /// Whether the function is compiled in the default build.
+    pub gate: Gate,
+}
+
+impl FnItem {
+    /// `Type::name` when implemented on a type, else just `name`.
+    pub fn qualified(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+struct Scope {
+    /// Brace depth at which this scope was opened.
+    depth: u32,
+    /// `impl` type name, when the scope is an impl block.
+    impl_type: Option<String>,
+    /// Gate inherited by items inside this scope.
+    gate: Gate,
+}
+
+/// Extracts every function in the lexed file.
+pub fn functions(lx: &Lexed) -> Vec<FnItem> {
+    let toks = &lx.toks;
+    let mut out = Vec::new();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut depth: u32 = 0;
+    // Gate from the most recent outer attribute, consumed by the next
+    // item keyword.
+    let mut pending_gate = Gate::None;
+    // Scope opening is deferred until its `{`.
+    let mut opening: Option<Scope> = None;
+
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct if t.text == "#" => {
+                // `#[...]` outer attribute (skip inner `#![...]`).
+                let (gate, next) = parse_attr(toks, i);
+                if let Some(g) = gate {
+                    pending_gate = merge_gate(pending_gate, g);
+                }
+                i = next;
+                continue;
+            }
+            TokKind::Punct if t.text == "{" => {
+                depth += 1;
+                if let Some(mut s) = opening.take() {
+                    s.depth = depth;
+                    scopes.push(s);
+                }
+                // A pending statement-level attribute (`#[cfg(..)] { .. }`)
+                // must not leak onto the next item.
+                pending_gate = Gate::None;
+                i += 1;
+                continue;
+            }
+            TokKind::Punct if t.text == "}" => {
+                if scopes.last().is_some_and(|s| s.depth == depth) {
+                    scopes.pop();
+                }
+                depth = depth.saturating_sub(1);
+                pending_gate = Gate::None;
+                i += 1;
+                continue;
+            }
+            TokKind::Punct if t.text == ";" || t.text == "," => {
+                // An `impl ...;` cannot happen, but `mod x;` can: drop any
+                // deferred scope that never opened. Statement- and
+                // field-level attributes end here too.
+                opening = None;
+                pending_gate = Gate::None;
+                i += 1;
+                continue;
+            }
+            TokKind::Ident if t.text == "impl" => {
+                let (ty, next) = impl_type_name(toks, i + 1);
+                opening = Some(Scope {
+                    depth: 0,
+                    impl_type: ty,
+                    gate: merge_gate(
+                        inherited(&scopes),
+                        std::mem::replace(&mut pending_gate, Gate::None),
+                    ),
+                });
+                i = next;
+                continue;
+            }
+            TokKind::Ident if t.text == "mod" => {
+                let name = toks.get(i + 1).map(|t| t.text.clone()).unwrap_or_default();
+                let mut gate = merge_gate(
+                    inherited(&scopes),
+                    std::mem::replace(&mut pending_gate, Gate::None),
+                );
+                if name == "tests" || name == "test" {
+                    gate = merge_gate(gate, Gate::Test);
+                }
+                opening = Some(Scope {
+                    depth: 0,
+                    impl_type: None,
+                    gate,
+                });
+                i += 2;
+                continue;
+            }
+            TokKind::Ident if t.text == "fn" => {
+                let name = match toks.get(i + 1) {
+                    Some(n) if n.kind == TokKind::Ident => n.text.clone(),
+                    _ => {
+                        i += 1;
+                        continue;
+                    }
+                };
+                let gate = merge_gate(
+                    inherited(&scopes),
+                    std::mem::replace(&mut pending_gate, Gate::None),
+                );
+                let impl_type = scopes.iter().rev().find_map(|s| s.impl_type.clone());
+                let body = fn_body_range(toks, i + 2);
+                out.push(FnItem {
+                    name,
+                    impl_type,
+                    line: t.line,
+                    body: body.clone(),
+                    gate,
+                });
+                // Keep walking *into* the body so nested items are seen;
+                // the body range is only metadata.
+                i += 2;
+                continue;
+            }
+            TokKind::Ident
+                if matches!(
+                    t.text.as_str(),
+                    "struct"
+                        | "enum"
+                        | "trait"
+                        | "use"
+                        | "const"
+                        | "static"
+                        | "type"
+                        | "macro_rules"
+                ) =>
+            {
+                // Any other item keyword consumes the pending attribute.
+                pending_gate = Gate::None;
+                i += 1;
+                continue;
+            }
+            _ => {
+                i += 1;
+                continue;
+            }
+        }
+    }
+    out
+}
+
+fn inherited(scopes: &[Scope]) -> Gate {
+    scopes.iter().fold(Gate::None, |g, s| merge_gate(g, s.gate))
+}
+
+fn merge_gate(a: Gate, b: Gate) -> Gate {
+    // Test-gating wins (it is the strongest exclusion); any cfg beats none.
+    match (a, b) {
+        (Gate::Test, _) | (_, Gate::Test) => Gate::Test,
+        (Gate::Cfg, _) | (_, Gate::Cfg) => Gate::Cfg,
+        _ => Gate::None,
+    }
+}
+
+/// Parses an attribute at `#`; returns its gate (if it is a cfg that
+/// excludes the item from the default build) and the index past `]`.
+fn parse_attr(toks: &[Tok], i: usize) -> (Option<Gate>, usize) {
+    let mut j = i + 1;
+    // Inner attribute `#![...]`.
+    if toks.get(j).is_some_and(|t| t.is_punct('!')) {
+        j += 1;
+    }
+    if !toks.get(j).is_some_and(|t| t.is_punct('[')) {
+        return (None, i + 1);
+    }
+    let open = j;
+    let mut depth = 0i32;
+    while j < toks.len() {
+        if toks[j].is_punct('[') {
+            depth += 1;
+        } else if toks[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        j += 1;
+    }
+    let end = (j + 1).min(toks.len());
+    let body = &toks[open + 1..j.min(toks.len())];
+    (attr_gate(body), end)
+}
+
+/// Classifies a `cfg(...)` attribute body. The decision rule is the first
+/// identifier inside `cfg(`: `test`/`feature`/`loom` gate the item out of
+/// the default build; `not(...)` keeps it in (the default build is exactly
+/// the not-gated world); `any`/`all` gate if they mention test/feature/loom
+/// anywhere (a conservative over-approximation).
+fn attr_gate(body: &[Tok]) -> Option<Gate> {
+    if !body.first().is_some_and(|t| t.is_ident("cfg")) {
+        return None;
+    }
+    let first = body.iter().skip(1).find(|t| t.kind == TokKind::Ident)?;
+    match first.text.as_str() {
+        "test" => Some(Gate::Test),
+        "feature" | "loom" | "miri" => Some(Gate::Cfg),
+        "not" => None,
+        "any" | "all" => {
+            if body.iter().any(|t| t.is_ident("test")) {
+                Some(Gate::Test)
+            } else if body
+                .iter()
+                .any(|t| t.is_ident("feature") || t.is_ident("loom") || t.is_ident("miri"))
+            {
+                Some(Gate::Cfg)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Extracts the implemented type's name from the tokens after `impl`:
+/// the last path segment before the block opens, taken after `for` when a
+/// trait is being implemented. Returns `(name, index of the token that
+/// ends the header)`.
+fn impl_type_name(toks: &[Tok], start: usize) -> (Option<String>, usize) {
+    let mut angle = 0i32;
+    let mut in_where = false;
+    let mut candidate: Option<String> = None;
+    let mut j = start;
+    while j < toks.len() {
+        let t = &toks[j];
+        match t.kind {
+            TokKind::Punct => match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "{" | ";" => return (candidate, j),
+                _ => {}
+            },
+            TokKind::Ident if angle == 0 && !in_where => {
+                if t.text == "for" {
+                    // Trait impl: the implemented type follows.
+                    candidate = None;
+                } else if t.text == "where" {
+                    in_where = true;
+                } else {
+                    // Last depth-0 path segment so far.
+                    candidate = Some(t.text.clone());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (candidate, j)
+}
+
+/// Finds the body of a `fn` whose signature starts at `start` (just past
+/// the name): the first `{` at bracket-depth 0, through its matching `}`.
+/// Returns an empty range for bodyless declarations.
+fn fn_body_range(toks: &[Tok], start: usize) -> std::ops::Range<usize> {
+    let mut j = start;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                ";" if paren == 0 && bracket == 0 => return j..j,
+                "{" if paren == 0 && bracket == 0 => {
+                    // Matching close.
+                    let open = j;
+                    let mut depth = 0i32;
+                    while j < toks.len() {
+                        if toks[j].is_punct('{') {
+                            depth += 1;
+                        } else if toks[j].is_punct('}') {
+                            depth -= 1;
+                            if depth == 0 {
+                                return open..j + 1;
+                            }
+                        }
+                        j += 1;
+                    }
+                    return open..toks.len();
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    j..j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn finds_impl_methods_with_types() {
+        let lx = lex(r#"
+            impl<'a> AppQueue<'a> {
+                pub fn release(&mut self, buf: u32) -> Result<()> { Ok(()) }
+            }
+            impl fmt::Display for Violation {
+                fn fmt(&self) {}
+            }
+            fn free() {}
+        "#);
+        let fns = functions(&lx);
+        let q: Vec<String> = fns.iter().map(FnItem::qualified).collect();
+        assert!(q.contains(&"AppQueue::release".to_string()), "{q:?}");
+        assert!(q.contains(&"Violation::fmt".to_string()), "{q:?}");
+        assert!(q.contains(&"free".to_string()), "{q:?}");
+    }
+
+    #[test]
+    fn cfg_gating_is_detected() {
+        let lx = lex(r#"
+            #[cfg(feature = "ownership-checks")]
+            fn hooked() {}
+            #[cfg(not(feature = "ownership-checks"))]
+            fn unhooked() {}
+            #[cfg(test)]
+            mod tests {
+                fn helper() {}
+            }
+            fn plain() {}
+        "#);
+        let fns = functions(&lx);
+        let gate = |n: &str| fns.iter().find(|f| f.name == n).unwrap().gate;
+        assert_eq!(gate("hooked"), Gate::Cfg);
+        assert_eq!(gate("unhooked"), Gate::None);
+        assert_eq!(gate("helper"), Gate::Test);
+        assert_eq!(gate("plain"), Gate::None);
+    }
+
+    #[test]
+    fn bodies_cover_nested_braces() {
+        let lx = lex("fn f() { if x { y(); } else { z(); } } fn g() {}");
+        let fns = functions(&lx);
+        assert_eq!(fns.len(), 2);
+        let body = &lx.toks[fns[0].body.clone()];
+        assert!(body.iter().any(|t| t.is_ident("z")));
+        assert!(!body.iter().any(|t| t.is_ident("g")));
+    }
+
+    #[test]
+    fn trait_decls_without_bodies_are_empty_ranges() {
+        let lx = lex("trait T { fn a(&self); fn b(&self) { self.a() } }");
+        let fns = functions(&lx);
+        assert!(fns.iter().find(|f| f.name == "a").unwrap().body.is_empty());
+        assert!(!fns.iter().find(|f| f.name == "b").unwrap().body.is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! Findings, allowlist application, and the schema-versioned report.
+
+use std::collections::BTreeMap;
+
+use flipc_obs::json::Value;
+
+use crate::config::Allowlist;
+
+/// Report schema identifier. Bump on any shape change; the golden test
+/// pins it.
+pub const SCHEMA: &str = "flipc-analyzer-report/v1";
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule family id: `atomics-facade`, `memory-ordering`, `hot-path`,
+    /// or `single-writer`.
+    pub rule: &'static str,
+    /// Root-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The function or item the finding is anchored to (`-` when the
+    /// location is outside any function).
+    pub symbol: String,
+    /// Human-readable description, including the transitive call chain
+    /// for hot-path findings.
+    pub message: String,
+    /// Set by allowlist application.
+    pub allowlisted: bool,
+    /// The allowlist entry's justification, when allowlisted.
+    pub justification: Option<String>,
+}
+
+impl Finding {
+    /// Creates an un-allowlisted finding.
+    pub fn new(
+        rule: &'static str,
+        path: impl Into<String>,
+        line: u32,
+        symbol: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Finding {
+        Finding {
+            rule,
+            path: path.into(),
+            line,
+            symbol: symbol.into(),
+            message: message.into(),
+            allowlisted: false,
+            justification: None,
+        }
+    }
+}
+
+/// The full analysis result.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, allowlisted or not, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Functions indexed for the call graph.
+    pub functions_indexed: usize,
+    /// Workspace-wide census of `Ordering::*` mentions (the
+    /// memory-ordering audit's classification output).
+    pub ordering_census: BTreeMap<String, u64>,
+    /// Allowlist entries that matched no finding (stale exceptions; these
+    /// fail the run so the allowlist never rots).
+    pub stale_allows: Vec<String>,
+}
+
+impl Report {
+    /// Findings not covered by the allowlist.
+    pub fn unallowlisted(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.allowlisted)
+    }
+
+    /// True when the gate should pass: no un-allowlisted findings and no
+    /// stale allowlist entries.
+    pub fn clean(&self) -> bool {
+        self.unallowlisted().count() == 0 && self.stale_allows.is_empty()
+    }
+
+    /// Marks findings covered by `allow` and records stale entries.
+    pub fn apply_allowlist(&mut self, allow: &Allowlist) {
+        let mut used = vec![false; allow.entries.len()];
+        for f in &mut self.findings {
+            for (i, e) in allow.entries.iter().enumerate() {
+                let rule_ok = e.rule == f.rule;
+                let path_ok = f.path.ends_with(&e.path);
+                let symbol_ok = e.symbol.is_empty() || e.symbol == f.symbol;
+                let msg_ok = e.contains.is_empty() || f.message.contains(&e.contains);
+                if rule_ok && path_ok && symbol_ok && msg_ok {
+                    f.allowlisted = true;
+                    f.justification = Some(e.justification.clone());
+                    used[i] = true;
+                    break;
+                }
+            }
+        }
+        for (e, used) in allow.entries.iter().zip(used) {
+            if !used {
+                self.stale_allows
+                    .push(format!("{} {} {}", e.rule, e.path, e.symbol));
+            }
+        }
+    }
+
+    /// Sorts findings into the stable report order.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    }
+
+    /// Renders the schema-versioned JSON document.
+    pub fn to_json(&self) -> Value {
+        let findings: Vec<Value> = self
+            .findings
+            .iter()
+            .map(|f| {
+                Value::object([
+                    ("rule", f.rule.into()),
+                    ("path", f.path.as_str().into()),
+                    ("line", u64::from(f.line).into()),
+                    ("symbol", f.symbol.as_str().into()),
+                    ("message", f.message.as_str().into()),
+                    ("allowlisted", Value::Bool(f.allowlisted)),
+                    (
+                        "justification",
+                        match &f.justification {
+                            Some(j) => j.as_str().into(),
+                            None => Value::Null,
+                        },
+                    ),
+                ])
+            })
+            .collect();
+        let census: Vec<(&str, Value)> = self
+            .ordering_census
+            .iter()
+            .map(|(k, v)| (k.as_str(), (*v).into()))
+            .collect();
+        Value::object([
+            ("schema", SCHEMA.into()),
+            ("findings", Value::Array(findings)),
+            (
+                "summary",
+                Value::object([
+                    ("total", (self.findings.len() as u64).into()),
+                    (
+                        "allowlisted",
+                        (self.findings.iter().filter(|f| f.allowlisted).count() as u64).into(),
+                    ),
+                    (
+                        "unallowlisted",
+                        (self.unallowlisted().count() as u64).into(),
+                    ),
+                    ("files_scanned", (self.files_scanned as u64).into()),
+                    ("functions_indexed", (self.functions_indexed as u64).into()),
+                    ("ordering_census", Value::object(census)),
+                    (
+                        "stale_allowlist_entries",
+                        Value::Array(
+                            self.stale_allows
+                                .iter()
+                                .map(|s| s.as_str().into())
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Renders human diagnostics: one `path:line: [rule] message` per
+    /// finding, allowlisted ones marked, then a one-line summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let mark = if f.allowlisted { " (allowlisted)" } else { "" };
+            out.push_str(&format!(
+                "{}:{}: [{}] {}: {}{}\n",
+                f.path, f.line, f.rule, f.symbol, f.message, mark
+            ));
+            if let Some(j) = &f.justification {
+                out.push_str(&format!("    justification: {j}\n"));
+            }
+        }
+        for s in &self.stale_allows {
+            out.push_str(&format!("stale allowlist entry (matches nothing): {s}\n"));
+        }
+        out.push_str(&format!(
+            "{} finding(s), {} allowlisted, {} blocking; {} files, {} functions\n",
+            self.findings.len(),
+            self.findings.iter().filter(|f| f.allowlisted).count(),
+            self.unallowlisted().count(),
+            self.files_scanned,
+            self.functions_indexed,
+        ));
+        out
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: names `std::sync::atomic` directly — an atomics-facade
+//! violation on line 3. (Fixture sources are analyzer input, never
+//! compiled.)
+use std::sync::atomic::{AtomicU32, Ordering};
+
+pub fn bump(c: &AtomicU32) -> u32 {
+    c.fetch_add(1, Ordering::Relaxed)
+}

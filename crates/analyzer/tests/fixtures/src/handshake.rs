@@ -1,0 +1,13 @@
+//! Fixture: a registered handshake function with one justified and one
+//! unjustified `Relaxed` — the memory-ordering rule must flag only the
+//! latter.
+pub struct Cell;
+
+impl Cell {
+    pub fn handshake(&self) {
+        // ordering: paired with the Release store in publish()
+        let _justified = self.seq.load(Ordering::Relaxed);
+        let _strong = self.seq.load(Ordering::Acquire);
+        let _unjustified = self.seq.load(Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: a registered hot path that allocates two calls deep, plus a
+//! second root whose violation is covered by the fixture allowlist.
+pub struct Pump;
+
+impl Pump {
+    pub fn drain(&self) {
+        helper();
+    }
+
+    pub fn flush(&self) {
+        self.queue.pop().unwrap();
+    }
+}
+
+fn helper() {
+    let scratch = vec![0u8; 64];
+    consume(&scratch);
+}

@@ -1,0 +1,14 @@
+//! Fixture: an engine-role accessor that stores to the app-owned
+//! `release` field — a single-writer violation — next to a correct store
+//! to the engine-owned `process` field.
+pub struct EngineSide;
+
+impl EngineSide {
+    pub fn publish(&self) {
+        self.raw.release.store(1, Ordering::Release);
+    }
+
+    pub fn advance(&self) {
+        self.raw.process.store(2, Ordering::Release);
+    }
+}

@@ -120,7 +120,7 @@ fn false_sharing_microbench(c: &mut Criterion) {
     // The paper's layout lesson on modern hardware: two threads writing
     // adjacent words (one line) vs padded words (separate lines). On a
     // single-core host the contrast is muted — reported for completeness.
-    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use flipc_core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::Arc;
 
     #[repr(align(64))]

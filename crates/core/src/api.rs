@@ -23,7 +23,7 @@
 //! bus-locked test-and-set was expensive enough that all of the paper's
 //! performance results use the unlocked versions.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -112,7 +112,7 @@ impl EndpointGroup {
             }
             // Same lost-wakeup guard as `Flipc::recv_blocking`: the waiter
             // counts must be visible before the rescan reads the rings.
-            crate::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+            crate::sync::atomic::fence(crate::sync::atomic::Ordering::SeqCst);
             let rescan = self.recv_any(f)?;
             if rescan.is_none() {
                 let now = std::time::Instant::now();

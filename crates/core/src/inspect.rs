@@ -182,7 +182,7 @@ impl PeerLiveness {
 /// workspace: loads and stores only, no read-modify-write anywhere.
 #[derive(Debug)]
 pub struct LivenessBoard {
-    states: Vec<core::sync::atomic::AtomicU8>,
+    states: Vec<crate::sync::atomic::AtomicU8>,
 }
 
 impl LivenessBoard {
@@ -190,7 +190,7 @@ impl LivenessBoard {
     pub fn new(max_node: u16) -> LivenessBoard {
         LivenessBoard {
             states: (0..=u32::from(max_node))
-                .map(|_| core::sync::atomic::AtomicU8::new(0))
+                .map(|_| crate::sync::atomic::AtomicU8::new(0))
                 .collect(),
         }
     }
@@ -199,7 +199,7 @@ impl LivenessBoard {
     /// (an unknown peer is not known to be dead).
     pub fn get(&self, node: crate::endpoint::FlipcNodeId) -> PeerLiveness {
         match self.states.get(node.0 as usize) {
-            Some(s) => PeerLiveness::from_u8(s.load(core::sync::atomic::Ordering::Relaxed)),
+            Some(s) => PeerLiveness::from_u8(s.load(crate::sync::atomic::Ordering::Relaxed)),
             None => PeerLiveness::Healthy,
         }
     }
@@ -208,7 +208,7 @@ impl LivenessBoard {
     /// outside the board are ignored.
     pub fn set(&self, node: crate::endpoint::FlipcNodeId, state: PeerLiveness) {
         if let Some(s) = self.states.get(node.0 as usize) {
-            s.store(state.as_u8(), core::sync::atomic::Ordering::Relaxed);
+            s.store(state.as_u8(), crate::sync::atomic::Ordering::Relaxed);
         }
     }
 }

@@ -149,6 +149,77 @@ pub mod atomic {
         /// Facade `AtomicU64` — buffer header words.
         AtomicU64, u64
     );
+    facade_atomic!(
+        /// Facade `AtomicU8` — small state cells (liveness boards).
+        AtomicU8, u8
+    );
+    facade_atomic!(
+        /// Facade `AtomicUsize` — host-side counters and test harnesses.
+        AtomicUsize, usize
+    );
+
+    /// Facade `AtomicBool` — stop flags and latches.
+    ///
+    /// `#[repr(transparent)]` over the underlying atomic, like the numeric
+    /// facades, so it carries the same loom and ownership-check seams.
+    #[repr(transparent)]
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: imp::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Creates a new atomic with the given initial value.
+        pub const fn new(v: bool) -> AtomicBool {
+            AtomicBool {
+                inner: imp::AtomicBool::new(v),
+            }
+        }
+
+        #[inline(always)]
+        fn addr(&self) -> usize {
+            self as *const AtomicBool as usize
+        }
+
+        /// Atomic load.
+        #[inline]
+        pub fn load(&self, order: Ordering) -> bool {
+            self.inner.load(order)
+        }
+
+        /// Atomic store (an ownership-checked write).
+        #[inline]
+        pub fn store(&self, v: bool, order: Ordering) {
+            on_write(self.addr());
+            self.inner.store(v, order);
+        }
+
+        /// Atomic swap (an ownership-checked write).
+        #[inline]
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            on_write(self.addr());
+            self.inner.swap(v, order)
+        }
+
+        /// Atomic compare-exchange (an ownership-checked write attempt).
+        #[inline]
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            on_write(self.addr());
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+    }
+
+    impl From<bool> for AtomicBool {
+        fn from(v: bool) -> AtomicBool {
+            AtomicBool::new(v)
+        }
+    }
 
     /// Memory fence through the facade (a scheduling point under loom).
     ///

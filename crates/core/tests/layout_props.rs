@@ -1,0 +1,127 @@
+//! Property tests of the layout write-ownership map
+//! ([`flipc_core::layout::Layout::classify`]).
+//!
+//! `classify` is the machine-readable single-writer map: the runtime
+//! ownership checker and the static analyzer (`flipc-analyzer`) both
+//! derive field owners from it, so its totality and consistency carry
+//! both checkers' correctness arguments. Three properties: every
+//! in-region offset resolves to exactly one field and out-of-range
+//! offsets to none; the accessor functions (`endpoint`, `ring_slot`,
+//! `buffer`, `buffer_payload`) agree with the names `classify` assigns;
+//! and ownership never changes inside an aligned 4-byte word (no atomic
+//! word straddles two writer roles).
+
+use proptest::prelude::*;
+
+use flipc_core::layout::{
+    self, Geometry, Layout, WriteOwner, CACHE_LINE, EP_PROCESS, EP_RELEASE, MSG_HEADER_SIZE,
+};
+
+/// A strategy over valid geometries (power-of-two rings, 32-byte message
+/// granule, platform minimum 64).
+fn geometries() -> impl Strategy<Value = Geometry> {
+    (1u16..=32, 1u32..=8, 1u32..=256, 2u32..=16).prop_map(|(eps, ring_pow, bufs, msg_granules)| {
+        Geometry {
+            endpoints: eps,
+            ring_capacity: 1 << ring_pow,
+            buffers: bufs,
+            msg_size: 32 * msg_granules,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every offset inside the region classifies to exactly one field
+    /// (classify is a function, so "exactly one" means: `Some`), and
+    /// every offset past the region classifies to none.
+    #[test]
+    fn classify_is_total_inside_and_none_outside(
+        geo in geometries(),
+        frac in 0.0f64..1.0,
+        beyond in 0usize..4096,
+    ) {
+        let lay = Layout::new(geo).expect("generated geometry is valid");
+        let total = lay.total_size();
+        let inside = ((total as f64 * frac) as usize).min(total - 1);
+        prop_assert!(
+            lay.classify(inside).is_some(),
+            "offset {inside} of {total} unclassified"
+        );
+        prop_assert!(lay.classify(total + beyond).is_none());
+        prop_assert!(lay.classify(total).is_none());
+    }
+
+    /// The offset accessors and `classify` agree: an offset computed by
+    /// `endpoint`/`ring_slot`/`buffer`/`buffer_payload` classifies to the
+    /// field the accessor names, with the documented owner.
+    #[test]
+    fn accessors_and_classify_agree(
+        geo in geometries(),
+        ep_frac in 0.0f64..1.0,
+        slot_frac in 0.0f64..1.0,
+        buf_frac in 0.0f64..1.0,
+    ) {
+        let lay = Layout::new(geo).expect("generated geometry is valid");
+        let ep = ((f64::from(geo.endpoints) * ep_frac) as u16).min(geo.endpoints - 1);
+        let slot = ((f64::from(geo.ring_capacity) * slot_frac) as u32)
+            .min(geo.ring_capacity - 1);
+        let buf = ((f64::from(geo.buffers) * buf_frac) as u32).min(geo.buffers - 1);
+
+        let release = lay.classify(lay.endpoint(ep) + EP_RELEASE).unwrap();
+        prop_assert_eq!(release.name, format!("endpoint[{ep}].release"));
+        prop_assert_eq!(release.owner, WriteOwner::App);
+
+        let process = lay.classify(lay.endpoint(ep) + EP_PROCESS).unwrap();
+        prop_assert_eq!(process.name, format!("endpoint[{ep}].process"));
+        prop_assert_eq!(process.owner, WriteOwner::Engine);
+
+        let ring = lay.classify(lay.ring_slot(ep, slot)).unwrap();
+        prop_assert_eq!(ring.name, format!("ring[{ep}].slot[{slot}]"));
+        prop_assert_eq!(ring.owner, WriteOwner::App);
+
+        let header = lay.classify(lay.buffer(buf)).unwrap();
+        prop_assert_eq!(header.name, format!("buffer[{buf}].header"));
+        prop_assert_eq!(header.owner, WriteOwner::Dynamic);
+
+        let payload = lay.classify(lay.buffer_payload(buf)).unwrap();
+        prop_assert_eq!(payload.name, format!("buffer[{buf}].payload"));
+        prop_assert_eq!(payload.owner, WriteOwner::Dynamic);
+
+        let top = lay.classify(lay.freelist() + layout::FREE_TOP).unwrap();
+        prop_assert_eq!(top.name, "freelist.top");
+        prop_assert_eq!(top.owner, WriteOwner::App);
+    }
+
+    /// No aligned 4-byte word straddles two writer roles: atomics are
+    /// word-granular, so a word with mixed ownership would make the
+    /// single-writer discipline unenforceable at that location.
+    #[test]
+    fn ownership_is_uniform_within_aligned_words(
+        geo in geometries(),
+        frac in 0.0f64..1.0,
+    ) {
+        let lay = Layout::new(geo).expect("generated geometry is valid");
+        let total = lay.total_size();
+        let word = (((total as f64 * frac) as usize).min(total - 4)) & !3;
+        let owner0 = lay.classify(word).unwrap().owner;
+        for b in 1..4 {
+            let o = lay.classify(word + b).unwrap().owner;
+            prop_assert_eq!(o, owner0, "word {word} byte {b} changes owner");
+        }
+    }
+
+    /// Region sections tile the buffer: boundaries are cache-line
+    /// aligned and the last byte of the region still classifies.
+    #[test]
+    fn sections_are_line_aligned_and_cover_the_region(geo in geometries()) {
+        let lay = Layout::new(geo).expect("generated geometry is valid");
+        prop_assert_eq!(lay.freelist() % CACHE_LINE, 0);
+        prop_assert_eq!(lay.endpoint(0) % CACHE_LINE, 0);
+        prop_assert_eq!(lay.ring_slot(0, 0) % CACHE_LINE, 0);
+        prop_assert_eq!(lay.buffer(0) % lay.geometry().msg_size as usize % 4, 0);
+        prop_assert!(lay.total_size() >= lay.buffer(geo.buffers - 1) + MSG_HEADER_SIZE);
+        prop_assert!(lay.classify(lay.total_size() - 1).is_some());
+    }
+}

@@ -22,7 +22,7 @@
 //!   serviced first, so message streams of varying importance (the
 //!   distributed real-time requirement) see differentiated service.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use flipc_core::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use flipc_core::buffer::BufferState;

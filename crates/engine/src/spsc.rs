@@ -199,7 +199,7 @@ mod tests {
 
     #[test]
     fn drops_are_not_leaked() {
-        use std::sync::atomic::AtomicUsize;
+        use flipc_core::sync::atomic::AtomicUsize;
         static DROPS: AtomicUsize = AtomicUsize::new(0);
         #[derive(Debug)]
         struct D;

@@ -6,7 +6,7 @@
 //! its timeslice when idle (important on machines with fewer cores than the
 //! MP3 node had processors).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use flipc_core::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 

@@ -61,8 +61,8 @@ impl Frame {
         if bytes.len() < FRAME_HEADER_LEN {
             return None;
         }
-        let src = u64::from_le_bytes(bytes[0..8].try_into().expect("sliced 8 bytes"));
-        let dst = u64::from_le_bytes(bytes[8..16].try_into().expect("sliced 8 bytes"));
+        let src = u64::from_le_bytes(bytes[0..8].try_into().ok()?);
+        let dst = u64::from_le_bytes(bytes[8..16].try_into().ok()?);
         Some(Frame {
             src: EndpointAddress::unpack(src),
             dst: EndpointAddress::unpack(dst),

@@ -2,7 +2,7 @@
 //! restrictions (the paper's Future Work item for "multiple applications
 //! that do not trust each other").
 
-use std::sync::atomic::Ordering;
+use flipc_core::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use flipc_core::api::Flipc;

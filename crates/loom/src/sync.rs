@@ -131,6 +131,10 @@ pub mod atomic {
         /// Instrumented `AtomicUsize`.
         AtomicUsize, AtomicUsize, usize
     );
+    instrumented_atomic!(
+        /// Instrumented `AtomicU8` (liveness boards, small state cells).
+        AtomicU8, AtomicU8, u8
+    );
 
     /// Instrumented `AtomicBool`.
     ///

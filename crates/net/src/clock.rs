@@ -7,7 +7,7 @@
 //! advanced counter (for deterministic fault-injection tests — the same
 //! seed and tick schedule always reproduces the same retransmissions).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use flipc_core::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 

@@ -96,7 +96,7 @@ pub fn run_server(port: u16, rounds: u32) -> std::io::Result<()> {
     for _ in 0..rounds {
         let got = app.recv_blocking(&inbox, RECV_TIMEOUT).map_err(|e| {
             let es = engine.stats();
-            let o = std::sync::atomic::Ordering::Relaxed;
+            let o = flipc_core::sync::atomic::Ordering::Relaxed;
             eprintln!(
                 "server wire state at failure:\n{}\nserver engine: delivered {} \
                  dropped_no_buffer {} misaddressed {} check_failures {} inbox drops {:?}",

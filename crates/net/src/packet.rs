@@ -176,25 +176,19 @@ pub fn decode(bytes: &[u8]) -> Option<Packet> {
     if bytes.len() < HEADER_LEN || bytes.len() > MAX_DATAGRAM {
         return None;
     }
-    let magic = u16::from_le_bytes(bytes[0..2].try_into().expect("sliced 2 bytes"));
+    let magic = u16::from_le_bytes(bytes[0..2].try_into().ok()?);
     if magic != MAGIC || bytes[2] != VERSION {
         return None;
     }
-    let check = u32::from_le_bytes(
-        bytes[CHECK_OFFSET..CHECK_OFFSET + 4]
-            .try_into()
-            .expect("sliced 4 bytes"),
-    );
+    let check = u32::from_le_bytes(bytes[CHECK_OFFSET..CHECK_OFFSET + 4].try_into().ok()?);
     if check != checksum(bytes) {
         return None;
     }
     let kind = bytes[3];
-    let src = FlipcNodeId(u16::from_le_bytes(
-        bytes[4..6].try_into().expect("sliced 2 bytes"),
-    ));
-    let len = u16::from_le_bytes(bytes[6..8].try_into().expect("sliced 2 bytes"));
-    let seq = u32::from_le_bytes(bytes[8..12].try_into().expect("sliced 4 bytes"));
-    let epoch = u16::from_le_bytes(bytes[12..14].try_into().expect("sliced 2 bytes"));
+    let src = FlipcNodeId(u16::from_le_bytes(bytes[4..6].try_into().ok()?));
+    let len = u16::from_le_bytes(bytes[6..8].try_into().ok()?);
+    let seq = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
+    let epoch = u16::from_le_bytes(bytes[12..14].try_into().ok()?);
     match kind {
         1 => {
             if bytes.len() - HEADER_LEN != len as usize {

@@ -269,7 +269,7 @@ impl SenderPath {
             sent_at: now,
             retransmitted: false,
         });
-        Some(&self.unacked.back().expect("just pushed").bytes)
+        self.unacked.back().map(|f| f.bytes.as_slice())
     }
 
     /// Applies a cumulative acknowledgement. Returns the number of frames

@@ -16,7 +16,7 @@
 //! [`NetStats::snapshot`] renders into the workspace-wide inspect surface
 //! ([`flipc_core::inspect::TransportSnapshot`]).
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use flipc_core::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use flipc_core::counter::OwnedCounter;

@@ -37,8 +37,8 @@
 //! ([`crate::stats::NetStats`]) — mirrored from the same discipline the
 //! endpoint drop counters use, and exposed through `flipc_core::inspect`.
 
+use flipc_core::sync::atomic::Ordering;
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use flipc_core::endpoint::FlipcNodeId;

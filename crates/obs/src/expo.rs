@@ -41,9 +41,9 @@
 //! | `flipc_net_rto_ticks` | histogram | `node` |
 //! | `flipc_net_retransmit_burst` | histogram | `node` |
 
+use flipc_core::sync::atomic::{AtomicBool, Ordering};
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -534,7 +534,7 @@ mod tests {
 
     #[test]
     fn expo_server_serves_fresh_pages_until_dropped() {
-        use std::sync::atomic::AtomicU64;
+        use flipc_core::sync::atomic::AtomicU64;
         let n = Arc::new(AtomicU64::new(0));
         let n2 = n.clone();
         let server = ExpoServer::spawn("127.0.0.1:0", move || {

@@ -138,7 +138,7 @@ impl PriorityScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU32, Ordering};
+    use flipc_core::sync::atomic::{AtomicU32, Ordering};
     use std::sync::Arc;
 
     fn counted(name: &str, importance: Importance, quanta: u32) -> (Task, Arc<AtomicU32>) {

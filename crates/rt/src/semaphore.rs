@@ -133,7 +133,7 @@ impl RtSemaphore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use flipc_core::sync::atomic::{AtomicUsize, Ordering};
     use std::thread;
 
     #[test]
