@@ -50,6 +50,9 @@ use flipc_net::{
     NodeAddr, NodeMap,
 };
 use flipc_obs::trace_ring;
+use flipc_workloads::{
+    Broadcast, BroadcastConfig, LogConfig, ReplicatedLog, TierConfig, Tiered, TopicSpec,
+};
 
 /// Message sizes (8-byte header + payload) spanning the paper's range.
 const MSG_SIZES: [u32; 5] = [64, 96, 160, 288, 544];
@@ -336,7 +339,157 @@ fn run_suite(quick: bool) -> Report {
         });
     }
 
+    // --- Workload-level metrics over the deterministic chaos cluster.
+    // Manual-clock ticks are nominal nanoseconds and every schedule is
+    // seed-fixed, so all three reproduce exactly per build.
+    report.push(Metric {
+        name: "broadcast_fanout_msgs_per_sec".into(),
+        unit: "msg/s".into(),
+        value: broadcast_fanout_rate(quick),
+        p50: None,
+        p99: None,
+        direction: Direction::HigherIsBetter,
+        gate: true,
+    });
+    let (replay_p50, replay_p99) = log_append_replay_latency(quick);
+    report.push(Metric {
+        name: "log_append_replay_p99_ns".into(),
+        unit: "ns".into(),
+        value: replay_p99,
+        p50: Some(replay_p50),
+        p99: Some(replay_p99),
+        direction: Direction::LowerIsBetter,
+        gate: true,
+    });
+    let (tier_p50, tier_p99) = tiered_high_class_latency(quick);
+    report.push(Metric {
+        name: "tiered_high_class_p99_ns".into(),
+        unit: "ns".into(),
+        value: tier_p99,
+        p50: Some(tier_p50),
+        p99: Some(tier_p99),
+        direction: Direction::LowerIsBetter,
+        gate: true,
+    });
+
     report
+}
+
+/// Transport tuning for the workload metrics: the same fast manual-clock
+/// timers the workload chaos suite pins, so RTOs and heartbeats fire
+/// within a bench-sized run.
+fn workload_net() -> NetConfig {
+    NetConfig {
+        window: 8,
+        rto: 100,
+        rto_min: 10,
+        rto_max: 400,
+        suspect_strikes: 2,
+        dead_strikes: 8,
+        heartbeat_interval: 2_000,
+        ..NetConfig::default()
+    }
+}
+
+/// Reliable fan-out throughput: one publisher, three ack-backed
+/// subscribers on a clean link; total deliveries over nominal time.
+fn broadcast_fanout_rate(quick: bool) -> f64 {
+    let bursts = if quick { 60 } else { 240 };
+    let topics = vec![TopicSpec {
+        topic: 0,
+        publisher: 0,
+        subscribers: vec![1, 2, 3],
+    }];
+    let mut b = Broadcast::new(
+        4,
+        workload_net(),
+        0xBE9C_0001,
+        BroadcastConfig::default(),
+        topics,
+    );
+    for _ in 0..bursts {
+        b.publish_burst(4);
+        b.step();
+    }
+    for _ in 0..4_000 {
+        if b.completeness_violations().is_empty() {
+            break;
+        }
+        b.step();
+    }
+    assert!(
+        b.completeness_violations().is_empty(),
+        "fanout bench failed to quiesce"
+    );
+    let delivered: u64 = [1u16, 2, 3].iter().map(|&s| b.delivered(0, s)).sum();
+    delivered as f64 * 1e9 / b.cluster_mut().now().max(1) as f64
+}
+
+/// Append latency at a follower that crashes mid-stream and catches up
+/// through replay-from-offset: the p99 is dominated by the recovery
+/// path, which is exactly what the gate watches.
+fn log_append_replay_latency(quick: bool) -> (f64, f64) {
+    let entries = if quick { 60 } else { 240 } as u32;
+    let mut log = ReplicatedLog::new(2, workload_net(), 0xBE9C_0002, LogConfig::default());
+    for v in 0..entries / 2 {
+        log.append(v);
+    }
+    log.run(60);
+    log.crash_follower(1);
+    for v in entries / 2..entries {
+        log.append(v);
+    }
+    log.run(60);
+    log.restart_follower(1);
+    for _ in 0..600 {
+        if log.committed() == log.leader_len() {
+            break;
+        }
+        log.run(10);
+    }
+    assert_eq!(
+        log.committed(),
+        log.leader_len(),
+        "replay bench failed to quiesce"
+    );
+    let snaps = log.snapshots();
+    let h = &snaps[1].classes[0].latency;
+    (
+        h.quantile(0.5).unwrap_or(0.0),
+        h.quantile(0.99).unwrap_or(0.0),
+    )
+}
+
+/// High-class delivery latency while the bulk class saturates the link
+/// under seeded 10% loss — the strict-priority bound the tiered chaos
+/// story asserts, measured.
+fn tiered_high_class_latency(quick: bool) -> (f64, f64) {
+    let steps = if quick { 150 } else { 400 };
+    let mut cfg = TierConfig::default();
+    cfg.classes[2].deadline = 3_000;
+    let mut t = Tiered::new(workload_net(), 0xBE9C_0003, cfg);
+    t.cluster_mut().faults(0, FaultConfig::lossy(0.10));
+    let mut high_sent = 0u64;
+    for step in 0..steps {
+        t.offer(2, 8);
+        if step % 4 == 0 {
+            t.offer(0, 1);
+            high_sent += 1;
+        }
+        t.step();
+    }
+    t.cluster_mut().faults(0, FaultConfig::default());
+    for _ in 0..1_000 {
+        if t.delivered(0) == high_sent {
+            break;
+        }
+        t.step();
+    }
+    assert_eq!(t.delivered(0), high_sent, "tiered bench failed to quiesce");
+    (
+        t.latency_quantile(0, 0.5).unwrap_or(0.0),
+        t.latency_quantile(0, 0.99).unwrap_or(0.0),
+    )
 }
 
 /// One node pair on the in-process loopback fabric; returns measured

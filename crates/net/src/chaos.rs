@@ -198,6 +198,27 @@ impl ScenarioOutcome {
         out
     }
 
+    /// Writes the transcript as a CI artifact under `dir` (created
+    /// lazily), named `<workload>-<scenario>-<seed>.txt` so artifacts
+    /// from different harnesses and seeds never collide.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and file-write failures.
+    pub fn write_transcript(
+        &self,
+        dir: &std::path::Path,
+        workload: &str,
+    ) -> std::io::Result<std::path::PathBuf> {
+        write_transcript_to(
+            dir,
+            workload,
+            &self.name,
+            self.seed,
+            &self.transcript_text(),
+        )
+    }
+
     /// Panics with the full transcript if anything went wrong — the test
     /// entry point.
     pub fn assert_clean(&self) {
@@ -212,7 +233,272 @@ impl ScenarioOutcome {
     }
 }
 
-type ChaosTransport = NetTransport<FaultInjector<MemLink>, ManualClock>;
+/// The transport type every chaos harness drives: a real
+/// [`NetTransport`] over a seeded [`FaultInjector`]-wrapped in-memory
+/// link, clocked manually. Public so workload harnesses built on
+/// [`Cluster`] can name it.
+pub type ChaosTransport = NetTransport<FaultInjector<MemLink>, ManualClock>;
+
+/// Distinct, stable fault-schedule stream per `(node, incarnation)`, all
+/// derived from one scenario seed.
+fn derive_injector_seed(seed: u64, node: u16, incarnation: u16) -> u64 {
+    seed.wrapping_add(u64::from(node).wrapping_mul(0x9E37_79B9))
+        .wrapping_add(u64::from(incarnation).wrapping_mul(0x85EB_CA6B_0000))
+}
+
+/// Boots one node's transport into `hub` at the given incarnation: peers
+/// are every other node, the outbound link is wrapped in a fault injector
+/// seeded from `(seed, node, incarnation)`, and the session epoch starts
+/// at `initial_epoch + incarnation` (the number a restart supervisor
+/// would assign).
+fn boot_node(
+    hub: &std::sync::Arc<MemHub>,
+    clock: &ManualClock,
+    nodes: u16,
+    cfg: &NetConfig,
+    seed: u64,
+    node: u16,
+    incarnation: u16,
+) -> ChaosTransport {
+    let peers: Vec<FlipcNodeId> = (0..nodes).filter(|&n| n != node).map(FlipcNodeId).collect();
+    let link = FaultInjector::new(
+        hub.link(FlipcNodeId(node)),
+        FaultConfig::default(),
+        derive_injector_seed(seed, node, incarnation),
+    );
+    NetTransport::new(
+        FlipcNodeId(node),
+        &peers,
+        link,
+        clock.clone(),
+        NetConfig {
+            initial_epoch: cfg.initial_epoch.wrapping_add(incarnation),
+            ..*cfg
+        },
+    )
+}
+
+/// The artifact file name for one chaos transcript:
+/// `<workload>-<scenario>-<seed>.txt`. The workload prefix keeps
+/// transcripts from different harnesses (lifecycle, broadcast, log,
+/// tiers) from colliding when CI's seed matrix uploads them into one
+/// artifact directory.
+pub fn transcript_file_name(workload: &str, scenario: &str, seed: u64) -> String {
+    format!("{workload}-{scenario}-{seed:#x}.txt")
+}
+
+/// Writes one transcript under `dir`, creating the directory **lazily**
+/// (only when a transcript is actually written — a green run must not
+/// litter `target/` with empty artifact directories). Returns the path
+/// written.
+///
+/// # Errors
+///
+/// Propagates directory-creation and file-write failures.
+pub fn write_transcript_to(
+    dir: &std::path::Path,
+    workload: &str,
+    scenario: &str,
+    seed: u64,
+    text: &str,
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(transcript_file_name(workload, scenario, seed));
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// A scriptable cluster of live chaos transports — the DSL hook workload
+/// harnesses build on.
+///
+/// [`Scenario`] plays a fixed failure story against a fixed traffic
+/// model (tagged frames, one stream per direction). Higher-level
+/// workloads — pub-sub fan-out, replicated logs, tiered delivery — need
+/// the same deterministic fault machinery (seeded injectors, one-way
+/// partitions, crash/restart with epoch bumps, a manual clock) under
+/// *their own* traffic and invariants. `Cluster` is that machinery with
+/// the traffic model left out: the caller owns every send and receive
+/// through [`Cluster::transport_mut`] and pumps time with
+/// [`Cluster::advance`].
+///
+/// Everything is a pure function of `(seed, call sequence)`, exactly like
+/// a scenario: fault schedules derive from the seed per
+/// `(node, incarnation)`, and the shared [`ManualClock`] only moves when
+/// told to.
+pub struct Cluster {
+    hub: std::sync::Arc<MemHub>,
+    clock: ManualClock,
+    now: u64,
+    cfg: NetConfig,
+    seed: u64,
+    nodes: u16,
+    transports: Vec<Option<ChaosTransport>>,
+    incarnations: Vec<u16>,
+    transcript: Vec<String>,
+}
+
+impl Cluster {
+    /// Boots `nodes` transports configured with `cfg`, fault schedules
+    /// derived from `seed`.
+    pub fn new(nodes: u16, cfg: NetConfig, seed: u64) -> Cluster {
+        assert!(nodes >= 2, "a cluster needs at least two nodes");
+        let hub = MemHub::new(nodes as usize, 4096);
+        let clock = ManualClock::new();
+        let transports = (0..nodes)
+            .map(|n| Some(boot_node(&hub, &clock, nodes, &cfg, seed, n, 0)))
+            .collect();
+        Cluster {
+            hub,
+            clock,
+            now: 0,
+            cfg,
+            seed,
+            nodes,
+            transports,
+            incarnations: vec![0; nodes as usize],
+            transcript: vec![format!("t=0 cluster seed {seed:#x}: {nodes} nodes booted")],
+        }
+    }
+
+    /// Number of nodes (crashed ones included).
+    pub fn nodes(&self) -> u16 {
+        self.nodes
+    }
+
+    /// The seed the fault schedules derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Current manual-clock time in ticks.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances the shared clock. The caller pumps the transports itself
+    /// (that is the point: the workload owns the traffic).
+    pub fn advance(&mut self, ticks: u64) {
+        self.clock.advance(ticks);
+        self.now += ticks;
+    }
+
+    /// `true` while `node`'s transport is booted.
+    pub fn is_up(&self, node: u16) -> bool {
+        self.transports
+            .get(node as usize)
+            .map(|t| t.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Mutable transport access for one live node (`None` if crashed).
+    pub fn transport_mut(&mut self, node: u16) -> Option<&mut ChaosTransport> {
+        self.transports.get_mut(node as usize)?.as_mut()
+    }
+
+    /// Shared transport access for one live node (`None` if crashed).
+    pub fn transport(&self, node: u16) -> Option<&ChaosTransport> {
+        self.transports.get(node as usize)?.as_ref()
+    }
+
+    /// Final-state counter snapshot for one live node.
+    pub fn snapshot(&self, node: u16) -> Option<TransportSnapshot> {
+        self.transport(node).map(|t| t.stats().snapshot())
+    }
+
+    /// Replaces the fault probabilities on `node`'s outbound injector.
+    pub fn faults(&mut self, node: u16, cfg: FaultConfig) {
+        let now = self.now;
+        if let Some(t) = self.transport_mut(node) {
+            t.link_mut().set_config(cfg);
+            self.transcript.push(format!(
+                "t={now} node {node}: faults loss={} dup={} reorder={} delay={} corrupt={}",
+                cfg.loss, cfg.duplicate, cfg.reorder, cfg.delay, cfg.corrupt
+            ));
+        }
+    }
+
+    /// Cuts `from`'s outbound traffic toward `to` (one-way).
+    pub fn partition(&mut self, from: u16, to: u16) {
+        let now = self.now;
+        if let Some(t) = self.transport_mut(from) {
+            t.link_mut().partition(FlipcNodeId(to));
+            self.transcript
+                .push(format!("t={now} partition {from} -> {to} cut"));
+        }
+    }
+
+    /// Restores `from`'s outbound traffic toward `to`.
+    pub fn heal(&mut self, from: u16, to: u16) {
+        let now = self.now;
+        if let Some(t) = self.transport_mut(from) {
+            t.link_mut().heal(FlipcNodeId(to));
+            self.transcript
+                .push(format!("t={now} partition {from} -> {to} healed"));
+        }
+    }
+
+    /// Drops `node`'s transport mid-stream, exactly like a process crash:
+    /// in-flight state, timers, and epochs are gone.
+    pub fn crash(&mut self, node: u16) {
+        if let Some(slot) = self.transports.get_mut(node as usize) {
+            *slot = None;
+            self.transcript
+                .push(format!("t={} node {node}: CRASH", self.now));
+        }
+    }
+
+    /// Boots a fresh transport for a crashed node at its next incarnation
+    /// epoch, draining its network buffers first (a rebooted machine does
+    /// not keep its predecessor's socket queues). Returns `false` if the
+    /// node was still up (nothing happens).
+    pub fn restart(&mut self, node: u16) -> bool {
+        if self.is_up(node) || usize::from(node) >= self.transports.len() {
+            return false;
+        }
+        let mut drain = self.hub.link(FlipcNodeId(node));
+        let mut buf = [0u8; crate::packet::MAX_DATAGRAM];
+        let mut stale = 0u32;
+        while drain.recv(&mut buf).is_some() {
+            stale += 1;
+        }
+        self.incarnations[node as usize] = self.incarnations[node as usize].wrapping_add(1);
+        let inc = self.incarnations[node as usize];
+        self.transports[node as usize] = Some(boot_node(
+            &self.hub,
+            &self.clock,
+            self.nodes,
+            &self.cfg,
+            self.seed,
+            node,
+            inc,
+        ));
+        self.transcript.push(format!(
+            "t={} node {node}: RESTART incarnation {inc} ({stale} stale datagrams discarded)",
+            self.now
+        ));
+        true
+    }
+
+    /// Appends a narrative line to the transcript.
+    pub fn log(&mut self, text: &str) {
+        self.transcript.push(format!("t={} -- {text}", self.now));
+    }
+
+    /// The chronological transcript so far.
+    pub fn transcript(&self) -> &[String] {
+        &self.transcript
+    }
+
+    /// The transcript as one printable block.
+    pub fn transcript_text(&self) -> String {
+        let mut out = String::with_capacity(self.transcript.len() * 48);
+        for line in &self.transcript {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
 
 /// One node's standing in the harness. The harness state (tag counters,
 /// delivery log) deliberately survives crashes — it plays the role of the
@@ -360,14 +646,6 @@ impl Scenario {
         self.step(ScenarioStep::ExpectNoCostSinceMark { node })
     }
 
-    fn injector_seed(&self, node: u16, incarnation: u16) -> u64 {
-        // Distinct, stable streams per (node, incarnation), all derived
-        // from the scenario seed.
-        self.seed
-            .wrapping_add(u64::from(node).wrapping_mul(0x9E37_79B9))
-            .wrapping_add(u64::from(incarnation).wrapping_mul(0x85EB_CA6B_0000))
-    }
-
     fn boot(
         &self,
         hub: &std::sync::Arc<MemHub>,
@@ -375,24 +653,14 @@ impl Scenario {
         node: u16,
         incarnation: u16,
     ) -> ChaosTransport {
-        let peers: Vec<FlipcNodeId> = (0..self.nodes)
-            .filter(|&n| n != node)
-            .map(FlipcNodeId)
-            .collect();
-        let link = FaultInjector::new(
-            hub.link(FlipcNodeId(node)),
-            FaultConfig::default(),
-            self.injector_seed(node, incarnation),
-        );
-        NetTransport::new(
-            FlipcNodeId(node),
-            &peers,
-            link,
-            clock.clone(),
-            NetConfig {
-                initial_epoch: self.cfg.initial_epoch.wrapping_add(incarnation),
-                ..self.cfg
-            },
+        boot_node(
+            hub,
+            clock,
+            self.nodes,
+            &self.cfg,
+            self.seed,
+            node,
+            incarnation,
         )
     }
 

@@ -61,7 +61,7 @@ pub mod stats;
 pub mod transport;
 pub mod udp;
 
-pub use chaos::{Scenario, ScenarioOutcome, ScenarioStep};
+pub use chaos::{ChaosTransport, Cluster, Scenario, ScenarioOutcome, ScenarioStep};
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use fault::{FaultConfig, FaultCounts, FaultInjector};
 pub use link::{Link, MemHub, MemLink};

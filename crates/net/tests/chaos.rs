@@ -5,7 +5,8 @@
 //! deterministic — the fault schedule derives from the seed, time from a
 //! manual clock — so a red run here is a replayable counterexample, not a
 //! flake. On failure the full transcript is written to
-//! `target/chaos/<scenario>-<seed>.txt` (CI uploads these as artifacts)
+//! `target/chaos/lifecycle-<scenario>-<seed>.txt` (CI uploads these as
+//! artifacts; the workload prefix keeps harnesses from colliding)
 //! and included in the panic message.
 //!
 //! The properties exercised per story:
@@ -50,18 +51,18 @@ fn cfg() -> NetConfig {
     }
 }
 
-/// Plays the scenario, writes the transcript artifact on failure, and
-/// panics with the whole story.
+/// Plays the scenario, writes the transcript artifact on failure
+/// (lazily, workload-prefixed so seed-matrix artifacts never collide),
+/// and panics with the whole story.
 fn check(out: ScenarioOutcome) {
     if !out.passed() {
         let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"))
             .parent()
             .map(|p| p.join("chaos"))
             .unwrap_or_else(|| "target/chaos".into());
-        let _ = std::fs::create_dir_all(&dir);
-        let path = dir.join(format!("{}-{:#x}.txt", out.name, out.seed));
-        let _ = std::fs::write(&path, out.transcript_text());
-        eprintln!("chaos transcript written to {}", path.display());
+        if let Ok(path) = out.write_transcript(&dir, "lifecycle") {
+            eprintln!("chaos transcript written to {}", path.display());
+        }
     }
     out.assert_clean();
 }

@@ -40,6 +40,20 @@
 //! | `flipc_net_epoch_resyncs_total` | counter | `node` |
 //! | `flipc_net_rto_ticks` | histogram | `node` |
 //! | `flipc_net_retransmit_burst` | histogram | `node` |
+//! | `flipc_workload_published_total` | counter | `workload`, `node` |
+//! | `flipc_workload_delivered_total` | counter | `workload`, `node` |
+//! | `flipc_workload_dropped_total` | counter | `workload`, `node` |
+//! | `flipc_workload_retried_total` | counter | `workload`, `node` |
+//! | `flipc_workload_replayed_total` | counter | `workload`, `node` |
+//! | `flipc_workload_acked_total` | counter | `workload`, `node` |
+//! | `flipc_workload_invariant_violations_total` | counter | `workload`, `node` |
+//! | `flipc_workload_backlog` | gauge | `workload`, `node` |
+//! | `flipc_workload_latency_ns` | histogram | `workload`, `node`, `class` |
+//!
+//! The HTTP side understands exactly two paths: anything (the metrics
+//! page) and `/healthz` (a constant `ok` liveness probe), and speaks
+//! enough HTTP/1.1 to keep a scrape connection open (`connection:
+//! keep-alive` honoured, one correct `content-length` per response).
 
 use flipc_core::sync::atomic::{AtomicBool, Ordering};
 use std::io::{Read as _, Write as _};
@@ -51,6 +65,7 @@ use flipc_core::hist::{bucket_bounds, HistogramSnapshot};
 use flipc_core::inspect::TransportSnapshot;
 
 use crate::telemetry::EngineTelemetrySnapshot;
+use crate::workload::WorkloadSnapshot;
 
 /// Prometheus sample types this renderer knows.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -369,30 +384,177 @@ pub fn expose_transport(expo: &mut Exposition, snap: &TransportSnapshot) {
     );
 }
 
-/// Answers exactly one HTTP request on `listener` with `body` as
-/// `text/plain` (any request path — this is a metrics page, not a
-/// router). Returns the peer that was served.
+/// Exposes one workload snapshot under the stable `flipc_workload_*`
+/// names, labelled `{workload, node}` (plus `class` on the latency
+/// histogram).
+pub fn expose_workload(expo: &mut Exposition, snap: &WorkloadSnapshot) {
+    let labels = [
+        ("workload", snap.workload.clone()),
+        ("node", snap.node.to_string()),
+    ];
+    let counters: [(&str, &'static str, u64); 7] = [
+        (
+            "flipc_workload_published_total",
+            "Messages the application asked the workload to send.",
+            snap.published,
+        ),
+        (
+            "flipc_workload_delivered_total",
+            "Messages handed to the application in order.",
+            snap.delivered,
+        ),
+        (
+            "flipc_workload_dropped_total",
+            "Messages knowingly shed (at-most-once backpressure, expired deadlines).",
+            snap.dropped,
+        ),
+        (
+            "flipc_workload_retried_total",
+            "Application-level retransmissions on the reliable paths.",
+            snap.retried,
+        ),
+        (
+            "flipc_workload_replayed_total",
+            "Log entries re-delivered through a replay-from-offset fetch.",
+            snap.replayed,
+        ),
+        (
+            "flipc_workload_acked_total",
+            "Application-level acknowledgements received.",
+            snap.acked,
+        ),
+        (
+            "flipc_workload_invariant_violations_total",
+            "Workload invariant breaches observed (must stay zero).",
+            snap.invariant_violations,
+        ),
+    ];
+    for (name, help, v) in counters {
+        expo.counter(name, help, &labels, v);
+    }
+    expo.gauge(
+        "flipc_workload_backlog",
+        "Messages accepted but not yet deliverable (buffers, outboxes, queues).",
+        &labels,
+        snap.backlog,
+    );
+    for c in &snap.classes {
+        if c.latency.count() == 0 {
+            continue;
+        }
+        let class_labels = [
+            ("workload", snap.workload.clone()),
+            ("node", snap.node.to_string()),
+            ("class", c.class.clone()),
+        ];
+        expo.histogram(
+            "flipc_workload_latency_ns",
+            "Workload send-to-deliver latency per traffic class, nanoseconds.",
+            &class_labels,
+            &c.latency,
+        );
+    }
+}
+
+/// A parsed HTTP request head: just enough routing state for a metrics
+/// endpoint.
+struct RequestHead {
+    path: String,
+    keep_alive: bool,
+}
+
+/// Reads one request head (through the blank line) and extracts the path
+/// and connection preference. `None` on EOF, timeout, an oversized head,
+/// or a malformed request line.
+fn read_request_head(stream: &mut std::net::TcpStream) -> Option<RequestHead> {
+    // Single-byte reads keep this free of buffering state across
+    // requests on a keep-alive connection; the head is tiny and the
+    // observer-side cost is irrelevant.
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= 4096 {
+            return None;
+        }
+        match stream.read(&mut byte) {
+            Ok(1) => head.push(byte[0]),
+            _ => return None,
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut lines = head.split("\r\n");
+    let request = lines.next()?;
+    let mut parts = request.split_ascii_whitespace();
+    let _method = parts.next()?;
+    let path = parts.next()?.to_string();
+    let version = parts.next().unwrap_or("HTTP/1.0");
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an explicit
+    // `connection:` header overrides either way.
+    let mut keep_alive = version == "HTTP/1.1";
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("connection") {
+                let value = value.trim().to_ascii_lowercase();
+                keep_alive = value == "keep-alive";
+            }
+        }
+    }
+    Some(RequestHead { path, keep_alive })
+}
+
+/// Writes one complete HTTP response with a correct `content-length`.
+fn write_response(
+    stream: &mut std::net::TcpStream,
+    body: &str,
+    content_type: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 200 OK\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())
+}
+
+/// Routes one parsed request: `/healthz` answers the constant liveness
+/// page, every other path gets the metrics body from `render`.
+fn respond(
+    stream: &mut std::net::TcpStream,
+    req: &RequestHead,
+    render: &dyn Fn() -> String,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    if req.path == "/healthz" {
+        write_response(stream, "ok\n", "text/plain", keep_alive)
+    } else {
+        write_response(stream, &render(), "text/plain; version=0.0.4", keep_alive)
+    }
+}
+
+/// Answers exactly one HTTP request on `listener`: `/healthz` gets the
+/// liveness page, any other path gets `body` as the metrics page. The
+/// connection always closes after the response (one request is the
+/// contract; [`ExpoServer`] is the keep-alive path). Returns the peer
+/// that was served.
 ///
 /// Blocks until a client connects (honouring the listener's own blocking
 /// mode and timeouts).
 pub fn serve_once(listener: &TcpListener, body: &str) -> std::io::Result<SocketAddr> {
     let (mut stream, peer) = listener.accept()?;
-    // Read (and discard) the request head so the client sees a clean
-    // exchange; cap the read so a misbehaving client can't hold us.
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    let mut buf = [0u8; 1024];
-    let _ = stream.read(&mut buf);
-    let head = format!(
-        "HTTP/1.1 200 OK\r\ncontent-type: text/plain; version=0.0.4\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    if let Some(req) = read_request_head(&mut stream) {
+        let body = body.to_owned();
+        respond(&mut stream, &req, &move || body.clone(), false)?;
+    }
     Ok(peer)
 }
 
-/// A tiny blocking metrics listener on a background thread: each accepted
-/// connection gets a freshly rendered page from the supplied callback.
+/// A tiny blocking metrics listener on a background thread: every request
+/// gets a freshly rendered page from the supplied callback, `/healthz`
+/// answers a constant liveness probe, and connections are kept alive
+/// across requests when the client asks for it.
 pub struct ExpoServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -421,7 +583,7 @@ impl ExpoServer {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             stream.set_nonblocking(false).ok();
-                            serve_stream(stream, &render());
+                            serve_stream(stream, &render);
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(20));
@@ -443,16 +605,22 @@ impl ExpoServer {
     }
 }
 
-fn serve_stream(mut stream: std::net::TcpStream, body: &str) {
+/// Serves a keep-alive connection: requests are answered with freshly
+/// rendered pages until the client asks to close, goes quiet (500 ms
+/// read timeout), or exhausts the per-connection request budget (a
+/// misbehaving scraper cannot pin the accept loop forever).
+fn serve_stream(mut stream: std::net::TcpStream, render: &dyn Fn() -> String) {
+    const MAX_REQUESTS_PER_CONN: u32 = 64;
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-    let mut buf = [0u8; 1024];
-    let _ = stream.read(&mut buf);
-    let head = format!(
-        "HTTP/1.1 200 OK\r\ncontent-type: text/plain; version=0.0.4\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
-        body.len()
-    );
-    let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(body.as_bytes());
+    for served in 0..MAX_REQUESTS_PER_CONN {
+        let Some(req) = read_request_head(&mut stream) else {
+            return;
+        };
+        let keep_alive = req.keep_alive && served + 1 < MAX_REQUESTS_PER_CONN;
+        if respond(&mut stream, &req, render, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
 }
 
 impl Drop for ExpoServer {
@@ -553,6 +721,143 @@ mod tests {
         assert!(a.contains("flipc_page 0"), "{a}");
         assert!(b.contains("flipc_page 1"), "{b}");
         drop(server);
+    }
+
+    /// Reads exactly one HTTP response (head + `content-length` body)
+    /// off a stream that may stay open — the keep-alive test's parser.
+    fn read_one_response(stream: &mut std::net::TcpStream) -> (String, String) {
+        let mut head = Vec::new();
+        let mut byte = [0u8; 1];
+        while !head.ends_with(b"\r\n\r\n") {
+            assert_eq!(stream.read(&mut byte).unwrap(), 1, "head truncated");
+            head.push(byte[0]);
+        }
+        let head = String::from_utf8(head).unwrap();
+        let len: usize = head
+            .lines()
+            .find_map(|l| {
+                l.to_ascii_lowercase()
+                    .strip_prefix("content-length:")
+                    .map(str::trim)
+                    .map(str::to_owned)
+            })
+            .expect("content-length present")
+            .parse()
+            .unwrap();
+        let mut body = vec![0u8; len];
+        stream.read_exact(&mut body).unwrap();
+        (head, String::from_utf8(body).unwrap())
+    }
+
+    #[test]
+    fn healthz_answers_ok_on_both_serve_paths() {
+        // serve_once.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || serve_once(&listener, "flipc_up 1\n").unwrap());
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n")
+            .unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        server.join().unwrap();
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+        assert!(resp.contains("content-length: 3\r\n"), "{resp}");
+        assert!(resp.ends_with("ok\n"), "{resp}");
+        // ExpoServer.
+        let server = ExpoServer::spawn("127.0.0.1:0", || "flipc_up 1\n".to_string()).unwrap();
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"GET /healthz HTTP/1.0\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.ends_with("ok\n"), "{resp}");
+        drop(server);
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        use flipc_core::sync::atomic::AtomicU64;
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = n.clone();
+        let server = ExpoServer::spawn("127.0.0.1:0", move || {
+            format!("flipc_page {}\n", n2.fetch_add(1, Ordering::Relaxed))
+        })
+        .unwrap();
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        // HTTP/1.1 defaults to keep-alive: three requests, one socket,
+        // each response freshly rendered with its own content-length.
+        for expect in 0..3u64 {
+            stream
+                .write_all(b"GET /metrics HTTP/1.1\r\nhost: x\r\n\r\n")
+                .unwrap();
+            let (head, body) = read_one_response(&mut stream);
+            assert!(head.contains("connection: keep-alive"), "{head}");
+            assert!(
+                head.contains(&format!("content-length: {}", body.len())),
+                "{head}"
+            );
+            assert_eq!(body, format!("flipc_page {expect}\n"));
+        }
+        // A mid-stream healthz rides the same connection.
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n")
+            .unwrap();
+        let (_, body) = read_one_response(&mut stream);
+        assert_eq!(body, "ok\n");
+        // An explicit close is honoured: response, then EOF.
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n")
+            .unwrap();
+        let (head, _) = read_one_response(&mut stream);
+        assert!(head.contains("connection: close"), "{head}");
+        let mut rest = String::new();
+        stream.read_to_string(&mut rest).unwrap();
+        assert!(rest.is_empty(), "connection must close after response");
+        drop(server);
+    }
+
+    #[test]
+    fn workload_exposure_uses_stable_names() {
+        use crate::workload::{WorkloadClass, WorkloadSnapshot};
+        let mut lat = HistogramSnapshot::empty(BUCKETS);
+        lat.buckets[4] = 7; // values in [8,15]
+        lat.sum = 70;
+        let mut snap = WorkloadSnapshot::new("broadcast", 2);
+        snap.published = 30;
+        snap.delivered = 28;
+        snap.dropped = 1;
+        snap.retried = 5;
+        snap.replayed = 0;
+        snap.acked = 28;
+        snap.invariant_violations = 0;
+        snap.backlog = 2;
+        snap.classes.push(WorkloadClass {
+            class: "topic0".to_string(),
+            latency: lat,
+        });
+        snap.classes.push(WorkloadClass {
+            class: "quiet".to_string(),
+            latency: HistogramSnapshot::empty(BUCKETS),
+        });
+        let mut e = Exposition::new();
+        expose_workload(&mut e, &snap);
+        let page = e.render();
+        for needle in [
+            "flipc_workload_published_total{workload=\"broadcast\",node=\"2\"} 30",
+            "flipc_workload_delivered_total{workload=\"broadcast\",node=\"2\"} 28",
+            "flipc_workload_dropped_total{workload=\"broadcast\",node=\"2\"} 1",
+            "flipc_workload_retried_total{workload=\"broadcast\",node=\"2\"} 5",
+            "flipc_workload_replayed_total{workload=\"broadcast\",node=\"2\"} 0",
+            "flipc_workload_acked_total{workload=\"broadcast\",node=\"2\"} 28",
+            "flipc_workload_invariant_violations_total{workload=\"broadcast\",node=\"2\"} 0",
+            "flipc_workload_backlog{workload=\"broadcast\",node=\"2\"} 2",
+            "flipc_workload_latency_ns_count{workload=\"broadcast\",node=\"2\",class=\"topic0\"} 7",
+        ] {
+            assert!(page.contains(needle), "missing {needle:?} in:\n{page}");
+        }
+        // Quiet classes are not exposed.
+        assert!(!page.contains("class=\"quiet\""), "{page}");
     }
 
     #[test]

@@ -26,7 +26,11 @@
 //!   iteration-work histogram and transport retransmit activity;
 //! * [`expo`] — dependency-free Prometheus-style text exposition of
 //!   telemetry and transport snapshots, servable one-shot or from a tiny
-//!   blocking TCP listener.
+//!   blocking TCP listener;
+//! * [`workload`] — application-level counters (published / delivered /
+//!   retried / replayed, per-class latency) reported by the
+//!   `flipc-workloads` harnesses and rendered by [`expo`] and
+//!   `flipc-top`.
 //!
 //! Everything here obeys the engine's controller discipline: recording is
 //! loads and stores only, single writer per location, never blocking —
@@ -38,12 +42,16 @@ pub mod stall;
 pub mod telemetry;
 pub mod timeline;
 pub mod trace;
+pub mod workload;
 
-pub use expo::{expose_engine, expose_trace_lost, expose_transport, ExpoServer, Exposition};
+pub use expo::{
+    expose_engine, expose_trace_lost, expose_transport, expose_workload, ExpoServer, Exposition,
+};
 pub use stall::{StallCause, StallConfig, StallMonitor, StallReport};
 pub use telemetry::{EngineTelemetry, EngineTelemetrySnapshot};
 pub use timeline::{EndpointTimeline, GapStats, Timeline, TimelineBuilder};
 pub use trace::{trace_ring, TraceEvent, TraceKind, TraceReader, TraceWriter};
+pub use workload::{WorkloadClass, WorkloadSnapshot};
 
 use std::sync::OnceLock;
 use std::time::Instant;

@@ -11,7 +11,8 @@ use flipc_core::endpoint::FlipcNodeId;
 use flipc_core::hist::{bucket_index, HistogramSnapshot, BUCKETS};
 use flipc_core::inspect::{PathSnapshot, PeerLiveness, TransportSnapshot};
 use flipc_obs::{
-    expose_engine, expose_trace_lost, expose_transport, EngineTelemetrySnapshot, Exposition,
+    expose_engine, expose_trace_lost, expose_transport, expose_workload, EngineTelemetrySnapshot,
+    Exposition, WorkloadClass, WorkloadSnapshot,
 };
 
 /// A histogram snapshot with `values` recorded — built arithmetically,
@@ -59,10 +60,28 @@ fn page() -> String {
         rto: hist_of(&[2_000]),
         retransmit_burst: hist_of(&[2, 1]),
     };
+    let mut workload = WorkloadSnapshot::new("tiers", 1);
+    workload.published = 42;
+    workload.delivered = 40;
+    workload.dropped = 2;
+    workload.retried = 5;
+    workload.replayed = 3;
+    workload.acked = 38;
+    workload.invariant_violations = 0;
+    workload.backlog = 4;
+    workload.classes.push(WorkloadClass {
+        class: "high".to_string(),
+        latency: hist_of(&[900, 4_000]),
+    });
+    workload.classes.push(WorkloadClass {
+        class: "quiet".to_string(), // empty class: must be skipped
+        latency: hist_of(&[]),
+    });
     let mut expo = Exposition::new();
     expose_engine(&mut expo, 0, &engine);
     expose_trace_lost(&mut expo, 0, 7);
     expose_transport(&mut expo, &transport);
+    expose_workload(&mut expo, &workload);
     expo.render()
 }
 
@@ -154,6 +173,37 @@ flipc_net_retransmit_burst_bucket{node=\"0\",le=\"3\"} 2
 flipc_net_retransmit_burst_bucket{node=\"0\",le=\"+Inf\"} 2
 flipc_net_retransmit_burst_sum{node=\"0\"} 3
 flipc_net_retransmit_burst_count{node=\"0\"} 2
+# HELP flipc_workload_published_total Messages the application asked the workload to send.
+# TYPE flipc_workload_published_total counter
+flipc_workload_published_total{workload=\"tiers\",node=\"1\"} 42
+# HELP flipc_workload_delivered_total Messages handed to the application in order.
+# TYPE flipc_workload_delivered_total counter
+flipc_workload_delivered_total{workload=\"tiers\",node=\"1\"} 40
+# HELP flipc_workload_dropped_total Messages knowingly shed (at-most-once backpressure, expired deadlines).
+# TYPE flipc_workload_dropped_total counter
+flipc_workload_dropped_total{workload=\"tiers\",node=\"1\"} 2
+# HELP flipc_workload_retried_total Application-level retransmissions on the reliable paths.
+# TYPE flipc_workload_retried_total counter
+flipc_workload_retried_total{workload=\"tiers\",node=\"1\"} 5
+# HELP flipc_workload_replayed_total Log entries re-delivered through a replay-from-offset fetch.
+# TYPE flipc_workload_replayed_total counter
+flipc_workload_replayed_total{workload=\"tiers\",node=\"1\"} 3
+# HELP flipc_workload_acked_total Application-level acknowledgements received.
+# TYPE flipc_workload_acked_total counter
+flipc_workload_acked_total{workload=\"tiers\",node=\"1\"} 38
+# HELP flipc_workload_invariant_violations_total Workload invariant breaches observed (must stay zero).
+# TYPE flipc_workload_invariant_violations_total counter
+flipc_workload_invariant_violations_total{workload=\"tiers\",node=\"1\"} 0
+# HELP flipc_workload_backlog Messages accepted but not yet deliverable (buffers, outboxes, queues).
+# TYPE flipc_workload_backlog gauge
+flipc_workload_backlog{workload=\"tiers\",node=\"1\"} 4
+# HELP flipc_workload_latency_ns Workload send-to-deliver latency per traffic class, nanoseconds.
+# TYPE flipc_workload_latency_ns histogram
+flipc_workload_latency_ns_bucket{workload=\"tiers\",node=\"1\",class=\"high\",le=\"1023\"} 1
+flipc_workload_latency_ns_bucket{workload=\"tiers\",node=\"1\",class=\"high\",le=\"4095\"} 2
+flipc_workload_latency_ns_bucket{workload=\"tiers\",node=\"1\",class=\"high\",le=\"+Inf\"} 2
+flipc_workload_latency_ns_sum{workload=\"tiers\",node=\"1\",class=\"high\"} 4900
+flipc_workload_latency_ns_count{workload=\"tiers\",node=\"1\",class=\"high\"} 2
 ";
     let got = page();
     assert_eq!(

@@ -1,0 +1,203 @@
+//! The workload wire vocabulary.
+//!
+//! Workload messages ride inside [`flipc_engine::wire::Frame`] payloads —
+//! the transport neither knows nor cares what a "topic" or an "offset"
+//! is. Encodings are fixed-layout little-endian with a leading kind
+//! byte; [`WireMsg::decode`] is total (returns `None` on anything
+//! malformed) because chaos runs corrupt payloads on purpose.
+
+/// One application-level workload message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireMsg {
+    /// Pub-sub: one published message on a topic.
+    Publish {
+        /// Topic identifier.
+        topic: u16,
+        /// Publishing node.
+        publisher: u16,
+        /// Per-`(topic, publisher)` monotone sequence number.
+        seq: u32,
+        /// Manual-clock stamp at publish (latency measurement).
+        stamp: u64,
+    },
+    /// Pub-sub: a subscriber's cumulative acknowledgement — "I have
+    /// delivered every seq below `cum`" (reliable mode only).
+    PubAck {
+        /// Topic identifier.
+        topic: u16,
+        /// Count of contiguously delivered messages.
+        cum: u32,
+    },
+    /// Log: one replicated entry.
+    Append {
+        /// Entry offset (dense, monotone from 0).
+        offset: u64,
+        /// Entry value.
+        value: u32,
+        /// Manual-clock stamp at leader append (latency measurement).
+        stamp: u64,
+        /// `true` when this entry answers a replay-from-offset fetch
+        /// rather than live replication.
+        replay: bool,
+    },
+    /// Log: a follower's cumulative acknowledgement — "my durable log
+    /// holds `durable` entries".
+    AppendAck {
+        /// Durable entry count at the follower.
+        durable: u64,
+    },
+    /// Log: a restarted follower asks the leader to stream entries from
+    /// its durable prefix onward.
+    Fetch {
+        /// First offset the follower is missing.
+        from: u64,
+    },
+    /// Tiered delivery: one message in a traffic class.
+    Tiered {
+        /// Class index (0 = highest priority).
+        class: u8,
+        /// Per-class monotone sequence number.
+        seq: u32,
+        /// Manual-clock stamp at enqueue (latency measurement).
+        stamp: u64,
+    },
+}
+
+const K_PUBLISH: u8 = 1;
+const K_PUB_ACK: u8 = 2;
+const K_APPEND: u8 = 3;
+const K_APPEND_ACK: u8 = 4;
+const K_FETCH: u8 = 5;
+const K_TIERED: u8 = 6;
+
+impl WireMsg {
+    /// Encodes to a fresh payload buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24);
+        match *self {
+            WireMsg::Publish {
+                topic,
+                publisher,
+                seq,
+                stamp,
+            } => {
+                out.push(K_PUBLISH);
+                out.extend_from_slice(&topic.to_le_bytes());
+                out.extend_from_slice(&publisher.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&stamp.to_le_bytes());
+            }
+            WireMsg::PubAck { topic, cum } => {
+                out.push(K_PUB_ACK);
+                out.extend_from_slice(&topic.to_le_bytes());
+                out.extend_from_slice(&cum.to_le_bytes());
+            }
+            WireMsg::Append {
+                offset,
+                value,
+                stamp,
+                replay,
+            } => {
+                out.push(K_APPEND);
+                out.extend_from_slice(&offset.to_le_bytes());
+                out.extend_from_slice(&value.to_le_bytes());
+                out.extend_from_slice(&stamp.to_le_bytes());
+                out.push(u8::from(replay));
+            }
+            WireMsg::AppendAck { durable } => {
+                out.push(K_APPEND_ACK);
+                out.extend_from_slice(&durable.to_le_bytes());
+            }
+            WireMsg::Fetch { from } => {
+                out.push(K_FETCH);
+                out.extend_from_slice(&from.to_le_bytes());
+            }
+            WireMsg::Tiered { class, seq, stamp } => {
+                out.push(K_TIERED);
+                out.push(class);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&stamp.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a payload; `None` on unknown kind or wrong length.
+    pub fn decode(buf: &[u8]) -> Option<WireMsg> {
+        let (&kind, rest) = buf.split_first()?;
+        match kind {
+            K_PUBLISH if rest.len() == 16 => Some(WireMsg::Publish {
+                topic: u16::from_le_bytes(rest[0..2].try_into().ok()?),
+                publisher: u16::from_le_bytes(rest[2..4].try_into().ok()?),
+                seq: u32::from_le_bytes(rest[4..8].try_into().ok()?),
+                stamp: u64::from_le_bytes(rest[8..16].try_into().ok()?),
+            }),
+            K_PUB_ACK if rest.len() == 6 => Some(WireMsg::PubAck {
+                topic: u16::from_le_bytes(rest[0..2].try_into().ok()?),
+                cum: u32::from_le_bytes(rest[2..6].try_into().ok()?),
+            }),
+            K_APPEND if rest.len() == 21 => Some(WireMsg::Append {
+                offset: u64::from_le_bytes(rest[0..8].try_into().ok()?),
+                value: u32::from_le_bytes(rest[8..12].try_into().ok()?),
+                stamp: u64::from_le_bytes(rest[12..20].try_into().ok()?),
+                replay: rest[20] != 0,
+            }),
+            K_APPEND_ACK if rest.len() == 8 => Some(WireMsg::AppendAck {
+                durable: u64::from_le_bytes(rest[0..8].try_into().ok()?),
+            }),
+            K_FETCH if rest.len() == 8 => Some(WireMsg::Fetch {
+                from: u64::from_le_bytes(rest[0..8].try_into().ok()?),
+            }),
+            K_TIERED if rest.len() == 13 => Some(WireMsg::Tiered {
+                class: rest[0],
+                seq: u32::from_le_bytes(rest[1..5].try_into().ok()?),
+                stamp: u64::from_le_bytes(rest[5..13].try_into().ok()?),
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_round_trip() {
+        let msgs = [
+            WireMsg::Publish {
+                topic: 7,
+                publisher: 2,
+                seq: 90_001,
+                stamp: u64::MAX - 3,
+            },
+            WireMsg::PubAck { topic: 7, cum: 41 },
+            WireMsg::Append {
+                offset: 1 << 40,
+                value: 0xDEAD_BEEF,
+                stamp: 12,
+                replay: true,
+            },
+            WireMsg::AppendAck { durable: 0 },
+            WireMsg::Fetch { from: 99 },
+            WireMsg::Tiered {
+                class: 3,
+                seq: 5,
+                stamp: 77,
+            },
+        ];
+        for m in msgs {
+            assert_eq!(WireMsg::decode(&m.encode()), Some(m));
+        }
+    }
+
+    #[test]
+    fn junk_decodes_to_none() {
+        assert_eq!(WireMsg::decode(&[]), None);
+        assert_eq!(WireMsg::decode(&[9, 0, 0]), None);
+        assert_eq!(WireMsg::decode(&[K_PUBLISH, 1, 2]), None);
+        let mut long = WireMsg::Fetch { from: 1 }.encode();
+        long.push(0);
+        assert_eq!(WireMsg::decode(&long), None);
+    }
+}

@@ -11,7 +11,7 @@
 //!
 //! ```text
 //! flipc-top [--interval MS] [--ticks N] [--once] [--json]
-//!           [--inject-stall] [--udp] [--stall-threshold MS]
+//!           [--inject-stall] [--udp] [--workload] [--stall-threshold MS]
 //!           [--trace-out FILE] [--listen ADDR]
 //! ```
 //!
@@ -19,6 +19,11 @@
 //!   JSON document (timeline, stall reports, exposition page) to stdout.
 //! * `--inject-stall` — freeze the engine pump mid-run with messages
 //!   queued, so the stall analyzer has something real to attribute.
+//! * `--workload` — drive the seeded pub-sub broadcast workload over the
+//!   chaos cluster instead of the engine demo: workload-level trace
+//!   events flow through the same timeline and stall analysis, and the
+//!   exposition page carries the `flipc_workload_*` metric family. Fully
+//!   deterministic (manual clock, pinned seed) — reruns are identical.
 //! * `--trace-out FILE` — also write the raw trace events as text.
 //! * `--listen ADDR` — serve the Prometheus-style exposition over HTTP
 //!   while the demo runs (e.g. `--listen 127.0.0.1:9464`).
@@ -57,6 +62,7 @@ struct Opts {
     json: bool,
     inject_stall: bool,
     udp: bool,
+    workload: bool,
     stall_threshold: Duration,
     trace_out: Option<String>,
     listen: Option<String>,
@@ -70,6 +76,7 @@ impl Default for Opts {
             json: false,
             inject_stall: false,
             udp: false,
+            workload: false,
             stall_threshold: Duration::from_millis(150),
             trace_out: None,
             listen: None,
@@ -87,6 +94,7 @@ fn main() -> ExitCode {
             "--json" => opts.json = true,
             "--inject-stall" => opts.inject_stall = true,
             "--udp" => opts.udp = true,
+            "--workload" => opts.workload = true,
             "--interval" => {
                 i += 1;
                 opts.interval = Duration::from_millis(parse_num(&args, i, "--interval"));
@@ -111,7 +119,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: flipc-top [--interval MS] [--ticks N] [--once] [--json]\n       \
-                     [--inject-stall] [--udp] [--stall-threshold MS]\n       \
+                     [--inject-stall] [--udp] [--workload] [--stall-threshold MS]\n       \
                      [--trace-out FILE] [--listen ADDR]"
                 );
                 return ExitCode::SUCCESS;
@@ -494,7 +502,155 @@ fn telemetry_json(nodes: &[DemoNode]) -> Value {
     )
 }
 
+/// `--workload` mode: drives the seeded pub-sub broadcast over the chaos
+/// cluster — a storm, a subscriber crash, a fresh-epoch reboot — with its
+/// workload-level trace feeding the same timeline/stall pipeline the
+/// engine demo uses, and the `flipc_workload_*` family on the exposition
+/// page. Manual clock + pinned seed: the whole run is reproducible.
+fn run_workload(opts: &Opts) -> ExitCode {
+    use flipc_net::FaultConfig;
+    use flipc_workloads::{Broadcast, BroadcastConfig, TopicSpec};
+
+    let net = NetConfig {
+        window: 8,
+        rto: 100,
+        rto_min: 10,
+        rto_max: 400,
+        suspect_strikes: 2,
+        dead_strikes: 8,
+        heartbeat_interval: 500,
+        ..NetConfig::default()
+    };
+    let topics = vec![TopicSpec {
+        topic: 0,
+        publisher: 0,
+        subscribers: vec![1, 2, 3],
+    }];
+    let mut b = Broadcast::new(4, net, 0xF11C_0070, BroadcastConfig::default(), topics);
+    let (writer, mut reader) = flipc_obs::trace_ring(16384);
+    b.install_trace(writer);
+
+    b.cluster_mut().log("storm on the publisher's uplink");
+    b.cluster_mut().faults(0, FaultConfig::lossy(0.20));
+    b.publish_burst(15);
+    b.run(120);
+    b.cluster_mut().log("subscriber 2 dies mid-stream");
+    b.cluster_mut().crash(2);
+    b.publish_burst(15);
+    b.run(120);
+    b.cluster_mut().log("subscriber 2 reboots on a fresh epoch");
+    b.cluster_mut().restart(2);
+    b.cluster_mut().log("storm passes; drain to quiesce");
+    b.cluster_mut().faults(0, FaultConfig::default());
+    for _ in 0..400 {
+        if b.completeness_violations().is_empty() {
+            break;
+        }
+        b.run(25);
+    }
+
+    // Harvest the workload trace through the standard consumer pipeline.
+    // The manual clock ticks stand in for nanoseconds; the crash leaves
+    // subscriber 2's endpoint silent for thousands of ticks, which is
+    // exactly the kind of gap the stall analyzer attributes.
+    let mut batch: Vec<TraceEvent> = Vec::new();
+    reader.drain_into(&mut batch);
+    let mut builder = TimelineBuilder::new();
+    builder.note_lost(reader.lost());
+    builder.ingest(&batch);
+    let timeline = builder.timeline();
+    let cfg = StallConfig {
+        threshold_ns: 2_000,
+        ..StallConfig::default()
+    };
+    let idle = flipc_core::hist::HistogramSnapshot::empty(flipc_core::hist::BUCKETS);
+    let stalls = scan(&batch, &[], &idle, 0, 0, &cfg);
+
+    let snaps = b.snapshots();
+    let mut expo = Exposition::new();
+    for s in &snaps {
+        flipc_obs::expose_workload(&mut expo, s);
+    }
+    if let Some(t) = b.cluster_mut().snapshot(0) {
+        expose_transport(&mut expo, &t);
+    }
+
+    if let Some(path) = &opts.trace_out {
+        use std::fmt::Write as _;
+        let mut text = String::new();
+        for ev in &batch {
+            let _ = writeln!(text, "{ev}");
+        }
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("flipc-top: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if opts.json {
+        let doc = Value::object([
+            ("schema", Value::from(1u64)),
+            ("mode", Value::from("workload")),
+            ("workload", Value::from("broadcast")),
+            ("timeline", timeline.to_json()),
+            (
+                "stalls",
+                Value::Array(stalls.iter().map(StallReport::to_json).collect()),
+            ),
+            (
+                "workloads",
+                Value::Array(snaps.iter().map(|s| s.to_json()).collect()),
+            ),
+            ("exposition", Value::from(expo.render().as_str())),
+        ]);
+        println!("{}", doc.render_pretty());
+    } else {
+        print!("{}", b.cluster_mut().transcript_text());
+        println!("=== workloads ===");
+        for s in &snaps {
+            println!(
+                "{} node {}: published={} delivered={} retried={} dropped={} backlog={}",
+                s.workload, s.node, s.published, s.delivered, s.retried, s.dropped, s.backlog
+            );
+            for c in &s.classes {
+                if c.latency.count() > 0 {
+                    println!(
+                        "  class {}: {} delivered, p50={:.0} p99={:.0} ticks",
+                        c.class,
+                        c.latency.count(),
+                        c.latency.quantile(0.5).unwrap_or(0.0),
+                        c.latency.quantile(0.99).unwrap_or(0.0),
+                    );
+                }
+            }
+        }
+        println!("=== timeline ===");
+        print!("{}", timeline.render());
+        println!("=== stalls ({}) ===", stalls.len());
+        for s in &stalls {
+            println!("{s}");
+        }
+        println!("=== exposition ===");
+        print!("{}", expo.render());
+    }
+
+    // Sanity for CI: the broadcast must quiesce complete and its trace
+    // must reach the timeline as per-endpoint activity.
+    if !b.completeness_violations().is_empty() || !b.violations().is_empty() {
+        eprintln!("flipc-top: workload failed to quiesce cleanly");
+        return ExitCode::FAILURE;
+    }
+    if timeline.endpoints.is_empty() {
+        eprintln!("flipc-top: workload produced no endpoint activity");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn run(opts: &Opts) -> ExitCode {
+    if opts.workload {
+        return run_workload(opts);
+    }
     let mut nodes = build_nodes(opts.udp);
     // Over UDP, traffic must originate at node 1 (see `round`).
     let (pinger, ponger) = if opts.udp { (1, 0) } else { (0, 1) };

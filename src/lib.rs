@@ -15,6 +15,7 @@
 //! | [`obs`] | `flipc-obs` | wait-free trace ring and telemetry recorders plus their consumers: timeline reconstruction, stall analysis, metrics exposition (see also the `flipc-top` binary) |
 //! | [`rt`] | `flipc-rt` | real-time semaphore, priority dispatcher, workload generators |
 //! | [`sim`] | `flipc-sim` | discrete-event kernel, coherent-cache model, cost model, statistics |
+//! | [`workloads`] | `flipc-workloads` | composable workloads over the transport: fan-out pub-sub broadcast, replicated ordered log with replay-from-offset, priority-tiered delivery |
 //! | [`mesh`] | `flipc-mesh` | Paragon-style wormhole 2D mesh simulator |
 //! | [`baselines`] | `flipc-baselines` | NX / PAM / SUNMOS comparator models |
 //! | [`paragon`] | `flipc-paragon` | the calibrated FLIPC-on-Paragon model and every paper experiment |
@@ -62,6 +63,7 @@ pub use flipc_obs as obs;
 pub use flipc_paragon as paragon;
 pub use flipc_rt as rt;
 pub use flipc_sim as sim;
+pub use flipc_workloads as workloads;
 
 pub use flipc_core::{
     BufferId, BufferState, BufferToken, CommBuffer, EndpointAddress, EndpointGroup, EndpointIndex,
