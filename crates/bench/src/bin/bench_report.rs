@@ -22,11 +22,14 @@
 //! ```text
 //! bench-report [--quick] [--out BENCH.json]
 //! bench-report --compare OLD.json [--current BENCH.json] [--tolerance 2.0x]
+//! bench-report --trend OLD.json [--current BENCH.json]
 //! ```
 //!
 //! `--compare` never reruns the suite: it diffs two report files with the
 //! direction-aware comparator and exits non-zero if any metric got worse
-//! by more than the tolerance factor.
+//! by more than the tolerance factor. `--trend` renders the same pair as
+//! an informational markdown delta table (for `$GITHUB_STEP_SUMMARY`) and
+//! always exits zero — the gate is `--compare`, never the trend.
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -66,6 +69,7 @@ fn main() -> ExitCode {
     let mut quick = false;
     let mut out = String::from("BENCH.json");
     let mut compare_with: Option<String> = None;
+    let mut trend_with: Option<String> = None;
     let mut current = String::from("BENCH.json");
     let mut tolerance = 2.0;
 
@@ -80,6 +84,10 @@ fn main() -> ExitCode {
             "--compare" => {
                 i += 1;
                 compare_with = Some(expect_arg(&args, i, "--compare"));
+            }
+            "--trend" => {
+                i += 1;
+                trend_with = Some(expect_arg(&args, i, "--trend"));
             }
             "--current" => {
                 i += 1;
@@ -99,7 +107,8 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: bench-report [--quick] [--out FILE]\n       \
-                     bench-report --compare OLD [--current FILE] [--tolerance 2.0x]"
+                     bench-report --compare OLD [--current FILE] [--tolerance 2.0x]\n       \
+                     bench-report --trend OLD [--current FILE]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -113,6 +122,9 @@ fn main() -> ExitCode {
 
     if let Some(baseline) = compare_with {
         return run_compare(&baseline, &current, tolerance);
+    }
+    if let Some(baseline) = trend_with {
+        return run_trend(&baseline, &current);
     }
 
     let report = run_suite(quick);
@@ -171,6 +183,24 @@ fn run_compare(baseline: &str, current: &str, tolerance: f64) -> ExitCode {
         );
     }
     ExitCode::FAILURE
+}
+
+/// Loads two report files and prints the informational markdown delta
+/// table. Never fails the build on metric movement — the gate is
+/// `--compare` — so any problem (unreadable file, schema drift) degrades
+/// to a note in the table's place and a clean exit.
+fn run_trend(baseline: &str, current: &str) -> ExitCode {
+    let load = |path: &str| -> Result<Report, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Report::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    match (load(baseline), load(current)) {
+        (Ok(old), Ok(new)) => println!("{}", flipc_bench::report::render_trend(&old, &new)),
+        (Err(e), _) | (_, Err(e)) => {
+            println!("### Bench trend vs committed baseline\n\n_unavailable: {e}_");
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// The git revision to stamp into the report: CI's `GITHUB_SHA`, else the
@@ -286,6 +316,19 @@ fn run_suite(quick: bool) -> Report {
         name: "sustained_throughput_msgs_per_sec".into(),
         unit: "msg/s".into(),
         value: msgs_per_sec,
+        p50: None,
+        p99: None,
+        direction: Direction::HigherIsBetter,
+        gate: true,
+    });
+
+    // --- Batched wire path: the same open-loop shape driven through the
+    // reliability layer with the per-peer frame coalescer enabled, so the
+    // jumbo-datagram path (pack, seal, fan-out) is what gets measured.
+    report.push(Metric {
+        name: "batched_throughput_msgs_per_sec".into(),
+        unit: "msg/s".into(),
+        value: batched_throughput(quick),
         p50: None,
         p99: None,
         direction: Direction::HigherIsBetter,
@@ -616,6 +659,71 @@ fn sustained_throughput(quick: bool) -> f64 {
             app1.buffer_free(got.token);
             delivered += 1;
         }
+        if window_base.is_none() && delivered >= warmup {
+            window_base = Some(delivered);
+            start = Instant::now();
+        }
+        if let Some(base) = window_base {
+            if delivered >= base + window {
+                return (delivered - base) as f64 / start.elapsed().as_secs_f64();
+            }
+        }
+    }
+}
+
+/// Open-loop throughput through the reliability layer with the per-peer
+/// frame coalescer on: the sender fills the go-back-N window, seals the
+/// staged jumbos with an explicit [`Transport::flush`] (exactly what the
+/// engine does at the end of each drain pass), and the receiver fans the
+/// batches back out through the ordinary dedup window. Wall-clock rate
+/// over the measured window; the manual clock crawls so retransmit
+/// timers never fire and the number is the clean batched path.
+fn batched_throughput(quick: bool) -> f64 {
+    let hub = MemHub::new(2, 8192);
+    let clock = ManualClock::new();
+    let cfg = NetConfig {
+        window: 256,
+        coalesce: true,
+        ..NetConfig::default()
+    };
+    let mut a: NetTransport<_, _> = NetTransport::new(
+        FlipcNodeId(0),
+        &[FlipcNodeId(1)],
+        hub.link(FlipcNodeId(0)),
+        clock.clone(),
+        cfg,
+    );
+    let mut b: NetTransport<_, _> = NetTransport::new(
+        FlipcNodeId(1),
+        &[FlipcNodeId(0)],
+        hub.link(FlipcNodeId(1)),
+        clock.clone(),
+        cfg,
+    );
+
+    let frame = Frame {
+        src: EndpointAddress::new(FlipcNodeId(0), EndpointIndex(0), 1),
+        dst: EndpointAddress::new(FlipcNodeId(1), EndpointIndex(0), 1),
+        payload: vec![0xAB; 56].into(),
+        stamp_ns: 0,
+    };
+    let (warmup, window): (u64, u64) = if quick {
+        (5_000, 50_000)
+    } else {
+        (20_000, 200_000)
+    };
+    let mut delivered = 0u64;
+    let mut window_base: Option<u64> = None;
+    let mut start = Instant::now();
+    loop {
+        // Fill the send window; every frame stages into the coalescer.
+        while a.try_send(FlipcNodeId(1), &frame) {}
+        a.flush();
+        while b.try_recv().is_some() {
+            delivered += 1;
+        }
+        let _ = a.try_recv(); // process acks so the window frees
+        clock.advance(1);
         if window_base.is_none() && delivered >= warmup {
             window_base = Some(delivered);
             start = Instant::now();

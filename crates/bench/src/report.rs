@@ -267,6 +267,72 @@ pub fn compare(old: &Report, new: &Report, tolerance: f64) -> Result<Vec<Regress
     Ok(out)
 }
 
+/// Renders a per-metric delta table between two reports as GitHub
+/// markdown — the informational trend CI appends to the step summary.
+///
+/// Every metric present in both reports appears with its baseline value,
+/// current value, delta percentage oriented so negative means *better*,
+/// and a marker (improved / flat / worse / `(ungated)`). Metrics in only
+/// one report are listed as added/retired. Purely informational: callers
+/// must not gate on this output (the gate is [`compare`]).
+pub fn render_trend(old: &Report, new: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("### Bench trend vs committed baseline\n\n");
+    out.push_str(&format!(
+        "Baseline `{}` → current `{}`{}\n\n",
+        old.git_rev,
+        new.git_rev,
+        if new.quick { " (quick mode)" } else { "" }
+    ));
+    out.push_str("| metric | baseline | current | delta | |\n");
+    out.push_str("|---|---:|---:|---:|---|\n");
+    for m_old in &old.metrics {
+        let Some(m_new) = new.get(&m_old.name) else {
+            out.push_str(&format!(
+                "| {} | {} | — | retired | |\n",
+                m_old.name, m_old.value
+            ));
+            continue;
+        };
+        if m_old.value <= 0.0 {
+            out.push_str(&format!(
+                "| {} | {} | {} | n/a | |\n",
+                m_old.name, m_old.value, m_new.value
+            ));
+            continue;
+        }
+        // Oriented delta: negative = better, regardless of direction.
+        let raw = (m_new.value - m_old.value) / m_old.value * 100.0;
+        let delta = match m_old.direction {
+            Direction::LowerIsBetter => raw,
+            Direction::HigherIsBetter => -raw,
+        };
+        let marker = if !m_old.gate || !m_new.gate {
+            "(ungated)"
+        } else if delta <= -5.0 {
+            "improved"
+        } else if delta < 5.0 {
+            "flat"
+        } else {
+            "worse"
+        };
+        out.push_str(&format!(
+            "| {} | {:.1} {} | {:.1} | {:+.1}% | {} |\n",
+            m_old.name, m_old.value, m_old.unit, m_new.value, delta, marker
+        ));
+    }
+    for m_new in &new.metrics {
+        if old.get(&m_new.name).is_none() {
+            out.push_str(&format!(
+                "| {} | — | {:.1} {} | added | |\n",
+                m_new.name, m_new.value, m_new.unit
+            ));
+        }
+    }
+    out.push_str("\nDelta is oriented so negative is better. Informational only — the gate is the tolerance comparison.\n");
+    out
+}
+
 /// Parses a `--tolerance` argument: `"2.0"` or `"2.0x"`.
 ///
 /// # Errors
@@ -384,6 +450,35 @@ mod tests {
 
         new.schema = SCHEMA_VERSION + 1;
         assert!(compare(&old, &new, 2.0).is_err());
+    }
+
+    #[test]
+    fn trend_table_orients_deltas_and_lists_membership_changes() {
+        let mut old = Report::new("base", false);
+        old.push(metric("latency", 100.0, Direction::LowerIsBetter));
+        old.push(metric("throughput", 1000.0, Direction::HigherIsBetter));
+        old.push(metric("gone", 5.0, Direction::LowerIsBetter));
+        let mut new = Report::new("head", true);
+        new.push(metric("latency", 80.0, Direction::LowerIsBetter));
+        new.push(metric("throughput", 500.0, Direction::HigherIsBetter));
+        new.push(metric("added", 7.0, Direction::LowerIsBetter));
+
+        let t = render_trend(&old, &new);
+        assert!(t.contains("`base` → current `head` (quick mode)"));
+        // Latency dropped 20%: better, oriented negative.
+        assert!(
+            t.contains("| latency | 100.0 ns | 80.0 | -20.0% | improved |"),
+            "{t}"
+        );
+        // Throughput halved: a -50% raw change, oriented positive.
+        assert!(
+            t.contains("| throughput | 1000.0 ns | 500.0 | +50.0% | worse |"),
+            "{t}"
+        );
+        assert!(t.contains("| gone | 5 | — | retired | |"), "{t}");
+        assert!(t.contains("| added | — | 7.0 ns | added | |"), "{t}");
+        // Informational framing survives.
+        assert!(t.contains("Informational only"));
     }
 
     #[test]

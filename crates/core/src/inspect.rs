@@ -287,6 +287,14 @@ pub struct TransportSnapshot {
     /// Distribution of go-back-N burst sizes (frames re-sent per retransmit
     /// round), node scope.
     pub retransmit_burst: HistogramSnapshot,
+    /// Coalesced Batch datagrams transmitted (zero unless the transport's
+    /// coalescer is enabled), node scope.
+    pub batch_datagrams: u32,
+    /// Sub-frames carried inside coalesced Batch datagrams, node scope.
+    pub batch_frames: u32,
+    /// Distribution of sub-frames per transmitted Batch datagram (one
+    /// sample per flush), node scope.
+    pub batch_size: HistogramSnapshot,
 }
 
 impl TransportSnapshot {
@@ -331,6 +339,16 @@ impl TransportSnapshot {
                 self.retransmit_burst.quantile(0.5).unwrap_or(0.0),
                 self.rto.quantile(0.5).unwrap_or(0.0),
                 self.rto.quantile(0.99).unwrap_or(0.0),
+            );
+        }
+        if self.batch_datagrams > 0 {
+            let _ = writeln!(
+                out,
+                "coalesced {} frames into {} batch datagrams: size p50 {:.0}, p99 {:.0}",
+                self.batch_frames,
+                self.batch_datagrams,
+                self.batch_size.quantile(0.5).unwrap_or(0.0),
+                self.batch_size.quantile(0.99).unwrap_or(0.0),
             );
         }
         out
@@ -453,6 +471,9 @@ mod tests {
             epoch_resyncs: 1,
             rto: HistogramSnapshot::empty(crate::hist::BUCKETS),
             retransmit_burst: HistogramSnapshot::empty(crate::hist::BUCKETS),
+            batch_datagrams: 0,
+            batch_frames: 0,
+            batch_size: HistogramSnapshot::empty(crate::hist::BUCKETS),
         };
         let text = s.render();
         assert!(text.contains("net node 0"));

@@ -47,6 +47,12 @@ pub struct EngineConfig {
     pub incoming_budget: u32,
     /// Maximum sends transmitted per iteration.
     pub outgoing_budget: u32,
+    /// Maximum frames collected from one send endpoint per drain pass
+    /// (the batch the transport may coalesce into one datagram). Bounds
+    /// how long one endpoint can hold the scan before equal-importance
+    /// neighbours are serviced; the transport sees a `flush` at the end
+    /// of every pass regardless. `0` is treated as `1`.
+    pub max_batch: u32,
 }
 
 impl Default for EngineConfig {
@@ -55,6 +61,7 @@ impl Default for EngineConfig {
             check_mode: CheckMode::Checked,
             incoming_budget: 64,
             outgoing_budget: 64,
+            max_batch: 16,
         }
     }
 }
@@ -478,6 +485,10 @@ impl Engine {
             Some(flat) => (flat + 1) % n,
             None => (self.scan_cursor + 1) % n,
         };
+        // End of the drain pass: the batch boundary. A coalescing
+        // transport transmits everything staged above; eager transports
+        // no-op.
+        self.transport.flush();
         done
     }
 
@@ -507,10 +518,14 @@ impl Engine {
     }
 
     /// Transmits queued messages from one endpoint until it drains, the
-    /// budget runs out, or the wire backpressures.
+    /// per-endpoint batch cap (`max_batch`) is reached, the budget runs
+    /// out, or the wire backpressures. The frames collected here form one
+    /// batch from the transport's point of view: it may stage them and
+    /// coalesce on the end-of-pass [`Transport::flush`].
     fn drain_send_endpoint(&mut self, dom: usize, idx: EndpointIndex, budget: &mut u32) -> u32 {
+        let max_batch = self.cfg.max_batch.max(1);
         let mut done = 0;
-        while *budget > 0 {
+        while *budget > 0 && done < max_batch {
             let cb = self.domains[dom].cb.clone();
             let index_base = self.domains[dom].index_base;
             let Ok(q) = cb.engine_queue(idx) else { break };
@@ -1465,5 +1480,112 @@ mod lifecycle_tests {
         // Both buffers completed: the application reclaims them.
         assert!(flipc.reclaim_send(&tx).unwrap().is_some());
         assert!(flipc.reclaim_send(&tx).unwrap().is_some());
+    }
+
+    /// `max_batch` caps how many frames one endpoint may transmit per
+    /// drain pass, independent of the (larger) global outgoing budget.
+    #[test]
+    fn max_batch_bounds_one_endpoints_drain_per_pass() {
+        let cfg = EngineConfig {
+            max_batch: 2,
+            outgoing_budget: 64,
+            ..EngineConfig::default()
+        };
+        let mut ports = fabric(2, 64).into_iter();
+        let cb = Arc::new(CommBuffer::new(Geometry::small()).unwrap());
+        let registry = WaitRegistry::new();
+        let flipc = Flipc::attach(cb.clone(), FlipcNodeId(0), registry.clone());
+        let mut engine = Engine::new(cb, Box::new(ports.next().unwrap()), registry, cfg);
+        let tx = flipc
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let dest = EndpointAddress::new(FlipcNodeId(1), EndpointIndex(0), 1);
+        for _ in 0..5 {
+            let t = flipc.buffer_allocate().unwrap();
+            flipc.send(&tx, t, dest).unwrap();
+        }
+        let sent = |engine: &Engine| engine.stats().sent.load(Ordering::Relaxed);
+        engine.iterate();
+        assert_eq!(sent(&engine), 2, "first pass capped at max_batch");
+        engine.iterate();
+        assert_eq!(sent(&engine), 4, "second pass takes the next batch");
+        engine.iterate();
+        assert_eq!(sent(&engine), 5, "third pass drains the remainder");
+    }
+
+    /// Every outgoing drain pass ends with exactly one
+    /// [`Transport::flush`] — the batch boundary a coalescing transport
+    /// keys on — and the flush comes after the pass's sends.
+    #[test]
+    fn every_drain_pass_ends_with_one_transport_flush() {
+        use flipc_core::sync::atomic::AtomicU32;
+
+        #[derive(Clone, Default)]
+        struct Tally {
+            sends: Arc<AtomicU32>,
+            flushes: Arc<AtomicU32>,
+            sends_seen_at_last_flush: Arc<AtomicU32>,
+        }
+        struct FlushCountingPort {
+            inner: Box<dyn Transport>,
+            tally: Tally,
+        }
+        impl Transport for FlushCountingPort {
+            fn try_send(&mut self, dst: FlipcNodeId, frame: &Frame) -> bool {
+                self.tally.sends.fetch_add(1, Ordering::Relaxed);
+                self.inner.try_send(dst, frame)
+            }
+            fn try_recv(&mut self) -> Option<Frame> {
+                self.inner.try_recv()
+            }
+            fn local_node(&self) -> FlipcNodeId {
+                self.inner.local_node()
+            }
+            fn flush(&mut self) {
+                self.tally.flushes.fetch_add(1, Ordering::Relaxed);
+                self.tally
+                    .sends_seen_at_last_flush
+                    .store(self.tally.sends.load(Ordering::Relaxed), Ordering::Relaxed);
+                self.inner.flush();
+            }
+        }
+
+        let tally = Tally::default();
+        let mut ports = fabric(2, 64).into_iter();
+        let cb = Arc::new(CommBuffer::new(Geometry::small()).unwrap());
+        let registry = WaitRegistry::new();
+        let flipc = Flipc::attach(cb.clone(), FlipcNodeId(0), registry.clone());
+        let mut engine = Engine::new(
+            cb,
+            Box::new(FlushCountingPort {
+                inner: Box::new(ports.next().unwrap()),
+                tally: tally.clone(),
+            }),
+            registry,
+            EngineConfig::default(),
+        );
+
+        let tx = flipc
+            .endpoint_allocate(EndpointType::Send, Importance::Normal)
+            .unwrap();
+        let dest = EndpointAddress::new(FlipcNodeId(1), EndpointIndex(0), 1);
+        for _ in 0..3 {
+            let t = flipc.buffer_allocate().unwrap();
+            flipc.send(&tx, t, dest).unwrap();
+        }
+        for i in 1..=4u32 {
+            engine.iterate();
+            assert_eq!(
+                tally.flushes.load(Ordering::Relaxed),
+                i,
+                "one batch boundary per pass, even with nothing to send"
+            );
+        }
+        assert_eq!(tally.sends.load(Ordering::Relaxed), 3);
+        assert_eq!(
+            tally.sends_seen_at_last_flush.load(Ordering::Relaxed),
+            3,
+            "the boundary flush trails the pass's sends"
+        );
     }
 }

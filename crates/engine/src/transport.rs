@@ -58,4 +58,12 @@ pub trait Transport: Send {
         let _ = dst;
         false
     }
+
+    /// Marks a batch boundary: the engine calls this once at the end of
+    /// every outgoing drain pass, after it has offered up to
+    /// `max_batch` frames per endpoint via [`Transport::try_send`]. A
+    /// coalescing transport transmits whatever it staged during the pass;
+    /// transports that send eagerly (the loopback fabric, an uncoalesced
+    /// wire) have nothing to do — the default is a no-op.
+    fn flush(&mut self) {}
 }

@@ -54,6 +54,8 @@ pub mod clock;
 pub mod demo;
 pub mod fault;
 pub mod link;
+#[cfg(all(feature = "mmsg", target_os = "linux"))]
+mod mmsg;
 pub mod packet;
 pub mod peers;
 pub mod reliability;

@@ -36,6 +36,23 @@ pub trait Link: Send {
     fn associate(&mut self, node: FlipcNodeId) {
         let _ = node;
     }
+
+    /// Fires a burst of datagrams toward `dst`, returning how many the
+    /// wire accepted. The default loops [`Link::send`] and stops at the
+    /// first refusal, so a fault injector wrapping the link still sees
+    /// (and can fault) each datagram individually; vectored links
+    /// ([`crate::udp::UdpLink`] under the `mmsg` feature) override this
+    /// to move the whole burst in one syscall.
+    fn send_batch(&mut self, dst: FlipcNodeId, datagrams: &[&[u8]]) -> usize {
+        let mut accepted = 0;
+        for d in datagrams {
+            if !self.send(dst, d) {
+                break;
+            }
+            accepted += 1;
+        }
+        accepted
+    }
 }
 
 /// Shared state of an in-memory datagram network: one bounded inbox per

@@ -12,17 +12,30 @@
 //! ```text
 //! magic:   u16  0xF11C
 //! version: u8   2
-//! kind:    u8   1 = Data, 2 = Ack, 3 = Ping
+//! kind:    u8   1 = Data, 2 = Ack, 3 = Ping, 4 = Batch
 //! src:     u16  FLIPC node id of the sender
 //! len:     u16  Data: byte length of the embedded frame
 //!               Ack: epoch of the data being acknowledged
 //!               Ping: 0
+//!               Batch: byte length of the sub-frame region
 //! seq:     u32  Data: path sequence number (first frame is 1)
 //!               Ack: cumulative ack — highest in-order sequence received
 //!               Ping: 0
+//!               Batch: sequence number of the first sub-frame
 //! epoch:   u16  the sender's current session epoch on this path
 //! check:   u32  FNV-1a of the whole datagram with this field zeroed
 //! ```
+//!
+//! A Batch datagram coalesces several consecutive Data frames into one
+//! MTU-bounded jumbo: the header is followed by sub-frames, each a
+//! `u16` little-endian byte length and then [`Frame::encode`] bytes.
+//! Sub-frame `i` carries sequence `seq + i`; the receiver fans the batch
+//! back out through the same per-sequence reliability/dedup window as
+//! plain Data, so a lost jumbo is just a contiguous sequence gap and
+//! go-back-N recovers it with individual Data retransmissions. The whole
+//! datagram shares one checksum: a corrupted sub-frame length (or any
+//! other flipped bit) rejects the entire datagram — at most that one
+//! datagram is dropped, never a desynchronized tail.
 //!
 //! The checksum is what keeps in-flight corruption out of the protocol:
 //! UDP's 16-bit checksum is optional and weak, and a flipped bit in the
@@ -64,6 +77,8 @@ const CHECK_OFFSET: usize = 14;
 /// enough to avoid IP fragmentation on loopback and most LANs with jumbo
 /// frames disabled being the only exception we accept.
 pub const MAX_DATAGRAM: usize = 9 * 1024;
+/// Byte length of the per-sub-frame length prefix inside a Batch.
+pub const SUBFRAME_PREFIX: usize = 2;
 
 /// One decoded `flipc-net` datagram.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -99,6 +114,18 @@ pub enum Packet {
         src: FlipcNodeId,
         /// The pinging node's session epoch.
         epoch: u16,
+    },
+    /// Several consecutive Data frames coalesced into one jumbo datagram.
+    Batch {
+        /// Sending node.
+        src: FlipcNodeId,
+        /// Sequence number of the first sub-frame; sub-frame `i` carries
+        /// `first_seq + i`.
+        first_seq: u32,
+        /// The sender's session epoch on this path.
+        epoch: u16,
+        /// The coalesced engine frames, in sequence order.
+        frames: Vec<Frame>,
     },
 }
 
@@ -151,6 +178,113 @@ pub fn encode_data(src: FlipcNodeId, seq: u32, epoch: u16, frame: &Frame) -> Opt
     out.extend_from_slice(&body);
     seal(&mut out);
     Some(out)
+}
+
+/// Incrementally packs consecutive pre-encoded frames into one sealed
+/// Batch datagram bounded by an MTU budget.
+///
+/// The builder owns one reusable buffer: pushes append in place, and
+/// [`BatchBuilder::finish`] seals the header + checksum without
+/// allocating, so the steady-state coalesce path stays allocation-free
+/// after warmup. Callers stage [`Frame::encode`] bytes (the body of the
+/// equivalent Data datagram) with the sequence the reliability layer
+/// assigned; the builder refuses — leaving its state untouched — any
+/// push that would cross the MTU bound or break sequence contiguity,
+/// which is the caller's cue to flush first.
+#[derive(Debug)]
+pub struct BatchBuilder {
+    /// Largest datagram this builder will assemble (header included).
+    mtu: usize,
+    /// Header placeholder followed by length-prefixed sub-frames.
+    buf: Vec<u8>,
+    /// Sequence of the first staged sub-frame (meaningful when nonempty).
+    first_seq: u32,
+    /// Number of staged sub-frames.
+    count: u32,
+}
+
+impl BatchBuilder {
+    /// A builder bounded by `mtu` bytes per datagram. The bound is
+    /// clamped into `[HEADER_LEN + SUBFRAME_PREFIX + 1, MAX_DATAGRAM]` so
+    /// a nonsensical MTU can never produce unencodable or oversized
+    /// datagrams.
+    pub fn new(mtu: usize) -> BatchBuilder {
+        let mtu = mtu.clamp(HEADER_LEN + SUBFRAME_PREFIX + 1, MAX_DATAGRAM);
+        let mut buf = Vec::with_capacity(mtu);
+        buf.resize(HEADER_LEN, 0);
+        BatchBuilder {
+            mtu,
+            buf,
+            first_seq: 0,
+            count: 0,
+        }
+    }
+
+    /// Number of sub-frames currently staged.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// True if a sub-frame of `encoded_len` bytes would fit in an *empty*
+    /// builder — i.e. whether this frame is batchable at all under the
+    /// MTU bound. Frames that fail this are sent as plain Data datagrams.
+    pub fn can_ever_hold(&self, encoded_len: usize) -> bool {
+        HEADER_LEN + SUBFRAME_PREFIX + encoded_len <= self.mtu
+    }
+
+    /// True if a sub-frame of `encoded_len` bytes fits right now.
+    pub fn fits(&self, encoded_len: usize) -> bool {
+        self.buf.len() + SUBFRAME_PREFIX + encoded_len <= self.mtu
+    }
+
+    /// Stages the pre-encoded frame carrying sequence `seq`. Returns
+    /// `false` — with the builder unchanged — when the frame would cross
+    /// the MTU bound, would break sequence contiguity, or is too long for
+    /// the `u16` prefix; the caller flushes and retries (or falls back to
+    /// a plain Data send for frames that can never fit).
+    pub fn push(&mut self, seq: u32, encoded_frame: &[u8]) -> bool {
+        if !self.fits(encoded_frame.len()) || encoded_frame.len() > u16::MAX as usize {
+            return false;
+        }
+        if self.count == 0 {
+            self.first_seq = seq;
+        } else if seq != self.first_seq.wrapping_add(self.count) {
+            return false;
+        }
+        self.buf
+            .extend_from_slice(&(encoded_frame.len() as u16).to_le_bytes());
+        self.buf.extend_from_slice(encoded_frame);
+        self.count += 1;
+        true
+    }
+
+    /// Seals the staged sub-frames into one Batch datagram and returns
+    /// its bytes (`None` when nothing is staged). The caller transmits
+    /// the slice and then calls [`BatchBuilder::clear`]; the buffer is
+    /// reused for the next batch.
+    pub fn finish(&mut self, src: FlipcNodeId, epoch: u16) -> Option<&[u8]> {
+        if self.count == 0 {
+            return None;
+        }
+        let body_len = (self.buf.len() - HEADER_LEN) as u16;
+        let h = header(4, src, body_len, self.first_seq, epoch);
+        self.buf[..HEADER_LEN].copy_from_slice(&h);
+        seal(&mut self.buf);
+        Some(&self.buf)
+    }
+
+    /// Discards the staged sub-frames, keeping the buffer's capacity.
+    /// `finish` rewrites the whole header, so the stale one needs no
+    /// scrubbing.
+    pub fn clear(&mut self) {
+        self.buf.truncate(HEADER_LEN);
+        self.count = 0;
+    }
 }
 
 /// Encodes a cumulative acknowledgement from `src` (whose own epoch is
@@ -218,6 +352,35 @@ pub fn decode(bytes: &[u8]) -> Option<Packet> {
                 return None;
             }
             Some(Packet::Ping { src, epoch })
+        }
+        4 => {
+            if bytes.len() - HEADER_LEN != len as usize {
+                return None;
+            }
+            let mut frames = Vec::new();
+            let mut off = HEADER_LEN;
+            while off < bytes.len() {
+                if off + SUBFRAME_PREFIX > bytes.len() {
+                    return None;
+                }
+                let flen =
+                    u16::from_le_bytes(bytes[off..off + SUBFRAME_PREFIX].try_into().ok()?) as usize;
+                let end = off + SUBFRAME_PREFIX + flen;
+                if end > bytes.len() {
+                    return None;
+                }
+                frames.push(Frame::decode(&bytes[off + SUBFRAME_PREFIX..end])?);
+                off = end;
+            }
+            if frames.is_empty() {
+                return None;
+            }
+            Some(Packet::Batch {
+                src,
+                first_seq: seq,
+                epoch,
+                frames,
+            })
         }
         _ => None,
     }
@@ -294,9 +457,10 @@ mod tests {
         let mut bad = good.clone();
         bad[2] = 1;
         assert!(decode(&bad).is_none());
-        // Unknown kind.
+        // Unknown kind — re-sealed so only the kind check can reject it.
         let mut bad = good.clone();
-        bad[3] = 4;
+        bad[3] = 9;
+        seal(&mut bad);
         assert!(decode(&bad).is_none());
         // Length disagreeing with the datagram.
         let mut bad = good.clone();
@@ -342,6 +506,104 @@ mod tests {
         let mut bytes = encode_ping(FlipcNodeId(0), 1);
         bytes[8] = 1;
         assert!(decode(&bytes).is_none());
+    }
+
+    /// Packs `frames` into one sealed batch via the builder (panics if
+    /// they do not all fit — tests size accordingly).
+    fn batch_of(first_seq: u32, epoch: u16, frames: &[Frame]) -> Vec<u8> {
+        let mut b = BatchBuilder::new(MAX_DATAGRAM);
+        for (i, f) in frames.iter().enumerate() {
+            assert!(b.push(first_seq.wrapping_add(i as u32), &f.encode()));
+        }
+        let out = b.finish(FlipcNodeId(3), epoch).unwrap().to_vec();
+        b.clear();
+        out
+    }
+
+    #[test]
+    fn batch_roundtrips() {
+        let frames = vec![frame(1), frame(2), frame(3)];
+        let bytes = batch_of(42, 5, &frames);
+        assert_eq!(
+            decode(&bytes).unwrap(),
+            Packet::Batch {
+                src: FlipcNodeId(3),
+                first_seq: 42,
+                epoch: 5,
+                frames,
+            }
+        );
+    }
+
+    #[test]
+    fn batch_builder_is_reusable_after_clear() {
+        let mut b = BatchBuilder::new(1_400);
+        assert!(b.push(1, &frame(1).encode()));
+        assert!(b.finish(FlipcNodeId(0), 1).is_some());
+        b.clear();
+        assert!(b.is_empty());
+        assert!(b.push(7, &frame(9).encode()));
+        let bytes = b.finish(FlipcNodeId(0), 2).unwrap().to_vec();
+        match decode(&bytes).unwrap() {
+            Packet::Batch {
+                first_seq, frames, ..
+            } => {
+                assert_eq!(first_seq, 7);
+                assert_eq!(frames, vec![frame(9)]);
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_builder_enforces_mtu_and_contiguity() {
+        // Each encoded frame is 16 (frame header) + 56 (payload) = 72
+        // bytes, 74 with the prefix; an MTU of HEADER_LEN + 2*74 holds
+        // exactly two.
+        let mtu = HEADER_LEN + 2 * (SUBFRAME_PREFIX + 72);
+        let mut b = BatchBuilder::new(mtu);
+        assert!(b.push(10, &frame(1).encode()));
+        assert!(b.push(11, &frame(2).encode()));
+        assert!(!b.push(12, &frame(3).encode()), "third frame crosses MTU");
+        assert_eq!(b.count(), 2);
+        let sealed = b.finish(FlipcNodeId(0), 1).unwrap();
+        assert!(sealed.len() <= mtu, "sealed batch respects the MTU bound");
+        b.clear();
+        // A sequence gap is refused: the staged run must stay contiguous.
+        assert!(b.push(20, &frame(4).encode()));
+        assert!(!b.push(22, &frame(5).encode()), "gap breaks contiguity");
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    fn empty_batches_are_rejected() {
+        let mut b = BatchBuilder::new(1_400);
+        assert!(b.finish(FlipcNodeId(0), 1).is_none(), "nothing staged");
+        // A hand-built kind-4 datagram with no sub-frames must not decode.
+        let mut bytes = header(4, FlipcNodeId(0), 0, 1, 1).to_vec();
+        seal(&mut bytes);
+        assert!(decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn batch_sub_frame_length_corruption_is_rejected_whole() {
+        let frames = vec![frame(1), frame(2)];
+        let good = batch_of(1, 1, &frames);
+        // Any single-byte flip — including the sub-frame length prefixes —
+        // fails the whole-datagram checksum: the decoder never walks a
+        // corrupted layout.
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0xFF;
+            assert!(decode(&bad).is_none(), "flip of byte {i} must reject");
+        }
+        // Even a forged checksum cannot make a straddling sub-frame
+        // deliver: inflate the first length prefix past the datagram end
+        // and re-seal, and the bounds check rejects it.
+        let mut forged = good.clone();
+        forged[HEADER_LEN..HEADER_LEN + SUBFRAME_PREFIX].copy_from_slice(&u16::MAX.to_le_bytes());
+        seal(&mut forged);
+        assert!(decode(&forged).is_none());
     }
 
     #[test]

@@ -85,6 +85,17 @@ pub struct NetConfig {
     pub initial_epoch: u16,
     /// Max datagrams drained from the wire per transport poll.
     pub recv_burst: usize,
+    /// Coalesce consecutive sends to one peer into MTU-bounded Batch
+    /// datagrams. First transmissions are staged per peer and flushed on
+    /// the batch boundary (`Transport::flush`, an MTU-full batch, or the
+    /// next poll); retransmissions always go out as plain per-frame Data
+    /// datagrams. Off by default: latency-first callers keep the
+    /// one-datagram-per-frame path.
+    pub coalesce: bool,
+    /// Largest coalesced datagram, bytes, header included. Clamped into
+    /// `[packet::HEADER_LEN + 3, packet::MAX_DATAGRAM]`; frames that can
+    /// never fit under the bound bypass coalescing as plain Data.
+    pub coalesce_mtu: usize,
 }
 
 impl Default for NetConfig {
@@ -101,6 +112,8 @@ impl Default for NetConfig {
             heartbeat_interval: 200_000,
             initial_epoch: 1,
             recv_burst: 128,
+            coalesce: false,
+            coalesce_mtu: 1_400,
         }
     }
 }

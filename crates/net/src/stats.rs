@@ -81,6 +81,15 @@ pub struct NetStats {
     /// Distribution of go-back-N burst sizes (frames re-sent per round).
     /// Same recorder discipline as `rto`.
     pub retransmit_burst: Histogram,
+    /// Coalesced Batch datagrams transmitted (one per flush with frames
+    /// staged).
+    pub batch_datagrams: OwnedCounter,
+    /// Sub-frames carried inside coalesced Batch datagrams.
+    pub batch_frames: OwnedCounter,
+    /// Distribution of sub-frames per transmitted Batch datagram. Same
+    /// recorder discipline as `rto`: the transport records one sample per
+    /// flush.
+    pub batch_size: Histogram,
     /// The failure detector's shared verdict table. The transport is the
     /// single writer; hand a clone to [`flipc_core::api::Flipc::set_liveness`]
     /// so the application interface fails sends to dead peers eagerly.
@@ -110,6 +119,9 @@ impl NetStats {
             epoch_resyncs: OwnedCounter::new(),
             rto: Histogram::new(),
             retransmit_burst: Histogram::new(),
+            batch_datagrams: OwnedCounter::new(),
+            batch_frames: OwnedCounter::new(),
+            batch_size: Histogram::new(),
             liveness: Arc::new(LivenessBoard::new(max_node)),
         })
     }
@@ -151,6 +163,9 @@ impl NetStats {
             epoch_resyncs: self.epoch_resyncs.read(),
             rto: self.rto.snapshot(),
             retransmit_burst: self.retransmit_burst.snapshot(),
+            batch_datagrams: self.batch_datagrams.read(),
+            batch_frames: self.batch_frames.read(),
+            batch_size: self.batch_size.snapshot(),
         }
     }
 }

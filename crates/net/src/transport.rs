@@ -48,7 +48,7 @@ use flipc_engine::wire::Frame;
 
 use crate::clock::{Clock, MonotonicClock};
 use crate::link::Link;
-use crate::packet::{self, Packet, MAX_DATAGRAM};
+use crate::packet::{self, BatchBuilder, Packet, HEADER_LEN, MAX_DATAGRAM};
 use crate::peers::NodeMap;
 use crate::reliability::{epoch_newer, LivenessTracker, NetConfig, ReceiverPath, SenderPath};
 use crate::stats::NetStats;
@@ -69,6 +69,9 @@ struct PeerState {
     remote_epoch: Option<u16>,
     /// The failure detector for this peer.
     liveness: LivenessTracker,
+    /// Staged first transmissions awaiting the next coalesce flush
+    /// (unused — always empty — when `NetConfig::coalesce` is off).
+    batch: BatchBuilder,
 }
 
 /// The UDP/datagram transport with its optimistic reliability layer.
@@ -129,6 +132,7 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
                     epoch: cfg.initial_epoch,
                     remote_epoch: None,
                     liveness: LivenessTracker::new(now),
+                    batch: BatchBuilder::new(cfg.coalesce_mtu),
                 })
                 .collect(),
             by_node,
@@ -191,8 +195,48 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
         for _ in 0..failed {
             self.stats.peers[i].failed.writer().increment();
         }
+        // Staged coalesced frames belong to the abandoned epoch (they are
+        // part of the ring just failed back); a flush after the bump would
+        // stamp them with the new epoch and corrupt the fresh sequence
+        // space.
+        self.peers[i].batch.clear();
         self.peers[i].epoch = self.peers[i].epoch.wrapping_add(1);
         self.publish_gauges(i);
+    }
+
+    /// Seals and transmits peer `i`'s staged batch, if any. A wire
+    /// refusal is charged per staged frame; the frames stay in the
+    /// retransmit ring and the timers recover them like ordinary loss.
+    fn flush_peer(&mut self, i: usize) {
+        if self.peers[i].batch.is_empty() {
+            return;
+        }
+        let dst = self.peers[i].node;
+        let local = self.local;
+        let epoch = self.peers[i].epoch;
+        let count = self.peers[i].batch.count();
+        let sent = match self.peers[i].batch.finish(local, epoch) {
+            Some(bytes) => self.link.send(dst, bytes),
+            None => false,
+        };
+        self.peers[i].batch.clear();
+        self.stats.batch_datagrams.writer().increment();
+        for _ in 0..count {
+            self.stats.batch_frames.writer().increment();
+        }
+        self.stats.batch_size.recorder().record(u64::from(count));
+        if !sent {
+            for _ in 0..count {
+                self.stats.peers[i].wire_dropped.writer().increment();
+            }
+        }
+    }
+
+    /// Flushes every peer's staged batch (no-op per peer when empty).
+    fn flush_all(&mut self) {
+        for i in 0..self.peers.len() {
+            self.flush_peer(i);
+        }
     }
 
     /// Classifies one arrival's epoch against what we know of peer `i`.
@@ -237,8 +281,11 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
     }
 
     /// Drains a bounded burst of datagrams from the link into the
-    /// reliability layer, then emits coalesced acks.
+    /// reliability layer, then emits coalesced acks. Staged send batches
+    /// are flushed first so a raw caller that only polls can never strand
+    /// coalesced frames waiting for an explicit [`Transport::flush`].
     fn pump(&mut self, now: u64) {
+        self.flush_all();
         for _ in 0..self.cfg.recv_burst {
             let Some(n) = self.link.recv(&mut self.recv_buf) else {
                 break;
@@ -320,6 +367,44 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
                     // The cumulative ack doubles as the pong.
                     self.peers[i].ack_due = true;
                 }
+                Some(Packet::Batch {
+                    src,
+                    first_seq,
+                    epoch,
+                    frames,
+                }) => {
+                    let Some(i) = self.peer_index(src) else {
+                        self.stats.unknown_peer.writer().increment();
+                        continue;
+                    };
+                    if !self.admit_epoch(i, epoch) {
+                        continue;
+                    }
+                    self.link.associate(src);
+                    self.heard(i, now);
+                    // Fan the jumbo back out: sub-frame k carries
+                    // first_seq + k, and each walks the same reliability/
+                    // dedup window as a plain Data arrival — a lost batch
+                    // is just a contiguous sequence gap to go-back-N.
+                    let peer = &mut self.peers[i];
+                    peer.ack_due = true;
+                    let st = &self.stats.peers[i];
+                    for (k, frame) in frames.into_iter().enumerate() {
+                        let out = peer
+                            .receiver
+                            .on_data(first_seq.wrapping_add(k as u32), frame);
+                        if out.duplicate {
+                            st.dup_dropped.writer().increment();
+                        }
+                        if out.out_of_window {
+                            st.out_of_window.writer().increment();
+                        }
+                        for f in out.delivered {
+                            st.delivered.writer().increment();
+                            self.ready.push_back(f);
+                        }
+                    }
+                }
             }
         }
         // One cumulative ack per peer that sent data this pump. Ack loss
@@ -355,11 +440,16 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
             let rto_fired = self.peers[i].sender.rto();
             let ring = self.peers[i].sender.poll_retransmit(now);
             let burst = ring.len() as u32;
-            for f in ring {
-                self.stats.peers[i].retransmitted.writer().increment();
-                self.link.send(dst, &f.bytes);
-            }
             if burst > 0 {
+                // Go-back-N re-sends the whole ring; hand it to the link
+                // as one burst so a vectored backend (`mmsg`) pays one
+                // syscall instead of one per frame. Refused tail frames
+                // stay in the ring and the next round recovers them.
+                let datagrams: Vec<&[u8]> = ring.iter().map(|f| f.bytes.as_slice()).collect();
+                self.link.send_batch(dst, &datagrams);
+                for _ in 0..burst {
+                    self.stats.peers[i].retransmitted.writer().increment();
+                }
                 self.rexmit_since_poll = self.rexmit_since_poll.saturating_add(burst);
                 self.stats.rto.recorder().record(rto_fired);
                 self.stats
@@ -412,6 +502,15 @@ impl<L: Link, C: Clock> Transport for NetTransport<L, C> {
         let now = self.clock.now();
         let local = self.local;
         let epoch = self.peers[i].epoch;
+        // Coalescing: decide the flush *before* admitting so the staged
+        // run stays sequence-contiguous — a frame that will not fit (or
+        // can never fit under the MTU bound) forces the pending batch out
+        // first, then is staged into the empty builder (or bypasses it as
+        // plain Data).
+        let batchable = self.cfg.coalesce && self.peers[i].batch.can_ever_hold(frame.wire_len());
+        if self.cfg.coalesce && !self.peers[i].batch.fits(frame.wire_len()) {
+            self.flush_peer(i);
+        }
         let peer = &mut self.peers[i];
         let Some(bytes) = peer
             .sender
@@ -421,17 +520,39 @@ impl<L: Link, C: Clock> Transport for NetTransport<L, C> {
             // FLIPC geometry makes impossible at runtime): backpressure.
             return false;
         };
-        let sent = self.link.send(dst, bytes);
         let st = &self.stats.peers[i];
         st.sent.writer().increment();
-        if !sent {
-            // The wire refused; the frame stays in the retransmit ring and
-            // the timer recovers it. Optimistic: the engine moves on.
-            st.wire_dropped.writer().increment();
+        if batchable {
+            // The admitted datagram's body (after the header) is exactly
+            // the `Frame::encode` bytes; its assigned sequence sits at
+            // header offset 8. Stage it; the flush boundary (MTU, the
+            // engine's end-of-drain flush, or the next pump) transmits.
+            let seq = u32::from_le_bytes(bytes[8..12].try_into().unwrap_or_default());
+            let staged = peer.batch.push(seq, &bytes[HEADER_LEN..]);
+            debug_assert!(staged, "pre-flushed builder must accept the frame");
+            if !staged {
+                // Defensive (unreachable): fall back to a plain send so
+                // the frame is never silently stranded in the ring.
+                if !self.link.send(dst, bytes) {
+                    st.wire_dropped.writer().increment();
+                }
+            }
+        } else {
+            let sent = self.link.send(dst, bytes);
+            if !sent {
+                // The wire refused; the frame stays in the retransmit ring
+                // and the timer recovers it. Optimistic: the engine moves
+                // on.
+                st.wire_dropped.writer().increment();
+            }
         }
         st.in_flight
             .store(self.peers[i].sender.in_flight(), Ordering::Relaxed);
         true
+    }
+
+    fn flush(&mut self) {
+        self.flush_all();
     }
 
     fn try_recv(&mut self) -> Option<Frame> {
@@ -930,6 +1051,195 @@ mod tests {
             cfg.rto
         );
         assert_eq!(s.paths[0].retransmitted, 0, "no spurious retransmits");
+    }
+
+    #[test]
+    fn coalesced_frames_flow_in_order_and_count_batches() {
+        let cfg = NetConfig {
+            coalesce: true,
+            window: 64,
+            ..NetConfig::default()
+        };
+        let (mut a, mut b, _clock) = mem_pair(cfg);
+        // A drain pass: many sends, one explicit batch-boundary flush
+        // (exactly what the engine does at the end of pump_outgoing).
+        for i in 0..20u8 {
+            assert!(a.try_send(FlipcNodeId(1), &frame(i)));
+        }
+        a.flush();
+        for i in 0..20u8 {
+            let f = loop {
+                if let Some(f) = b.try_recv() {
+                    break f;
+                }
+            };
+            assert_eq!(f.payload[0], i, "coalescing preserves order");
+        }
+        while a.try_recv().is_some() {}
+        let s = a.stats().snapshot();
+        assert_eq!(s.paths[0].sent, 20);
+        assert_eq!(s.batch_frames, 20, "every frame rode a batch");
+        assert!(
+            s.batch_datagrams >= 1 && s.batch_datagrams < 20,
+            "frames were actually coalesced, got {} datagrams",
+            s.batch_datagrams
+        );
+        assert_eq!(s.batch_size.sum, 20);
+        assert_eq!(s.paths[0].retransmitted, 0);
+        assert_eq!(s.paths[0].in_flight, 0, "acks drained the ring");
+        let sb = b.stats().snapshot();
+        assert_eq!(sb.paths[0].delivered, 20);
+        assert_eq!(sb.paths[0].dup_dropped, 0);
+    }
+
+    #[test]
+    fn pump_flushes_staged_batches_for_raw_pollers() {
+        let cfg = NetConfig {
+            coalesce: true,
+            ..NetConfig::default()
+        };
+        let (mut a, mut b, _clock) = mem_pair(cfg);
+        assert!(a.try_send(FlipcNodeId(1), &frame(7)));
+        // No explicit flush: a's own next poll must push the staged batch
+        // out, or a caller that only polls would strand it forever.
+        assert!(a.try_recv().is_none());
+        let f = loop {
+            if let Some(f) = b.try_recv() {
+                break f;
+            }
+        };
+        assert_eq!(f.payload[0], 7);
+        assert_eq!(a.stats().snapshot().batch_datagrams, 1);
+    }
+
+    #[test]
+    fn oversized_frames_bypass_the_coalescer_as_plain_data() {
+        let cfg = NetConfig {
+            coalesce: true,
+            // Tiny MTU: the builder can hold nothing but the smallest
+            // frames, so a 16-byte-payload frame must go out plain.
+            coalesce_mtu: packet::HEADER_LEN + packet::SUBFRAME_PREFIX + 1,
+            window: 8,
+            ..NetConfig::default()
+        };
+        let (mut a, mut b, _clock) = mem_pair(cfg);
+        for i in 0..4u8 {
+            assert!(a.try_send(FlipcNodeId(1), &frame(i)));
+        }
+        a.flush();
+        for i in 0..4u8 {
+            let f = loop {
+                if let Some(f) = b.try_recv() {
+                    break f;
+                }
+            };
+            assert_eq!(f.payload[0], i);
+        }
+        let s = a.stats().snapshot();
+        assert_eq!(s.batch_datagrams, 0, "nothing fit the batch");
+        assert_eq!(s.paths[0].sent, 4);
+    }
+
+    #[test]
+    fn faults_hit_coalesced_batches_at_datagram_granularity() {
+        // Satellite check: a jumbo is one datagram on the wire, so the
+        // fault injector loses ALL its sub-frames together (one `dropped`
+        // tick, not one per frame), and go-back-N recovers the whole gap.
+        use crate::fault::{FaultConfig, FaultInjector};
+        let cfg = NetConfig {
+            coalesce: true,
+            window: 16,
+            rto: 100,
+            rto_max: 400,
+            dead_strikes: u32::MAX,
+            heartbeat_interval: 0,
+            ..NetConfig::default()
+        };
+        let hub = MemHub::new(2, 4096);
+        let clock = ManualClock::new();
+        let mut a = NetTransport::new(
+            FlipcNodeId(0),
+            &[FlipcNodeId(1)],
+            FaultInjector::new(hub.link(FlipcNodeId(0)), FaultConfig::default(), 21),
+            clock.clone(),
+            cfg,
+        );
+        let mut b = NetTransport::new(
+            FlipcNodeId(1),
+            &[FlipcNodeId(0)],
+            hub.link(FlipcNodeId(1)),
+            clock.clone(),
+            cfg,
+        );
+        // Stage 4 frames into one batch, then lose exactly that datagram.
+        a.link_mut().set_config(FaultConfig::lossy(1.0));
+        for i in 0..4u8 {
+            assert!(a.try_send(FlipcNodeId(1), &frame(i)));
+        }
+        a.flush();
+        assert_eq!(
+            a.link_mut().fault_counts().dropped,
+            1,
+            "the jumbo is ONE datagram to the injector: all 4 sub-frames lost together"
+        );
+        assert!(b.try_recv().is_none(), "nothing crossed");
+        // Heal the wire; the retransmit timer recovers all 4 in order
+        // (as plain per-frame Data — retransmissions never re-coalesce).
+        a.link_mut().set_config(FaultConfig::default());
+        clock.advance(150);
+        assert!(a.try_recv().is_none());
+        for i in 0..4u8 {
+            let f = loop {
+                if let Some(f) = b.try_recv() {
+                    break f;
+                }
+            };
+            assert_eq!(
+                f.payload[0], i,
+                "go-back-N recovered the whole gap in order"
+            );
+        }
+        let s = a.stats().snapshot();
+        assert_eq!(s.batch_datagrams, 1);
+        assert_eq!(s.batch_frames, 4);
+        assert_eq!(s.paths[0].retransmitted, 4);
+    }
+
+    #[test]
+    fn epoch_reset_discards_staged_batch_frames() {
+        // An epoch reset mid-stage (dead declaration, forced resync) must
+        // not leak old-epoch sub-frames into the new sequence space: a
+        // flush after the bump would stamp them with the new epoch.
+        let cfg = NetConfig {
+            coalesce: true,
+            window: 8,
+            ..NetConfig::default()
+        };
+        let hub = MemHub::new(2, 4096);
+        let clock = ManualClock::new();
+        let mut a = NetTransport::new(
+            FlipcNodeId(0),
+            &[FlipcNodeId(1)],
+            hub.link(FlipcNodeId(0)),
+            clock.clone(),
+            cfg,
+        );
+        assert!(
+            a.try_send(FlipcNodeId(1), &frame(1)),
+            "stages into the batch"
+        );
+        a.reset_sender_path(0);
+        a.flush();
+        let s = a.stats().snapshot();
+        assert_eq!(
+            s.batch_datagrams, 0,
+            "the abandoned stage was cleared, not transmitted"
+        );
+        assert_eq!(
+            s.paths[0].failed, 1,
+            "staged frame failed back with the ring"
+        );
+        assert_eq!(s.paths[0].epoch, cfg.initial_epoch + 1);
     }
 
     #[test]

@@ -40,6 +40,9 @@
 //! | `flipc_net_epoch_resyncs_total` | counter | `node` |
 //! | `flipc_net_rto_ticks` | histogram | `node` |
 //! | `flipc_net_retransmit_burst` | histogram | `node` |
+//! | `flipc_net_batch_datagrams_total` | counter | `node` |
+//! | `flipc_net_batch_frames_total` | counter | `node` |
+//! | `flipc_net_batch_size` | histogram | `node` |
 //! | `flipc_workload_published_total` | counter | `workload`, `node` |
 //! | `flipc_workload_delivered_total` | counter | `workload`, `node` |
 //! | `flipc_workload_dropped_total` | counter | `workload`, `node` |
@@ -381,6 +384,24 @@ pub fn expose_transport(expo: &mut Exposition, snap: &TransportSnapshot) {
         "Frames re-sent per go-back-N retransmit round.",
         &node_l,
         &snap.retransmit_burst,
+    );
+    expo.counter(
+        "flipc_net_batch_datagrams_total",
+        "Coalesced Batch datagrams transmitted.",
+        &node_l,
+        u64::from(snap.batch_datagrams),
+    );
+    expo.counter(
+        "flipc_net_batch_frames_total",
+        "Sub-frames carried inside coalesced Batch datagrams.",
+        &node_l,
+        u64::from(snap.batch_frames),
+    );
+    expo.histogram(
+        "flipc_net_batch_size",
+        "Sub-frames per transmitted Batch datagram.",
+        &node_l,
+        &snap.batch_size,
     );
 }
 
@@ -896,6 +917,9 @@ mod tests {
             epoch_resyncs: 1,
             rto: HistogramSnapshot::empty(BUCKETS),
             retransmit_burst: HistogramSnapshot::empty(BUCKETS),
+            batch_datagrams: 3,
+            batch_frames: 12,
+            batch_size: HistogramSnapshot::empty(BUCKETS),
         };
         let mut e = Exposition::new();
         expose_engine(&mut e, 0, &snap);
@@ -919,6 +943,9 @@ mod tests {
             "flipc_net_decode_errors_total{node=\"0\"} 0",
             "flipc_net_epoch_resyncs_total{node=\"0\"} 1",
             "# TYPE flipc_net_retransmit_burst histogram",
+            "flipc_net_batch_datagrams_total{node=\"0\"} 3",
+            "flipc_net_batch_frames_total{node=\"0\"} 12",
+            "# TYPE flipc_net_batch_size histogram",
         ] {
             assert!(page.contains(needle), "missing {needle:?} in:\n{page}");
         }

@@ -59,6 +59,9 @@ fn page() -> String {
         epoch_resyncs: 1,
         rto: hist_of(&[2_000]),
         retransmit_burst: hist_of(&[2, 1]),
+        batch_datagrams: 2,
+        batch_frames: 5,
+        batch_size: hist_of(&[2, 3]),
     };
     let mut workload = WorkloadSnapshot::new("tiers", 1);
     workload.published = 42;
@@ -173,6 +176,18 @@ flipc_net_retransmit_burst_bucket{node=\"0\",le=\"3\"} 2
 flipc_net_retransmit_burst_bucket{node=\"0\",le=\"+Inf\"} 2
 flipc_net_retransmit_burst_sum{node=\"0\"} 3
 flipc_net_retransmit_burst_count{node=\"0\"} 2
+# HELP flipc_net_batch_datagrams_total Coalesced Batch datagrams transmitted.
+# TYPE flipc_net_batch_datagrams_total counter
+flipc_net_batch_datagrams_total{node=\"0\"} 2
+# HELP flipc_net_batch_frames_total Sub-frames carried inside coalesced Batch datagrams.
+# TYPE flipc_net_batch_frames_total counter
+flipc_net_batch_frames_total{node=\"0\"} 5
+# HELP flipc_net_batch_size Sub-frames per transmitted Batch datagram.
+# TYPE flipc_net_batch_size histogram
+flipc_net_batch_size_bucket{node=\"0\",le=\"3\"} 2
+flipc_net_batch_size_bucket{node=\"0\",le=\"+Inf\"} 2
+flipc_net_batch_size_sum{node=\"0\"} 5
+flipc_net_batch_size_count{node=\"0\"} 2
 # HELP flipc_workload_published_total Messages the application asked the workload to send.
 # TYPE flipc_workload_published_total counter
 flipc_workload_published_total{workload=\"tiers\",node=\"1\"} 42
