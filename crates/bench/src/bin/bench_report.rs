@@ -52,7 +52,8 @@ use flipc_net::{
     udp_transport, FaultConfig, FaultInjector, ManualClock, MemHub, NetConfig, NetTransport,
     NodeAddr, NodeMap,
 };
-use flipc_obs::trace_ring;
+use flipc_obs::merge::{merge, NodeInput};
+use flipc_obs::{trace_ring, TraceEvent};
 use flipc_workloads::{
     Broadcast, BroadcastConfig, LogConfig, ReplicatedLog, TierConfig, Tiered, TopicSpec,
 };
@@ -305,6 +306,22 @@ fn run_suite(quick: bool) -> Report {
         value: percentile(&udp_rtts, 0.5) as f64,
         p50: Some(percentile(&udp_rtts, 0.5) as f64),
         p99: Some(percentile(&udp_rtts, 0.99) as f64),
+        direction: Direction::LowerIsBetter,
+        gate: true,
+    });
+
+    // --- Cross-node chain latency through the merge pipeline: the same
+    // loopback-UDP node pair, but measured the way `flipc-top --cluster`
+    // measures a real cluster — each engine's trace ring drained per
+    // node, rebased by the transport's own wire-measured clock offset,
+    // and the send→deliver chains reconstructed by `obs::merge`.
+    let (chain_p50, chain_p99) = cross_node_chain_latency(warmup, iters.min(1000));
+    report.push(Metric {
+        name: "cross_node_chain_latency_p99_ns".into(),
+        unit: "ns".into(),
+        value: chain_p99,
+        p50: Some(chain_p50),
+        p99: Some(chain_p99),
         direction: Direction::LowerIsBetter,
         gate: true,
     });
@@ -828,6 +845,173 @@ fn udp_pingpong(warmup: usize, iters: usize) -> Vec<u64> {
     }
     rtts.sort_unstable();
     rtts
+}
+
+/// The same loopback-UDP engine pair as [`udp_pingpong`], observed the
+/// way the cluster plane observes real deployments: both engines record
+/// into trace rings, the transports measure their mutual clock offset on
+/// the heartbeat path (quiet windows between bursts let the ping
+/// exchange fire), and [`merge`] rebases node 1's events onto node 0's
+/// clock and reconstructs the cross-node send→deliver chains. Returns
+/// `(p50, p99)` of the merged chain latencies in ns.
+fn cross_node_chain_latency(warmup: usize, iters: usize) -> (f64, f64) {
+    struct Node {
+        app: Flipc,
+        engine: Engine,
+        tx: LocalEndpoint,
+        rx: LocalEndpoint,
+    }
+
+    let geo = Geometry {
+        ring_capacity: 32,
+        buffers: 128,
+        ..Geometry::small()
+    };
+    // Fast heartbeats (2 ms in the transport's µs ticks) so the clock
+    // exchange collects samples inside a bench-sized run.
+    let net = NetConfig {
+        heartbeat_interval: 2_000,
+        ..NetConfig::default()
+    };
+    let mut map0 = NodeMap::new();
+    map0.insert(
+        FlipcNodeId(0),
+        NodeAddr::Static(SocketAddr::from(([127, 0, 0, 1], 0))),
+    )
+    .insert(FlipcNodeId(1), NodeAddr::Dynamic);
+    let t0 = udp_transport(&map0, FlipcNodeId(0), net).expect("bind node 0");
+    let addr0 = t0.link().local_addr().expect("local addr");
+    let mut map1 = NodeMap::new();
+    map1.insert(FlipcNodeId(0), NodeAddr::Static(addr0)).insert(
+        FlipcNodeId(1),
+        NodeAddr::Static(SocketAddr::from(([127, 0, 0, 1], 0))),
+    );
+    let t1 = udp_transport(&map1, FlipcNodeId(1), net).expect("bind node 1");
+
+    let mut nodes = Vec::new();
+    let mut readers = Vec::new();
+    for (i, t) in [Box::new(t0), Box::new(t1)].into_iter().enumerate() {
+        let cb = Arc::new(CommBuffer::new(geo).expect("geometry"));
+        let registry = WaitRegistry::new();
+        let app = Flipc::attach(cb.clone(), FlipcNodeId(i as u16), registry.clone());
+        let mut engine = Engine::new(cb, t, registry, EngineConfig::default());
+        let (tw, tr) = trace_ring(4096);
+        engine.set_trace(tw);
+        readers.push(tr);
+        let tx = alloc(&app, EndpointType::Send);
+        let rx = alloc(&app, EndpointType::Receive);
+        nodes.push(Node {
+            app,
+            engine,
+            tx,
+            rx,
+        });
+    }
+    let mut a = nodes.pop().expect("node 1");
+    let mut b = nodes.pop().expect("node 0");
+    let to_b = b.app.address(&b.rx);
+    let to_a = a.app.address(&a.rx);
+
+    let mut events: [Vec<TraceEvent>; 2] = [Vec::new(), Vec::new()];
+    let mut lost = [0u64; 2];
+    let drain = |readers: &mut Vec<flipc_obs::TraceReader>,
+                 events: &mut [Vec<TraceEvent>; 2],
+                 lost: &mut [u64; 2]| {
+        for (i, r) in readers.iter_mut().enumerate() {
+            events[i].extend_from_slice(&r.drain());
+            lost[i] = r.lost();
+        }
+    };
+
+    for i in 0..warmup + iters {
+        for n in [&b, &a] {
+            let buf = n.app.buffer_allocate().expect("buffer");
+            n.app
+                .provide_receive_buffer(&n.rx, buf)
+                .map_err(|r| r.error)
+                .expect("provide");
+        }
+        let ping = a.app.buffer_allocate().expect("buffer");
+        a.app.send_unlocked(&a.tx, ping, to_b).expect("send");
+        let got = loop {
+            a.engine.iterate();
+            b.engine.iterate();
+            if let Some(got) = b.app.recv_unlocked(&b.rx).expect("recv") {
+                break got;
+            }
+        };
+        b.app.send_unlocked(&b.tx, got.token, to_a).expect("send");
+        let back = loop {
+            a.engine.iterate();
+            b.engine.iterate();
+            if let Some(back) = a.app.recv_unlocked(&a.rx).expect("recv") {
+                break back;
+            }
+        };
+        a.app.buffer_free(back.token);
+        for n in [&a, &b] {
+            while let Some(tok) = n.app.reclaim_send_unlocked(&n.tx).expect("reclaim") {
+                n.app.buffer_free(tok);
+            }
+        }
+        if i < warmup {
+            // Events from the warmup window would skew the merged p99.
+            drain(&mut readers, &mut events, &mut lost);
+            for e in &mut events {
+                e.clear();
+            }
+            // Quiet window between warmup rounds: the heartbeat path only
+            // probes an idle peer, so this is where the clock exchange
+            // collects its samples — before the measured burst, which
+            // must stay contiguous (a multi-ms idle gap inside the
+            // measured window would dominate the merged p99).
+            if i % 8 == 7 {
+                let until = Instant::now() + std::time::Duration::from_millis(5);
+                while Instant::now() < until {
+                    a.engine.iterate();
+                    b.engine.iterate();
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+            }
+        } else if i % 64 == 0 {
+            drain(&mut readers, &mut events, &mut lost);
+        }
+    }
+    drain(&mut readers, &mut events, &mut lost);
+
+    // Node 1's transport measured "node 0's clock minus mine" on the
+    // wire; that is exactly the rebase that maps its stamps onto the
+    // reference (node 0) clock. Zero samples (possible in ultra-short
+    // quick runs) degrades to offset 0 — same process, same epoch, so
+    // the true offset is 0 anyway.
+    let snap = a.engine.transport_snapshot().expect("node 1 snapshot");
+    let path = &snap.paths[0];
+    let [ev0, ev1] = events;
+    let merged = merge(&[
+        NodeInput {
+            node: 0,
+            offset_ns: 0,
+            dispersion_ns: 0,
+            events: ev0,
+            lost: lost[0],
+        },
+        NodeInput {
+            node: 1,
+            offset_ns: path.clock_offset_ns,
+            dispersion_ns: path.clock_dispersion_ns,
+            events: ev1,
+            lost: lost[1],
+        },
+    ]);
+    assert!(
+        merged.cross_chains.len() as u64 >= iters as u64,
+        "merge reconstructed {} cross-node chains from {} rounds",
+        merged.cross_chains.len(),
+        iters
+    );
+    let mut lat: Vec<u64> = merged.cross_chains.iter().map(|c| c.latency_ns).collect();
+    lat.sort_unstable();
+    (percentile(&lat, 0.5) as f64, percentile(&lat, 0.99) as f64)
 }
 
 /// Pushes `frames` frames through the reliability layer over a seeded

@@ -261,6 +261,17 @@ pub struct PathSnapshot {
     /// This node's current session epoch on the path (stamped into every
     /// outgoing datagram; bumped when the peer is declared dead).
     pub epoch: u16,
+    /// Estimated offset of the peer's trace clock relative to ours
+    /// (nanoseconds, signed: positive means the peer's clock reads ahead).
+    /// Zero until the first answered clock-sync heartbeat.
+    pub clock_offset_ns: i64,
+    /// Error bound on `clock_offset_ns` (nanoseconds): an EWMA of the
+    /// sample scatter plus half the round-trip delay, the classic NTP
+    /// bound on how wrong a symmetric-delay offset estimate can be.
+    pub clock_dispersion_ns: u64,
+    /// Clock-sync samples folded into the estimate this session epoch
+    /// (reset alongside the epoch, so a restarted peer re-learns).
+    pub clock_samples: u64,
 }
 
 /// Point-in-time state of a whole network transport: one [`PathSnapshot`]
@@ -330,6 +341,13 @@ impl TransportSnapshot {
                 p.rttvar,
                 p.rto
             );
+            if p.clock_samples > 0 {
+                let _ = writeln!(
+                    out,
+                    "peer {:<3} clock offset {}ns ±{}ns ({} samples)",
+                    p.peer.0, p.clock_offset_ns, p.clock_dispersion_ns, p.clock_samples
+                );
+            }
         }
         let rounds = self.retransmit_burst.count();
         if rounds > 0 {
@@ -465,6 +483,9 @@ mod tests {
                 rttvar: 30,
                 rto: 240,
                 epoch: 3,
+                clock_offset_ns: -2_500,
+                clock_dispersion_ns: 400,
+                clock_samples: 6,
             }],
             decode_errors: 5,
             unknown_peer: 0,
@@ -482,6 +503,10 @@ mod tests {
         assert!(text.contains("peer 1"));
         assert!(text.contains("[suspect e3]"), "{text}");
         assert!(text.contains("srtt 120"), "{text}");
+        assert!(
+            text.contains("clock offset -2500ns ±400ns (6 samples)"),
+            "{text}"
+        );
         assert!(
             !text.contains("retransmit rounds"),
             "quiet histograms stay unlisted:\n{text}"

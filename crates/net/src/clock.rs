@@ -16,6 +16,20 @@ use std::time::Instant;
 pub trait Clock: Send {
     /// Current time in ticks. Must never decrease.
     fn now(&mut self) -> u64;
+
+    /// Current time in the *trace* clock domain: the same
+    /// [`flipc_obs::now_ns`] nanosecond counter the engine stamps trace
+    /// events with. The clock-sync exchange ships these stamps on the
+    /// wire so two processes' trace timelines become comparable — they
+    /// must come from the domain the timelines are recorded in, not from
+    /// the transport tick counter (which starts at zero per transport).
+    ///
+    /// Deterministic clocks may override this to their tick counter so
+    /// tests stay reproducible; the estimator only ever looks at stamp
+    /// *differences*, so the unit is whatever the implementation says.
+    fn wall_ns(&mut self) -> u64 {
+        flipc_obs::now_ns()
+    }
 }
 
 /// Real time: microseconds since construction.
@@ -67,6 +81,13 @@ impl ManualClock {
 
 impl Clock for ManualClock {
     fn now(&mut self) -> u64 {
+        self.ticks.load(Ordering::Acquire)
+    }
+
+    /// The tick counter doubles as the wall clock: a deterministic test
+    /// must produce the same wire timestamps on every run, which the
+    /// process-wide [`flipc_obs::now_ns`] counter cannot.
+    fn wall_ns(&mut self) -> u64 {
         self.ticks.load(Ordering::Acquire)
     }
 }

@@ -14,8 +14,10 @@
 //! engine loop):
 //!
 //! * [`reliability`] — per-peer sequence numbers, a bounded go-back-N
-//!   retransmit ring with exponential backoff to a cap, and a
-//!   reorder/dedup window on the receive side;
+//!   retransmit ring with exponential backoff to a cap, a reorder/dedup
+//!   window on the receive side, and a per-peer [`ClockSync`] estimator
+//!   fed by the NTP-style four-timestamp heartbeat exchange, so two
+//!   processes' trace timelines become comparable;
 //! * [`packet`] — the versioned datagram header wrapped around the
 //!   engine's [`flipc_engine::wire::Frame`] encoding;
 //! * [`peers`] — the boot-time node map (node id → socket address, with
@@ -68,7 +70,7 @@ pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use fault::{FaultConfig, FaultCounts, FaultInjector};
 pub use link::{Link, MemHub, MemLink};
 pub use peers::{NodeAddr, NodeMap, NodeMapError};
-pub use reliability::NetConfig;
+pub use reliability::{ClockSync, NetConfig};
 pub use stats::NetStats;
 pub use transport::{udp_transport, NetTransport};
 pub use udp::UdpLink;

@@ -7,24 +7,37 @@
 //! and the sender's *session epoch*, and adds packet kinds for cumulative
 //! acknowledgements and idle-path heartbeats.
 //!
-//! Layout (little-endian), version 2:
+//! Layout (little-endian), version 3:
 //!
 //! ```text
 //! magic:   u16  0xF11C
-//! version: u8   2
-//! kind:    u8   1 = Data, 2 = Ack, 3 = Ping, 4 = Batch
+//! version: u8   3
+//! kind:    u8   1 = Data, 2 = Ack, 3 = Ping, 4 = Batch, 5 = Pong
 //! src:     u16  FLIPC node id of the sender
 //! len:     u16  Data: byte length of the embedded frame
 //!               Ack: epoch of the data being acknowledged
-//!               Ping: 0
+//!               Ping: 8 (the t1 timestamp payload)
 //!               Batch: byte length of the sub-frame region
+//!               Pong: 24 (the t1/t2/t3 timestamp payload)
 //! seq:     u32  Data: path sequence number (first frame is 1)
 //!               Ack: cumulative ack — highest in-order sequence received
-//!               Ping: 0
+//!               Ping / Pong: 0
 //!               Batch: sequence number of the first sub-frame
 //! epoch:   u16  the sender's current session epoch on this path
 //! check:   u32  FNV-1a of the whole datagram with this field zeroed
 //! ```
+//!
+//! Version 3 turns the idle-path heartbeat into an NTP-style
+//! four-timestamp clock-sync exchange: a Ping carries the pinger's send
+//! stamp `t1` (nanoseconds on its trace clock) as an 8-byte payload, and
+//! the receiver answers with a Pong echoing `t1` plus its own receive
+//! stamp `t2` and send stamp `t3` (24 bytes). The pinger notes its
+//! arrival stamp `t4` and feeds all four into a per-peer offset
+//! estimator (see [`crate::reliability::ClockSync`]). The timestamps ride
+//! the heartbeat *payload* rather than the common header deliberately:
+//! Data and Batch datagrams — the hot path — pay zero extra bytes, at
+//! the cost of sync samples arriving only at the heartbeat cadence
+//! (plenty: offsets drift slowly).
 //!
 //! A Batch datagram coalesces several consecutive Data frames into one
 //! MTU-bounded jumbo: the header is followed by sub-frames, each a
@@ -66,8 +79,14 @@ use flipc_engine::wire::Frame;
 /// First two bytes of every `flipc-net` datagram.
 pub const MAGIC: u16 = 0xF11C;
 /// Wire protocol version this build speaks (2 added the session epoch and
-/// the Ping heartbeat kind).
-pub const VERSION: u8 = 2;
+/// the Ping heartbeat kind; 3 added the clock-sync timestamps on
+/// Ping/Pong). Mixed versions on one path reject each other's datagrams —
+/// both ends upgrade together, as with any header change.
+pub const VERSION: u8 = 3;
+/// Byte length of a Ping's timestamp payload (`t1`).
+pub const PING_BODY: usize = 8;
+/// Byte length of a Pong's timestamp payload (`t1`, `t2`, `t3`).
+pub const PONG_BODY: usize = 24;
 /// Byte length of the packet header.
 pub const HEADER_LEN: usize = 18;
 /// Byte offset of the checksum field within the header.
@@ -108,12 +127,15 @@ pub enum Packet {
         acked_epoch: u16,
     },
     /// An idle-path heartbeat; any valid reply (the receiver answers with
-    /// an ack) proves the peer alive.
+    /// an ack and a [`Packet::Pong`]) proves the peer alive, and the
+    /// carried stamp starts a clock-sync sample.
     Ping {
         /// Pinging node.
         src: FlipcNodeId,
         /// The pinging node's session epoch.
         epoch: u16,
+        /// The pinger's trace-clock send stamp (nanoseconds).
+        t1: u64,
     },
     /// Several consecutive Data frames coalesced into one jumbo datagram.
     Batch {
@@ -126,6 +148,23 @@ pub enum Packet {
         epoch: u16,
         /// The coalesced engine frames, in sequence order.
         frames: Vec<Frame>,
+    },
+    /// The clock-sync reply to a [`Packet::Ping`]: echoes the pinger's
+    /// send stamp and adds this node's receive and send stamps, completing
+    /// three of the four NTP timestamps (the pinger supplies `t4` on
+    /// arrival).
+    Pong {
+        /// Replying node.
+        src: FlipcNodeId,
+        /// The replying node's session epoch.
+        epoch: u16,
+        /// The pinger's send stamp, echoed verbatim (the pinger matches it
+        /// against its outstanding probe — Karn-style rejection).
+        t1: u64,
+        /// The replier's trace-clock stamp when the ping arrived.
+        t2: u64,
+        /// The replier's trace-clock stamp when this pong was sent.
+        t3: u64,
     },
 }
 
@@ -295,9 +334,25 @@ pub fn encode_ack(src: FlipcNodeId, cumulative: u32, epoch: u16, acked_epoch: u1
     out
 }
 
-/// Encodes an idle-path heartbeat from `src` at session epoch `epoch`.
-pub fn encode_ping(src: FlipcNodeId, epoch: u16) -> Vec<u8> {
-    let mut out = header(3, src, 0, 0, epoch).to_vec();
+/// Encodes an idle-path heartbeat from `src` at session epoch `epoch`,
+/// carrying the pinger's trace-clock send stamp `t1`.
+pub fn encode_ping(src: FlipcNodeId, epoch: u16, t1: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + PING_BODY);
+    out.extend_from_slice(&header(3, src, PING_BODY as u16, 0, epoch));
+    out.extend_from_slice(&t1.to_le_bytes());
+    seal(&mut out);
+    out
+}
+
+/// Encodes the clock-sync reply from `src` at session epoch `epoch`:
+/// the pinger's stamp `t1` echoed back plus this node's receive stamp
+/// `t2` and send stamp `t3`.
+pub fn encode_pong(src: FlipcNodeId, epoch: u16, t1: u64, t2: u64, t3: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + PONG_BODY);
+    out.extend_from_slice(&header(5, src, PONG_BODY as u16, 0, epoch));
+    out.extend_from_slice(&t1.to_le_bytes());
+    out.extend_from_slice(&t2.to_le_bytes());
+    out.extend_from_slice(&t3.to_le_bytes());
     seal(&mut out);
     out
 }
@@ -348,10 +403,11 @@ pub fn decode(bytes: &[u8]) -> Option<Packet> {
             })
         }
         3 => {
-            if len != 0 || seq != 0 || bytes.len() != HEADER_LEN {
+            if len as usize != PING_BODY || seq != 0 || bytes.len() != HEADER_LEN + PING_BODY {
                 return None;
             }
-            Some(Packet::Ping { src, epoch })
+            let t1 = u64::from_le_bytes(bytes[HEADER_LEN..HEADER_LEN + 8].try_into().ok()?);
+            Some(Packet::Ping { src, epoch, t1 })
         }
         4 => {
             if bytes.len() - HEADER_LEN != len as usize {
@@ -380,6 +436,21 @@ pub fn decode(bytes: &[u8]) -> Option<Packet> {
                 first_seq: seq,
                 epoch,
                 frames,
+            })
+        }
+        5 => {
+            if len as usize != PONG_BODY || seq != 0 || bytes.len() != HEADER_LEN + PONG_BODY {
+                return None;
+            }
+            let t1 = u64::from_le_bytes(bytes[HEADER_LEN..HEADER_LEN + 8].try_into().ok()?);
+            let t2 = u64::from_le_bytes(bytes[HEADER_LEN + 8..HEADER_LEN + 16].try_into().ok()?);
+            let t3 = u64::from_le_bytes(bytes[HEADER_LEN + 16..HEADER_LEN + 24].try_into().ok()?);
+            Some(Packet::Pong {
+                src,
+                epoch,
+                t1,
+                t2,
+                t3,
             })
         }
         _ => None,
@@ -431,12 +502,28 @@ mod tests {
 
     #[test]
     fn ping_roundtrips() {
-        let bytes = encode_ping(FlipcNodeId(2), 8);
+        let bytes = encode_ping(FlipcNodeId(2), 8, 0xDEAD_BEEF_1234_5678);
         assert_eq!(
             decode(&bytes).unwrap(),
             Packet::Ping {
                 src: FlipcNodeId(2),
-                epoch: 8
+                epoch: 8,
+                t1: 0xDEAD_BEEF_1234_5678,
+            }
+        );
+    }
+
+    #[test]
+    fn pong_roundtrips_all_three_stamps() {
+        let bytes = encode_pong(FlipcNodeId(5), 3, u64::MAX, 0, 42);
+        assert_eq!(
+            decode(&bytes).unwrap(),
+            Packet::Pong {
+                src: FlipcNodeId(5),
+                epoch: 3,
+                t1: u64::MAX,
+                t2: 0,
+                t3: 42,
             }
         );
     }
@@ -450,13 +537,16 @@ mod tests {
         let mut bad = good.clone();
         bad[0] ^= 0xFF;
         assert!(decode(&bad).is_none());
-        // Wrong version — including the epoch-less version 1.
+        // Wrong version — including the epoch-less version 1 and the
+        // clock-sync-less version 2.
         let mut bad = good.clone();
         bad[2] = VERSION + 1;
         assert!(decode(&bad).is_none());
-        let mut bad = good.clone();
-        bad[2] = 1;
-        assert!(decode(&bad).is_none());
+        for old in [1u8, 2] {
+            let mut bad = good.clone();
+            bad[2] = old;
+            assert!(decode(&bad).is_none());
+        }
         // Unknown kind — re-sealed so only the kind check can reject it.
         let mut bad = good.clone();
         bad[3] = 9;
@@ -498,13 +588,26 @@ mod tests {
     }
 
     #[test]
-    fn ping_with_payload_is_rejected() {
-        let mut bytes = encode_ping(FlipcNodeId(0), 1);
+    fn ping_with_wrong_payload_is_rejected() {
+        // A trailing byte beyond the 8-byte t1 payload is malformed even
+        // when re-sealed: the len field must agree with the datagram.
+        let mut bytes = encode_ping(FlipcNodeId(0), 1, 7);
         bytes.push(0);
+        seal(&mut bytes);
         assert!(decode(&bytes).is_none());
         // A ping whose seq field is nonzero is malformed too.
-        let mut bytes = encode_ping(FlipcNodeId(0), 1);
+        let mut bytes = encode_ping(FlipcNodeId(0), 1, 7);
         bytes[8] = 1;
+        seal(&mut bytes);
+        assert!(decode(&bytes).is_none());
+        // Same discipline for pongs: truncated or padded payloads reject.
+        let mut bytes = encode_pong(FlipcNodeId(0), 1, 1, 2, 3);
+        bytes.pop();
+        seal(&mut bytes);
+        assert!(decode(&bytes).is_none());
+        let mut bytes = encode_pong(FlipcNodeId(0), 1, 1, 2, 3);
+        bytes.push(0);
+        seal(&mut bytes);
         assert!(decode(&bytes).is_none());
     }
 

@@ -580,6 +580,141 @@ impl LivenessTracker {
     }
 }
 
+/// NTP-style per-peer clock-offset estimator fed by the heartbeat
+/// exchange.
+///
+/// The transport stamps each outgoing Ping with its trace-clock send time
+/// `t1` ([`crate::clock::Clock::wall_ns`]); the peer answers with a Pong
+/// echoing `t1` plus its own receive stamp `t2` and send stamp `t3`; the
+/// transport notes arrival time `t4` and feeds all four here. From one
+/// exchange:
+///
+/// ```text
+/// offset sample = ((t2 − t1) + (t3 − t4)) / 2   (peer clock minus ours)
+/// delay         = (t4 − t1) − (t3 − t2)          (round trip minus remote hold)
+/// ```
+///
+/// The sample's unknowable error is bounded by `delay / 2` (the true
+/// offset lies anywhere inside the path asymmetry), so the estimator
+/// smooths samples with the same integer EWMA gains as [`RttEstimator`]
+/// and folds `delay / 2` plus the innovation into a *dispersion* bound —
+/// the error bar the timeline merge propagates onto cross-node latencies.
+///
+/// Karn-style rejection: a pong is accepted only when its echoed `t1`
+/// matches the one outstanding probe, and accepting (or re-probing)
+/// consumes it — a duplicated, delayed, or retransmit-ambiguous reply can
+/// never corrupt the estimate. [`ClockSync::reset`] forgets the pending
+/// probe across epoch resyncs (a restarted peer answers old probes with a
+/// new clock).
+///
+/// All arithmetic is wrapping-then-widening (`u64` wrapping subtraction
+/// reinterpreted as `i64`, accumulated in `i128`), so stamps near the
+/// `u64` wrap point produce correct small differences instead of panics
+/// or absurd offsets.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClockSync {
+    /// Smoothed offset estimate: peer trace clock minus ours, ns.
+    offset: i64,
+    /// Smoothed error bound on the offset, ns.
+    dispersion: u64,
+    /// Accepted samples.
+    samples: u64,
+    /// The `t1` of the one outstanding probe (Karn matching).
+    pending: Option<u64>,
+}
+
+/// Signed difference `a − b` under `u64` wraparound (exact whenever the
+/// true difference fits in an `i64`, which trace stamps always do).
+#[inline]
+fn wrap_diff(a: u64, b: u64) -> i64 {
+    a.wrapping_sub(b) as i64
+}
+
+impl ClockSync {
+    /// An estimator with no samples and no outstanding probe.
+    pub fn new() -> ClockSync {
+        ClockSync::default()
+    }
+
+    /// Notes that a probe stamped `t1` just went on the wire. Overwrites
+    /// any previous pending probe: its reply would be ambiguous (was it
+    /// answering the old stamp or a duplicate?), so it is invalidated —
+    /// the Karn discipline under retransmitted/repeated heartbeats.
+    pub fn probe_sent(&mut self, t1: u64) {
+        self.pending = Some(t1);
+    }
+
+    /// Feeds one completed exchange. Returns `true` when the sample was
+    /// accepted; a pong whose `t1` matches no outstanding probe (stale,
+    /// duplicated, or forged) is rejected without touching the estimate.
+    pub fn on_pong(&mut self, t1: u64, t2: u64, t3: u64, t4: u64) -> bool {
+        if self.pending != Some(t1) {
+            return false;
+        }
+        self.pending = None;
+        let delay = i128::from(wrap_diff(t4, t1)) - i128::from(wrap_diff(t3, t2));
+        if delay < 0 {
+            // A monotone clock cannot produce this; the stamps are
+            // damaged (or wrapped mid-exchange). Drop the sample.
+            return false;
+        }
+        let sample = (i128::from(wrap_diff(t2, t1)) + i128::from(wrap_diff(t3, t4))) / 2;
+        let sample = clamp_i64(sample);
+        let half_delay = clamp_u64(delay.unsigned_abs() / 2);
+        if self.samples == 0 {
+            self.offset = sample;
+            self.dispersion = half_delay;
+        } else {
+            // Same integer gains as RFC 6298: the innovation feeds the
+            // error bound (3/4 old + 1/4 new evidence), the sample feeds
+            // the offset (7/8 old + 1/8 new).
+            let err = clamp_u64((i128::from(self.offset) - i128::from(sample)).unsigned_abs());
+            self.dispersion = self
+                .dispersion
+                .saturating_mul(3)
+                .saturating_add(err)
+                .saturating_add(half_delay)
+                / 4;
+            self.offset = clamp_i64((i128::from(self.offset) * 7 + i128::from(sample)) / 8);
+        }
+        self.samples = self.samples.saturating_add(1);
+        true
+    }
+
+    /// Forgets the outstanding probe and the whole estimate — the path
+    /// resynchronized onto a new session epoch, so the peer may be a new
+    /// incarnation with an unrelated clock.
+    pub fn reset(&mut self) {
+        *self = ClockSync::new();
+    }
+
+    /// Smoothed offset estimate: peer trace clock minus ours, ns
+    /// (0 until the first sample).
+    pub fn offset_ns(&self) -> i64 {
+        self.offset
+    }
+
+    /// Smoothed error bound on the offset, ns.
+    pub fn dispersion_ns(&self) -> u64 {
+        self.dispersion
+    }
+
+    /// Accepted samples so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[inline]
+fn clamp_i64(v: i128) -> i64 {
+    v.clamp(i128::from(i64::MIN), i128::from(i64::MAX)) as i64
+}
+
+#[inline]
+fn clamp_u64(v: u128) -> u64 {
+    v.min(u128::from(u64::MAX)) as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -874,6 +1009,78 @@ mod tests {
         t.on_heard(110, true);
         assert!(t.heartbeat_due(400, &cfg));
         assert_eq!(t.state(), PeerLiveness::Healthy);
+    }
+
+    #[test]
+    fn clock_sync_estimates_a_symmetric_offset_exactly() {
+        let mut c = ClockSync::new();
+        assert_eq!(c.offset_ns(), 0);
+        assert_eq!(c.samples(), 0);
+        // Peer clock runs 1_000_000 ns ahead; 200 ns each way on the wire,
+        // 50 ns remote hold. One exchange nails the offset (symmetric
+        // path ⇒ zero systematic error).
+        let t1 = 10_000;
+        let t2 = t1 + 200 + 1_000_000;
+        let t3 = t2 + 50;
+        let t4 = t1 + 200 + 50 + 200;
+        c.probe_sent(t1);
+        assert!(c.on_pong(t1, t2, t3, t4));
+        assert_eq!(c.offset_ns(), 1_000_000);
+        assert_eq!(c.dispersion_ns(), 200, "half the 400 ns round trip");
+        assert_eq!(c.samples(), 1);
+    }
+
+    #[test]
+    fn clock_sync_rejects_unmatched_and_consumed_probes() {
+        let mut c = ClockSync::new();
+        // No probe outstanding: any pong is stale or forged.
+        assert!(!c.on_pong(1, 2, 3, 4));
+        c.probe_sent(100);
+        // Echoed t1 does not match the outstanding probe.
+        assert!(!c.on_pong(99, 200, 210, 300));
+        // A re-probe invalidates the earlier stamp (Karn): its late reply
+        // must not be accepted even though it once was legitimate.
+        c.probe_sent(500);
+        assert!(!c.on_pong(100, 200, 210, 300));
+        // The matching reply is accepted exactly once.
+        assert!(c.on_pong(500, 600, 610, 720));
+        assert!(!c.on_pong(500, 600, 610, 720), "duplicate pong rejected");
+        assert_eq!(c.samples(), 1);
+    }
+
+    #[test]
+    fn clock_sync_survives_wraparound_and_rejects_negative_delay() {
+        let mut c = ClockSync::new();
+        // Stamps straddling the u64 wrap: our clock is just below MAX, the
+        // peer's just past zero. True offset is +100, delay 40.
+        let t1 = u64::MAX - 10;
+        let t2 = t1.wrapping_add(20 + 100);
+        let t3 = t2.wrapping_add(5);
+        let t4 = t1.wrapping_add(45);
+        c.probe_sent(t1);
+        assert!(c.on_pong(t1, t2, t3, t4));
+        assert_eq!(c.offset_ns(), 100);
+        assert_eq!(c.dispersion_ns(), 20);
+        // Damaged stamps implying a negative delay are dropped.
+        c.probe_sent(1_000);
+        assert!(!c.on_pong(1_000, 5_000, 9_000, 1_500));
+        assert_eq!(c.samples(), 1);
+    }
+
+    #[test]
+    fn clock_sync_reset_forgets_estimate_and_pending_probe() {
+        let mut c = ClockSync::new();
+        c.probe_sent(10);
+        assert!(c.on_pong(10, 1_010, 1_020, 40));
+        c.probe_sent(2_000);
+        c.reset();
+        assert_eq!(c.offset_ns(), 0);
+        assert_eq!(c.dispersion_ns(), 0);
+        assert_eq!(c.samples(), 0);
+        assert!(
+            !c.on_pong(2_000, 3_000, 3_010, 2_100),
+            "probes from before the resync answer a dead incarnation"
+        );
     }
 
     #[test]

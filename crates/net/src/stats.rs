@@ -59,6 +59,18 @@ pub struct PeerStats {
     pub rto_cur: AtomicU64,
     /// Gauge: this node's current session epoch on the path.
     pub epoch: AtomicU32,
+    /// Gauge: estimated offset of the peer's trace clock relative to
+    /// ours (nanoseconds, signed — stored as the `i64` two's-complement
+    /// bit pattern; readers cast back). Fed by the heartbeat clock-sync
+    /// exchange ([`crate::reliability::ClockSync`]).
+    pub clock_offset: AtomicU64,
+    /// Gauge: dispersion (error bound) on the clock offset estimate,
+    /// nanoseconds.
+    pub clock_dispersion: AtomicU64,
+    /// Gauge: clock-sync samples folded into the estimate this epoch
+    /// (zero until the first answered heartbeat, and again after an
+    /// epoch resync forgets the estimate).
+    pub clock_samples: AtomicU64,
 }
 
 /// All of one transport's counters, shared with inspectors via `Arc`.
@@ -156,6 +168,9 @@ impl NetStats {
                     rttvar: p.rttvar.load(Ordering::Relaxed),
                     rto: p.rto_cur.load(Ordering::Relaxed),
                     epoch: p.epoch.load(Ordering::Relaxed) as u16,
+                    clock_offset_ns: p.clock_offset.load(Ordering::Relaxed) as i64,
+                    clock_dispersion_ns: p.clock_dispersion.load(Ordering::Relaxed),
+                    clock_samples: p.clock_samples.load(Ordering::Relaxed),
                 })
                 .collect(),
             decode_errors: self.decode_errors.read(),
@@ -211,6 +226,10 @@ mod tests {
         p.rttvar.store(40, Ordering::Relaxed);
         p.rto_cur.store(310, Ordering::Relaxed);
         p.epoch.store(7, Ordering::Relaxed);
+        // The offset gauge stores the signed value's bit pattern.
+        p.clock_offset.store((-1_500_i64) as u64, Ordering::Relaxed);
+        p.clock_dispersion.store(250, Ordering::Relaxed);
+        p.clock_samples.store(4, Ordering::Relaxed);
         stats.epoch_resyncs.writer().increment();
         stats.liveness.set(FlipcNodeId(1), PeerLiveness::Dead);
 
@@ -223,6 +242,9 @@ mod tests {
         assert_eq!(path.rttvar, 40);
         assert_eq!(path.rto, 310);
         assert_eq!(path.epoch, 7);
+        assert_eq!(path.clock_offset_ns, -1_500, "bit pattern casts back");
+        assert_eq!(path.clock_dispersion_ns, 250);
+        assert_eq!(path.clock_samples, 4);
         assert_eq!(path.liveness, PeerLiveness::Dead);
         assert_eq!(s.epoch_resyncs, 1);
         assert!(s.render().contains("[dead e7]"));

@@ -50,7 +50,9 @@ use crate::clock::{Clock, MonotonicClock};
 use crate::link::Link;
 use crate::packet::{self, BatchBuilder, Packet, HEADER_LEN, MAX_DATAGRAM};
 use crate::peers::NodeMap;
-use crate::reliability::{epoch_newer, LivenessTracker, NetConfig, ReceiverPath, SenderPath};
+use crate::reliability::{
+    epoch_newer, ClockSync, LivenessTracker, NetConfig, ReceiverPath, SenderPath,
+};
 use crate::stats::NetStats;
 use crate::udp::UdpLink;
 
@@ -72,6 +74,9 @@ struct PeerState {
     /// Staged first transmissions awaiting the next coalesce flush
     /// (unused — always empty — when `NetConfig::coalesce` is off).
     batch: BatchBuilder,
+    /// NTP-style offset/dispersion estimate of the peer's trace clock,
+    /// fed by the heartbeat ping/pong exchange ([`crate::packet`] v3).
+    clock: ClockSync,
 }
 
 /// The UDP/datagram transport with its optimistic reliability layer.
@@ -133,6 +138,7 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
                     remote_epoch: None,
                     liveness: LivenessTracker::new(now),
                     batch: BatchBuilder::new(cfg.coalesce_mtu),
+                    clock: ClockSync::new(),
                 })
                 .collect(),
             by_node,
@@ -186,6 +192,20 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
             .store(u32::from(self.peers[i].epoch), Ordering::Relaxed);
     }
 
+    /// Mirrors the clock-sync estimate for peer `i` into the plain-store
+    /// gauges. The signed offset is stored as its two's-complement bit
+    /// pattern (`i64 as u64`); [`crate::stats::NetStats::snapshot`] casts
+    /// it back.
+    fn publish_clock(&self, i: usize) {
+        let st = &self.stats.peers[i];
+        let c = &self.peers[i].clock;
+        st.clock_offset
+            .store(c.offset_ns() as u64, Ordering::Relaxed);
+        st.clock_dispersion
+            .store(c.dispersion_ns(), Ordering::Relaxed);
+        st.clock_samples.store(c.samples(), Ordering::Relaxed);
+    }
+
     /// Abandons our send direction toward peer `i`: fails everything in
     /// the retransmit ring back to the drop accounting, restarts the
     /// sequence space, and bumps our epoch so the peer's receiver resyncs
@@ -201,7 +221,11 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
         // space.
         self.peers[i].batch.clear();
         self.peers[i].epoch = self.peers[i].epoch.wrapping_add(1);
+        // The estimate (and any outstanding probe) belonged to the
+        // abandoned session; the next incarnation re-learns from scratch.
+        self.peers[i].clock.reset();
         self.publish_gauges(i);
+        self.publish_clock(i);
     }
 
     /// Seals and transmits peer `i`'s staged batch, if any. A wire
@@ -256,6 +280,11 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
                 self.peers[i].receiver.reset();
                 self.peers[i].remote_epoch = Some(remote);
                 self.stats.epoch_resyncs.writer().increment();
+                // A restarted incarnation may run on a different clock
+                // (new process, new `now_ns` origin): forget the estimate
+                // even when our send direction has nothing to reset.
+                self.peers[i].clock.reset();
+                self.publish_clock(i);
                 if self.peers[i].sender.has_history() {
                     self.reset_sender_path(i);
                 }
@@ -354,7 +383,11 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
                         self.stats.peers[i].stale_epoch.writer().increment();
                     }
                 }
-                Some(Packet::Ping { src, epoch }) => {
+                Some(Packet::Ping { src, epoch, t1 }) => {
+                    // Receive stamp for the clock-sync exchange, taken
+                    // before any processing so work done in this pump does
+                    // not inflate the apparent one-way delay.
+                    let t2 = self.clock.wall_ns();
                     let Some(i) = self.peer_index(src) else {
                         self.stats.unknown_peer.writer().increment();
                         continue;
@@ -364,8 +397,38 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
                     }
                     self.link.associate(src);
                     self.heard(i, now);
-                    // The cumulative ack doubles as the pong.
+                    // The cumulative ack still answers the liveness probe;
+                    // the pong carries the clock-sync stamps back (t1
+                    // echoed for Karn matching, plus our receive and
+                    // transmit times).
                     self.peers[i].ack_due = true;
+                    let t3 = self.clock.wall_ns();
+                    let pong = packet::encode_pong(self.local, self.peers[i].epoch, t1, t2, t3);
+                    self.link.send(src, &pong);
+                }
+                Some(Packet::Pong {
+                    src,
+                    epoch,
+                    t1,
+                    t2,
+                    t3,
+                }) => {
+                    let t4 = self.clock.wall_ns();
+                    let Some(i) = self.peer_index(src) else {
+                        self.stats.unknown_peer.writer().increment();
+                        continue;
+                    };
+                    if !self.admit_epoch(i, epoch) {
+                        continue;
+                    }
+                    self.link.associate(src);
+                    self.heard(i, now);
+                    // Fold the four stamps into the offset estimator. Karn
+                    // discipline lives inside: a pong whose echoed t1 does
+                    // not match the one outstanding probe is dropped.
+                    if self.peers[i].clock.on_pong(t1, t2, t3, t4) {
+                        self.publish_clock(i);
+                    }
                 }
                 Some(Packet::Batch {
                     src,
@@ -462,7 +525,13 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
             } else if self.peers[i].sender.in_flight() == 0
                 && self.peers[i].liveness.heartbeat_due(now, &self.cfg)
             {
-                let ping = packet::encode_ping(self.local, self.peers[i].epoch);
+                // Each heartbeat doubles as a clock-sync probe: stamp the
+                // trace-clock send time into the ping and remember it so
+                // only the matching pong is accepted (Karn-style — a
+                // re-probe invalidates the previous outstanding sample).
+                let t1 = self.clock.wall_ns();
+                self.peers[i].clock.probe_sent(t1);
+                let ping = packet::encode_ping(self.local, self.peers[i].epoch, t1);
                 self.link.send(dst, &ping);
                 self.stats.peers[i].pings.writer().increment();
             }
@@ -1003,6 +1072,16 @@ mod tests {
         let s = a.stats().snapshot();
         assert!(s.paths[0].pings > 0, "idle path heartbeats");
         assert_eq!(s.paths[0].liveness, PeerLiveness::Healthy);
+        // Each answered heartbeat also fed the clock-sync estimator. Both
+        // ends share one ManualClock, so the only skew the estimator can
+        // see is the polling delay between ping and pong (bounded by one
+        // 500-tick poll interval).
+        assert!(s.paths[0].clock_samples > 0, "pongs fed the estimator");
+        assert!(
+            s.paths[0].clock_offset_ns.unsigned_abs() <= 500,
+            "same-clock offset bounded by the poll interval, got {}",
+            s.paths[0].clock_offset_ns
+        );
         // Now b stops participating entirely: a's pings go unanswered and
         // the strike budget runs out.
         for _ in 0..20 {
@@ -1017,7 +1096,13 @@ mod tests {
             clock.advance(500);
             assert!(a.try_recv().is_none());
         }
-        assert_eq!(a.stats().snapshot().paths[0].pings, pings_at_death);
+        let s = a.stats().snapshot();
+        assert_eq!(s.paths[0].pings, pings_at_death);
+        // The dead declaration reset the path epoch, and the clock-sync
+        // estimate (meaningless to the next incarnation) went with it.
+        assert_eq!(s.paths[0].clock_samples, 0, "estimate reset with epoch");
+        assert_eq!(s.paths[0].clock_offset_ns, 0);
+        assert_eq!(s.paths[0].clock_dispersion_ns, 0);
     }
 
     #[test]

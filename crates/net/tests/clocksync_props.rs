@@ -1,0 +1,189 @@
+//! Property tests for the [`ClockSync`] offset estimator — the number
+//! every cross-node latency in the merged timeline hangs off. The
+//! properties mirror the estimator's contract: it converges under
+//! symmetric jitter, its error under asymmetric delay stays inside the
+//! dispersion bound it reports, its arithmetic survives `u64` wraparound
+//! and epoch resyncs, and Karn rejection means retransmitted or
+//! duplicated replies can never poison the estimate.
+
+use flipc_net::reliability::ClockSync;
+use proptest::prelude::*;
+
+/// Runs one four-timestamp exchange against `c` with the peer's clock
+/// ahead of ours by `offset` ns, outbound leg `d1` ns, peer processing
+/// `proc` ns, return leg `d2` ns, starting at local time `t1`. Returns
+/// whether the sample was accepted.
+fn exchange(c: &mut ClockSync, t1: u64, offset: i64, d1: u64, proc: u64, d2: u64) -> bool {
+    let t2 = t1.wrapping_add(d1).wrapping_add_signed(offset);
+    let t3 = t2.wrapping_add(proc);
+    let t4 = t1.wrapping_add(d1).wrapping_add(proc).wrapping_add(d2);
+    c.probe_sent(t1);
+    c.on_pong(t1, t2, t3, t4)
+}
+
+/// A signed offset up to ~1s either way, from unsigned parts (the shim's
+/// range strategies are unsigned-only).
+fn offset_ns() -> impl Strategy<Value = i64> {
+    (0u64..1_000_000_000, any::<bool>())
+        .prop_map(|(mag, neg)| if neg { -(mag as i64) } else { mag as i64 })
+}
+
+proptest! {
+    /// With symmetric constant delay every sample measures the offset
+    /// exactly, so the estimate equals the true offset after any number
+    /// of exchanges — the estimator converges instead of orbiting.
+    #[test]
+    fn symmetric_delay_converges_exactly(
+        offset in offset_ns(),
+        delay in 1u64..10_000_000,
+        proc in 0u64..1_000_000,
+        rounds in 1usize..64,
+    ) {
+        let mut c = ClockSync::new();
+        let mut t = 1_000u64;
+        for _ in 0..rounds {
+            prop_assert!(exchange(&mut c, t, offset, delay, proc, delay));
+            t += 2 * delay + proc + 1_000;
+        }
+        prop_assert_eq!(c.offset_ns(), offset);
+        prop_assert_eq!(c.samples(), rounds as u64);
+    }
+
+    /// Under per-exchange symmetric jitter every sample lands within
+    /// ±(jitter span)/2 of the true offset, and the EWMA is a convex
+    /// combination of samples, so the estimate stays inside that band
+    /// (plus a few ns of integer-division slop) no matter the history.
+    #[test]
+    fn symmetric_jitter_keeps_the_estimate_in_band(
+        offset in offset_ns(),
+        base in 1_000u64..1_000_000,
+        span in 0u64..500_000,
+        legs in proptest::collection::vec((0u64..=1_000_000, 0u64..=1_000_000), 1..64),
+    ) {
+        let mut c = ClockSync::new();
+        let mut t = 1_000u64;
+        for &(j1, j2) in &legs {
+            let (d1, d2) = (base + j1 % (span + 1), base + j2 % (span + 1));
+            prop_assert!(exchange(&mut c, t, offset, d1, 50, d2));
+            t += 4_000_000;
+        }
+        let err = (c.offset_ns() - offset).unsigned_abs();
+        prop_assert!(
+            err <= span / 2 + 8,
+            "estimate drifted {err} ns outside the ±{}/2 jitter band",
+            span
+        );
+    }
+
+    /// Asymmetric path: the sample's unknowable error is |d1−d2|/2, and
+    /// the estimator's contract is that (a) the estimate's true error
+    /// never exceeds half the round-trip delay and (b) once the estimate
+    /// settles, the reported dispersion covers the true error — the error
+    /// bars the merge draws are honest.
+    #[test]
+    fn asymmetric_delay_error_stays_inside_dispersion(
+        offset in offset_ns(),
+        d1 in 1u64..5_000_000,
+        d2 in 1u64..5_000_000,
+    ) {
+        let mut c = ClockSync::new();
+        let mut t = 1_000u64;
+        for _ in 0..32 {
+            prop_assert!(exchange(&mut c, t, offset, d1, 100, d2));
+            t += 20_000_000;
+        }
+        let err = (c.offset_ns() - offset).unsigned_abs();
+        prop_assert!(err <= (d1 + d2) / 2 + 8, "error {err} above delay/2");
+        // 32 constant samples: dispersion has converged onto half_delay,
+        // which bounds |d1−d2|/2. Allow EWMA truncation slop.
+        prop_assert!(
+            c.dispersion_ns() + 8 >= err,
+            "dispersion {} does not cover true error {err}",
+            c.dispersion_ns()
+        );
+    }
+
+    /// Stamps straddling the `u64` wrap point still yield the exact
+    /// offset: the wrapping-subtract-then-widen arithmetic sees the small
+    /// true differences, not 2^64-sized garbage — and nothing panics.
+    #[test]
+    fn wraparound_stamps_measure_the_true_offset(
+        offset in offset_ns(),
+        delay in 1u64..1_000_000,
+        back in 0u64..2_000_000,
+    ) {
+        let mut c = ClockSync::new();
+        let t1 = u64::MAX - back;
+        prop_assert!(exchange(&mut c, t1, offset, delay, 100, delay));
+        prop_assert_eq!(c.offset_ns(), offset);
+    }
+
+    /// Arbitrary stamp soup — pongs with any timestamps, interleaved
+    /// probes and epoch resyncs — never panics, and after a reset the
+    /// estimator is factory-fresh: zero samples, zero offset, and a pong
+    /// answering a pre-reset probe is rejected (new incarnation, new
+    /// clock).
+    #[test]
+    fn stamp_soup_and_resync_never_corrupt_state(
+        ops in proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), 0u8..4),
+            1..128,
+        ),
+    ) {
+        let mut c = ClockSync::new();
+        let mut accepted = 0u64;
+        for &(a, b_, d, e, op) in &ops {
+            match op {
+                0 => c.probe_sent(a),
+                1 => {
+                    if c.on_pong(a, b_, d, e) {
+                        accepted += 1;
+                    }
+                }
+                2 => {
+                    c.probe_sent(a);
+                    if c.on_pong(a, b_, d, e) {
+                        accepted += 1;
+                    }
+                }
+                _ => {
+                    c.probe_sent(a);
+                    c.reset();
+                    accepted = 0;
+                    prop_assert!(!c.on_pong(a, b_, d, e), "pre-reset probe answered");
+                    prop_assert_eq!(c.samples(), 0);
+                    prop_assert_eq!(c.offset_ns(), 0);
+                    prop_assert_eq!(c.dispersion_ns(), 0);
+                }
+            }
+            prop_assert_eq!(c.samples(), accepted);
+        }
+    }
+
+    /// Karn discipline: a reply to a superseded (retransmitted) probe is
+    /// rejected, an accepted reply cannot be replayed, and a never-probed
+    /// stamp never matches — so at most ONE sample per outstanding probe
+    /// ever lands, whatever the duplication pattern.
+    #[test]
+    fn retransmitted_and_duplicated_replies_never_land(
+        t1_old in any::<u64>(),
+        bump in 1u64..1_000_000,
+        dup_rounds in 1usize..8,
+    ) {
+        let t1_new = t1_old.wrapping_add(bump);
+        let mut c = ClockSync::new();
+        c.probe_sent(t1_old);
+        c.probe_sent(t1_new); // retransmit supersedes the old stamp
+        // The late reply to the superseded probe must bounce.
+        prop_assert!(!c.on_pong(t1_old, t1_old, t1_old, t1_old.wrapping_add(10)));
+        prop_assert_eq!(c.samples(), 0);
+        // The live probe's reply lands exactly once...
+        let (t2, t3, t4) = (t1_new.wrapping_add(5), t1_new.wrapping_add(6), t1_new.wrapping_add(11));
+        prop_assert!(c.on_pong(t1_new, t2, t3, t4));
+        // ...and every duplicate of it bounces off the consumed probe.
+        for _ in 0..dup_rounds {
+            prop_assert!(!c.on_pong(t1_new, t2, t3, t4));
+        }
+        prop_assert_eq!(c.samples(), 1);
+    }
+}

@@ -35,6 +35,9 @@
 //! | `flipc_net_rttvar_ticks` | gauge | `node`, `peer` |
 //! | `flipc_net_rto_current_ticks` | gauge | `node`, `peer` |
 //! | `flipc_net_epoch` | gauge | `node`, `peer` |
+//! | `flipc_net_clock_offset_ns` | gauge | `node`, `peer` (signed) |
+//! | `flipc_net_clock_dispersion_ns` | gauge | `node`, `peer` |
+//! | `flipc_net_clock_samples` | gauge | `node`, `peer` |
 //! | `flipc_net_decode_errors_total` | counter | `node` |
 //! | `flipc_net_unknown_peer_total` | counter | `node` |
 //! | `flipc_net_epoch_resyncs_total` | counter | `node` |
@@ -172,6 +175,13 @@ impl Exposition {
 
     /// Adds one gauge sample.
     pub fn gauge(&mut self, name: &str, help: &'static str, labels: Labels<'_>, value: u64) {
+        let f = self.family(name, help, MetricType::Gauge);
+        Exposition::sample(f, "", labels, &value.to_string());
+    }
+
+    /// Adds one signed gauge sample (Prometheus gauges may go negative —
+    /// the clock-offset estimate does whenever the peer's clock lags).
+    pub fn gauge_signed(&mut self, name: &str, help: &'static str, labels: Labels<'_>, value: i64) {
         let f = self.family(name, help, MetricType::Gauge);
         Exposition::sample(f, "", labels, &value.to_string());
     }
@@ -353,6 +363,24 @@ pub fn expose_transport(expo: &mut Exposition, snap: &TransportSnapshot) {
         for (name, help, v) in gauges {
             expo.gauge(name, help, &labels, v);
         }
+        expo.gauge_signed(
+            "flipc_net_clock_offset_ns",
+            "Estimated offset of the peer's trace clock, nanoseconds (signed).",
+            &labels,
+            p.clock_offset_ns,
+        );
+        expo.gauge(
+            "flipc_net_clock_dispersion_ns",
+            "Error bound on the clock offset estimate, nanoseconds.",
+            &labels,
+            p.clock_dispersion_ns,
+        );
+        expo.gauge(
+            "flipc_net_clock_samples",
+            "Clock-sync samples folded into the estimate this epoch.",
+            &labels,
+            p.clock_samples,
+        );
     }
     let node_l = [("node", node.clone())];
     expo.counter(
@@ -653,6 +681,178 @@ impl Drop for ExpoServer {
     }
 }
 
+/// Reads exactly one HTTP response (head through `\r\n\r\n`, then a
+/// `content-length` body) off a stream that stays open afterwards — the
+/// client side of the keep-alive contract [`serve_stream`] speaks.
+fn read_http_response(stream: &mut std::net::TcpStream) -> std::io::Result<(String, String)> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= 4096 {
+            return Err(std::io::Error::other("oversized response head"));
+        }
+        match stream.read(&mut byte)? {
+            1 => head.push(byte[0]),
+            _ => return Err(std::io::ErrorKind::UnexpectedEof.into()),
+        }
+    }
+    let head = String::from_utf8_lossy(&head).into_owned();
+    let len: usize = head
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(|v| v.trim().to_owned())
+        })
+        .ok_or_else(|| std::io::Error::other("no content-length"))?
+        .parse()
+        .map_err(std::io::Error::other)?;
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok((head, String::from_utf8_lossy(&body).into_owned()))
+}
+
+/// One node's metrics page as fetched by a [`ClusterScraper`] poll
+/// (`page` is `None` when the node was unreachable this round).
+#[derive(Clone, Debug)]
+pub struct NodeScrape {
+    /// The node id the target was registered under.
+    pub node: u16,
+    /// The raw exposition page, or `None` on connect/read failure.
+    pub page: Option<String>,
+}
+
+/// A metrics client that polls several nodes' [`ExpoServer`]s over
+/// persistent keep-alive connections — the same HTTP/1.1 path a
+/// `/healthz` probe uses — and hands back one page per node. Purely
+/// observer-side: it shares nothing with the engines it watches except
+/// the TCP sockets.
+///
+/// Connections are lazy and self-healing: a target that is down simply
+/// yields `page: None` this round and is re-dialed on the next poll, so
+/// one crashed node never stalls the rest of the cluster view.
+pub struct ClusterScraper {
+    targets: Vec<(u16, SocketAddr)>,
+    conns: Vec<Option<std::net::TcpStream>>,
+}
+
+impl ClusterScraper {
+    /// A scraper over `(node id, exposition address)` targets.
+    pub fn new(targets: &[(u16, SocketAddr)]) -> ClusterScraper {
+        ClusterScraper {
+            targets: targets.to_vec(),
+            conns: targets.iter().map(|_| None).collect(),
+        }
+    }
+
+    /// The registered `(node id, address)` targets, in poll order.
+    pub fn targets(&self) -> &[(u16, SocketAddr)] {
+        &self.targets
+    }
+
+    /// Polls every target once, reusing each node's keep-alive
+    /// connection when it is still good and re-dialing when it is not.
+    pub fn scrape(&mut self) -> Vec<NodeScrape> {
+        let mut out = Vec::with_capacity(self.targets.len());
+        for (i, &(node, addr)) in self.targets.iter().enumerate() {
+            let page = self.conns[i]
+                .as_mut()
+                .and_then(|c| Self::fetch(c, "/metrics").ok())
+                .or_else(|| {
+                    // Stale or absent connection: one fresh dial attempt.
+                    self.conns[i] = Self::dial(addr);
+                    self.conns[i]
+                        .as_mut()
+                        .and_then(|c| Self::fetch(c, "/metrics").ok())
+                });
+            if page.is_none() {
+                self.conns[i] = None;
+            }
+            out.push(NodeScrape { node, page });
+        }
+        out
+    }
+
+    fn dial(addr: SocketAddr) -> Option<std::net::TcpStream> {
+        let stream =
+            std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(500)).ok()?;
+        stream
+            .set_read_timeout(Some(Duration::from_millis(500)))
+            .ok()?;
+        Some(stream)
+    }
+
+    fn fetch(stream: &mut std::net::TcpStream, path: &str) -> std::io::Result<String> {
+        let req = format!("GET {path} HTTP/1.1\r\nhost: flipc\r\nconnection: keep-alive\r\n\r\n");
+        stream.write_all(req.as_bytes())?;
+        let (_head, body) = read_http_response(stream)?;
+        Ok(body)
+    }
+}
+
+/// Merges per-node exposition pages into one cluster-wide page: each
+/// family's `# HELP`/`# TYPE` headers are emitted once (first node
+/// wins), and sample lines pass through untouched — the `expose_*`
+/// helpers already stamp every sample with its `node` label, which is
+/// what keeps the merged families disjoint.
+pub fn merge_pages(scrapes: &[NodeScrape]) -> String {
+    let mut out = String::new();
+    let mut seen_help: Vec<String> = Vec::new();
+    let mut seen_type: Vec<String> = Vec::new();
+    for s in scrapes {
+        let Some(page) = &s.page else { continue };
+        for line in page.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let fam = rest.split_whitespace().next().unwrap_or_default();
+                if seen_help.iter().any(|f| f == fam) {
+                    continue;
+                }
+                seen_help.push(fam.to_owned());
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let fam = rest.split_whitespace().next().unwrap_or_default();
+                if seen_type.iter().any(|f| f == fam) {
+                    continue;
+                }
+                seen_type.push(fam.to_owned());
+            }
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Extracts the value of the first sample in `page` whose metric name is
+/// exactly `name` and whose label block contains every `(key, value)`
+/// pair in `labels`. Works on single-node and merged pages alike; `None`
+/// when no sample matches.
+pub fn sample_value(page: &str, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+    for line in page.lines() {
+        if line.starts_with('#') || !line.starts_with(name) {
+            continue;
+        }
+        let rest = &line[name.len()..];
+        // The name must end here: either a label block or the value.
+        let (label_block, value) = match rest.strip_prefix('{') {
+            Some(tail) => {
+                let (block, value) = tail.split_once("} ")?;
+                (block, value)
+            }
+            None => match rest.strip_prefix(' ') {
+                Some(value) => ("", value),
+                None => continue,
+            },
+        };
+        let all = labels
+            .iter()
+            .all(|(k, v)| label_block.contains(&format!("{k}=\"{v}\"")));
+        if all {
+            return value.trim().parse().ok();
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -839,6 +1039,61 @@ mod tests {
     }
 
     #[test]
+    fn cluster_scraper_polls_and_merges_nodes_and_survives_a_dead_target() {
+        let s0 = ExpoServer::spawn("127.0.0.1:0", || {
+            "# HELP flipc_x X.\n# TYPE flipc_x gauge\nflipc_x{node=\"0\"} 1\n".to_string()
+        })
+        .unwrap();
+        let s1 = ExpoServer::spawn("127.0.0.1:0", || {
+            "# HELP flipc_x X.\n# TYPE flipc_x gauge\nflipc_x{node=\"1\"} -2\n".to_string()
+        })
+        .unwrap();
+        // A target nobody listens on: bind-then-drop frees the port.
+        let dead = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        let mut scraper = ClusterScraper::new(&[(0, s0.addr()), (1, s1.addr()), (7, dead)]);
+        for _ in 0..2 {
+            // Two rounds: the second reuses the keep-alive connections.
+            let scrapes = scraper.scrape();
+            assert_eq!(scrapes.len(), 3);
+            assert!(scrapes[0].page.as_deref().unwrap().contains("node=\"0\""));
+            assert!(scrapes[1].page.as_deref().unwrap().contains("node=\"1\""));
+            assert!(scrapes[2].page.is_none(), "dead target reads None");
+            let merged = merge_pages(&scrapes);
+            assert_eq!(
+                merged.matches("# HELP flipc_x").count(),
+                1,
+                "family headers dedupe:\n{merged}"
+            );
+            assert_eq!(merged.matches("# TYPE flipc_x gauge").count(), 1);
+            assert!(merged.contains("flipc_x{node=\"0\"} 1\n"));
+            assert!(merged.contains("flipc_x{node=\"1\"} -2\n"));
+            assert_eq!(
+                sample_value(&merged, "flipc_x", &[("node", "0")]),
+                Some(1.0)
+            );
+            assert_eq!(
+                sample_value(&merged, "flipc_x", &[("node", "1")]),
+                Some(-2.0),
+                "signed gauges parse"
+            );
+            assert_eq!(sample_value(&merged, "flipc_x", &[("node", "9")]), None);
+        }
+        drop((s0, s1));
+    }
+
+    #[test]
+    fn sample_value_matches_exact_names_and_bare_samples() {
+        let page = "flipc_xy 3\nflipc_x 7\n";
+        // `flipc_x` must not match the longer `flipc_xy` line.
+        assert_eq!(sample_value(page, "flipc_x", &[]), Some(7.0));
+        assert_eq!(sample_value(page, "flipc_xy", &[]), Some(3.0));
+        assert_eq!(sample_value(page, "flipc_z", &[]), None);
+    }
+
+    #[test]
     fn workload_exposure_uses_stable_names() {
         use crate::workload::{WorkloadClass, WorkloadSnapshot};
         let mut lat = HistogramSnapshot::empty(BUCKETS);
@@ -911,6 +1166,9 @@ mod tests {
                 rttvar: 30,
                 rto: 240,
                 epoch: 3,
+                clock_offset_ns: -750,
+                clock_dispersion_ns: 90,
+                clock_samples: 5,
             }],
             decode_errors: 0,
             unknown_peer: 0,
@@ -940,6 +1198,9 @@ mod tests {
             "flipc_net_rttvar_ticks{node=\"0\",peer=\"1\"} 30",
             "flipc_net_rto_current_ticks{node=\"0\",peer=\"1\"} 240",
             "flipc_net_epoch{node=\"0\",peer=\"1\"} 3",
+            "flipc_net_clock_offset_ns{node=\"0\",peer=\"1\"} -750",
+            "flipc_net_clock_dispersion_ns{node=\"0\",peer=\"1\"} 90",
+            "flipc_net_clock_samples{node=\"0\",peer=\"1\"} 5",
             "flipc_net_decode_errors_total{node=\"0\"} 0",
             "flipc_net_epoch_resyncs_total{node=\"0\"} 1",
             "# TYPE flipc_net_retransmit_burst histogram",

@@ -24,9 +24,14 @@
 //! * [`stall`] — detects engine-loop stalls (trace gaps above a
 //!   threshold) and attributes each one by correlating against the
 //!   iteration-work histogram and transport retransmit activity;
+//! * [`merge`] — rebases several nodes' trace timelines onto one
+//!   reference clock using the transport's per-peer offset estimates and
+//!   reconstructs cross-node send→deliver chains with
+//!   dispersion-derived error bars;
 //! * [`expo`] — dependency-free Prometheus-style text exposition of
 //!   telemetry and transport snapshots, servable one-shot or from a tiny
-//!   blocking TCP listener;
+//!   blocking TCP listener, plus a [`expo::ClusterScraper`] that polls
+//!   many nodes' expositions into one `node`-labelled page;
 //! * [`workload`] — application-level counters (published / delivered /
 //!   retried / replayed, per-class latency) reported by the
 //!   `flipc-workloads` harnesses and rendered by [`expo`] and
@@ -38,6 +43,7 @@
 
 pub mod expo;
 pub mod json;
+pub mod merge;
 pub mod stall;
 pub mod telemetry;
 pub mod timeline;
@@ -45,9 +51,11 @@ pub mod trace;
 pub mod workload;
 
 pub use expo::{
-    expose_engine, expose_trace_lost, expose_transport, expose_workload, ExpoServer, Exposition,
+    expose_engine, expose_trace_lost, expose_transport, expose_workload, merge_pages, sample_value,
+    ClusterScraper, ExpoServer, Exposition, NodeScrape,
 };
-pub use stall::{StallCause, StallConfig, StallMonitor, StallReport};
+pub use merge::{events_from_json, merge, CrossChain, MergedTimeline, NodeInput};
+pub use stall::{rank_nodes, NodeStallRank, StallCause, StallConfig, StallMonitor, StallReport};
 pub use telemetry::{EngineTelemetry, EngineTelemetrySnapshot};
 pub use timeline::{EndpointTimeline, GapStats, Timeline, TimelineBuilder};
 pub use trace::{trace_ring, TraceEvent, TraceKind, TraceReader, TraceWriter};
@@ -59,9 +67,11 @@ use std::time::Instant;
 /// Nanoseconds since the process-wide telemetry epoch (first call).
 ///
 /// Monotonic within a process, so differences of two stamps are real
-/// durations; stamps from *different* processes are not comparable, which
-/// is why the engine only computes send→deliver latency for frames whose
-/// stamp it set itself (node-local and loopback traffic).
+/// durations; stamps from *different* processes are not directly
+/// comparable, which is why the engine only computes send→deliver
+/// latency for frames whose stamp it set itself (node-local and loopback
+/// traffic). Cross-process comparison goes through [`merge`], which
+/// rebases each node's stamps by the transport's measured clock offset.
 pub fn now_ns() -> u64 {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     let epoch = *EPOCH.get_or_init(Instant::now);

@@ -1,0 +1,455 @@
+//! Merging per-node trace timelines onto one reference clock.
+//!
+//! Every [`crate::trace`] ring stamps events with its own process's
+//! [`crate::now_ns`] counter, so two nodes' timelines live in unrelated
+//! clock domains. The transport's clock-sync exchange (`flipc-net`'s
+//! `ClockSync`, fed by the v3 ping/pong timestamps) measures exactly the
+//! conversion: a signed per-peer *offset* plus a *dispersion* bounding
+//! how wrong it may be. This module applies that conversion:
+//!
+//! 1. **Rebase** — each node's events are shifted by its offset onto the
+//!    chosen reference clock (the node whose offset is 0).
+//! 2. **Reconstruct** — the rebased per-node streams feed one
+//!    [`TimelineBuilder`] batch per node, so all the existing endpoint /
+//!    gap / loss accounting applies unchanged (the per-endpoint view
+//!    depends only on per-node subsequences — the builder's documented
+//!    grouping invariant).
+//! 3. **Chain** — the merged, time-sorted stream is walked once to pair
+//!    cross-node send→deliver chains: a `Send` on node *n* enters *n*'s
+//!    pending FIFO, and a `Deliver` on node *m* pops the oldest pending
+//!    send from a *different* node (cross-process traffic is the reason
+//!    this module exists; a same-node send is only the fallback, and
+//!    those chains are already counted by the per-node builder). Each
+//!    chain carries an **error bar**: the sum of the two nodes'
+//!    dispersions, the worst-case misestimate of the rebased stamps'
+//!    difference.
+//!
+//! The FIFO heuristic is exact whenever per-path ordering holds and the
+//! trace window is complete — both true for the two-process loopback
+//! harness this feeds (`flipc-top --cluster`, the cross-node bench).
+//! Under loss the pairing degrades gracefully: unmatched sends stay
+//! pending and surface in [`MergedTimeline::unmatched_sends`].
+
+use crate::json::Value;
+use crate::timeline::{GapStats, Timeline, TimelineBuilder};
+use crate::trace::{TraceEvent, TraceKind};
+
+/// One node's contribution to a merged timeline.
+#[derive(Clone, Debug)]
+pub struct NodeInput {
+    /// The node id whose engine recorded `events`.
+    pub node: u16,
+    /// Offset to *add* to this node's stamps to land on the reference
+    /// clock (nanoseconds, signed). The reference node passes 0.
+    pub offset_ns: i64,
+    /// Error bound on `offset_ns` (nanoseconds); 0 for the reference.
+    pub dispersion_ns: u64,
+    /// The node's drained trace events, in its own clock domain and in
+    /// ring order.
+    pub events: Vec<TraceEvent>,
+    /// Events the node's ring shed before draining.
+    pub lost: u64,
+}
+
+/// One reconstructed cross-node send→deliver chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrossChain {
+    /// Node whose engine recorded the send.
+    pub src_node: u16,
+    /// Node whose engine recorded the deliver.
+    pub dst_node: u16,
+    /// Rebased send stamp (reference clock, ns).
+    pub sent_ns: u64,
+    /// Send→deliver latency on the reference clock (ns, clamped at 0
+    /// when the clock error exceeds the true latency).
+    pub latency_ns: u64,
+    /// Error bar on `latency_ns`: the two nodes' dispersions summed.
+    pub error_ns: u64,
+}
+
+/// The merged product: one [`Timeline`] over every node's events plus
+/// the cross-node chain reconstruction.
+#[derive(Clone, Debug)]
+pub struct MergedTimeline {
+    /// The usual endpoint/gap/loss reconstruction over all rebased
+    /// events (per-node accounting, now on one comparable clock).
+    pub timeline: Timeline,
+    /// Echo of each input's `(node, offset_ns, dispersion_ns)`.
+    pub nodes: Vec<(u16, i64, u64)>,
+    /// Every cross-node chain, in deliver order.
+    pub cross_chains: Vec<CrossChain>,
+    /// Summary statistics over `cross_chains[..].latency_ns`.
+    pub cross_latency: GapStats,
+    /// Largest error bar among the chains (the honest "±" to print next
+    /// to any cross-node latency claim).
+    pub max_error_ns: u64,
+    /// Sends that never found a deliver in the window (lost frames, or
+    /// deliveries past the end of the trace).
+    pub unmatched_sends: u64,
+}
+
+impl MergedTimeline {
+    /// The p99 cross-node chain latency (ns), `None` without chains.
+    pub fn cross_latency_p99_ns(&self) -> Option<u64> {
+        if self.cross_chains.is_empty() {
+            return None;
+        }
+        let mut lats: Vec<u64> = self.cross_chains.iter().map(|c| c.latency_ns).collect();
+        lats.sort_unstable();
+        let idx = (lats.len() - 1).min(lats.len() * 99 / 100);
+        Some(lats[idx])
+    }
+
+    /// JSON form used by `flipc-top --cluster --once --json` and the
+    /// two-process smoke artifact.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            (
+                "nodes",
+                Value::Array(
+                    self.nodes
+                        .iter()
+                        .map(|&(node, off, disp)| {
+                            Value::object([
+                                ("node", Value::from(u64::from(node))),
+                                ("offset_ns", Value::Num(off as f64)),
+                                ("dispersion_ns", Value::from(disp)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("cross_chains", Value::from(self.cross_chains.len() as u64)),
+            ("cross_latency", self.cross_latency.to_json()),
+            (
+                "cross_latency_p99_ns",
+                Value::from(self.cross_latency_p99_ns().unwrap_or(0)),
+            ),
+            ("max_error_ns", Value::from(self.max_error_ns)),
+            ("unmatched_sends", Value::from(self.unmatched_sends)),
+            ("timeline", self.timeline.to_json()),
+        ])
+    }
+}
+
+/// Shifts one stamp by a signed offset, saturating at the `u64` rails.
+fn rebase(t_ns: u64, offset_ns: i64) -> u64 {
+    if offset_ns >= 0 {
+        t_ns.saturating_add(offset_ns as u64)
+    } else {
+        t_ns.saturating_sub(offset_ns.unsigned_abs())
+    }
+}
+
+/// Merges per-node trace dumps onto the reference clock and reconstructs
+/// cross-node send→deliver chains. Pure batch arithmetic — no clocks, no
+/// atomics — so the result is a deterministic function of the inputs.
+pub fn merge(inputs: &[NodeInput]) -> MergedTimeline {
+    // Rebase, preserving per-node order (stamps within a node shift by
+    // one constant, so order is untouched).
+    let mut builder = TimelineBuilder::new();
+    let mut all: Vec<TraceEvent> = Vec::new();
+    for input in inputs {
+        let rebased: Vec<TraceEvent> = input
+            .events
+            .iter()
+            .map(|ev| TraceEvent {
+                t_ns: rebase(ev.t_ns, input.offset_ns),
+                ..*ev
+            })
+            .collect();
+        builder.ingest(&rebased);
+        builder.note_lost(input.lost);
+        all.extend_from_slice(&rebased);
+    }
+    // One comparable clock now: sort the union. Stable, so same-stamp
+    // events keep input order.
+    all.sort_by_key(|ev| ev.t_ns);
+
+    let dispersion_of = |node: u16| -> u64 {
+        inputs
+            .iter()
+            .find(|i| i.node == node)
+            .map(|i| i.dispersion_ns)
+            .unwrap_or(0)
+    };
+
+    // Cross-node chain pairing over the merged order: per-node pending
+    // send FIFOs; a deliver pops the oldest send from another node. When
+    // the offset misestimate exceeds the one-way latency, the rebased
+    // deliver sorts *before* its send — such orphan delivers wait in
+    // their own FIFO and pair with the next cross-node send at a clamped
+    // latency of 0 (the error bar admits the truth is unknowably small).
+    let mut pending_sends: Vec<(u16, u64)> = Vec::new(); // (src node, rebased ns)
+    let mut pending_delivers: Vec<(u16, u64)> = Vec::new(); // (dst node, rebased ns)
+    let mut cross_chains = Vec::new();
+    let mut cross_latency = GapStats::default();
+    let mut max_error_ns = 0u64;
+    let mut chain = |src: u16, dst: u16, sent_ns: u64, latency_ns: u64| {
+        let error_ns = dispersion_of(src).saturating_add(dispersion_of(dst));
+        cross_latency.record(latency_ns);
+        max_error_ns = max_error_ns.max(error_ns);
+        cross_chains.push(CrossChain {
+            src_node: src,
+            dst_node: dst,
+            sent_ns,
+            latency_ns,
+            error_ns,
+        });
+    };
+    for ev in &all {
+        match ev.kind {
+            TraceKind::Send => {
+                if let Some(i) = pending_delivers.iter().position(|&(n, _)| n != ev.node) {
+                    let (dst, _) = pending_delivers.remove(i);
+                    chain(ev.node, dst, ev.t_ns, 0);
+                } else {
+                    pending_sends.push((ev.node, ev.t_ns));
+                }
+            }
+            TraceKind::Deliver => {
+                // Oldest cross-node send first; same-node only as the
+                // fallback (a loopback delivery inside one node's engine,
+                // already chained by the per-node builder).
+                let pick = pending_sends
+                    .iter()
+                    .position(|&(n, _)| n != ev.node)
+                    .or_else(|| (!pending_sends.is_empty()).then_some(0));
+                match pick {
+                    Some(i) => {
+                        let (src, sent_ns) = pending_sends.remove(i);
+                        if src != ev.node {
+                            chain(src, ev.node, sent_ns, ev.t_ns.saturating_sub(sent_ns));
+                        }
+                    }
+                    None => pending_delivers.push((ev.node, ev.t_ns)),
+                }
+            }
+            _ => {}
+        }
+    }
+
+    MergedTimeline {
+        timeline: builder.timeline(),
+        nodes: inputs
+            .iter()
+            .map(|i| (i.node, i.offset_ns, i.dispersion_ns))
+            .collect(),
+        cross_chains,
+        cross_latency,
+        max_error_ns,
+        unmatched_sends: pending_sends.len() as u64,
+    }
+}
+
+/// Parses a [`crate::trace::TraceReader::dump_json`] array back into
+/// events — the wire format the cluster harness uses to ship a child
+/// process's trace to the merging parent. Returns `None` on any
+/// malformed element (a truncated dump must not silently become an
+/// empty timeline).
+pub fn events_from_json(dump: &Value) -> Option<Vec<TraceEvent>> {
+    let arr = dump.as_array()?;
+    let mut out = Vec::with_capacity(arr.len());
+    for item in arr {
+        let field = |name: &str| -> Option<f64> { item.get(name)?.as_f64() };
+        out.push(TraceEvent {
+            t_ns: field("t_ns")? as u64,
+            kind: TraceKind::from_name(item.get("kind")?.as_str()?)?,
+            node: field("node")? as u16,
+            endpoint: field("endpoint")? as u16,
+            arg: field("arg")? as u32,
+        });
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_ns: u64, kind: TraceKind, node: u16, endpoint: u16, arg: u32) -> TraceEvent {
+        TraceEvent {
+            t_ns,
+            kind,
+            node,
+            endpoint,
+            arg,
+        }
+    }
+
+    /// Two nodes, node 1's clock running 1 ms ahead of node 0's: after
+    /// rebasing by the (perfectly estimated) offset, the chain latencies
+    /// come out exactly right in both directions.
+    #[test]
+    fn merge_rebases_and_chains_across_nodes() {
+        let n0 = NodeInput {
+            node: 0,
+            offset_ns: 0,
+            dispersion_ns: 0,
+            events: vec![
+                ev(1_000, TraceKind::Send, 0, 1, 64),
+                ev(9_000, TraceKind::Deliver, 0, 2, 64),
+            ],
+            lost: 0,
+        };
+        // Node 1 stamps with a clock 1_000_000 ns ahead; its estimator
+        // (run on node 0) reported that, so the merge subtracts it.
+        let n1 = NodeInput {
+            node: 1,
+            offset_ns: -1_000_000,
+            dispersion_ns: 300,
+            events: vec![
+                ev(1_000_000 + 4_000, TraceKind::Deliver, 1, 2, 64),
+                ev(1_000_000 + 5_000, TraceKind::Send, 1, 1, 64),
+            ],
+            lost: 2,
+        };
+        let m = merge(&[n0, n1]);
+        assert_eq!(m.cross_chains.len(), 2);
+        let c0 = &m.cross_chains[0]; // 0 → 1: sent 1_000, delivered 4_000
+        assert_eq!((c0.src_node, c0.dst_node), (0, 1));
+        assert_eq!(c0.latency_ns, 3_000);
+        assert_eq!(c0.error_ns, 300, "sum of the two dispersions");
+        let c1 = &m.cross_chains[1]; // 1 → 0: sent 5_000, delivered 9_000
+        assert_eq!((c1.src_node, c1.dst_node), (1, 0));
+        assert_eq!(c1.latency_ns, 4_000);
+        assert_eq!(m.cross_latency.max_ns, 4_000);
+        assert_eq!(m.cross_latency_p99_ns(), Some(4_000));
+        assert_eq!(m.max_error_ns, 300);
+        assert_eq!(m.unmatched_sends, 0);
+        // The per-node accounting survived the merge.
+        assert_eq!(m.timeline.total_events, 4);
+        assert_eq!(m.timeline.lost, 2);
+        assert_eq!(m.timeline.endpoints[&(0, 1)].sends, 1);
+        assert_eq!(m.timeline.endpoints[&(1, 2)].delivers, 1);
+        // And the rebase really happened: node 1's endpoint stamps sit on
+        // the reference clock now.
+        assert_eq!(m.timeline.endpoints[&(1, 2)].first_ns, 4_000);
+    }
+
+    #[test]
+    fn unmatched_sends_are_counted_not_mispaired() {
+        let n0 = NodeInput {
+            node: 0,
+            offset_ns: 0,
+            dispersion_ns: 10,
+            events: vec![
+                ev(100, TraceKind::Send, 0, 1, 64),
+                ev(200, TraceKind::Send, 0, 1, 64),
+            ],
+            lost: 0,
+        };
+        let n1 = NodeInput {
+            node: 1,
+            offset_ns: 0,
+            dispersion_ns: 20,
+            events: vec![ev(350, TraceKind::Deliver, 1, 2, 64)],
+            lost: 0,
+        };
+        let m = merge(&[n0, n1]);
+        // FIFO: the deliver pairs with the OLDEST send; the second stays
+        // pending (lost in flight, or delivered past the window).
+        assert_eq!(m.cross_chains.len(), 1);
+        assert_eq!(m.cross_chains[0].latency_ns, 250);
+        assert_eq!(m.cross_chains[0].error_ns, 30);
+        assert_eq!(m.unmatched_sends, 1);
+    }
+
+    #[test]
+    fn clock_error_larger_than_latency_clamps_to_zero() {
+        // The offset estimate is wrong by more than the true latency:
+        // the rebased deliver lands "before" the send. The chain must
+        // clamp (not wrap) and the error bar tells the reader why.
+        let n0 = NodeInput {
+            node: 0,
+            offset_ns: 0,
+            dispersion_ns: 0,
+            events: vec![ev(10_000, TraceKind::Send, 0, 1, 64)],
+            lost: 0,
+        };
+        let n1 = NodeInput {
+            node: 1,
+            offset_ns: -5_000, // overestimates node 1's clock by > latency
+            dispersion_ns: 6_000,
+            events: vec![ev(14_000, TraceKind::Deliver, 1, 2, 64)],
+            lost: 0,
+        };
+        let m = merge(&[n0, n1]);
+        assert_eq!(m.cross_chains.len(), 1);
+        assert_eq!(m.cross_chains[0].latency_ns, 0, "clamped, not wrapped");
+        assert_eq!(m.max_error_ns, 6_000, "the bar admits the estimate");
+    }
+
+    #[test]
+    fn same_node_delivers_do_not_become_cross_chains() {
+        // Purely local traffic (loopback bypass): sends and delivers on
+        // one node. The per-node builder chains them; the cross-node
+        // reconstruction must stay empty.
+        let n0 = NodeInput {
+            node: 0,
+            offset_ns: 0,
+            dispersion_ns: 0,
+            events: vec![
+                ev(100, TraceKind::Send, 0, 1, 64),
+                ev(150, TraceKind::Deliver, 0, 2, 64),
+            ],
+            lost: 0,
+        };
+        let m = merge(&[n0]);
+        assert!(m.cross_chains.is_empty());
+        assert_eq!(m.cross_latency.count, 0);
+        assert_eq!(m.timeline.chain_latency.count, 1, "local chain kept");
+        assert_eq!(m.unmatched_sends, 0, "the consumed send is not pending");
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_events() {
+        let (mut w, mut r) = crate::trace::trace_ring(16);
+        w.record(ev(5, TraceKind::Send, 3, 1, 64));
+        w.record(ev(9, TraceKind::Retransmit, 3, u16::MAX, 4));
+        w.record(ev(12, TraceKind::Deliver, 3, 2, 64));
+        let dump = r.dump_json();
+        let back = events_from_json(&dump).expect("well-formed dump");
+        assert_eq!(
+            back,
+            vec![
+                ev(5, TraceKind::Send, 3, 1, 64),
+                ev(9, TraceKind::Retransmit, 3, u16::MAX, 4),
+                ev(12, TraceKind::Deliver, 3, 2, 64),
+            ]
+        );
+        // Malformed dumps refuse loudly instead of dropping events.
+        let truncated = crate::json::Value::Array(vec![crate::json::Value::object([(
+            "t_ns",
+            crate::json::Value::from(1u64),
+        )])]);
+        assert!(events_from_json(&truncated).is_none());
+        assert!(events_from_json(&crate::json::Value::Null).is_none());
+    }
+
+    #[test]
+    fn merged_json_carries_offsets_and_error_bounds() {
+        let m = merge(&[
+            NodeInput {
+                node: 0,
+                offset_ns: 0,
+                dispersion_ns: 0,
+                events: vec![ev(1_000, TraceKind::Send, 0, 1, 64)],
+                lost: 0,
+            },
+            NodeInput {
+                node: 1,
+                offset_ns: -42,
+                dispersion_ns: 7,
+                events: vec![ev(2_042, TraceKind::Deliver, 1, 2, 64)],
+                lost: 0,
+            },
+        ]);
+        let json = m.to_json().render();
+        assert!(json.contains("\"offset_ns\":-42"), "{json}");
+        assert!(json.contains("\"dispersion_ns\":7"), "{json}");
+        assert!(json.contains("\"cross_chains\":1"), "{json}");
+        assert!(json.contains("\"cross_latency_p99_ns\":1000"), "{json}");
+        assert!(json.contains("\"max_error_ns\":7"), "{json}");
+    }
+}

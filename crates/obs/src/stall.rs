@@ -81,6 +81,19 @@ impl StallCause {
             StallCause::EngineIdle => "engine-idle",
         }
     }
+
+    /// Inverse of [`StallCause::name`], for consumers that read reports
+    /// back out of a [`StallReport::to_json`] dump (the cluster plane
+    /// ships per-node reports between processes as JSON).
+    pub fn from_name(name: &str) -> Option<StallCause> {
+        Some(match name {
+            "transport-peer-suspect" => StallCause::PeerSuspect,
+            "transport-retransmit" => StallCause::TransportRetransmit,
+            "engine-busy" => StallCause::EngineBusy,
+            "engine-idle" => StallCause::EngineIdle,
+            _ => return None,
+        })
+    }
 }
 
 /// One attributed stall.
@@ -116,6 +129,24 @@ impl StallReport {
             ("cause", Value::from(self.cause.name())),
             ("resume_burst", Value::from(u64::from(self.resume_burst))),
         ])
+    }
+}
+
+impl StallReport {
+    /// Inverse of [`StallReport::to_json`]; `None` on any malformed or
+    /// missing field. The cluster plane uses this to rebuild a child
+    /// process's reports for cross-node ranking.
+    pub fn from_json(v: &Value) -> Option<StallReport> {
+        let num = |name: &str| -> Option<f64> { v.get(name)?.as_f64() };
+        Some(StallReport {
+            node: num("node")? as u16,
+            start_ns: num("start_ns")? as u64,
+            end_ns: num("end_ns")? as u64,
+            gap_ns: num("gap_ns")? as u64,
+            endpoint: num("endpoint")? as u16,
+            cause: StallCause::from_name(v.get("cause")?.as_str()?)?,
+            resume_burst: num("resume_burst")? as u32,
+        })
     }
 }
 
@@ -189,6 +220,67 @@ pub fn scan(
         }
     }
     out
+}
+
+/// One node's aggregate stall burden, for cross-node ranking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeStallRank {
+    /// The node.
+    pub node: u16,
+    /// Stalls attributed to it.
+    pub stalls: u64,
+    /// Total silent time across those stalls (ns) — the ranking key.
+    pub total_gap_ns: u64,
+    /// Its single worst gap (ns).
+    pub worst_gap_ns: u64,
+    /// Cause of the worst gap — the headline attribution.
+    pub worst_cause: StallCause,
+}
+
+impl NodeStallRank {
+    /// JSON object form used by `flipc-top --cluster --once --json`.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("node", Value::from(u64::from(self.node))),
+            ("stalls", Value::from(self.stalls)),
+            ("total_gap_ns", Value::from(self.total_gap_ns)),
+            ("worst_gap_ns", Value::from(self.worst_gap_ns)),
+            ("worst_cause", Value::from(self.worst_cause.name())),
+        ])
+    }
+}
+
+/// Ranks nodes by total stall burden, worst first — the cluster-plane
+/// "who is the bottleneck" answer. Reports may come from many per-node
+/// [`scan`] passes; nodes with no stalls simply do not appear.
+pub fn rank_nodes(reports: &[StallReport]) -> Vec<NodeStallRank> {
+    let mut ranks: Vec<NodeStallRank> = Vec::new();
+    for r in reports {
+        match ranks.iter_mut().find(|n| n.node == r.node) {
+            Some(n) => {
+                n.stalls += 1;
+                n.total_gap_ns += r.gap_ns;
+                if r.gap_ns > n.worst_gap_ns {
+                    n.worst_gap_ns = r.gap_ns;
+                    n.worst_cause = r.cause;
+                }
+            }
+            None => ranks.push(NodeStallRank {
+                node: r.node,
+                stalls: 1,
+                total_gap_ns: r.gap_ns,
+                worst_gap_ns: r.gap_ns,
+                worst_cause: r.cause,
+            }),
+        }
+    }
+    // Heaviest total silence first; tie-break on node id for stability.
+    ranks.sort_by(|a, b| {
+        b.total_gap_ns
+            .cmp(&a.total_gap_ns)
+            .then(a.node.cmp(&b.node))
+    });
+    ranks
 }
 
 /// The attribution decision, in evidence order: a sick peer wins (the
@@ -488,6 +580,38 @@ mod tests {
     }
 
     #[test]
+    fn rank_nodes_orders_by_total_silence_and_keeps_worst_cause() {
+        let rep = |node, gap_ns, cause| StallReport {
+            node,
+            start_ns: 0,
+            end_ns: gap_ns,
+            gap_ns,
+            endpoint: 1,
+            cause,
+            resume_burst: 0,
+        };
+        let reports = [
+            rep(0, 2_000, StallCause::EngineIdle),
+            rep(1, 50_000, StallCause::EngineBusy),
+            rep(1, 10_000, StallCause::TransportRetransmit),
+            rep(0, 3_000, StallCause::EngineIdle),
+        ];
+        let ranks = rank_nodes(&reports);
+        assert_eq!(ranks.len(), 2);
+        // Node 1's 60µs of silence outranks node 0's 5µs.
+        assert_eq!(ranks[0].node, 1);
+        assert_eq!(ranks[0].stalls, 2);
+        assert_eq!(ranks[0].total_gap_ns, 60_000);
+        assert_eq!(ranks[0].worst_gap_ns, 50_000);
+        assert_eq!(ranks[0].worst_cause, StallCause::EngineBusy);
+        assert_eq!(ranks[1].node, 0);
+        assert_eq!(ranks[1].total_gap_ns, 5_000);
+        let json = ranks[0].to_json().render();
+        assert!(json.contains("\"worst_cause\":\"engine-busy\""), "{json}");
+        assert!(rank_nodes(&[]).is_empty());
+    }
+
+    #[test]
     fn report_renders_both_formats() {
         let r = StallReport {
             node: 3,
@@ -504,5 +628,14 @@ mod tests {
         let json = r.to_json().render();
         assert!(json.contains("\"cause\":\"engine-busy\""), "{json}");
         assert!(json.contains("\"gap_ns\":5000000"), "{json}");
+        // JSON round-trips exactly (the cluster plane's wire format).
+        let back = StallReport::from_json(&r.to_json()).expect("well-formed");
+        assert_eq!(back, r);
+        assert_eq!(
+            StallCause::from_name("engine-idle"),
+            Some(StallCause::EngineIdle)
+        );
+        assert_eq!(StallCause::from_name("nonsense"), None);
+        assert!(StallReport::from_json(&Value::Null).is_none());
     }
 }

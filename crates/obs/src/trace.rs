@@ -52,6 +52,21 @@ impl TraceKind {
             TraceKind::Wakeup => "wakeup",
         }
     }
+
+    /// Inverse of [`TraceKind::name`], for consumers that read events
+    /// back out of a [`TraceReader::dump_json`] dump (the cross-process
+    /// timeline merge ships traces between processes as JSON).
+    pub fn from_name(name: &str) -> Option<TraceKind> {
+        Some(match name {
+            "send" => TraceKind::Send,
+            "deliver" => TraceKind::Deliver,
+            "drop" => TraceKind::Drop,
+            "misaddressed" => TraceKind::Misaddressed,
+            "retransmit" => TraceKind::Retransmit,
+            "wakeup" => TraceKind::Wakeup,
+            _ => return None,
+        })
+    }
 }
 
 /// One fixed-size trace record.

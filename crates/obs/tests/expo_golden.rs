@@ -53,6 +53,9 @@ fn page() -> String {
             rttvar: 25,
             rto: 250,
             epoch: 2,
+            clock_offset_ns: -1_250,
+            clock_dispersion_ns: 300,
+            clock_samples: 8,
         }],
         decode_errors: 1,
         unknown_peer: 0,
@@ -154,6 +157,15 @@ flipc_net_rto_current_ticks{node=\"0\",peer=\"1\"} 250
 # HELP flipc_net_epoch This node's current session epoch on the path.
 # TYPE flipc_net_epoch gauge
 flipc_net_epoch{node=\"0\",peer=\"1\"} 2
+# HELP flipc_net_clock_offset_ns Estimated offset of the peer's trace clock, nanoseconds (signed).
+# TYPE flipc_net_clock_offset_ns gauge
+flipc_net_clock_offset_ns{node=\"0\",peer=\"1\"} -1250
+# HELP flipc_net_clock_dispersion_ns Error bound on the clock offset estimate, nanoseconds.
+# TYPE flipc_net_clock_dispersion_ns gauge
+flipc_net_clock_dispersion_ns{node=\"0\",peer=\"1\"} 300
+# HELP flipc_net_clock_samples Clock-sync samples folded into the estimate this epoch.
+# TYPE flipc_net_clock_samples gauge
+flipc_net_clock_samples{node=\"0\",peer=\"1\"} 8
 # HELP flipc_net_decode_errors_total Datagrams rejected before peer attribution.
 # TYPE flipc_net_decode_errors_total counter
 flipc_net_decode_errors_total{node=\"0\"} 1

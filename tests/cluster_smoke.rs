@@ -1,0 +1,86 @@
+//! Cross-process observability smoke: `flipc-top --cluster` spawns two
+//! real OS processes talking FLIPC over loopback UDP, scrapes both
+//! expositions, and merges their trace timelines onto one reference
+//! clock. This test runs that whole plane end-to-end and asserts the
+//! merged document carries what the tentpole promises: a measured
+//! per-peer clock offset, cross-node send→deliver chains, and a *finite*
+//! dispersion-derived error bound on their latencies.
+
+use std::process::Command;
+
+use flipc_obs::json::Value;
+
+/// One second — if the merge claims its offset estimate is uncertain by
+/// more than this on a loopback path, the estimator is broken, not noisy.
+const SANE_ERROR_NS: f64 = 1_000_000_000.0;
+
+fn u(v: &Value, key: &str) -> f64 {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| panic!("document missing numeric `{key}`"))
+}
+
+#[test]
+fn cluster_mode_merges_two_process_timelines() {
+    let out = Command::new(env!("CARGO_BIN_EXE_flipc-top"))
+        .args(["--cluster", "--once", "--json"])
+        .output()
+        .expect("run flipc-top --cluster");
+    assert!(
+        out.status.success(),
+        "flipc-top --cluster failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = Value::parse(&String::from_utf8_lossy(&out.stdout)).expect("cluster JSON parses");
+
+    assert_eq!(
+        u(&doc, "schema"),
+        2.0,
+        "schema version moved — bump the goldens too"
+    );
+    assert_eq!(doc.get("mode").and_then(Value::as_str), Some("cluster"));
+
+    // The clock section must carry a live estimate in both directions.
+    let clock = doc
+        .get("clock")
+        .and_then(Value::as_array)
+        .expect("clock rows");
+    assert_eq!(clock.len(), 2, "one row per (node, peer) direction");
+    for row in clock {
+        assert!(
+            u(row, "samples") > 0.0,
+            "no accepted clock samples for node {} → peer {}",
+            u(row, "node"),
+            u(row, "peer")
+        );
+    }
+
+    // The merge must have reconstructed real cross-node chains with a
+    // finite, sane error bound — the headline acceptance criterion.
+    let merged = doc.get("merged").expect("merged timeline");
+    assert!(
+        u(merged, "cross_chains") > 0.0,
+        "no cross-node chains reconstructed"
+    );
+    let p99 = u(merged, "cross_latency_p99_ns");
+    assert!(
+        p99 > 0.0 && p99 < SANE_ERROR_NS,
+        "implausible cross-node p99 latency: {p99} ns"
+    );
+    let err = u(merged, "max_error_ns");
+    assert!(
+        err.is_finite() && err < SANE_ERROR_NS,
+        "error bound not finite/sane: {err} ns"
+    );
+
+    // Healthy run: nobody should be ranked as a stall burden.
+    let ranking = doc
+        .get("stall_ranking")
+        .and_then(Value::as_array)
+        .expect("stall_ranking");
+    assert!(
+        ranking.is_empty(),
+        "healthy cluster run produced a stall ranking: {}",
+        doc.get("stall_ranking").expect("ranking").render()
+    );
+}
