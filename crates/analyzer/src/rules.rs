@@ -258,11 +258,13 @@ const ALLOC_METHODS: [&str; 6] = [
     "clone_into",
 ];
 /// `A::b` path calls that allocate.
-const ALLOC_PATHS: [(&str, &str); 4] = [
+const ALLOC_PATHS: [(&str, &str); 6] = [
     ("Box", "new"),
     ("Arc", "new"),
     ("Rc", "new"),
     ("String", "from"),
+    ("Vec", "with_capacity"),
+    ("String", "with_capacity"),
 ];
 /// Macros that allocate or panic.
 const BANNED_MACROS: [(&str, &str); 5] = [

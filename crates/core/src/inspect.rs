@@ -249,6 +249,15 @@ pub struct PathSnapshot {
     pub stale_epoch: u32,
     /// Heartbeat pings sent on this path while it was idle.
     pub pings: u32,
+    /// Sends refused by flow control (the peer's credit grant or the DRR
+    /// fairness arbiter) while the configured window still had room.
+    pub credit_stalls: u32,
+    /// Times this node's credit grantor shrank the window it advertises
+    /// to the peer (receive-side congestion rounds).
+    pub credit_shrinks: u32,
+    /// The credit window the peer currently grants this path (frames;
+    /// gauge, equal to the configured window until congestion shrinks it).
+    pub credit_window: u32,
     /// The failure detector's current verdict for this peer.
     pub liveness: PeerLiveness,
     /// Smoothed round-trip time estimate (clock ticks; 0 = no samples yet).
@@ -324,7 +333,7 @@ impl TransportSnapshot {
                 out,
                 "peer {:<3} [{} e{}] sent {} (+{} rexmit, {} wire-dropped), delivered {}, \
                  dup {}, out-of-window {}, in-flight {}, failed {}, stale-epoch {}, \
-                 srtt {} rttvar {} rto {}",
+                 srtt {} rttvar {} rto {}, credit {} ({} stalls, {} shrinks)",
                 p.peer.0,
                 p.liveness.name(),
                 p.epoch,
@@ -339,7 +348,10 @@ impl TransportSnapshot {
                 p.stale_epoch,
                 p.srtt,
                 p.rttvar,
-                p.rto
+                p.rto,
+                p.credit_window,
+                p.credit_stalls,
+                p.credit_shrinks
             );
             if p.clock_samples > 0 {
                 let _ = writeln!(
@@ -478,6 +490,9 @@ mod tests {
                 failed: 0,
                 stale_epoch: 0,
                 pings: 0,
+                credit_stalls: 5,
+                credit_shrinks: 2,
+                credit_window: 32,
                 liveness: PeerLiveness::Suspect,
                 srtt: 120,
                 rttvar: 30,
@@ -503,6 +518,7 @@ mod tests {
         assert!(text.contains("peer 1"));
         assert!(text.contains("[suspect e3]"), "{text}");
         assert!(text.contains("srtt 120"), "{text}");
+        assert!(text.contains("credit 32 (5 stalls, 2 shrinks)"), "{text}");
         assert!(
             text.contains("clock offset -2500ns ±400ns (6 samples)"),
             "{text}"

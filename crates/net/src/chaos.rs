@@ -148,6 +148,15 @@ pub enum ScenarioStep {
         /// Node whose spend is compared against its mark.
         node: u16,
     },
+    /// Assert a node has sent at most `max` datagrams since its last
+    /// [`ScenarioStep::MarkCost`] — the capped slow-probe cost bound for
+    /// a dead peer with pending send demand.
+    ExpectCostAtMostSinceMark {
+        /// Node whose spend is compared against its mark.
+        node: u16,
+        /// Maximum datagrams allowed since the mark.
+        max: u64,
+    },
 }
 
 /// A scripted, seeded chaos run over `nodes` live transports.
@@ -646,6 +655,12 @@ impl Scenario {
         self.step(ScenarioStep::ExpectNoCostSinceMark { node })
     }
 
+    /// Assert at most `max` datagrams sent since the last
+    /// [`Scenario::mark_cost`] (the dead-probe budget).
+    pub fn expect_cost_at_most_since_mark(self, node: u16, max: u64) -> Scenario {
+        self.step(ScenarioStep::ExpectCostAtMostSinceMark { node, max })
+    }
+
     fn boot(
         &self,
         hub: &std::sync::Arc<MemHub>,
@@ -868,6 +883,27 @@ impl Scenario {
                                 violations.push(format!(
                                     "t={now} node {node} sent {} datagrams since its cost mark",
                                     cost - mark
+                                ));
+                            }
+                        }
+                        _ => violations.push(format!(
+                            "t={now} cost expectation on node {node} without mark/transport"
+                        )),
+                    }
+                }
+                ScenarioStep::ExpectCostAtMostSinceMark { node, max } => {
+                    let n = &nodes[*node as usize];
+                    match (n.cost_mark, n.transport.as_ref()) {
+                        (Some(mark), Some(t)) => {
+                            let cost = datagram_cost(&t.stats().snapshot());
+                            let spent = cost.saturating_sub(mark);
+                            if spent <= *max {
+                                transcript.push(format!(
+                                    "t={now} expect node {node} <= {max} datagrams since mark: ok ({spent})"
+                                ));
+                            } else {
+                                violations.push(format!(
+                                    "t={now} node {node} sent {spent} datagrams since its cost mark (cap {max})"
                                 ));
                             }
                         }

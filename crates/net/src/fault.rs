@@ -2,12 +2,20 @@
 //!
 //! [`FaultInjector`] wraps any [`Link`] and misdelivers its outbound
 //! datagrams with seeded pseudo-randomness: probabilistic loss,
-//! duplication, reordering, delay, corruption, and hard per-direction
-//! partitions. Because the randomness comes from a seed and the "time"
-//! unit is link operations (not wall clock), a given seed reproduces the
-//! exact same fault schedule on every run — the robustness suite's
-//! 10%-loss test and the chaos scenarios are fixed, replayable
+//! duplication, reordering, delay, jitter, corruption, and hard
+//! per-direction partitions. Because the randomness comes from a seed and
+//! the "time" unit is link operations (not wall clock), a given seed
+//! reproduces the exact same fault schedule on every run — the robustness
+//! suite's 10%-loss test and the chaos scenarios are fixed, replayable
 //! adversaries, not flake generators.
+//!
+//! The injector can also *shape* the link: `bandwidth_bps` imposes a
+//! token-bucket byte-rate cap with a bounded FIFO queue at the
+//! bottleneck (overflow tail-drops, like a real router buffer). Shaping
+//! is clocked by the transport's poll ([`Link::on_tick`], microsecond
+//! ticks) and is fully deterministic — it consumes no randomness, and
+//! with the cap at `0` the schedule is byte-identical to an unshaped
+//! run.
 //!
 //! Faults are applied on the send side only; `recv` passes through. That
 //! is sufficient generality: a drop on A→B's send is indistinguishable
@@ -21,17 +29,24 @@
 //! bursts and partition windows; the RNG stream is not reset by
 //! reconfiguration, so a scenario stays a pure function of (seed, script).
 
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 
 use flipc_core::endpoint::FlipcNodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::link::Link;
+use crate::packet::MAX_DATAGRAM;
+
+/// Datagrams the bandwidth shaper queues before tail-dropping — a small
+/// router buffer. Deep enough to absorb a go-back-N burst, shallow enough
+/// that a saturating sender sees loss (the congestion signal the credit
+/// machinery reacts to) instead of unbounded latency.
+const SHAPE_QUEUE_MAX: usize = 64;
 
 /// Fault probabilities and shape. Probabilities are independent per
 /// datagram and evaluated in the order partition → loss → delay →
-/// reorder → corruption → duplication.
+/// reorder → jitter → corruption → duplication.
 #[derive(Clone, Copy, Debug)]
 pub struct FaultConfig {
     /// Probability a datagram is silently dropped.
@@ -55,6 +70,26 @@ pub struct FaultConfig {
     /// The versioned header/length checks must reject these; corruption
     /// storms surface as `decode_errors`, never as delivered garbage.
     pub corrupt: f64,
+    /// Probability a datagram gets a *jittery* extra hold: like `delay`
+    /// but with a seeded uniform hold of up to `jitter_ops` operations
+    /// and no fixed component — the small random latency variance of a
+    /// real link rather than a deliberate stall. `0.0` disables the fault
+    /// and, critically, consumes no RNG draws, so schedules built without
+    /// jitter stay byte-identical.
+    pub jitter: f64,
+    /// Upper bound (inclusive-exclusive) of the jittery hold; `0` makes a
+    /// jittered datagram release on the next operation.
+    pub jitter_ops: u64,
+    /// Token-bucket bandwidth cap on this side's outbound wire, in bytes
+    /// per second (clock ticks are microseconds, matching the
+    /// production clock). Datagrams beyond the available tokens queue (up
+    /// to a bounded router buffer) and drain as [`Link::on_tick`] refills
+    /// the bucket; overflow tail-drops. `0` disables shaping entirely —
+    /// no queue, no RNG draws, byte-identical to the unshaped schedule.
+    pub bandwidth_bps: u64,
+    /// Token-bucket depth in bytes (the burst the link absorbs at line
+    /// rate); `0` defaults to twice [`MAX_DATAGRAM`].
+    pub burst_bytes: u64,
 }
 
 impl Default for FaultConfig {
@@ -67,6 +102,10 @@ impl Default for FaultConfig {
             delay: 0.0,
             delay_jitter_ops: 0,
             corrupt: 0.0,
+            jitter: 0.0,
+            jitter_ops: 0,
+            bandwidth_bps: 0,
+            burst_bytes: 0,
         }
     }
 }
@@ -96,6 +135,10 @@ pub struct FaultCounts {
     pub partitioned: u64,
     /// Datagrams corrupted in flight.
     pub corrupted: u64,
+    /// Datagrams held back by the jitter fault.
+    pub jittered: u64,
+    /// Datagrams tail-dropped by the bandwidth shaper's full queue.
+    pub shaped_dropped: u64,
 }
 
 /// A [`Link`] decorator that injects seeded faults into outbound traffic.
@@ -111,6 +154,15 @@ pub struct FaultInjector<L: Link> {
     /// Monotone count of send/recv operations (the deterministic "clock"
     /// that releases held datagrams).
     ops: u64,
+    /// Transport tick of the last [`Link::on_tick`] (the shaper's time
+    /// base — distinct from `ops`, which counts link operations).
+    shaper_now: u64,
+    /// Token bucket, in byte-microseconds (`bytes × 1_000_000`): refilled
+    /// by `elapsed_ticks × bandwidth_bps`, charged `len × 1_000_000` per
+    /// datagram. Integer-exact at any rate.
+    bucket: u64,
+    /// Datagrams awaiting tokens, FIFO; bounded by [`SHAPE_QUEUE_MAX`].
+    shape_q: VecDeque<(FlipcNodeId, Vec<u8>)>,
     counts: FaultCounts,
 }
 
@@ -125,6 +177,9 @@ impl<L: Link> FaultInjector<L> {
             partitioned: HashSet::new(),
             held: Vec::new(),
             ops: 0,
+            shaper_now: 0,
+            bucket: 0,
+            shape_q: VecDeque::new(),
             counts: FaultCounts::default(),
         }
     }
@@ -180,6 +235,59 @@ impl<L: Link> FaultInjector<L> {
             // reliability layer recovers both like any other drop.
             if self.partitioned.contains(&dst.0) {
                 self.counts.partitioned += 1;
+            } else if !self.shaped_send(dst, &bytes) {
+                self.counts.dropped += 1;
+            }
+        }
+    }
+
+    /// Token-bucket capacity in byte-microseconds.
+    fn bucket_cap(&self) -> u64 {
+        let bytes = if self.cfg.burst_bytes == 0 {
+            2 * MAX_DATAGRAM as u64
+        } else {
+            self.cfg.burst_bytes
+        };
+        bytes.saturating_mul(1_000_000)
+    }
+
+    /// The final delivery stage every surviving datagram funnels through.
+    /// With shaping off it *is* `inner.send` — zero extra state, zero RNG.
+    /// With a bandwidth cap, datagrams spend tokens (bytes) to pass; the
+    /// rest queue FIFO behind the bottleneck and drain as the bucket
+    /// refills, overflow tail-dropping like a full router buffer.
+    fn shaped_send(&mut self, dst: FlipcNodeId, bytes: &[u8]) -> bool {
+        if self.cfg.bandwidth_bps == 0 {
+            return self.inner.send(dst, bytes);
+        }
+        let cost = (bytes.len() as u64).saturating_mul(1_000_000);
+        if self.shape_q.is_empty() && self.bucket >= cost {
+            self.bucket -= cost;
+            return self.inner.send(dst, bytes);
+        }
+        if self.shape_q.len() >= SHAPE_QUEUE_MAX {
+            // The bottleneck's buffer is full: the congestion loss the
+            // flow-control machinery upstream is built to react to.
+            self.counts.shaped_dropped += 1;
+            return true;
+        }
+        self.shape_q.push_back((dst, bytes.to_vec()));
+        true
+    }
+
+    /// Spends refilled tokens on the queued backlog, oldest first.
+    fn drain_shaped(&mut self) {
+        while let Some((_, bytes)) = self.shape_q.front() {
+            let cost = (bytes.len() as u64).saturating_mul(1_000_000);
+            if self.bucket < cost {
+                break;
+            }
+            self.bucket -= cost;
+            let (dst, bytes) = self.shape_q.pop_front().expect("front just matched");
+            // A partition cut or wire refusal while queued loses the
+            // datagram, same as anywhere else on this side of the pipe.
+            if self.partitioned.contains(&dst.0) {
+                self.counts.partitioned += 1;
             } else if !self.inner.send(dst, &bytes) {
                 self.counts.dropped += 1;
             }
@@ -217,6 +325,19 @@ impl<L: Link> Link for FaultInjector<L> {
                 .push((self.ops + self.cfg.delay_ops, dst, bytes.to_vec()));
             return true;
         }
+        // The jitter draw is gated on the probability being nonzero so a
+        // jitter-free configuration consumes no RNG: pre-existing seeded
+        // schedules replay byte-identically.
+        if self.cfg.jitter > 0.0 && self.rng.gen_f64() < self.cfg.jitter {
+            self.counts.jittered += 1;
+            let extra = if self.cfg.jitter_ops == 0 {
+                0
+            } else {
+                (self.rng.gen_f64() * self.cfg.jitter_ops as f64) as u64
+            };
+            self.held.push((self.ops + 1 + extra, dst, bytes.to_vec()));
+            return true;
+        }
         let payload: Vec<u8> = if self.rng.gen_f64() < self.cfg.corrupt && !bytes.is_empty() {
             self.counts.corrupted += 1;
             let mut b = bytes.to_vec();
@@ -226,10 +347,10 @@ impl<L: Link> Link for FaultInjector<L> {
         } else {
             bytes.to_vec()
         };
-        let sent = self.inner.send(dst, &payload);
+        let sent = self.shaped_send(dst, &payload);
         if sent && self.rng.gen_f64() < self.cfg.duplicate {
             self.counts.duplicated += 1;
-            self.inner.send(dst, &payload);
+            self.shaped_send(dst, &payload);
         }
         sent
     }
@@ -241,6 +362,28 @@ impl<L: Link> Link for FaultInjector<L> {
 
     fn associate(&mut self, node: FlipcNodeId) {
         self.inner.associate(node);
+    }
+
+    fn on_tick(&mut self, now: u64) {
+        self.inner.on_tick(now);
+        let elapsed = now.saturating_sub(self.shaper_now);
+        self.shaper_now = now;
+        if self.cfg.bandwidth_bps == 0 {
+            // Shaping turned off mid-run: whatever was queued floods out.
+            while let Some((dst, bytes)) = self.shape_q.pop_front() {
+                if self.partitioned.contains(&dst.0) {
+                    self.counts.partitioned += 1;
+                } else if !self.inner.send(dst, &bytes) {
+                    self.counts.dropped += 1;
+                }
+            }
+            return;
+        }
+        self.bucket = self
+            .bucket
+            .saturating_add(elapsed.saturating_mul(self.cfg.bandwidth_bps))
+            .min(self.bucket_cap());
+        self.drain_shaped();
     }
 }
 
@@ -282,6 +425,7 @@ mod tests {
                 delay_jitter_ops: 4,
                 corrupt: 0.1,
                 delay_ops: 2,
+                ..FaultConfig::default()
             };
             let mut a = FaultInjector::new(hub.link(FlipcNodeId(0)), cfg, seed);
             let mut b = hub.link(FlipcNodeId(1));
@@ -399,6 +543,128 @@ mod tests {
             assert_ne!(d, &vec![0xAA; 8], "every datagram was mangled");
         }
         assert_eq!(a.fault_counts().corrupted, 20);
+    }
+
+    #[test]
+    fn bandwidth_cap_queues_and_drains_at_the_configured_rate() {
+        let hub = MemHub::new(2, 1024);
+        // 1 byte per microsecond tick; 10-byte datagrams cost 10 ticks
+        // each. Bucket starts empty.
+        let cfg = FaultConfig {
+            bandwidth_bps: 1_000_000,
+            burst_bytes: 100,
+            ..FaultConfig::default()
+        };
+        let mut a = FaultInjector::new(hub.link(FlipcNodeId(0)), cfg, 21);
+        let mut b = hub.link(FlipcNodeId(1));
+        for i in 0..8u8 {
+            assert!(a.send(FlipcNodeId(1), &[i; 10]), "queued, not refused");
+        }
+        assert!(drain(&mut b).is_empty(), "no tokens yet");
+        // 30 ticks of refill pay for exactly three datagrams.
+        a.on_tick(30);
+        assert_eq!(drain(&mut b).len(), 3);
+        // Plenty of time pays for the rest (bucket caps at 100 bytes).
+        a.on_tick(1_000);
+        assert_eq!(drain(&mut b).len(), 5, "backlog drains in order");
+        assert_eq!(a.fault_counts().shaped_dropped, 0);
+    }
+
+    #[test]
+    fn shaper_tail_drops_overflow_like_a_router_buffer() {
+        let hub = MemHub::new(2, 4096);
+        let cfg = FaultConfig {
+            bandwidth_bps: 1, // effectively frozen
+            ..FaultConfig::default()
+        };
+        let mut a = FaultInjector::new(hub.link(FlipcNodeId(0)), cfg, 22);
+        let mut b = hub.link(FlipcNodeId(1));
+        for i in 0..200u16 {
+            a.send(FlipcNodeId(1), &(i.to_le_bytes()));
+        }
+        assert_eq!(
+            a.fault_counts().shaped_dropped,
+            200 - SHAPE_QUEUE_MAX as u64,
+            "everything past the queue bound tail-drops"
+        );
+        assert!(drain(&mut b).is_empty());
+    }
+
+    #[test]
+    fn disabling_the_cap_mid_run_flushes_the_backlog() {
+        let hub = MemHub::new(2, 1024);
+        let cfg = FaultConfig {
+            bandwidth_bps: 1,
+            ..FaultConfig::default()
+        };
+        let mut a = FaultInjector::new(hub.link(FlipcNodeId(0)), cfg, 23);
+        let mut b = hub.link(FlipcNodeId(1));
+        for i in 0..5u8 {
+            a.send(FlipcNodeId(1), &[i]);
+        }
+        assert!(drain(&mut b).is_empty());
+        a.set_config(FaultConfig::default());
+        a.on_tick(10);
+        assert_eq!(drain(&mut b).len(), 5, "queued datagrams flood out");
+    }
+
+    #[test]
+    fn jittered_datagrams_arrive_late_within_the_bound() {
+        let hub = MemHub::new(2, 64);
+        let cfg = FaultConfig {
+            jitter: 1.0,
+            jitter_ops: 5,
+            ..FaultConfig::default()
+        };
+        let mut a = FaultInjector::new(hub.link(FlipcNodeId(0)), cfg, 24);
+        let mut b = hub.link(FlipcNodeId(1));
+        for i in 0..6u8 {
+            a.send(FlipcNodeId(1), &[i]);
+        }
+        // Every datagram is held at least one op past its send, so the
+        // final send's datagram cannot have been released yet (earlier
+        // ones may have: later sends advance the op clock that frees
+        // them).
+        let early = drain(&mut b).len();
+        assert!(
+            early < 6,
+            "the last datagram is always at least one op late"
+        );
+        let mut buf = [0u8; 8];
+        // Max hold is 1 + jitter_ops ops; generous op budget releases all.
+        for _ in 0..32 {
+            a.recv(&mut buf);
+        }
+        assert_eq!(
+            early + drain(&mut b).len(),
+            6,
+            "jitter never loses datagrams"
+        );
+        assert_eq!(a.fault_counts().jittered, 6);
+    }
+
+    #[test]
+    fn shaping_consumes_no_rng_draws() {
+        // The same lossy schedule with a never-binding bandwidth cap must
+        // deliver the identical byte sequence: shaping is RNG-free, so
+        // turning it on cannot perturb seeded fault schedules.
+        let run = |shaped: bool| {
+            let hub = MemHub::new(2, 1024);
+            let cfg = FaultConfig {
+                loss: 0.3,
+                duplicate: 0.1,
+                bandwidth_bps: if shaped { u64::MAX / 2_000_000 } else { 0 },
+                ..FaultConfig::default()
+            };
+            let mut a = FaultInjector::new(hub.link(FlipcNodeId(0)), cfg, 42);
+            let mut b = hub.link(FlipcNodeId(1));
+            a.on_tick(1_000_000); // fill the bucket
+            for i in 0..100u8 {
+                a.send(FlipcNodeId(1), &[i]);
+            }
+            drain(&mut b)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -37,6 +37,15 @@ pub trait Link: Send {
         let _ = node;
     }
 
+    /// Advances any time-based machinery the link carries to `now` (the
+    /// transport's clock ticks). The transport calls this once per poll,
+    /// before draining the wire. Plain links have none and keep the no-op
+    /// default; [`crate::fault::FaultInjector`] overrides it to refill
+    /// its token-bucket bandwidth shaper and release queued datagrams.
+    fn on_tick(&mut self, now: u64) {
+        let _ = now;
+    }
+
     /// Fires a burst of datagrams toward `dst`, returning how many the
     /// wire accepted. The default loops [`Link::send`] and stops at the
     /// first refusal, so a fault injector wrapping the link still sees

@@ -7,18 +7,18 @@
 //! and the sender's *session epoch*, and adds packet kinds for cumulative
 //! acknowledgements and idle-path heartbeats.
 //!
-//! Layout (little-endian), version 3:
+//! Layout (little-endian), version 4:
 //!
 //! ```text
 //! magic:   u16  0xF11C
-//! version: u8   3
+//! version: u8   4
 //! kind:    u8   1 = Data, 2 = Ack, 3 = Ping, 4 = Batch, 5 = Pong
 //! src:     u16  FLIPC node id of the sender
 //! len:     u16  Data: byte length of the embedded frame
 //!               Ack: epoch of the data being acknowledged
 //!               Ping: 8 (the t1 timestamp payload)
 //!               Batch: byte length of the sub-frame region
-//!               Pong: 24 (the t1/t2/t3 timestamp payload)
+//!               Pong: 32 (the t1/t2/t3 timestamp payload + credit)
 //! seq:     u32  Data: path sequence number (first frame is 1)
 //!               Ack: cumulative ack — highest in-order sequence received
 //!               Ping / Pong: 0
@@ -26,6 +26,15 @@
 //! epoch:   u16  the sender's current session epoch on this path
 //! check:   u32  FNV-1a of the whole datagram with this field zeroed
 //! ```
+//!
+//! Version 4 adds receiver-granted flow control as a *payload extension*
+//! on Ack and Pong: an 8-byte trailer carrying the advertising node's
+//! current credit window (`u32`, how many frames the peer may keep in
+//! flight toward it) and its cumulative receive-side drop counter
+//! (`u32`, wrapping — the congestion signal the sender reacts to; see
+//! [`crate::reliability::CreditGrantor`]). As with the clock-sync
+//! stamps, the extension deliberately rides the control datagrams only:
+//! Data and Batch — the hot path — pay zero extra bytes.
 //!
 //! Version 3 turns the idle-path heartbeat into an NTP-style
 //! four-timestamp clock-sync exchange: a Ping carries the pinger's send
@@ -80,13 +89,18 @@ use flipc_engine::wire::Frame;
 pub const MAGIC: u16 = 0xF11C;
 /// Wire protocol version this build speaks (2 added the session epoch and
 /// the Ping heartbeat kind; 3 added the clock-sync timestamps on
-/// Ping/Pong). Mixed versions on one path reject each other's datagrams —
-/// both ends upgrade together, as with any header change.
-pub const VERSION: u8 = 3;
+/// Ping/Pong; 4 added the credit-window extension on Ack/Pong). Mixed
+/// versions on one path reject each other's datagrams — both ends upgrade
+/// together, as with any header change.
+pub const VERSION: u8 = 4;
 /// Byte length of a Ping's timestamp payload (`t1`).
 pub const PING_BODY: usize = 8;
-/// Byte length of a Pong's timestamp payload (`t1`, `t2`, `t3`).
-pub const PONG_BODY: usize = 24;
+/// Byte length of an Ack's credit-extension payload (`credit`,
+/// `recv_drops`).
+pub const ACK_BODY: usize = 8;
+/// Byte length of a Pong's payload (`t1`, `t2`, `t3`, `credit`,
+/// `recv_drops`).
+pub const PONG_BODY: usize = 32;
 /// Byte length of the packet header.
 pub const HEADER_LEN: usize = 18;
 /// Byte offset of the checksum field within the header.
@@ -125,6 +139,13 @@ pub enum Packet {
         /// as last seen by the peer). A sender ignores acks whose
         /// `acked_epoch` is not its current epoch.
         acked_epoch: u16,
+        /// Credit window granted by the acknowledging node: how many
+        /// frames the receiver of this ack may keep in flight toward it.
+        credit: u32,
+        /// The acknowledging node's cumulative receive-side drop counter
+        /// (wrapping). A sender that sees this advance treats it as a
+        /// congestion signal and clamps its usable window immediately.
+        recv_drops: u32,
     },
     /// An idle-path heartbeat; any valid reply (the receiver answers with
     /// an ack and a [`Packet::Pong`]) proves the peer alive, and the
@@ -165,6 +186,11 @@ pub enum Packet {
         t2: u64,
         /// The replier's trace-clock stamp when this pong was sent.
         t3: u64,
+        /// Credit window granted by the replying node (same meaning as on
+        /// [`Packet::Ack`]; pongs keep an idle sender's view fresh).
+        credit: u32,
+        /// The replying node's cumulative receive-side drop counter.
+        recv_drops: u32,
     },
 }
 
@@ -327,9 +353,21 @@ impl BatchBuilder {
 }
 
 /// Encodes a cumulative acknowledgement from `src` (whose own epoch is
-/// `epoch`) for the peer's data stream at `acked_epoch`.
-pub fn encode_ack(src: FlipcNodeId, cumulative: u32, epoch: u16, acked_epoch: u16) -> Vec<u8> {
-    let mut out = header(2, src, acked_epoch, cumulative, epoch).to_vec();
+/// `epoch`) for the peer's data stream at `acked_epoch`, advertising the
+/// acknowledger's current credit window and cumulative receive-side drop
+/// counter.
+pub fn encode_ack(
+    src: FlipcNodeId,
+    cumulative: u32,
+    epoch: u16,
+    acked_epoch: u16,
+    credit: u32,
+    recv_drops: u32,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + ACK_BODY);
+    out.extend_from_slice(&header(2, src, acked_epoch, cumulative, epoch));
+    out.extend_from_slice(&credit.to_le_bytes());
+    out.extend_from_slice(&recv_drops.to_le_bytes());
     seal(&mut out);
     out
 }
@@ -346,13 +384,23 @@ pub fn encode_ping(src: FlipcNodeId, epoch: u16, t1: u64) -> Vec<u8> {
 
 /// Encodes the clock-sync reply from `src` at session epoch `epoch`:
 /// the pinger's stamp `t1` echoed back plus this node's receive stamp
-/// `t2` and send stamp `t3`.
-pub fn encode_pong(src: FlipcNodeId, epoch: u16, t1: u64, t2: u64, t3: u64) -> Vec<u8> {
+/// `t2`, send stamp `t3`, and the same credit advertisement acks carry.
+pub fn encode_pong(
+    src: FlipcNodeId,
+    epoch: u16,
+    t1: u64,
+    t2: u64,
+    t3: u64,
+    credit: u32,
+    recv_drops: u32,
+) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + PONG_BODY);
     out.extend_from_slice(&header(5, src, PONG_BODY as u16, 0, epoch));
     out.extend_from_slice(&t1.to_le_bytes());
     out.extend_from_slice(&t2.to_le_bytes());
     out.extend_from_slice(&t3.to_le_bytes());
+    out.extend_from_slice(&credit.to_le_bytes());
+    out.extend_from_slice(&recv_drops.to_le_bytes());
     seal(&mut out);
     out
 }
@@ -392,14 +440,19 @@ pub fn decode(bytes: &[u8]) -> Option<Packet> {
             })
         }
         2 => {
-            if bytes.len() != HEADER_LEN {
+            if bytes.len() != HEADER_LEN + ACK_BODY {
                 return None;
             }
+            let credit = u32::from_le_bytes(bytes[HEADER_LEN..HEADER_LEN + 4].try_into().ok()?);
+            let recv_drops =
+                u32::from_le_bytes(bytes[HEADER_LEN + 4..HEADER_LEN + 8].try_into().ok()?);
             Some(Packet::Ack {
                 src,
                 cumulative: seq,
                 epoch,
                 acked_epoch: len,
+                credit,
+                recv_drops,
             })
         }
         3 => {
@@ -445,12 +498,18 @@ pub fn decode(bytes: &[u8]) -> Option<Packet> {
             let t1 = u64::from_le_bytes(bytes[HEADER_LEN..HEADER_LEN + 8].try_into().ok()?);
             let t2 = u64::from_le_bytes(bytes[HEADER_LEN + 8..HEADER_LEN + 16].try_into().ok()?);
             let t3 = u64::from_le_bytes(bytes[HEADER_LEN + 16..HEADER_LEN + 24].try_into().ok()?);
+            let credit =
+                u32::from_le_bytes(bytes[HEADER_LEN + 24..HEADER_LEN + 28].try_into().ok()?);
+            let recv_drops =
+                u32::from_le_bytes(bytes[HEADER_LEN + 28..HEADER_LEN + 32].try_into().ok()?);
             Some(Packet::Pong {
                 src,
                 epoch,
                 t1,
                 t2,
                 t3,
+                credit,
+                recv_drops,
             })
         }
         _ => None,
@@ -487,15 +546,17 @@ mod tests {
     }
 
     #[test]
-    fn ack_roundtrips_with_both_epochs() {
-        let bytes = encode_ack(FlipcNodeId(9), 17, 4, 11);
+    fn ack_roundtrips_with_both_epochs_and_credit() {
+        let bytes = encode_ack(FlipcNodeId(9), 17, 4, 11, 32, u32::MAX - 1);
         assert_eq!(
             decode(&bytes).unwrap(),
             Packet::Ack {
                 src: FlipcNodeId(9),
                 cumulative: 17,
                 epoch: 4,
-                acked_epoch: 11
+                acked_epoch: 11,
+                credit: 32,
+                recv_drops: u32::MAX - 1,
             }
         );
     }
@@ -514,8 +575,8 @@ mod tests {
     }
 
     #[test]
-    fn pong_roundtrips_all_three_stamps() {
-        let bytes = encode_pong(FlipcNodeId(5), 3, u64::MAX, 0, 42);
+    fn pong_roundtrips_all_three_stamps_and_credit() {
+        let bytes = encode_pong(FlipcNodeId(5), 3, u64::MAX, 0, 42, 7, 9);
         assert_eq!(
             decode(&bytes).unwrap(),
             Packet::Pong {
@@ -524,6 +585,8 @@ mod tests {
                 t1: u64::MAX,
                 t2: 0,
                 t3: 42,
+                credit: 7,
+                recv_drops: 9,
             }
         );
     }
@@ -537,12 +600,12 @@ mod tests {
         let mut bad = good.clone();
         bad[0] ^= 0xFF;
         assert!(decode(&bad).is_none());
-        // Wrong version — including the epoch-less version 1 and the
-        // clock-sync-less version 2.
+        // Wrong version — including the epoch-less version 1, the
+        // clock-sync-less version 2, and the credit-less version 3.
         let mut bad = good.clone();
         bad[2] = VERSION + 1;
         assert!(decode(&bad).is_none());
-        for old in [1u8, 2] {
+        for old in [1u8, 2, 3] {
             let mut bad = good.clone();
             bad[2] = old;
             assert!(decode(&bad).is_none());
@@ -572,7 +635,7 @@ mod tests {
             bad[i] ^= 0xFF;
             assert!(decode(&bad).is_none(), "flip of byte {i} must be rejected");
         }
-        let good = encode_ack(FlipcNodeId(1), 7, 3, 3);
+        let good = encode_ack(FlipcNodeId(1), 7, 3, 3, 64, 2);
         for i in 0..good.len() {
             let mut bad = good.clone();
             bad[i] ^= 0x01;
@@ -581,9 +644,16 @@ mod tests {
     }
 
     #[test]
-    fn ack_with_trailing_bytes_is_rejected() {
-        let mut bytes = encode_ack(FlipcNodeId(0), 5, 1, 1);
+    fn ack_with_wrong_body_length_is_rejected() {
+        // A trailing byte beyond the 8-byte credit extension is malformed.
+        let mut bytes = encode_ack(FlipcNodeId(0), 5, 1, 1, 8, 0);
         bytes.push(0);
+        assert!(decode(&bytes).is_none());
+        // So is a bare version-3-shaped ack with no credit extension,
+        // even re-sealed: the body length must be exact.
+        let mut bytes = encode_ack(FlipcNodeId(0), 5, 1, 1, 8, 0);
+        bytes.truncate(HEADER_LEN);
+        seal(&mut bytes);
         assert!(decode(&bytes).is_none());
     }
 
@@ -601,11 +671,11 @@ mod tests {
         seal(&mut bytes);
         assert!(decode(&bytes).is_none());
         // Same discipline for pongs: truncated or padded payloads reject.
-        let mut bytes = encode_pong(FlipcNodeId(0), 1, 1, 2, 3);
+        let mut bytes = encode_pong(FlipcNodeId(0), 1, 1, 2, 3, 4, 5);
         bytes.pop();
         seal(&mut bytes);
         assert!(decode(&bytes).is_none());
-        let mut bytes = encode_pong(FlipcNodeId(0), 1, 1, 2, 3);
+        let mut bytes = encode_pong(FlipcNodeId(0), 1, 1, 2, 3, 4, 5);
         bytes.push(0);
         seal(&mut bytes);
         assert!(decode(&bytes).is_none());

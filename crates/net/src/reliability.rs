@@ -96,6 +96,26 @@ pub struct NetConfig {
     /// `[packet::HEADER_LEN + 3, packet::MAX_DATAGRAM]`; frames that can
     /// never fit under the bound bypass coalescing as plain Data.
     pub coalesce_mtu: usize,
+    /// Floor for the receiver-granted credit window ([`CreditGrantor`]):
+    /// however congested, the grant never shrinks below this, which is
+    /// what guarantees regrow liveness (a window of ≥ 1 always lets the
+    /// probe frame through that earns the next additive increase).
+    /// Clamped to at least 1.
+    pub credit_min: u32,
+    /// Deficit-round-robin quantum ([`DrrArbiter`]): how many frames one
+    /// source endpoint may admit per round while other endpoints on the
+    /// same peer path are waiting. Bounds priority inversion to one
+    /// quantum of the competing flow. Clamped to at least 1.
+    pub drr_quantum: u32,
+    /// Interval, in clock ticks, between slow probes toward a peer
+    /// already declared dead *while sends toward it are still pending*
+    /// (unacknowledged credit). This is what breaks the mutual-dead
+    /// deadlock: two partitioned nodes that both declared each other dead
+    /// would otherwise never speak again (heartbeats stop on `Dead`).
+    /// Probes are charged to no strike budget and stop when the demand
+    /// clears. `0` disables dead probing; heartbeats disabled
+    /// (`heartbeat_interval == 0`) disables it too.
+    pub dead_probe_interval: u64,
 }
 
 impl Default for NetConfig {
@@ -114,6 +134,9 @@ impl Default for NetConfig {
             recv_burst: 128,
             coalesce: false,
             coalesce_mtu: 1_400,
+            credit_min: 1,
+            drr_quantum: 4,
+            dead_probe_interval: 1_600_000,
         }
     }
 }
@@ -222,6 +245,15 @@ pub struct SenderPath {
     last_progress: u64,
     /// Adaptive RTT estimate for this path.
     estimator: RttEstimator,
+    /// Latest credit window the peer granted us (frames it will accept in
+    /// flight). Starts optimistic at `cfg.window` — the pre-credit
+    /// behaviour — until the first advertisement arrives.
+    remote_credit: u32,
+    /// The peer's cumulative receive-side drop counter as last advertised
+    /// (wrapping; meaningful only once `peer_drops_seen`).
+    peer_drops: u32,
+    /// Whether any advertisement has established the drop baseline.
+    peer_drops_seen: bool,
 }
 
 impl SenderPath {
@@ -235,6 +267,9 @@ impl SenderPath {
             rto_cur: cfg.rto.min(cfg.rto_max),
             last_progress: 0,
             estimator: RttEstimator::new(),
+            remote_credit: cfg.window,
+            peer_drops: 0,
+            peer_drops_seen: false,
         }
     }
 
@@ -243,9 +278,51 @@ impl SenderPath {
         self.unacked.len() as u32
     }
 
-    /// True when the window is full: the caller must backpressure.
+    /// The window this path may actually use right now: the configured
+    /// sender window clamped by the peer's granted credit.
+    pub fn effective_window(&self) -> u32 {
+        self.cfg.window.min(self.remote_credit).max(1)
+    }
+
+    /// True when the effective window is full: the caller must
+    /// backpressure.
     pub fn full(&self) -> bool {
-        self.unacked.len() as u32 >= self.cfg.window
+        self.unacked.len() as u32 >= self.effective_window()
+    }
+
+    /// True when the refusal to admit comes from the peer's credit grant
+    /// rather than the configured window — the distinction the
+    /// `credit_stalls` counter reports.
+    pub fn credit_limited(&self) -> bool {
+        self.full() && (self.unacked.len() as u32) < self.cfg.window
+    }
+
+    /// The peer's latest granted credit window (clamped to ≥ 1).
+    pub fn remote_credit(&self) -> u32 {
+        self.remote_credit
+    }
+
+    /// Applies a credit advertisement from the peer (rides every ack and
+    /// pong). `credit` is the receiver's explicit grant; `drops` its
+    /// cumulative receive-side drop counter. A wrapping-forward advance
+    /// of the drop counter since the last advertisement is a congestion
+    /// signal: the usable window is halved *below* the fresh grant for
+    /// one round (the grantor's own shrink catches up on its next
+    /// advertisement). Returns `true` when that congestion clamp fired.
+    pub fn on_credit(&mut self, credit: u32, drops: u32) -> bool {
+        let mut limit = credit.max(1);
+        let mut clamped = false;
+        if self.peer_drops_seen {
+            let delta = drops.wrapping_sub(self.peer_drops);
+            if delta != 0 && delta < HALF {
+                limit = (limit / 2).max(1);
+                clamped = true;
+            }
+        }
+        self.peer_drops = drops;
+        self.peer_drops_seen = true;
+        self.remote_credit = limit;
+        clamped
     }
 
     /// True once any frame has been admitted in the current epoch (used to
@@ -363,6 +440,11 @@ impl SenderPath {
         self.next_seq = 1;
         self.cum_acked = 0;
         self.rto_cur = self.current_rto();
+        // The peer may be a new incarnation: forget its grant and drop
+        // baseline and start optimistic again, like a fresh path.
+        self.remote_credit = self.cfg.window;
+        self.peer_drops = 0;
+        self.peer_drops_seen = false;
         failed
     }
 
@@ -465,6 +547,228 @@ impl ReceiverPath {
             out.duplicate = true;
         }
         out
+    }
+}
+
+/// Receiver-side credit policy for one peer path: decides how many frames
+/// the peer may keep in flight toward us, advertised on every outgoing
+/// ack and pong (see `packet.rs`, version 4).
+///
+/// The policy is classic AIMD, driven by this receiver's own drop
+/// counter rather than by loss inference at the sender:
+///
+/// * **Multiplicative shrink**: any out-of-window discard since the last
+///   advertisement halves the grant (floored at `cfg.credit_min` ≥ 1) —
+///   the peer is outrunning our reorder window or our drain rate, and a
+///   smaller window converts its go-back-N flooding into backpressure.
+/// * **Additive regrow**: an advertisement round with delivery progress
+///   and no new drops raises the grant by one, back up to `cfg.window`.
+///   Because the floor is ≥ 1, a probe frame can always get through to
+///   earn the next increase: the window degrades gracefully and can
+///   never wedge shut.
+///
+/// The cumulative drop counter itself (`u32`, wrapping) is advertised
+/// alongside the grant so the sender can react to congestion a round
+/// earlier than the shrunk grant reaches it
+/// ([`SenderPath::on_credit`]).
+#[derive(Debug)]
+pub struct CreditGrantor {
+    /// Current grant (frames).
+    window: u32,
+    /// Shrink floor (≥ 1).
+    min: u32,
+    /// Regrow ceiling (the configured sender window).
+    max: u32,
+    /// Cumulative receive-side drops (wrapping).
+    drops: u32,
+    /// `drops` as of the last advertisement (shrink trigger baseline).
+    drops_at_last: u32,
+    /// In-order deliveries since the last advertisement (regrow
+    /// evidence).
+    delivered_since: u32,
+}
+
+impl CreditGrantor {
+    /// A fresh grantor starting fully open at the configured window.
+    pub fn new(cfg: &NetConfig) -> CreditGrantor {
+        let min = cfg.credit_min.max(1);
+        let max = cfg.window.max(min);
+        CreditGrantor {
+            window: max,
+            min,
+            max,
+            drops: 0,
+            drops_at_last: 0,
+            delivered_since: 0,
+        }
+    }
+
+    /// Records one receive-side discard (out-of-window arrival).
+    pub fn on_drop(&mut self) {
+        self.drops = self.drops.wrapping_add(1);
+    }
+
+    /// Records `n` in-order deliveries.
+    pub fn on_delivered(&mut self, n: u32) {
+        self.delivered_since = self.delivered_since.saturating_add(n);
+    }
+
+    /// Current grant, without adjusting policy state (what pongs carry —
+    /// AIMD rounds are paced by ack emission only).
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// Cumulative drop counter (wrapping).
+    pub fn drops(&self) -> u32 {
+        self.drops
+    }
+
+    /// Runs one AIMD round and returns `(credit, drops, shrank)` for the
+    /// outgoing ack: the possibly-adjusted grant, the cumulative drop
+    /// counter, and whether this round shrank the window.
+    pub fn advertise(&mut self) -> (u32, u32, bool) {
+        let fresh_drops = self.drops.wrapping_sub(self.drops_at_last);
+        let mut shrank = false;
+        if fresh_drops != 0 {
+            let next = (self.window / 2).max(self.min);
+            shrank = next < self.window;
+            self.window = next;
+            self.drops_at_last = self.drops;
+        } else if self.delivered_since > 0 && self.window < self.max {
+            self.window += 1;
+        }
+        self.delivered_since = 0;
+        (self.window, self.drops, shrank)
+    }
+}
+
+/// Deficit-round-robin admission arbiter for the source endpoints that
+/// share one peer path's sender window.
+///
+/// Without it, strict-priority callers are safe but a greedy bulk
+/// endpoint can keep the whole window full so a latency-critical
+/// endpoint's frames always find it closed (the starvation the tiered
+/// workload demonstrated). The arbiter charges admissions against a
+/// per-endpoint deficit only while the path is *contested* — some other
+/// endpoint was recently refused — so uncontended traffic pays nothing.
+/// Once contested, an endpoint whose deficit is spent is refused until
+/// the round replenishes (when no demanding endpoint has deficit left),
+/// bounding the slots any flow can claim ahead of a waiting competitor
+/// to one quantum.
+///
+/// A refused endpoint that stops retrying (its producer went away) must
+/// not throttle the survivors: demand expires after `stale_after` ticks
+/// of not requesting.
+#[derive(Debug)]
+pub struct DrrArbiter {
+    /// Frames one endpoint may admit per contested round.
+    quantum: u32,
+    /// Ticks after which a refused endpoint's demand is forgotten.
+    stale_after: u64,
+    /// Per-endpoint state, small and scanned linearly (endpoint counts
+    /// are tiny — the tiered workload has three).
+    flows: Vec<DrrFlow>,
+}
+
+#[derive(Debug)]
+struct DrrFlow {
+    /// Source endpoint index this flow tracks.
+    ep: u16,
+    /// Admissions left this round while contested.
+    deficit: u32,
+    /// The endpoint was refused and has not been granted since.
+    waiting: bool,
+    /// Tick of the endpoint's last admission request.
+    last_request: u64,
+}
+
+impl DrrArbiter {
+    /// An arbiter with the configured quantum; `stale_after` should be on
+    /// the order of the retransmit timeout (the transport passes the
+    /// initial RTO).
+    pub fn new(cfg: &NetConfig) -> DrrArbiter {
+        DrrArbiter {
+            quantum: cfg.drr_quantum.max(1),
+            stale_after: cfg.rto.max(1),
+            flows: Vec::new(),
+        }
+    }
+
+    /// Asks to admit one frame from endpoint `ep` given `free_slots` open
+    /// window slots. Returns `true` to admit; `false` means the caller
+    /// must backpressure this endpoint (window full, or its fair share is
+    /// spent while another endpoint waits).
+    pub fn request(&mut self, ep: u16, now: u64, free_slots: u32) -> bool {
+        let idx = match self.flows.iter().position(|f| f.ep == ep) {
+            Some(i) => i,
+            None => {
+                self.flows.push(DrrFlow {
+                    ep,
+                    deficit: self.quantum,
+                    waiting: false,
+                    last_request: now,
+                });
+                self.flows.len() - 1
+            }
+        };
+        self.flows[idx].last_request = now;
+        if free_slots == 0 {
+            self.flows[idx].waiting = true;
+            return false;
+        }
+        let contested = self.flows.iter().enumerate().any(|(j, f)| {
+            j != idx && f.waiting && now.saturating_sub(f.last_request) <= self.stale_after
+        });
+        if !contested {
+            // Uncontended: admit freely and keep the round fresh so a
+            // newly-waking competitor starts from a full quantum fight.
+            self.flows[idx].waiting = false;
+            self.flows[idx].deficit = self.flows[idx].deficit.max(1) - 1;
+            if self.flows[idx].deficit == 0 {
+                self.replenish(now);
+            }
+            return true;
+        }
+        if self.flows[idx].deficit == 0 {
+            // Spent while others wait: if nobody with live demand has
+            // deficit left either, start the next round; otherwise yield.
+            let any_live_deficit = self.flows.iter().any(|f| {
+                f.deficit > 0
+                    && (f.waiting || f.ep == ep)
+                    && now.saturating_sub(f.last_request) <= self.stale_after
+            });
+            if any_live_deficit {
+                self.flows[idx].waiting = true;
+                return false;
+            }
+            // Replenish prunes stale flows, shifting indices; the
+            // requester survives (its last_request is `now`), so re-find
+            // it by endpoint.
+            self.replenish(now);
+        }
+        if let Some(f) = self.flows.iter_mut().find(|f| f.ep == ep) {
+            f.waiting = false;
+            f.deficit = f.deficit.saturating_sub(1);
+        }
+        true
+    }
+
+    /// Starts a new round: every endpoint with live demand gets a fresh
+    /// quantum; endpoints whose demand went stale are dropped.
+    fn replenish(&mut self, now: u64) {
+        let stale = self.stale_after;
+        self.flows
+            .retain(|f| now.saturating_sub(f.last_request) <= stale);
+        for f in &mut self.flows {
+            f.deficit = self.quantum;
+        }
+    }
+
+    /// Forgets all flow state (path reset: the window emptied, old debts
+    /// are meaningless).
+    pub fn reset(&mut self) {
+        self.flows.clear();
     }
 }
 
@@ -1092,5 +1396,136 @@ mod tests {
         let mut t = LivenessTracker::new(0);
         assert!(!t.heartbeat_due(1_000_000, &cfg));
         assert_eq!(t.state(), PeerLiveness::Healthy);
+    }
+
+    #[test]
+    fn credit_grant_clamps_the_sender_window() {
+        let mut s = SenderPath::new(cfg()); // window 4
+        assert_eq!(s.effective_window(), 4, "optimistic until advertised");
+        assert!(!s.on_credit(2, 0), "no drop delta, no clamp");
+        assert_eq!(s.effective_window(), 2);
+        s.admit(0, bytes_for).unwrap();
+        s.admit(0, bytes_for).unwrap();
+        assert!(s.full(), "granted credit, not the configured window");
+        assert!(s.credit_limited());
+        assert!(s.admit(0, bytes_for).is_none());
+        // A wider grant than the configured window never exceeds it.
+        s.on_credit(1_000, 0);
+        assert_eq!(s.effective_window(), 4);
+        // A zero grant is clamped to 1: the path can always probe.
+        s.on_credit(0, 0);
+        assert_eq!(s.effective_window(), 1);
+    }
+
+    #[test]
+    fn peer_drop_advances_clamp_the_window_once_per_delta() {
+        let mut s = SenderPath::new(cfg());
+        assert!(
+            !s.on_credit(4, 7),
+            "first advertisement only sets the baseline"
+        );
+        assert_eq!(s.effective_window(), 4);
+        assert!(s.on_credit(4, 8), "fresh drops clamp below the grant");
+        assert_eq!(s.effective_window(), 2);
+        assert!(!s.on_credit(4, 8), "same counter, no re-clamp");
+        assert_eq!(s.effective_window(), 4);
+        // Wraparound-safe: a counter crossing u32::MAX is one small
+        // forward delta, and a stale (backward) counter is not a clamp.
+        assert!(!s.on_credit(4, u32::MAX));
+        assert!(s.on_credit(4, 1), "wrapped forward delta clamps");
+        assert!(!s.on_credit(4, 0), "backward (reordered) counter ignored");
+        // Epoch reset forgets the grant and the baseline.
+        s.reset_epoch();
+        assert_eq!(s.effective_window(), 4);
+        assert!(!s.on_credit(4, 1_000), "baseline re-established, no clamp");
+    }
+
+    #[test]
+    fn grantor_shrinks_on_drops_and_regrows_additively() {
+        let cfg = NetConfig {
+            window: 8,
+            credit_min: 1,
+            ..cfg()
+        };
+        let mut g = CreditGrantor::new(&cfg);
+        assert_eq!(g.window(), 8);
+        // A clean round with deliveries holds at the ceiling.
+        g.on_delivered(3);
+        assert_eq!(g.advertise(), (8, 0, false));
+        // Drops halve, repeatedly, down to the floor — never to zero.
+        g.on_drop();
+        assert_eq!(g.advertise(), (4, 1, true));
+        g.on_drop();
+        g.on_drop();
+        assert_eq!(g.advertise(), (2, 3, true));
+        g.on_drop();
+        assert_eq!(g.advertise(), (1, 4, true));
+        g.on_drop();
+        let (w, _, shrank) = g.advertise();
+        assert_eq!(w, 1, "floored at credit_min");
+        assert!(!shrank, "holding the floor is not a shrink");
+        // Regrow needs delivery evidence: an idle round holds.
+        assert_eq!(g.advertise().0, 1);
+        // Then +1 per productive round, back to the ceiling, not past it.
+        for want in 2..=8 {
+            g.on_delivered(1);
+            assert_eq!(g.advertise().0, want);
+        }
+        g.on_delivered(1);
+        assert_eq!(g.advertise().0, 8, "capped at the configured window");
+    }
+
+    #[test]
+    fn drr_is_free_when_uncontended_and_fair_when_contested() {
+        let cfg = NetConfig {
+            drr_quantum: 2,
+            rto: 100,
+            ..cfg()
+        };
+        let mut a = DrrArbiter::new(&cfg);
+        // Alone on the path: endpoint 0 admits without limit.
+        for _ in 0..20 {
+            assert!(a.request(0, 0, 4));
+        }
+        // Endpoint 1 hits a full window and registers demand.
+        assert!(!a.request(1, 1, 0));
+        // Now contested: endpoint 0 gets at most one quantum before it
+        // must yield to the waiter.
+        let mut granted = 0;
+        while a.request(0, 2, 4) {
+            granted += 1;
+            assert!(granted <= 2, "bulk exceeded its quantum while high waits");
+        }
+        // The waiter drains its own quantum.
+        assert!(a.request(1, 3, 4));
+        assert!(a.request(1, 3, 4));
+        // Both spent: the round replenishes and both proceed again.
+        assert!(a.request(0, 4, 4) || a.request(0, 4, 4));
+        assert!(a.request(1, 4, 4) || a.request(1, 4, 4));
+    }
+
+    #[test]
+    fn drr_stale_demand_expires_and_stops_throttling() {
+        let cfg = NetConfig {
+            drr_quantum: 1,
+            rto: 100,
+            ..cfg()
+        };
+        let mut a = DrrArbiter::new(&cfg);
+        // Endpoint 1 is refused once and then never retries (producer
+        // gone).
+        assert!(!a.request(1, 0, 0));
+        // Within the staleness horizon its demand throttles endpoint 0 to
+        // quantum-sized rounds (which still make progress).
+        assert!(a.request(0, 10, 4));
+        // Past the horizon the ghost is forgotten: unlimited again.
+        for now in 200..230 {
+            assert!(a.request(0, now, 4), "stale waiter must not throttle");
+        }
+        // Reset clears everything.
+        a.reset();
+        for _ in 0..10 {
+            assert!(a.request(0, 1_000, 4));
+        }
     }
 }

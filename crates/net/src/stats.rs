@@ -48,6 +48,15 @@ pub struct PeerStats {
     pub stale_epoch: OwnedCounter,
     /// Idle-path heartbeat pings sent to this peer.
     pub pings: OwnedCounter,
+    /// Sends refused by flow control — the peer's credit grant or the
+    /// DRR fairness arbiter — while the configured window still had room.
+    pub credit_stalls: OwnedCounter,
+    /// Times our credit grantor shrank the window it advertises to this
+    /// peer (receive-side drops seen since the previous advertisement).
+    pub credit_shrinks: OwnedCounter,
+    /// Gauge: the credit window the peer currently grants us (frames).
+    /// Single writer (the transport); plain store.
+    pub credit_window: AtomicU32,
     /// Gauge: frames in the retransmit ring right now. Single writer (the
     /// transport); plain store.
     pub in_flight: AtomicU32,
@@ -163,6 +172,9 @@ impl NetStats {
                     failed: p.failed.read(),
                     stale_epoch: p.stale_epoch.read(),
                     pings: p.pings.read(),
+                    credit_stalls: p.credit_stalls.read(),
+                    credit_shrinks: p.credit_shrinks.read(),
+                    credit_window: p.credit_window.load(Ordering::Relaxed),
                     liveness: self.liveness.get(p.node),
                     srtt: p.srtt.load(Ordering::Relaxed),
                     rttvar: p.rttvar.load(Ordering::Relaxed),
@@ -222,6 +234,10 @@ mod tests {
         p.stale_epoch.writer().increment();
         p.pings.writer().increment();
         p.pings.writer().increment();
+        p.credit_stalls.writer().increment();
+        p.credit_shrinks.writer().increment();
+        p.credit_shrinks.writer().increment();
+        p.credit_window.store(16, Ordering::Relaxed);
         p.srtt.store(150, Ordering::Relaxed);
         p.rttvar.store(40, Ordering::Relaxed);
         p.rto_cur.store(310, Ordering::Relaxed);
@@ -238,6 +254,9 @@ mod tests {
         assert_eq!(path.failed, 3);
         assert_eq!(path.stale_epoch, 1);
         assert_eq!(path.pings, 2);
+        assert_eq!(path.credit_stalls, 1);
+        assert_eq!(path.credit_shrinks, 2);
+        assert_eq!(path.credit_window, 16);
         assert_eq!(path.srtt, 150);
         assert_eq!(path.rttvar, 40);
         assert_eq!(path.rto, 310);

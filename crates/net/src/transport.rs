@@ -32,6 +32,17 @@
 //!   datagrams are rejected — delivery is in-order exactly-once *within*
 //!   an epoch.
 //!
+//! Version 4 layers *flow control* on the same machinery (`DESIGN.md`
+//! §14): every ack and pong carries the receiver's AIMD credit grant and
+//! its cumulative receive-drop counter ([`crate::reliability::CreditGrantor`]),
+//! the sender clamps its effective window to the grant
+//! ([`SenderPath::on_credit`]), and a deficit-round-robin arbiter
+//! ([`crate::reliability::DrrArbiter`]) shares the clamped window fairly
+//! across local endpoints so one bulk producer cannot starve the rest.
+//! A dead peer with demonstrated send demand is probed at a capped slow
+//! rate (`NetConfig::dead_probe_interval`) so two nodes that declared
+//! each other dead during a partition still reconverge after it heals.
+//!
 //! Every discard (duplicate, out-of-window, wire refusal, stale epoch,
 //! lifecycle failure) is counted in the two-location per-peer counters
 //! ([`crate::stats::NetStats`]) — mirrored from the same discipline the
@@ -51,7 +62,8 @@ use crate::link::Link;
 use crate::packet::{self, BatchBuilder, Packet, HEADER_LEN, MAX_DATAGRAM};
 use crate::peers::NodeMap;
 use crate::reliability::{
-    epoch_newer, ClockSync, LivenessTracker, NetConfig, ReceiverPath, SenderPath,
+    epoch_newer, ClockSync, CreditGrantor, DrrArbiter, LivenessTracker, NetConfig, ReceiverPath,
+    SenderPath,
 };
 use crate::stats::NetStats;
 use crate::udp::UdpLink;
@@ -77,6 +89,19 @@ struct PeerState {
     /// NTP-style offset/dispersion estimate of the peer's trace clock,
     /// fed by the heartbeat ping/pong exchange ([`crate::packet`] v3).
     clock: ClockSync,
+    /// Receiver-side AIMD credit grantor: decides the window we advertise
+    /// back to this peer in every ack and pong ([`crate::packet`] v4).
+    credit: CreditGrantor,
+    /// Deficit-round-robin arbiter: when the (credit-clamped) send window
+    /// is contested, local endpoints sharing this path take turns instead
+    /// of the fastest producer starving the rest.
+    fair: DrrArbiter,
+    /// Set when a send was demanded of this peer after (or at) its dead
+    /// declaration: arms the capped slow dead-probe loop so two peers
+    /// that declared each other dead can still rediscover one another.
+    dead_demand: bool,
+    /// Next tick at which a dead-probe ping may fire.
+    next_dead_probe: u64,
 }
 
 /// The UDP/datagram transport with its optimistic reliability layer.
@@ -123,6 +148,9 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
             stats.peers[i]
                 .rto_cur
                 .store(cfg.rto.min(cfg.rto_max), Ordering::Relaxed);
+            stats.peers[i]
+                .credit_window
+                .store(cfg.window, Ordering::Relaxed);
         }
         NetTransport {
             local,
@@ -139,6 +167,10 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
                     liveness: LivenessTracker::new(now),
                     batch: BatchBuilder::new(cfg.coalesce_mtu),
                     clock: ClockSync::new(),
+                    credit: CreditGrantor::new(&cfg),
+                    fair: DrrArbiter::new(&cfg),
+                    dead_demand: false,
+                    next_dead_probe: 0,
                 })
                 .collect(),
             by_node,
@@ -188,6 +220,8 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
         st.srtt.store(s.srtt(), Ordering::Relaxed);
         st.rttvar.store(s.rttvar(), Ordering::Relaxed);
         st.rto_cur.store(s.rto(), Ordering::Relaxed);
+        st.credit_window
+            .store(s.effective_window(), Ordering::Relaxed);
         st.epoch
             .store(u32::from(self.peers[i].epoch), Ordering::Relaxed);
     }
@@ -221,6 +255,9 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
         // space.
         self.peers[i].batch.clear();
         self.peers[i].epoch = self.peers[i].epoch.wrapping_add(1);
+        // Queued fairness demand died with the ring; the fresh epoch's
+        // senders re-register on their next attempt.
+        self.peers[i].fair.reset();
         // The estimate (and any outstanding probe) belonged to the
         // abandoned session; the next incarnation re-learns from scratch.
         self.peers[i].clock.reset();
@@ -306,6 +343,11 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
         let after = self.peers[i].liveness.state();
         if after != before {
             self.stats.liveness.set(self.peers[i].node, after);
+            if before == PeerLiveness::Dead {
+                // Re-admitted: the slow dead-probe loop has done its job.
+                self.peers[i].dead_demand = false;
+                self.peers[i].next_dead_probe = 0;
+            }
         }
     }
 
@@ -314,6 +356,9 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
     /// are flushed first so a raw caller that only polls can never strand
     /// coalesced frames waiting for an explicit [`Transport::flush`].
     fn pump(&mut self, now: u64) {
+        // Let the link's time-based machinery (the fault injector's
+        // token-bucket shaper) refill and release before we drain it.
+        self.link.on_tick(now);
         self.flush_all();
         for _ in 0..self.cfg.recv_burst {
             let Some(n) = self.link.recv(&mut self.recv_buf) else {
@@ -346,6 +391,10 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
                     }
                     if out.out_of_window {
                         st.out_of_window.writer().increment();
+                        peer.credit.on_drop();
+                    }
+                    if !out.delivered.is_empty() {
+                        peer.credit.on_delivered(out.delivered.len() as u32);
                     }
                     for f in out.delivered {
                         st.delivered.writer().increment();
@@ -357,6 +406,8 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
                     cumulative,
                     epoch,
                     acked_epoch,
+                    credit,
+                    recv_drops,
                 }) => {
                     let Some(i) = self.peer_index(src) else {
                         self.stats.unknown_peer.writer().increment();
@@ -367,6 +418,14 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
                     }
                     self.link.associate(src);
                     self.heard(i, now);
+                    // The credit advertisement is current receiver state on
+                    // the peer, valid regardless of which of our epochs the
+                    // cumulative ack names. A fresh advance of the peer's
+                    // drop counter clamps the grant once more (congestion
+                    // signal beyond the explicit window).
+                    if self.peers[i].sender.on_credit(credit, recv_drops) {
+                        self.stats.peers[i].credit_shrinks.writer().increment();
+                    }
                     if acked_epoch == self.peers[i].epoch {
                         let freed = self.peers[i].sender.on_ack(now, cumulative);
                         if freed > 0 {
@@ -375,13 +434,13 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
                                 .liveness
                                 .set(self.peers[i].node, PeerLiveness::Healthy);
                         }
-                        self.publish_gauges(i);
                     } else {
                         // An ack for a previous incarnation of our send
                         // path: applying it would corrupt the fresh
                         // sequence space.
                         self.stats.peers[i].stale_epoch.writer().increment();
                     }
+                    self.publish_gauges(i);
                 }
                 Some(Packet::Ping { src, epoch, t1 }) => {
                     // Receive stamp for the clock-sync exchange, taken
@@ -403,7 +462,19 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
                     // transmit times).
                     self.peers[i].ack_due = true;
                     let t3 = self.clock.wall_ns();
-                    let pong = packet::encode_pong(self.local, self.peers[i].epoch, t1, t2, t3);
+                    // The pong carries our current grant read-only: AIMD
+                    // rounds advance only on ack emission, so a ping storm
+                    // cannot pump the regrow.
+                    let p = &self.peers[i];
+                    let pong = packet::encode_pong(
+                        self.local,
+                        p.epoch,
+                        t1,
+                        t2,
+                        t3,
+                        p.credit.window(),
+                        p.credit.drops(),
+                    );
                     self.link.send(src, &pong);
                 }
                 Some(Packet::Pong {
@@ -412,6 +483,8 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
                     t1,
                     t2,
                     t3,
+                    credit,
+                    recv_drops,
                 }) => {
                     let t4 = self.clock.wall_ns();
                     let Some(i) = self.peer_index(src) else {
@@ -423,6 +496,13 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
                     }
                     self.link.associate(src);
                     self.heard(i, now);
+                    // Heartbeat pongs refresh the credit view on otherwise
+                    // idle paths, so a window shrunk during a busy spell
+                    // regrows without waiting for new data traffic.
+                    if self.peers[i].sender.on_credit(credit, recv_drops) {
+                        self.stats.peers[i].credit_shrinks.writer().increment();
+                    }
+                    self.publish_gauges(i);
                     // Fold the four stamps into the offset estimator. Karn
                     // discipline lives inside: a pong whose echoed t1 does
                     // not match the one outstanding probe is dropped.
@@ -461,6 +541,10 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
                         }
                         if out.out_of_window {
                             st.out_of_window.writer().increment();
+                            peer.credit.on_drop();
+                        }
+                        if !out.delivered.is_empty() {
+                            peer.credit.on_delivered(out.delivered.len() as u32);
                         }
                         for f in out.delivered {
                             st.delivered.writer().increment();
@@ -476,12 +560,21 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
         for i in 0..self.peers.len() {
             if self.peers[i].ack_due {
                 self.peers[i].ack_due = false;
+                // Each emitted ack is one AIMD round for the grantor:
+                // halve on fresh receive-side drops, regrow additively on
+                // productive rounds.
+                let (credit, drops, shrank) = self.peers[i].credit.advertise();
+                if shrank {
+                    self.stats.peers[i].credit_shrinks.writer().increment();
+                }
                 let p = &self.peers[i];
                 let ack = packet::encode_ack(
                     self.local,
                     p.receiver.cumulative(),
                     p.epoch,
                     p.remote_epoch.unwrap_or_default(),
+                    credit,
+                    drops,
                 );
                 let dst = p.node;
                 self.link.send(dst, &ack);
@@ -496,6 +589,26 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
         for i in 0..self.peers.len() {
             let before = self.peers[i].liveness.state();
             if before == PeerLiveness::Dead {
+                // A dead peer normally costs zero datagrams — but if an
+                // application actually demanded a send since the
+                // declaration, we probe at a capped slow rate so two peers
+                // that declared each other dead during a long partition
+                // can still rediscover one another once it heals. No
+                // strikes are charged: the peer is already as dead as the
+                // detector can make it.
+                if self.peers[i].dead_demand
+                    && self.cfg.dead_probe_interval > 0
+                    && now >= self.peers[i].next_dead_probe
+                {
+                    let t1 = self.clock.wall_ns();
+                    self.peers[i].clock.probe_sent(t1);
+                    let ping = packet::encode_ping(self.local, self.peers[i].epoch, t1);
+                    let dst = self.peers[i].node;
+                    self.link.send(dst, &ping);
+                    self.stats.peers[i].pings.writer().increment();
+                    self.peers[i].next_dead_probe =
+                        now.saturating_add(self.cfg.dead_probe_interval);
+                }
                 continue;
             }
             let dst = self.peers[i].node;
@@ -541,8 +654,14 @@ impl<L: Link, C: Clock> NetTransport<L, C> {
                 if after == PeerLiveness::Dead {
                     // Budget exhausted: stop spending datagrams, fail the
                     // in-flight frames back to the accounting, and start a
-                    // new epoch for whenever the peer returns.
+                    // new epoch for whenever the peer returns. Frames dying
+                    // in the ring are unacknowledged demand: arm the slow
+                    // dead-probe loop so a mutually-dead pair can heal.
+                    let had_inflight = self.peers[i].sender.in_flight() > 0;
                     self.reset_sender_path(i);
+                    self.peers[i].dead_demand = had_inflight;
+                    self.peers[i].next_dead_probe =
+                        now.saturating_add(self.cfg.dead_probe_interval);
                 }
             }
             if burst > 0 {
@@ -565,10 +684,30 @@ impl<L: Link, C: Clock> Transport for NetTransport<L, C> {
             // the endpoint's drop counter; this path covers raw callers.
             // Consuming the frame (return true) keeps the contract
             // non-blocking — backpressure would wedge the sender forever.
+            // Either way the application demonstrably still wants this
+            // peer: arm the slow dead-probe loop.
+            self.peers[i].dead_demand = true;
             self.stats.peers[i].failed.writer().increment();
             return true;
         }
         let now = self.clock.now();
+        // Fairness gate: when the (credit-clamped) window is contested,
+        // local endpoints sharing this path take turns by deficit round
+        // robin instead of the fastest producer starving the rest. An
+        // uncontended sender passes untouched.
+        let free = self.peers[i]
+            .sender
+            .effective_window()
+            .saturating_sub(self.peers[i].sender.in_flight());
+        let ep = frame.src.index().0;
+        if !self.peers[i].fair.request(ep, now, free) {
+            if free > 0 || self.peers[i].sender.credit_limited() {
+                // Refused by fairness or by the peer's credit grant, not
+                // by the classic configured window.
+                self.stats.peers[i].credit_stalls.writer().increment();
+            }
+            return false;
+        }
         let local = self.local;
         let epoch = self.peers[i].epoch;
         // Coalescing: decide the flush *before* admitting so the staged
@@ -1349,7 +1488,7 @@ mod tests {
         foreign.send(FlipcNodeId(0), b"not a flipc packet");
         foreign.send(
             FlipcNodeId(0),
-            &packet::encode_ack(FlipcNodeId(77), 3, 1, 1),
+            &packet::encode_ack(FlipcNodeId(77), 3, 1, 1, 8, 0),
         );
         assert!(a.try_recv().is_none());
         let s = a.stats().snapshot();

@@ -163,6 +163,7 @@ fn survivable_storm_recovers_within_the_epoch() {
             delay_ops: 4,
             delay_jitter_ops: 6,
             corrupt: 0.15,
+            ..FaultConfig::default()
         };
         let scenario = Scenario::new("storm", 2, sturdy, seed)
             .say("clean warmup")
@@ -196,6 +197,141 @@ fn survivable_storm_recovers_within_the_epoch() {
         assert_eq!(s0.epoch_resyncs, 0, "no resync needed (seed {seed:#x})");
         assert_eq!(s1.epoch_resyncs, 0, "no resync needed (seed {seed:#x})");
         check(out);
+    }
+}
+
+#[test]
+fn mutually_dead_peers_rediscover_each_other_after_a_long_partition() {
+    for seed in seeds() {
+        // Fast dead probing so the rediscovery loop fits the scenario
+        // timeline (production default is 1.6 s between probes).
+        let probing = NetConfig {
+            dead_probe_interval: 2_000,
+            ..cfg()
+        };
+        let scenario = Scenario::new("mutual-dead", 2, probing, seed)
+            .say("healthy traffic in both directions")
+            .send(0, 1, 6)
+            .send(1, 0, 6)
+            .run(4_000)
+            .expect_delivered_at_least(1, 0, 6)
+            .expect_delivered_at_least(0, 1, 6)
+            .say("full partition with unacknowledged demand on both sides")
+            .partition(0, 1)
+            .partition(1, 0)
+            .send(0, 1, 4)
+            .send(1, 0, 4)
+            .run(30_000)
+            .expect_liveness(0, 1, PeerLiveness::Dead)
+            .expect_liveness(1, 0, PeerLiveness::Dead)
+            .expect_failed_at_least(0, 1, 1)
+            .expect_failed_at_least(1, 0, 1)
+            .say("dead probing is capped: a handful of pings, not a storm")
+            .mark_cost(0)
+            .mark_cost(1)
+            .run(8_000)
+            // 8k ticks at one probe per 2k is four probes; six leaves
+            // margin for a boundary-straddling round. Without the probe
+            // loop this window would cost zero — and the pair would stay
+            // mutually dead forever below.
+            .expect_cost_at_most_since_mark(0, 6)
+            .expect_cost_at_most_since_mark(1, 6)
+            .say("the partition heals; slow probes rediscover the peer")
+            .heal(0, 1)
+            .heal(1, 0)
+            .run(8_000)
+            .expect_liveness(0, 1, PeerLiveness::Healthy)
+            .expect_liveness(1, 0, PeerLiveness::Healthy)
+            .say("traffic flows again in both directions on fresh epochs")
+            .send(0, 1, 5)
+            .send(1, 0, 5)
+            .run(6_000)
+            .expect_delivered_at_least(1, 0, 11)
+            .expect_delivered_at_least(0, 1, 11);
+        check(scenario.play());
+    }
+}
+
+/// Bandwidth fractions (percent of nominal) the shaped-link story sweeps.
+/// `CHAOS_SHAPED=1` (the CI shaped leg) widens the sweep so the
+/// proportionality claim is checked at finer capacity steps.
+fn shaped_fractions() -> Vec<u64> {
+    if matches!(std::env::var("CHAOS_SHAPED").as_deref(), Ok("1")) {
+        vec![10, 25, 40, 50, 60, 75, 90, 100]
+    } else {
+        vec![25, 50, 75, 100]
+    }
+}
+
+#[test]
+fn shaped_link_goodput_degrades_in_proportion_to_capacity() {
+    // Nominal capacity: 0.2 bytes per microsecond tick. A data datagram
+    // for the harness's 8-byte payloads is 42 bytes on the wire, so the
+    // full run window at 100% pays for ~190 datagrams — comfortable for
+    // the 120-frame burst — while 25% pays for ~47: the lower fractions
+    // *must* bind inside the window for the proportionality check to
+    // mean anything.
+    const NOMINAL_BPS: u64 = 200_000;
+    const FRAMES: u32 = 120;
+    const RUN: u64 = 40_000;
+    for seed in seeds() {
+        let mut curve: Vec<(u64, usize, u64)> = Vec::new();
+        for frac in shaped_fractions() {
+            // Timers sized for the link, not for fast lifecycle tests: at
+            // 10% capacity one datagram takes ~2'100 ticks of tokens, so
+            // a lifecycle-fast 100-tick RTO would fire before the first
+            // ack can possibly return, mark every frame retransmitted,
+            // and starve the estimator forever (Karn) — a self-inflicted
+            // storm. With the initial timeout above the worst service
+            // time the first ack samples cleanly and the adaptive RTO
+            // tracks the queue delay from there.
+            let patient = NetConfig {
+                rto: 4_000,
+                rto_min: 100,
+                rto_max: 20_000,
+                dead_strikes: 1_000,
+                ..cfg()
+            };
+            let shaped = FaultConfig {
+                bandwidth_bps: NOMINAL_BPS * frac / 100,
+                ..FaultConfig::default()
+            };
+            let out = Scenario::new(&format!("shaped-{frac}"), 2, patient, seed)
+                .say("token-bucket bottleneck on node 0's outbound wire")
+                .faults(0, shaped)
+                .send(0, 1, FRAMES)
+                .run(RUN)
+                .play();
+            check(out.clone());
+            let s0 = out.snapshots[0].as_ref().expect("node 0 alive");
+            let p = &s0.paths[0];
+            let sent = u64::from(p.sent).max(1);
+            let rexmit = u64::from(p.retransmitted);
+            // No retransmit storm at any capacity: go-back-N under
+            // congestion stays within a small multiple of useful sends.
+            assert!(
+                rexmit <= 2 * sent,
+                "retransmit storm at {frac}% capacity: {rexmit} rexmit vs {sent} sent \
+                 (seed {seed:#x})"
+            );
+            curve.push((frac, out.delivered[1].len(), rexmit));
+        }
+        for pair in curve.windows(2) {
+            assert!(
+                pair[0].1 <= pair[1].1,
+                "goodput must not rise as capacity shrinks: {curve:?} (seed {seed:#x})"
+            );
+        }
+        let narrowest = curve.first().expect("sweep is non-empty");
+        let widest = curve.last().expect("sweep is non-empty");
+        assert!(
+            widest.1 == FRAMES as usize,
+            "full nominal capacity must deliver the whole burst: {curve:?} (seed {seed:#x})"
+        );
+        assert!(
+            narrowest.1 < widest.1,
+            "the narrowest link must actually bind: {curve:?} (seed {seed:#x})"
+        );
     }
 }
 

@@ -1,0 +1,239 @@
+//! Property tests for the credit-based flow-control machinery: the
+//! sender-side grant clamp, the receiver-side AIMD grantor, and the
+//! deficit-round-robin fairness arbiter.
+//!
+//! The properties pinned here are the ones a wrong edge case would turn
+//! into a silent outage rather than a test failure: a sender overrunning
+//! the peer's advertised credit (the exact flooding credit exists to
+//! prevent), a window that wedges shut and can never regrow, a bulk
+//! endpoint starving a latency-critical one past the DRR bound, and
+//! drop-counter wraparound misread as fresh congestion.
+
+use flipc_net::reliability::{CreditGrantor, DrrArbiter, SenderPath};
+use flipc_net::NetConfig;
+use proptest::prelude::*;
+
+fn cfg(window: u32) -> NetConfig {
+    NetConfig {
+        window,
+        ..NetConfig::default()
+    }
+}
+
+/// One step of an adversarial sender-side schedule.
+#[derive(Clone, Debug)]
+enum SenderOp {
+    /// A credit advertisement arrives from the peer.
+    Credit(u32, u32),
+    /// The application tries to admit one frame.
+    Admit,
+    /// The peer cumulatively acks everything currently in flight.
+    AckAll,
+}
+
+fn sender_op() -> impl Strategy<Value = SenderOp> {
+    prop_oneof![
+        (0u32..20, 0u32..4).prop_map(|(c, d)| SenderOp::Credit(c, d)),
+        Just(SenderOp::Admit),
+        Just(SenderOp::AckAll),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Under any interleaving of advertisements, admissions, and acks,
+    /// the frames in flight never exceed the effective window, and the
+    /// effective window never exceeds the latest advertised credit
+    /// (clamped to the liveness floor of one frame).
+    #[test]
+    fn in_flight_never_exceeds_the_advertised_credit(
+        window in 1u32..16,
+        ops in proptest::collection::vec(sender_op(), 1..64),
+    ) {
+        let mut path = SenderPath::new(cfg(window));
+        let mut now = 0u64;
+        let mut last_credit: Option<u32> = None;
+        let mut drops_total = 0u32;
+        // Sequences start at 1 and the schedule never resets the epoch,
+        // so the highest outstanding sequence is simply the admission
+        // count.
+        let mut admitted_total = 0u32;
+        for op in &ops {
+            now += 1;
+            match op {
+                SenderOp::Credit(c, fresh) => {
+                    // Drop counters are cumulative on the wire.
+                    drops_total = drops_total.wrapping_add(*fresh);
+                    path.on_credit(*c, drops_total);
+                    last_credit = Some((*c).max(1));
+                }
+                SenderOp::Admit => {
+                    let was_full = path.full();
+                    let admitted = path
+                        .admit(now, |seq| Some(vec![seq as u8]))
+                        .is_some();
+                    prop_assert_eq!(
+                        admitted,
+                        !was_full,
+                        "admit and full() must agree"
+                    );
+                    if admitted {
+                        admitted_total += 1;
+                    }
+                }
+                SenderOp::AckAll => {
+                    if path.in_flight() > 0 {
+                        path.on_ack(now, admitted_total);
+                    }
+                }
+            }
+            // The core overrun bound: admissions stop at the effective
+            // window, which itself honours the latest grant (credit may
+            // shrink below what is already in flight — those frames were
+            // admitted legally under the old grant and drain, but nothing
+            // NEW may be admitted while at or above the limit).
+            if let Some(c) = last_credit {
+                prop_assert!(
+                    path.effective_window() <= window.min(c.max(1)).max(1),
+                    "effective window {} exceeds grant {} (cfg window {})",
+                    path.effective_window(), c, window
+                );
+            }
+            if path.in_flight() >= path.effective_window() {
+                prop_assert!(path.full(), "overrun admission must backpressure");
+            }
+        }
+    }
+
+    /// The grantor's advertised credit is never below the floor and the
+    /// window can always regrow: after an arbitrary drop storm, rounds
+    /// with delivery progress and no fresh drops climb back to the full
+    /// configured window in at most `window` rounds. No schedule wedges
+    /// the grant shut.
+    #[test]
+    fn the_granted_window_never_wedges_at_zero(
+        window in 1u32..64,
+        storm in proptest::collection::vec((0u32..8, 0u32..8), 0..32),
+    ) {
+        let mut g = CreditGrantor::new(&cfg(window));
+        for (drops, delivered) in &storm {
+            for _ in 0..*drops {
+                g.on_drop();
+            }
+            g.on_delivered(*delivered);
+            let (credit, _, _) = g.advertise();
+            prop_assert!(credit >= 1, "grant fell below the liveness floor");
+            prop_assert!(credit <= window, "grant exceeded the ceiling");
+        }
+        // Liveness: the floor guarantees one probe frame per round can
+        // get through; each productive round regrows by one, so the full
+        // window is back within `window` rounds of clean progress.
+        let mut rounds = 0u32;
+        while g.window() < window {
+            rounds += 1;
+            prop_assert!(rounds <= window, "regrow stalled at {}/{window}", g.window());
+            g.on_delivered(1);
+            let (credit, _, shrank) = g.advertise();
+            prop_assert!(!shrank, "regrow round must not shrink");
+            prop_assert!(credit >= 1, "regrow round fell below the floor");
+        }
+        prop_assert_eq!(g.window(), window, "regrow must reach the ceiling");
+    }
+
+    /// DRR fairness bound: once a latency-critical endpoint has declared
+    /// demand (one refused request), an adversarial bulk endpoint sharing
+    /// the path admits at most two quanta of frames between consecutive
+    /// grants to the waiting endpoint — the bulk tier cannot starve the
+    /// high tier no matter how aggressively it retries.
+    #[test]
+    fn a_greedy_bulk_endpoint_cannot_starve_a_waiting_one(
+        quantum in 1u32..6,
+        window in 2u32..12,
+        steps in proptest::collection::vec((0u32..4, 0u32..8), 8..96),
+    ) {
+        let mut arb = DrrArbiter::new(&NetConfig {
+            drr_quantum: quantum,
+            ..NetConfig::default()
+        });
+        let mut in_flight = 0u32;
+        let mut now = 0u64;
+        let mut high_waiting = false;
+        let mut bulk_since_high = 0u32;
+        for (acked, bulk_tries) in &steps {
+            now += 1;
+            in_flight = in_flight.saturating_sub(*acked);
+            // The bulk producer hammers the path first every step.
+            for _ in 0..*bulk_tries {
+                let free = window.saturating_sub(in_flight);
+                if arb.request(0, now, free) {
+                    if free == 0 {
+                        // The arbiter only meters fairness; the window
+                        // gate lives in the transport.
+                        continue;
+                    }
+                    in_flight += 1;
+                    if high_waiting {
+                        bulk_since_high += 1;
+                        prop_assert!(
+                            bulk_since_high <= 2 * quantum,
+                            "bulk admitted {bulk_since_high} frames past a waiting \
+                             endpoint (quantum {quantum})"
+                        );
+                    }
+                }
+            }
+            // Then the latency-critical endpoint asks for one slot.
+            let free = window.saturating_sub(in_flight);
+            if arb.request(1, now, free) && free > 0 {
+                in_flight += 1;
+                high_waiting = false;
+                bulk_since_high = 0;
+            } else {
+                high_waiting = true;
+            }
+        }
+    }
+
+    /// Drop-counter wraparound is read as real arithmetic: a forward
+    /// wrapping advance (even across `u32::MAX`) is fresh congestion and
+    /// clamps the usable window; a stale or duplicate counter (zero or
+    /// backward delta) never does.
+    #[test]
+    fn credit_drop_deltas_are_wraparound_safe(
+        base in prop_oneof![
+            Just(0u32),
+            Just(u32::MAX),
+            Just(u32::MAX - 1),
+            Just(1u32 << 31),
+            any::<u32>(),
+        ],
+        advance in 0u32..4,
+        credit in 1u32..32,
+    ) {
+        let mut path = SenderPath::new(cfg(16));
+        // Establish the baseline: the first advertisement never clamps
+        // (there is no delta to judge yet).
+        prop_assert!(!path.on_credit(credit, base), "baseline must not clamp");
+        let next = base.wrapping_add(advance);
+        let clamped = path.on_credit(credit, next);
+        prop_assert_eq!(
+            clamped,
+            advance != 0,
+            "forward delta {} from {} must clamp iff nonzero", advance, base
+        );
+        if clamped {
+            // The stored grant is the raw advertisement halved (the
+            // configured-window clamp is applied later, in
+            // `effective_window`).
+            prop_assert_eq!(path.remote_credit(), (credit / 2).max(1));
+        }
+        // Replaying the same counter (a duplicated ack) is not fresh
+        // congestion and must not halve the window again.
+        prop_assert!(!path.on_credit(credit, next), "duplicate counter clamped");
+        // A stale counter from a reordered ack (backward delta lands in
+        // the far half of the sequence space) must not clamp either.
+        let stale = next.wrapping_sub(5);
+        prop_assert!(!path.on_credit(credit, stale), "backward delta clamped");
+    }
+}

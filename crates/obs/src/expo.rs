@@ -29,7 +29,10 @@
 //! | `flipc_net_failed_total` | counter | `node`, `peer` |
 //! | `flipc_net_stale_epoch_total` | counter | `node`, `peer` |
 //! | `flipc_net_pings_total` | counter | `node`, `peer` |
+//! | `flipc_net_credit_stalls_total` | counter | `node`, `peer` |
+//! | `flipc_net_credit_shrinks_total` | counter | `node`, `peer` |
 //! | `flipc_net_in_flight` | gauge | `node`, `peer` |
+//! | `flipc_net_credit_window` | gauge | `node`, `peer` |
 //! | `flipc_net_peer_state` | gauge | `node`, `peer` (0 healthy, 1 suspect, 2 dead) |
 //! | `flipc_net_srtt_ticks` | gauge | `node`, `peer` |
 //! | `flipc_net_rttvar_ticks` | gauge | `node`, `peer` |
@@ -277,7 +280,7 @@ pub fn expose_transport(expo: &mut Exposition, snap: &TransportSnapshot) {
     let node = snap.local.0.to_string();
     for p in &snap.paths {
         let labels = [("node", node.clone()), ("peer", p.peer.0.to_string())];
-        let counters: [(&str, &'static str, u32); 9] = [
+        let counters: [(&str, &'static str, u32); 11] = [
             (
                 "flipc_net_sent_total",
                 "Data frames transmitted for the first time.",
@@ -323,6 +326,16 @@ pub fn expose_transport(expo: &mut Exposition, snap: &TransportSnapshot) {
                 "Idle-path heartbeat pings sent.",
                 p.pings,
             ),
+            (
+                "flipc_net_credit_stalls_total",
+                "Sends refused by the credit grant or fairness arbiter.",
+                p.credit_stalls,
+            ),
+            (
+                "flipc_net_credit_shrinks_total",
+                "Credit window shrink events (AIMD halvings and congestion clamps).",
+                p.credit_shrinks,
+            ),
         ];
         for (name, help, v) in counters {
             expo.counter(name, help, &labels, u64::from(v));
@@ -333,7 +346,7 @@ pub fn expose_transport(expo: &mut Exposition, snap: &TransportSnapshot) {
             &labels,
             u64::from(p.in_flight),
         );
-        let gauges: [(&str, &'static str, u64); 5] = [
+        let gauges: [(&str, &'static str, u64); 6] = [
             (
                 "flipc_net_peer_state",
                 "Failure-detector verdict: 0 healthy, 1 suspect, 2 dead.",
@@ -358,6 +371,11 @@ pub fn expose_transport(expo: &mut Exposition, snap: &TransportSnapshot) {
                 "flipc_net_epoch",
                 "This node's current session epoch on the path.",
                 u64::from(p.epoch),
+            ),
+            (
+                "flipc_net_credit_window",
+                "Effective send window under the peer's receiver-granted credit.",
+                u64::from(p.credit_window),
             ),
         ];
         for (name, help, v) in gauges {
@@ -1161,6 +1179,9 @@ mod tests {
                 failed: 4,
                 stale_epoch: 2,
                 pings: 6,
+                credit_stalls: 11,
+                credit_shrinks: 3,
+                credit_window: 6,
                 liveness: flipc_core::inspect::PeerLiveness::Suspect,
                 srtt: 120,
                 rttvar: 30,
@@ -1193,6 +1214,9 @@ mod tests {
             "flipc_net_failed_total{node=\"0\",peer=\"1\"} 4",
             "flipc_net_stale_epoch_total{node=\"0\",peer=\"1\"} 2",
             "flipc_net_pings_total{node=\"0\",peer=\"1\"} 6",
+            "flipc_net_credit_stalls_total{node=\"0\",peer=\"1\"} 11",
+            "flipc_net_credit_shrinks_total{node=\"0\",peer=\"1\"} 3",
+            "flipc_net_credit_window{node=\"0\",peer=\"1\"} 6",
             "flipc_net_peer_state{node=\"0\",peer=\"1\"} 1",
             "flipc_net_srtt_ticks{node=\"0\",peer=\"1\"} 120",
             "flipc_net_rttvar_ticks{node=\"0\",peer=\"1\"} 30",

@@ -48,6 +48,9 @@ fn page() -> String {
             failed: 6,
             stale_epoch: 2,
             pings: 9,
+            credit_stalls: 13,
+            credit_shrinks: 4,
+            credit_window: 12,
             liveness: PeerLiveness::Healthy,
             srtt: 150,
             rttvar: 25,
@@ -139,6 +142,12 @@ flipc_net_stale_epoch_total{node=\"0\",peer=\"1\"} 2
 # HELP flipc_net_pings_total Idle-path heartbeat pings sent.
 # TYPE flipc_net_pings_total counter
 flipc_net_pings_total{node=\"0\",peer=\"1\"} 9
+# HELP flipc_net_credit_stalls_total Sends refused by the credit grant or fairness arbiter.
+# TYPE flipc_net_credit_stalls_total counter
+flipc_net_credit_stalls_total{node=\"0\",peer=\"1\"} 13
+# HELP flipc_net_credit_shrinks_total Credit window shrink events (AIMD halvings and congestion clamps).
+# TYPE flipc_net_credit_shrinks_total counter
+flipc_net_credit_shrinks_total{node=\"0\",peer=\"1\"} 4
 # HELP flipc_net_in_flight Frames sent and not yet cumulatively acknowledged.
 # TYPE flipc_net_in_flight gauge
 flipc_net_in_flight{node=\"0\",peer=\"1\"} 5
@@ -157,6 +166,9 @@ flipc_net_rto_current_ticks{node=\"0\",peer=\"1\"} 250
 # HELP flipc_net_epoch This node's current session epoch on the path.
 # TYPE flipc_net_epoch gauge
 flipc_net_epoch{node=\"0\",peer=\"1\"} 2
+# HELP flipc_net_credit_window Effective send window under the peer's receiver-granted credit.
+# TYPE flipc_net_credit_window gauge
+flipc_net_credit_window{node=\"0\",peer=\"1\"} 12
 # HELP flipc_net_clock_offset_ns Estimated offset of the peer's trace clock, nanoseconds (signed).
 # TYPE flipc_net_clock_offset_ns gauge
 flipc_net_clock_offset_ns{node=\"0\",peer=\"1\"} -1250

@@ -324,6 +324,79 @@ fn high_tier_p99_holds_while_bulk_saturates() {
 }
 
 #[test]
+fn high_tier_p99_holds_through_a_shaped_bottleneck() {
+    for seed in seeds() {
+        // True congestion rather than loss: node 0's outbound wire is
+        // token-bucket shaped to ~2 bytes per tick — roughly one tiered
+        // datagram per 25-tick step — while bulk offers eight times
+        // that. The credit clamp plus the DRR arbiter must keep the
+        // high-class trickle flowing with a bounded p99 even though the
+        // bulk tier could fill every window slot many times over.
+        let mut cfg = TierConfig::default();
+        cfg.classes[2].deadline = 3_000;
+        // RTO sized for a congested link: the initial timeout must sit
+        // above the bottleneck's worst service time or spurious
+        // go-back-N rounds (Karn-starved estimator) melt the link.
+        let net = NetConfig {
+            rto: 2_000,
+            rto_min: 100,
+            rto_max: 20_000,
+            ..net()
+        };
+        let mut t = Tiered::new(net, seed, cfg);
+        t.cluster_mut()
+            .log("token-bucket bottleneck on the sender uplink");
+        t.cluster_mut().faults(
+            0,
+            FaultConfig {
+                bandwidth_bps: 2_000_000,
+                ..FaultConfig::default()
+            },
+        );
+        let mut high_sent = 0u32;
+        for step in 0..400 {
+            t.offer(2, 8); // bulk at 8x link capacity
+            if step % 4 == 0 {
+                t.offer(0, 1); // steady high-class trickle
+                high_sent += 1;
+            }
+            t.step();
+        }
+        t.cluster_mut().log("bottleneck lifts; drain to quiesce");
+        t.cluster_mut().faults(0, FaultConfig::default());
+        for _ in 0..400 {
+            if t.delivered(0) == u64::from(high_sent) {
+                break;
+            }
+            t.step();
+        }
+        if !t.violations().is_empty() {
+            let problems = t.violations().to_vec();
+            let tr = t.transcript_text();
+            fail("tiers", "shaped-bottleneck", seed, &tr, &problems);
+        }
+        assert_eq!(
+            t.delivered(0),
+            u64::from(high_sent),
+            "high class must deliver completely (seed {seed:#x})"
+        );
+        let p99 = t.latency_quantile(0, 0.99).expect("high class delivered");
+        assert!(
+            p99 <= 4_096.0,
+            "high-class p99 {p99} ticks blew the congestion bound (seed {seed:#x})"
+        );
+        assert!(
+            t.delivered(2) > 0,
+            "bulk starved through the bottleneck (seed {seed:#x})"
+        );
+        assert!(
+            t.shed(2) > 0,
+            "bulk never shed despite 8x overload (seed {seed:#x})"
+        );
+    }
+}
+
+#[test]
 fn workload_runs_are_deterministic_per_seed() {
     let play = || {
         let topics = vec![TopicSpec {

@@ -69,7 +69,7 @@ use flipc_obs::{
 
 /// Version of the `--once --json` document shape. Bump when a section is
 /// added or reshaped; the golden tests below lock the rendering.
-const SCHEMA: u64 = 2;
+const SCHEMA: u64 = 3;
 
 /// Command-line options.
 struct Opts {
@@ -479,7 +479,7 @@ fn peer_table(nodes: &[DemoNode]) -> String {
             let _ = writeln!(
                 out,
                 "node {i} -> peer {}: {:7} srtt={} rttvar={} rto={} epoch={} \
-                 in-flight={} failed={}",
+                 in-flight={} credit={} stalls={} failed={}",
                 p.peer.0,
                 p.liveness.name(),
                 p.srtt,
@@ -487,11 +487,38 @@ fn peer_table(nodes: &[DemoNode]) -> String {
                 p.rto,
                 p.epoch,
                 p.in_flight,
+                p.credit_window,
+                p.credit_stalls,
                 p.failed,
             );
         }
     }
     out
+}
+
+/// One structured lifecycle row for the JSON document. Split out from
+/// [`peers_json`] so the golden test below can lock the row shape
+/// (including the flow-control columns) without standing up an engine.
+fn peer_row(node: u64, p: &flipc_core::inspect::PathSnapshot) -> Value {
+    Value::object([
+        ("node", Value::from(node)),
+        ("peer", Value::from(u64::from(p.peer.0))),
+        ("liveness", Value::from(p.liveness.name())),
+        ("srtt_ticks", Value::from(p.srtt)),
+        ("rttvar_ticks", Value::from(p.rttvar)),
+        ("rto_ticks", Value::from(p.rto)),
+        ("epoch", Value::from(u64::from(p.epoch))),
+        ("in_flight", Value::from(u64::from(p.in_flight))),
+        ("credit_window", Value::from(u64::from(p.credit_window))),
+        ("credit_stalls", Value::from(u64::from(p.credit_stalls))),
+        ("credit_shrinks", Value::from(u64::from(p.credit_shrinks))),
+        ("failed", Value::from(u64::from(p.failed))),
+        ("stale_epoch", Value::from(u64::from(p.stale_epoch))),
+        ("pings", Value::from(u64::from(p.pings))),
+        ("clock_offset_ns", Value::Num(p.clock_offset_ns as f64)),
+        ("clock_dispersion_ns", Value::from(p.clock_dispersion_ns)),
+        ("clock_samples", Value::from(p.clock_samples)),
+    ])
 }
 
 /// The same lifecycle table as structured rows for the JSON document.
@@ -502,22 +529,7 @@ fn peers_json(nodes: &[DemoNode]) -> Value {
             continue;
         };
         for p in &snap.paths {
-            rows.push(Value::object([
-                ("node", Value::from(i as u64)),
-                ("peer", Value::from(u64::from(p.peer.0))),
-                ("liveness", Value::from(p.liveness.name())),
-                ("srtt_ticks", Value::from(p.srtt)),
-                ("rttvar_ticks", Value::from(p.rttvar)),
-                ("rto_ticks", Value::from(p.rto)),
-                ("epoch", Value::from(u64::from(p.epoch))),
-                ("in_flight", Value::from(u64::from(p.in_flight))),
-                ("failed", Value::from(u64::from(p.failed))),
-                ("stale_epoch", Value::from(u64::from(p.stale_epoch))),
-                ("pings", Value::from(u64::from(p.pings))),
-                ("clock_offset_ns", Value::Num(p.clock_offset_ns as f64)),
-                ("clock_dispersion_ns", Value::from(p.clock_dispersion_ns)),
-                ("clock_samples", Value::from(p.clock_samples)),
-            ]));
+            rows.push(peer_row(i as u64, p));
         }
     }
     Value::Array(rows)
@@ -1501,6 +1513,39 @@ mod tests {
         }
     }
 
+    /// Locks one `peers` row byte-for-byte, flow-control columns
+    /// included: the credit window the peer currently grants, the sends
+    /// refused by flow control, and the receive-side shrink rounds.
+    #[test]
+    fn peer_row_golden() {
+        let p = flipc_core::inspect::PathSnapshot {
+            peer: FlipcNodeId(1),
+            sent: 40,
+            retransmitted: 2,
+            delivered: 38,
+            dup_dropped: 0,
+            out_of_window: 0,
+            wire_dropped: 0,
+            in_flight: 3,
+            failed: 0,
+            stale_epoch: 0,
+            pings: 5,
+            credit_stalls: 7,
+            credit_shrinks: 2,
+            credit_window: 4,
+            liveness: PeerLiveness::Healthy,
+            srtt: 120,
+            rttvar: 30,
+            rto: 240,
+            epoch: 1,
+            clock_offset_ns: -250,
+            clock_dispersion_ns: 300,
+            clock_samples: 12,
+        };
+        let expected = "{\"node\":0,\"peer\":1,\"liveness\":\"healthy\",\"srtt_ticks\":120,\"rttvar_ticks\":30,\"rto_ticks\":240,\"epoch\":1,\"in_flight\":3,\"credit_window\":4,\"credit_stalls\":7,\"credit_shrinks\":2,\"failed\":0,\"stale_epoch\":0,\"pings\":5,\"clock_offset_ns\":-250,\"clock_dispersion_ns\":300,\"clock_samples\":12}";
+        assert_eq!(peer_row(0, &p).render(), expected);
+    }
+
     /// Locks the `--once --json` engine document byte-for-byte. A failure
     /// here means the output shape changed: bump [`SCHEMA`] and update the
     /// golden string deliberately, never accidentally.
@@ -1525,7 +1570,7 @@ mod tests {
             peers,
             "# fixture\n",
         );
-        let expected = "{\"schema\":2,\"mode\":\"udp\",\"ticks\":3,\"stall_injected\":false,\"timeline\":{\"endpoints\":[{\"node\":0,\"endpoint\":1,\"first_ns\":1000,\"last_ns\":3500,\"sends\":1,\"delivers\":1,\"drops\":0,\"wakeups\":0,\"misaddressed\":0,\"bytes\":14,\"events_per_sec\":800000,\"gaps\":{\"count\":1,\"min_ns\":2500,\"max_ns\":2500,\"mean_ns\":2500}}],\"chain_latency\":{\"count\":1,\"min_ns\":2500,\"max_ns\":2500,\"mean_ns\":2500},\"retransmit_bursts\":0,\"retransmit_frames\":0,\"total_events\":2,\"lost\":0},\"stalls\":[{\"node\":0,\"start_ns\":10000,\"end_ns\":25000,\"gap_ns\":15000,\"endpoint\":1,\"cause\":\"engine-idle\",\"resume_burst\":0}],\"telemetry\":{\"iterations\":5},\"peers\":[],\"exposition\":\"# fixture\\n\"}";
+        let expected = "{\"schema\":3,\"mode\":\"udp\",\"ticks\":3,\"stall_injected\":false,\"timeline\":{\"endpoints\":[{\"node\":0,\"endpoint\":1,\"first_ns\":1000,\"last_ns\":3500,\"sends\":1,\"delivers\":1,\"drops\":0,\"wakeups\":0,\"misaddressed\":0,\"bytes\":14,\"events_per_sec\":800000,\"gaps\":{\"count\":1,\"min_ns\":2500,\"max_ns\":2500,\"mean_ns\":2500}}],\"chain_latency\":{\"count\":1,\"min_ns\":2500,\"max_ns\":2500,\"mean_ns\":2500},\"retransmit_bursts\":0,\"retransmit_frames\":0,\"total_events\":2,\"lost\":0},\"stalls\":[{\"node\":0,\"start_ns\":10000,\"end_ns\":25000,\"gap_ns\":15000,\"endpoint\":1,\"cause\":\"engine-idle\",\"resume_burst\":0}],\"telemetry\":{\"iterations\":5},\"peers\":[],\"exposition\":\"# fixture\\n\"}";
         assert_eq!(doc.render(), expected);
     }
 
@@ -1562,7 +1607,7 @@ flipc_net_clock_samples{node=\"0\",peer=\"1\"} 12
         let ranks = rank_nodes(&[fixture_stall(1, 20_000)]);
         let stalls = [fixture_stall(1, 20_000)];
         let doc = cluster_doc(500, true, clock, &merged, &ranks, &stalls, "# fixture\n");
-        let expected = "{\"schema\":2,\"mode\":\"cluster\",\"run_ms\":500,\"stall_injected\":true,\"clock\":[{\"node\":0,\"peer\":1,\"offset_ns\":-250,\"dispersion_ns\":300,\"samples\":12}],\"merged\":{\"nodes\":[{\"node\":0,\"offset_ns\":0,\"dispersion_ns\":0},{\"node\":1,\"offset_ns\":250,\"dispersion_ns\":300}],\"cross_chains\":1,\"cross_latency\":{\"count\":1,\"min_ns\":3000,\"max_ns\":3000,\"mean_ns\":3000},\"cross_latency_p99_ns\":3000,\"max_error_ns\":300,\"unmatched_sends\":0,\"timeline\":{\"endpoints\":[{\"node\":0,\"endpoint\":1,\"first_ns\":1000,\"last_ns\":1000,\"sends\":1,\"delivers\":0,\"drops\":0,\"wakeups\":0,\"misaddressed\":0,\"bytes\":7,\"events_per_sec\":0,\"gaps\":{\"count\":0,\"min_ns\":0,\"max_ns\":0,\"mean_ns\":0}},{\"node\":1,\"endpoint\":2,\"first_ns\":4000,\"last_ns\":4000,\"sends\":0,\"delivers\":1,\"drops\":0,\"wakeups\":0,\"misaddressed\":0,\"bytes\":7,\"events_per_sec\":0,\"gaps\":{\"count\":0,\"min_ns\":0,\"max_ns\":0,\"mean_ns\":0}}],\"chain_latency\":{\"count\":0,\"min_ns\":0,\"max_ns\":0,\"mean_ns\":0},\"retransmit_bursts\":0,\"retransmit_frames\":0,\"total_events\":2,\"lost\":0}},\"stall_ranking\":[{\"node\":1,\"stalls\":1,\"total_gap_ns\":20000,\"worst_gap_ns\":20000,\"worst_cause\":\"engine-idle\"}],\"stalls\":[{\"node\":1,\"start_ns\":10000,\"end_ns\":30000,\"gap_ns\":20000,\"endpoint\":1,\"cause\":\"engine-idle\",\"resume_burst\":0}],\"exposition\":\"# fixture\\n\"}";
+        let expected = "{\"schema\":3,\"mode\":\"cluster\",\"run_ms\":500,\"stall_injected\":true,\"clock\":[{\"node\":0,\"peer\":1,\"offset_ns\":-250,\"dispersion_ns\":300,\"samples\":12}],\"merged\":{\"nodes\":[{\"node\":0,\"offset_ns\":0,\"dispersion_ns\":0},{\"node\":1,\"offset_ns\":250,\"dispersion_ns\":300}],\"cross_chains\":1,\"cross_latency\":{\"count\":1,\"min_ns\":3000,\"max_ns\":3000,\"mean_ns\":3000},\"cross_latency_p99_ns\":3000,\"max_error_ns\":300,\"unmatched_sends\":0,\"timeline\":{\"endpoints\":[{\"node\":0,\"endpoint\":1,\"first_ns\":1000,\"last_ns\":1000,\"sends\":1,\"delivers\":0,\"drops\":0,\"wakeups\":0,\"misaddressed\":0,\"bytes\":7,\"events_per_sec\":0,\"gaps\":{\"count\":0,\"min_ns\":0,\"max_ns\":0,\"mean_ns\":0}},{\"node\":1,\"endpoint\":2,\"first_ns\":4000,\"last_ns\":4000,\"sends\":0,\"delivers\":1,\"drops\":0,\"wakeups\":0,\"misaddressed\":0,\"bytes\":7,\"events_per_sec\":0,\"gaps\":{\"count\":0,\"min_ns\":0,\"max_ns\":0,\"mean_ns\":0}}],\"chain_latency\":{\"count\":0,\"min_ns\":0,\"max_ns\":0,\"mean_ns\":0},\"retransmit_bursts\":0,\"retransmit_frames\":0,\"total_events\":2,\"lost\":0}},\"stall_ranking\":[{\"node\":1,\"stalls\":1,\"total_gap_ns\":20000,\"worst_gap_ns\":20000,\"worst_cause\":\"engine-idle\"}],\"stalls\":[{\"node\":1,\"start_ns\":10000,\"end_ns\":30000,\"gap_ns\":20000,\"endpoint\":1,\"cause\":\"engine-idle\",\"resume_burst\":0}],\"exposition\":\"# fixture\\n\"}";
         assert_eq!(doc.render(), expected);
     }
 }

@@ -35,7 +35,7 @@ fn cluster_mode_merges_two_process_timelines() {
 
     assert_eq!(
         u(&doc, "schema"),
-        2.0,
+        3.0,
         "schema version moved — bump the goldens too"
     );
     assert_eq!(doc.get("mode").and_then(Value::as_str), Some("cluster"));
